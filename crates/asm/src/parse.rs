@@ -1,0 +1,573 @@
+//! A text front-end for the assembler: parse RISC-V assembly source
+//! (labels, comments, the common pseudo-instructions) into a [`Program`].
+//!
+//! This is the human-facing counterpart to the builder API — kernels can
+//! be kept as `.s` files and assembled at runtime:
+//!
+//! ```
+//! use hb_asm::parse;
+//!
+//! let program = parse(
+//!     r#"
+//!     // sum 1..=10
+//!         li   t0, 10
+//!         li   t1, 0
+//!     loop:
+//!         add  t1, t1, t0
+//!         addi t0, t0, -1
+//!         bnez t0, loop
+//!         ecall
+//!     "#,
+//! )?;
+//! assert_eq!(program.len(), 6);
+//! # Ok::<(), hb_asm::ParseError>(())
+//! ```
+
+use crate::builder::{Assembler, Label};
+use crate::program::Program;
+use crate::AsmError;
+use hb_isa::{Fpr, Gpr};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error produced while parsing assembly text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<AsmError> for ParseError {
+    fn from(e: AsmError) -> ParseError {
+        ParseError { line: 0, message: e.to_string() }
+    }
+}
+
+/// Parses and assembles `src` with the first instruction at address 0.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] for syntax errors, unknown mnemonics/registers,
+/// out-of-range immediates, and unresolved labels.
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    parse_with_base(src, 0)
+}
+
+/// Parses and assembles `src` with the first instruction at `base_pc`.
+///
+/// # Errors
+///
+/// See [`parse`].
+pub fn parse_with_base(src: &str, base_pc: u32) -> Result<Program, ParseError> {
+    let mut p = Parser { a: Assembler::new(), labels: HashMap::new() };
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx + 1;
+        p.line(raw, line_no)?;
+    }
+    p.a.assemble(base_pc).map_err(|e| ParseError { line: 0, message: e.to_string() })
+}
+
+struct Parser {
+    a: Assembler,
+    labels: HashMap<String, Label>,
+}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+/// Parses a signed immediate: decimal or 0x hex (optionally negative).
+fn imm(tok: &str, line: usize) -> Result<i32, ParseError> {
+    let (neg, t) = match tok.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, tok),
+    };
+    let v = if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        u32::from_str_radix(hex, 16).map_err(|_| err(line, format!("bad immediate `{tok}`")))?
+    } else {
+        t.parse::<u32>().map_err(|_| err(line, format!("bad immediate `{tok}`")))?
+    };
+    let v = v as i32;
+    Ok(if neg { v.wrapping_neg() } else { v })
+}
+
+fn gpr(tok: &str, line: usize) -> Result<Gpr, ParseError> {
+    tok.parse().map_err(|_| err(line, format!("unknown register `{tok}`")))
+}
+
+fn fpr(tok: &str, line: usize) -> Result<Fpr, ParseError> {
+    tok.parse().map_err(|_| err(line, format!("unknown FP register `{tok}`")))
+}
+
+/// Splits a memory operand `offset(base)`.
+fn mem_operand(tok: &str, line: usize) -> Result<(i32, Gpr), ParseError> {
+    let open = tok.find('(').ok_or_else(|| err(line, format!("expected offset(reg), got `{tok}`")))?;
+    let close = tok
+        .strip_suffix(')')
+        .ok_or_else(|| err(line, format!("missing `)` in `{tok}`")))?;
+    let off_str = &tok[..open];
+    let reg_str = &close[open + 1..];
+    let offset = if off_str.is_empty() { 0 } else { imm(off_str, line)? };
+    Ok((offset, gpr(reg_str, line)?))
+}
+
+impl Parser {
+    fn label(&mut self, name: &str) -> Label {
+        if let Some(&l) = self.labels.get(name) {
+            return l;
+        }
+        let l = self.a.new_label();
+        self.labels.insert(name.to_owned(), l);
+        l
+    }
+
+    fn line(&mut self, raw: &str, line: usize) -> Result<(), ParseError> {
+        // Strip comments (# and //).
+        let mut text = raw;
+        if let Some(i) = text.find('#') {
+            text = &text[..i];
+        }
+        if let Some(i) = text.find("//") {
+            text = &text[..i];
+        }
+        let mut text = text.trim();
+        // Leading labels, possibly several.
+        while let Some(colon) = text.find(':') {
+            let (name, rest) = text.split_at(colon);
+            let name = name.trim();
+            if name.is_empty() || name.contains(char::is_whitespace) {
+                break;
+            }
+            let l = self.label(name);
+            self.a.bind(l);
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            return Ok(());
+        }
+        // Directives are not supported (data lives in DRAM via the host).
+        if text.starts_with('.') {
+            return Err(err(line, format!("directives are not supported: `{text}`")));
+        }
+        let (mnemonic, rest) = match text.find(char::is_whitespace) {
+            Some(i) => text.split_at(i),
+            None => (text, ""),
+        };
+        let ops: Vec<&str> = rest
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        self.instr(mnemonic, &ops, line)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn instr(&mut self, m: &str, ops: &[&str], line: usize) -> Result<(), ParseError> {
+        let n = ops.len();
+        let need = |want: usize| {
+            if n == want {
+                Ok(())
+            } else {
+                Err(err(line, format!("`{m}` expects {want} operands, got {n}")))
+            }
+        };
+        macro_rules! rrr {
+            ($f:ident) => {{
+                need(3)?;
+                let (rd, rs1, rs2) = (gpr(ops[0], line)?, gpr(ops[1], line)?, gpr(ops[2], line)?);
+                self.a.$f(rd, rs1, rs2);
+            }};
+        }
+        macro_rules! rri {
+            ($f:ident) => {{
+                need(3)?;
+                let (rd, rs1, i) = (gpr(ops[0], line)?, gpr(ops[1], line)?, imm(ops[2], line)?);
+                self.a.$f(rd, rs1, i);
+            }};
+        }
+        macro_rules! load {
+            ($f:ident) => {{
+                need(2)?;
+                let rd = gpr(ops[0], line)?;
+                let (off, base) = mem_operand(ops[1], line)?;
+                self.a.$f(rd, base, off);
+            }};
+        }
+        macro_rules! store {
+            ($f:ident) => {{
+                need(2)?;
+                let rs2 = gpr(ops[0], line)?;
+                let (off, base) = mem_operand(ops[1], line)?;
+                self.a.$f(rs2, base, off);
+            }};
+        }
+        macro_rules! branch {
+            ($f:ident) => {{
+                need(3)?;
+                let (rs1, rs2) = (gpr(ops[0], line)?, gpr(ops[1], line)?);
+                let target = self.label(ops[2]);
+                self.a.$f(rs1, rs2, target);
+            }};
+        }
+        macro_rules! branchz {
+            ($f:ident) => {{
+                need(2)?;
+                let rs1 = gpr(ops[0], line)?;
+                let target = self.label(ops[1]);
+                self.a.$f(rs1, target);
+            }};
+        }
+        macro_rules! amo {
+            ($f:ident) => {{
+                need(3)?;
+                let (rd, rs2) = (gpr(ops[0], line)?, gpr(ops[1], line)?);
+                let (off, base) = mem_operand(ops[2], line)?;
+                if off != 0 {
+                    return Err(err(line, "AMO address must have zero offset"));
+                }
+                self.a.$f(rd, rs2, base);
+            }};
+        }
+        macro_rules! fff {
+            ($f:ident) => {{
+                need(3)?;
+                let (rd, rs1, rs2) = (fpr(ops[0], line)?, fpr(ops[1], line)?, fpr(ops[2], line)?);
+                self.a.$f(rd, rs1, rs2);
+            }};
+        }
+        macro_rules! ffff {
+            ($f:ident) => {{
+                need(4)?;
+                self.a.$f(
+                    fpr(ops[0], line)?,
+                    fpr(ops[1], line)?,
+                    fpr(ops[2], line)?,
+                    fpr(ops[3], line)?,
+                );
+            }};
+        }
+
+        match m {
+            // RV32I ALU.
+            "add" => rrr!(add),
+            "sub" => rrr!(sub),
+            "sll" => rrr!(sll),
+            "slt" => rrr!(slt),
+            "sltu" => rrr!(sltu),
+            "xor" => rrr!(xor),
+            "srl" => rrr!(srl),
+            "sra" => rrr!(sra),
+            "or" => rrr!(or),
+            "and" => rrr!(and),
+            "mul" => rrr!(mul),
+            "mulh" => rrr!(mulh),
+            "mulhu" => rrr!(mulhu),
+            "div" => rrr!(div),
+            "divu" => rrr!(divu),
+            "rem" => rrr!(rem),
+            "remu" => rrr!(remu),
+            "addi" => rri!(addi),
+            "slti" => rri!(slti),
+            "sltiu" => rri!(sltiu),
+            "xori" => rri!(xori),
+            "ori" => rri!(ori),
+            "andi" => rri!(andi),
+            "slli" => rri!(slli),
+            "srli" => rri!(srli),
+            "srai" => rri!(srai),
+            "lui" => {
+                need(2)?;
+                let rd = gpr(ops[0], line)?;
+                self.a.lui(rd, imm(ops[1], line)?);
+            }
+            "auipc" => {
+                need(2)?;
+                let rd = gpr(ops[0], line)?;
+                self.a.auipc(rd, imm(ops[1], line)?);
+            }
+            // Loads/stores.
+            "lw" => load!(lw),
+            "lh" => load!(lh),
+            "lhu" => load!(lhu),
+            "lb" => load!(lb),
+            "lbu" => load!(lbu),
+            "sw" => store!(sw),
+            "sh" => store!(sh),
+            "sb" => store!(sb),
+            "flw" => {
+                need(2)?;
+                let rd = fpr(ops[0], line)?;
+                let (off, base) = mem_operand(ops[1], line)?;
+                self.a.flw(rd, base, off);
+            }
+            "fsw" => {
+                need(2)?;
+                let rs2 = fpr(ops[0], line)?;
+                let (off, base) = mem_operand(ops[1], line)?;
+                self.a.fsw(rs2, base, off);
+            }
+            // Branches and jumps.
+            "beq" => branch!(beq),
+            "bne" => branch!(bne),
+            "blt" => branch!(blt),
+            "bge" => branch!(bge),
+            "bltu" => branch!(bltu),
+            "bgeu" => branch!(bgeu),
+            "bgt" => branch!(bgt),
+            "ble" => branch!(ble),
+            "beqz" => branchz!(beqz),
+            "bnez" => branchz!(bnez),
+            "j" => {
+                need(1)?;
+                let t = self.label(ops[0]);
+                self.a.j(t);
+            }
+            "jal" => match n {
+                1 => {
+                    let t = self.label(ops[0]);
+                    self.a.jal(Gpr::Ra, t);
+                }
+                2 => {
+                    let rd = gpr(ops[0], line)?;
+                    let t = self.label(ops[1]);
+                    self.a.jal(rd, t);
+                }
+                _ => return Err(err(line, "`jal` expects 1 or 2 operands")),
+            },
+            "jalr" => {
+                need(2)?;
+                let rd = gpr(ops[0], line)?;
+                let (off, base) = mem_operand(ops[1], line)?;
+                self.a.jalr(rd, base, off);
+            }
+            "call" => {
+                need(1)?;
+                let t = self.label(ops[0]);
+                self.a.call(t);
+            }
+            "ret" => {
+                need(0)?;
+                self.a.ret();
+            }
+            // System.
+            "nop" => {
+                need(0)?;
+                self.a.nop();
+            }
+            "fence" => {
+                need(0)?;
+                self.a.fence();
+            }
+            "ecall" => {
+                need(0)?;
+                self.a.ecall();
+            }
+            "ebreak" => {
+                need(0)?;
+                self.a.ebreak();
+            }
+            // Atomics.
+            "amoswap.w" => amo!(amoswap),
+            "amoadd.w" => amo!(amoadd),
+            "amoxor.w" => amo!(amoxor),
+            "amoand.w" => amo!(amoand),
+            "amoor.w" => amo!(amoor),
+            "amomin.w" => amo!(amomin),
+            "amomax.w" => amo!(amomax),
+            "amominu.w" => amo!(amominu),
+            "amomaxu.w" => amo!(amomaxu),
+            // FP.
+            "fadd.s" => fff!(fadd),
+            "fsub.s" => fff!(fsub),
+            "fmul.s" => fff!(fmul),
+            "fdiv.s" => fff!(fdiv),
+            "fmin.s" => fff!(fmin),
+            "fmax.s" => fff!(fmax),
+            "fsgnj.s" => fff!(fsgnj),
+            "fsgnjn.s" => fff!(fsgnjn),
+            "fsgnjx.s" => fff!(fsgnjx),
+            "fmadd.s" => ffff!(fmadd),
+            "fmsub.s" => ffff!(fmsub),
+            "fnmsub.s" => ffff!(fnmsub),
+            "fnmadd.s" => ffff!(fnmadd),
+            "fsqrt.s" => {
+                need(2)?;
+                self.a.fsqrt(fpr(ops[0], line)?, fpr(ops[1], line)?);
+            }
+            "fmv.s" => {
+                need(2)?;
+                self.a.fmv(fpr(ops[0], line)?, fpr(ops[1], line)?);
+            }
+            "fneg.s" => {
+                need(2)?;
+                self.a.fneg(fpr(ops[0], line)?, fpr(ops[1], line)?);
+            }
+            "fabs.s" => {
+                need(2)?;
+                self.a.fabs(fpr(ops[0], line)?, fpr(ops[1], line)?);
+            }
+            "feq.s" => {
+                need(3)?;
+                self.a.feq(gpr(ops[0], line)?, fpr(ops[1], line)?, fpr(ops[2], line)?);
+            }
+            "flt.s" => {
+                need(3)?;
+                self.a.flt(gpr(ops[0], line)?, fpr(ops[1], line)?, fpr(ops[2], line)?);
+            }
+            "fle.s" => {
+                need(3)?;
+                self.a.fle(gpr(ops[0], line)?, fpr(ops[1], line)?, fpr(ops[2], line)?);
+            }
+            "fcvt.w.s" => {
+                need(2)?;
+                self.a.fcvt_w_s(gpr(ops[0], line)?, fpr(ops[1], line)?);
+            }
+            "fcvt.wu.s" => {
+                need(2)?;
+                self.a.fcvt_wu_s(gpr(ops[0], line)?, fpr(ops[1], line)?);
+            }
+            "fcvt.s.w" => {
+                need(2)?;
+                self.a.fcvt_s_w(fpr(ops[0], line)?, gpr(ops[1], line)?);
+            }
+            "fcvt.s.wu" => {
+                need(2)?;
+                self.a.fcvt_s_wu(fpr(ops[0], line)?, gpr(ops[1], line)?);
+            }
+            "fmv.x.w" => {
+                need(2)?;
+                self.a.fmv_x_w(gpr(ops[0], line)?, fpr(ops[1], line)?);
+            }
+            "fmv.w.x" => {
+                need(2)?;
+                self.a.fmv_w_x(fpr(ops[0], line)?, gpr(ops[1], line)?);
+            }
+            // Pseudo.
+            "li" => {
+                need(2)?;
+                let rd = gpr(ops[0], line)?;
+                self.a.li(rd, imm(ops[1], line)?);
+            }
+            "mv" => {
+                need(2)?;
+                self.a.mv(gpr(ops[0], line)?, gpr(ops[1], line)?);
+            }
+            "not" => {
+                need(2)?;
+                self.a.not(gpr(ops[0], line)?, gpr(ops[1], line)?);
+            }
+            "neg" => {
+                need(2)?;
+                self.a.neg(gpr(ops[0], line)?, gpr(ops[1], line)?);
+            }
+            "seqz" => {
+                need(2)?;
+                self.a.seqz(gpr(ops[0], line)?, gpr(ops[1], line)?);
+            }
+            "snez" => {
+                need(2)?;
+                self.a.snez(gpr(ops[0], line)?, gpr(ops[1], line)?);
+            }
+            other => return Err(err(line, format!("unknown mnemonic `{other}`"))),
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_loop_with_labels() {
+        let p = parse(
+            "
+            li t0, 5
+        top:
+            addi t0, t0, -1
+            bnez t0, top
+            ecall
+        ",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 4);
+        assert!(p.disassemble().contains("bne t0, zero, -4"));
+    }
+
+    #[test]
+    fn parses_memory_operands() {
+        let p = parse("lw a0, 8(sp)\nsw a0, -4(s0)\nflw fa0, 0(a1)\necall").unwrap();
+        let d = p.disassemble();
+        assert!(d.contains("lw a0, 8(sp)"));
+        assert!(d.contains("sw a0, -4(s0)"));
+        assert!(d.contains("flw fa0, 0(a1)"));
+    }
+
+    #[test]
+    fn parses_amo_and_fp() {
+        let p = parse(
+            "amoadd.w a0, a1, (a2)\nfmadd.s fa0, fa1, fa2, fa3\nfsqrt.s fa4, fa5\necall",
+        )
+        .unwrap();
+        let d = p.disassemble();
+        assert!(d.contains("amoadd.w a0, a1, (a2)"));
+        assert!(d.contains("fmadd.s fa0, fa1, fa2, fa3"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let p = parse("# header\n\n  nop # trailing\n  // c++ style\necall").unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn text_and_builder_agree() {
+        use hb_isa::Gpr::*;
+        let text = parse("li t0, 1000\nadd t1, t0, t0\nslli t1, t1, 3\necall").unwrap();
+        let mut a = Assembler::new();
+        a.li(T0, 1000).add(T1, T0, T0).slli(T1, T1, 3).ecall();
+        let built = a.assemble(0).unwrap();
+        assert_eq!(text.words(), built.words());
+    }
+
+    #[test]
+    fn unknown_mnemonic_reports_line() {
+        let e = parse("nop\nfrobnicate a0\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn bad_register_reports_line() {
+        let e = parse("add q0, a1, a2").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("q0"));
+    }
+
+    #[test]
+    fn unresolved_label_fails() {
+        assert!(parse("j nowhere").is_err());
+    }
+
+    #[test]
+    fn hex_immediates() {
+        let p = parse("li a0, 0x1234\nandi a0, a0, 0xff\necall").unwrap();
+        assert!(p.disassemble().contains("andi a0, a0, 255"));
+    }
+
+    #[test]
+    fn multiple_labels_one_line() {
+        let p = parse("a: b: nop\nj a\nj b\necall").unwrap();
+        assert_eq!(p.len(), 4);
+    }
+}

@@ -1,0 +1,83 @@
+//! Ablation sweeps over the design choices DESIGN.md calls out, beyond the
+//! paper's on/off feature analysis (Figure 10):
+//!
+//! - Ruche factor 0..4 (the paper fixes 3; this shows the knee),
+//! - remote-op scoreboard depth 1..63 (the paper fixes 63),
+//! - MSHRs per cache bank 1..16 (the paper consolidates MSHRs at the LLC).
+//!
+//! Each sweep uses the kernel most sensitive to the resource.
+
+use hb_bench::{bench_size, hb_config, header, row};
+use hb_core::MachineConfig;
+use hb_kernels::{Benchmark, PageRank, Sgemm, SpGemm};
+
+fn sweep<B: Benchmark>(
+    title: &str,
+    bench: &B,
+    points: &[(String, MachineConfig)],
+    size: hb_kernels::SizeClass,
+) {
+    println!("{title}");
+    let widths = [14usize, 12, 10];
+    header(&["setting", "cycles", "speedup"], &widths);
+    let mut base = None;
+    for (label, cfg) in points {
+        eprintln!("  {} / {label} ...", bench.name());
+        let stats = bench.run(cfg, size).expect("ablation run");
+        let b = *base.get_or_insert(stats.cycles as f64);
+        row(
+            &[
+                label.clone(),
+                stats.cycles.to_string(),
+                format!("{:.2}x", b / stats.cycles as f64),
+            ],
+            &widths,
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let base = hb_config();
+    let size = bench_size();
+    println!(
+        "Ablation sweeps ({}x{} Cell)\n",
+        base.cell_dim.x, base.cell_dim.y
+    );
+
+    // Ruche factor: network-heavy dense kernel.
+    let ruche_points: Vec<(String, MachineConfig)> = [0u8, 1, 2, 3, 4]
+        .into_iter()
+        .map(|rf| (format!("ruche={rf}"), MachineConfig { ruche_factor: rf, ..base.clone() }))
+        .collect();
+    sweep("-- Ruche factor (SGEMM) --", &Sgemm::default(), &ruche_points, size);
+
+    // Scoreboard depth: MLP-hungry irregular kernel.
+    let sb_points: Vec<(String, MachineConfig)> = [1usize, 2, 4, 8, 16, 32, 63]
+        .into_iter()
+        .map(|n| (format!("outstanding={n}"), MachineConfig { max_outstanding: n, ..base.clone() }))
+        .collect();
+    sweep("-- scoreboard depth (SGEMM) --", &Sgemm::default(), &sb_points, size);
+    sweep("-- scoreboard depth (PageRank) --", &PageRank::default(), &sb_points, size);
+
+    // MSHRs per bank: miss-heavy sparse kernel.
+    let mshr_points: Vec<(String, MachineConfig)> = [1usize, 2, 4, 8, 16]
+        .into_iter()
+        .map(|n| (format!("mshrs={n}"), MachineConfig { cache_mshrs: n, ..base.clone() }))
+        .collect();
+    sweep("-- MSHRs per bank (SpGEMM) --", &SpGemm::default(), &mshr_points, size);
+
+    // Kernel-structure ablation: DRAM-streaming vs SPM-blocked SGEMM (the
+    // paper's recommended load-blocks/compute/dump structure).
+    let style_points: Vec<(String, MachineConfig)> = vec![("streamed".into(), base.clone())];
+    sweep("-- SGEMM streamed --", &Sgemm::default(), &style_points, size);
+    sweep("-- SGEMM SPM-blocked --", &Sgemm::blocked(), &style_points, size);
+
+    println!(
+        "expected knees: ruche gains saturate by factor 3 (the silicon's\n\
+         choice); scoreboard depth stops paying once it covers the memory\n\
+         round trip; a few MSHRs per bank suffice because they are shared by\n\
+         all tiles (the paper's consolidation argument); SPM blocking trades\n\
+         scratchpad capacity for DRAM traffic."
+    );
+}

@@ -1,0 +1,46 @@
+//! Figure 13: "Energy per Instruction" — HammerBlade's component
+//! breakdown vs OpenPiton (McKeown et al., HPCA 2018) normalized to the
+//! same process corner with CV² scaling.
+
+use hb_bench::{header, row};
+use hb_energy::{efficiency_ratio, hammerblade_epi, piton_epi_raw, piton_epi_scaled, InstrClass};
+
+fn main() {
+    println!("Figure 13 — Energy per Instruction (pJ), HB 14/16nm vs OpenPiton (CV2-scaled)\n");
+    let widths = [9usize, 26, 9, 12, 12, 7];
+    header(
+        &["class", "HB breakdown (pJ)", "HB total", "Piton 32nm", "Piton scaled", "ratio"],
+        &widths,
+    );
+    let mut ratios = Vec::new();
+    for class in InstrClass::ALL {
+        let hb = hammerblade_epi(class);
+        let parts = hb
+            .components
+            .iter()
+            .map(|c| format!("{}:{:.1}", c.name, c.pj))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let ratio = efficiency_ratio(class);
+        ratios.push(ratio);
+        row(
+            &[
+                class.to_string(),
+                parts,
+                format!("{:.1}", hb.total()),
+                format!("{:.0}", piton_epi_raw(class)),
+                format!("{:.1}", piton_epi_scaled(class)),
+                format!("{ratio:.1}x"),
+            ],
+            &widths,
+        );
+    }
+    let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = ratios.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "\nmeasured efficiency span: {min:.1}x - {max:.1}x   (paper: 3.6x - 15.1x)\n\
+         drivers: 4 KB icache fetch energy, scratchpad instead of L1/L1.5\n\
+         caches, and short in-tile wires (0.2 pF/mm process-independent wire cap\n\
+         favors HB's 16.6x smaller tiles)."
+    );
+}

@@ -1,0 +1,41 @@
+//! `inspect` — the paper's §III.D performance-debugging workflow: run one
+//! benchmark and print the full profile (tile/link heatmaps, stall blame,
+//! cache and HBM2 tables, bottleneck verdict).
+//!
+//! Usage: `cargo run --release -p hb-bench --bin inspect -- [kernel]`
+//! where `kernel` is one of the Table I names (default: SpGEMM).
+
+use hb_bench::{bench_size, hb_config};
+
+fn main() {
+    let want = std::env::args().nth(1).unwrap_or_else(|| "SpGEMM".to_owned());
+    let cfg = hb_config();
+    let size = bench_size();
+    let suite = hb_kernels::suite();
+    let bench = suite
+        .iter()
+        .find(|b| b.name().eq_ignore_ascii_case(&want))
+        .unwrap_or_else(|| {
+            eprintln!("unknown kernel '{want}'; options:");
+            for b in &suite {
+                eprintln!("  {}", b.name());
+            }
+            std::process::exit(1);
+        });
+
+    eprintln!(
+        "running {} on a {}x{} Cell ...",
+        bench.name(),
+        cfg.cell_dim.x,
+        cfg.cell_dim.y
+    );
+    let stats = bench.run(&cfg, size).expect("kernel validates");
+    println!(
+        "{} finished in {} cycles ({} instructions, {} remote requests)\n",
+        bench.name(),
+        stats.cycles,
+        stats.core.instrs,
+        stats.core.remote_requests
+    );
+    println!("{}", stats.profile.report());
+}

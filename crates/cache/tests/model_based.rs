@@ -1,0 +1,177 @@
+//! Model-based testing: a random stream of loads/stores/AMOs through the
+//! cache bank (with a functional DRAM behind it) must behave exactly like
+//! a flat byte-array memory model, across every policy configuration.
+
+use hb_cache::{AccessKind, CacheBank, CacheConfig, CacheRequest, LineRequestKind};
+use hb_isa::AmoOp;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Load { addr: u32, width: u8 },
+    Store { addr: u32, width: u8, data: u32 },
+    Amo { addr: u32, op: AmoOp, data: u32 },
+}
+
+const MEM_BYTES: u32 = 1 << 16;
+
+fn any_op() -> impl Strategy<Value = Op> {
+    let width = prop_oneof![Just(1u8), Just(2u8), Just(4u8)];
+    prop_oneof![
+        (0u32..MEM_BYTES / 4, width.clone()).prop_map(|(w, width)| Op::Load {
+            addr: w * 4 & !(u32::from(width) - 1),
+            width
+        }),
+        (0u32..MEM_BYTES / 4, width, any::<u32>()).prop_map(|(w, width, data)| Op::Store {
+            addr: w * 4 & !(u32::from(width) - 1),
+            width,
+            data
+        }),
+        (
+            0u32..MEM_BYTES / 4,
+            prop_oneof![
+                Just(AmoOp::Swap),
+                Just(AmoOp::Add),
+                Just(AmoOp::Xor),
+                Just(AmoOp::And),
+                Just(AmoOp::Or),
+                Just(AmoOp::Min),
+                Just(AmoOp::Max),
+                Just(AmoOp::Minu),
+                Just(AmoOp::Maxu)
+            ],
+            any::<u32>()
+        )
+            .prop_map(|(w, op, data)| Op::Amo { addr: w * 4, op, data }),
+    ]
+}
+
+/// Reference model: flat byte memory with architectural semantics.
+struct Model {
+    bytes: Vec<u8>,
+}
+
+impl Model {
+    fn read(&self, addr: u32, width: u8) -> u32 {
+        let mut v = 0u32;
+        for i in (0..width as usize).rev() {
+            v = (v << 8) | u32::from(self.bytes[addr as usize + i]);
+        }
+        v
+    }
+
+    fn write(&mut self, addr: u32, width: u8, data: u32) {
+        for i in 0..width as usize {
+            self.bytes[addr as usize + i] = (data >> (8 * i)) as u8;
+        }
+    }
+
+    fn apply(&mut self, op: Op) -> u32 {
+        match op {
+            Op::Load { addr, width } => self.read(addr, width),
+            Op::Store { addr, width, data } => {
+                self.write(addr, width, data);
+                0
+            }
+            Op::Amo { addr, op, data } => {
+                let old = self.read(addr, 4);
+                self.write(addr, 4, op.apply(old, data));
+                old
+            }
+        }
+    }
+}
+
+/// Drives the bank until the request with `id` completes, servicing DRAM
+/// with zero latency.
+fn complete(bank: &mut CacheBank, backing: &mut [u8], req: CacheRequest) -> u32 {
+    while !bank.try_accept(req) {
+        service(bank, backing);
+    }
+    loop {
+        service(bank, backing);
+        if let Some(resp) = bank.pop_response() {
+            assert_eq!(resp.id, req.id, "responses must retire in order");
+            return resp.data;
+        }
+    }
+}
+
+fn service(bank: &mut CacheBank, backing: &mut [u8]) {
+    bank.tick();
+    while let Some(mreq) = bank.pop_mem_request() {
+        match mreq.kind {
+            LineRequestKind::Fetch => {
+                let a = mreq.line_addr as usize;
+                let line: Vec<u8> = backing[a..a + 64].to_vec();
+                bank.complete_fetch(mreq.line_addr, &line);
+            }
+            LineRequestKind::Writeback { data, valid } => {
+                let a = mreq.line_addr as usize;
+                for i in 0..64 {
+                    if valid & (1 << i) != 0 {
+                        backing[a + i] = data[i];
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn run_against_model(ops: &[Op], cfg: CacheConfig) {
+    let mut bank = CacheBank::new(cfg);
+    let mut backing = vec![0u8; MEM_BYTES as usize];
+    let mut model = Model { bytes: vec![0u8; MEM_BYTES as usize] };
+    for (i, &op) in ops.iter().enumerate() {
+        let req = match op {
+            Op::Load { addr, width } => {
+                CacheRequest { id: i as u64, addr, kind: AccessKind::Load, data: 0, width }
+            }
+            Op::Store { addr, width, data } => {
+                CacheRequest { id: i as u64, addr, kind: AccessKind::Store, data, width }
+            }
+            Op::Amo { addr, op, data } => {
+                CacheRequest { id: i as u64, addr, kind: AccessKind::Amo(op), data, width: 4 }
+            }
+        };
+        let got = complete(&mut bank, &mut backing, req);
+        let want = model.apply(op);
+        if !matches!(op, Op::Store { .. }) {
+            assert_eq!(got, want, "op {i} {op:?} diverged from the reference model");
+        }
+    }
+    // Final state: flush and compare the entire memory image.
+    for (line_addr, data, dirty) in bank.flush_all() {
+        for i in 0..64 {
+            if dirty & (1 << i) != 0 {
+                backing[line_addr as usize + i] = data[i];
+            }
+        }
+    }
+    assert_eq!(backing, model.bytes, "post-flush memory image diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn write_validate_bank_matches_flat_memory(ops in prop::collection::vec(any_op(), 1..200)) {
+        run_against_model(&ops, CacheConfig { sets: 4, ways: 2, ..CacheConfig::default() });
+    }
+
+    #[test]
+    fn write_allocate_bank_matches_flat_memory(ops in prop::collection::vec(any_op(), 1..200)) {
+        run_against_model(
+            &ops,
+            CacheConfig { sets: 4, ways: 2, write_validate: false, ..CacheConfig::default() },
+        );
+    }
+
+    #[test]
+    fn blocking_bank_matches_flat_memory(ops in prop::collection::vec(any_op(), 1..150)) {
+        run_against_model(
+            &ops,
+            CacheConfig { sets: 2, ways: 1, blocking: true, ..CacheConfig::default() },
+        );
+    }
+}

@@ -1,0 +1,271 @@
+//! The network adapter in front of each cache bank: unpacks request
+//! packets (including compressed multi-word loads) into bank accesses and
+//! re-packs completions into response packets.
+
+use crate::payload::{NodeId, ReqKind, Request, RespKind, Response};
+use hb_cache::{AccessKind, CacheBank, CacheRequest};
+use hb_noc::{Coord, Packet};
+use std::collections::{HashMap, VecDeque};
+
+/// An in-progress request group (one network request = one group; a
+/// compressed load spawns several bank accesses).
+#[derive(Debug)]
+struct Group {
+    from: NodeId,
+    op_id: u32,
+    kind: GroupKind,
+    remaining: u8,
+    count: u8,
+    data: [u32; 4],
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GroupKind {
+    Load,
+    Store,
+    Amo,
+}
+
+const INBOX_CAP: usize = 8;
+const RESP_CAP: usize = 8;
+
+/// A cache bank plus its packet adapter.
+#[derive(Debug)]
+pub struct BankNode {
+    /// The bank itself.
+    pub bank: CacheBank,
+    /// This node's network coordinate.
+    pub coord: Coord,
+    /// Incoming request packets (fed by the Cell from the request network).
+    pub inbox: VecDeque<Packet<Request>>,
+    /// Outgoing response packets: (destination cell, packet).
+    pub resp_outbox: VecDeque<(u8, Packet<Response>)>,
+    /// Bank accesses awaiting `try_accept`.
+    expansion: VecDeque<CacheRequest>,
+    groups: HashMap<u64, Group>,
+    next_group: u64,
+}
+
+impl BankNode {
+    /// Wraps a bank at the given network coordinate.
+    pub fn new(bank: CacheBank, coord: Coord) -> BankNode {
+        BankNode {
+            bank,
+            coord,
+            inbox: VecDeque::new(),
+            resp_outbox: VecDeque::new(),
+            expansion: VecDeque::new(),
+            groups: HashMap::new(),
+            next_group: 0,
+        }
+    }
+
+    /// Whether the Cell may push another request packet this cycle.
+    pub fn can_take(&self) -> bool {
+        self.inbox.len() < INBOX_CAP
+    }
+
+    /// Advances the adapter + bank one cycle. The Cell separately services
+    /// the bank's DRAM side.
+    pub fn tick(&mut self) {
+        // Unpack one packet into bank accesses when there is room to
+        // eventually respond (reserving response space avoids
+        // request-response deadlock).
+        if self.expansion.is_empty()
+            && self.resp_outbox.len() < RESP_CAP
+            && self.groups.len() < RESP_CAP
+        {
+            if let Some(pkt) = self.inbox.pop_front() {
+                let req = pkt.payload;
+                let gid = self.next_group;
+                self.next_group += 1;
+                let (kind, count) = match req.kind {
+                    ReqKind::Load { addr, width, count } => {
+                        for i in 0..count {
+                            self.expansion.push_back(CacheRequest {
+                                id: gid * 4 + u64::from(i),
+                                addr: addr + u32::from(i) * u32::from(width),
+                                kind: AccessKind::Load,
+                                data: 0,
+                                width,
+                            });
+                        }
+                        (GroupKind::Load, count)
+                    }
+                    ReqKind::Store { addr, width, data } => {
+                        self.expansion.push_back(CacheRequest {
+                            id: gid * 4,
+                            addr,
+                            kind: AccessKind::Store,
+                            data,
+                            width,
+                        });
+                        (GroupKind::Store, 1)
+                    }
+                    ReqKind::Amo { addr, op, data } => {
+                        self.expansion.push_back(CacheRequest {
+                            id: gid * 4,
+                            addr,
+                            kind: AccessKind::Amo(op),
+                            data,
+                            width: 4,
+                        });
+                        (GroupKind::Amo, 1)
+                    }
+                };
+                self.groups.insert(
+                    gid,
+                    Group {
+                        from: req.from,
+                        op_id: req.op_id,
+                        kind,
+                        remaining: count,
+                        count,
+                        data: [0; 4],
+                    },
+                );
+            }
+        }
+
+        // Feed the bank.
+        while let Some(&req) = self.expansion.front() {
+            if self.bank.try_accept(req) {
+                self.expansion.pop_front();
+            } else {
+                break;
+            }
+        }
+
+        self.bank.tick();
+
+        // Collect bank completions into response packets.
+        while let Some(resp) = self.bank.pop_response() {
+            let gid = resp.id / 4;
+            let idx = (resp.id % 4) as usize;
+            let group = self.groups.get_mut(&gid).expect("bank response without group");
+            group.data[idx] = resp.data;
+            group.remaining -= 1;
+            if group.remaining == 0 {
+                let group = self.groups.remove(&gid).unwrap();
+                let kind = match group.kind {
+                    GroupKind::Load => RespKind::Load { data: group.data, count: group.count },
+                    GroupKind::Store => RespKind::StoreAck,
+                    GroupKind::Amo => RespKind::AmoOld { data: group.data[0] },
+                };
+                self.resp_outbox.push_back((
+                    group.from.cell,
+                    Packet {
+                        src: self.coord,
+                        dst: group.from.coord,
+                        payload: Response { op_id: group.op_id, kind },
+                    },
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_cache::{CacheConfig, LineRequestKind};
+
+    fn node() -> BankNode {
+        BankNode::new(CacheBank::new(CacheConfig::default()), Coord::new(0, 0))
+    }
+
+    fn mk_load(op_id: u32, addr: u32, count: u8) -> Packet<Request> {
+        Packet {
+            src: Coord::new(1, 1),
+            dst: Coord::new(0, 0),
+            payload: Request {
+                from: NodeId { cell: 0, coord: Coord::new(1, 1) },
+                op_id,
+                kind: ReqKind::Load { addr, width: 4, count },
+            },
+        }
+    }
+
+    /// Services the bank's memory side with zero-latency DRAM.
+    fn service_mem(node: &mut BankNode, backing: &mut [u8]) {
+        while let Some(mreq) = node.bank.pop_mem_request() {
+            match mreq.kind {
+                LineRequestKind::Fetch => {
+                    let a = mreq.line_addr as usize;
+                    let line: Vec<u8> = backing[a..a + 64].to_vec();
+                    node.bank.complete_fetch(mreq.line_addr, &line);
+                }
+                LineRequestKind::Writeback { data, valid } => {
+                    let a = mreq.line_addr as usize;
+                    for i in 0..64 {
+                        if valid & (1 << i) != 0 {
+                            backing[a + i] = data[i];
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_load_returns_four_words() {
+        let mut n = node();
+        let mut mem = vec![0u8; 4096];
+        for i in 0..4u32 {
+            mem[(0x100 + 4 * i) as usize..(0x104 + 4 * i) as usize]
+                .copy_from_slice(&(10 + i).to_le_bytes());
+        }
+        n.inbox.push_back(mk_load(7, 0x100, 4));
+        for _ in 0..40 {
+            n.tick();
+            service_mem(&mut n, &mut mem);
+        }
+        let (cell, pkt) = n.resp_outbox.pop_front().expect("response");
+        assert_eq!(cell, 0);
+        assert_eq!(pkt.dst, Coord::new(1, 1));
+        assert_eq!(pkt.payload.op_id, 7);
+        match pkt.payload.kind {
+            RespKind::Load { data, count } => {
+                assert_eq!(count, 4);
+                assert_eq!(data, [10, 11, 12, 13]);
+            }
+            other => panic!("wrong response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn store_gets_single_ack() {
+        let mut n = node();
+        n.inbox.push_back(Packet {
+            src: Coord::new(2, 3),
+            dst: Coord::new(0, 0),
+            payload: Request {
+                from: NodeId { cell: 1, coord: Coord::new(2, 3) },
+                op_id: 9,
+                kind: ReqKind::Store { addr: 0x40, width: 4, data: 5 },
+            },
+        });
+        for _ in 0..10 {
+            n.tick();
+        }
+        let (cell, pkt) = n.resp_outbox.pop_front().expect("ack");
+        assert_eq!(cell, 1);
+        assert_eq!(pkt.payload.kind, RespKind::StoreAck);
+    }
+
+    #[test]
+    fn one_packet_per_cycle_unpacked() {
+        let mut n = node();
+        let mut mem = vec![0u8; 1 << 16];
+        for i in 0..4 {
+            n.inbox.push_back(mk_load(i, 0x1000 * i, 1));
+        }
+        let mut responses = 0;
+        for _ in 0..200 {
+            n.tick();
+            service_mem(&mut n, &mut mem);
+            responses += n.resp_outbox.drain(..).count();
+        }
+        assert_eq!(responses, 4);
+    }
+}

@@ -1,0 +1,572 @@
+//! A HammerBlade Cell: the unit of replication — a 2-D tile array, two
+//! cache-bank strips, the request/response Ruche networks, the refill strip
+//! channels, one HBM2 pseudo-channel and the hardware barrier networks.
+
+use crate::banknode::BankNode;
+use crate::config::MachineConfig;
+use crate::payload::{Request, Response};
+use crate::pgas::PgasMap;
+use crate::stats::CoreStats;
+use crate::tile::{GroupInfo, Tile};
+use hb_asm::Program;
+use hb_cache::{CacheBank, CacheConfig, CacheStats, LineRequestKind};
+use hb_mem::{ClockDivider, Dram, DramRequest, Hbm2Channel, Hbm2Stats};
+use hb_noc::{
+    BarrierNetwork, Coord, LinkStats, Network, NetworkConfig, Packet, RouteOrder, StripChannel,
+};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// A rectangular tile group within a Cell (the paper's unit of thread
+/// management and barrier synchronization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupSpec {
+    /// Top-left tile of the group.
+    pub origin: (u8, u8),
+    /// Width and height in tiles.
+    pub dim: (u8, u8),
+}
+
+impl GroupSpec {
+    /// One group covering the whole Cell.
+    pub fn whole_cell(cfg: &MachineConfig) -> GroupSpec {
+        GroupSpec { origin: (0, 0), dim: (cfg.cell_dim.x, cfg.cell_dim.y) }
+    }
+
+    /// Splits the Cell into a grid of equally-sized groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Cell dimensions are not divisible by the group size.
+    pub fn grid(cfg: &MachineConfig, gw: u8, gh: u8) -> Vec<GroupSpec> {
+        assert_eq!(cfg.cell_dim.x % gw, 0);
+        assert_eq!(cfg.cell_dim.y % gh, 0);
+        let mut groups = Vec::new();
+        for oy in (0..cfg.cell_dim.y).step_by(gh as usize) {
+            for ox in (0..cfg.cell_dim.x).step_by(gw as usize) {
+                groups.push(GroupSpec { origin: (ox, oy), dim: (gw, gh) });
+            }
+        }
+        groups
+    }
+}
+
+/// An in-flight bank↔DRAM line operation.
+#[derive(Debug)]
+struct MemOp {
+    bank: usize,
+    line_addr: u32,
+    write: bool,
+    /// Fetched line contents (filled at HBM read completion, consumed at
+    /// strip delivery).
+    data: Option<Vec<u8>>,
+}
+
+/// One Cell of the machine. Ticked by [`Machine`](crate::Machine) on the
+/// core clock.
+#[derive(Debug)]
+pub struct Cell {
+    cfg: Arc<MachineConfig>,
+    /// This Cell's id.
+    pub id: u8,
+    pgas: PgasMap,
+    tiles: Vec<Tile>,
+    banks: Vec<BankNode>,
+    req_net: Network<Request>,
+    resp_net: Network<Response>,
+    strip_to_mem: [StripChannel; 2],
+    strip_from_mem: [StripChannel; 2],
+    hbm: Hbm2Channel,
+    hbm_clock: ClockDivider,
+    dram: Dram,
+    hbm_retry: VecDeque<DramRequest>,
+    mem_ops: HashMap<u64, MemOp>,
+    next_mem_id: u64,
+    barriers: Vec<BarrierNetwork>,
+    active: Vec<bool>,
+    alloc_ptr: u32,
+    cycle: u64,
+    /// Requests bound for other Cells (drained by the inter-Cell fabric).
+    pub xreq_out: VecDeque<(u8, Packet<Request>)>,
+    /// Responses bound for other Cells.
+    pub xresp_out: VecDeque<(u8, Packet<Response>)>,
+}
+
+impl Cell {
+    /// Builds an idle Cell.
+    pub fn new(cfg: Arc<MachineConfig>, id: u8) -> Cell {
+        cfg.validate();
+        let pgas = PgasMap {
+            cell_id: id,
+            num_cells: cfg.num_cells,
+            cell_w: cfg.cell_dim.x,
+            cell_h: cfg.cell_dim.y,
+            spm_bytes: cfg.spm_bytes,
+            line_bytes: cfg.line_bytes,
+            dram_bytes: cfg.dram_bytes_per_cell,
+            ipoly: cfg.ipoly_hashing,
+        };
+        let mut tiles = Vec::with_capacity(cfg.cell_dim.tiles());
+        for y in 0..cfg.cell_dim.y {
+            for x in 0..cfg.cell_dim.x {
+                tiles.push(Tile::new(cfg.clone(), pgas, (x, y)));
+            }
+        }
+        let bank_cfg = CacheConfig {
+            sets: cfg.cache_sets,
+            ways: cfg.cache_ways,
+            line_bytes: cfg.line_bytes,
+            bank_shift: (cfg.banks_per_cell() as u32).trailing_zeros(),
+            write_validate: cfg.write_validate,
+            blocking: !cfg.non_blocking_cache,
+            mshrs: cfg.cache_mshrs,
+            ..CacheConfig::default()
+        };
+        let banks = (0..cfg.banks_per_cell())
+            .map(|b| BankNode::new(CacheBank::new(bank_cfg), pgas.bank_coord(b)))
+            .collect();
+        let net_cfg = |order| NetworkConfig {
+            width: cfg.net_width(),
+            height: cfg.net_height(),
+            ruche_factor: cfg.ruche_factor,
+            order,
+            fifo_depth: cfg.net_fifo_depth,
+            link_occupancy: cfg.link_occupancy,
+        };
+        // Each strip serves one row of `cell_w` banks regardless of the
+        // configured default.
+        let strip_cfg =
+            hb_noc::StripConfig { banks: cfg.cell_dim.x as usize, ..cfg.strip };
+        let strip = || StripChannel::new(strip_cfg);
+        Cell {
+            id,
+            pgas,
+            tiles,
+            banks,
+            req_net: Network::new(net_cfg(RouteOrder::XThenY)),
+            resp_net: Network::new(net_cfg(RouteOrder::YThenX)),
+            strip_to_mem: [strip(), strip()],
+            strip_from_mem: [strip(), strip()],
+            hbm: Hbm2Channel::new(cfg.hbm.clone()),
+            hbm_clock: ClockDivider::new(
+                u64::from(cfg.mem_freq_mhz),
+                u64::from(cfg.core_freq_mhz),
+            ),
+            dram: Dram::new(cfg.dram_bytes_per_cell as usize),
+            hbm_retry: VecDeque::new(),
+            mem_ops: HashMap::new(),
+            next_mem_id: 0,
+            barriers: Vec::new(),
+            active: vec![false; cfg.cell_dim.tiles()],
+            alloc_ptr: 0,
+            cycle: 0,
+            xreq_out: VecDeque::new(),
+            xresp_out: VecDeque::new(),
+            cfg,
+        }
+    }
+
+    /// The Cell's PGAS map (coordinate helpers).
+    pub fn pgas(&self) -> &PgasMap {
+        &self.pgas
+    }
+
+    /// Current core cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Host access to this Cell's DRAM contents.
+    pub fn dram(&self) -> &Dram {
+        &self.dram
+    }
+
+    /// Mutable host access to this Cell's DRAM contents.
+    pub fn dram_mut(&mut self) -> &mut Dram {
+        &mut self.dram
+    }
+
+    /// Bump-allocates `size` bytes of Cell DRAM, aligned to `align`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the window is exhausted or `align` is not a power of two.
+    pub fn alloc(&mut self, size: u32, align: u32) -> u32 {
+        assert!(align.is_power_of_two());
+        let base = (self.alloc_ptr + align - 1) & !(align - 1);
+        assert!(
+            base + size <= self.cfg.dram_bytes_per_cell,
+            "cell DRAM window exhausted ({} + {size} bytes)",
+            base
+        );
+        self.alloc_ptr = base + size;
+        base
+    }
+
+    /// Tile accessor (x, y in tile coordinates).
+    pub fn tile(&self, x: u8, y: u8) -> &Tile {
+        &self.tiles[y as usize * self.cfg.cell_dim.x as usize + x as usize]
+    }
+
+    /// Mutable tile accessor.
+    pub fn tile_mut(&mut self, x: u8, y: u8) -> &mut Tile {
+        &mut self.tiles[y as usize * self.cfg.cell_dim.x as usize + x as usize]
+    }
+
+    /// Launches `program` on the given tile groups with per-group argument
+    /// lists. Tiles outside every group stay idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if groups overlap or leave the Cell, or argument lists exceed
+    /// 8 words.
+    pub fn launch_groups(&mut self, program: &Arc<Program>, groups: &[(GroupSpec, Vec<u32>)]) {
+        let (w, h) = (self.cfg.cell_dim.x, self.cfg.cell_dim.y);
+        let mut owned = vec![false; w as usize * h as usize];
+        self.barriers.clear();
+        self.active = vec![false; w as usize * h as usize];
+        for (gi, (g, args)) in groups.iter().enumerate() {
+            assert!(g.origin.0 + g.dim.0 <= w && g.origin.1 + g.dim.1 <= h, "group leaves cell");
+            self.barriers.push(BarrierNetwork::tree_for_group(
+                g.dim.0,
+                g.dim.1,
+                self.cfg.ruche_factor,
+            ));
+            for y in g.origin.1..g.origin.1 + g.dim.1 {
+                for x in g.origin.0..g.origin.0 + g.dim.0 {
+                    let i = y as usize * w as usize + x as usize;
+                    assert!(!owned[i], "tile ({x},{y}) in two groups");
+                    owned[i] = true;
+                    self.active[i] = true;
+                    let info = GroupInfo { origin: g.origin, dim: g.dim, barrier_id: gi };
+                    self.tiles[i].launch(program.clone(), args, info);
+                }
+            }
+        }
+    }
+
+    /// Launches `program` on every tile as a single Cell-wide group.
+    pub fn launch(&mut self, program: &Arc<Program>, args: &[u32]) {
+        let spec = GroupSpec::whole_cell(&self.cfg);
+        self.launch_groups(program, &[(spec, args.to_vec())]);
+    }
+
+    /// Whether every active tile has finished.
+    pub fn all_done(&self) -> bool {
+        self.tiles
+            .iter()
+            .zip(&self.active)
+            .all(|(t, &a)| !a || t.is_finished())
+    }
+
+    /// The first tile fault, if any.
+    pub fn fault(&self) -> Option<String> {
+        self.tiles.iter().find_map(|t| t.fault().map(str::to_owned))
+    }
+
+    /// Number of active tiles that are still running.
+    pub fn running_tiles(&self) -> usize {
+        self.tiles
+            .iter()
+            .zip(&self.active)
+            .filter(|(t, &a)| a && !t.is_finished() && t.fault().is_none())
+            .count()
+    }
+
+    /// Aggregated core statistics over active tiles.
+    pub fn core_stats(&self) -> CoreStats {
+        let mut agg = CoreStats::default();
+        for (t, &a) in self.tiles.iter().zip(&self.active) {
+            if a {
+                agg += *t.stats();
+            }
+        }
+        agg
+    }
+
+    /// HBM2 channel statistics.
+    pub fn hbm_stats(&self) -> &Hbm2Stats {
+        self.hbm.stats()
+    }
+
+    /// Aggregated cache-bank statistics.
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut agg = CacheStats::default();
+        for b in &self.banks {
+            let s = *b.bank.stats();
+            agg.hits += s.hits;
+            agg.misses += s.misses;
+            agg.secondary_misses += s.secondary_misses;
+            agg.write_validate_fills += s.write_validate_fills;
+            agg.evictions += s.evictions;
+            agg.writebacks += s.writebacks;
+            agg.rejected_input += s.rejected_input;
+            agg.rejected_mshr += s.rejected_mshr;
+            agg.amos += s.amos;
+            agg.idle_cycles += s.idle_cycles;
+            agg.blocked_cycles += s.blocked_cycles;
+        }
+        agg
+    }
+
+    /// Installs a shared trace buffer into every tile (see [`crate::trace`]).
+    pub fn set_trace(&mut self, trace: crate::trace::TraceHandle) {
+        for t in &mut self.tiles {
+            t.set_trace(trace.clone());
+        }
+    }
+
+    /// Stats of one cache bank.
+    pub fn bank_stats(&self, bank: usize) -> &CacheStats {
+        self.banks[bank].bank.stats()
+    }
+
+    /// Request-network link stats for the output link at (`at`, `port`).
+    pub fn request_link(&self, at: Coord, port: hb_noc::Port) -> LinkStats {
+        self.req_net.link_stats(at, port)
+    }
+
+    /// Response-network link stats for the output link at (`at`, `port`).
+    pub fn response_link(&self, at: Coord, port: hb_noc::Port) -> LinkStats {
+        self.resp_net.link_stats(at, port)
+    }
+
+    /// Request-network bisection stats at the Cell's vertical midline.
+    pub fn request_bisection(&self) -> LinkStats {
+        self.req_net.bisection_stats(self.cfg.net_width() / 2)
+    }
+
+    /// Number of links crossing the request-network bisection.
+    pub fn request_bisection_links(&self) -> usize {
+        self.req_net.bisection_link_count(self.cfg.net_width() / 2)
+    }
+
+    /// Host operation: flushes every cache bank's dirty lines into DRAM so
+    /// results written through the write-validate caches become visible to
+    /// [`dram`](Self::dram). Call after a kernel finishes, never mid-run.
+    pub fn flush_caches(&mut self) {
+        for b in 0..self.banks.len() {
+            for (line_addr, data, dirty) in self.banks[b].bank.flush_all() {
+                for (i, &byte) in data.iter().enumerate() {
+                    if dirty & (1 << i) != 0 {
+                        self.dram.write_u8(line_addr + i as u32, byte);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Delivers a request arriving from another Cell.
+    pub fn deliver_remote_request(&mut self, pkt: Packet<Request>) {
+        if let Some(b) = self.pgas.coord_to_bank(pkt.dst) {
+            self.banks[b].inbox.push_back(pkt);
+        } else if let Some((x, y)) = self.pgas.coord_to_tile(pkt.dst) {
+            self.tile_mut(x, y).req_inbox.push_back(pkt);
+        }
+    }
+
+    /// Delivers a response arriving from another Cell.
+    pub fn deliver_remote_response(&mut self, pkt: Packet<Response>) {
+        if let Some((x, y)) = self.pgas.coord_to_tile(pkt.dst) {
+            self.tile_mut(x, y).resp_inbox.push_back(pkt);
+        }
+    }
+
+    /// Advances the whole Cell one core-clock cycle.
+    pub fn tick(&mut self) {
+        self.cycle += 1;
+        let now = self.cycle;
+        let w = self.cfg.cell_dim.x;
+
+        // 1. Networks advance.
+        self.req_net.tick();
+        self.resp_net.tick();
+
+        // 2. Ejections: requests to banks and tiles, responses to tiles.
+        for b in 0..self.banks.len() {
+            let coord = self.banks[b].coord;
+            while self.banks[b].can_take() {
+                match self.req_net.eject(coord) {
+                    Some(pkt) => self.banks[b].inbox.push_back(pkt),
+                    None => break,
+                }
+            }
+        }
+        for i in 0..self.tiles.len() {
+            let (x, y) = self.tiles[i].xy;
+            let coord = self.pgas.tile_coord(x, y);
+            while self.tiles[i].req_inbox.len() < 8 {
+                match self.req_net.eject(coord) {
+                    Some(pkt) => self.tiles[i].req_inbox.push_back(pkt),
+                    None => break,
+                }
+            }
+            while let Some(pkt) = self.resp_net.eject(coord) {
+                self.tiles[i].resp_inbox.push_back(pkt);
+            }
+        }
+
+        // 3. Banks: adapter + bank pipeline, then their DRAM side.
+        for b in 0..self.banks.len() {
+            self.banks[b].tick();
+            while let Some(lr) = self.banks[b].bank.pop_mem_request() {
+                let id = self.next_mem_id;
+                self.next_mem_id += 1;
+                let strip = usize::from(b >= w as usize);
+                let pos = b % w as usize;
+                let (write, bytes) = match lr.kind {
+                    LineRequestKind::Fetch => (false, 8),
+                    LineRequestKind::Writeback { data, valid } => {
+                        // Functional data lands in DRAM at enqueue time so a
+                        // later fetch of the same line (FIFO-ordered on the
+                        // strip) observes it; timing continues below.
+                        for (i, &byte) in data.iter().enumerate() {
+                            if valid & (1 << i) != 0 {
+                                self.dram.write_u8(lr.line_addr + i as u32, byte);
+                            }
+                        }
+                        (true, 8 + self.cfg.line_bytes)
+                    }
+                };
+                self.mem_ops
+                    .insert(id, MemOp { bank: b, line_addr: lr.line_addr, write, data: None });
+                self.strip_to_mem[strip].enqueue(hb_noc::StripTransfer {
+                    id,
+                    bank: pos,
+                    bytes,
+                    write,
+                });
+            }
+        }
+
+        // 4. Strip channels toward memory -> HBM2 queue.
+        for strip in &mut self.strip_to_mem {
+            strip.tick();
+            while let Some(t) = strip.pop_complete() {
+                let op = &self.mem_ops[&t.id];
+                self.hbm_retry.push_back(DramRequest {
+                    id: t.id,
+                    addr: op.line_addr,
+                    write: op.write,
+                });
+            }
+        }
+
+        // 5. HBM2 on its own clock.
+        if self.hbm_clock.tick() {
+            while let Some(&req) = self.hbm_retry.front() {
+                if self.hbm.enqueue(req) {
+                    self.hbm_retry.pop_front();
+                } else {
+                    break;
+                }
+            }
+            self.hbm.tick();
+            while let Some(resp) = self.hbm.pop_response() {
+                if resp.write {
+                    self.mem_ops.remove(&resp.id);
+                } else {
+                    let op = self.mem_ops.get_mut(&resp.id).expect("unknown HBM response");
+                    let line =
+                        self.dram.slice(op.line_addr, self.cfg.line_bytes as usize).to_vec();
+                    op.data = Some(line);
+                    let strip = usize::from(op.bank >= w as usize);
+                    let pos = op.bank % w as usize;
+                    self.strip_from_mem[strip].enqueue(hb_noc::StripTransfer {
+                        id: resp.id,
+                        bank: pos,
+                        bytes: 8 + self.cfg.line_bytes,
+                        write: false,
+                    });
+                }
+            }
+        }
+
+        // 6. Strip channels from memory -> cache refill completion.
+        for s in 0..2 {
+            self.strip_from_mem[s].tick();
+            while let Some(t) = self.strip_from_mem[s].pop_complete() {
+                let op = self.mem_ops.remove(&t.id).expect("refill without op");
+                let data = op.data.expect("refill without data");
+                self.banks[op.bank].bank.complete_fetch(op.line_addr, &data);
+            }
+        }
+
+        // 7. Tiles execute.
+        for i in 0..self.tiles.len() {
+            if self.active[i] {
+                self.tiles[i].step(now);
+            }
+        }
+
+        // 8. Barrier joins and releases.
+        for i in 0..self.tiles.len() {
+            if self.tiles[i].wants_join {
+                self.tiles[i].wants_join = false;
+                let g = self.tiles[i].group();
+                let (x, y) = self.tiles[i].xy;
+                let local = Coord::new(x - g.origin.0, y - g.origin.1);
+                self.barriers[g.barrier_id].join(local);
+            }
+        }
+        for barrier in &mut self.barriers {
+            barrier.tick();
+        }
+        for i in 0..self.tiles.len() {
+            if self.active[i] && self.tiles[i].barrier_waiting {
+                let g = self.tiles[i].group();
+                let (x, y) = self.tiles[i].xy;
+                let local = Coord::new(x - g.origin.0, y - g.origin.1);
+                if self.barriers[g.barrier_id].is_released(local) {
+                    self.barriers[g.barrier_id].consume_release(local);
+                    self.tiles[i].barrier_waiting = false;
+                }
+            }
+        }
+
+        // 9. Injections.
+        for i in 0..self.tiles.len() {
+            let (x, y) = self.tiles[i].xy;
+            let coord = self.pgas.tile_coord(x, y);
+            while let Some(&(cell, _)) = self.tiles[i].req_outbox.front() {
+                if cell == self.id {
+                    if !self.req_net.can_inject(coord) {
+                        break;
+                    }
+                    let (_, pkt) = self.tiles[i].req_outbox.pop_front().unwrap();
+                    self.req_net.inject(coord, pkt);
+                } else {
+                    let (cell, pkt) = self.tiles[i].req_outbox.pop_front().unwrap();
+                    self.xreq_out.push_back((cell, pkt));
+                }
+            }
+            while let Some(&(cell, _)) = self.tiles[i].resp_outbox.front() {
+                if cell == self.id {
+                    if !self.resp_net.can_inject(coord) {
+                        break;
+                    }
+                    let (_, pkt) = self.tiles[i].resp_outbox.pop_front().unwrap();
+                    self.resp_net.inject(coord, pkt);
+                } else {
+                    let (cell, pkt) = self.tiles[i].resp_outbox.pop_front().unwrap();
+                    self.xresp_out.push_back((cell, pkt));
+                }
+            }
+        }
+        for b in 0..self.banks.len() {
+            let coord = self.banks[b].coord;
+            while let Some(&(cell, _)) = self.banks[b].resp_outbox.front() {
+                if cell == self.id {
+                    if !self.resp_net.can_inject(coord) {
+                        break;
+                    }
+                    let (_, pkt) = self.banks[b].resp_outbox.pop_front().unwrap();
+                    self.resp_net.inject(coord, pkt);
+                } else {
+                    let (cell, pkt) = self.banks[b].resp_outbox.pop_front().unwrap();
+                    self.xresp_out.push_back((cell, pkt));
+                }
+            }
+        }
+    }
+}

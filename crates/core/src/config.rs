@@ -1,0 +1,275 @@
+//! Machine configuration: geometry, feature knobs and timing parameters.
+//!
+//! Every architectural feature evaluated in the paper's Figure 10 ablation
+//! has a knob here, and the Table II machine configurations are provided as
+//! presets.
+
+use hb_mem::Hbm2Config;
+use hb_noc::StripConfig;
+
+/// Tile-array shape of one Cell (x = columns, y = rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CellDim {
+    /// Tiles per row.
+    pub x: u8,
+    /// Tile rows.
+    pub y: u8,
+}
+
+impl CellDim {
+    /// Total tiles in the Cell.
+    pub fn tiles(self) -> usize {
+        self.x as usize * self.y as usize
+    }
+}
+
+/// Full configuration of a simulated HammerBlade machine.
+///
+/// Construct via a preset ([`MachineConfig::baseline_16x8`] etc.) and adjust
+/// fields, e.g. `MachineConfig { ruche_factor: 0, ..MachineConfig::baseline_16x8() }`
+/// for the 2-D-mesh ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Tile array per Cell.
+    pub cell_dim: CellDim,
+    /// Number of Cells simulated together (multi-Cell runs follow the
+    /// paper's methodology: independent single-Cell simulations plus an
+    /// inter-Cell transfer estimate).
+    pub num_cells: u8,
+
+    // ---- Figure 10 feature knobs ----
+    /// Horizontal Ruche link skip distance (3 in HB, 0 = plain 2-D mesh).
+    pub ruche_factor: u8,
+    /// Non-blocking remote loads via the 63-entry scoreboard. When `false`,
+    /// every remote memory operation stalls the core until its response
+    /// returns (the pre-HB baseline).
+    pub non_blocking_loads: bool,
+    /// Write-validate cache policy (write misses allocate without fetching).
+    pub write_validate: bool,
+    /// Load Packet Compression: up to four consecutive sequential remote
+    /// loads to the same destination combine into one packet.
+    pub load_packet_compression: bool,
+    /// Regional IPOLY hashing of Local-DRAM lines across cache banks.
+    /// When `false`, lines stripe bank = line mod banks (prone to partition
+    /// camping under 2^n strides).
+    pub ipoly_hashing: bool,
+    /// Non-blocking cache banks with consolidated MSHRs. When `false`,
+    /// banks block on any outstanding miss.
+    pub non_blocking_cache: bool,
+
+    // ---- Geometry ----
+    /// Scratchpad bytes per tile.
+    pub spm_bytes: u32,
+    /// Instruction-cache bytes per tile (direct-mapped, 16 B lines).
+    pub icache_bytes: u32,
+    /// Cache-bank sets.
+    pub cache_sets: usize,
+    /// Cache-bank associativity.
+    pub cache_ways: usize,
+    /// Cache line size in bytes.
+    pub line_bytes: u32,
+    /// MSHRs per cache bank (outstanding primary misses).
+    pub cache_mshrs: usize,
+    /// DRAM window per Cell in bytes (EVA offset field is 24 bits).
+    pub dram_bytes_per_cell: u32,
+
+    // ---- Timing ----
+    /// Fused multiply-add latency (cycles until a dependent may issue).
+    pub fma_latency: u64,
+    /// Integer multiply latency.
+    pub mul_latency: u64,
+    /// Iterative integer divide latency.
+    pub div_latency: u64,
+    /// FP divide latency (iterative unit, blocking).
+    pub fdiv_latency: u64,
+    /// FP square-root latency (iterative unit, blocking).
+    pub fsqrt_latency: u64,
+    /// Short FP op latency (add/sub/compare/convert).
+    pub fp_latency: u64,
+    /// Local scratchpad load-use latency.
+    pub spm_load_latency: u64,
+    /// Branch misprediction penalty.
+    pub branch_miss_penalty: u64,
+    /// Instruction-cache miss penalty.
+    pub icache_miss_latency: u64,
+    /// Maximum outstanding remote operations per tile (scoreboard size).
+    pub max_outstanding: usize,
+    /// Router input FIFO depth.
+    pub net_fifo_depth: usize,
+    /// Cycles one packet occupies a link (>1 models narrower channels).
+    pub link_occupancy: u8,
+    /// Core clock in MHz (1350 on silicon).
+    pub core_freq_mhz: u32,
+    /// Memory clock in MHz (1000 for HBM2).
+    pub mem_freq_mhz: u32,
+    /// HBM2 pseudo-channel parameters (one channel per Cell).
+    pub hbm: Hbm2Config,
+    /// Cache-strip refill channel parameters.
+    pub strip: StripConfig,
+}
+
+impl MachineConfig {
+    /// The paper's baseline HB machine: a 16x8-tile Cell with 32 cache
+    /// banks, all architectural features on (Table II column 1).
+    pub fn baseline_16x8() -> MachineConfig {
+        MachineConfig {
+            cell_dim: CellDim { x: 16, y: 8 },
+            num_cells: 1,
+            ruche_factor: 3,
+            non_blocking_loads: true,
+            write_validate: true,
+            load_packet_compression: true,
+            ipoly_hashing: true,
+            non_blocking_cache: true,
+            spm_bytes: 4096,
+            icache_bytes: 4096,
+            cache_sets: 64,
+            cache_ways: 8,
+            line_bytes: 64,
+            cache_mshrs: 8,
+            dram_bytes_per_cell: 16 << 20,
+            fma_latency: 3,
+            mul_latency: 2,
+            div_latency: 16,
+            fdiv_latency: 12,
+            fsqrt_latency: 12,
+            fp_latency: 2,
+            spm_load_latency: 2,
+            branch_miss_penalty: 2,
+            icache_miss_latency: 40,
+            max_outstanding: 63,
+            net_fifo_depth: 4,
+            link_occupancy: 1,
+            core_freq_mhz: 1350,
+            mem_freq_mhz: 1000,
+            hbm: Hbm2Config::default(),
+            strip: StripConfig::default(),
+        }
+    }
+
+    /// Table II column 2: Cell doubled vertically (16x16). Twice the tiles,
+    /// same cache banks (half the cache capacity per tile).
+    pub fn cell_16x16() -> MachineConfig {
+        MachineConfig { cell_dim: CellDim { x: 16, y: 16 }, ..MachineConfig::baseline_16x8() }
+    }
+
+    /// Table II column 3: Cell doubled horizontally (32x8). Twice the tiles
+    /// *and* twice the cache banks/bandwidth, at the cost of bisection
+    /// pressure.
+    pub fn cell_32x8() -> MachineConfig {
+        MachineConfig { cell_dim: CellDim { x: 32, y: 8 }, ..MachineConfig::baseline_16x8() }
+    }
+
+    /// Table II column 4: two 16x8 Cells (2x16x8), each with its own
+    /// Local-DRAM address space.
+    pub fn two_cells_16x8() -> MachineConfig {
+        MachineConfig { num_cells: 2, ..MachineConfig::baseline_16x8() }
+    }
+
+    /// The Figure 10 starting point: a "Baseline Manycore" normalized to a
+    /// TILE64-class design — quarter core density (an 8x4 array in the same
+    /// area), half-width router channels, half the cache, and none of HB's
+    /// architectural features.
+    pub fn baseline_manycore() -> MachineConfig {
+        MachineConfig {
+            cell_dim: CellDim { x: 8, y: 4 },
+            ruche_factor: 0,
+            non_blocking_loads: false,
+            write_validate: false,
+            load_packet_compression: false,
+            ipoly_hashing: false,
+            non_blocking_cache: false,
+            cache_sets: 32,
+            link_occupancy: 2,
+            net_fifo_depth: 2,
+            ..MachineConfig::baseline_16x8()
+        }
+    }
+
+    /// The "Cellular Baseline" of Figure 10: HB's physical normalization
+    /// (full router bandwidth, full cache, full core density) with all
+    /// architectural features still off.
+    pub fn cellular_baseline() -> MachineConfig {
+        MachineConfig {
+            ruche_factor: 0,
+            non_blocking_loads: false,
+            write_validate: false,
+            load_packet_compression: false,
+            ipoly_hashing: false,
+            non_blocking_cache: false,
+            ..MachineConfig::baseline_16x8()
+        }
+    }
+
+    /// Cache banks per Cell (two strips of `cell_dim.x`).
+    pub fn banks_per_cell(&self) -> usize {
+        2 * self.cell_dim.x as usize
+    }
+
+    /// Cache capacity per Cell in bytes.
+    pub fn cell_cache_bytes(&self) -> usize {
+        self.banks_per_cell() * self.cache_sets * self.cache_ways * self.line_bytes as usize
+    }
+
+    /// Network grid width (tile columns).
+    pub fn net_width(&self) -> u8 {
+        self.cell_dim.x
+    }
+
+    /// Network grid height (tile rows plus the two cache-bank strips).
+    pub fn net_height(&self) -> u8 {
+        self.cell_dim.y + 2
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an impossible configuration (zero tiles, non-power-of-two
+    /// bank count, SPM too small, ...).
+    pub fn validate(&self) {
+        assert!(self.cell_dim.x > 0 && self.cell_dim.y > 0, "empty cell");
+        assert!(self.banks_per_cell().is_power_of_two(), "bank count must be a power of two");
+        assert!(self.spm_bytes >= 256, "SPM too small");
+        assert!(self.max_outstanding >= 1);
+        assert!(self.num_cells >= 1);
+        assert!(self.dram_bytes_per_cell <= (16 << 20), "EVA offset field is 24 bits");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_geometry() {
+        // Baseline: 32 banks, 1 MB of cache per Cell.
+        let c = MachineConfig::baseline_16x8();
+        c.validate();
+        assert_eq!(c.banks_per_cell(), 32);
+        assert_eq!(c.cell_cache_bytes(), 1 << 20);
+        assert_eq!(c.cell_dim.tiles(), 128);
+
+        // 32x8: 64 banks, 2 MB.
+        let c = MachineConfig::cell_32x8();
+        c.validate();
+        assert_eq!(c.banks_per_cell(), 64);
+        assert_eq!(c.cell_cache_bytes(), 2 << 20);
+
+        // 16x16: same banks as baseline, twice the tiles.
+        let c = MachineConfig::cell_16x16();
+        c.validate();
+        assert_eq!(c.banks_per_cell(), 32);
+        assert_eq!(c.cell_dim.tiles(), 256);
+    }
+
+    #[test]
+    fn presets_differ_only_in_documented_knobs() {
+        let base = MachineConfig::baseline_16x8();
+        let cellular = MachineConfig::cellular_baseline();
+        assert_eq!(base.cell_dim, cellular.cell_dim);
+        assert!(!cellular.non_blocking_loads);
+        assert!(base.non_blocking_loads);
+    }
+
+}

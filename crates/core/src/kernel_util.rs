@@ -1,0 +1,78 @@
+//! Kernel-authoring conveniences: CSR access and barrier idioms layered on
+//! the [`hb_asm::Assembler`].
+
+use crate::pgas::{self, csr};
+use hb_asm::Assembler;
+use hb_isa::Gpr;
+
+/// HammerBlade-specific assembler extensions (CSR reads, barrier join,
+/// PGAS pointer construction).
+pub trait HbOps {
+    /// Loads CSR `offset` (see [`csr`]) into `rd`, clobbering `scratch`.
+    fn csr_load(&mut self, rd: Gpr, offset: u32, scratch: Gpr) -> &mut Self;
+
+    /// Joins the tile-group hardware barrier and stalls until released.
+    /// Clobbers `scratch`.
+    fn barrier(&mut self, scratch: Gpr) -> &mut Self;
+
+    /// Loads `rd` with the tile's rank within its tile group. Clobbers
+    /// `scratch`.
+    fn tg_rank(&mut self, rd: Gpr, scratch: Gpr) -> &mut Self;
+
+    /// Loads `rd` with the tile group size. Clobbers `scratch`.
+    fn tg_size(&mut self, rd: Gpr, scratch: Gpr) -> &mut Self;
+
+    /// Loads kernel argument `n` (0..8) into `rd`. Clobbers `scratch`.
+    fn arg(&mut self, rd: Gpr, n: u32, scratch: Gpr) -> &mut Self;
+
+    /// Converts a Cell-DRAM offset already in `rd` into a Local-DRAM EVA
+    /// (sets the DRAM space bits). Clobbers `scratch`.
+    fn to_local_dram(&mut self, rd: Gpr, scratch: Gpr) -> &mut Self;
+}
+
+impl HbOps for Assembler {
+    fn csr_load(&mut self, rd: Gpr, offset: u32, scratch: Gpr) -> &mut Self {
+        self.li_u(scratch, offset & !0x7ff);
+        self.lw(rd, scratch, (offset & 0x7ff) as i32)
+    }
+
+    fn barrier(&mut self, scratch: Gpr) -> &mut Self {
+        self.li_u(scratch, csr::BARRIER);
+        self.sw(Gpr::Zero, scratch, 0)
+    }
+
+    fn tg_rank(&mut self, rd: Gpr, scratch: Gpr) -> &mut Self {
+        self.csr_load(rd, csr::TG_RANK, scratch)
+    }
+
+    fn tg_size(&mut self, rd: Gpr, scratch: Gpr) -> &mut Self {
+        self.csr_load(rd, csr::TG_SIZE, scratch)
+    }
+
+    fn arg(&mut self, rd: Gpr, n: u32, scratch: Gpr) -> &mut Self {
+        assert!(n < 8, "arguments are a0..a7");
+        self.csr_load(rd, csr::ARG0 + 4 * n, scratch)
+    }
+
+    fn to_local_dram(&mut self, rd: Gpr, scratch: Gpr) -> &mut Self {
+        self.li_u(scratch, pgas::local_dram(0));
+        self.or(rd, rd, scratch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_isa::Gpr::*;
+
+    #[test]
+    fn csr_load_emits_li_lw() {
+        let mut a = Assembler::new();
+        a.csr_load(T0, csr::TG_RANK, T6);
+        a.ecall();
+        let p = a.assemble(0).unwrap();
+        // li fits in one addi (0x1000 needs lui) — expect lui/addi? + lw.
+        assert!(p.len() >= 2);
+        assert!(p.disassemble().contains("lw t0"));
+    }
+}

@@ -1,0 +1,257 @@
+//! The host-visible machine: one or more Cells plus the inter-Cell fabric
+//! and the run loop.
+
+use crate::cell::{Cell, GroupSpec};
+use crate::config::MachineConfig;
+use crate::payload::{Request, Response};
+use crate::stats::CoreStats;
+use hb_asm::Program;
+use hb_noc::Packet;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+/// Simulation-terminating errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A tile trapped.
+    Fault(String),
+    /// The run exceeded its cycle budget.
+    Timeout {
+        /// Cycles executed before giving up.
+        cycles: u64,
+        /// Tiles still running, for diagnosis.
+        running_tiles: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Fault(msg) => write!(f, "tile fault: {msg}"),
+            SimError::Timeout { cycles, running_tiles } => {
+                write!(f, "simulation did not finish in {cycles} cycles ({running_tiles} tiles still running)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Result of a completed kernel run.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Core-clock cycles from launch to the last tile's `ecall`.
+    pub cycles: u64,
+    /// Aggregated core statistics over all Cells.
+    pub core: CoreStats,
+}
+
+/// Inter-Cell traffic item.
+#[derive(Debug)]
+enum XItem {
+    Req(Packet<Request>),
+    Resp(Packet<Response>),
+}
+
+/// A bandwidth/latency model of the uniform network between Cells.
+///
+/// In silicon the Ruche network extends seamlessly across Cell boundaries;
+/// in this simulator each Cell's network is modelled standalone (following
+/// the paper's own multi-Cell methodology), and cross-Cell packets ride
+/// this fabric: fixed per-hop latency plus a per-Cell per-cycle word budget
+/// equal to the Cell-boundary link count.
+#[derive(Debug)]
+struct Fabric {
+    latency: u64,
+    words_per_cycle: usize,
+    in_flight: VecDeque<(u64, u8, XItem)>,
+}
+
+impl Fabric {
+    fn new(cfg: &MachineConfig) -> Fabric {
+        // Eastward + westward crossings per boundary row, mesh + Ruche.
+        let per_row = if cfg.ruche_factor > 0 { 1 + cfg.ruche_factor as usize } else { 1 };
+        Fabric {
+            latency: u64::from(cfg.cell_dim.x),
+            words_per_cycle: 2 * per_row * cfg.cell_dim.y as usize,
+            in_flight: VecDeque::new(),
+        }
+    }
+}
+
+/// The complete simulated machine. See the crate docs for a walkthrough.
+#[derive(Debug)]
+pub struct Machine {
+    cfg: Arc<MachineConfig>,
+    cells: Vec<Cell>,
+    fabric: Fabric,
+    cycle: u64,
+}
+
+impl Machine {
+    /// Builds a machine from a configuration.
+    pub fn new(cfg: MachineConfig) -> Machine {
+        cfg.validate();
+        let cfg = Arc::new(cfg);
+        let cells = (0..cfg.num_cells).map(|i| Cell::new(cfg.clone(), i)).collect();
+        let fabric = Fabric::new(&cfg);
+        Machine { cfg, cells, fabric, cycle: 0 }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Number of Cells.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Cell accessor.
+    pub fn cell(&self, id: u8) -> &Cell {
+        &self.cells[id as usize]
+    }
+
+    /// Mutable Cell accessor.
+    pub fn cell_mut(&mut self, id: u8) -> &mut Cell {
+        &mut self.cells[id as usize]
+    }
+
+    /// Current core cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Enables execution tracing: installs a shared ring buffer holding the
+    /// most recent `capacity` events across all tiles and returns the
+    /// handle for rendering (most useful after a fault).
+    pub fn enable_tracing(&mut self, capacity: usize) -> crate::trace::TraceHandle {
+        let handle = crate::trace::TraceBuffer::new(capacity);
+        for cell in &mut self.cells {
+            cell.set_trace(handle.clone());
+        }
+        handle
+    }
+
+    /// Resolves a Global-DRAM offset to its home `(cell, cell-local
+    /// address)` using the chip-wide hash — the host-side counterpart of a
+    /// tile's Global-DRAM access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` exceeds the 30-bit Global-DRAM window.
+    pub fn global_location(&self, offset: u32) -> (u8, u32) {
+        assert!(offset < (1 << 30), "global offset exceeds the EVA window");
+        match self.cells[0].pgas().translate(crate::pgas::global_dram(offset)) {
+            Ok(crate::pgas::Target::Bank { cell, addr, .. }) => (cell, addr),
+            other => unreachable!("global EVA translated to {other:?}"),
+        }
+    }
+
+    /// Host write of a word into Global-DRAM space.
+    pub fn global_write_u32(&mut self, offset: u32, value: u32) {
+        let (cell, addr) = self.global_location(offset);
+        self.cells[cell as usize].dram_mut().write_u32(addr, value);
+    }
+
+    /// Host read of a word from Global-DRAM space (flush caches first if a
+    /// kernel wrote it).
+    pub fn global_read_u32(&self, offset: u32) -> u32 {
+        let (cell, addr) = self.global_location(offset);
+        self.cells[cell as usize].dram().read_u32(addr)
+    }
+
+    /// Flushes every Cell's caches (host-side result readback).
+    pub fn flush_all_caches(&mut self) {
+        for cell in &mut self.cells {
+            cell.flush_caches();
+        }
+    }
+
+    /// Convenience: launch on every tile of Cell `cell`.
+    pub fn launch(&mut self, cell: u8, program: &Arc<Program>, args: &[u32]) {
+        self.cells[cell as usize].launch(program, args);
+    }
+
+    /// Convenience: launch tile groups on Cell `cell`.
+    pub fn launch_groups(&mut self, cell: u8, program: &Arc<Program>, groups: &[(GroupSpec, Vec<u32>)]) {
+        self.cells[cell as usize].launch_groups(program, groups);
+    }
+
+    /// Advances the machine one core cycle.
+    pub fn tick(&mut self) {
+        self.cycle += 1;
+        for cell in &mut self.cells {
+            cell.tick();
+        }
+        // Fabric: collect outbound traffic (budgeted) and deliver due items.
+        for ci in 0..self.cells.len() {
+            let mut budget = self.fabric.words_per_cycle;
+            while budget > 0 {
+                if let Some((dst, pkt)) = self.cells[ci].xreq_out.pop_front() {
+                    self.fabric.in_flight.push_back((
+                        self.cycle + self.fabric.latency,
+                        dst,
+                        XItem::Req(pkt),
+                    ));
+                    budget -= 1;
+                    continue;
+                }
+                if let Some((dst, pkt)) = self.cells[ci].xresp_out.pop_front() {
+                    self.fabric.in_flight.push_back((
+                        self.cycle + self.fabric.latency,
+                        dst,
+                        XItem::Resp(pkt),
+                    ));
+                    budget -= 1;
+                    continue;
+                }
+                break;
+            }
+        }
+        while let Some(&(due, dst, _)) = self.fabric.in_flight.front() {
+            if due > self.cycle {
+                break;
+            }
+            let (_, _, item) = self.fabric.in_flight.pop_front().unwrap();
+            match item {
+                XItem::Req(pkt) => self.cells[dst as usize].deliver_remote_request(pkt),
+                XItem::Resp(pkt) => self.cells[dst as usize].deliver_remote_response(pkt),
+            }
+        }
+    }
+
+    /// Whether every Cell's active tiles have finished.
+    pub fn all_done(&self) -> bool {
+        self.cells.iter().all(Cell::all_done)
+    }
+
+    /// Runs until every active tile finishes.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Fault`] if any tile traps; [`SimError::Timeout`] if the
+    /// kernel does not finish within `max_cycles`.
+    pub fn run(&mut self, max_cycles: u64) -> Result<RunSummary, SimError> {
+        let start = self.cycle;
+        loop {
+            if self.all_done() {
+                let mut core = CoreStats::default();
+                for cell in &self.cells {
+                    core += cell.core_stats();
+                }
+                return Ok(RunSummary { cycles: self.cycle - start, core });
+            }
+            if let Some(msg) = self.cells.iter().find_map(Cell::fault) {
+                return Err(SimError::Fault(msg));
+            }
+            if self.cycle - start >= max_cycles {
+                let running_tiles = self.cells.iter().map(Cell::running_tiles).sum();
+                return Err(SimError::Timeout { cycles: self.cycle - start, running_tiles });
+            }
+            self.tick();
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Packet payloads carried on the request and response networks.
+//!
+//! Every RISC-V remote memory operation becomes one single-flit request
+//! packet; Load Packet Compression lets one packet carry up to four
+//! consecutive word loads (one base address plus destination-register
+//! bookkeeping kept at the issuing tile).
+
+use hb_isa::AmoOp;
+use hb_noc::Coord;
+
+/// Identifies a network endpoint across the whole machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId {
+    /// Cell index.
+    pub cell: u8,
+    /// Node coordinate within that Cell's network grid.
+    pub coord: Coord,
+}
+
+/// A remote memory operation (request-network payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Issuing endpoint (where the response must return).
+    pub from: NodeId,
+    /// Tile-local operation tag; echoed in the response.
+    pub op_id: u32,
+    /// The operation.
+    pub kind: ReqKind,
+}
+
+/// Kinds of [`Request`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReqKind {
+    /// Load `count` consecutive naturally-aligned values of `width` bytes
+    /// starting at `addr` (count > 1 only with Load Packet Compression,
+    /// width 4).
+    Load {
+        /// Target-local byte address (SPM offset or Cell-DRAM address).
+        addr: u32,
+        /// Access width: 1, 2 or 4.
+        width: u8,
+        /// Number of consecutive words (1..=4).
+        count: u8,
+    },
+    /// Store `width` bytes of `data` at `addr`.
+    Store {
+        /// Target-local byte address.
+        addr: u32,
+        /// Access width: 1, 2 or 4.
+        width: u8,
+        /// Data (low `width` bytes significant).
+        data: u32,
+    },
+    /// Atomic read-modify-write of the word at `addr`; returns the old
+    /// value.
+    Amo {
+        /// Target-local byte address (word aligned).
+        addr: u32,
+        /// The atomic operation.
+        op: AmoOp,
+        /// Operand.
+        data: u32,
+    },
+}
+
+impl ReqKind {
+    /// Bytes of payload data this request reads or writes at the target.
+    pub fn bytes(&self) -> u32 {
+        match *self {
+            ReqKind::Load { width, count, .. } => u32::from(width) * u32::from(count),
+            ReqKind::Store { width, .. } => u32::from(width),
+            ReqKind::Amo { .. } => 4,
+        }
+    }
+}
+
+/// A completion (response-network payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Response {
+    /// Tag from the originating request.
+    pub op_id: u32,
+    /// The completion data.
+    pub kind: RespKind,
+}
+
+/// Kinds of [`Response`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RespKind {
+    /// Loaded values (`count` of them, zero-extended words).
+    Load {
+        /// One word per compressed load.
+        data: [u32; 4],
+        /// Valid entries in `data`.
+        count: u8,
+    },
+    /// A store was performed (scoreboard credit).
+    StoreAck,
+    /// Old value from an atomic operation.
+    AmoOld {
+        /// The value before the AMO applied.
+        data: u32,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_sizes() {
+        let load4 = ReqKind::Load { addr: 0, width: 4, count: 4 };
+        assert_eq!(load4.bytes(), 16);
+        let store = ReqKind::Store { addr: 0, width: 2, data: 7 };
+        assert_eq!(store.bytes(), 2);
+        let amo = ReqKind::Amo { addr: 0, op: AmoOp::Add, data: 1 };
+        assert_eq!(amo.bytes(), 4);
+    }
+}

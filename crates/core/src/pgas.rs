@@ -1,0 +1,447 @@
+//! PGAS address translation (paper Figure 5).
+//!
+//! Kernels execute in a Partitioned Global Address Space with five major
+//! spaces, selected by the upper bits of a 32-bit EVA (endpoint virtual
+//! address). Translation to a network destination is pure combinational
+//! logic — no TLB:
+//!
+//! | bits 31:30 | space |
+//! |---|---|
+//! | `0b00` | **Local SPM / CSRs** — private to the issuing tile |
+//! | `0b01` | **Group SPM** — `[29:24]` = tile Y, `[23:18]` = tile X, `[17:0]` offset |
+//! | `0b10` | **Local / Group DRAM** — `[29:24]` = Cell id (63 ⇒ own Cell), `[23:0]` offset |
+//! | `0b11` | **Global DRAM** — `[29:0]` offset hashed across every bank on the chip |
+//!
+//! Within a Cell's DRAM space, *Regional IPOLY hashing* pseudo-randomly
+//! spreads cache lines over the Cell's banks, eliminating the partition
+//! camping problem of 2^n-stride accesses. The ablation alternative is
+//! plain modulo striping.
+
+use hb_noc::Coord;
+
+/// Cell id value meaning "the issuing tile's own Cell" (Local DRAM).
+pub const OWN_CELL: u8 = 63;
+
+/// Byte offset of the first CSR in the local space (SPM occupies
+/// `0..spm_bytes`).
+pub const CSR_BASE: u32 = 0x1000;
+
+/// Tile CSR offsets (relative to address 0 of the local space).
+pub mod csr {
+    /// X coordinate of this tile within its Cell (read-only).
+    pub const TILE_X: u32 = 0x1000;
+    /// Y coordinate of this tile within its Cell (read-only).
+    pub const TILE_Y: u32 = 0x1004;
+    /// Tile-group origin X.
+    pub const TG_X: u32 = 0x1008;
+    /// Tile-group origin Y.
+    pub const TG_Y: u32 = 0x100c;
+    /// Tile-group width in tiles.
+    pub const TG_W: u32 = 0x1010;
+    /// Tile-group height in tiles.
+    pub const TG_H: u32 = 0x1014;
+    /// Rank of this tile within its group (row-major).
+    pub const TG_RANK: u32 = 0x1018;
+    /// Number of tiles in this tile's group.
+    pub const TG_SIZE: u32 = 0x101c;
+    /// Cell shape: tiles per row.
+    pub const CELL_W: u32 = 0x1020;
+    /// Cell shape: tile rows.
+    pub const CELL_H: u32 = 0x1024;
+    /// This Cell's id.
+    pub const CELL_ID: u32 = 0x1028;
+    /// Total Cells in the machine.
+    pub const NUM_CELLS: u32 = 0x102c;
+    /// Store: join the group barrier and stall until released.
+    pub const BARRIER: u32 = 0x1030;
+    /// Load: current core cycle (low 32 bits).
+    pub const CYCLE: u32 = 0x1034;
+    /// Kernel arguments 0-7 (each 4 bytes).
+    pub const ARG0: u32 = 0x1040;
+}
+
+/// Builds a Local-SPM EVA (offset within the issuing tile's scratchpad).
+pub const fn local_spm(offset: u32) -> u32 {
+    offset
+}
+
+/// Builds a Group-SPM EVA addressing `offset` within tile (`x`, `y`) of the
+/// issuing tile's Cell.
+pub const fn group_spm(x: u8, y: u8, offset: u32) -> u32 {
+    (1 << 30) | ((y as u32) << 24) | ((x as u32) << 18) | (offset & 0x3ffff)
+}
+
+/// Builds a Local-DRAM EVA (the issuing tile's own Cell).
+pub const fn local_dram(offset: u32) -> u32 {
+    (1 << 31) | ((OWN_CELL as u32) << 24) | (offset & 0xff_ffff)
+}
+
+/// Builds a Group-DRAM EVA addressing Cell `cell`'s Local DRAM.
+pub const fn group_dram(cell: u8, offset: u32) -> u32 {
+    (1 << 31) | ((cell as u32) << 24) | (offset & 0xff_ffff)
+}
+
+/// Builds a Global-DRAM EVA (hashed across all banks of all Cells).
+pub const fn global_dram(offset: u32) -> u32 {
+    (0b11 << 30) | (offset & 0x3fff_ffff)
+}
+
+/// Where a translated EVA lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// The issuing tile's own scratchpad.
+    LocalSpm {
+        /// Byte offset within the SPM.
+        offset: u32,
+    },
+    /// A tile CSR (local space above the SPM).
+    Csr {
+        /// CSR address (see [`csr`]).
+        offset: u32,
+    },
+    /// Another tile's scratchpad in the same Cell.
+    RemoteSpm {
+        /// Target tile, in tile coordinates within the Cell.
+        tile: Coord,
+        /// Byte offset within that SPM.
+        offset: u32,
+    },
+    /// A cache bank backed by some Cell's DRAM.
+    Bank {
+        /// Target Cell id.
+        cell: u8,
+        /// Bank index within that Cell (0..2*cell_width).
+        bank: usize,
+        /// Cell-local DRAM byte address.
+        addr: u32,
+    },
+}
+
+/// Error for EVAs that name nonexistent resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BadEva {
+    /// The offending address.
+    pub eva: u32,
+}
+
+impl std::fmt::Display for BadEva {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "EVA {:#010x} does not map to any resource", self.eva)
+    }
+}
+
+impl std::error::Error for BadEva {}
+
+/// The per-tile combinational translation unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PgasMap {
+    /// Issuing tile's Cell id.
+    pub cell_id: u8,
+    /// Total Cells.
+    pub num_cells: u8,
+    /// Cell tile-array width.
+    pub cell_w: u8,
+    /// Cell tile-array height.
+    pub cell_h: u8,
+    /// SPM size in bytes.
+    pub spm_bytes: u32,
+    /// Cache line size.
+    pub line_bytes: u32,
+    /// DRAM window per Cell.
+    pub dram_bytes: u32,
+    /// Regional IPOLY hashing (vs modulo striping).
+    pub ipoly: bool,
+}
+
+impl PgasMap {
+    /// Banks per Cell (two strips).
+    pub fn banks(&self) -> usize {
+        2 * self.cell_w as usize
+    }
+
+    /// Translates `eva` from the perspective of the owning tile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BadEva`] for addresses outside every space (SPM overrun,
+    /// nonexistent tile/Cell, DRAM window overrun).
+    pub fn translate(&self, eva: u32) -> Result<Target, BadEva> {
+        let bad = Err(BadEva { eva });
+        match eva >> 30 {
+            0b00 => {
+                if eva < self.spm_bytes {
+                    Ok(Target::LocalSpm { offset: eva })
+                } else if (CSR_BASE..CSR_BASE + 0x100).contains(&eva) {
+                    Ok(Target::Csr { offset: eva })
+                } else {
+                    bad
+                }
+            }
+            0b01 => {
+                let y = ((eva >> 24) & 0x3f) as u8;
+                let x = ((eva >> 18) & 0x3f) as u8;
+                let offset = eva & 0x3ffff;
+                if x >= self.cell_w || y >= self.cell_h || offset >= self.spm_bytes {
+                    return bad;
+                }
+                Ok(Target::RemoteSpm { tile: Coord::new(x, y), offset })
+            }
+            0b10 => {
+                let cell_field = ((eva >> 24) & 0x3f) as u8;
+                let cell = if cell_field == OWN_CELL { self.cell_id } else { cell_field };
+                let addr = eva & 0xff_ffff;
+                if cell >= self.num_cells && cell_field != OWN_CELL {
+                    return bad;
+                }
+                if addr >= self.dram_bytes {
+                    return bad;
+                }
+                Ok(Target::Bank { cell, bank: self.bank_for(addr), addr })
+            }
+            _ => {
+                // Global DRAM: hash the line over (cell, bank) across the
+                // whole machine.
+                let offset = eva & 0x3fff_ffff;
+                let line = offset / self.line_bytes;
+                let total_banks = self.banks() as u32 * u32::from(self.num_cells);
+                let slot = if self.ipoly {
+                    ipoly_hash(line, total_banks)
+                } else {
+                    line % total_banks
+                };
+                let cell = (slot / self.banks() as u32) as u8;
+                let bank = (slot % self.banks() as u32) as usize;
+                // Each Cell stores global lines in the top of its window.
+                let addr = offset % self.dram_bytes;
+                Ok(Target::Bank { cell, bank, addr })
+            }
+        }
+    }
+
+    /// Bank selection for a Cell-local DRAM address.
+    pub fn bank_for(&self, addr: u32) -> usize {
+        let line = addr / self.line_bytes;
+        let banks = self.banks() as u32;
+        let b = if self.ipoly { ipoly_hash(line, banks) } else { line % banks };
+        b as usize
+    }
+
+    /// Network coordinate of bank `bank` inside a Cell whose network grid is
+    /// `cell_w x (cell_h + 2)` (strip rows at y = 0 and y = cell_h + 1).
+    pub fn bank_coord(&self, bank: usize) -> Coord {
+        let w = self.cell_w as usize;
+        if bank < w {
+            Coord::new(bank as u8, 0)
+        } else {
+            Coord::new((bank - w) as u8, self.cell_h + 1)
+        }
+    }
+
+    /// Network coordinate of tile (`x`, `y`) (tiles occupy rows
+    /// `1..=cell_h`).
+    pub fn tile_coord(&self, x: u8, y: u8) -> Coord {
+        Coord::new(x, y + 1)
+    }
+
+    /// Inverse of [`bank_coord`](Self::bank_coord): which bank sits at a
+    /// strip-row network coordinate.
+    pub fn coord_to_bank(&self, c: Coord) -> Option<usize> {
+        if c.y == 0 {
+            Some(c.x as usize)
+        } else if c.y == self.cell_h + 1 {
+            Some(c.x as usize + self.cell_w as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Inverse of [`tile_coord`](Self::tile_coord).
+    pub fn coord_to_tile(&self, c: Coord) -> Option<(u8, u8)> {
+        if c.y >= 1 && c.y <= self.cell_h {
+            Some((c.x, c.y - 1))
+        } else {
+            None
+        }
+    }
+}
+
+/// Irreducible polynomials over GF(2) by degree, for IPOLY hashing
+/// (Rau, "Pseudo-randomly interleaved memory", ISCA 1991).
+const IPOLY: [u32; 9] = [
+    0b1,          // degree 0 (unused)
+    0b11,         // x + 1
+    0b111,        // x^2 + x + 1
+    0b1011,       // x^3 + x + 1
+    0b10011,      // x^4 + x + 1
+    0b100101,     // x^5 + x^2 + 1
+    0b1000011,    // x^6 + x + 1
+    0b10001001,   // x^7 + x^3 + 1
+    0b100011011,  // x^8 + x^4 + x^3 + x + 1
+];
+
+/// Hashes a line index into `banks` slots (power of two) using polynomial
+/// residue over GF(2). Unlike modulo striping, stride-2^n access patterns
+/// spread evenly over all banks.
+pub fn ipoly_hash(line: u32, banks: u32) -> u32 {
+    debug_assert!(banks.is_power_of_two() && banks > 0);
+    let deg = banks.trailing_zeros();
+    if deg == 0 {
+        return 0;
+    }
+    let p = IPOLY[deg as usize];
+    let mut v = line;
+    let mut bit = 31u32;
+    while bit >= deg {
+        if v & (1 << bit) != 0 {
+            v ^= p << (bit - deg);
+        }
+        if bit == 0 {
+            break;
+        }
+        bit -= 1;
+    }
+    v & (banks - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> PgasMap {
+        PgasMap {
+            cell_id: 2,
+            num_cells: 4,
+            cell_w: 16,
+            cell_h: 8,
+            spm_bytes: 4096,
+            line_bytes: 64,
+            dram_bytes: 16 << 20,
+            ipoly: true,
+        }
+    }
+
+    #[test]
+    fn local_spm_translation() {
+        let m = map();
+        assert_eq!(m.translate(0x0), Ok(Target::LocalSpm { offset: 0 }));
+        assert_eq!(m.translate(0xfff), Ok(Target::LocalSpm { offset: 0xfff }));
+        assert_eq!(m.translate(csr::TILE_X), Ok(Target::Csr { offset: csr::TILE_X }));
+        assert!(m.translate(0x2000).is_err());
+    }
+
+    #[test]
+    fn group_spm_translation() {
+        let m = map();
+        let eva = group_spm(5, 3, 0x40);
+        assert_eq!(
+            m.translate(eva),
+            Ok(Target::RemoteSpm { tile: Coord::new(5, 3), offset: 0x40 })
+        );
+        // Nonexistent tile.
+        assert!(m.translate(group_spm(20, 3, 0)).is_err());
+        assert!(m.translate(group_spm(5, 9, 0)).is_err());
+        // SPM overrun.
+        assert!(m.translate(group_spm(5, 3, 4096)).is_err());
+    }
+
+    #[test]
+    fn local_dram_resolves_own_cell() {
+        let m = map();
+        match m.translate(local_dram(0x1234C0)).unwrap() {
+            Target::Bank { cell, addr, .. } => {
+                assert_eq!(cell, 2);
+                assert_eq!(addr, 0x1234C0);
+            }
+            other => panic!("wrong target {other:?}"),
+        }
+    }
+
+    #[test]
+    fn group_dram_names_other_cells() {
+        let m = map();
+        match m.translate(group_dram(1, 0x40)).unwrap() {
+            Target::Bank { cell, .. } => assert_eq!(cell, 1),
+            other => panic!("wrong target {other:?}"),
+        }
+        assert!(m.translate(group_dram(7, 0)).is_err(), "cell 7 does not exist");
+    }
+
+    #[test]
+    fn global_dram_spreads_over_cells() {
+        let m = map();
+        let mut cells_seen = std::collections::HashSet::new();
+        for i in 0..256u32 {
+            match m.translate(global_dram(i * 64)).unwrap() {
+                Target::Bank { cell, .. } => {
+                    assert!(cell < 4);
+                    cells_seen.insert(cell);
+                }
+                other => panic!("wrong target {other:?}"),
+            }
+        }
+        assert_eq!(cells_seen.len(), 4, "global space must touch every cell");
+    }
+
+    #[test]
+    fn ipoly_defeats_power_of_two_strides() {
+        // The partition-camping scenario: stride of exactly `banks` lines.
+        // Modulo striping pins every access to one bank; IPOLY spreads them.
+        let banks = 32u32;
+        let mut modulo_banks = std::collections::HashSet::new();
+        let mut ipoly_banks = std::collections::HashSet::new();
+        for i in 0..64 {
+            let line = i * banks; // stride = banks
+            modulo_banks.insert(line % banks);
+            ipoly_banks.insert(ipoly_hash(line, banks));
+        }
+        assert_eq!(modulo_banks.len(), 1, "modulo striping camps on one bank");
+        assert!(
+            ipoly_banks.len() >= banks as usize / 2,
+            "ipoly spread only {} banks",
+            ipoly_banks.len()
+        );
+    }
+
+    #[test]
+    fn ipoly_is_uniform_for_sequential_lines() {
+        let banks = 32u32;
+        let mut counts = vec![0u32; banks as usize];
+        for line in 0..(banks * 64) {
+            counts[ipoly_hash(line, banks) as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 64), "sequential lines must balance: {counts:?}");
+    }
+
+    #[test]
+    fn bank_coords_cover_both_strips() {
+        let m = map();
+        assert_eq!(m.bank_coord(0), Coord::new(0, 0));
+        assert_eq!(m.bank_coord(15), Coord::new(15, 0));
+        assert_eq!(m.bank_coord(16), Coord::new(0, 9));
+        assert_eq!(m.bank_coord(31), Coord::new(15, 9));
+        for b in 0..32 {
+            assert_eq!(m.coord_to_bank(m.bank_coord(b)), Some(b));
+        }
+    }
+
+    #[test]
+    fn tile_coords_round_trip() {
+        let m = map();
+        for y in 0..8 {
+            for x in 0..16 {
+                let c = m.tile_coord(x, y);
+                assert_eq!(m.coord_to_tile(c), Some((x, y)));
+                assert_eq!(m.coord_to_bank(c), None);
+            }
+        }
+    }
+
+    #[test]
+    fn eva_builders_set_space_bits() {
+        assert_eq!(local_spm(0x10) >> 30, 0b00);
+        assert_eq!(group_spm(0, 0, 0) >> 30, 0b01);
+        assert_eq!(local_dram(0) >> 30, 0b10);
+        assert_eq!(group_dram(3, 0) >> 30, 0b10);
+        assert_eq!(global_dram(0) >> 30, 0b11);
+    }
+}

@@ -1,0 +1,241 @@
+//! Execution statistics: the per-core cycle taxonomy of the paper's
+//! Figure 11 / Table III and aggregate Cell counters.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Why a core did not retire an instruction this cycle (Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum StallKind {
+    /// Instruction-cache miss refill.
+    IcacheMiss = 0,
+    /// Branch/jump misprediction penalty.
+    BranchMiss,
+    /// RAW dependency on an in-flight ALU/FPU result (bypass distance).
+    Bypass,
+    /// Load-use delay on a local scratchpad load.
+    LocalLoad,
+    /// Waiting for a remote load response (DRAM or remote SPM).
+    RemoteLoad,
+    /// Waiting for a remote atomic response.
+    AmoDep,
+    /// Could not inject a request: scoreboard full or network backpressure.
+    RemoteCredit,
+    /// `fence`: draining the remote-request scoreboard.
+    Fence,
+    /// Blocked in the hardware barrier.
+    Barrier,
+    /// Iterative FP divide/sqrt unit busy.
+    FpBusy,
+    /// Iterative integer divider busy.
+    IntBusy,
+    /// Tile finished (idle until the kernel ends elsewhere).
+    Done,
+}
+
+impl StallKind {
+    /// Number of stall categories.
+    pub const COUNT: usize = 12;
+
+    /// Every category, in display order.
+    pub const ALL: [StallKind; StallKind::COUNT] = [
+        StallKind::IcacheMiss,
+        StallKind::BranchMiss,
+        StallKind::Bypass,
+        StallKind::LocalLoad,
+        StallKind::RemoteLoad,
+        StallKind::AmoDep,
+        StallKind::RemoteCredit,
+        StallKind::Fence,
+        StallKind::Barrier,
+        StallKind::FpBusy,
+        StallKind::IntBusy,
+        StallKind::Done,
+    ];
+
+    /// Short label used in utilization reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            StallKind::IcacheMiss => "icache",
+            StallKind::BranchMiss => "branch_miss",
+            StallKind::Bypass => "bypass",
+            StallKind::LocalLoad => "local_ld",
+            StallKind::RemoteLoad => "remote_ld",
+            StallKind::AmoDep => "amo",
+            StallKind::RemoteCredit => "credit",
+            StallKind::Fence => "fence",
+            StallKind::Barrier => "barrier",
+            StallKind::FpBusy => "fdiv_fsqrt",
+            StallKind::IntBusy => "idiv",
+            StallKind::Done => "done",
+        }
+    }
+}
+
+impl fmt::Display for StallKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-core cycle and instruction counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Cycles retiring an integer instruction (incl. memory and control,
+    /// per the paper's taxonomy).
+    pub int_cycles: u64,
+    /// Cycles retiring a floating-point instruction.
+    pub fp_cycles: u64,
+    /// Stalled cycles by cause.
+    pub stalls: [u64; StallKind::COUNT],
+    /// Instructions retired.
+    pub instrs: u64,
+    /// Remote memory requests issued.
+    pub remote_requests: u64,
+    /// Remote load packets saved by Load Packet Compression.
+    pub lpc_merged: u64,
+    /// Branch mispredictions.
+    pub branch_misses: u64,
+    /// Conditional branches executed.
+    pub branches: u64,
+    /// Instruction-cache misses.
+    pub icache_misses: u64,
+}
+
+impl Default for CoreStats {
+    fn default() -> CoreStats {
+        CoreStats {
+            int_cycles: 0,
+            fp_cycles: 0,
+            stalls: [0; StallKind::COUNT],
+            instrs: 0,
+            remote_requests: 0,
+            lpc_merged: 0,
+            branch_misses: 0,
+            branches: 0,
+            icache_misses: 0,
+        }
+    }
+}
+
+impl CoreStats {
+    /// Total cycles accounted (execute + stall).
+    pub fn total_cycles(&self) -> u64 {
+        self.int_cycles + self.fp_cycles + self.stalls.iter().sum::<u64>()
+    }
+
+    /// Stalled cycles of one kind.
+    pub fn stall(&self, kind: StallKind) -> u64 {
+        self.stalls[kind as usize]
+    }
+
+    /// Records a stall cycle.
+    pub fn add_stall(&mut self, kind: StallKind) {
+        self.stalls[kind as usize] += 1;
+    }
+
+    /// Fraction of cycles doing useful work.
+    pub fn utilization(&self) -> f64 {
+        let total = self.total_cycles();
+        if total == 0 {
+            0.0
+        } else {
+            (self.int_cycles + self.fp_cycles) as f64 / total as f64
+        }
+    }
+}
+
+impl Add for CoreStats {
+    type Output = CoreStats;
+
+    fn add(mut self, rhs: CoreStats) -> CoreStats {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for CoreStats {
+    fn add_assign(&mut self, rhs: CoreStats) {
+        self.int_cycles += rhs.int_cycles;
+        self.fp_cycles += rhs.fp_cycles;
+        for i in 0..StallKind::COUNT {
+            self.stalls[i] += rhs.stalls[i];
+        }
+        self.instrs += rhs.instrs;
+        self.remote_requests += rhs.remote_requests;
+        self.lpc_merged += rhs.lpc_merged;
+        self.branch_misses += rhs.branch_misses;
+        self.branches += rhs.branches;
+        self.icache_misses += rhs.icache_misses;
+    }
+}
+
+/// Formats a core-utilization breakdown as percentage rows (the Figure 11
+/// report format).
+pub fn utilization_report(stats: &CoreStats) -> String {
+    use std::fmt::Write;
+    let total = stats.total_cycles().max(1) as f64;
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<14} {:>7.2}%", "int", stats.int_cycles as f64 / total * 100.0);
+    let _ = writeln!(out, "{:<14} {:>7.2}%", "fp", stats.fp_cycles as f64 / total * 100.0);
+    for kind in StallKind::ALL {
+        let v = stats.stall(kind) as f64 / total * 100.0;
+        if v > 0.005 {
+            let _ = writeln!(out, "{:<14} {:>7.2}%", kind.label(), v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let mut s = CoreStats::default();
+        s.int_cycles = 10;
+        s.fp_cycles = 5;
+        s.add_stall(StallKind::RemoteLoad);
+        s.add_stall(StallKind::RemoteLoad);
+        s.add_stall(StallKind::Barrier);
+        assert_eq!(s.total_cycles(), 18);
+        assert_eq!(s.stall(StallKind::RemoteLoad), 2);
+        assert!((s.utilization() - 15.0 / 18.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregation_sums_fields() {
+        let mut a = CoreStats::default();
+        a.int_cycles = 3;
+        a.add_stall(StallKind::Fence);
+        let mut b = CoreStats::default();
+        b.fp_cycles = 4;
+        b.add_stall(StallKind::Fence);
+        let c = a + b;
+        assert_eq!(c.int_cycles, 3);
+        assert_eq!(c.fp_cycles, 4);
+        assert_eq!(c.stall(StallKind::Fence), 2);
+    }
+
+    #[test]
+    fn report_mentions_active_categories() {
+        let mut s = CoreStats::default();
+        s.int_cycles = 50;
+        for _ in 0..50 {
+            s.add_stall(StallKind::Barrier);
+        }
+        let report = utilization_report(&s);
+        assert!(report.contains("barrier"));
+        assert!(!report.contains("fence"));
+    }
+
+    #[test]
+    fn all_kinds_have_unique_labels() {
+        let mut labels: Vec<_> = StallKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), StallKind::COUNT);
+    }
+}

@@ -1,0 +1,1129 @@
+//! The HammerBlade tile: an area-optimized, single-issue, in-order RV32IMAF
+//! core with a 4 KB scratchpad, 4 KB icache, static branch predictor,
+//! non-blocking remote memory operations through a 63-entry scoreboard, and
+//! Load Packet Compression — plus its network interface.
+//!
+//! The timing model is cycle-level: each [`Tile::step`] call advances one
+//! core cycle, either retiring one instruction or recording exactly one
+//! categorized stall cycle ([`StallKind`]). Result latencies are modelled
+//! with per-register ready times (bypass-visible latency), remote operations
+//! with pending bits cleared by response packets.
+
+use crate::config::MachineConfig;
+use crate::icache::ICache;
+use crate::payload::{NodeId, ReqKind, Request, RespKind, Response};
+use crate::pgas::{csr, PgasMap, Target};
+use crate::stats::{CoreStats, StallKind};
+use crate::trace::{TraceEvent, TraceHandle};
+use hb_asm::Program;
+use hb_isa::{Fpr, Gpr, Instr};
+use hb_noc::{Coord, Packet};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Destination of an in-flight remote load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dst {
+    /// Integer register (x0 = discard).
+    Int(Gpr),
+    /// FP register.
+    Fp(Fpr),
+}
+
+/// Book-keeping for one outstanding remote operation.
+#[derive(Debug, Clone)]
+enum PendingOp {
+    /// A (possibly compressed) load: one destination per word.
+    Load { dsts: Vec<Dst>, width: u8, signed: bool },
+    /// A posted store awaiting its scoreboard credit.
+    Store,
+    /// An atomic op returning the old value.
+    Amo { rd: Gpr },
+}
+
+/// Load-packet-compression combining latch.
+#[derive(Debug, Clone)]
+struct Combine {
+    dst_cell: u8,
+    dst_coord: Coord,
+    base_addr: u32,
+    dsts: Vec<Dst>,
+    op_id: u32,
+    /// Flush deadline (cycles the latch may hold the packet).
+    flush_at: u64,
+}
+
+/// Tile-group identity exposed through CSRs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupInfo {
+    /// Group origin within the Cell (tile coordinates).
+    pub origin: (u8, u8),
+    /// Group shape.
+    pub dim: (u8, u8),
+    /// Index of this group's barrier network in the Cell.
+    pub barrier_id: usize,
+}
+
+/// One HammerBlade tile (core + SPM + network interface).
+#[derive(Debug)]
+pub struct Tile {
+    cfg: Arc<MachineConfig>,
+    pgas: PgasMap,
+    /// Tile coordinates within the Cell.
+    pub xy: (u8, u8),
+    group: GroupInfo,
+
+    // Architectural state.
+    regs: [u32; 32],
+    fregs: [f32; 32],
+    pc: u32,
+    spm: Vec<u8>,
+    args: [u32; 8],
+
+    // Hazard tracking.
+    int_ready: [u64; 32],
+    fp_ready: [u64; 32],
+    int_ready_kind: [StallKind; 32],
+    fp_ready_kind: [StallKind; 32],
+    int_pending: [bool; 32],
+    fp_pending: [bool; 32],
+    fpu_busy_until: u64,
+    div_busy_until: u64,
+    penalty_until: u64,
+    penalty_kind: StallKind,
+
+    // Frontend.
+    icache: ICache,
+    program: Option<Arc<Program>>,
+
+    // Remote-op scoreboard.
+    outstanding: usize,
+    next_op_id: u32,
+    pending_ops: HashMap<u32, PendingOp>,
+    blocking_on: Option<u32>,
+    combine: Option<Combine>,
+
+    // Network interface queues (drained/filled by the Cell).
+    /// Requests this tile wants to send (cross-cell requests included;
+    /// the Cell separates them).
+    pub req_outbox: VecDeque<(u8, Packet<Request>)>,
+    /// Responses to remote-SPM requests from other tiles.
+    pub resp_outbox: VecDeque<(u8, Packet<Response>)>,
+    /// Incoming remote-SPM requests.
+    pub req_inbox: VecDeque<Packet<Request>>,
+    /// Incoming responses for this tile's remote ops.
+    pub resp_inbox: VecDeque<Packet<Response>>,
+
+    // Barrier interface (handled by the Cell).
+    /// Set when the core executed a barrier join this cycle.
+    pub wants_join: bool,
+    /// True while blocked in the barrier.
+    pub barrier_waiting: bool,
+
+    /// Execution state.
+    running: bool,
+    finished: bool,
+    fault: Option<String>,
+    stats: CoreStats,
+    trace: Option<TraceHandle>,
+    last_cycle: u64,
+}
+
+const OUTBOX_CAP: usize = 4;
+
+fn extend(value: u32, width: u8, signed: bool) -> u32 {
+    match (width, signed) {
+        (1, false) => value & 0xff,
+        (1, true) => value as u8 as i8 as i32 as u32,
+        (2, false) => value & 0xffff,
+        (2, true) => value as u16 as i16 as i32 as u32,
+        _ => value,
+    }
+}
+
+fn read_bytes(buf: &[u8], offset: u32, width: u8) -> u32 {
+    let o = offset as usize;
+    let mut v = 0u32;
+    for i in (0..width as usize).rev() {
+        v = (v << 8) | u32::from(buf[o + i]);
+    }
+    v
+}
+
+fn write_bytes(buf: &mut [u8], offset: u32, width: u8, value: u32) {
+    let o = offset as usize;
+    for i in 0..width as usize {
+        buf[o + i] = (value >> (8 * i)) as u8;
+    }
+}
+
+impl Tile {
+    /// Creates an idle tile.
+    pub fn new(cfg: Arc<MachineConfig>, pgas: PgasMap, xy: (u8, u8)) -> Tile {
+        let spm = vec![0; cfg.spm_bytes as usize];
+        let icache = ICache::new(cfg.icache_bytes);
+        Tile {
+            cfg,
+            pgas,
+            xy,
+            group: GroupInfo { origin: (0, 0), dim: (1, 1), barrier_id: 0 },
+            regs: [0; 32],
+            fregs: [0.0; 32],
+            pc: 0,
+            spm,
+            args: [0; 8],
+            int_ready: [0; 32],
+            fp_ready: [0; 32],
+            int_ready_kind: [StallKind::Bypass; 32],
+            fp_ready_kind: [StallKind::Bypass; 32],
+            int_pending: [false; 32],
+            fp_pending: [false; 32],
+            fpu_busy_until: 0,
+            div_busy_until: 0,
+            penalty_until: 0,
+            penalty_kind: StallKind::IcacheMiss,
+            icache,
+            program: None,
+            outstanding: 0,
+            next_op_id: 0,
+            pending_ops: HashMap::new(),
+            blocking_on: None,
+            combine: None,
+            req_outbox: VecDeque::new(),
+            resp_outbox: VecDeque::new(),
+            req_inbox: VecDeque::new(),
+            resp_inbox: VecDeque::new(),
+            wants_join: false,
+            barrier_waiting: false,
+            running: false,
+            finished: false,
+            fault: None,
+            stats: CoreStats::default(),
+            trace: None,
+            last_cycle: 0,
+        }
+    }
+
+    /// Installs a shared trace buffer (see [`crate::trace`]).
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = Some(trace);
+    }
+
+    /// Launches the kernel: resets architectural state, loads `args` into
+    /// `a0..a7` (and the ARG CSRs), points the PC at the program base.
+    pub fn launch(&mut self, program: Arc<Program>, args: &[u32], group: GroupInfo) {
+        assert!(args.len() <= 8, "at most 8 kernel arguments");
+        self.regs = [0; 32];
+        self.fregs = [0.0; 32];
+        self.int_ready = [0; 32];
+        self.fp_ready = [0; 32];
+        self.int_pending = [false; 32];
+        self.fp_pending = [false; 32];
+        self.args = [0; 8];
+        for (i, &a) in args.iter().enumerate() {
+            self.args[i] = a;
+            self.regs[Gpr::A0.index() as usize + i] = a;
+        }
+        // Stack at the top of the scratchpad.
+        self.regs[Gpr::Sp.index() as usize] = self.cfg.spm_bytes;
+        self.pc = program.base();
+        self.program = Some(program);
+        self.group = group;
+        self.running = true;
+        self.finished = false;
+        self.fault = None;
+        self.blocking_on = None;
+        self.combine = None;
+    }
+
+    /// Whether the tile has executed `ecall` (kernel complete).
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Whether the tile is executing.
+    pub fn is_running(&self) -> bool {
+        self.running
+    }
+
+    /// The fault message, if the tile trapped.
+    pub fn fault(&self) -> Option<&str> {
+        self.fault.as_deref()
+    }
+
+    /// Outstanding remote operations (scoreboard occupancy).
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Execution statistics.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// This tile's group info.
+    pub fn group(&self) -> GroupInfo {
+        self.group
+    }
+
+    /// Reads a word from the scratchpad (host/debug access).
+    pub fn spm_read_u32(&self, offset: u32) -> u32 {
+        read_bytes(&self.spm, offset, 4)
+    }
+
+    /// Writes a word to the scratchpad (host/debug access).
+    pub fn spm_write_u32(&mut self, offset: u32, value: u32) {
+        write_bytes(&mut self.spm, offset, 4, value);
+    }
+
+    /// Reads an integer register (debug).
+    pub fn reg(&self, r: Gpr) -> u32 {
+        self.regs[r.index() as usize]
+    }
+
+    /// Reads an FP register (debug).
+    pub fn freg(&self, r: Fpr) -> f32 {
+        self.fregs[r.index() as usize]
+    }
+
+    fn stall(&mut self, kind: StallKind) {
+        self.stats.add_stall(kind);
+    }
+
+    fn trap(&mut self, msg: String) {
+        if let Some(t) = &self.trace {
+            t.push(TraceEvent::Fault { cycle: self.last_cycle, tile: self.xy, message: msg.clone() });
+        }
+        self.fault = Some(format!("tile ({},{}) @pc={:#x}: {msg}", self.xy.0, self.xy.1, self.pc));
+        self.running = false;
+    }
+
+    fn write_int(&mut self, rd: Gpr, value: u32) {
+        if rd != Gpr::Zero {
+            self.regs[rd.index() as usize] = value;
+        }
+    }
+
+    fn set_int_latency(&mut self, rd: Gpr, now: u64, lat: u64, kind: StallKind) {
+        if rd != Gpr::Zero && lat > 1 {
+            self.int_ready[rd.index() as usize] = now + lat;
+            self.int_ready_kind[rd.index() as usize] = kind;
+        }
+    }
+
+    fn set_fp_latency(&mut self, rd: Fpr, now: u64, lat: u64, kind: StallKind) {
+        if lat > 1 {
+            self.fp_ready[rd.index() as usize] = now + lat;
+            self.fp_ready_kind[rd.index() as usize] = kind;
+        }
+    }
+
+    /// Checks an integer source register; returns the stall cause if it is
+    /// not yet usable.
+    fn int_hazard(&self, r: Gpr, now: u64) -> Option<StallKind> {
+        let i = r.index() as usize;
+        if self.int_pending[i] {
+            return Some(StallKind::RemoteLoad);
+        }
+        if self.int_ready[i] > now {
+            return Some(self.int_ready_kind[i]);
+        }
+        None
+    }
+
+    fn fp_hazard(&self, r: Fpr, now: u64) -> Option<StallKind> {
+        let i = r.index() as usize;
+        if self.fp_pending[i] {
+            return Some(StallKind::RemoteLoad);
+        }
+        if self.fp_ready[i] > now {
+            return Some(self.fp_ready_kind[i]);
+        }
+        None
+    }
+
+    /// Processes all arrived responses: fills registers, releases the
+    /// scoreboard.
+    fn drain_responses(&mut self, now: u64) {
+        while let Some(pkt) = self.resp_inbox.pop_front() {
+            let resp = pkt.payload;
+            let Some(op) = self.pending_ops.remove(&resp.op_id) else {
+                self.trap(format!("response for unknown op {}", resp.op_id));
+                return;
+            };
+            match (op, resp.kind) {
+                (PendingOp::Load { dsts, width, signed }, RespKind::Load { data, count }) => {
+                    debug_assert_eq!(dsts.len(), count as usize);
+                    for (i, dst) in dsts.iter().enumerate() {
+                        let v = extend(data[i], width, signed);
+                        match *dst {
+                            Dst::Int(rd) => {
+                                self.write_int(rd, v);
+                                self.int_pending[rd.index() as usize] = false;
+                            }
+                            Dst::Fp(rd) => {
+                                self.fregs[rd.index() as usize] = f32::from_bits(v);
+                                self.fp_pending[rd.index() as usize] = false;
+                            }
+                        }
+                        self.outstanding -= 1;
+                    }
+                }
+                (PendingOp::Store, RespKind::StoreAck) => {
+                    self.outstanding -= 1;
+                }
+                (PendingOp::Amo { rd }, RespKind::AmoOld { data }) => {
+                    self.write_int(rd, data);
+                    self.int_pending[rd.index() as usize] = false;
+                    self.outstanding -= 1;
+                }
+                (op, kind) => {
+                    self.trap(format!("mismatched response {kind:?} for {op:?}"));
+                    return;
+                }
+            }
+            if self.blocking_on == Some(resp.op_id) {
+                self.blocking_on = None;
+            }
+            let _ = now;
+        }
+    }
+
+    /// Services one incoming remote-SPM request per cycle.
+    fn service_spm_request(&mut self) {
+        if self.resp_outbox.len() >= OUTBOX_CAP {
+            return;
+        }
+        let Some(pkt) = self.req_inbox.pop_front() else {
+            return;
+        };
+        let req = pkt.payload;
+        let kind = match req.kind {
+            ReqKind::Load { addr, width, count } => {
+                let mut data = [0u32; 4];
+                for i in 0..count as usize {
+                    let a = addr + (i as u32) * u32::from(width);
+                    if a + u32::from(width) > self.cfg.spm_bytes {
+                        data[i] = 0;
+                    } else {
+                        data[i] = read_bytes(&self.spm, a, width);
+                    }
+                }
+                RespKind::Load { data, count }
+            }
+            ReqKind::Store { addr, width, data } => {
+                if addr + u32::from(width) <= self.cfg.spm_bytes {
+                    write_bytes(&mut self.spm, addr, width, data);
+                }
+                RespKind::StoreAck
+            }
+            ReqKind::Amo { addr, op, data } => {
+                // AMOs on scratchpads are allowed for flags/mailboxes.
+                let old = read_bytes(&self.spm, addr, 4);
+                write_bytes(&mut self.spm, addr, 4, op.apply(old, data));
+                RespKind::AmoOld { data: old }
+            }
+        };
+        let resp = Response { op_id: req.op_id, kind };
+        self.resp_outbox.push_back((
+            req.from.cell,
+            Packet { src: pkt.dst, dst: req.from.coord, payload: resp },
+        ));
+    }
+
+    fn flush_combine(&mut self) {
+        let Some(c) = self.combine.take() else {
+            return;
+        };
+        let count = c.dsts.len() as u8;
+        if count > 1 {
+            self.stats.lpc_merged += u64::from(count) - 1;
+        }
+        let req = Request {
+            from: NodeId {
+                cell: self.pgas.cell_id,
+                coord: self.pgas.tile_coord(self.xy.0, self.xy.1),
+            },
+            op_id: c.op_id,
+            kind: ReqKind::Load { addr: c.base_addr, width: 4, count },
+        };
+        self.req_outbox.push_back((
+            c.dst_cell,
+            Packet {
+                src: self.pgas.tile_coord(self.xy.0, self.xy.1),
+                dst: c.dst_coord,
+                payload: req,
+            },
+        ));
+        self.stats.remote_requests += 1;
+    }
+
+    /// Issues a remote word load, possibly merging into the combining
+    /// latch. Returns `false` if it must retry (no scoreboard/queue space).
+    fn issue_remote_load(
+        &mut self,
+        now: u64,
+        cell: u8,
+        coord: Coord,
+        addr: u32,
+        width: u8,
+        signed: bool,
+        dst: Dst,
+    ) -> bool {
+        if self.outstanding >= self.cfg.max_outstanding {
+            return false;
+        }
+        // Try to merge into the combining latch.
+        if self.cfg.load_packet_compression && width == 4 {
+            if let Some(c) = &mut self.combine {
+                let next = c.base_addr + 4 * c.dsts.len() as u32;
+                if c.dst_cell == cell && c.dst_coord == coord && next == addr && c.dsts.len() < 4 {
+                    c.dsts.push(dst);
+                    c.flush_at = now + 2;
+                    let op_id = c.op_id;
+                    match self.pending_ops.get_mut(&op_id) {
+                        Some(PendingOp::Load { dsts, .. }) => dsts.push(dst),
+                        _ => unreachable!("combine latch without pending op"),
+                    }
+                    self.mark_pending(dst);
+                    self.outstanding += 1;
+                    return true;
+                }
+            }
+            self.flush_combine();
+            if self.req_outbox.len() >= OUTBOX_CAP {
+                return false;
+            }
+            let op_id = self.alloc_op_id();
+            self.pending_ops
+                .insert(op_id, PendingOp::Load { dsts: vec![dst], width, signed });
+            self.combine = Some(Combine {
+                dst_cell: cell,
+                dst_coord: coord,
+                base_addr: addr,
+                dsts: vec![dst],
+                op_id,
+                flush_at: now + 2,
+            });
+            self.mark_pending(dst);
+            self.outstanding += 1;
+            return true;
+        }
+        // Uncompressed path.
+        self.flush_combine();
+        if self.req_outbox.len() >= OUTBOX_CAP {
+            return false;
+        }
+        let op_id = self.alloc_op_id();
+        self.pending_ops
+            .insert(op_id, PendingOp::Load { dsts: vec![dst], width, signed });
+        self.send_request(cell, coord, op_id, ReqKind::Load { addr, width, count: 1 });
+        self.mark_pending(dst);
+        self.outstanding += 1;
+        true
+    }
+
+    fn mark_pending(&mut self, dst: Dst) {
+        match dst {
+            Dst::Int(rd) => {
+                if rd != Gpr::Zero {
+                    self.int_pending[rd.index() as usize] = true;
+                }
+            }
+            Dst::Fp(rd) => self.fp_pending[rd.index() as usize] = true,
+        }
+    }
+
+    fn alloc_op_id(&mut self) -> u32 {
+        let id = self.next_op_id;
+        self.next_op_id = self.next_op_id.wrapping_add(1);
+        id
+    }
+
+    fn send_request(&mut self, cell: u8, coord: Coord, op_id: u32, kind: ReqKind) {
+        let from = NodeId {
+            cell: self.pgas.cell_id,
+            coord: self.pgas.tile_coord(self.xy.0, self.xy.1),
+        };
+        self.req_outbox.push_back((
+            cell,
+            Packet {
+                src: from.coord,
+                dst: coord,
+                payload: Request { from, op_id, kind },
+            },
+        ));
+        if let Some(t) = &self.trace {
+            t.push(TraceEvent::RemoteIssue {
+                cycle: self.last_cycle,
+                tile: self.xy,
+                op_id,
+                what: format!("{kind:?} -> cell {cell} {coord}"),
+            });
+        }
+        self.stats.remote_requests += 1;
+    }
+
+    fn csr_read(&self, offset: u32, now: u64) -> Option<u32> {
+        Some(match offset {
+            csr::TILE_X => u32::from(self.xy.0),
+            csr::TILE_Y => u32::from(self.xy.1),
+            csr::TG_X => u32::from(self.group.origin.0),
+            csr::TG_Y => u32::from(self.group.origin.1),
+            csr::TG_W => u32::from(self.group.dim.0),
+            csr::TG_H => u32::from(self.group.dim.1),
+            csr::TG_RANK => {
+                let lx = u32::from(self.xy.0 - self.group.origin.0);
+                let ly = u32::from(self.xy.1 - self.group.origin.1);
+                ly * u32::from(self.group.dim.0) + lx
+            }
+            csr::TG_SIZE => u32::from(self.group.dim.0) * u32::from(self.group.dim.1),
+            csr::CELL_W => u32::from(self.pgas.cell_w),
+            csr::CELL_H => u32::from(self.pgas.cell_h),
+            csr::CELL_ID => u32::from(self.pgas.cell_id),
+            csr::NUM_CELLS => u32::from(self.pgas.num_cells),
+            csr::CYCLE => now as u32,
+            o if (csr::ARG0..csr::ARG0 + 32).contains(&o) => {
+                self.args[((o - csr::ARG0) / 4) as usize]
+            }
+            _ => return None,
+        })
+    }
+
+    /// Advances the tile one core cycle.
+    pub fn step(&mut self, now: u64) {
+        self.last_cycle = now;
+        // Response draining and SPM servicing happen even while stalled.
+        self.drain_responses(now);
+        self.service_spm_request();
+
+        // Flush an expired combining latch.
+        if let Some(c) = &self.combine {
+            if now >= c.flush_at {
+                self.flush_combine();
+            }
+        }
+
+        if !self.running {
+            if self.finished {
+                self.stall(StallKind::Done);
+            }
+            return;
+        }
+
+        if self.barrier_waiting {
+            self.stall(StallKind::Barrier);
+            return;
+        }
+
+        if self.blocking_on.is_some() {
+            self.stall(StallKind::RemoteLoad);
+            return;
+        }
+
+        if now < self.penalty_until {
+            self.stall(self.penalty_kind);
+            return;
+        }
+
+        // Fetch.
+        if !self.icache.access(self.pc) {
+            self.stats.icache_misses += 1;
+            self.penalty_until = now + self.cfg.icache_miss_latency;
+            self.penalty_kind = StallKind::IcacheMiss;
+            self.stall(StallKind::IcacheMiss);
+            return;
+        }
+        let program = self.program.clone().expect("running tile without program");
+        let Some(instr) = program.instr_at(self.pc) else {
+            self.trap("pc outside program image".to_owned());
+            return;
+        };
+
+        self.execute(instr, now);
+    }
+
+    /// Decodes hazards and executes one instruction (or records one stall).
+    #[allow(clippy::too_many_lines)]
+    fn execute(&mut self, instr: Instr, now: u64) {
+        use Instr as I;
+
+        // Source / structural hazard checks.
+        let hazard = self.instr_hazard(&instr, now);
+        if let Some(kind) = hazard {
+            self.stall(kind);
+            return;
+        }
+
+        // The compressor detects *consecutive* remote loads in the
+        // instruction stream: any other instruction closes the combining
+        // latch immediately.
+        if !matches!(instr, Instr::Load { .. } | Instr::Flw { .. }) {
+            self.flush_combine();
+        }
+
+        let cfg = self.cfg.clone();
+        let mut next_pc = self.pc.wrapping_add(4);
+        let mut fp_instr = false;
+
+        match instr {
+            I::Lui { rd, imm } => self.write_int(rd, (imm as u32) << 12),
+            I::Auipc { rd, imm } => {
+                self.write_int(rd, self.pc.wrapping_add((imm as u32) << 12));
+            }
+            I::Jal { rd, offset } => {
+                self.write_int(rd, self.pc.wrapping_add(4));
+                next_pc = self.pc.wrapping_add(offset as u32);
+            }
+            I::Jalr { rd, rs1, offset } => {
+                let target = self.regs[rs1.index() as usize].wrapping_add(offset as u32) & !1;
+                self.write_int(rd, self.pc.wrapping_add(4));
+                next_pc = target;
+                // Indirect targets are not captured by the icache-embedded
+                // BTB: charge the misprediction penalty.
+                self.penalty_until = now + cfg.branch_miss_penalty;
+                self.penalty_kind = StallKind::BranchMiss;
+                self.stats.branch_misses += 1;
+            }
+            I::Branch { op, rs1, rs2, offset } => {
+                self.stats.branches += 1;
+                let taken =
+                    op.taken(self.regs[rs1.index() as usize], self.regs[rs2.index() as usize]);
+                // Static BTFN: predict taken for backward targets.
+                let predicted_taken = offset < 0;
+                if taken {
+                    next_pc = self.pc.wrapping_add(offset as u32);
+                }
+                if taken != predicted_taken {
+                    self.stats.branch_misses += 1;
+                    self.penalty_until = now + cfg.branch_miss_penalty;
+                    self.penalty_kind = StallKind::BranchMiss;
+                }
+            }
+            I::OpImm { op, rd, rs1, imm } => {
+                let v = op.eval(self.regs[rs1.index() as usize], imm);
+                self.write_int(rd, v);
+            }
+            I::Op { op, rd, rs1, rs2 } => {
+                let a = self.regs[rs1.index() as usize];
+                let b = self.regs[rs2.index() as usize];
+                self.write_int(rd, op.eval(a, b));
+                if op.is_muldiv() {
+                    let lat = if matches!(
+                        op,
+                        hb_isa::OpOp::Div | hb_isa::OpOp::Divu | hb_isa::OpOp::Rem | hb_isa::OpOp::Remu
+                    ) {
+                        self.div_busy_until = now + cfg.div_latency;
+                        cfg.div_latency
+                    } else {
+                        cfg.mul_latency
+                    };
+                    self.set_int_latency(rd, now, lat, StallKind::IntBusy);
+                }
+            }
+            I::Fence => {
+                if self.outstanding > 0 || self.combine.is_some() {
+                    self.flush_combine();
+                    self.stall(StallKind::Fence);
+                    return;
+                }
+            }
+            I::Ecall => {
+                self.flush_combine();
+                self.running = false;
+                self.finished = true;
+                self.stats.instrs += 1;
+                self.stats.int_cycles += 1;
+                if let Some(t) = &self.trace {
+                    t.push(TraceEvent::Retire { cycle: now, tile: self.xy, pc: self.pc, instr });
+                }
+                return;
+            }
+            I::Ebreak => {
+                self.trap("ebreak".to_owned());
+                return;
+            }
+            I::Load { width, rd, rs1, offset } => {
+                let addr = self.regs[rs1.index() as usize].wrapping_add(offset as u32);
+                let signed = matches!(width, hb_isa::LoadWidth::B | hb_isa::LoadWidth::H);
+                if !self.do_load(now, addr, width.bytes() as u8, signed, Dst::Int(rd)) {
+                    return;
+                }
+            }
+            I::Flw { rd, rs1, offset } => {
+                let addr = self.regs[rs1.index() as usize].wrapping_add(offset as u32);
+                if !self.do_load(now, addr, 4, false, Dst::Fp(rd)) {
+                    return;
+                }
+            }
+            I::Store { width, rs1, rs2, offset } => {
+                let addr = self.regs[rs1.index() as usize].wrapping_add(offset as u32);
+                let data = self.regs[rs2.index() as usize];
+                if !self.do_store(now, addr, width.bytes() as u8, data) {
+                    return;
+                }
+            }
+            I::Fsw { rs1, rs2, offset } => {
+                let addr = self.regs[rs1.index() as usize].wrapping_add(offset as u32);
+                let data = self.fregs[rs2.index() as usize].to_bits();
+                if !self.do_store(now, addr, 4, data) {
+                    return;
+                }
+            }
+            I::Amo { op, rd, rs1, rs2, .. } => {
+                let addr = self.regs[rs1.index() as usize];
+                let data = self.regs[rs2.index() as usize];
+                if !self.do_amo(now, addr, op, data, rd) {
+                    return;
+                }
+            }
+            I::LrW { .. } | I::ScW { .. } => {
+                self.trap("lr/sc not supported; use AMOs".to_owned());
+                return;
+            }
+            I::FpOp { op, rd, rs1, rs2 } => {
+                fp_instr = true;
+                let a = self.fregs[rs1.index() as usize];
+                let b = self.fregs[rs2.index() as usize];
+                self.fregs[rd.index() as usize] = op.eval(a, b);
+                match op {
+                    hb_isa::FpOp::Div => {
+                        self.fpu_busy_until = now + cfg.fdiv_latency;
+                        self.set_fp_latency(rd, now, cfg.fdiv_latency, StallKind::FpBusy);
+                    }
+                    hb_isa::FpOp::Sqrt => {
+                        self.fpu_busy_until = now + cfg.fsqrt_latency;
+                        self.set_fp_latency(rd, now, cfg.fsqrt_latency, StallKind::FpBusy);
+                    }
+                    hb_isa::FpOp::Mul => {
+                        self.set_fp_latency(rd, now, cfg.fma_latency, StallKind::Bypass);
+                    }
+                    _ => self.set_fp_latency(rd, now, cfg.fp_latency, StallKind::Bypass),
+                }
+            }
+            I::Fma { op, rd, rs1, rs2, rs3 } => {
+                fp_instr = true;
+                let a = self.fregs[rs1.index() as usize];
+                let b = self.fregs[rs2.index() as usize];
+                let c = self.fregs[rs3.index() as usize];
+                self.fregs[rd.index() as usize] = op.eval(a, b, c);
+                self.set_fp_latency(rd, now, cfg.fma_latency, StallKind::Bypass);
+            }
+            I::FpCmp { op, rd, rs1, rs2 } => {
+                fp_instr = true;
+                let a = self.fregs[rs1.index() as usize];
+                let b = self.fregs[rs2.index() as usize];
+                self.write_int(rd, u32::from(op.eval(a, b)));
+                self.set_int_latency(rd, now, cfg.fp_latency, StallKind::Bypass);
+            }
+            I::FcvtWS { rd, rs1 } => {
+                fp_instr = true;
+                let v = self.fregs[rs1.index() as usize];
+                self.write_int(rd, v as i32 as u32);
+                self.set_int_latency(rd, now, cfg.fp_latency, StallKind::Bypass);
+            }
+            I::FcvtWuS { rd, rs1 } => {
+                fp_instr = true;
+                let v = self.fregs[rs1.index() as usize];
+                self.write_int(rd, v as u32);
+                self.set_int_latency(rd, now, cfg.fp_latency, StallKind::Bypass);
+            }
+            I::FcvtSW { rd, rs1 } => {
+                fp_instr = true;
+                let v = self.regs[rs1.index() as usize] as i32;
+                self.fregs[rd.index() as usize] = v as f32;
+                self.set_fp_latency(rd, now, cfg.fp_latency, StallKind::Bypass);
+            }
+            I::FcvtSWu { rd, rs1 } => {
+                fp_instr = true;
+                let v = self.regs[rs1.index() as usize];
+                self.fregs[rd.index() as usize] = v as f32;
+                self.set_fp_latency(rd, now, cfg.fp_latency, StallKind::Bypass);
+            }
+            I::FmvXW { rd, rs1 } => {
+                fp_instr = true;
+                self.write_int(rd, self.fregs[rs1.index() as usize].to_bits());
+            }
+            I::FmvWX { rd, rs1 } => {
+                fp_instr = true;
+                self.fregs[rd.index() as usize] = f32::from_bits(self.regs[rs1.index() as usize]);
+            }
+        }
+
+        if let Some(t) = &self.trace {
+            t.push(TraceEvent::Retire { cycle: now, tile: self.xy, pc: self.pc, instr });
+        }
+        self.pc = next_pc;
+        self.stats.instrs += 1;
+        if fp_instr {
+            self.stats.fp_cycles += 1;
+        } else {
+            self.stats.int_cycles += 1;
+        }
+    }
+
+    /// Checks all source and structural hazards for `instr`.
+    fn instr_hazard(&self, instr: &Instr, now: u64) -> Option<StallKind> {
+        use Instr as I;
+        let int = |r: Gpr| self.int_hazard(r, now);
+        let fp = |r: Fpr| self.fp_hazard(r, now);
+        // Destination-pending (WAW on remote loads) also stalls.
+        let int_dst = |r: Gpr| {
+            if r != Gpr::Zero && self.int_pending[r.index() as usize] {
+                Some(StallKind::RemoteLoad)
+            } else {
+                None
+            }
+        };
+        let fp_dst = |r: Fpr| {
+            if self.fp_pending[r.index() as usize] {
+                Some(StallKind::RemoteLoad)
+            } else {
+                None
+            }
+        };
+        match *instr {
+            I::Lui { rd, .. } | I::Auipc { rd, .. } => int_dst(rd),
+            I::Jal { rd, .. } => int_dst(rd),
+            I::Jalr { rd, rs1, .. } => int(rs1).or_else(|| int_dst(rd)),
+            I::Branch { rs1, rs2, .. } => int(rs1).or_else(|| int(rs2)),
+            I::Load { rd, rs1, .. } => int(rs1).or_else(|| int_dst(rd)),
+            I::Store { rs1, rs2, .. } => int(rs1).or_else(|| int(rs2)),
+            I::OpImm { rd, rs1, .. } => int(rs1).or_else(|| int_dst(rd)),
+            I::Op { op, rd, rs1, rs2 } => int(rs1).or_else(|| int(rs2)).or_else(|| int_dst(rd)).or(
+                if op.is_muldiv() && self.div_busy_until > now {
+                    Some(StallKind::IntBusy)
+                } else {
+                    None
+                },
+            ),
+            I::Fence | I::Ecall | I::Ebreak => None,
+            I::Amo { rd, rs1, rs2, .. } => {
+                int(rs1).or_else(|| int(rs2)).or_else(|| int_dst(rd))
+            }
+            I::LrW { rd, rs1, .. } => int(rs1).or_else(|| int_dst(rd)),
+            I::ScW { rd, rs1, rs2, .. } => int(rs1).or_else(|| int(rs2)).or_else(|| int_dst(rd)),
+            I::Flw { rd, rs1, .. } => int(rs1).or_else(|| fp_dst(rd)),
+            I::Fsw { rs1, rs2, .. } => int(rs1).or_else(|| fp(rs2)),
+            I::FpOp { op, rd, rs1, rs2 } => fp(rs1)
+                .or_else(|| fp(rs2))
+                .or_else(|| fp_dst(rd))
+                .or(
+                    if matches!(op, hb_isa::FpOp::Div | hb_isa::FpOp::Sqrt)
+                        && self.fpu_busy_until > now
+                    {
+                        Some(StallKind::FpBusy)
+                    } else {
+                        None
+                    },
+                ),
+            I::Fma { rd, rs1, rs2, rs3, .. } => {
+                fp(rs1).or_else(|| fp(rs2)).or_else(|| fp(rs3)).or_else(|| fp_dst(rd))
+            }
+            I::FpCmp { rd, rs1, rs2, .. } => fp(rs1).or_else(|| fp(rs2)).or_else(|| int_dst(rd)),
+            I::FcvtWS { rd, rs1 } | I::FcvtWuS { rd, rs1 } => int_dst(rd).or_else(|| fp(rs1)),
+            I::FcvtSW { rd, rs1 } | I::FcvtSWu { rd, rs1 } => int(rs1).or_else(|| fp_dst(rd)),
+            I::FmvXW { rd, rs1 } => fp(rs1).or_else(|| int_dst(rd)),
+            I::FmvWX { rd, rs1 } => int(rs1).or_else(|| fp_dst(rd)),
+        }
+    }
+
+    /// Executes a load; returns `false` when the instruction must retry
+    /// (stall already recorded).
+    fn do_load(&mut self, now: u64, eva: u32, width: u8, signed: bool, dst: Dst) -> bool {
+        match self.pgas.translate(eva) {
+            Err(e) => {
+                self.trap(e.to_string());
+                false
+            }
+            Ok(Target::LocalSpm { offset }) => {
+                if offset + u32::from(width) > self.cfg.spm_bytes {
+                    self.trap(format!("SPM load overrun at {offset:#x}"));
+                    return false;
+                }
+                let v = extend(read_bytes(&self.spm, offset, width), width, signed);
+                match dst {
+                    Dst::Int(rd) => {
+                        self.write_int(rd, v);
+                        self.set_int_latency(rd, now, self.cfg.spm_load_latency, StallKind::LocalLoad);
+                    }
+                    Dst::Fp(rd) => {
+                        self.fregs[rd.index() as usize] = f32::from_bits(v);
+                        self.set_fp_latency(rd, now, self.cfg.spm_load_latency, StallKind::LocalLoad);
+                    }
+                }
+                true
+            }
+            Ok(Target::Csr { offset }) => {
+                let Some(v) = self.csr_read(offset, now) else {
+                    self.trap(format!("read of unknown CSR {offset:#x}"));
+                    return false;
+                };
+                match dst {
+                    Dst::Int(rd) => self.write_int(rd, v),
+                    Dst::Fp(rd) => self.fregs[rd.index() as usize] = f32::from_bits(v),
+                }
+                true
+            }
+            Ok(Target::RemoteSpm { tile, offset }) => {
+                // Accessing our own SPM through the group space is local.
+                if tile == Coord::new(self.xy.0, self.xy.1) {
+                    return self.do_load(now, offset, width, signed, dst);
+                }
+                let coord = self.pgas.tile_coord(tile.x, tile.y);
+                self.remote_load(now, self.pgas.cell_id, coord, offset, width, signed, dst)
+            }
+            Ok(Target::Bank { cell, bank, addr }) => {
+                let coord = self.pgas.bank_coord(bank);
+                self.remote_load(now, cell, coord, addr, width, signed, dst)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn remote_load(
+        &mut self,
+        now: u64,
+        cell: u8,
+        coord: Coord,
+        addr: u32,
+        width: u8,
+        signed: bool,
+        dst: Dst,
+    ) -> bool {
+        if !self.issue_remote_load(now, cell, coord, addr, width, signed, dst) {
+            self.stall(StallKind::RemoteCredit);
+            return false;
+        }
+        if !self.cfg.non_blocking_loads {
+            self.flush_combine();
+            // Blocking: wait for this exact op before any further progress.
+            self.blocking_on = Some(self.next_op_id.wrapping_sub(1));
+        }
+        true
+    }
+
+    fn do_store(&mut self, now: u64, eva: u32, width: u8, data: u32) -> bool {
+        match self.pgas.translate(eva) {
+            Err(e) => {
+                self.trap(e.to_string());
+                false
+            }
+            Ok(Target::LocalSpm { offset }) => {
+                if offset + u32::from(width) > self.cfg.spm_bytes {
+                    self.trap(format!("SPM store overrun at {offset:#x}"));
+                    return false;
+                }
+                write_bytes(&mut self.spm, offset, width, data);
+                true
+            }
+            Ok(Target::Csr { offset }) => match offset {
+                csr::BARRIER => {
+                    if let Some(t) = &self.trace {
+                        t.push(TraceEvent::BarrierJoin { cycle: self.last_cycle, tile: self.xy });
+                    }
+                    self.wants_join = true;
+                    self.barrier_waiting = true;
+                    true
+                }
+                _ => {
+                    self.trap(format!("store to read-only CSR {offset:#x}"));
+                    false
+                }
+            },
+            Ok(Target::RemoteSpm { tile, offset }) => {
+                if tile == Coord::new(self.xy.0, self.xy.1) {
+                    return self.do_store(now, offset, width, data);
+                }
+                let coord = self.pgas.tile_coord(tile.x, tile.y);
+                self.remote_store(now, self.pgas.cell_id, coord, offset, width, data)
+            }
+            Ok(Target::Bank { cell, bank, addr }) => {
+                let coord = self.pgas.bank_coord(bank);
+                self.remote_store(now, cell, coord, addr, width, data)
+            }
+        }
+    }
+
+    fn remote_store(
+        &mut self,
+        _now: u64,
+        cell: u8,
+        coord: Coord,
+        addr: u32,
+        width: u8,
+        data: u32,
+    ) -> bool {
+        self.flush_combine();
+        if self.outstanding >= self.cfg.max_outstanding || self.req_outbox.len() >= OUTBOX_CAP {
+            self.stall(StallKind::RemoteCredit);
+            return false;
+        }
+        let op_id = self.alloc_op_id();
+        self.pending_ops.insert(op_id, PendingOp::Store);
+        self.send_request(cell, coord, op_id, ReqKind::Store { addr, width, data });
+        self.outstanding += 1;
+        true
+    }
+
+    fn do_amo(&mut self, now: u64, eva: u32, op: hb_isa::AmoOp, data: u32, rd: Gpr) -> bool {
+        match self.pgas.translate(eva) {
+            Err(e) => {
+                self.trap(e.to_string());
+                false
+            }
+            Ok(Target::Bank { cell, bank, addr }) => {
+                self.flush_combine();
+                if self.outstanding >= self.cfg.max_outstanding
+                    || self.req_outbox.len() >= OUTBOX_CAP
+                {
+                    self.stall(StallKind::RemoteCredit);
+                    return false;
+                }
+                let op_id = self.alloc_op_id();
+                self.pending_ops.insert(op_id, PendingOp::Amo { rd });
+                let coord = self.pgas.bank_coord(bank);
+                self.send_request(cell, coord, op_id, ReqKind::Amo { addr, op, data });
+                if rd != Gpr::Zero {
+                    self.int_pending[rd.index() as usize] = true;
+                }
+                self.outstanding += 1;
+                if !self.cfg.non_blocking_loads {
+                    self.blocking_on = Some(op_id);
+                }
+                let _ = now;
+                true
+            }
+            Ok(Target::RemoteSpm { tile, offset }) => {
+                self.flush_combine();
+                if self.outstanding >= self.cfg.max_outstanding
+                    || self.req_outbox.len() >= OUTBOX_CAP
+                {
+                    self.stall(StallKind::RemoteCredit);
+                    return false;
+                }
+                let op_id = self.alloc_op_id();
+                self.pending_ops.insert(op_id, PendingOp::Amo { rd });
+                let coord = self.pgas.tile_coord(tile.x, tile.y);
+                self.send_request(
+                    self.pgas.cell_id,
+                    coord,
+                    op_id,
+                    ReqKind::Amo { addr: offset, op, data },
+                );
+                if rd != Gpr::Zero {
+                    self.int_pending[rd.index() as usize] = true;
+                }
+                self.outstanding += 1;
+                if !self.cfg.non_blocking_loads {
+                    self.blocking_on = Some(op_id);
+                }
+                true
+            }
+            Ok(_) => {
+                self.trap(format!("AMO to non-atomic space at {eva:#x}"));
+                false
+            }
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Execution tracing: a bounded ring buffer of per-tile events for
+//! debugging kernels (companion to the paper's performance-debugging
+//! tools). Enable with [`Machine::enable_tracing`](crate::Machine::enable_tracing);
+//! the most recent events (instruction retires, remote-operation issue,
+//! barrier joins, faults) are then available as disassembled text — most
+//! useful right after a [`SimError::Fault`](crate::SimError).
+
+use hb_isa::Instr;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// One traced event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// An instruction retired.
+    Retire {
+        /// Core cycle.
+        cycle: u64,
+        /// Tile coordinates within the Cell.
+        tile: (u8, u8),
+        /// Program counter.
+        pc: u32,
+        /// The instruction.
+        instr: Instr,
+    },
+    /// A remote memory operation left the tile.
+    RemoteIssue {
+        /// Core cycle.
+        cycle: u64,
+        /// Tile coordinates.
+        tile: (u8, u8),
+        /// Tile-local operation id.
+        op_id: u32,
+        /// Short description ("load x4 @0x80001234", "amoadd @...").
+        what: String,
+    },
+    /// The tile joined its group barrier.
+    BarrierJoin {
+        /// Core cycle.
+        cycle: u64,
+        /// Tile coordinates.
+        tile: (u8, u8),
+    },
+    /// The tile trapped.
+    Fault {
+        /// Core cycle.
+        cycle: u64,
+        /// Tile coordinates.
+        tile: (u8, u8),
+        /// Fault message.
+        message: String,
+    },
+}
+
+impl TraceEvent {
+    fn render(&self) -> String {
+        match self {
+            TraceEvent::Retire { cycle, tile, pc, instr } => {
+                format!("[{cycle:>8}] ({},{}) {pc:08x}: {instr}", tile.0, tile.1)
+            }
+            TraceEvent::RemoteIssue { cycle, tile, op_id, what } => {
+                format!("[{cycle:>8}] ({},{}) -> net op#{op_id} {what}", tile.0, tile.1)
+            }
+            TraceEvent::BarrierJoin { cycle, tile } => {
+                format!("[{cycle:>8}] ({},{}) barrier join", tile.0, tile.1)
+            }
+            TraceEvent::Fault { cycle, tile, message } => {
+                format!("[{cycle:>8}] ({},{}) FAULT: {message}", tile.0, tile.1)
+            }
+        }
+    }
+}
+
+/// A bounded, shared event ring (newest events win).
+#[derive(Debug)]
+pub struct TraceBuffer {
+    ring: Mutex<VecDeque<TraceEvent>>,
+    capacity: usize,
+}
+
+/// Shared handle installed into every tile.
+pub type TraceHandle = Arc<TraceBuffer>;
+
+impl TraceBuffer {
+    /// Creates a buffer holding the most recent `capacity` events.
+    pub fn new(capacity: usize) -> TraceHandle {
+        Arc::new(TraceBuffer { ring: Mutex::new(VecDeque::with_capacity(capacity)), capacity })
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn push(&self, ev: TraceEvent) {
+        let mut ring = self.ring.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(ev);
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.ring.lock().len()
+    }
+
+    /// Whether nothing has been traced.
+    pub fn is_empty(&self) -> bool {
+        self.ring.lock().is_empty()
+    }
+
+    /// Snapshot of the retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.ring.lock().iter().cloned().collect()
+    }
+
+    /// Renders the retained events, one line each, oldest first.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for ev in self.ring.lock().iter() {
+            let _ = writeln!(out, "{}", ev.render());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_isa::Gpr;
+
+    fn retire(cycle: u64) -> TraceEvent {
+        TraceEvent::Retire {
+            cycle,
+            tile: (1, 2),
+            pc: 4 * cycle as u32,
+            instr: Instr::OpImm {
+                op: hb_isa::OpImmOp::Addi,
+                rd: Gpr::A0,
+                rs1: Gpr::A0,
+                imm: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_keeps_newest() {
+        let t = TraceBuffer::new(3);
+        for c in 0..10 {
+            t.push(retire(c));
+        }
+        let evs = t.events();
+        assert_eq!(evs.len(), 3);
+        assert!(matches!(evs[0], TraceEvent::Retire { cycle: 7, .. }));
+        assert!(matches!(evs[2], TraceEvent::Retire { cycle: 9, .. }));
+    }
+
+    #[test]
+    fn render_disassembles() {
+        let t = TraceBuffer::new(4);
+        t.push(retire(5));
+        t.push(TraceEvent::Fault { cycle: 6, tile: (0, 0), message: "boom".into() });
+        let text = t.render();
+        assert!(text.contains("addi a0, a0, 1"));
+        assert!(text.contains("FAULT: boom"));
+    }
+}

@@ -1,0 +1,120 @@
+//! Tile area model (paper Figure 2, right side).
+//!
+//! The paper breaks one HB tile's area down by component and scales it to
+//! the 3 nm node, concluding a tile occupies ~4496 um² so that **100K+
+//! cores fit on a 600 mm² die**. This module encodes that breakdown and
+//! the node-scaling arithmetic so the claim is checkable.
+
+/// One component of the tile-area breakdown.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaComponent {
+    /// Component label.
+    pub name: &'static str,
+    /// Area in um² at the 14/16 nm implementation node.
+    pub um2_14nm: f64,
+}
+
+/// The HB tile breakdown at 14/16 nm (totaling the implied
+/// ~37 900 um²/tile of the 2048-core, 77.5 mm²-scaled design).
+/// Proportions follow the paper's Figure 2 inset: SRAMs dominate, the
+/// Ruche-augmented router adds ~4% to the tile.
+pub const TILE_BREAKDOWN_14NM: [AreaComponent; 7] = [
+    AreaComponent { name: "scratchpad (4KB)", um2_14nm: 9_900.0 },
+    AreaComponent { name: "icache (4KB+tags)", um2_14nm: 8_700.0 },
+    AreaComponent { name: "fpu", um2_14nm: 6_400.0 },
+    AreaComponent { name: "int core + regfile", um2_14nm: 6_100.0 },
+    AreaComponent { name: "router (mesh part)", um2_14nm: 3_800.0 },
+    AreaComponent { name: "router (ruche adders)", um2_14nm: 1_500.0 },
+    AreaComponent { name: "network interface + scoreboard", um2_14nm: 1_400.0 },
+];
+
+/// Area scale factor from 14/16 nm to the 3 nm node (lithography scaling
+/// database; the paper's Figure 2 uses the same source \[61\]).
+pub const SCALE_14_TO_3NM: f64 = 8.4;
+
+/// Total tile area at 14/16 nm in um².
+pub fn tile_um2_14nm() -> f64 {
+    TILE_BREAKDOWN_14NM.iter().map(|c| c.um2_14nm).sum()
+}
+
+/// Total tile area scaled to 3 nm in um² (the paper reports 4496 um²).
+pub fn tile_um2_3nm() -> f64 {
+    tile_um2_14nm() / SCALE_14_TO_3NM
+}
+
+/// Cores that fit on `die_mm2` at 3 nm, assuming the paper's ~80%
+/// tile-array share of the die (the rest is cache strips and I/O).
+pub fn cores_on_die_3nm(die_mm2: f64) -> u64 {
+    (die_mm2 * 1e6 * 0.8 / tile_um2_3nm()) as u64
+}
+
+/// Fraction of the tile the Ruche network extension costs.
+pub fn ruche_area_overhead() -> f64 {
+    let ruche = TILE_BREAKDOWN_14NM
+        .iter()
+        .find(|c| c.name.contains("ruche"))
+        .map_or(0.0, |c| c.um2_14nm);
+    ruche / tile_um2_14nm()
+}
+
+/// Router area increase from Ruche links (the paper reports 40% more
+/// router area, 4% more tile area).
+pub fn ruche_router_overhead() -> f64 {
+    let mesh = TILE_BREAKDOWN_14NM
+        .iter()
+        .find(|c| c.name.contains("mesh"))
+        .map_or(0.0, |c| c.um2_14nm);
+    let ruche = TILE_BREAKDOWN_14NM
+        .iter()
+        .find(|c| c.name.contains("ruche"))
+        .map_or(0.0, |c| c.um2_14nm);
+    ruche / mesh
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_scales_to_papers_3nm_figure() {
+        let t = tile_um2_3nm();
+        assert!(
+            (4000.0..5000.0).contains(&t),
+            "3nm tile {t:.0} um2 should be ~4496 (paper Figure 2)"
+        );
+    }
+
+    #[test]
+    fn hundred_k_cores_fit_on_a_reticle() {
+        // The paper: 100K+ cores on a 600 mm2 die at 3 nm.
+        assert!(
+            cores_on_die_3nm(600.0) > 100_000,
+            "only {} cores fit",
+            cores_on_die_3nm(600.0)
+        );
+    }
+
+    #[test]
+    fn ruche_costs_four_percent_of_tile() {
+        let f = ruche_area_overhead();
+        assert!((0.03..0.05).contains(&f), "ruche tile overhead {f:.3} (paper: ~4%)");
+    }
+
+    #[test]
+    fn ruche_costs_forty_percent_of_router() {
+        let f = ruche_router_overhead();
+        assert!((0.3..0.5).contains(&f), "ruche router overhead {f:.2} (paper: ~40%)");
+    }
+
+    #[test]
+    fn breakdown_is_sram_dominated() {
+        // The density argument: memories are most of the tile, which is
+        // why the paper right-sizes them at 4 KB.
+        let srams: f64 = TILE_BREAKDOWN_14NM
+            .iter()
+            .filter(|c| c.name.contains("scratchpad") || c.name.contains("icache"))
+            .map(|c| c.um2_14nm)
+            .sum();
+        assert!(srams / tile_um2_14nm() > 0.4);
+    }
+}

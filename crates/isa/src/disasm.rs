@@ -1,0 +1,173 @@
+//! Disassembly: `Display` implementations producing standard RISC-V syntax.
+
+use crate::instr::*;
+use std::fmt;
+
+impl fmt::Display for BranchOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BranchOp::Eq => "beq",
+            BranchOp::Ne => "bne",
+            BranchOp::Lt => "blt",
+            BranchOp::Ge => "bge",
+            BranchOp::Ltu => "bltu",
+            BranchOp::Geu => "bgeu",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Lui { rd, imm } => write!(f, "lui {rd}, {:#x}", imm & 0xfffff),
+            Instr::Auipc { rd, imm } => write!(f, "auipc {rd}, {:#x}", imm & 0xfffff),
+            Instr::Jal { rd, offset } => write!(f, "jal {rd}, {offset}"),
+            Instr::Jalr { rd, rs1, offset } => write!(f, "jalr {rd}, {offset}({rs1})"),
+            Instr::Branch { op, rs1, rs2, offset } => write!(f, "{op} {rs1}, {rs2}, {offset}"),
+            Instr::Load { width, rd, rs1, offset } => {
+                let m = match width {
+                    LoadWidth::B => "lb",
+                    LoadWidth::H => "lh",
+                    LoadWidth::W => "lw",
+                    LoadWidth::Bu => "lbu",
+                    LoadWidth::Hu => "lhu",
+                };
+                write!(f, "{m} {rd}, {offset}({rs1})")
+            }
+            Instr::Store { width, rs1, rs2, offset } => {
+                let m = match width {
+                    StoreWidth::B => "sb",
+                    StoreWidth::H => "sh",
+                    StoreWidth::W => "sw",
+                };
+                write!(f, "{m} {rs2}, {offset}({rs1})")
+            }
+            Instr::OpImm { op, rd, rs1, imm } => {
+                let m = match op {
+                    OpImmOp::Addi => "addi",
+                    OpImmOp::Slti => "slti",
+                    OpImmOp::Sltiu => "sltiu",
+                    OpImmOp::Xori => "xori",
+                    OpImmOp::Ori => "ori",
+                    OpImmOp::Andi => "andi",
+                    OpImmOp::Slli => "slli",
+                    OpImmOp::Srli => "srli",
+                    OpImmOp::Srai => "srai",
+                };
+                write!(f, "{m} {rd}, {rs1}, {imm}")
+            }
+            Instr::Op { op, rd, rs1, rs2 } => {
+                let m = match op {
+                    OpOp::Add => "add",
+                    OpOp::Sub => "sub",
+                    OpOp::Sll => "sll",
+                    OpOp::Slt => "slt",
+                    OpOp::Sltu => "sltu",
+                    OpOp::Xor => "xor",
+                    OpOp::Srl => "srl",
+                    OpOp::Sra => "sra",
+                    OpOp::Or => "or",
+                    OpOp::And => "and",
+                    OpOp::Mul => "mul",
+                    OpOp::Mulh => "mulh",
+                    OpOp::Mulhsu => "mulhsu",
+                    OpOp::Mulhu => "mulhu",
+                    OpOp::Div => "div",
+                    OpOp::Divu => "divu",
+                    OpOp::Rem => "rem",
+                    OpOp::Remu => "remu",
+                };
+                write!(f, "{m} {rd}, {rs1}, {rs2}")
+            }
+            Instr::Fence => f.write_str("fence"),
+            Instr::Ecall => f.write_str("ecall"),
+            Instr::Ebreak => f.write_str("ebreak"),
+            Instr::Amo { op, rd, rs1, rs2, aq, rl } => {
+                let m = match op {
+                    AmoOp::Swap => "amoswap.w",
+                    AmoOp::Add => "amoadd.w",
+                    AmoOp::Xor => "amoxor.w",
+                    AmoOp::And => "amoand.w",
+                    AmoOp::Or => "amoor.w",
+                    AmoOp::Min => "amomin.w",
+                    AmoOp::Max => "amomax.w",
+                    AmoOp::Minu => "amominu.w",
+                    AmoOp::Maxu => "amomaxu.w",
+                };
+                write!(f, "{m}{} {rd}, {rs2}, ({rs1})", aqrl(aq, rl))
+            }
+            Instr::LrW { rd, rs1, aq, rl } => write!(f, "lr.w{} {rd}, ({rs1})", aqrl(aq, rl)),
+            Instr::ScW { rd, rs1, rs2, aq, rl } => {
+                write!(f, "sc.w{} {rd}, {rs2}, ({rs1})", aqrl(aq, rl))
+            }
+            Instr::Flw { rd, rs1, offset } => write!(f, "flw {rd}, {offset}({rs1})"),
+            Instr::Fsw { rs1, rs2, offset } => write!(f, "fsw {rs2}, {offset}({rs1})"),
+            Instr::FpOp { op, rd, rs1, rs2 } => {
+                let m = match op {
+                    FpOp::Add => "fadd.s",
+                    FpOp::Sub => "fsub.s",
+                    FpOp::Mul => "fmul.s",
+                    FpOp::Div => "fdiv.s",
+                    FpOp::Sqrt => return write!(f, "fsqrt.s {rd}, {rs1}"),
+                    FpOp::Sgnj => "fsgnj.s",
+                    FpOp::Sgnjn => "fsgnjn.s",
+                    FpOp::Sgnjx => "fsgnjx.s",
+                    FpOp::Min => "fmin.s",
+                    FpOp::Max => "fmax.s",
+                };
+                write!(f, "{m} {rd}, {rs1}, {rs2}")
+            }
+            Instr::Fma { op, rd, rs1, rs2, rs3 } => {
+                let m = match op {
+                    FmaOp::Madd => "fmadd.s",
+                    FmaOp::Msub => "fmsub.s",
+                    FmaOp::Nmsub => "fnmsub.s",
+                    FmaOp::Nmadd => "fnmadd.s",
+                };
+                write!(f, "{m} {rd}, {rs1}, {rs2}, {rs3}")
+            }
+            Instr::FpCmp { op, rd, rs1, rs2 } => {
+                let m = match op {
+                    FpCmp::Eq => "feq.s",
+                    FpCmp::Lt => "flt.s",
+                    FpCmp::Le => "fle.s",
+                };
+                write!(f, "{m} {rd}, {rs1}, {rs2}")
+            }
+            Instr::FcvtWS { rd, rs1 } => write!(f, "fcvt.w.s {rd}, {rs1}"),
+            Instr::FcvtWuS { rd, rs1 } => write!(f, "fcvt.wu.s {rd}, {rs1}"),
+            Instr::FcvtSW { rd, rs1 } => write!(f, "fcvt.s.w {rd}, {rs1}"),
+            Instr::FcvtSWu { rd, rs1 } => write!(f, "fcvt.s.wu {rd}, {rs1}"),
+            Instr::FmvXW { rd, rs1 } => write!(f, "fmv.x.w {rd}, {rs1}"),
+            Instr::FmvWX { rd, rs1 } => write!(f, "fmv.w.x {rd}, {rs1}"),
+        }
+    }
+}
+
+fn aqrl(aq: bool, rl: bool) -> &'static str {
+    match (aq, rl) {
+        (false, false) => "",
+        (true, false) => ".aq",
+        (false, true) => ".rl",
+        (true, true) => ".aqrl",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{Fpr::*, Gpr::*};
+
+    #[test]
+    fn disasm_formats() {
+        let i = Instr::Op { op: OpOp::Add, rd: A0, rs1: A1, rs2: A2 };
+        assert_eq!(i.to_string(), "add a0, a1, a2");
+        let i = Instr::Load { width: LoadWidth::W, rd: T0, rs1: Sp, offset: -4 };
+        assert_eq!(i.to_string(), "lw t0, -4(sp)");
+        let i = Instr::Fma { op: FmaOp::Madd, rd: Fa0, rs1: Fa1, rs2: Fa2, rs3: Fa3 };
+        assert_eq!(i.to_string(), "fmadd.s fa0, fa1, fa2, fa3");
+        let i = Instr::Amo { op: AmoOp::Add, rd: A0, rs1: A2, rs2: A1, aq: true, rl: true };
+        assert_eq!(i.to_string(), "amoadd.w.aqrl a0, a1, (a2)");
+    }
+}

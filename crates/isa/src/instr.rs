@@ -1,0 +1,656 @@
+//! Structured representation of the RV32IMAF instruction set.
+
+use crate::reg::{Fpr, Gpr};
+
+/// Conditional branch comparison, funct3 of the `BRANCH` opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchOp {
+    /// `beq` — branch if equal.
+    Eq,
+    /// `bne` — branch if not equal.
+    Ne,
+    /// `blt` — branch if less than (signed).
+    Lt,
+    /// `bge` — branch if greater or equal (signed).
+    Ge,
+    /// `bltu` — branch if less than (unsigned).
+    Ltu,
+    /// `bgeu` — branch if greater or equal (unsigned).
+    Geu,
+}
+
+impl BranchOp {
+    /// Every operation variant, in a fixed order (useful for exercisers).
+    pub const ALL: [BranchOp; 6] = [
+        BranchOp::Eq,
+        BranchOp::Ne,
+        BranchOp::Lt,
+        BranchOp::Ge,
+        BranchOp::Ltu,
+        BranchOp::Geu,
+    ];
+
+    pub(crate) fn funct3(self) -> u32 {
+        match self {
+            BranchOp::Eq => 0b000,
+            BranchOp::Ne => 0b001,
+            BranchOp::Lt => 0b100,
+            BranchOp::Ge => 0b101,
+            BranchOp::Ltu => 0b110,
+            BranchOp::Geu => 0b111,
+        }
+    }
+
+    /// Evaluates the branch condition on two register values.
+    pub fn taken(self, a: u32, b: u32) -> bool {
+        match self {
+            BranchOp::Eq => a == b,
+            BranchOp::Ne => a != b,
+            BranchOp::Lt => (a as i32) < (b as i32),
+            BranchOp::Ge => (a as i32) >= (b as i32),
+            BranchOp::Ltu => a < b,
+            BranchOp::Geu => a >= b,
+        }
+    }
+}
+
+/// Width/signedness of an integer load, funct3 of the `LOAD` opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoadWidth {
+    /// `lb` — load byte, sign-extended.
+    B,
+    /// `lh` — load halfword, sign-extended.
+    H,
+    /// `lw` — load word.
+    W,
+    /// `lbu` — load byte, zero-extended.
+    Bu,
+    /// `lhu` — load halfword, zero-extended.
+    Hu,
+}
+
+impl LoadWidth {
+    /// Every operation variant, in a fixed order (useful for exercisers).
+    pub const ALL: [LoadWidth; 5] = [
+        LoadWidth::B,
+        LoadWidth::H,
+        LoadWidth::W,
+        LoadWidth::Bu,
+        LoadWidth::Hu,
+    ];
+
+    pub(crate) fn funct3(self) -> u32 {
+        match self {
+            LoadWidth::B => 0b000,
+            LoadWidth::H => 0b001,
+            LoadWidth::W => 0b010,
+            LoadWidth::Bu => 0b100,
+            LoadWidth::Hu => 0b101,
+        }
+    }
+
+    /// Number of bytes transferred.
+    pub fn bytes(self) -> u32 {
+        match self {
+            LoadWidth::B | LoadWidth::Bu => 1,
+            LoadWidth::H | LoadWidth::Hu => 2,
+            LoadWidth::W => 4,
+        }
+    }
+}
+
+/// Width of an integer store, funct3 of the `STORE` opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StoreWidth {
+    /// `sb` — store byte.
+    B,
+    /// `sh` — store halfword.
+    H,
+    /// `sw` — store word.
+    W,
+}
+
+impl StoreWidth {
+    /// Every operation variant, in a fixed order (useful for exercisers).
+    pub const ALL: [StoreWidth; 3] = [StoreWidth::B, StoreWidth::H, StoreWidth::W];
+
+    pub(crate) fn funct3(self) -> u32 {
+        match self {
+            StoreWidth::B => 0b000,
+            StoreWidth::H => 0b001,
+            StoreWidth::W => 0b010,
+        }
+    }
+
+    /// Number of bytes transferred.
+    pub fn bytes(self) -> u32 {
+        match self {
+            StoreWidth::B => 1,
+            StoreWidth::H => 2,
+            StoreWidth::W => 4,
+        }
+    }
+}
+
+/// Register-immediate ALU operation (`OP-IMM` opcode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpImmOp {
+    /// `addi`
+    Addi,
+    /// `slti` — set if less than immediate (signed).
+    Slti,
+    /// `sltiu`
+    Sltiu,
+    /// `xori`
+    Xori,
+    /// `ori`
+    Ori,
+    /// `andi`
+    Andi,
+    /// `slli` — shift amount in the low 5 immediate bits.
+    Slli,
+    /// `srli`
+    Srli,
+    /// `srai`
+    Srai,
+}
+
+impl OpImmOp {
+    /// Every operation variant, in a fixed order (useful for exercisers).
+    pub const ALL: [OpImmOp; 9] = [
+        OpImmOp::Addi,
+        OpImmOp::Slti,
+        OpImmOp::Sltiu,
+        OpImmOp::Xori,
+        OpImmOp::Ori,
+        OpImmOp::Andi,
+        OpImmOp::Slli,
+        OpImmOp::Srli,
+        OpImmOp::Srai,
+    ];
+
+    /// Whether this is a shift (immediate restricted to 0..32).
+    pub fn is_shift(self) -> bool {
+        matches!(self, OpImmOp::Slli | OpImmOp::Srli | OpImmOp::Srai)
+    }
+
+    /// Evaluates the operation.
+    pub fn eval(self, a: u32, imm: i32) -> u32 {
+        let b = imm as u32;
+        match self {
+            OpImmOp::Addi => a.wrapping_add(b),
+            OpImmOp::Slti => u32::from((a as i32) < imm),
+            OpImmOp::Sltiu => u32::from(a < b),
+            OpImmOp::Xori => a ^ b,
+            OpImmOp::Ori => a | b,
+            OpImmOp::Andi => a & b,
+            OpImmOp::Slli => a.wrapping_shl(b & 0x1f),
+            OpImmOp::Srli => a.wrapping_shr(b & 0x1f),
+            OpImmOp::Srai => ((a as i32).wrapping_shr(b & 0x1f)) as u32,
+        }
+    }
+}
+
+/// Register-register ALU operation (`OP` opcode), including the M extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpOp {
+    /// `add`
+    Add,
+    /// `sub`
+    Sub,
+    /// `sll`
+    Sll,
+    /// `slt`
+    Slt,
+    /// `sltu`
+    Sltu,
+    /// `xor`
+    Xor,
+    /// `srl`
+    Srl,
+    /// `sra`
+    Sra,
+    /// `or`
+    Or,
+    /// `and`
+    And,
+    /// `mul` (M extension)
+    Mul,
+    /// `mulh`
+    Mulh,
+    /// `mulhsu`
+    Mulhsu,
+    /// `mulhu`
+    Mulhu,
+    /// `div`
+    Div,
+    /// `divu`
+    Divu,
+    /// `rem`
+    Rem,
+    /// `remu`
+    Remu,
+}
+
+impl OpOp {
+    /// Every operation variant, in a fixed order (useful for exercisers).
+    pub const ALL: [OpOp; 18] = [
+        OpOp::Add,
+        OpOp::Sub,
+        OpOp::Sll,
+        OpOp::Slt,
+        OpOp::Sltu,
+        OpOp::Xor,
+        OpOp::Srl,
+        OpOp::Sra,
+        OpOp::Or,
+        OpOp::And,
+        OpOp::Mul,
+        OpOp::Mulh,
+        OpOp::Mulhsu,
+        OpOp::Mulhu,
+        OpOp::Div,
+        OpOp::Divu,
+        OpOp::Rem,
+        OpOp::Remu,
+    ];
+
+    /// Whether this operation comes from the M extension.
+    pub fn is_muldiv(self) -> bool {
+        matches!(
+            self,
+            OpOp::Mul
+                | OpOp::Mulh
+                | OpOp::Mulhsu
+                | OpOp::Mulhu
+                | OpOp::Div
+                | OpOp::Divu
+                | OpOp::Rem
+                | OpOp::Remu
+        )
+    }
+
+    /// Evaluates the operation with RISC-V semantics (including the
+    /// divide-by-zero and overflow conventions of the M extension).
+    pub fn eval(self, a: u32, b: u32) -> u32 {
+        let (sa, sb) = (a as i32, b as i32);
+        match self {
+            OpOp::Add => a.wrapping_add(b),
+            OpOp::Sub => a.wrapping_sub(b),
+            OpOp::Sll => a.wrapping_shl(b & 0x1f),
+            OpOp::Slt => u32::from(sa < sb),
+            OpOp::Sltu => u32::from(a < b),
+            OpOp::Xor => a ^ b,
+            OpOp::Srl => a.wrapping_shr(b & 0x1f),
+            OpOp::Sra => sa.wrapping_shr(b & 0x1f) as u32,
+            OpOp::Or => a | b,
+            OpOp::And => a & b,
+            OpOp::Mul => a.wrapping_mul(b),
+            OpOp::Mulh => (((sa as i64) * (sb as i64)) >> 32) as u32,
+            OpOp::Mulhsu => (((sa as i64) * (b as i64)) >> 32) as u32,
+            OpOp::Mulhu => (((a as u64) * (b as u64)) >> 32) as u32,
+            OpOp::Div => {
+                if b == 0 {
+                    u32::MAX
+                } else if sa == i32::MIN && sb == -1 {
+                    a
+                } else {
+                    (sa / sb) as u32
+                }
+            }
+            OpOp::Divu => {
+                if b == 0 {
+                    u32::MAX
+                } else {
+                    a / b
+                }
+            }
+            OpOp::Rem => {
+                if b == 0 {
+                    a
+                } else if sa == i32::MIN && sb == -1 {
+                    0
+                } else {
+                    (sa % sb) as u32
+                }
+            }
+            OpOp::Remu => {
+                if b == 0 {
+                    a
+                } else {
+                    a % b
+                }
+            }
+        }
+    }
+}
+
+/// Atomic memory operation (`AMO` opcode, A extension, 32-bit width).
+///
+/// HammerBlade executes these remotely at the cache banks, providing
+/// chip-wide synchronization primitives without coherence hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AmoOp {
+    /// `amoswap.w`
+    Swap,
+    /// `amoadd.w`
+    Add,
+    /// `amoxor.w`
+    Xor,
+    /// `amoand.w`
+    And,
+    /// `amoor.w`
+    Or,
+    /// `amomin.w` (signed)
+    Min,
+    /// `amomax.w` (signed)
+    Max,
+    /// `amominu.w`
+    Minu,
+    /// `amomaxu.w`
+    Maxu,
+}
+
+impl AmoOp {
+    /// Every operation variant, in a fixed order (useful for exercisers).
+    pub const ALL: [AmoOp; 9] = [
+        AmoOp::Swap,
+        AmoOp::Add,
+        AmoOp::Xor,
+        AmoOp::And,
+        AmoOp::Or,
+        AmoOp::Min,
+        AmoOp::Max,
+        AmoOp::Minu,
+        AmoOp::Maxu,
+    ];
+
+    pub(crate) fn funct5(self) -> u32 {
+        match self {
+            AmoOp::Swap => 0b00001,
+            AmoOp::Add => 0b00000,
+            AmoOp::Xor => 0b00100,
+            AmoOp::And => 0b01100,
+            AmoOp::Or => 0b01000,
+            AmoOp::Min => 0b10000,
+            AmoOp::Max => 0b10100,
+            AmoOp::Minu => 0b11000,
+            AmoOp::Maxu => 0b11100,
+        }
+    }
+
+    /// Computes the new memory value from the old value and the operand.
+    /// The AMO also returns the *old* value to the issuing core.
+    pub fn apply(self, old: u32, operand: u32) -> u32 {
+        match self {
+            AmoOp::Swap => operand,
+            AmoOp::Add => old.wrapping_add(operand),
+            AmoOp::Xor => old ^ operand,
+            AmoOp::And => old & operand,
+            AmoOp::Or => old | operand,
+            AmoOp::Min => (old as i32).min(operand as i32) as u32,
+            AmoOp::Max => (old as i32).max(operand as i32) as u32,
+            AmoOp::Minu => old.min(operand),
+            AmoOp::Maxu => old.max(operand),
+        }
+    }
+}
+
+/// Two-operand floating-point computation (`OP-FP` opcode, F extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpOp {
+    /// `fadd.s`
+    Add,
+    /// `fsub.s`
+    Sub,
+    /// `fmul.s`
+    Mul,
+    /// `fdiv.s`
+    Div,
+    /// `fsqrt.s` (rs2 ignored)
+    Sqrt,
+    /// `fsgnj.s`
+    Sgnj,
+    /// `fsgnjn.s`
+    Sgnjn,
+    /// `fsgnjx.s`
+    Sgnjx,
+    /// `fmin.s`
+    Min,
+    /// `fmax.s`
+    Max,
+}
+
+impl FpOp {
+    /// Every operation variant, in a fixed order (useful for exercisers).
+    pub const ALL: [FpOp; 10] = [
+        FpOp::Add,
+        FpOp::Sub,
+        FpOp::Mul,
+        FpOp::Div,
+        FpOp::Sqrt,
+        FpOp::Sgnj,
+        FpOp::Sgnjn,
+        FpOp::Sgnjx,
+        FpOp::Min,
+        FpOp::Max,
+    ];
+
+    /// Evaluates the operation on raw f32 bit patterns.
+    pub fn eval(self, a: f32, b: f32) -> f32 {
+        match self {
+            FpOp::Add => a + b,
+            FpOp::Sub => a - b,
+            FpOp::Mul => a * b,
+            FpOp::Div => a / b,
+            FpOp::Sqrt => a.sqrt(),
+            FpOp::Sgnj => f32::from_bits((a.to_bits() & 0x7fff_ffff) | (b.to_bits() & 0x8000_0000)),
+            FpOp::Sgnjn => {
+                f32::from_bits((a.to_bits() & 0x7fff_ffff) | (!b.to_bits() & 0x8000_0000))
+            }
+            FpOp::Sgnjx => f32::from_bits(a.to_bits() ^ (b.to_bits() & 0x8000_0000)),
+            FpOp::Min => a.min(b),
+            FpOp::Max => a.max(b),
+        }
+    }
+}
+
+/// Fused multiply-add family (`MADD`/`MSUB`/`NMSUB`/`NMADD` opcodes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FmaOp {
+    /// `fmadd.s` — `rs1*rs2 + rs3`
+    Madd,
+    /// `fmsub.s` — `rs1*rs2 - rs3`
+    Msub,
+    /// `fnmsub.s` — `-(rs1*rs2) + rs3`
+    Nmsub,
+    /// `fnmadd.s` — `-(rs1*rs2) - rs3`
+    Nmadd,
+}
+
+impl FmaOp {
+    /// Every operation variant, in a fixed order (useful for exercisers).
+    pub const ALL: [FmaOp; 4] = [FmaOp::Madd, FmaOp::Msub, FmaOp::Nmsub, FmaOp::Nmadd];
+
+    /// Evaluates the fused operation.
+    pub fn eval(self, a: f32, b: f32, c: f32) -> f32 {
+        match self {
+            FmaOp::Madd => a.mul_add(b, c),
+            FmaOp::Msub => a.mul_add(b, -c),
+            FmaOp::Nmsub => (-a).mul_add(b, c),
+            FmaOp::Nmadd => (-a).mul_add(b, -c),
+        }
+    }
+}
+
+/// A single decoded RV32IMAF instruction.
+///
+/// The enum is structured by encoding format rather than flat per-mnemonic,
+/// which keeps encode/decode and the core's execute stage compact. Immediates
+/// are stored as sign-extended `i32` semantic values (e.g. `Lui.imm` is the
+/// 20-bit value *before* the implicit `<< 12`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// `lui rd, imm` — load upper immediate (`rd = imm << 12`).
+    Lui { rd: Gpr, imm: i32 },
+    /// `auipc rd, imm` — add upper immediate to PC.
+    Auipc { rd: Gpr, imm: i32 },
+    /// `jal rd, offset` — jump and link. Offset is relative to this
+    /// instruction and must be a multiple of 2 in ±1 MiB.
+    Jal { rd: Gpr, offset: i32 },
+    /// `jalr rd, offset(rs1)` — indirect jump and link.
+    Jalr { rd: Gpr, rs1: Gpr, offset: i32 },
+    /// Conditional branch, PC-relative offset in ±4 KiB.
+    Branch {
+        op: BranchOp,
+        rs1: Gpr,
+        rs2: Gpr,
+        offset: i32,
+    },
+    /// Integer load `rd = mem[rs1 + offset]`.
+    Load {
+        width: LoadWidth,
+        rd: Gpr,
+        rs1: Gpr,
+        offset: i32,
+    },
+    /// Integer store `mem[rs1 + offset] = rs2`.
+    Store {
+        width: StoreWidth,
+        rs1: Gpr,
+        rs2: Gpr,
+        offset: i32,
+    },
+    /// Register-immediate ALU operation.
+    OpImm {
+        op: OpImmOp,
+        rd: Gpr,
+        rs1: Gpr,
+        imm: i32,
+    },
+    /// Register-register ALU operation (including M extension).
+    Op { op: OpOp, rd: Gpr, rs1: Gpr, rs2: Gpr },
+    /// `fence` — on HammerBlade, drains the remote-op scoreboard: the core
+    /// stalls until every outstanding request has been acknowledged.
+    Fence,
+    /// `ecall` — the simulator treats this as "tile finished".
+    Ecall,
+    /// `ebreak` — simulator breakpoint/trap.
+    Ebreak,
+    /// Atomic memory operation `rd = amo(mem[rs1], rs2)` with
+    /// acquire/release bits.
+    Amo {
+        op: AmoOp,
+        rd: Gpr,
+        rs1: Gpr,
+        rs2: Gpr,
+        aq: bool,
+        rl: bool,
+    },
+    /// `lr.w rd, (rs1)` — load-reserved.
+    LrW { rd: Gpr, rs1: Gpr, aq: bool, rl: bool },
+    /// `sc.w rd, rs2, (rs1)` — store-conditional.
+    ScW {
+        rd: Gpr,
+        rs1: Gpr,
+        rs2: Gpr,
+        aq: bool,
+        rl: bool,
+    },
+    /// `flw rd, offset(rs1)` — FP load word.
+    Flw { rd: Fpr, rs1: Gpr, offset: i32 },
+    /// `fsw rs2, offset(rs1)` — FP store word.
+    Fsw { rs1: Gpr, rs2: Fpr, offset: i32 },
+    /// Two-operand FP computation.
+    FpOp {
+        op: FpOp,
+        rd: Fpr,
+        rs1: Fpr,
+        rs2: Fpr,
+    },
+    /// Fused multiply-add.
+    Fma {
+        op: FmaOp,
+        rd: Fpr,
+        rs1: Fpr,
+        rs2: Fpr,
+        rs3: Fpr,
+    },
+    /// FP compare writing an integer register: `feq.s`/`flt.s`/`fle.s`
+    /// selected by `op` (only `Eq`/`Lt`/`Le` meaningful, see [`FpCmp`]).
+    FpCmp {
+        op: FpCmp,
+        rd: Gpr,
+        rs1: Fpr,
+        rs2: Fpr,
+    },
+    /// `fcvt.w.s rd, rs1` — FP to signed int (round to nearest even).
+    FcvtWS { rd: Gpr, rs1: Fpr },
+    /// `fcvt.wu.s rd, rs1` — FP to unsigned int.
+    FcvtWuS { rd: Gpr, rs1: Fpr },
+    /// `fcvt.s.w rd, rs1` — signed int to FP.
+    FcvtSW { rd: Fpr, rs1: Gpr },
+    /// `fcvt.s.wu rd, rs1` — unsigned int to FP.
+    FcvtSWu { rd: Fpr, rs1: Gpr },
+    /// `fmv.x.w rd, rs1` — move FP bits to integer register.
+    FmvXW { rd: Gpr, rs1: Fpr },
+    /// `fmv.w.x rd, rs1` — move integer bits to FP register.
+    FmvWX { rd: Fpr, rs1: Gpr },
+}
+
+/// Floating-point comparison kind for [`Instr::FpCmp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpCmp {
+    /// `feq.s`
+    Eq,
+    /// `flt.s`
+    Lt,
+    /// `fle.s`
+    Le,
+}
+
+impl FpCmp {
+    /// Every operation variant, in a fixed order (useful for exercisers).
+    pub const ALL: [FpCmp; 3] = [FpCmp::Eq, FpCmp::Lt, FpCmp::Le];
+
+    /// Evaluates the comparison (quiet; NaN compares false).
+    pub fn eval(self, a: f32, b: f32) -> bool {
+        match self {
+            FpCmp::Eq => a == b,
+            FpCmp::Lt => a < b,
+            FpCmp::Le => a <= b,
+        }
+    }
+}
+
+impl Instr {
+    /// A canonical no-op (`addi zero, zero, 0`).
+    pub const NOP: Instr = Instr::OpImm {
+        op: OpImmOp::Addi,
+        rd: Gpr::Zero,
+        rs1: Gpr::Zero,
+        imm: 0,
+    };
+
+    /// Whether executing this instruction may access data memory.
+    pub fn is_memory_op(&self) -> bool {
+        matches!(
+            self,
+            Instr::Load { .. }
+                | Instr::Store { .. }
+                | Instr::Amo { .. }
+                | Instr::LrW { .. }
+                | Instr::ScW { .. }
+                | Instr::Flw { .. }
+                | Instr::Fsw { .. }
+        )
+    }
+
+    /// Whether this instruction may redirect the PC.
+    pub fn is_control_flow(&self) -> bool {
+        matches!(
+            self,
+            Instr::Jal { .. } | Instr::Jalr { .. } | Instr::Branch { .. }
+        )
+    }
+}

@@ -1,0 +1,208 @@
+//! Register names for the RV32 integer and floating-point register files.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Error returned when parsing a register name fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegError {
+    name: String,
+}
+
+impl fmt::Display for ParseRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown register name `{}`", self.name)
+    }
+}
+
+impl std::error::Error for ParseRegError {}
+
+macro_rules! define_regs {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal, [$(($variant:ident, $idx:literal, $abi:literal)),* $(,)?]) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        #[repr(u8)]
+        pub enum $name {
+            $(
+                #[doc = concat!("Register `", $abi, "` (", $prefix, stringify!($idx), ").")]
+                $variant = $idx,
+            )*
+        }
+
+        impl $name {
+            /// All 32 registers in index order.
+            pub const ALL: [$name; 32] = [$($name::$variant),*];
+
+            /// The 5-bit register index used in instruction encodings.
+            #[inline]
+            pub const fn index(self) -> u8 {
+                self as u8
+            }
+
+            /// Reconstructs a register from its 5-bit index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `idx >= 32`.
+            #[inline]
+            pub fn from_index(idx: u8) -> $name {
+                Self::ALL[idx as usize]
+            }
+
+            /// The ABI mnemonic, e.g. `a0` or `ft3`.
+            pub const fn abi_name(self) -> &'static str {
+                match self {
+                    $($name::$variant => $abi,)*
+                }
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(self.abi_name())
+            }
+        }
+
+        impl FromStr for $name {
+            type Err = ParseRegError;
+
+            fn from_str(s: &str) -> Result<Self, Self::Err> {
+                $(
+                    if s == $abi || s == concat!($prefix, stringify!($idx)) {
+                        return Ok($name::$variant);
+                    }
+                )*
+                Err(ParseRegError { name: s.to_owned() })
+            }
+        }
+    };
+}
+
+define_regs!(
+    /// A general-purpose (integer) register, `x0`–`x31`.
+    ///
+    /// Variants are named after the standard RISC-V ABI mnemonics; `Gpr::Zero`
+    /// is the hard-wired zero register `x0`.
+    Gpr,
+    "x",
+    [
+        (Zero, 0, "zero"),
+        (Ra, 1, "ra"),
+        (Sp, 2, "sp"),
+        (Gp, 3, "gp"),
+        (Tp, 4, "tp"),
+        (T0, 5, "t0"),
+        (T1, 6, "t1"),
+        (T2, 7, "t2"),
+        (S0, 8, "s0"),
+        (S1, 9, "s1"),
+        (A0, 10, "a0"),
+        (A1, 11, "a1"),
+        (A2, 12, "a2"),
+        (A3, 13, "a3"),
+        (A4, 14, "a4"),
+        (A5, 15, "a5"),
+        (A6, 16, "a6"),
+        (A7, 17, "a7"),
+        (S2, 18, "s2"),
+        (S3, 19, "s3"),
+        (S4, 20, "s4"),
+        (S5, 21, "s5"),
+        (S6, 22, "s6"),
+        (S7, 23, "s7"),
+        (S8, 24, "s8"),
+        (S9, 25, "s9"),
+        (S10, 26, "s10"),
+        (S11, 27, "s11"),
+        (T3, 28, "t3"),
+        (T4, 29, "t4"),
+        (T5, 30, "t5"),
+        (T6, 31, "t6"),
+    ]
+);
+
+define_regs!(
+    /// A single-precision floating-point register, `f0`–`f31`.
+    Fpr,
+    "f",
+    [
+        (Ft0, 0, "ft0"),
+        (Ft1, 1, "ft1"),
+        (Ft2, 2, "ft2"),
+        (Ft3, 3, "ft3"),
+        (Ft4, 4, "ft4"),
+        (Ft5, 5, "ft5"),
+        (Ft6, 6, "ft6"),
+        (Ft7, 7, "ft7"),
+        (Fs0, 8, "fs0"),
+        (Fs1, 9, "fs1"),
+        (Fa0, 10, "fa0"),
+        (Fa1, 11, "fa1"),
+        (Fa2, 12, "fa2"),
+        (Fa3, 13, "fa3"),
+        (Fa4, 14, "fa4"),
+        (Fa5, 15, "fa5"),
+        (Fa6, 16, "fa6"),
+        (Fa7, 17, "fa7"),
+        (Fs2, 18, "fs2"),
+        (Fs3, 19, "fs3"),
+        (Fs4, 20, "fs4"),
+        (Fs5, 21, "fs5"),
+        (Fs6, 22, "fs6"),
+        (Fs7, 23, "fs7"),
+        (Fs8, 24, "fs8"),
+        (Fs9, 25, "fs9"),
+        (Fs10, 26, "fs10"),
+        (Fs11, 27, "fs11"),
+        (Ft8, 28, "ft8"),
+        (Ft9, 29, "ft9"),
+        (Ft10, 30, "ft10"),
+        (Ft11, 31, "ft11"),
+    ]
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpr_index_round_trip() {
+        for r in Gpr::ALL {
+            assert_eq!(Gpr::from_index(r.index()), r);
+        }
+    }
+
+    #[test]
+    fn fpr_index_round_trip() {
+        for r in Fpr::ALL {
+            assert_eq!(Fpr::from_index(r.index()), r);
+        }
+    }
+
+    #[test]
+    fn parse_abi_names() {
+        assert_eq!("a0".parse::<Gpr>(), Ok(Gpr::A0));
+        assert_eq!("zero".parse::<Gpr>(), Ok(Gpr::Zero));
+        assert_eq!("fs11".parse::<Fpr>(), Ok(Fpr::Fs11));
+    }
+
+    #[test]
+    fn parse_numeric_names() {
+        assert_eq!("x10".parse::<Gpr>(), Ok(Gpr::A0));
+        assert_eq!("f0".parse::<Fpr>(), Ok(Fpr::Ft0));
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        assert!("q7".parse::<Gpr>().is_err());
+        assert!("x32".parse::<Gpr>().is_err());
+    }
+
+    #[test]
+    fn abi_names_are_unique() {
+        let mut names: Vec<_> = Gpr::ALL.iter().map(|r| r.abi_name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 32);
+    }
+}

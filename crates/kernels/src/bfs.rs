@@ -1,0 +1,420 @@
+//! BFS — breadth-first search (graph-traversal dwarf).
+//!
+//! Top-down frontier BFS implementing the paper's Figure 8 idiom exactly:
+//! tiles claim frontier vertices with `amoadd` on a shared work counter
+//! and mark discovered neighbors in a dense next-frontier bitmap with
+//! `amoor`. A second parallel phase converts the bitmap back into a
+//! frontier array. Severely irregular: per-vertex work varies with degree,
+//! which is why the SPMD model (independent thread execution) wins here.
+
+use crate::bench::{cycle_budget, BenchStats, Benchmark, SizeClass};
+use crate::util::prologue;
+use hb_asm::{Assembler, Program};
+use hb_core::{pgas, HbOps, Machine, MachineConfig, SimError};
+use hb_isa::Gpr::*;
+use hb_workloads::{gen, golden, CsrMatrix};
+use std::sync::Arc;
+
+const D_RP: u32 = 0;
+const D_CI: u32 = 1;
+const D_DIST: u32 = 2;
+const D_FRONT_A: u32 = 3;
+const D_FRONT_B: u32 = 4;
+const D_BITMAP: u32 = 5;
+const D_Q0: u32 = 6;
+const D_Q1: u32 = 7;
+const D_FSIZE: u32 = 8;
+const D_NEXT_COUNT: u32 = 9;
+const D_DONE: u32 = 10;
+const D_N: u32 = 11;
+const D_NWORDS: u32 = 12;
+/// Direction-optimizing extension: in-edge CSR + mode slot.
+const D_TG_RP: u32 = 13;
+const D_TG_CI: u32 = 14;
+const D_MODE: u32 = 15;
+const DESC_WORDS: u32 = 16;
+
+/// Frontier-density threshold (frontier * DIR_ALPHA >= n switches to
+/// bottom-up), per Beamer's direction-optimizing heuristic.
+const DIR_ALPHA: i32 = 8;
+
+/// The BFS benchmark.
+#[derive(Debug, Clone)]
+pub struct Bfs {
+    /// log2 of the vertex count (power-law) or grid side (road).
+    pub scale: u32,
+    /// Directed edges for the power-law input.
+    pub edges: usize,
+    /// Road-network-like input (tiny frontiers, long diameter) instead of
+    /// power-law.
+    pub road: bool,
+    /// Direction-optimizing BFS (Beamer): switch to a bottom-up sweep over
+    /// unvisited vertices when the frontier grows dense — the strategy the
+    /// paper describes for splitting work among Cells.
+    pub direction_optimizing: bool,
+}
+
+impl Default for Bfs {
+    fn default() -> Bfs {
+        Bfs { scale: 8, edges: 4096, road: false, direction_optimizing: false }
+    }
+}
+
+impl Bfs {
+    /// The paper's road-network configuration (low HBM utilization from
+    /// small frontiers).
+    pub fn road_network() -> Bfs {
+        Bfs { scale: 5, edges: 0, road: true, ..Bfs::default() }
+    }
+
+    /// The direction-optimizing variant (paper §IV.B / Beamer \[10\]).
+    pub fn direction_optimizing() -> Bfs {
+        Bfs { direction_optimizing: true, ..Bfs::default() }
+    }
+
+    fn sized(&self, size: SizeClass) -> Bfs {
+        match size {
+            SizeClass::Tiny => Bfs { scale: 6, edges: 512, ..self.clone() },
+            SizeClass::Small => self.clone(),
+            SizeClass::Large => Bfs { scale: 11, edges: 16384, ..self.clone() },
+        }
+    }
+
+    fn graph(&self) -> CsrMatrix {
+        if self.road {
+            let side = 1u32 << self.scale;
+            gen::road_grid(side, side)
+        } else {
+            gen::rmat(self.scale, self.edges, 0xBF5)
+        }
+    }
+
+    /// Builds the kernel. Argument: `a0` = descriptor EVA (16 words).
+    /// With `direction_optimizing`, dense frontiers switch to a bottom-up
+    /// sweep over unvisited vertices (paper §IV.B / Beamer).
+    pub fn program(direction_optimizing: bool) -> Program {
+        let mut a = Assembler::new();
+        prologue(&mut a, S10, S11, T6);
+        // Stash the descriptor EVA in SPM[0] (a0 is about to be reused)
+        // and keep the in-edge CSR in gp/tp for the bottom-up sweep.
+        a.sw(A0, Zero, 0);
+        a.lw(Gp, A0, (D_TG_RP * 4) as i32);
+        a.lw(Tp, A0, (D_TG_CI * 4) as i32);
+        a.lw(T0, A0, (D_RP * 4) as i32);
+        a.lw(T1, A0, (D_CI * 4) as i32);
+        a.lw(T2, A0, (D_DIST * 4) as i32);
+        a.lw(T3, A0, (D_FRONT_A * 4) as i32);
+        a.lw(T4, A0, (D_FRONT_B * 4) as i32);
+        a.lw(T5, A0, (D_BITMAP * 4) as i32);
+        a.lw(A6, A0, (D_Q0 * 4) as i32);
+        a.lw(A7, A0, (D_Q1 * 4) as i32);
+        a.lw(S0, A0, (D_FSIZE * 4) as i32);
+        a.lw(S1, A0, (D_NEXT_COUNT * 4) as i32);
+        a.lw(S2, A0, (D_DONE * 4) as i32);
+        a.lw(S3, A0, (D_N * 4) as i32);
+        a.lw(S4, A0, (D_NWORDS * 4) as i32);
+        a.mv(A0, T0);
+        a.mv(A1, T1);
+        a.mv(A2, T2);
+        a.mv(A3, T3);
+        a.mv(A4, T4);
+        a.mv(A5, T5);
+        a.li(S5, 1); // level
+        a.lw(S6, S0, 0); // frontier size
+        a.li(S9, 1); // amoadd operand
+
+        let level_loop = a.new_label();
+        let finished = a.new_label();
+        let phase_c = a.new_label();
+        let bottom_up = a.new_label();
+        a.bind(level_loop);
+
+        // Direction choice for this level (written by rank 0 last level).
+        if direction_optimizing {
+            a.lw(T0, Zero, 0); // descriptor base from SPM
+            a.lw(T1, T0, (D_MODE * 4) as i32);
+            a.bnez(T1, bottom_up);
+        }
+
+        // ---- Phase A: expand the frontier into the bitmap (Figure 8) ----
+        let expand = a.new_label();
+        let expand_done = a.new_label();
+        a.bind(expand);
+        a.amoadd(T0, S9, A6); // i = q0++
+        a.bge(T0, S6, expand_done);
+        a.slli(T0, T0, 2);
+        a.add(T0, A3, T0);
+        a.lw(T1, T0, 0); // v = frontier[i]
+        a.slli(T1, T1, 2);
+        a.add(T1, A0, T1);
+        a.lw(S7, T1, 0); // begin
+        a.lw(S8, T1, 4); // end
+        let edges = a.new_label();
+        a.bind(edges);
+        a.bge(S7, S8, expand);
+        a.slli(T1, S7, 2);
+        a.add(T1, A1, T1);
+        a.lw(T2, T1, 0); // nz
+        a.slli(T3, T2, 2);
+        a.add(T3, A2, T3);
+        a.lw(T4, T3, 0); // dist[nz]
+        a.addi(S7, S7, 1);
+        let not_new = a.new_label();
+        a.li(T5, -1);
+        a.bne(T4, T5, not_new);
+        // amoor(1 << (nz % 32), &bitmap[nz / 32])
+        a.andi(T5, T2, 31);
+        a.li(T4, 1);
+        a.sll(T4, T4, T5);
+        a.srli(T5, T2, 5);
+        a.slli(T5, T5, 2);
+        a.add(T5, A5, T5);
+        a.amoor(Zero, T4, T5);
+        a.bind(not_new);
+        a.j(edges);
+        a.bind(expand_done);
+        a.fence();
+        a.barrier(T6);
+
+        // ---- Phase B: bitmap -> next frontier + distances ----
+        let drain = a.new_label();
+        let drain_done = a.new_label();
+        a.bind(drain);
+        a.amoadd(T0, S9, A7); // w = q1++
+        a.bge(T0, S4, drain_done);
+        a.slli(T1, T0, 2);
+        a.add(T1, A5, T1);
+        a.lw(T2, T1, 0); // bits
+        a.beqz(T2, drain);
+        a.sw(Zero, T1, 0); // clear the word
+        a.slli(S7, T0, 5); // node = w*32
+        let bits_loop = a.new_label();
+        let bit_skip = a.new_label();
+        a.bind(bits_loop);
+        a.beqz(T2, drain);
+        a.andi(T3, T2, 1);
+        a.beqz(T3, bit_skip);
+        // Discovered: set distance, append to next frontier.
+        a.slli(T3, S7, 2);
+        a.add(T3, A2, T3);
+        a.sw(S5, T3, 0); // dist[node] = level
+        a.amoadd(T4, S9, S1); // idx = next_count++
+        a.slli(T4, T4, 2);
+        a.add(T4, A4, T4);
+        a.sw(S7, T4, 0); // next[idx] = node
+        a.bind(bit_skip);
+        a.srli(T2, T2, 1);
+        a.addi(S7, S7, 1);
+        a.j(bits_loop);
+        a.bind(drain_done);
+        a.fence();
+        a.barrier(T6);
+        a.j(phase_c);
+
+        // ---- Bottom-up sweep (direction-optimizing extension): claim
+        // unvisited vertices whose in-neighbors sit on the frontier ----
+        if direction_optimizing {
+            a.bind(bottom_up);
+            let bu = a.new_label();
+            let bu_done = a.new_label();
+            let bu_edges = a.new_label();
+            a.bind(bu);
+            a.amoadd(T0, S9, A6); // v = q0++
+            a.bge(T0, S3, bu_done);
+            a.slli(T1, T0, 2);
+            a.add(T1, A2, T1);
+            a.lw(T2, T1, 0); // dist[v]
+            a.li(T3, -1);
+            a.bne(T2, T3, bu); // already visited
+            a.slli(T4, T0, 2);
+            a.add(T4, Gp, T4);
+            a.lw(S7, T4, 0); // in-edge begin
+            a.lw(S8, T4, 4); // in-edge end
+            a.bind(bu_edges);
+            a.bge(S7, S8, bu);
+            a.slli(T4, S7, 2);
+            a.add(T4, Tp, T4);
+            a.lw(T5, T4, 0); // u
+            a.slli(T5, T5, 2);
+            a.add(T5, A2, T5);
+            a.lw(T2, T5, 0); // dist[u]
+            a.addi(S7, S7, 1);
+            a.addi(T4, S5, -1);
+            a.bne(T2, T4, bu_edges);
+            // Parent on the frontier: claim v.
+            a.slli(T4, T0, 2);
+            a.add(T4, A2, T4);
+            a.sw(S5, T4, 0); // dist[v] = level
+            a.amoadd(T4, S9, S1); // idx = next_count++
+            a.slli(T4, T4, 2);
+            a.add(T4, A4, T4);
+            a.sw(T0, T4, 0);
+            a.j(bu);
+            a.bind(bu_done);
+            a.fence();
+            a.barrier(T6);
+        } else {
+            // Unused labels must still be bound for the assembler.
+            a.bind(bottom_up);
+        }
+
+        // ---- Phase C: rank 0 resets counters and publishes state ----
+        a.bind(phase_c);
+        let not_rank0 = a.new_label();
+        a.bnez(S10, not_rank0);
+        a.lw(T0, S1, 0); // next frontier size
+        a.sw(T0, S0, 0); // fsize = next size
+        a.sw(Zero, S1, 0);
+        a.sw(Zero, A6, 0);
+        a.sw(Zero, A7, 0);
+        a.seqz(T1, T0);
+        a.sw(T1, S2, 0); // done = (size == 0)
+        if direction_optimizing {
+            // Next level's direction: bottom-up when the frontier is
+            // dense (fsize * alpha >= n).
+            a.li(T2, DIR_ALPHA);
+            a.mul(T2, T0, T2);
+            a.slt(T3, T2, S3); // 1 = stay top-down
+            a.seqz(T3, T3);
+            a.lw(T4, Zero, 0); // descriptor base
+            a.sw(T3, T4, (D_MODE * 4) as i32);
+        }
+        a.fence();
+        a.bind(not_rank0);
+        a.barrier(T6);
+
+        // All tiles: reload size/done, advance level, swap frontiers.
+        a.lw(S6, S0, 0);
+        a.lw(T0, S2, 0);
+        a.addi(S5, S5, 1);
+        a.mv(T1, A3);
+        a.mv(A3, A4);
+        a.mv(A4, T1);
+        a.beqz(T0, level_loop);
+        a.bind(finished);
+        a.fence();
+        a.ecall();
+        a.assemble(0).expect("bfs assembles")
+    }
+
+    /// Runs and validates against [`golden::bfs`].
+    pub fn execute(&self, cfg: &MachineConfig) -> Result<BenchStats, SimError> {
+        let g = self.graph();
+        let n = g.rows;
+        let source = 0u32;
+        let expect = golden::bfs(&g, source);
+
+        let mut machine = Machine::new(cfg.clone());
+        let cell = machine.cell_mut(0);
+        let alloc_u32 = |cell: &mut hb_core::Cell, data: &[u32]| {
+            let p = cell.alloc((data.len() * 4) as u32, 64);
+            cell.dram_mut().write_u32_slice(p, data);
+            p
+        };
+        let rp = alloc_u32(cell, &g.row_ptr);
+        let ci = alloc_u32(cell, &g.col_idx);
+        let mut dist_init = vec![u32::MAX; n as usize];
+        dist_init[source as usize] = 0;
+        let dist = alloc_u32(cell, &dist_init);
+        let front_a = cell.alloc(n * 4, 64);
+        let front_b = cell.alloc(n * 4, 64);
+        cell.dram_mut().write_u32(front_a, source);
+        let nwords = n.div_ceil(32);
+        let bitmap = alloc_u32(cell, &vec![0u32; nwords as usize]);
+        let q0 = alloc_u32(cell, &[0]);
+        let q1 = alloc_u32(cell, &[0]);
+        let fsize = alloc_u32(cell, &[1]);
+        let next_count = alloc_u32(cell, &[0]);
+        let done = alloc_u32(cell, &[0]);
+        // In-edge CSR for the bottom-up direction.
+        let tg = g.transpose();
+        let tg_rp = alloc_u32(cell, &tg.row_ptr);
+        let tg_ci = alloc_u32(cell, &tg.col_idx);
+        let mode = alloc_u32(cell, &[0]); // level 1 is always top-down
+        let desc = alloc_u32(
+            cell,
+            &[
+                pgas::local_dram(rp),
+                pgas::local_dram(ci),
+                pgas::local_dram(dist),
+                pgas::local_dram(front_a),
+                pgas::local_dram(front_b),
+                pgas::local_dram(bitmap),
+                pgas::local_dram(q0),
+                pgas::local_dram(q1),
+                pgas::local_dram(fsize),
+                pgas::local_dram(next_count),
+                pgas::local_dram(done),
+                n,
+                nwords,
+                pgas::local_dram(tg_rp),
+                pgas::local_dram(tg_ci),
+                pgas::local_dram(mode),
+            ],
+        );
+        debug_assert_eq!(DESC_WORDS, 16);
+        let _ = mode;
+
+        let program = Arc::new(Self::program(self.direction_optimizing));
+        machine.launch(0, &program, &[pgas::local_dram(desc)]);
+        let summary = machine.run(cycle_budget(cfg))?;
+        machine.cell_mut(0).flush_caches();
+        let got = machine.cell(0).dram().read_u32_slice(dist, n as usize);
+        assert_eq!(got, expect, "BFS distance mismatch");
+        Ok(BenchStats::collect("BFS", summary.cycles, &machine))
+    }
+}
+
+impl Benchmark for Bfs {
+    fn name(&self) -> &'static str {
+        "BFS"
+    }
+
+    fn dwarf(&self) -> &'static str {
+        "Graph Traversal"
+    }
+
+    fn run(&self, cfg: &MachineConfig, size: SizeClass) -> Result<BenchStats, SimError> {
+        self.sized(size).execute(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_core::CellDim;
+
+    fn small_cfg() -> MachineConfig {
+        MachineConfig { cell_dim: CellDim { x: 4, y: 2 }, ..MachineConfig::baseline_16x8() }
+    }
+
+    #[test]
+    fn bfs_validates_power_law() {
+        let stats = Bfs::default().run(&small_cfg(), SizeClass::Tiny).unwrap();
+        assert!(stats.cache.amos > 0);
+    }
+
+    #[test]
+    fn bfs_validates_road_grid() {
+        Bfs::road_network().run(&small_cfg(), SizeClass::Tiny).unwrap();
+    }
+
+    #[test]
+    fn direction_optimizing_bfs_validates() {
+        // Power-law graphs hit dense mid-search frontiers, exercising the
+        // bottom-up sweep.
+        Bfs::direction_optimizing().run(&small_cfg(), SizeClass::Tiny).unwrap();
+    }
+
+    #[test]
+    fn direction_optimizing_switches_directions() {
+        // On a dense-frontier graph the bottom-up path must actually
+        // reduce edge work (fewer remote requests than pure top-down).
+        let plain = Bfs::default().run(&small_cfg(), SizeClass::Tiny).unwrap();
+        let diropt =
+            Bfs::direction_optimizing().run(&small_cfg(), SizeClass::Tiny).unwrap();
+        // Same result (validated internally); the optimized variant must
+        // not be wildly slower.
+        assert!(diropt.cycles < plain.cycles * 3);
+    }
+}

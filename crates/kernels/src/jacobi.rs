@@ -1,0 +1,277 @@
+//! Jacobi — 7-point 3-D stencil (structured-grids dwarf).
+//!
+//! The paper's flagship Group-SPM kernel (Figure 7): each tile owns a
+//! `1 x 1 x Z` column of the grid in its scratchpad, and reads the four
+//! lateral neighbor columns directly from the neighboring tiles'
+//! scratchpads through Group SPM pointers — non-blocking remote loads
+//! pipelined in the network. Tiles synchronize between time steps with the
+//! hardware barrier.
+
+use crate::bench::{cycle_budget, BenchStats, Benchmark, SizeClass};
+use crate::util::prologue;
+use hb_asm::{Assembler, Program};
+use hb_core::{pgas, HbOps, Machine, MachineConfig, SimError};
+use hb_isa::{Fpr::*, Gpr::*};
+use hb_workloads::golden;
+use rand_like::grid_values;
+use std::sync::Arc;
+
+/// Deterministic pseudo-random initial grid (no rand dependency needed
+/// here; a simple LCG keeps the host and test sides identical).
+mod rand_like {
+    /// Fills an `nx * ny * nz` grid with values in (-1, 1).
+    pub fn grid_values(n: usize) -> Vec<f32> {
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+            })
+            .collect()
+    }
+}
+
+/// Double-buffered column storage: buffer 0 at SPM 0, buffer 1 at 0x800.
+const BUF_STRIDE: i32 = 0x800;
+
+/// The Jacobi benchmark: `steps` iterations on a `(cell_w, cell_h, z)`
+/// grid, one column per tile.
+#[derive(Debug, Clone)]
+pub struct Jacobi {
+    /// Grid depth per tile (<= 448 to fit double buffering in 4 KB).
+    pub z: u32,
+    /// Time steps.
+    pub steps: u32,
+}
+
+impl Default for Jacobi {
+    fn default() -> Jacobi {
+        Jacobi { z: 128, steps: 4 }
+    }
+}
+
+impl Jacobi {
+    fn sized(&self, size: SizeClass) -> Jacobi {
+        match size {
+            SizeClass::Tiny => Jacobi { z: 32, steps: 2 },
+            SizeClass::Small => self.clone(),
+            SizeClass::Large => Jacobi { z: 256, steps: 8 },
+        }
+    }
+
+    /// Builds the kernel. Arguments: `a0`=grid (DRAM, layout
+    /// `[(y*nx+x)*nz + z]`), `a1`=Z, `a2`=steps.
+    pub fn program() -> Program {
+        let mut a = Assembler::new();
+        prologue(&mut a, S10, S11, T6);
+        // Tile coordinates and cell shape.
+        a.csr_load(S0, pgas::csr::TILE_X, T6);
+        a.csr_load(S1, pgas::csr::TILE_Y, T6);
+        a.csr_load(S2, pgas::csr::CELL_W, T6);
+        a.csr_load(S3, pgas::csr::CELL_H, T6);
+
+        // S4 = &grid[(y*nx + x)*nz] in DRAM.
+        a.mul(S4, S1, S2);
+        a.add(S4, S4, S0);
+        a.mul(S4, S4, A1);
+        a.slli(S4, S4, 2);
+        a.add(S4, S4, A0);
+
+        // Copy own column into buffer 0 and buffer 1.
+        a.mv(T0, S4);
+        a.li(T1, 0);
+        a.li(T5, BUF_STRIDE);
+        a.mv(T2, A1);
+        let copy_in = a.here();
+        a.lw(T3, T0, 0);
+        a.sw(T3, T1, 0);
+        a.sw(T3, T5, 0);
+        a.addi(T0, T0, 4);
+        a.addi(T1, T1, 4);
+        a.addi(T5, T5, 4);
+        a.addi(T2, T2, -1);
+        a.bnez(T2, copy_in);
+        a.fence();
+        a.barrier(T6);
+
+        // Interior test: 0 < x < w-1 and 0 < y < h-1.
+        let edge = a.new_label();
+        a.beqz(S0, edge);
+        a.beqz(S1, edge);
+        a.addi(T0, S2, -1);
+        a.beq(S0, T0, edge);
+        a.addi(T0, S3, -1);
+        a.beq(S1, T0, edge);
+
+        // Neighbor Group-SPM base EVAs for buffer 0 (registers s5..s8:
+        // left, right, up, down). group_spm(x, y, 0) = (1<<30)|y<<24|x<<18.
+        let spm_base = |a: &mut Assembler, dst, x_reg, y_reg| {
+            a.slli(T0, y_reg, 24);
+            a.slli(T1, x_reg, 18);
+            a.or(T0, T0, T1);
+            a.li_u(T1, 1 << 30);
+            a.or(dst, T0, T1);
+        };
+        a.addi(T2, S0, -1);
+        spm_base(&mut a, S5, T2, S1); // left  (x-1, y)
+        a.addi(T2, S0, 1);
+        spm_base(&mut a, S6, T2, S1); // right (x+1, y)
+        a.addi(T2, S1, -1);
+        spm_base(&mut a, S7, S0, T2); // up    (x, y-1)
+        a.addi(T2, S1, 1);
+        spm_base(&mut a, S8, S0, T2); // down  (x, y+1)
+
+        // fs0 = 1/7.
+        a.lif(Fs0, T0, 1.0 / 7.0);
+
+        // Step loop. S9 = current buffer offset (0 / 0x800); a3 holds the
+        // stride so the toggle is `s9 = a3 - s9` (xori immediates max out
+        // at +/-2047).
+        a.li(A3, BUF_STRIDE);
+        a.li(S9, 0);
+        a.mv(S2, A2); // reuse s2 as remaining-steps counter
+        let step_loop = a.here();
+        {
+            // Pointers: t0 self cur (+4), t1..t4 neighbors cur (+4),
+            // t5 out (next buffer, +4).
+            a.addi(T0, S9, 4);
+            a.add(T1, S5, S9);
+            a.addi(T1, T1, 4);
+            a.add(T2, S6, S9);
+            a.addi(T2, T2, 4);
+            a.add(T3, S7, S9);
+            a.addi(T3, T3, 4);
+            a.add(T4, S8, S9);
+            a.addi(T4, T4, 4);
+            a.sub(T5, A3, S9);
+            a.addi(T5, T5, 4);
+            // z = 1 .. Z-1.
+            a.li(S3, 1);
+            a.addi(S1, A1, -1); // reuse s1 as Z-1 (coords no longer needed)
+            let z_loop = a.here();
+            {
+                a.flw(Fa3, T1, 0); // left (remote, in flight)
+                a.flw(Fa4, T2, 0); // right
+                a.flw(Fa5, T3, 0); // up
+                a.flw(Fa6, T4, 0); // down
+                a.flw(Fa0, T0, 0); // self z
+                a.flw(Fa1, T0, -4); // z-1
+                a.flw(Fa2, T0, 4); // z+1
+                // Golden order: self + left + right + up + down + z-1 + z+1.
+                a.fadd(Fa7, Fa0, Fa3);
+                a.fadd(Fa7, Fa7, Fa4);
+                a.fadd(Fa7, Fa7, Fa5);
+                a.fadd(Fa7, Fa7, Fa6);
+                a.fadd(Fa7, Fa7, Fa1);
+                a.fadd(Fa7, Fa7, Fa2);
+                a.fmul(Fa7, Fa7, Fs0);
+                a.fsw(Fa7, T5, 0);
+                a.addi(T0, T0, 4);
+                a.addi(T1, T1, 4);
+                a.addi(T2, T2, 4);
+                a.addi(T3, T3, 4);
+                a.addi(T4, T4, 4);
+                a.addi(T5, T5, 4);
+                a.addi(S3, S3, 1);
+            }
+            a.blt(S3, S1, z_loop);
+            a.fence();
+            a.barrier(T6);
+            a.sub(S9, A3, S9);
+            a.addi(S2, S2, -1);
+        }
+        a.bnez(S2, step_loop);
+        let finish = a.new_label();
+        a.j(finish);
+
+        // Edge tiles only participate in barriers.
+        a.bind(edge);
+        a.li(A3, BUF_STRIDE);
+        a.li(S9, 0);
+        a.mv(S2, A2);
+        let edge_loop = a.here();
+        a.barrier(T6);
+        a.sub(S9, A3, S9);
+        a.addi(S2, S2, -1);
+        a.bnez(S2, edge_loop);
+
+        // Write the current buffer back to DRAM.
+        a.bind(finish);
+        a.mv(T0, S9);
+        a.mv(T1, S4);
+        a.mv(T2, A1);
+        let copy_out = a.here();
+        a.lw(T3, T0, 0);
+        a.sw(T3, T1, 0);
+        a.addi(T0, T0, 4);
+        a.addi(T1, T1, 4);
+        a.addi(T2, T2, -1);
+        a.bnez(T2, copy_out);
+        a.fence();
+        a.ecall();
+        a.assemble(0).expect("jacobi assembles")
+    }
+
+    /// Runs and validates against repeated [`golden::jacobi_step`].
+    pub fn execute(&self, cfg: &MachineConfig) -> Result<BenchStats, SimError> {
+        assert!(self.z <= 448, "column must fit double-buffered in SPM");
+        let (nx, ny, nz) = (cfg.cell_dim.x as usize, cfg.cell_dim.y as usize, self.z as usize);
+        let init = grid_values(nx * ny * nz);
+        let mut expect = init.clone();
+        for _ in 0..self.steps {
+            expect = golden::jacobi_step(nx, ny, nz, &expect);
+        }
+
+        let mut machine = Machine::new(cfg.clone());
+        let cell = machine.cell_mut(0);
+        let grid = cell.alloc((nx * ny * nz * 4) as u32, 64);
+        cell.dram_mut().write_f32_slice(grid, &init);
+
+        let program = Arc::new(Self::program());
+        machine.launch(0, &program, &[pgas::local_dram(grid), self.z, self.steps]);
+        let summary = machine.run(cycle_budget(cfg))?;
+        machine.cell_mut(0).flush_caches();
+        let got = machine.cell(0).dram().read_f32_slice(grid, expect.len());
+        for (i, (g, e)) in got.iter().zip(&expect).enumerate() {
+            assert!(
+                (g - e).abs() <= 1e-4 + e.abs() * 1e-4,
+                "Jacobi mismatch at {i}: sim {g} vs golden {e}"
+            );
+        }
+        // The grid scales with the Cell, so normalize by grid size for
+        // cross-configuration comparisons (weak scaling).
+        let points = (nx * ny * nz) as f64;
+        Ok(BenchStats::collect("Jacobi", summary.cycles, &machine)
+            .with_work(points * f64::from(self.steps)))
+    }
+}
+
+impl Benchmark for Jacobi {
+    fn name(&self) -> &'static str {
+        "Jacobi"
+    }
+
+    fn dwarf(&self) -> &'static str {
+        "Structured Grids"
+    }
+
+    fn run(&self, cfg: &MachineConfig, size: SizeClass) -> Result<BenchStats, SimError> {
+        self.sized(size).execute(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_core::CellDim;
+
+    #[test]
+    fn jacobi_validates_with_group_spm() {
+        let cfg = MachineConfig {
+            cell_dim: CellDim { x: 4, y: 4 },
+            ..MachineConfig::baseline_16x8()
+        };
+        let stats = Jacobi::default().run(&cfg, SizeClass::Tiny).unwrap();
+        assert!(stats.core.remote_requests > 0, "neighbor SPM reads are remote");
+    }
+}

@@ -1,0 +1,376 @@
+//! The reconfigurable 1-bit hardware barrier network (paper Figure 4).
+//!
+//! Each tile has two configuration registers: the input directions it must
+//! collect barrier signals from, and the output direction it forwards its
+//! own signal to once it joins. Configured edges form a convergecast tree
+//! whose root, upon collecting every input, broadcasts a wake signal back
+//! down the same tree. Links follow the Ruche topology: a Ruche link skips
+//! `ruche_factor` tiles horizontally but still costs a single cycle, which
+//! is what lets a 16-wide Cell barrier converge in ~8 cycles.
+//!
+//! Rounds are pipelined with cumulative counters, so a tile near the root
+//! may re-join the next barrier while far tiles are still being woken.
+
+use crate::net::Coord;
+
+/// A barrier-network link direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// Toward `y - 1`.
+    North,
+    /// Toward `y + 1`.
+    South,
+    /// Toward `x + 1`.
+    East,
+    /// Toward `x - 1`.
+    West,
+    /// Ruche link toward `x + ruche_factor`.
+    RucheEast,
+    /// Ruche link toward `x - ruche_factor`.
+    RucheWest,
+}
+
+impl Dir {
+    fn offset(self, rf: u8) -> (i16, i16) {
+        match self {
+            Dir::North => (0, -1),
+            Dir::South => (0, 1),
+            Dir::East => (1, 0),
+            Dir::West => (-1, 0),
+            Dir::RucheEast => (i16::from(rf), 0),
+            Dir::RucheWest => (-i16::from(rf), 0),
+        }
+    }
+}
+
+/// Per-tile barrier configuration: where the tile's signal goes.
+/// `None` marks the root of the tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierConfig {
+    /// Output direction, or `None` for the root node.
+    pub output: Option<Dir>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct NodeState {
+    /// Cumulative joins by the local tile.
+    joins: u64,
+    /// Cumulative up-signals sent to the parent.
+    sent: u64,
+    /// Cumulative up-signals received from children.
+    recv: u64,
+    /// Cumulative wake signals delivered.
+    released: u64,
+    /// Cumulative releases consumed by the local tile.
+    consumed: u64,
+}
+
+/// The hardware barrier network over a `width * height` tile group.
+#[derive(Debug)]
+pub struct BarrierNetwork {
+    width: u8,
+    height: u8,
+    ruche_factor: u8,
+    /// Parent index per node (None = root or unconfigured).
+    parent: Vec<Option<usize>>,
+    children: Vec<Vec<usize>>,
+    nodes: Vec<NodeState>,
+    /// Up-signals in flight: arrive at (target) on the next tick.
+    up_in_flight: Vec<usize>,
+    /// Wake signals in flight.
+    wake_in_flight: Vec<usize>,
+    cycle: u64,
+    /// Completed barrier rounds at the root.
+    rounds: u64,
+}
+
+impl BarrierNetwork {
+    /// Builds a barrier network from per-tile output configurations.
+    ///
+    /// `configs[y * width + x]` gives tile (x, y)'s register; exactly one
+    /// tile must be the root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no root or multiple roots are configured, or an output
+    /// direction leaves the group.
+    pub fn new(width: u8, height: u8, ruche_factor: u8, configs: &[BarrierConfig]) -> Self {
+        let n = width as usize * height as usize;
+        assert_eq!(configs.len(), n, "one config per tile required");
+        let mut parent = vec![None; n];
+        let mut children = vec![Vec::new(); n];
+        let mut root = None;
+        for (i, cfg) in configs.iter().enumerate() {
+            let (x, y) = ((i % width as usize) as i16, (i / width as usize) as i16);
+            match cfg.output {
+                None => {
+                    assert!(root.is_none(), "multiple barrier roots configured");
+                    root = Some(i);
+                }
+                Some(dir) => {
+                    let (dx, dy) = dir.offset(ruche_factor);
+                    let (tx, ty) = (x + dx, y + dy);
+                    assert!(
+                        tx >= 0 && tx < i16::from(width) && ty >= 0 && ty < i16::from(height),
+                        "barrier output of tile ({x},{y}) leaves the group"
+                    );
+                    let t = ty as usize * width as usize + tx as usize;
+                    parent[i] = Some(t);
+                    children[t].push(i);
+                }
+            }
+        }
+        assert!(root.is_some(), "no barrier root configured");
+        BarrierNetwork {
+            width,
+            height,
+            ruche_factor,
+            parent,
+            children,
+            nodes: vec![NodeState::default(); n],
+            up_in_flight: Vec::new(),
+            wake_in_flight: Vec::new(),
+            cycle: 0,
+            rounds: 0,
+        }
+    }
+
+    /// Builds the canonical convergecast tree for a rectangular tile group:
+    /// rows converge horizontally to the root column (using Ruche hops for
+    /// distances >= the Ruche factor), then the root column converges
+    /// vertically to the root at the group's center.
+    pub fn tree_for_group(width: u8, height: u8, ruche_factor: u8) -> Self {
+        let root_x = width / 2;
+        let root_y = height / 2;
+        let rf = ruche_factor.max(1);
+        let mut configs = Vec::with_capacity(width as usize * height as usize);
+        for y in 0..height {
+            for x in 0..width {
+                let output = if x == root_x {
+                    if y == root_y {
+                        None
+                    } else if y < root_y {
+                        Some(Dir::South)
+                    } else {
+                        Some(Dir::North)
+                    }
+                } else if x < root_x {
+                    if ruche_factor > 0 && root_x - x >= rf {
+                        Some(Dir::RucheEast)
+                    } else {
+                        Some(Dir::East)
+                    }
+                } else if ruche_factor > 0 && x - root_x >= rf {
+                    Some(Dir::RucheWest)
+                } else {
+                    Some(Dir::West)
+                };
+                configs.push(BarrierConfig { output });
+            }
+        }
+        BarrierNetwork::new(width, height, ruche_factor, &configs)
+    }
+
+    fn idx(&self, at: Coord) -> usize {
+        at.y as usize * self.width as usize + at.x as usize
+    }
+
+    /// The Ruche factor the directions were configured with.
+    pub fn ruche_factor(&self) -> u8 {
+        self.ruche_factor
+    }
+
+    /// Group width in tiles.
+    pub fn width(&self) -> u8 {
+        self.width
+    }
+
+    /// Group height in tiles.
+    pub fn height(&self) -> u8 {
+        self.height
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Completed barrier rounds.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Tile `at` joins the current barrier round.
+    pub fn join(&mut self, at: Coord) {
+        let i = self.idx(at);
+        self.nodes[i].joins += 1;
+    }
+
+    /// Whether tile `at` has an unconsumed release (the barrier it joined
+    /// has completed and the wake signal arrived).
+    pub fn is_released(&self, at: Coord) -> bool {
+        let n = &self.nodes[self.idx(at)];
+        n.released > n.consumed
+    }
+
+    /// Consumes one release at tile `at`, allowing it to join the next round.
+    pub fn consume_release(&mut self, at: Coord) {
+        let i = self.idx(at);
+        debug_assert!(self.nodes[i].released > self.nodes[i].consumed);
+        self.nodes[i].consumed += 1;
+    }
+
+    /// Advances the barrier network one cycle.
+    pub fn tick(&mut self) {
+        self.cycle += 1;
+
+        // Deliver in-flight signals (sent last cycle).
+        for &t in &std::mem::take(&mut self.up_in_flight) {
+            self.nodes[t].recv += 1;
+        }
+        let wakes = std::mem::take(&mut self.wake_in_flight);
+        for &t in &wakes {
+            self.nodes[t].released += 1;
+            // Forward the wake to this node's children next cycle.
+            for &c in &self.children[t] {
+                self.wake_in_flight.push(c);
+            }
+        }
+
+        // Send up-signals where a node has joined and gathered its children.
+        for i in 0..self.nodes.len() {
+            let nchild = self.children[i].len() as u64;
+            let n = &self.nodes[i];
+            let round = n.sent; // next round to send is round `sent`
+            let ready = n.joins > round && n.recv >= (round + 1) * nchild;
+            if !ready {
+                continue;
+            }
+            match self.parent[i] {
+                Some(p) => {
+                    self.nodes[i].sent += 1;
+                    self.up_in_flight.push(p);
+                }
+                None => {
+                    // Root fires: release itself now, wake children next
+                    // cycle.
+                    self.nodes[i].sent += 1;
+                    self.nodes[i].released += 1;
+                    self.rounds += 1;
+                    for &c in &self.children[i] {
+                        self.wake_in_flight.push(c);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_coords(w: u8, h: u8) -> impl Iterator<Item = Coord> {
+        (0..h).flat_map(move |y| (0..w).map(move |x| Coord::new(x, y)))
+    }
+
+    /// Runs one barrier round where all tiles join at cycle 0; returns the
+    /// cycle at which the last tile is released.
+    fn barrier_latency(net: &mut BarrierNetwork, w: u8, h: u8) -> u64 {
+        for c in all_coords(w, h) {
+            net.join(c);
+        }
+        for _ in 0..10_000 {
+            net.tick();
+            if all_coords(w, h).all(|c| net.is_released(c)) {
+                for c in all_coords(w, h) {
+                    net.consume_release(c);
+                }
+                return net.cycle();
+            }
+        }
+        panic!("barrier never completed");
+    }
+
+    #[test]
+    fn single_tile_barrier_is_immediate() {
+        let mut net = BarrierNetwork::tree_for_group(1, 1, 3);
+        let lat = barrier_latency(&mut net, 1, 1);
+        assert!(lat <= 2);
+    }
+
+    #[test]
+    fn ruche_reaches_root_in_paper_latency() {
+        // Paper Figure 4: in a 16-wide group with Ruche-3 links, the signal
+        // from the remotest tile reaches the root in ~8 cycles; a full
+        // 16x8-group barrier (up + wake) completes in well under the
+        // software alternative (hundreds of cycles).
+        let mut net = BarrierNetwork::tree_for_group(16, 8, 3);
+        let lat = barrier_latency(&mut net, 16, 8);
+        assert!(
+            (8..=24).contains(&lat),
+            "16x8 ruche barrier latency {lat} outside expected range"
+        );
+    }
+
+    #[test]
+    fn mesh_barrier_is_slower_than_ruche() {
+        let mut mesh = BarrierNetwork::tree_for_group(16, 8, 0);
+        let mut ruche = BarrierNetwork::tree_for_group(16, 8, 3);
+        let lm = barrier_latency(&mut mesh, 16, 8);
+        let lr = barrier_latency(&mut ruche, 16, 8);
+        assert!(lr < lm, "ruche {lr} not faster than mesh {lm}");
+    }
+
+    #[test]
+    fn barrier_waits_for_stragglers() {
+        let mut net = BarrierNetwork::tree_for_group(4, 4, 3);
+        // All but one join.
+        for c in all_coords(4, 4).skip(1) {
+            net.join(c);
+        }
+        for _ in 0..100 {
+            net.tick();
+        }
+        assert!(
+            all_coords(4, 4).all(|c| !net.is_released(c)),
+            "barrier released without every tile joining"
+        );
+        net.join(Coord::new(0, 0));
+        for _ in 0..100 {
+            net.tick();
+        }
+        assert!(all_coords(4, 4).all(|c| net.is_released(c)));
+    }
+
+    #[test]
+    fn repeated_rounds_work() {
+        let mut net = BarrierNetwork::tree_for_group(8, 4, 3);
+        let mut last = 0;
+        for round in 1..=5 {
+            let at = barrier_latency(&mut net, 8, 4);
+            assert!(at > last);
+            last = at;
+            assert_eq!(net.rounds(), round);
+        }
+    }
+
+    #[test]
+    fn latency_scales_sublinearly_with_ruche() {
+        // Barrier latency for a 16-wide group should be much less than the
+        // 15-hop mesh distance when ruche links are available.
+        let mut net = BarrierNetwork::tree_for_group(16, 1, 3);
+        let lat = barrier_latency(&mut net, 16, 1);
+        assert!(lat <= 10, "16x1 ruche barrier took {lat} cycles");
+    }
+
+    #[test]
+    #[should_panic(expected = "no barrier root")]
+    fn rejects_rootless_config() {
+        let configs = [
+            BarrierConfig { output: Some(Dir::East) },
+            BarrierConfig { output: Some(Dir::West) },
+        ];
+        let _ = BarrierNetwork::new(2, 1, 0, &configs);
+    }
+}

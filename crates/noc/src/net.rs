@@ -1,0 +1,684 @@
+//! Cycle-level 2-D mesh / Half-Ruche network with dimension-ordered routing.
+
+use std::collections::VecDeque;
+
+/// Number of router ports (local + 4 mesh + 2 Ruche).
+const NPORTS: usize = 7;
+
+/// A network node coordinate. `x` grows eastward, `y` grows southward
+/// (row 0 is the northern cache-bank strip in a HammerBlade Cell).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Coord {
+    /// Column.
+    pub x: u8,
+    /// Row.
+    pub y: u8,
+}
+
+impl Coord {
+    /// Creates a coordinate.
+    pub const fn new(x: u8, y: u8) -> Coord {
+        Coord { x, y }
+    }
+}
+
+impl std::fmt::Display for Coord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+/// A router port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Port {
+    /// Injection/ejection port to the attached tile or cache bank.
+    Local = 0,
+    /// Toward `y - 1`.
+    North = 1,
+    /// Toward `y + 1`.
+    South = 2,
+    /// Toward `x + 1`.
+    East = 3,
+    /// Toward `x - 1`.
+    West = 4,
+    /// Ruche link toward `x + ruche_factor`.
+    RucheEast = 5,
+    /// Ruche link toward `x - ruche_factor`.
+    RucheWest = 6,
+}
+
+impl Port {
+    const ALL: [Port; NPORTS] = [
+        Port::Local,
+        Port::North,
+        Port::South,
+        Port::East,
+        Port::West,
+        Port::RucheEast,
+        Port::RucheWest,
+    ];
+}
+
+/// Dimension order used by the deterministic routing function.
+///
+/// The paper routes requests X→Y and responses Y→X, which maximizes
+/// throughput given cache banks on the north/south edges of the Cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RouteOrder {
+    /// Resolve the X offset first, then Y (request network).
+    XThenY,
+    /// Resolve the Y offset first, then X (response network).
+    YThenX,
+}
+
+/// Static configuration of a [`Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetworkConfig {
+    /// Columns.
+    pub width: u8,
+    /// Rows.
+    pub height: u8,
+    /// Horizontal Ruche link skip distance; 0 disables Ruche links.
+    pub ruche_factor: u8,
+    /// Dimension order of the routing function.
+    pub order: RouteOrder,
+    /// Input FIFO depth per port.
+    pub fifo_depth: usize,
+    /// Cycles a packet occupies a link (1 = full-width channels; 2 models
+    /// half-width channels for baseline-router ablations).
+    pub link_occupancy: u8,
+}
+
+impl NetworkConfig {
+    /// A full-width mesh/Ruche configuration with the given shape.
+    pub fn new(width: u8, height: u8, ruche_factor: u8, order: RouteOrder) -> NetworkConfig {
+        NetworkConfig { width, height, ruche_factor, order, fifo_depth: 4, link_occupancy: 1 }
+    }
+}
+
+/// A single-flit packet. HammerBlade networks carry one word-granularity
+/// memory operation per packet; `payload` is the simulator-level content.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet<P> {
+    /// Injecting node.
+    pub src: Coord,
+    /// Destination node.
+    pub dst: Coord,
+    /// Carried operation.
+    pub payload: P,
+}
+
+/// Per-link utilization counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Cycles a packet traversed the link.
+    pub busy: u64,
+    /// Cycles a packet was held at the link because the downstream buffer
+    /// was full.
+    pub stalled: u64,
+}
+
+impl LinkStats {
+    /// busy / (busy + stalled + idle) requires a cycle count; this is
+    /// busy / elapsed.
+    pub fn utilization(&self, elapsed: u64) -> f64 {
+        if elapsed == 0 {
+            0.0
+        } else {
+            self.busy as f64 / elapsed as f64
+        }
+    }
+
+    /// Fraction of occupied cycles spent stalled.
+    pub fn stall_fraction(&self) -> f64 {
+        let total = self.busy + self.stalled;
+        if total == 0 {
+            0.0
+        } else {
+            self.stalled as f64 / total as f64
+        }
+    }
+}
+
+impl std::ops::Sub for LinkStats {
+    type Output = LinkStats;
+
+    fn sub(self, rhs: LinkStats) -> LinkStats {
+        LinkStats { busy: self.busy - rhs.busy, stalled: self.stalled - rhs.stalled }
+    }
+}
+
+impl std::ops::Add for LinkStats {
+    type Output = LinkStats;
+
+    fn add(self, rhs: LinkStats) -> LinkStats {
+        LinkStats { busy: self.busy + rhs.busy, stalled: self.stalled + rhs.stalled }
+    }
+}
+
+/// Network-wide counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Packets injected at local ports.
+    pub injected: u64,
+    /// Packets ejected at local ports.
+    pub ejected: u64,
+}
+
+#[derive(Debug)]
+struct Router<P> {
+    inputs: [VecDeque<Packet<P>>; NPORTS],
+    /// Round-robin pointer per output port.
+    rr: [usize; NPORTS],
+}
+
+impl<P> Router<P> {
+    fn new() -> Router<P> {
+        Router { inputs: std::array::from_fn(|_| VecDeque::new()), rr: [0; NPORTS] }
+    }
+}
+
+/// A cycle-level single-flit-packet network: 2-D mesh plus optional
+/// horizontal Ruche links, credit/latch flow control, round-robin output
+/// arbitration and dimension-ordered routing.
+#[derive(Debug)]
+pub struct Network<P> {
+    cfg: NetworkConfig,
+    routers: Vec<Router<P>>,
+    /// Output latch per (router, output port): the packet and the cycle at
+    /// which it may leave the link (link_occupancy pacing).
+    latches: Vec<[Option<(Packet<P>, u64)>; NPORTS]>,
+    link_stats: Vec<[LinkStats; NPORTS]>,
+    eject_qs: Vec<VecDeque<Packet<P>>>,
+    stats: NetworkStats,
+    cycle: u64,
+}
+
+impl<P: Clone + std::fmt::Debug> Network<P> {
+    /// Builds a network of `width * height` routers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension or the FIFO depth is zero.
+    pub fn new(cfg: NetworkConfig) -> Network<P> {
+        assert!(cfg.width > 0 && cfg.height > 0, "network dimensions must be nonzero");
+        assert!(cfg.fifo_depth > 0, "fifo depth must be nonzero");
+        let n = cfg.width as usize * cfg.height as usize;
+        Network {
+            cfg,
+            routers: (0..n).map(|_| Router::new()).collect(),
+            latches: (0..n).map(|_| std::array::from_fn(|_| None)).collect(),
+            link_stats: vec![[LinkStats::default(); NPORTS]; n],
+            eject_qs: (0..n).map(|_| VecDeque::new()).collect(),
+            stats: NetworkStats::default(),
+            cycle: 0,
+        }
+    }
+
+    /// The network configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.cfg
+    }
+
+    /// Current cycle count.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Injection/ejection totals.
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+
+    fn idx(&self, c: Coord) -> usize {
+        c.y as usize * self.cfg.width as usize + c.x as usize
+    }
+
+    fn coord(&self, idx: usize) -> Coord {
+        Coord::new((idx % self.cfg.width as usize) as u8, (idx / self.cfg.width as usize) as u8)
+    }
+
+    /// Where the output link of (`router`, `port`) lands: `None` for the
+    /// local ejection queue or a nonexistent link.
+    fn link_dest(&self, idx: usize, port: Port) -> Option<(usize, Port)> {
+        let c = self.coord(idx);
+        let rf = self.cfg.ruche_factor;
+        let (w, h) = (self.cfg.width, self.cfg.height);
+        match port {
+            Port::Local => None,
+            Port::North => (c.y > 0).then(|| (self.idx(Coord::new(c.x, c.y - 1)), Port::South)),
+            Port::South => {
+                (c.y + 1 < h).then(|| (self.idx(Coord::new(c.x, c.y + 1)), Port::North))
+            }
+            Port::East => (c.x + 1 < w).then(|| (self.idx(Coord::new(c.x + 1, c.y)), Port::West)),
+            Port::West => (c.x > 0).then(|| (self.idx(Coord::new(c.x - 1, c.y)), Port::East)),
+            Port::RucheEast => (rf > 0 && c.x + rf < w)
+                .then(|| (self.idx(Coord::new(c.x + rf, c.y)), Port::RucheWest)),
+            Port::RucheWest => (rf > 0 && c.x >= rf)
+                .then(|| (self.idx(Coord::new(c.x - rf, c.y)), Port::RucheEast)),
+        }
+    }
+
+    /// The deterministic routing function: which output port a packet at
+    /// `at` destined for `dst` takes.
+    pub fn route_port(&self, at: Coord, dst: Coord) -> Port {
+        match self.cfg.order {
+            RouteOrder::XThenY => {
+                if at.x != dst.x {
+                    self.route_x(at, dst)
+                } else if at.y != dst.y {
+                    self.route_y(at, dst)
+                } else {
+                    Port::Local
+                }
+            }
+            RouteOrder::YThenX => {
+                if at.y != dst.y {
+                    self.route_y(at, dst)
+                } else if at.x != dst.x {
+                    self.route_x(at, dst)
+                } else {
+                    Port::Local
+                }
+            }
+        }
+    }
+
+    fn route_x(&self, at: Coord, dst: Coord) -> Port {
+        let rf = self.cfg.ruche_factor;
+        if dst.x > at.x {
+            let dx = dst.x - at.x;
+            if rf > 0 && dx >= rf && at.x + rf < self.cfg.width {
+                Port::RucheEast
+            } else {
+                Port::East
+            }
+        } else {
+            let dx = at.x - dst.x;
+            if rf > 0 && dx >= rf && at.x >= rf {
+                Port::RucheWest
+            } else {
+                Port::West
+            }
+        }
+    }
+
+    fn route_y(&self, at: Coord, dst: Coord) -> Port {
+        if dst.y > at.y {
+            Port::South
+        } else {
+            Port::North
+        }
+    }
+
+    /// Injects a packet at its source node's local port. Returns `false`
+    /// when the injection FIFO is full (the caller must retry).
+    pub fn inject(&mut self, at: Coord, pkt: Packet<P>) -> bool {
+        let idx = self.idx(at);
+        if self.routers[idx].inputs[Port::Local as usize].len() >= self.cfg.fifo_depth {
+            return false;
+        }
+        self.routers[idx].inputs[Port::Local as usize].push_back(pkt);
+        self.stats.injected += 1;
+        true
+    }
+
+    /// Whether node `at` can accept an injection this cycle.
+    pub fn can_inject(&self, at: Coord) -> bool {
+        let idx = self.idx(at);
+        self.routers[idx].inputs[Port::Local as usize].len() < self.cfg.fifo_depth
+    }
+
+    /// Pops a packet delivered to node `at`, if any.
+    pub fn eject(&mut self, at: Coord) -> Option<Packet<P>> {
+        let idx = self.idx(at);
+        let pkt = self.eject_qs[idx].pop_front();
+        if pkt.is_some() {
+            self.stats.ejected += 1;
+        }
+        pkt
+    }
+
+    /// Packets currently inside the network (injected but not ejected,
+    /// excluding those sitting in ejection queues).
+    pub fn in_flight(&self) -> u64 {
+        let buffered: usize = self
+            .routers
+            .iter()
+            .map(|r| r.inputs.iter().map(VecDeque::len).sum::<usize>())
+            .sum::<usize>()
+            + self
+                .latches
+                .iter()
+                .map(|l| l.iter().filter(|p| p.is_some()).count())
+                .sum::<usize>()
+            + self.eject_qs.iter().map(VecDeque::len).sum::<usize>();
+        buffered as u64
+    }
+
+    /// Whether the network holds no packets at all.
+    pub fn is_drained(&self) -> bool {
+        self.in_flight() == 0
+    }
+
+    /// Advances the network one cycle: deliver latched packets downstream,
+    /// then arbitrate input FIFOs into output latches (so a packet moves at
+    /// most one link per cycle).
+    pub fn tick(&mut self) {
+        self.cycle += 1;
+
+        // Phase A: deliver output latches across links.
+        for idx in 0..self.routers.len() {
+            for port in Port::ALL {
+                let p = port as usize;
+                let Some(&(_, free_at)) = self.latches[idx][p].as_ref() else {
+                    continue;
+                };
+                if self.cycle < free_at {
+                    // Still serializing across a narrow link.
+                    self.link_stats[idx][p].busy += 1;
+                    continue;
+                }
+                match self.link_dest(idx, port) {
+                    None if port == Port::Local => {
+                        // Ejection queues are consumed by the attached node
+                        // every cycle; bound them generously.
+                        if self.eject_qs[idx].len() < 8 * self.cfg.fifo_depth {
+                            let (pkt, _) = self.latches[idx][p].take().unwrap();
+                            self.eject_qs[idx].push_back(pkt);
+                            self.link_stats[idx][p].busy += 1;
+                        } else {
+                            self.link_stats[idx][p].stalled += 1;
+                        }
+                    }
+                    None => unreachable!("packet latched on nonexistent link"),
+                    Some((didx, dport)) => {
+                        if self.routers[didx].inputs[dport as usize].len() < self.cfg.fifo_depth {
+                            let (pkt, _) = self.latches[idx][p].take().unwrap();
+                            self.routers[didx].inputs[dport as usize].push_back(pkt);
+                            self.link_stats[idx][p].busy += 1;
+                        } else {
+                            self.link_stats[idx][p].stalled += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Phase B: arbitrate input FIFO heads into free output latches.
+        for idx in 0..self.routers.len() {
+            let at = self.coord(idx);
+            for out in Port::ALL {
+                let o = out as usize;
+                if self.latches[idx][o].is_some() {
+                    continue;
+                }
+                // Round-robin over input ports whose head routes to `out`.
+                let start = self.routers[idx].rr[o];
+                let mut chosen = None;
+                for k in 0..NPORTS {
+                    let inp = (start + k) % NPORTS;
+                    if let Some(head) = self.routers[idx].inputs[inp].front() {
+                        if self.route_port(at, head.dst) == out {
+                            chosen = Some(inp);
+                            break;
+                        }
+                    }
+                }
+                if let Some(inp) = chosen {
+                    let pkt = self.routers[idx].inputs[inp].pop_front().unwrap();
+                    let free_at = self.cycle + u64::from(self.cfg.link_occupancy);
+                    self.latches[idx][o] = Some((pkt, free_at));
+                    self.routers[idx].rr[o] = (inp + 1) % NPORTS;
+                }
+            }
+        }
+    }
+
+    /// Cumulative stats for the output link of (`at`, `port`).
+    pub fn link_stats(&self, at: Coord, port: Port) -> LinkStats {
+        self.link_stats[self.idx(at)][port as usize]
+    }
+
+    /// Sum of stats over every eastward and westward link crossing the
+    /// vertical cut between columns `x_boundary - 1` and `x_boundary`
+    /// (mesh and Ruche links alike). This is the Cell-bisection measure of
+    /// Figures 3 and 14.
+    pub fn bisection_stats(&self, x_boundary: u8) -> LinkStats {
+        let mut total = LinkStats::default();
+        self.for_each_bisection_link(x_boundary, |idx, port| {
+            total = total + self.link_stats[idx][port as usize];
+        });
+        total
+    }
+
+    /// Number of distinct links crossing the vertical cut at `x_boundary`
+    /// (both directions). Useful to normalize bisection utilization.
+    pub fn bisection_link_count(&self, x_boundary: u8) -> usize {
+        let mut n = 0;
+        self.for_each_bisection_link(x_boundary, |_, _| n += 1);
+        n
+    }
+
+    fn for_each_bisection_link(&self, x_boundary: u8, mut f: impl FnMut(usize, Port)) {
+        let rf = self.cfg.ruche_factor;
+        for idx in 0..self.routers.len() {
+            let c = self.coord(idx);
+            for port in [Port::East, Port::West, Port::RucheEast, Port::RucheWest] {
+                if self.link_dest(idx, port).is_none() {
+                    continue;
+                }
+                let crosses = match port {
+                    Port::East => c.x + 1 == x_boundary,
+                    Port::West => c.x == x_boundary,
+                    Port::RucheEast => c.x < x_boundary && c.x + rf >= x_boundary,
+                    Port::RucheWest => c.x >= x_boundary && c.x < x_boundary + rf,
+                    _ => false,
+                };
+                if crosses {
+                    f(idx, port);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh(w: u8, h: u8) -> Network<u64> {
+        Network::new(NetworkConfig {
+            width: w,
+            height: h,
+            ruche_factor: 0,
+            order: RouteOrder::XThenY,
+            fifo_depth: 2,
+            link_occupancy: 1,
+        })
+    }
+
+    fn ruche(w: u8, h: u8) -> Network<u64> {
+        Network::new(NetworkConfig {
+            width: w,
+            height: h,
+            ruche_factor: 3,
+            order: RouteOrder::XThenY,
+            fifo_depth: 2,
+            link_occupancy: 1,
+        })
+    }
+
+    fn deliver(net: &mut Network<u64>, src: Coord, dst: Coord, payload: u64) -> u64 {
+        assert!(net.inject(src, Packet { src, dst, payload }));
+        let start = net.cycle();
+        for _ in 0..10_000 {
+            net.tick();
+            if let Some(p) = net.eject(dst) {
+                assert_eq!(p.payload, payload);
+                return net.cycle() - start;
+            }
+        }
+        panic!("packet {src}->{dst} never arrived");
+    }
+
+    #[test]
+    fn self_delivery() {
+        let mut net = mesh(4, 4);
+        let c = Coord::new(2, 2);
+        let lat = deliver(&mut net, c, c, 9);
+        assert!(lat <= 3, "self delivery took {lat} cycles");
+    }
+
+    #[test]
+    fn corner_to_corner_latency_scales_with_hops() {
+        let mut net = mesh(8, 8);
+        let lat = deliver(&mut net, Coord::new(0, 0), Coord::new(7, 7), 1);
+        // 14 hops; each hop is one latch+link cycle, plus injection/ejection.
+        assert!((14..=20).contains(&lat), "latency {lat}");
+    }
+
+    #[test]
+    fn ruche_links_shorten_horizontal_trips() {
+        let mut m = mesh(16, 4);
+        let mut r = ruche(16, 4);
+        let (src, dst) = (Coord::new(0, 0), Coord::new(15, 0));
+        let lm = deliver(&mut m, src, dst, 1);
+        let lr = deliver(&mut r, src, dst, 1);
+        assert!(
+            lr + 4 <= lm,
+            "ruche latency {lr} not clearly better than mesh {lm}"
+        );
+    }
+
+    #[test]
+    fn ruche_routing_is_exact() {
+        // Every (src, dst) pair must arrive, including overshoot-prone ones.
+        let mut net = ruche(16, 2);
+        for sx in [0u8, 1, 7, 13, 15] {
+            for dxx in [0u8, 2, 3, 5, 14, 15] {
+                let src = Coord::new(sx, 0);
+                let dst = Coord::new(dxx, 1);
+                deliver(&mut net, src, dst, u64::from(sx) * 100 + u64::from(dxx));
+            }
+        }
+    }
+
+    #[test]
+    fn xy_routing_goes_x_first() {
+        let net = mesh(4, 4);
+        assert_eq!(net.route_port(Coord::new(0, 0), Coord::new(3, 3)), Port::East);
+        let net2: Network<u64> = Network::new(NetworkConfig {
+            width: 4,
+            height: 4,
+            ruche_factor: 0,
+            order: RouteOrder::YThenX,
+            fifo_depth: 2,
+            link_occupancy: 1,
+        });
+        assert_eq!(net2.route_port(Coord::new(0, 0), Coord::new(3, 3)), Port::South);
+    }
+
+    #[test]
+    fn packet_conservation_under_load() {
+        let mut net = mesh(4, 4);
+        let mut injected = 0u64;
+        let mut ejected = 0u64;
+        let mut seed = 12345u64;
+        let mut rand = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (seed >> 33) as u8
+        };
+        for _ in 0..2000 {
+            let src = Coord::new(rand() % 4, rand() % 4);
+            let dst = Coord::new(rand() % 4, rand() % 4);
+            if net.inject(src, Packet { src, dst, payload: injected }) {
+                injected += 1;
+            }
+            net.tick();
+            for y in 0..4 {
+                for x in 0..4 {
+                    while net.eject(Coord::new(x, y)).is_some() {
+                        ejected += 1;
+                    }
+                }
+            }
+        }
+        // Drain.
+        for _ in 0..500 {
+            net.tick();
+            for y in 0..4 {
+                for x in 0..4 {
+                    while net.eject(Coord::new(x, y)).is_some() {
+                        ejected += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(injected, ejected, "packets lost or duplicated");
+        assert!(net.is_drained());
+    }
+
+    #[test]
+    fn packets_arrive_at_correct_destination() {
+        let mut net = ruche(8, 8);
+        let mut outstanding = std::collections::HashMap::new();
+        let mut id = 0u64;
+        for sy in 0..8u8 {
+            for dy in 0..8u8 {
+                let src = Coord::new(sy % 8, sy);
+                let dst = Coord::new((sy + dy) % 8, dy);
+                while !net.inject(src, Packet { src, dst, payload: id }) {
+                    net.tick();
+                    drain_check(&mut net, &mut outstanding);
+                }
+                outstanding.insert(id, dst);
+                id += 1;
+            }
+        }
+        for _ in 0..2000 {
+            net.tick();
+            drain_check(&mut net, &mut outstanding);
+            if outstanding.is_empty() {
+                return;
+            }
+        }
+        panic!("{} packets never arrived", outstanding.len());
+    }
+
+    fn drain_check(
+        net: &mut Network<u64>,
+        outstanding: &mut std::collections::HashMap<u64, Coord>,
+    ) {
+        for y in 0..net.config().height {
+            for x in 0..net.config().width {
+                let here = Coord::new(x, y);
+                while let Some(p) = net.eject(here) {
+                    let expect = outstanding.remove(&p.payload).expect("unknown packet");
+                    assert_eq!(expect, here, "packet {} misrouted", p.payload);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bisection_counts_ruche_links() {
+        let mesh_links = mesh(16, 4).bisection_link_count(8);
+        let ruche_links = ruche(16, 4).bisection_link_count(8);
+        // Mesh: E+W per row = 2*4 = 8. Ruche adds 3 eastward + 3 westward
+        // crossings per row.
+        assert_eq!(mesh_links, 8);
+        assert_eq!(ruche_links, 8 + 2 * 3 * 4);
+        // The paper: Ruche-3 gives 4x the bisection bandwidth of the mesh.
+        assert_eq!(ruche_links, 4 * mesh_links);
+    }
+
+    #[test]
+    fn bisection_traffic_is_counted() {
+        let mut net = mesh(8, 2);
+        deliver(&mut net, Coord::new(0, 0), Coord::new(7, 0), 1);
+        let stats = net.bisection_stats(4);
+        assert!(stats.busy >= 1);
+    }
+}

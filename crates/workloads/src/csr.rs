@@ -1,0 +1,154 @@
+//! Compressed Sparse Row matrices and graphs.
+
+/// A sparse matrix (or graph adjacency structure) in CSR format, matching
+//  the layout the kernels consume from simulated DRAM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    /// Number of rows.
+    pub rows: u32,
+    /// Number of columns.
+    pub cols: u32,
+    /// `rows + 1` offsets into `col_idx`.
+    pub row_ptr: Vec<u32>,
+    /// Column index of each nonzero.
+    pub col_idx: Vec<u32>,
+    /// Value of each nonzero (all 1.0 for unweighted graphs).
+    pub vals: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from (row, col, value) triples. Duplicates are
+    /// summed; entries are sorted row-major.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn from_triples(rows: u32, cols: u32, triples: &[(u32, u32, f32)]) -> CsrMatrix {
+        for &(r, c, _) in triples {
+            assert!(r < rows && c < cols, "entry ({r},{c}) outside {rows}x{cols}");
+        }
+        let mut sorted: Vec<(u32, u32, f32)> = triples.to_vec();
+        sorted.sort_by_key(|&(r, c, _)| (r, c));
+        // Merge duplicates.
+        let mut merged: Vec<(u32, u32, f32)> = Vec::with_capacity(sorted.len());
+        for (r, c, v) in sorted {
+            match merged.last_mut() {
+                Some(last) if last.0 == r && last.1 == c => last.2 += v,
+                _ => merged.push((r, c, v)),
+            }
+        }
+        let mut row_ptr = vec![0u32; rows as usize + 1];
+        for &(r, _, _) in &merged {
+            row_ptr[r as usize + 1] += 1;
+        }
+        for i in 0..rows as usize {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx: merged.iter().map(|&(_, c, _)| c).collect(),
+            vals: merged.iter().map(|&(_, _, v)| v).collect(),
+        }
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// The column indices and values of row `r`.
+    pub fn row(&self, r: u32) -> (&[u32], &[f32]) {
+        let lo = self.row_ptr[r as usize] as usize;
+        let hi = self.row_ptr[r as usize + 1] as usize;
+        (&self.col_idx[lo..hi], &self.vals[lo..hi])
+    }
+
+    /// Out-degree of row `r`.
+    pub fn degree(&self, r: u32) -> u32 {
+        self.row_ptr[r as usize + 1] - self.row_ptr[r as usize]
+    }
+
+    /// The transpose (CSC view materialized as CSR).
+    pub fn transpose(&self) -> CsrMatrix {
+        let triples: Vec<(u32, u32, f32)> = (0..self.rows)
+            .flat_map(|r| {
+                let (cols, vals) = self.row(r);
+                cols.iter()
+                    .zip(vals)
+                    .map(move |(&c, &v)| (c, r, v))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        CsrMatrix::from_triples(self.cols, self.rows, &triples)
+    }
+
+    /// Sparse matrix-vector product `y = A * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn spmv(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols as usize);
+        (0..self.rows)
+            .map(|r| {
+                let (cols, vals) = self.row(r);
+                cols.iter().zip(vals).map(|(&c, &v)| v * x[c as usize]).sum()
+            })
+            .collect()
+    }
+
+    /// Maximum out-degree (workload-imbalance indicator).
+    pub fn max_degree(&self) -> u32 {
+        (0..self.rows).map(|r| self.degree(r)).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        CsrMatrix::from_triples(
+            3,
+            3,
+            &[(0, 1, 2.0), (0, 2, 3.0), (1, 0, 4.0), (2, 2, 5.0)],
+        )
+    }
+
+    #[test]
+    fn from_triples_builds_row_ptr() {
+        let m = sample();
+        assert_eq!(m.row_ptr, vec![0, 2, 3, 4]);
+        assert_eq!(m.col_idx, vec![1, 2, 0, 2]);
+        assert_eq!(m.nnz(), 4);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let m = CsrMatrix::from_triples(2, 2, &[(0, 0, 1.0), (0, 0, 2.0)]);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.vals, vec![3.0]);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let m = sample();
+        let y = m.spmv(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![2.0 * 2.0 + 3.0 * 3.0, 4.0, 15.0]);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let m = sample();
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn degrees() {
+        let m = sample();
+        assert_eq!(m.degree(0), 2);
+        assert_eq!(m.max_degree(), 2);
+    }
+}

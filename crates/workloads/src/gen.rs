@@ -1,0 +1,177 @@
+//! Synthetic workload generators standing in for the paper's inputs.
+
+use crate::csr::CsrMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates an RMAT power-law graph with `1 << scale` vertices and
+/// `edges` directed edges (Graph500-style parameters a=0.57, b=c=0.19),
+/// the synthetic stand-in for wiki-Vote / social graphs: a few very
+/// high-degree hubs and a long tail.
+pub fn rmat(scale: u32, edges: usize, seed: u64) -> CsrMatrix {
+    let n = 1u32 << scale;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut triples = Vec::with_capacity(edges);
+    for _ in 0..edges {
+        let (mut r, mut c) = (0u32, 0u32);
+        for level in (0..scale).rev() {
+            let p: f64 = rng.random();
+            let (dr, dc) = if p < 0.57 {
+                (0, 0)
+            } else if p < 0.76 {
+                (0, 1)
+            } else if p < 0.95 {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            r |= dr << level;
+            c |= dc << level;
+        }
+        if r != c {
+            triples.push((r, c, 1.0));
+        }
+    }
+    CsrMatrix::from_triples(n, n, &triples)
+}
+
+/// Generates a `w * h` 4-connected grid graph, the synthetic stand-in for
+/// road networks (near-constant degree, huge diameter, tiny frontiers).
+pub fn road_grid(w: u32, h: u32) -> CsrMatrix {
+    let n = w * h;
+    let mut triples = Vec::new();
+    for y in 0..h {
+        for x in 0..w {
+            let v = y * w + x;
+            if x + 1 < w {
+                triples.push((v, v + 1, 1.0));
+                triples.push((v + 1, v, 1.0));
+            }
+            if y + 1 < h {
+                triples.push((v, v + w, 1.0));
+                triples.push((v + w, v, 1.0));
+            }
+        }
+    }
+    CsrMatrix::from_triples(n, n, &triples)
+}
+
+/// Generates a uniformly random sparse matrix with ~`nnz_per_row` nonzeros
+/// per row and values in `[0, 1)`.
+pub fn uniform_sparse(rows: u32, cols: u32, nnz_per_row: u32, seed: u64) -> CsrMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut triples = Vec::with_capacity((rows * nnz_per_row) as usize);
+    for r in 0..rows {
+        for _ in 0..nnz_per_row {
+            let c = rng.random_range(0..cols);
+            triples.push((r, c, rng.random::<f32>()));
+        }
+    }
+    CsrMatrix::from_triples(rows, cols, &triples)
+}
+
+/// Generates a dense row-major matrix with values in `[-1, 1)`.
+pub fn dense_matrix(rows: usize, cols: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..rows * cols).map(|_| rng.random_range(-1.0..1.0)).collect()
+}
+
+/// Generates a complex signal as interleaved (re, im) pairs.
+pub fn complex_signal(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..2 * n).map(|_| rng.random_range(-1.0..1.0)).collect()
+}
+
+/// Random bytes (AES plaintext blocks).
+pub fn random_bytes(n: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random()).collect()
+}
+
+/// Random DNA-like sequences over a 4-letter alphabet (Smith-Waterman).
+pub fn dna_sequence(n: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random_range(0..4u8)).collect()
+}
+
+/// Option-pricing inputs for Black-Scholes: (spot, strike, time) tuples in
+/// realistic ranges.
+pub fn bs_options(n: usize, seed: u64) -> Vec<(f32, f32, f32)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            (
+                rng.random_range(5.0..30.0),
+                rng.random_range(1.0..100.0),
+                rng.random_range(0.25..10.0),
+            )
+        })
+        .collect()
+}
+
+/// Random body positions/masses in the unit square (Barnes-Hut).
+/// Returns (x, y, mass) triples.
+pub fn bodies(n: usize, seed: u64) -> Vec<(f32, f32, f32)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            (
+                rng.random_range(0.0..1.0),
+                rng.random_range(0.0..1.0),
+                rng.random_range(0.5..2.0),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmat_is_power_law_ish() {
+        let g = rmat(10, 8192, 1);
+        assert_eq!(g.rows, 1024);
+        assert!(g.nnz() > 4000);
+        // Hubs: max degree far above mean degree.
+        let mean = g.nnz() as f64 / f64::from(g.rows);
+        assert!(
+            f64::from(g.max_degree()) > 5.0 * mean,
+            "max {} vs mean {mean}",
+            g.max_degree()
+        );
+    }
+
+    #[test]
+    fn road_grid_has_constant_degree() {
+        let g = road_grid(16, 16);
+        assert_eq!(g.rows, 256);
+        assert_eq!(g.max_degree(), 4);
+        // Interior vertices: degree exactly 4.
+        assert_eq!(g.degree(17), 4);
+        // Corner: 2.
+        assert_eq!(g.degree(0), 2);
+    }
+
+    #[test]
+    fn road_grid_is_symmetric() {
+        let g = road_grid(8, 4);
+        assert_eq!(g.transpose(), g);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(rmat(8, 1000, 42), rmat(8, 1000, 42));
+        assert_eq!(dense_matrix(4, 4, 7), dense_matrix(4, 4, 7));
+    }
+
+    #[test]
+    fn uniform_sparse_bounds() {
+        let m = uniform_sparse(32, 64, 4, 3);
+        assert_eq!(m.rows, 32);
+        assert!(m.nnz() <= 128);
+        for &c in &m.col_idx {
+            assert!(c < 64);
+        }
+    }
+}

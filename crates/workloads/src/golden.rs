@@ -1,0 +1,683 @@
+//! Host-side golden implementations of the ten benchmark kernels
+//! (paper Table I). Simulator results are validated against these.
+
+use crate::csr::CsrMatrix;
+
+// ---------------------------------------------------------------- AES ----
+
+/// The AES S-box.
+pub const AES_SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+fn xtime(b: u8) -> u8 {
+    (b << 1) ^ (if b & 0x80 != 0 { 0x1b } else { 0 })
+}
+
+/// Expands a 16-byte AES-128 key into 11 round keys (176 bytes).
+pub fn aes128_key_schedule(key: &[u8; 16]) -> [u8; 176] {
+    let mut w = [0u8; 176];
+    w[..16].copy_from_slice(key);
+    let mut rcon: u8 = 1;
+    for i in 4..44 {
+        let mut t = [w[4 * i - 4], w[4 * i - 3], w[4 * i - 2], w[4 * i - 1]];
+        if i % 4 == 0 {
+            t.rotate_left(1);
+            for b in &mut t {
+                *b = AES_SBOX[*b as usize];
+            }
+            t[0] ^= rcon;
+            rcon = xtime(rcon);
+        }
+        for j in 0..4 {
+            w[4 * i + j] = w[4 * i + j - 16] ^ t[j];
+        }
+    }
+    w
+}
+
+/// Encrypts one 16-byte block with AES-128 (ECB).
+pub fn aes128_encrypt_block(block: &[u8; 16], round_keys: &[u8; 176]) -> [u8; 16] {
+    let mut s = *block;
+    let xor_rk = |s: &mut [u8; 16], r: usize| {
+        for i in 0..16 {
+            s[i] ^= round_keys[16 * r + i];
+        }
+    };
+    xor_rk(&mut s, 0);
+    for round in 1..=10 {
+        // SubBytes.
+        for b in &mut s {
+            *b = AES_SBOX[*b as usize];
+        }
+        // ShiftRows (column-major state: s[col*4 + row]).
+        let mut t = [0u8; 16];
+        for col in 0..4 {
+            for row in 0..4 {
+                t[col * 4 + row] = s[((col + row) % 4) * 4 + row];
+            }
+        }
+        s = t;
+        // MixColumns (skipped in the final round).
+        if round < 10 {
+            for col in 0..4 {
+                let c = &mut s[col * 4..col * 4 + 4];
+                let (a0, a1, a2, a3) = (c[0], c[1], c[2], c[3]);
+                let all = a0 ^ a1 ^ a2 ^ a3;
+                c[0] = a0 ^ all ^ xtime(a0 ^ a1);
+                c[1] = a1 ^ all ^ xtime(a1 ^ a2);
+                c[2] = a2 ^ all ^ xtime(a2 ^ a3);
+                c[3] = a3 ^ all ^ xtime(a3 ^ a0);
+            }
+        }
+        xor_rk(&mut s, round);
+    }
+    s
+}
+
+/// Encrypts a multiple-of-16-byte buffer in ECB mode.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a multiple of 16.
+pub fn aes128_ecb(data: &[u8], key: &[u8; 16]) -> Vec<u8> {
+    assert_eq!(data.len() % 16, 0);
+    let rk = aes128_key_schedule(key);
+    data.chunks_exact(16)
+        .flat_map(|b| aes128_encrypt_block(b.try_into().unwrap(), &rk))
+        .collect()
+}
+
+// ------------------------------------------------------- Black-Scholes ----
+
+/// `exp(x)` approximated as `(1 + x/256)^256` — eight multiplies, matching
+/// what the RV32F kernel computes (no transcendental hardware). Relative
+/// error is below 2% for |x| <= 3.
+pub fn exp_approx(x: f32) -> f32 {
+    let mut v = 1.0 + x / 256.0;
+    for _ in 0..8 {
+        v *= v;
+    }
+    v
+}
+
+/// Cumulative normal distribution via the Abramowitz-Stegun polynomial,
+/// with [`exp_approx`] standing in for `exp`.
+pub fn cnd(d: f32) -> f32 {
+    const A: [f32; 5] = [0.319_381_53, -0.356_563_78, 1.781_477_9, -1.821_255_9, 1.330_274_4];
+    let l = d.abs();
+    let k = 1.0 / (1.0 + 0.231_641_9 * l);
+    let poly = k * (A[0] + k * (A[1] + k * (A[2] + k * (A[3] + k * A[4]))));
+    let w = 1.0 - 0.398_942_28 * exp_approx(-l * l / 2.0) * poly;
+    if d < 0.0 {
+        1.0 - w
+    } else {
+        w
+    }
+}
+
+/// Black-Scholes European call price with the suite's fixed rate (2%) and
+/// volatility (30%).
+pub fn black_scholes_call(spot: f32, strike: f32, time: f32) -> f32 {
+    const R: f32 = 0.02;
+    const V: f32 = 0.30;
+    let sqrt_t = time.sqrt();
+    // ln(s/k) via atanh-style series is overkill; the kernel precomputes
+    // ln on the host? No: approximate ln(x) = 2*artanh((x-1)/(x+1)) with a
+    // 3-term series — matches the kernel implementation.
+    let d1 = (ln_approx(spot / strike) + (R + V * V / 2.0) * time) / (V * sqrt_t);
+    let d2 = d1 - V * sqrt_t;
+    spot * cnd(d1) - strike * exp_approx(-R * time) * cnd(d2)
+}
+
+/// `ln(x)` via `2 * artanh((x-1)/(x+1))`, 4-term series. Accurate to ~1e-3
+/// for x in (0.05, 20); the kernel computes the same.
+pub fn ln_approx(x: f32) -> f32 {
+    let y = (x - 1.0) / (x + 1.0);
+    let y2 = y * y;
+    2.0 * y * (1.0 + y2 * (1.0 / 3.0 + y2 * (1.0 / 5.0 + y2 * (1.0 / 7.0))))
+}
+
+// ------------------------------------------------------ Smith-Waterman ----
+
+/// Smith-Waterman local-alignment score (match +2, mismatch -1, gap -1).
+pub fn smith_waterman(a: &[u8], b: &[u8]) -> i32 {
+    let mut prev = vec![0i32; b.len() + 1];
+    let mut best = 0;
+    for &ca in a {
+        let mut diag = 0;
+        for (j, &cb) in b.iter().enumerate() {
+            let up_left = diag;
+            diag = prev[j + 1];
+            let score = up_left + if ca == cb { 2 } else { -1 };
+            let h = score.max(diag - 1).max(prev[j] - 1).max(0);
+            prev[j + 1] = h;
+            best = best.max(h);
+        }
+        prev[0] = 0;
+    }
+    best
+}
+
+// --------------------------------------------------------------- SGEMM ----
+
+/// Dense `C = A(BxK) * B(KxN)` in row-major f32.
+pub fn sgemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let av = a[i * k + p];
+            for j in 0..n {
+                c[i * n + j] += av * b[p * n + j];
+            }
+        }
+    }
+    c
+}
+
+// ----------------------------------------------------------------- FFT ----
+
+/// In-place iterative radix-2 DIT FFT over interleaved (re, im) f32 pairs.
+///
+/// # Panics
+///
+/// Panics if the point count is not a power of two.
+pub fn fft(data: &mut [f32]) {
+    let n = data.len() / 2;
+    assert!(n.is_power_of_two());
+    // Bit reversal.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if j > i {
+            data.swap(2 * i, 2 * j);
+            data.swap(2 * i + 1, 2 * j + 1);
+        }
+    }
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f32::consts::PI / len as f32;
+        for start in (0..n).step_by(len) {
+            for k in 0..len / 2 {
+                let (wr, wi) = ((ang * k as f32).cos(), (ang * k as f32).sin());
+                let (i, j) = (start + k, start + k + len / 2);
+                let (xr, xi) = (data[2 * j] * wr - data[2 * j + 1] * wi,
+                                data[2 * j] * wi + data[2 * j + 1] * wr);
+                let (ur, ui) = (data[2 * i], data[2 * i + 1]);
+                data[2 * i] = ur + xr;
+                data[2 * i + 1] = ui + xi;
+                data[2 * j] = ur - xr;
+                data[2 * j + 1] = ui - xi;
+            }
+        }
+        len *= 2;
+    }
+}
+
+// -------------------------------------------------------------- Jacobi ----
+
+/// One 7-point Jacobi step on an `nx * ny * nz` grid (x-major, then y,
+/// then z contiguous): interior points average self + 6 neighbors;
+/// boundary points copy through.
+pub fn jacobi_step(nx: usize, ny: usize, nz: usize, grid: &[f32]) -> Vec<f32> {
+    assert_eq!(grid.len(), nx * ny * nz);
+    let idx = |x: usize, y: usize, z: usize| (y * nx + x) * nz + z;
+    let mut out = grid.to_vec();
+    for y in 0..ny {
+        for x in 0..nx {
+            for z in 0..nz {
+                if x == 0 || x + 1 == nx || y == 0 || y + 1 == ny || z == 0 || z + 1 == nz {
+                    continue;
+                }
+                let sum = grid[idx(x, y, z)]
+                    + grid[idx(x - 1, y, z)]
+                    + grid[idx(x + 1, y, z)]
+                    + grid[idx(x, y - 1, z)]
+                    + grid[idx(x, y + 1, z)]
+                    + grid[idx(x, y, z - 1)]
+                    + grid[idx(x, y, z + 1)];
+                out[idx(x, y, z)] = sum * (1.0 / 7.0);
+            }
+        }
+    }
+    out
+}
+
+// -------------------------------------------------------------- SpGEMM ----
+
+/// Sparse `C = A * B` by Gustavson's row-by-row algorithm.
+pub fn spgemm(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
+    assert_eq!(a.cols, b.rows);
+    let mut triples = Vec::new();
+    let mut acc = vec![0.0f32; b.cols as usize];
+    let mut touched = Vec::new();
+    for i in 0..a.rows {
+        let (acols, avals) = a.row(i);
+        for (&k, &av) in acols.iter().zip(avals) {
+            let (bcols, bvals) = b.row(k);
+            for (&j, &bv) in bcols.iter().zip(bvals) {
+                if acc[j as usize] == 0.0 {
+                    touched.push(j);
+                }
+                acc[j as usize] += av * bv;
+            }
+        }
+        for &j in &touched {
+            triples.push((i, j, acc[j as usize]));
+            acc[j as usize] = 0.0;
+        }
+        touched.clear();
+    }
+    CsrMatrix::from_triples(a.rows, b.cols, &triples)
+}
+
+// ------------------------------------------------------------ PageRank ----
+
+/// `iters` power iterations of PageRank with damping 0.85. Dangling mass
+/// is redistributed uniformly.
+pub fn pagerank(graph: &CsrMatrix, iters: u32) -> Vec<f32> {
+    let n = graph.rows as usize;
+    let d = 0.85f32;
+    let mut pr = vec![1.0 / n as f32; n];
+    let tg = graph.transpose();
+    let out_deg: Vec<u32> = (0..graph.rows).map(|v| graph.degree(v)).collect();
+    for _ in 0..iters {
+        let dangling: f32 = (0..n).filter(|&v| out_deg[v] == 0).map(|v| pr[v]).sum();
+        let base = (1.0 - d) / n as f32 + d * dangling / n as f32;
+        let mut next = vec![base; n];
+        for v in 0..graph.rows {
+            let (in_edges, _) = tg.row(v);
+            let sum: f32 = in_edges.iter().map(|&u| pr[u as usize] / out_deg[u as usize] as f32).sum();
+            next[v as usize] += d * sum;
+        }
+        pr = next;
+    }
+    pr
+}
+
+// ----------------------------------------------------------------- BFS ----
+
+/// BFS distances from `source` (`u32::MAX` = unreachable).
+pub fn bfs(graph: &CsrMatrix, source: u32) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; graph.rows as usize];
+    dist[source as usize] = 0;
+    let mut frontier = vec![source];
+    let mut level = 0;
+    while !frontier.is_empty() {
+        level += 1;
+        let mut next = Vec::new();
+        for &v in &frontier {
+            let (neigh, _) = graph.row(v);
+            for &u in neigh {
+                if dist[u as usize] == u32::MAX {
+                    dist[u as usize] = level;
+                    next.push(u);
+                }
+            }
+        }
+        frontier = next;
+    }
+    dist
+}
+
+// ---------------------------------------------------------- Barnes-Hut ----
+
+/// A 2-D Barnes-Hut quadtree node, stored in a flat arena so kernels can
+/// traverse the same layout from DRAM.
+#[derive(Debug, Clone, Copy)]
+pub struct QuadNode {
+    /// Center of mass (x, y).
+    pub com: (f32, f32),
+    /// Total mass.
+    pub mass: f32,
+    /// Side length of this node's region.
+    pub size: f32,
+    /// Child indices (`u32::MAX` = empty); leaves store a body index in
+    /// `children[0]` with `is_leaf`.
+    pub children: [u32; 4],
+    /// Whether this node is a single body.
+    pub is_leaf: bool,
+}
+
+/// A flat 2-D Barnes-Hut quadtree.
+#[derive(Debug, Clone)]
+pub struct QuadTree {
+    /// Arena of nodes; index 0 is the root.
+    pub nodes: Vec<QuadNode>,
+}
+
+const EPS2: f32 = 1e-4;
+
+impl QuadTree {
+    /// Builds a quadtree over bodies in the unit square.
+    pub fn build(bodies: &[(f32, f32, f32)]) -> QuadTree {
+        #[derive(Debug)]
+        enum Build {
+            Empty,
+            Leaf(usize),
+            Inner(Box<[Build; 4]>),
+        }
+        fn insert(
+            node: &mut Build,
+            bodies: &[(f32, f32, f32)],
+            bi: usize,
+            cx: f32,
+            cy: f32,
+            half: f32,
+            depth: u32,
+        ) {
+            match node {
+                Build::Empty => *node = Build::Leaf(bi),
+                Build::Leaf(other) => {
+                    let other = *other;
+                    if depth > 32 {
+                        // Coincident bodies: drop into the same leaf by
+                        // merging masses at force time; keep first.
+                        return;
+                    }
+                    *node = Build::Inner(Box::new([
+                        Build::Empty,
+                        Build::Empty,
+                        Build::Empty,
+                        Build::Empty,
+                    ]));
+                    insert(node, bodies, other, cx, cy, half, depth);
+                    insert(node, bodies, bi, cx, cy, half, depth);
+                }
+                Build::Inner(children) => {
+                    let (bx, by, _) = bodies[bi];
+                    let q = usize::from(bx >= cx) + 2 * usize::from(by >= cy);
+                    let (ncx, ncy) = (
+                        cx + if bx >= cx { half / 2.0 } else { -half / 2.0 },
+                        cy + if by >= cy { half / 2.0 } else { -half / 2.0 },
+                    );
+                    insert(&mut children[q], bodies, bi, ncx, ncy, half / 2.0, depth + 1);
+                }
+            }
+        }
+        fn flatten(
+            node: &Build,
+            bodies: &[(f32, f32, f32)],
+            size: f32,
+            arena: &mut Vec<QuadNode>,
+        ) -> u32 {
+            match node {
+                Build::Empty => u32::MAX,
+                Build::Leaf(bi) => {
+                    let (x, y, m) = bodies[*bi];
+                    let id = arena.len() as u32;
+                    arena.push(QuadNode {
+                        com: (x, y),
+                        mass: m,
+                        size,
+                        children: [*bi as u32, u32::MAX, u32::MAX, u32::MAX],
+                        is_leaf: true,
+                    });
+                    id
+                }
+                Build::Inner(children) => {
+                    let id = arena.len() as u32;
+                    arena.push(QuadNode {
+                        com: (0.0, 0.0),
+                        mass: 0.0,
+                        size,
+                        children: [u32::MAX; 4],
+                        is_leaf: false,
+                    });
+                    let mut com = (0.0f32, 0.0f32);
+                    let mut mass = 0.0f32;
+                    for (q, child) in children.iter().enumerate() {
+                        let cid = flatten(child, bodies, size / 2.0, arena);
+                        arena[id as usize].children[q] = cid;
+                        if cid != u32::MAX {
+                            let c = arena[cid as usize];
+                            com.0 += c.com.0 * c.mass;
+                            com.1 += c.com.1 * c.mass;
+                            mass += c.mass;
+                        }
+                    }
+                    arena[id as usize].com = (com.0 / mass, com.1 / mass);
+                    arena[id as usize].mass = mass;
+                    id
+                }
+            }
+        }
+        let mut root = Build::Empty;
+        for bi in 0..bodies.len() {
+            insert(&mut root, bodies, bi, 0.5, 0.5, 0.5, 0);
+        }
+        let mut arena = Vec::new();
+        flatten(&root, bodies, 1.0, &mut arena);
+        QuadTree { nodes: arena }
+    }
+
+    /// Computes the force on `body` with opening angle `theta`.
+    pub fn force(&self, bodies: &[(f32, f32, f32)], body: usize, theta: f32) -> (f32, f32) {
+        if self.nodes.is_empty() {
+            return (0.0, 0.0);
+        }
+        let (px, py, pm) = bodies[body];
+        let mut acc = (0.0f32, 0.0f32);
+        let mut stack = vec![0u32];
+        while let Some(ni) = stack.pop() {
+            let node = &self.nodes[ni as usize];
+            let (dx, dy) = (node.com.0 - px, node.com.1 - py);
+            let dist2 = dx * dx + dy * dy + EPS2;
+            if node.is_leaf {
+                if node.children[0] as usize != body {
+                    let inv = 1.0 / (dist2 * dist2.sqrt());
+                    acc.0 += pm * node.mass * dx * inv;
+                    acc.1 += pm * node.mass * dy * inv;
+                }
+            } else if node.size * node.size < theta * theta * dist2 {
+                let inv = 1.0 / (dist2 * dist2.sqrt());
+                acc.0 += pm * node.mass * dx * inv;
+                acc.1 += pm * node.mass * dy * inv;
+            } else {
+                for &c in &node.children {
+                    if c != u32::MAX {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        acc
+    }
+}
+
+/// Brute-force all-pairs forces (reference for the reference).
+pub fn brute_forces(bodies: &[(f32, f32, f32)]) -> Vec<(f32, f32)> {
+    bodies
+        .iter()
+        .enumerate()
+        .map(|(i, &(px, py, pm))| {
+            let mut acc = (0.0f32, 0.0f32);
+            for (j, &(qx, qy, qm)) in bodies.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let (dx, dy) = (qx - px, qy - py);
+                let dist2 = dx * dx + dy * dy + EPS2;
+                let inv = 1.0 / (dist2 * dist2.sqrt());
+                acc.0 += pm * qm * dx * inv;
+                acc.1 += pm * qm * dy * inv;
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn aes_fips197_vector() {
+        let key: [u8; 16] = (0..16).collect::<Vec<u8>>().try_into().unwrap();
+        let pt: [u8; 16] = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ];
+        let rk = aes128_key_schedule(&key);
+        let ct = aes128_encrypt_block(&pt, &rk);
+        assert_eq!(
+            ct,
+            [
+                0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70,
+                0xb4, 0xc5, 0x5a
+            ]
+        );
+    }
+
+    #[test]
+    fn exp_approx_is_close() {
+        for x in [-3.0f32, -1.0, -0.1, 0.0, 0.5, 2.0] {
+            let e = exp_approx(x);
+            assert!((e - x.exp()).abs() / x.exp() < 0.05, "exp({x}) = {e}");
+        }
+    }
+
+    #[test]
+    fn ln_approx_is_close() {
+        for x in [0.2f32, 0.5, 1.0, 2.0, 5.0] {
+            assert!((ln_approx(x) - x.ln()).abs() < 0.02, "ln({x})");
+        }
+    }
+
+    #[test]
+    fn cnd_brackets() {
+        assert!((cnd(0.0) - 0.5).abs() < 1e-3);
+        assert!(cnd(3.0) > 0.99);
+        assert!(cnd(-3.0) < 0.01);
+    }
+
+    #[test]
+    fn black_scholes_sanity() {
+        // Deep in-the-money call is worth ~spot - discounted strike.
+        let p = black_scholes_call(100.0, 1.0, 1.0);
+        assert!((p - (100.0 - exp_approx(-0.02))).abs() < 1.0, "price {p}");
+        // Price grows with time.
+        assert!(black_scholes_call(10.0, 10.0, 4.0) > black_scholes_call(10.0, 10.0, 0.5));
+    }
+
+    #[test]
+    fn smith_waterman_known_cases() {
+        assert_eq!(smith_waterman(b"ACGT", b"ACGT"), 8);
+        assert_eq!(smith_waterman(b"AAAA", b"TTTT"), 0);
+        // One gap: ACGT vs AC_GT-like.
+        assert_eq!(smith_waterman(b"ACGT", b"ACT"), 5); // AC match(4) + T after gap
+    }
+
+    #[test]
+    fn sgemm_matches_identity() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let id = vec![1.0, 0.0, 0.0, 1.0];
+        assert_eq!(sgemm(2, 2, 2, &a, &id), a);
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut d = vec![0.0f32; 16];
+        d[0] = 1.0;
+        fft(&mut d);
+        for k in 0..8 {
+            assert!((d[2 * k] - 1.0).abs() < 1e-5);
+            assert!(d[2 * k + 1].abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn fft_parseval() {
+        let mut d = gen::complex_signal(64, 9);
+        let t_energy: f32 = d.iter().map(|v| v * v).sum();
+        fft(&mut d);
+        let f_energy: f32 = d.iter().map(|v| v * v).sum();
+        assert!((f_energy / 64.0 - t_energy).abs() / t_energy < 1e-3);
+    }
+
+    #[test]
+    fn jacobi_preserves_constant_field() {
+        let g = vec![2.5f32; 4 * 4 * 8];
+        let out = jacobi_step(4, 4, 8, &g);
+        assert_eq!(out, g);
+    }
+
+    #[test]
+    fn spgemm_matches_dense() {
+        let a = gen::uniform_sparse(16, 16, 3, 1);
+        let b = gen::uniform_sparse(16, 16, 3, 2);
+        let c = spgemm(&a, &b);
+        // Check via SpMV on random vector: (A*B)x == A*(B*x).
+        let x: Vec<f32> = (0..16).map(|i| i as f32 * 0.25 + 1.0).collect();
+        let lhs = c.spmv(&x);
+        let rhs = a.spmv(&b.spmv(&x));
+        for (l, r) in lhs.iter().zip(&rhs) {
+            assert!((l - r).abs() < 1e-3, "{l} vs {r}");
+        }
+    }
+
+    #[test]
+    fn pagerank_sums_to_one() {
+        let g = gen::rmat(8, 2048, 5);
+        let pr = pagerank(&g, 10);
+        let sum: f32 = pr.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-2, "sum {sum}");
+        assert!(pr.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn bfs_on_grid_is_manhattan() {
+        let g = gen::road_grid(8, 8);
+        let d = bfs(&g, 0);
+        for y in 0..8u32 {
+            for x in 0..8u32 {
+                assert_eq!(d[(y * 8 + x) as usize], x + y);
+            }
+        }
+    }
+
+    #[test]
+    fn barnes_hut_approximates_brute_force() {
+        let bodies = gen::bodies(200, 11);
+        let tree = QuadTree::build(&bodies);
+        let brute = brute_forces(&bodies);
+        let mut err = 0.0f64;
+        let mut norm = 0.0f64;
+        for i in 0..bodies.len() {
+            let (fx, fy) = tree.force(&bodies, i, 0.5);
+            let (bx, by) = brute[i];
+            err += f64::from((fx - bx).powi(2) + (fy - by).powi(2)).sqrt();
+            norm += f64::from(bx * bx + by * by).sqrt();
+        }
+        assert!(err / norm < 0.05, "relative force error {}", err / norm);
+    }
+
+    #[test]
+    fn quadtree_mass_is_conserved() {
+        let bodies = gen::bodies(64, 3);
+        let tree = QuadTree::build(&bodies);
+        let total: f32 = bodies.iter().map(|b| b.2).sum();
+        assert!((tree.nodes[0].mass - total).abs() < 1e-3);
+    }
+}

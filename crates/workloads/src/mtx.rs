@@ -1,0 +1,200 @@
+//! Matrix Market (`.mtx`) import/export.
+//!
+//! The paper's evaluation inputs (wiki-Vote, roadNet-CA, hollywood-2009,
+//! ...) are distributed by the SuiteSparse collection in Matrix Market
+//! format. The synthetic generators in [`crate::gen`] stand in for them
+//! offline; this parser lets users drop in the real files when they have
+//! them. Supports the `matrix coordinate` variants used by SuiteSparse:
+//! `real` / `integer` / `pattern` values, `general` / `symmetric`
+//! symmetry.
+
+use crate::csr::CsrMatrix;
+use std::fmt;
+
+/// Error from parsing a Matrix Market file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MtxError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for MtxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mtx line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for MtxError {}
+
+fn err(line: usize, message: impl Into<String>) -> MtxError {
+    MtxError { line, message: message.into() }
+}
+
+/// Parses Matrix Market coordinate text into CSR.
+///
+/// # Errors
+///
+/// Returns [`MtxError`] for malformed headers, unsupported formats
+/// (`array`, `complex`, `hermitian`, `skew-symmetric`) and out-of-range
+/// entries.
+pub fn parse_mtx(src: &str) -> Result<CsrMatrix, MtxError> {
+    let mut lines = src.lines().enumerate().map(|(i, l)| (i + 1, l));
+
+    // Header: %%MatrixMarket matrix coordinate <field> <symmetry>
+    let (hline, header) = lines
+        .next()
+        .ok_or_else(|| err(0, "empty file"))?;
+    let toks: Vec<&str> = header.split_whitespace().collect();
+    if toks.len() != 5 || !toks[0].eq_ignore_ascii_case("%%MatrixMarket") {
+        return Err(err(hline, "expected `%%MatrixMarket matrix coordinate ...` header"));
+    }
+    if !toks[1].eq_ignore_ascii_case("matrix") || !toks[2].eq_ignore_ascii_case("coordinate") {
+        return Err(err(hline, format!("unsupported object/format `{} {}`", toks[1], toks[2])));
+    }
+    let pattern = match toks[3].to_ascii_lowercase().as_str() {
+        "real" | "integer" => false,
+        "pattern" => true,
+        other => return Err(err(hline, format!("unsupported field `{other}`"))),
+    };
+    let symmetric = match toks[4].to_ascii_lowercase().as_str() {
+        "general" => false,
+        "symmetric" => true,
+        other => return Err(err(hline, format!("unsupported symmetry `{other}`"))),
+    };
+
+    // Size line (after comments).
+    let mut size = None;
+    for (ln, l) in lines.by_ref() {
+        let t = l.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let parts: Vec<&str> = t.split_whitespace().collect();
+        if parts.len() != 3 {
+            return Err(err(ln, format!("bad size line `{t}`")));
+        }
+        let rows: u32 = parts[0].parse().map_err(|_| err(ln, "bad row count"))?;
+        let cols: u32 = parts[1].parse().map_err(|_| err(ln, "bad col count"))?;
+        let nnz: usize = parts[2].parse().map_err(|_| err(ln, "bad nnz count"))?;
+        size = Some((rows, cols, nnz));
+        break;
+    }
+    let (rows, cols, nnz) = size.ok_or_else(|| err(0, "missing size line"))?;
+
+    let mut triples = Vec::with_capacity(if symmetric { nnz * 2 } else { nnz });
+    let mut seen = 0usize;
+    for (ln, l) in lines {
+        let t = l.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let parts: Vec<&str> = t.split_whitespace().collect();
+        let want = if pattern { 2 } else { 3 };
+        if parts.len() < want {
+            return Err(err(ln, format!("entry `{t}` has too few fields")));
+        }
+        let r: u32 = parts[0].parse().map_err(|_| err(ln, "bad row index"))?;
+        let c: u32 = parts[1].parse().map_err(|_| err(ln, "bad col index"))?;
+        if r == 0 || c == 0 || r > rows || c > cols {
+            return Err(err(ln, format!("index ({r},{c}) outside {rows}x{cols} (1-based)")));
+        }
+        let v: f32 = if pattern {
+            1.0
+        } else {
+            parts[2].parse().map_err(|_| err(ln, format!("bad value `{}`", parts[2])))?
+        };
+        triples.push((r - 1, c - 1, v));
+        if symmetric && r != c {
+            triples.push((c - 1, r - 1, v));
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(err(0, format!("size line promised {nnz} entries, found {seen}")));
+    }
+    Ok(CsrMatrix::from_triples(rows, cols, &triples))
+}
+
+/// Serializes a CSR matrix as `matrix coordinate real general` text.
+pub fn to_mtx(m: &CsrMatrix) -> String {
+    use std::fmt::Write;
+    let mut out = String::from("%%MatrixMarket matrix coordinate real general\n");
+    let _ = writeln!(out, "{} {} {}", m.rows, m.cols, m.nnz());
+    for r in 0..m.rows {
+        let (cols, vals) = m.row(r);
+        for (&c, &v) in cols.iter().zip(vals) {
+            let _ = writeln!(out, "{} {} {}", r + 1, c + 1, v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn parses_general_real() {
+        let m = parse_mtx(
+            "%%MatrixMarket matrix coordinate real general\n\
+             % a comment\n\
+             3 3 3\n\
+             1 2 1.5\n\
+             2 1 -2\n\
+             3 3 0.25\n",
+        )
+        .unwrap();
+        assert_eq!(m.rows, 3);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.row(0), (&[1u32][..], &[1.5f32][..]));
+    }
+
+    #[test]
+    fn symmetric_mirrors_entries() {
+        let m = parse_mtx(
+            "%%MatrixMarket matrix coordinate pattern symmetric\n\
+             3 3 2\n\
+             2 1\n\
+             3 1\n",
+        )
+        .unwrap();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.degree(0), 2);
+    }
+
+    #[test]
+    fn pattern_entries_get_unit_values() {
+        let m = parse_mtx("%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 1\n")
+            .unwrap();
+        assert_eq!(m.vals, vec![1.0]);
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let m = gen::uniform_sparse(16, 16, 3, 9);
+        let text = to_mtx(&m);
+        let back = parse_mtx(&text).unwrap();
+        assert_eq!(back.rows, m.rows);
+        assert_eq!(back.col_idx, m.col_idx);
+        for (a, b) in back.vals.iter().zip(&m.vals) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_headers_and_counts() {
+        assert!(parse_mtx("nope\n").is_err());
+        assert!(parse_mtx("%%MatrixMarket matrix array real general\n2 2 1\n").is_err());
+        assert!(
+            parse_mtx("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n").is_err(),
+            "nnz mismatch must be detected"
+        );
+        assert!(
+            parse_mtx("%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1\n").is_err(),
+            "out-of-range index must be detected"
+        );
+    }
+}

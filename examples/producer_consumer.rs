@@ -1,0 +1,110 @@
+//! Producer-consumer across Cells (paper Figure 6): Cell 0 runs a
+//! producer kernel that writes results directly into Cell 1's Local DRAM
+//! through a Group-DRAM pointer, then raises a flag; Cell 1's consumer
+//! spins on the flag and post-processes the data — no host round trip.
+//!
+//! Run with: `cargo run --release --example producer_consumer`
+
+use hammerblade::asm::Assembler;
+use hammerblade::core::{pgas, HbOps, Machine, MachineConfig};
+use hammerblade::isa::Gpr::*;
+use std::sync::Arc;
+
+const N: u32 = 512;
+
+/// Producer: out[i] = 3*i + 1, written into the *other* Cell's DRAM.
+fn producer() -> Assembler {
+    let mut a = Assembler::new();
+    a.tg_rank(S0, T6);
+    a.tg_size(S1, T6);
+    let loop_top = a.new_label();
+    let done = a.new_label();
+    a.bind(loop_top);
+    a.bge(S0, A2, done);
+    a.slli(T0, S0, 1);
+    a.add(T0, T0, S0);
+    a.addi(T0, T0, 1); // 3i + 1
+    a.slli(T1, S0, 2);
+    a.add(T1, A0, T1);
+    a.sw(T0, T1, 0); // group-DRAM store into Cell 1
+    a.add(S0, S0, S1);
+    a.j(loop_top);
+    a.bind(done);
+    a.fence();
+    a.barrier(T6);
+    // Rank 0 raises the flag once every producer tile has drained.
+    a.tg_rank(S0, T6);
+    let skip = a.new_label();
+    a.bnez(S0, skip);
+    a.li(T0, 1);
+    a.sw(T0, A1, 0);
+    a.fence();
+    a.bind(skip);
+    a.ecall();
+    a
+}
+
+/// Consumer: rank 0 spins on the flag, then all tiles sum the data with
+/// a parallel amoadd reduction.
+fn consumer() -> Assembler {
+    let mut a = Assembler::new();
+    a.tg_rank(S0, T6);
+    a.tg_size(S1, T6);
+    // Rank 0 waits for the flag; everyone else waits at the barrier.
+    let go = a.new_label();
+    a.bnez(S0, go);
+    let spin = a.here();
+    a.lw(T0, A1, 0);
+    a.beqz(T0, spin);
+    a.bind(go);
+    a.barrier(T6);
+    // Parallel sum: each tile accumulates a stride, then amoadds once.
+    a.li(S2, 0);
+    a.mv(S3, S0);
+    let loop_top = a.new_label();
+    let done = a.new_label();
+    a.bind(loop_top);
+    a.bge(S3, A3, done);
+    a.slli(T0, S3, 2);
+    a.add(T0, A0, T0);
+    a.lw(T1, T0, 0);
+    a.add(S2, S2, T1);
+    a.add(S3, S3, S1);
+    a.j(loop_top);
+    a.bind(done);
+    a.amoadd(Zero, S2, A2);
+    a.fence();
+    a.ecall();
+    a
+}
+
+fn main() {
+    let cfg = MachineConfig { num_cells: 2, ..MachineConfig::baseline_16x8() };
+    let mut machine = Machine::new(cfg);
+
+    // Buffers live in Cell 1's DRAM; Cell 0 reaches them via Group DRAM.
+    let data = machine.cell_mut(1).alloc(N * 4, 64);
+    let flag = machine.cell_mut(1).alloc(4, 64);
+    let total = machine.cell_mut(1).alloc(4, 64);
+
+    let producer = Arc::new(producer().assemble(0).unwrap());
+    let consumer = Arc::new(consumer().assemble(0).unwrap());
+    machine.launch(
+        0,
+        &producer,
+        &[pgas::group_dram(1, data), pgas::group_dram(1, flag), N],
+    );
+    machine.launch(
+        1,
+        &consumer,
+        &[pgas::local_dram(data), pgas::local_dram(flag), pgas::local_dram(total), N],
+    );
+    let summary = machine.run(50_000_000).expect("pipeline completes");
+    machine.cell_mut(1).flush_caches();
+
+    let got = machine.cell(1).dram().read_u32(total);
+    let expect: u32 = (0..N).map(|i| 3 * i + 1).sum();
+    assert_eq!(got, expect);
+    println!("producer-consumer pipeline over 2 Cells: sum = {got} (expected {expect})");
+    println!("total cycles: {}", summary.cycles);
+}

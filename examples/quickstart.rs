@@ -1,0 +1,53 @@
+//! Quickstart: assemble a kernel, run it on a simulated HammerBlade Cell,
+//! and read the results back — the whole host/device workflow in ~50
+//! lines.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use hammerblade::asm::Assembler;
+use hammerblade::core::{pgas, HbOps, Machine, MachineConfig};
+use hammerblade::isa::Gpr::*;
+use std::sync::Arc;
+
+fn main() {
+    // A full 16x8 HammerBlade Cell: 128 RV32IMAF tiles, 32 cache banks,
+    // Ruche networks, one HBM2 pseudo-channel.
+    let mut machine = Machine::new(MachineConfig::baseline_16x8());
+
+    // Device kernel: out[i] = i * i, parallelized over every tile with a
+    // rank-strided loop (SPMD, like a CUDA grid-stride loop).
+    let mut a = Assembler::new();
+    a.tg_rank(S0, T6); // s0 = this tile's rank
+    a.tg_size(S1, T6); // s1 = total tiles
+    let loop_top = a.new_label();
+    let done = a.new_label();
+    a.bind(loop_top);
+    a.bge(S0, A1, done); // while i < n
+    a.mul(T0, S0, S0); // t0 = i * i
+    a.slli(T1, S0, 2);
+    a.add(T1, A0, T1);
+    a.sw(T0, T1, 0); // out[i] = t0
+    a.add(S0, S0, S1); // i += nthreads
+    a.j(loop_top);
+    a.bind(done);
+    a.fence(); // drain outstanding stores
+    a.ecall(); // tile finished
+    let program = Arc::new(a.assemble(0).expect("assembles"));
+    println!("kernel:\n{}", program.disassemble());
+
+    // Host side: allocate device memory, launch, run, read back.
+    const N: u32 = 1000;
+    let out = machine.cell_mut(0).alloc(N * 4, 64);
+    machine.launch(0, &program, &[pgas::local_dram(out), N]);
+    let summary = machine.run(10_000_000).expect("kernel completes");
+    machine.cell_mut(0).flush_caches();
+
+    let results = machine.cell(0).dram().read_u32_slice(out, N as usize);
+    assert!((0..N).all(|i| results[i as usize] == i * i));
+    println!(
+        "computed {N} squares on {} tiles in {} cycles ({:.1}% core utilization)",
+        machine.config().cell_dim.tiles(),
+        summary.cycles,
+        summary.core.utilization() * 100.0
+    );
+}

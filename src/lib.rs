@@ -1,0 +1,36 @@
+//! # HammerBlade-RS
+//!
+//! A cycle-level Rust reproduction of the HammerBlade open-source RISC-V
+//! manycore (ISCA 2024). This facade crate re-exports the public API of the
+//! workspace crates; see the README for an architecture overview and
+//! `DESIGN.md` for the per-experiment index.
+//!
+//! The typical entry point is [`hb_core::Machine`]:
+//!
+//! ```
+//! use hammerblade::core::{CellDim, MachineConfig};
+//!
+//! let config = MachineConfig::baseline_16x8();
+//! assert_eq!(config.cell_dim, CellDim { x: 16, y: 8 });
+//! ```
+
+/// RV32IMAF instruction set: encode/decode, registers, disassembly.
+pub use hb_isa as isa;
+/// Assembler with labels, relocation and pseudo-instructions.
+pub use hb_asm as asm;
+/// HBM2 pseudo-channel DRAM timing model.
+pub use hb_mem as mem;
+/// On-chip networks: mesh, Ruche, barrier and refill channels.
+pub use hb_noc as noc;
+/// Non-blocking, write-validate last-level cache banks.
+pub use hb_cache as cache;
+/// The HammerBlade tile, Cell and Machine: the paper's core contribution.
+pub use hb_core as core;
+/// Synthetic workload generators and golden reference kernels.
+pub use hb_workloads as workloads;
+/// The ten-benchmark parallel suite of Table I.
+pub use hb_kernels as kernels;
+/// Hierarchical-manycore (ET-style) baseline model.
+pub use hb_hier as hier;
+/// Per-instruction energy model.
+pub use hb_energy as energy;

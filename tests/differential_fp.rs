@@ -1,0 +1,149 @@
+//! Differential testing of the floating-point pipeline: random
+//! straight-line RV32F programs run on the cycle-level tile and on an
+//! architectural interpreter must produce bit-identical FP register
+//! files, regardless of pipelining, bypass latencies and the iterative
+//! divide/sqrt unit.
+
+use hammerblade::asm::Assembler;
+use hammerblade::core::{CellDim, Machine, MachineConfig};
+use hammerblade::isa::{FmaOp, FpOp, Fpr, Gpr, Instr};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    /// Load a constant bit pattern into an FP register (li + fmv.w.x).
+    Set(Fpr, u32),
+    /// Two-operand FP op.
+    Op(FpOp, Fpr, Fpr, Fpr),
+    /// Fused multiply-add.
+    Fma(FmaOp, Fpr, Fpr, Fpr, Fpr),
+    /// Square root.
+    Sqrt(Fpr, Fpr),
+    /// Int -> FP conversion of a small constant.
+    CvtFromInt(Fpr, i32),
+}
+
+fn any_fpr() -> impl Strategy<Value = Fpr> {
+    (0u8..32).prop_map(Fpr::from_index)
+}
+
+/// Finite, comfortably-ranged f32 bit patterns (no NaN/inf/subnormal
+/// corner semantics; those are covered by unit tests of `FpOp::eval`).
+fn finite_bits() -> impl Strategy<Value = u32> {
+    (-1_000_000i32..1_000_000).prop_map(|v| ((v as f32) / 128.0).to_bits())
+}
+
+fn any_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (any_fpr(), finite_bits()).prop_map(|(r, b)| Step::Set(r, b)),
+        (
+            prop_oneof![
+                Just(FpOp::Add),
+                Just(FpOp::Sub),
+                Just(FpOp::Mul),
+                Just(FpOp::Div),
+                Just(FpOp::Min),
+                Just(FpOp::Max),
+                Just(FpOp::Sgnj),
+                Just(FpOp::Sgnjn),
+                Just(FpOp::Sgnjx)
+            ],
+            any_fpr(),
+            any_fpr(),
+            any_fpr()
+        )
+            .prop_map(|(op, rd, rs1, rs2)| Step::Op(op, rd, rs1, rs2)),
+        (
+            prop_oneof![Just(FmaOp::Madd), Just(FmaOp::Msub), Just(FmaOp::Nmsub), Just(FmaOp::Nmadd)],
+            any_fpr(),
+            any_fpr(),
+            any_fpr(),
+            any_fpr()
+        )
+            .prop_map(|(op, rd, rs1, rs2, rs3)| Step::Fma(op, rd, rs1, rs2, rs3)),
+        (any_fpr(), any_fpr()).prop_map(|(rd, rs1)| Step::Sqrt(rd, rs1)),
+        (any_fpr(), 0i32..2000).prop_map(|(rd, v)| Step::CvtFromInt(rd, v)),
+    ]
+}
+
+/// Architectural reference.
+fn interpret(steps: &[Step]) -> [u32; 32] {
+    let mut f = [0.0f32; 32];
+    for &s in steps {
+        match s {
+            Step::Set(r, bits) => f[r.index() as usize] = f32::from_bits(bits),
+            Step::Op(op, rd, rs1, rs2) => {
+                f[rd.index() as usize] = op.eval(f[rs1.index() as usize], f[rs2.index() as usize]);
+            }
+            Step::Fma(op, rd, a, b, c) => {
+                f[rd.index() as usize] =
+                    op.eval(f[a.index() as usize], f[b.index() as usize], f[c.index() as usize]);
+            }
+            Step::Sqrt(rd, rs1) => {
+                f[rd.index() as usize] = FpOp::Sqrt.eval(f[rs1.index() as usize], 0.0);
+            }
+            Step::CvtFromInt(rd, v) => f[rd.index() as usize] = v as f32,
+        }
+    }
+    let mut bits = [0u32; 32];
+    for i in 0..32 {
+        bits[i] = f[i].to_bits();
+    }
+    bits
+}
+
+fn emit(a: &mut Assembler, steps: &[Step]) {
+    for &s in steps {
+        match s {
+            Step::Set(r, bits) => {
+                a.li_u(Gpr::T0, bits);
+                a.fmv_w_x(r, Gpr::T0);
+            }
+            Step::Op(op, rd, rs1, rs2) => {
+                a.emit(Instr::FpOp { op, rd, rs1, rs2 });
+            }
+            Step::Fma(op, rd, rs1, rs2, rs3) => {
+                a.emit(Instr::Fma { op, rd, rs1, rs2, rs3 });
+            }
+            Step::Sqrt(rd, rs1) => {
+                a.fsqrt(rd, rs1);
+            }
+            Step::CvtFromInt(rd, v) => {
+                a.li(Gpr::T0, v);
+                a.fcvt_s_w(rd, Gpr::T0);
+            }
+        }
+    }
+    a.ecall();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fp_pipeline_matches_interpreter(steps in prop::collection::vec(any_step(), 1..50)) {
+        let cfg = MachineConfig {
+            cell_dim: CellDim { x: 1, y: 1 },
+            ..MachineConfig::baseline_16x8()
+        };
+        let mut machine = Machine::new(cfg);
+        let mut a = Assembler::new();
+        emit(&mut a, &steps);
+        let image = Arc::new(a.assemble(0).unwrap());
+        machine.launch(0, &image, &[]);
+        machine.run(1_000_000).expect("straight-line FP code terminates");
+
+        let expect = interpret(&steps);
+        let tile = machine.cell(0).tile(0, 0);
+        for r in Fpr::ALL {
+            let got = tile.freg(r).to_bits();
+            prop_assert_eq!(
+                got,
+                expect[r.index() as usize],
+                "FP register {} diverged: sim {:#010x} vs ref {:#010x}",
+                r, got, expect[r.index() as usize]
+            );
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Cross-crate integration: the full benchmark suite validates end-to-end
+//! through the facade crate (each kernel checks its output against the
+//! golden reference internally).
+
+use hammerblade::core::{CellDim, MachineConfig};
+use hammerblade::kernels::{suite, SizeClass};
+
+fn tiny_cfg() -> MachineConfig {
+    MachineConfig { cell_dim: CellDim { x: 4, y: 2 }, ..MachineConfig::baseline_16x8() }
+}
+
+#[test]
+fn all_ten_benchmarks_validate() {
+    let cfg = tiny_cfg();
+    for bench in suite() {
+        let stats = bench
+            .run(&cfg, SizeClass::Tiny)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", bench.name()));
+        assert!(stats.cycles > 0, "{} reported zero cycles", bench.name());
+        assert!(stats.core.instrs > 0, "{} retired no instructions", bench.name());
+    }
+}
+
+#[test]
+fn suite_covers_ten_distinct_dwarf_kernels() {
+    let names: Vec<&str> = suite().iter().map(|b| b.name()).collect();
+    assert_eq!(names.len(), 10);
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), 10, "duplicate benchmark names: {names:?}");
+}
+
+#[test]
+fn memory_intensive_kernels_stress_memory_more_than_compute_ones() {
+    // The Figure 11 ordering claim, at test scale: PR (memory-intensive)
+    // should show a lower core utilization than AES (compute-intensive).
+    let cfg = tiny_cfg();
+    let suite = suite();
+    let pr = suite.iter().find(|b| b.name() == "PR").unwrap();
+    let aes = suite.iter().find(|b| b.name() == "AES").unwrap();
+    let pr_stats = pr.run(&cfg, SizeClass::Tiny).unwrap();
+    let aes_stats = aes.run(&cfg, SizeClass::Tiny).unwrap();
+    assert!(
+        aes_stats.core.utilization() > pr_stats.core.utilization(),
+        "AES util {:.2} should exceed PR util {:.2}",
+        aes_stats.core.utilization(),
+        pr_stats.core.utilization()
+    );
+}
