@@ -19,8 +19,16 @@ pub struct Label(pub(crate) usize);
 #[derive(Debug, Clone, Copy)]
 enum Item {
     Fixed(Instr),
-    Branch { op: BranchOp, rs1: Gpr, rs2: Gpr, target: Label },
-    Jal { rd: Gpr, target: Label },
+    Branch {
+        op: BranchOp,
+        rs1: Gpr,
+        rs2: Gpr,
+        target: Label,
+    },
+    Jal {
+        rd: Gpr,
+        target: Label,
+    },
 }
 
 /// Builder for RV32IMAF programs. See the [crate docs](crate) for an example.
@@ -220,42 +228,82 @@ impl Assembler {
 
     /// `lw rd, offset(rs1)`
     pub fn lw(&mut self, rd: Gpr, rs1: Gpr, offset: i32) -> &mut Self {
-        self.emit(Instr::Load { width: LoadWidth::W, rd, rs1, offset })
+        self.emit(Instr::Load {
+            width: LoadWidth::W,
+            rd,
+            rs1,
+            offset,
+        })
     }
 
     /// `lh rd, offset(rs1)`
     pub fn lh(&mut self, rd: Gpr, rs1: Gpr, offset: i32) -> &mut Self {
-        self.emit(Instr::Load { width: LoadWidth::H, rd, rs1, offset })
+        self.emit(Instr::Load {
+            width: LoadWidth::H,
+            rd,
+            rs1,
+            offset,
+        })
     }
 
     /// `lhu rd, offset(rs1)`
     pub fn lhu(&mut self, rd: Gpr, rs1: Gpr, offset: i32) -> &mut Self {
-        self.emit(Instr::Load { width: LoadWidth::Hu, rd, rs1, offset })
+        self.emit(Instr::Load {
+            width: LoadWidth::Hu,
+            rd,
+            rs1,
+            offset,
+        })
     }
 
     /// `lb rd, offset(rs1)`
     pub fn lb(&mut self, rd: Gpr, rs1: Gpr, offset: i32) -> &mut Self {
-        self.emit(Instr::Load { width: LoadWidth::B, rd, rs1, offset })
+        self.emit(Instr::Load {
+            width: LoadWidth::B,
+            rd,
+            rs1,
+            offset,
+        })
     }
 
     /// `lbu rd, offset(rs1)`
     pub fn lbu(&mut self, rd: Gpr, rs1: Gpr, offset: i32) -> &mut Self {
-        self.emit(Instr::Load { width: LoadWidth::Bu, rd, rs1, offset })
+        self.emit(Instr::Load {
+            width: LoadWidth::Bu,
+            rd,
+            rs1,
+            offset,
+        })
     }
 
     /// `sw rs2, offset(rs1)`
     pub fn sw(&mut self, rs2: Gpr, rs1: Gpr, offset: i32) -> &mut Self {
-        self.emit(Instr::Store { width: StoreWidth::W, rs1, rs2, offset })
+        self.emit(Instr::Store {
+            width: StoreWidth::W,
+            rs1,
+            rs2,
+            offset,
+        })
     }
 
     /// `sh rs2, offset(rs1)`
     pub fn sh(&mut self, rs2: Gpr, rs1: Gpr, offset: i32) -> &mut Self {
-        self.emit(Instr::Store { width: StoreWidth::H, rs1, rs2, offset })
+        self.emit(Instr::Store {
+            width: StoreWidth::H,
+            rs1,
+            rs2,
+            offset,
+        })
     }
 
     /// `sb rs2, offset(rs1)`
     pub fn sb(&mut self, rs2: Gpr, rs1: Gpr, offset: i32) -> &mut Self {
-        self.emit(Instr::Store { width: StoreWidth::B, rs1, rs2, offset })
+        self.emit(Instr::Store {
+            width: StoreWidth::B,
+            rs1,
+            rs2,
+            offset,
+        })
     }
 
     /// `flw rd, offset(rs1)`
@@ -401,7 +449,12 @@ impl Assembler {
 
     /// `fsqrt.s rd, rs1`
     pub fn fsqrt(&mut self, rd: Fpr, rs1: Fpr) -> &mut Self {
-        self.emit(Instr::FpOp { op: FpOp::Sqrt, rd, rs1, rs2: Fpr::Ft0 })
+        self.emit(Instr::FpOp {
+            op: FpOp::Sqrt,
+            rd,
+            rs1,
+            rs2: Fpr::Ft0,
+        })
     }
 
     /// `fmv.s rd, rs1` — pseudo for `fsgnj.s rd, rs1, rs1`.
@@ -432,17 +485,32 @@ impl Assembler {
 
     /// `feq.s rd, rs1, rs2`
     pub fn feq(&mut self, rd: Gpr, rs1: Fpr, rs2: Fpr) -> &mut Self {
-        self.emit(Instr::FpCmp { op: FpCmp::Eq, rd, rs1, rs2 })
+        self.emit(Instr::FpCmp {
+            op: FpCmp::Eq,
+            rd,
+            rs1,
+            rs2,
+        })
     }
 
     /// `flt.s rd, rs1, rs2`
     pub fn flt(&mut self, rd: Gpr, rs1: Fpr, rs2: Fpr) -> &mut Self {
-        self.emit(Instr::FpCmp { op: FpCmp::Lt, rd, rs1, rs2 })
+        self.emit(Instr::FpCmp {
+            op: FpCmp::Lt,
+            rd,
+            rs1,
+            rs2,
+        })
     }
 
     /// `fle.s rd, rs1, rs2`
     pub fn fle(&mut self, rd: Gpr, rs1: Fpr, rs2: Fpr) -> &mut Self {
-        self.emit(Instr::FpCmp { op: FpCmp::Le, rd, rs1, rs2 })
+        self.emit(Instr::FpCmp {
+            op: FpCmp::Le,
+            rd,
+            rs1,
+            rs2,
+        })
     }
 
     /// `fcvt.w.s rd, rs1`
@@ -555,19 +623,38 @@ impl Assembler {
         for (at, item) in self.items.iter().enumerate() {
             let instr = match *item {
                 Item::Fixed(i) => i,
-                Item::Branch { op, rs1, rs2, target } => {
+                Item::Branch {
+                    op,
+                    rs1,
+                    rs2,
+                    target,
+                } => {
                     let offset = resolve(target, at)?;
                     if !(-4096..4096).contains(&offset) {
-                        return Err(AsmError::BranchOutOfRange { at_instr: at, offset });
+                        return Err(AsmError::BranchOutOfRange {
+                            at_instr: at,
+                            offset,
+                        });
                     }
-                    Instr::Branch { op, rs1, rs2, offset: offset as i32 }
+                    Instr::Branch {
+                        op,
+                        rs1,
+                        rs2,
+                        offset: offset as i32,
+                    }
                 }
                 Item::Jal { rd, target } => {
                     let offset = resolve(target, at)?;
                     if !(-(1 << 20)..(1 << 20)).contains(&offset) {
-                        return Err(AsmError::JumpOutOfRange { at_instr: at, offset });
+                        return Err(AsmError::JumpOutOfRange {
+                            at_instr: at,
+                            offset,
+                        });
                     }
-                    Instr::Jal { rd, offset: offset as i32 }
+                    Instr::Jal {
+                        rd,
+                        offset: offset as i32,
+                    }
                 }
             };
             instrs.push(instr);
@@ -594,9 +681,20 @@ mod tests {
         let p = a.assemble(0).unwrap();
         assert_eq!(
             p.instr_at(4).unwrap(),
-            Instr::Branch { op: hb_isa::BranchOp::Eq, rs1: A0, rs2: A1, offset: 8 }
+            Instr::Branch {
+                op: hb_isa::BranchOp::Eq,
+                rs1: A0,
+                rs2: A1,
+                offset: 8
+            }
         );
-        assert_eq!(p.instr_at(8).unwrap(), Instr::Jal { rd: Zero, offset: -4 });
+        assert_eq!(
+            p.instr_at(8).unwrap(),
+            Instr::Jal {
+                rd: Zero,
+                offset: -4
+            }
+        );
     }
 
     #[test]
@@ -627,7 +725,10 @@ mod tests {
         }
         a.bind(far);
         a.ecall();
-        assert!(matches!(a.assemble(0), Err(AsmError::BranchOutOfRange { .. })));
+        assert!(matches!(
+            a.assemble(0),
+            Err(AsmError::BranchOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -660,7 +761,11 @@ mod tests {
             for instr in p.instrs() {
                 match *instr {
                     Instr::Lui { imm, .. } => reg = imm << 12,
-                    Instr::OpImm { op: OpImmOp::Addi, imm, .. } => reg = reg.wrapping_add(imm),
+                    Instr::OpImm {
+                        op: OpImmOp::Addi,
+                        imm,
+                        ..
+                    } => reg = reg.wrapping_add(imm),
                     Instr::Ecall => break,
                     other => panic!("unexpected instruction in li expansion: {other}"),
                 }

@@ -61,10 +61,16 @@ impl fmt::Display for AsmError {
             AsmError::UnboundLabel { label } => write!(f, "label L{label} was never bound"),
             AsmError::RedefinedLabel { label } => write!(f, "label L{label} bound twice"),
             AsmError::BranchOutOfRange { at_instr, offset } => {
-                write!(f, "branch at instruction {at_instr} has offset {offset} outside +/-4 KiB")
+                write!(
+                    f,
+                    "branch at instruction {at_instr} has offset {offset} outside +/-4 KiB"
+                )
             }
             AsmError::JumpOutOfRange { at_instr, offset } => {
-                write!(f, "jump at instruction {at_instr} has offset {offset} outside +/-1 MiB")
+                write!(
+                    f,
+                    "jump at instruction {at_instr} has offset {offset} outside +/-1 MiB"
+                )
             }
             AsmError::ImmOutOfRange { what, value } => {
                 write!(f, "immediate {value} does not fit {what}")

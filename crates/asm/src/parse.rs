@@ -49,7 +49,10 @@ impl std::error::Error for ParseError {}
 
 impl From<AsmError> for ParseError {
     fn from(e: AsmError) -> ParseError {
-        ParseError { line: 0, message: e.to_string() }
+        ParseError {
+            line: 0,
+            message: e.to_string(),
+        }
     }
 }
 
@@ -69,12 +72,18 @@ pub fn parse(src: &str) -> Result<Program, ParseError> {
 ///
 /// See [`parse`].
 pub fn parse_with_base(src: &str, base_pc: u32) -> Result<Program, ParseError> {
-    let mut p = Parser { a: Assembler::new(), labels: HashMap::new() };
+    let mut p = Parser {
+        a: Assembler::new(),
+        labels: HashMap::new(),
+    };
     for (idx, raw) in src.lines().enumerate() {
         let line_no = idx + 1;
         p.line(raw, line_no)?;
     }
-    p.a.assemble(base_pc).map_err(|e| ParseError { line: 0, message: e.to_string() })
+    p.a.assemble(base_pc).map_err(|e| ParseError {
+        line: 0,
+        message: e.to_string(),
+    })
 }
 
 struct Parser {
@@ -83,7 +92,10 @@ struct Parser {
 }
 
 fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError { line, message: message.into() }
+    ParseError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Parses a signed immediate: decimal or 0x hex (optionally negative).
@@ -95,29 +107,38 @@ fn imm(tok: &str, line: usize) -> Result<i32, ParseError> {
     let v = if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
         u32::from_str_radix(hex, 16).map_err(|_| err(line, format!("bad immediate `{tok}`")))?
     } else {
-        t.parse::<u32>().map_err(|_| err(line, format!("bad immediate `{tok}`")))?
+        t.parse::<u32>()
+            .map_err(|_| err(line, format!("bad immediate `{tok}`")))?
     };
     let v = v as i32;
     Ok(if neg { v.wrapping_neg() } else { v })
 }
 
 fn gpr(tok: &str, line: usize) -> Result<Gpr, ParseError> {
-    tok.parse().map_err(|_| err(line, format!("unknown register `{tok}`")))
+    tok.parse()
+        .map_err(|_| err(line, format!("unknown register `{tok}`")))
 }
 
 fn fpr(tok: &str, line: usize) -> Result<Fpr, ParseError> {
-    tok.parse().map_err(|_| err(line, format!("unknown FP register `{tok}`")))
+    tok.parse()
+        .map_err(|_| err(line, format!("unknown FP register `{tok}`")))
 }
 
 /// Splits a memory operand `offset(base)`.
 fn mem_operand(tok: &str, line: usize) -> Result<(i32, Gpr), ParseError> {
-    let open = tok.find('(').ok_or_else(|| err(line, format!("expected offset(reg), got `{tok}`")))?;
+    let open = tok
+        .find('(')
+        .ok_or_else(|| err(line, format!("expected offset(reg), got `{tok}`")))?;
     let close = tok
         .strip_suffix(')')
         .ok_or_else(|| err(line, format!("missing `)` in `{tok}`")))?;
     let off_str = &tok[..open];
     let reg_str = &close[open + 1..];
-    let offset = if off_str.is_empty() { 0 } else { imm(off_str, line)? };
+    let offset = if off_str.is_empty() {
+        0
+    } else {
+        imm(off_str, line)?
+    };
     Ok((offset, gpr(reg_str, line)?))
 }
 
@@ -418,15 +439,18 @@ impl Parser {
             }
             "feq.s" => {
                 need(3)?;
-                self.a.feq(gpr(ops[0], line)?, fpr(ops[1], line)?, fpr(ops[2], line)?);
+                self.a
+                    .feq(gpr(ops[0], line)?, fpr(ops[1], line)?, fpr(ops[2], line)?);
             }
             "flt.s" => {
                 need(3)?;
-                self.a.flt(gpr(ops[0], line)?, fpr(ops[1], line)?, fpr(ops[2], line)?);
+                self.a
+                    .flt(gpr(ops[0], line)?, fpr(ops[1], line)?, fpr(ops[2], line)?);
             }
             "fle.s" => {
                 need(3)?;
-                self.a.fle(gpr(ops[0], line)?, fpr(ops[1], line)?, fpr(ops[2], line)?);
+                self.a
+                    .fle(gpr(ops[0], line)?, fpr(ops[1], line)?, fpr(ops[2], line)?);
             }
             "fcvt.w.s" => {
                 need(2)?;
@@ -515,10 +539,8 @@ mod tests {
 
     #[test]
     fn parses_amo_and_fp() {
-        let p = parse(
-            "amoadd.w a0, a1, (a2)\nfmadd.s fa0, fa1, fa2, fa3\nfsqrt.s fa4, fa5\necall",
-        )
-        .unwrap();
+        let p = parse("amoadd.w a0, a1, (a2)\nfmadd.s fa0, fa1, fa2, fa3\nfsqrt.s fa4, fa5\necall")
+            .unwrap();
         let d = p.disassemble();
         assert!(d.contains("amoadd.w a0, a1, (a2)"));
         assert!(d.contains("fmadd.s fa0, fa1, fa2, fa3"));

@@ -15,7 +15,11 @@ pub struct Program {
 impl Program {
     pub(crate) fn from_instrs(base: u32, instrs: Vec<Instr>) -> Program {
         let words = instrs.iter().map(Instr::encode).collect();
-        Program { base, instrs, words }
+        Program {
+            base,
+            instrs,
+            words,
+        }
     }
 
     /// Byte address of the first instruction.
@@ -56,10 +60,12 @@ impl Program {
     /// The instruction at byte address `pc`, if `pc` falls inside the image
     /// and is 4-byte aligned.
     pub fn instr_at(&self, pc: u32) -> Option<Instr> {
-        if pc < self.base || pc % INSTR_BYTES != 0 {
+        if pc < self.base || !pc.is_multiple_of(INSTR_BYTES) {
             return None;
         }
-        self.instrs.get(((pc - self.base) / INSTR_BYTES) as usize).copied()
+        self.instrs
+            .get(((pc - self.base) / INSTR_BYTES) as usize)
+            .copied()
     }
 
     /// Disassembles the whole program, one instruction per line, with

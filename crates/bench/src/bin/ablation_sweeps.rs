@@ -48,30 +48,84 @@ fn main() {
     // Ruche factor: network-heavy dense kernel.
     let ruche_points: Vec<(String, MachineConfig)> = [0u8, 1, 2, 3, 4]
         .into_iter()
-        .map(|rf| (format!("ruche={rf}"), MachineConfig { ruche_factor: rf, ..base.clone() }))
+        .map(|rf| {
+            (
+                format!("ruche={rf}"),
+                MachineConfig {
+                    ruche_factor: rf,
+                    ..base.clone()
+                },
+            )
+        })
         .collect();
-    sweep("-- Ruche factor (SGEMM) --", &Sgemm::default(), &ruche_points, size);
+    sweep(
+        "-- Ruche factor (SGEMM) --",
+        &Sgemm::default(),
+        &ruche_points,
+        size,
+    );
 
     // Scoreboard depth: MLP-hungry irregular kernel.
     let sb_points: Vec<(String, MachineConfig)> = [1usize, 2, 4, 8, 16, 32, 63]
         .into_iter()
-        .map(|n| (format!("outstanding={n}"), MachineConfig { max_outstanding: n, ..base.clone() }))
+        .map(|n| {
+            (
+                format!("outstanding={n}"),
+                MachineConfig {
+                    max_outstanding: n,
+                    ..base.clone()
+                },
+            )
+        })
         .collect();
-    sweep("-- scoreboard depth (SGEMM) --", &Sgemm::default(), &sb_points, size);
-    sweep("-- scoreboard depth (PageRank) --", &PageRank::default(), &sb_points, size);
+    sweep(
+        "-- scoreboard depth (SGEMM) --",
+        &Sgemm::default(),
+        &sb_points,
+        size,
+    );
+    sweep(
+        "-- scoreboard depth (PageRank) --",
+        &PageRank::default(),
+        &sb_points,
+        size,
+    );
 
     // MSHRs per bank: miss-heavy sparse kernel.
     let mshr_points: Vec<(String, MachineConfig)> = [1usize, 2, 4, 8, 16]
         .into_iter()
-        .map(|n| (format!("mshrs={n}"), MachineConfig { cache_mshrs: n, ..base.clone() }))
+        .map(|n| {
+            (
+                format!("mshrs={n}"),
+                MachineConfig {
+                    cache_mshrs: n,
+                    ..base.clone()
+                },
+            )
+        })
         .collect();
-    sweep("-- MSHRs per bank (SpGEMM) --", &SpGemm::default(), &mshr_points, size);
+    sweep(
+        "-- MSHRs per bank (SpGEMM) --",
+        &SpGemm::default(),
+        &mshr_points,
+        size,
+    );
 
     // Kernel-structure ablation: DRAM-streaming vs SPM-blocked SGEMM (the
     // paper's recommended load-blocks/compute/dump structure).
     let style_points: Vec<(String, MachineConfig)> = vec![("streamed".into(), base.clone())];
-    sweep("-- SGEMM streamed --", &Sgemm::default(), &style_points, size);
-    sweep("-- SGEMM SPM-blocked --", &Sgemm::blocked(), &style_points, size);
+    sweep(
+        "-- SGEMM streamed --",
+        &Sgemm::default(),
+        &style_points,
+        size,
+    );
+    sweep(
+        "-- SGEMM SPM-blocked --",
+        &Sgemm::blocked(),
+        &style_points,
+        size,
+    );
 
     println!(
         "expected knees: ruche gains saturate by factor 3 (the silicon's\n\

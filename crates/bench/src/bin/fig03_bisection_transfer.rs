@@ -7,15 +7,17 @@ use hb_bench::{header, row, scale};
 use hb_hier::BlockChannel;
 use hb_kernels::SizeClass;
 use hb_noc::{Coord, Network, NetworkConfig, Packet, RouteOrder};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hb_rng::Rng;
 
 fn main() {
     let words: usize = match scale() {
         SizeClass::Tiny => 16 * 1024 / 4,
         _ => 1024 * 1024 / 4, // the paper's 1 MB
     };
-    println!("Figure 3 — bisection utilization during a {}-word sparse random transfer\n", words);
+    println!(
+        "Figure 3 — bisection utilization during a {}-word sparse random transfer\n",
+        words
+    );
 
     // Two 16x8 Cells side by side: a 32-wide network; the inter-Cell
     // bisection is the x=16 cut. Every left-Cell tile streams stores to
@@ -33,11 +35,19 @@ fn main() {
     let widths = [34usize, 12, 12];
     header(&["configuration", "mean util", "cycles"], &widths);
     row(
-        &["HB horizontal (Ruche bisection)".into(), format!("{:.1}%", horiz * 100.0), h_cycles.to_string()],
+        &[
+            "HB horizontal (Ruche bisection)".into(),
+            format!("{:.1}%", horiz * 100.0),
+            h_cycles.to_string(),
+        ],
         &widths,
     );
     row(
-        &["HB vertical (mesh bisection)".into(), format!("{:.1}%", vert * 100.0), v_cycles.to_string()],
+        &[
+            "HB vertical (mesh bisection)".into(),
+            format!("{:.1}%", vert * 100.0),
+            v_cycles.to_string(),
+        ],
         &widths,
     );
     row(
@@ -69,31 +79,42 @@ fn run_transfer(words: usize, horizontal: bool) -> (f64, u64) {
         fifo_depth: 4,
         link_occupancy: 1,
     });
-    let mut rng = StdRng::seed_from_u64(0xF16_3);
+    let mut rng = Rng::seed_from_u64(0xF163);
     let mut sent = 0usize;
     let mut received = 0usize;
     let start = net.cycle();
     // Injection sources: every node of the source Cell (tiles and banks
     // both generate traffic in the paper's transfer scenario).
     let sources: Vec<Coord> = if horizontal {
-        (0..16u8).flat_map(|x| (0..10u8).map(move |y| Coord::new(x, y))).collect()
+        (0..16u8)
+            .flat_map(|x| (0..10u8).map(move |y| Coord::new(x, y)))
+            .collect()
     } else {
-        (0..16u8).flat_map(|x| (0..10u8).map(move |y| Coord::new(x, y))).collect()
+        (0..16u8)
+            .flat_map(|x| (0..10u8).map(move |y| Coord::new(x, y)))
+            .collect()
     };
     while received < words {
         for &src in &sources {
             if sent < words && net.can_inject(src) {
                 // Random bank node in the destination Cell.
                 let dst = if horizontal {
-                    let x = 16 + rng.random_range(0..16u8);
-                    let y = if rng.random_bool(0.5) { 0 } else { 9 };
+                    let x = 16 + rng.range_u32(0, 16) as u8;
+                    let y = if rng.chance(0.5) { 0 } else { 9 };
                     Coord::new(x, y)
                 } else {
-                    let x = rng.random_range(0..16u8);
-                    let y = if rng.random_bool(0.5) { 10 } else { 19 };
+                    let x = rng.range_u32(0, 16) as u8;
+                    let y = if rng.chance(0.5) { 10 } else { 19 };
                     Coord::new(x, y)
                 };
-                net.inject(src, Packet { src, dst, payload: sent as u32 });
+                net.inject(
+                    src,
+                    Packet {
+                        src,
+                        dst,
+                        payload: sent as u32,
+                    },
+                );
                 sent += 1;
             }
         }

@@ -32,8 +32,20 @@ fn sw_estimate(tiles: u32, round_trip: u64) -> u64 {
 fn main() {
     println!("Figure 4 — barrier latency vs tile-group size\n");
     let widths = [10usize, 12, 12, 14];
-    header(&["group", "HW ruche-3", "HW mesh", "SW tree (est)"], &widths);
-    for (w, h) in [(2u8, 2u8), (4, 2), (4, 4), (8, 4), (8, 8), (16, 8), (16, 16), (32, 8)] {
+    header(
+        &["group", "HW ruche-3", "HW mesh", "SW tree (est)"],
+        &widths,
+    );
+    for (w, h) in [
+        (2u8, 2u8),
+        (4, 2),
+        (4, 4),
+        (8, 4),
+        (8, 8),
+        (16, 8),
+        (16, 16),
+        (32, 8),
+    ] {
         let tiles = u32::from(w) * u32::from(h);
         row(
             &[

@@ -9,7 +9,10 @@ use hb_core::{CellDim, MachineConfig};
 
 fn main() {
     let full = bench_cell();
-    let quarter = CellDim { x: full.x / 2, y: full.y / 2 };
+    let quarter = CellDim {
+        x: full.x / 2,
+        y: full.y / 2,
+    };
     let size = bench_size();
 
     // The configuration ladder (cumulative).
@@ -26,17 +29,73 @@ fn main() {
         net_fifo_depth: 2,
         ..MachineConfig::baseline_16x8()
     };
-    let steps: Vec<(&str, Box<dyn Fn(&MachineConfig) -> MachineConfig>)> = vec![
+    type Step = (&'static str, Box<dyn Fn(&MachineConfig) -> MachineConfig>);
+    let steps: Vec<Step> = vec![
         ("baseline manycore", Box::new(|c: &MachineConfig| c.clone())),
-        ("+router", Box::new(|c| MachineConfig { link_occupancy: 1, net_fifo_depth: 4, ..c.clone() })),
-        ("+cache", Box::new(move |c| MachineConfig { cache_sets: c.cache_sets * 2, ..c.clone() })),
-        ("+density", Box::new(move |c| MachineConfig { cell_dim: full, ..c.clone() })),
-        ("+nonblock loads", Box::new(|c| MachineConfig { non_blocking_loads: true, ..c.clone() })),
-        ("+ruche", Box::new(|c| MachineConfig { ruche_factor: 3, ..c.clone() })),
-        ("+write-validate", Box::new(|c| MachineConfig { write_validate: true, ..c.clone() })),
-        ("+load pkt compression", Box::new(|c| MachineConfig { load_packet_compression: true, ..c.clone() })),
-        ("+regional ipoly", Box::new(|c| MachineConfig { ipoly_hashing: true, ..c.clone() })),
-        ("+nonblock cache", Box::new(|c| MachineConfig { non_blocking_cache: true, ..c.clone() })),
+        (
+            "+router",
+            Box::new(|c| MachineConfig {
+                link_occupancy: 1,
+                net_fifo_depth: 4,
+                ..c.clone()
+            }),
+        ),
+        (
+            "+cache",
+            Box::new(move |c| MachineConfig {
+                cache_sets: c.cache_sets * 2,
+                ..c.clone()
+            }),
+        ),
+        (
+            "+density",
+            Box::new(move |c| MachineConfig {
+                cell_dim: full,
+                ..c.clone()
+            }),
+        ),
+        (
+            "+nonblock loads",
+            Box::new(|c| MachineConfig {
+                non_blocking_loads: true,
+                ..c.clone()
+            }),
+        ),
+        (
+            "+ruche",
+            Box::new(|c| MachineConfig {
+                ruche_factor: 3,
+                ..c.clone()
+            }),
+        ),
+        (
+            "+write-validate",
+            Box::new(|c| MachineConfig {
+                write_validate: true,
+                ..c.clone()
+            }),
+        ),
+        (
+            "+load pkt compression",
+            Box::new(|c| MachineConfig {
+                load_packet_compression: true,
+                ..c.clone()
+            }),
+        ),
+        (
+            "+regional ipoly",
+            Box::new(|c| MachineConfig {
+                ipoly_hashing: true,
+                ..c.clone()
+            }),
+        ),
+        (
+            "+nonblock cache",
+            Box::new(|c| MachineConfig {
+                non_blocking_cache: true,
+                ..c.clone()
+            }),
+        ),
     ];
 
     let suite = hb_kernels::suite();

@@ -15,7 +15,9 @@ fn main() {
 
     let widths = [8usize, 7, 7, 7, 7, 7, 7, 7, 7];
     header(
-        &["kernel", "int%", "fp%", "rem_ld%", "barr%", "other%", "hbm_rd%", "hbm_wr%", "hbm_idl%"],
+        &[
+            "kernel", "int%", "fp%", "rem_ld%", "barr%", "other%", "hbm_rd%", "hbm_wr%", "hbm_idl%",
+        ],
         &widths,
     );
 

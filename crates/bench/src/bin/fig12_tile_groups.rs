@@ -23,7 +23,10 @@ fn alloc_f32(cell: &mut Cell, data: &[f32]) -> u32 {
 
 fn main() {
     let dim = bench_cell();
-    let cfg = MachineConfig { cell_dim: dim, ..MachineConfig::baseline_16x8() };
+    let cfg = MachineConfig {
+        cell_dim: dim,
+        ..MachineConfig::baseline_16x8()
+    };
     // A wiki-Vote-like operand: as many rows as the Cell has tiles, with a
     // few hub rows owning most of the nonzeros — a single Cell-wide group
     // leaves most tiles idle while the hub rows finish.
@@ -31,7 +34,7 @@ fn main() {
     let rows = dim.tiles() as u32;
     let hubs = rows / 8;
     let mut triples = Vec::new();
-    let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(0x5A);
+    let mut rng = hb_rng::Rng::seed_from_u64(0x5A);
     for hub in 0..hubs {
         for c in 0..n {
             triples.push((hub, c, 1.0f32 + (c % 7) as f32));
@@ -39,7 +42,7 @@ fn main() {
     }
     for r in hubs..rows {
         for _ in 0..2 {
-            let c = rand::Rng::random_range(&mut rng, 0..n);
+            let c = rng.range_u32(0, n);
             triples.push((r, c, 1.0f32));
         }
     }
@@ -54,7 +57,10 @@ fn main() {
         gy = dim.y
     );
     let widths = [14usize, 10, 12, 14, 12];
-    header(&["groups", "tasks", "cycles", "tasks/Mcycle", "hbm util%"], &widths);
+    header(
+        &["groups", "tasks", "cycles", "tasks/Mcycle", "hbm util%"],
+        &widths,
+    );
 
     // Group layouts: whole cell, halves, eighths (16x8 -> 4x4 groups).
     let layouts = [(dim.x, dim.y), (dim.x / 2, dim.y), (dim.x / 4, dim.y / 2)];
@@ -101,8 +107,10 @@ fn main() {
             launches.push((g, vec![pgas::local_dram(desc)], nnz));
         }
         let program = Arc::new(SpGemm::program());
-        let specs: Vec<(GroupSpec, Vec<u32>)> =
-            launches.iter().map(|(g, args, _)| (*g, args.clone())).collect();
+        let specs: Vec<(GroupSpec, Vec<u32>)> = launches
+            .iter()
+            .map(|(g, args, _)| (*g, args.clone()))
+            .collect();
         machine.launch_groups(0, &program, &specs);
         let summary = machine.run(500_000_000).expect("spgemm tile-group run");
         machine.cell_mut(0).flush_caches();

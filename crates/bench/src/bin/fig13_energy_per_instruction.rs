@@ -9,7 +9,14 @@ fn main() {
     println!("Figure 13 — Energy per Instruction (pJ), HB 14/16nm vs OpenPiton (CV2-scaled)\n");
     let widths = [9usize, 26, 9, 12, 12, 7];
     header(
-        &["class", "HB breakdown (pJ)", "HB total", "Piton 32nm", "Piton scaled", "ratio"],
+        &[
+            "class",
+            "HB breakdown (pJ)",
+            "HB total",
+            "Piton 32nm",
+            "Piton scaled",
+            "ratio",
+        ],
         &widths,
     );
     let mut ratios = Vec::new();

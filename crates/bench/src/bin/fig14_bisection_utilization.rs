@@ -7,9 +7,13 @@ use hb_core::{CellDim, MachineConfig};
 fn main() {
     // A wide Cell stresses the horizontal bisection (the paper's point).
     let base = bench_cell();
-    let dim = CellDim { x: base.x * 2, y: base.y };
+    let dim = CellDim {
+        x: base.x * 2,
+        y: base.y,
+    };
     let size = bench_size();
-    let variants: [(&str, Box<dyn Fn() -> MachineConfig>); 3] = [
+    type Variant = (&'static str, Box<dyn Fn() -> MachineConfig>);
+    let variants: [Variant; 3] = [
         (
             "2-D mesh",
             Box::new(move || MachineConfig {
@@ -29,7 +33,10 @@ fn main() {
         ),
         (
             "ruche+LPC",
-            Box::new(move || MachineConfig { cell_dim: dim, ..MachineConfig::baseline_16x8() }),
+            Box::new(move || MachineConfig {
+                cell_dim: dim,
+                ..MachineConfig::baseline_16x8()
+            }),
         ),
     ];
 

@@ -8,14 +8,23 @@ use hb_core::{CellDim, MachineConfig, MultiCellEstimator, Phase};
 fn main() {
     let base_dim = bench_cell();
     let size = bench_size();
-    let base_cfg = MachineConfig { cell_dim: base_dim, ..MachineConfig::baseline_16x8() };
+    let base_cfg = MachineConfig {
+        cell_dim: base_dim,
+        ..MachineConfig::baseline_16x8()
+    };
     // Doubling strategies, shape-preserving at the bench scale.
     let tall = MachineConfig {
-        cell_dim: CellDim { x: base_dim.x, y: base_dim.y * 2 },
+        cell_dim: CellDim {
+            x: base_dim.x,
+            y: base_dim.y * 2,
+        },
         ..base_cfg.clone()
     };
     let wide = MachineConfig {
-        cell_dim: CellDim { x: base_dim.x * 2, y: base_dim.y },
+        cell_dim: CellDim {
+            x: base_dim.x * 2,
+            y: base_dim.y,
+        },
         ..base_cfg.clone()
     };
 
@@ -24,7 +33,10 @@ fn main() {
         base_dim.x, base_dim.y
     );
     let widths = [8usize, 12, 11, 11, 12];
-    header(&["kernel", "base cyc", "tall x", "wide x", "2-cells x"], &widths);
+    header(
+        &["kernel", "base cyc", "tall x", "wide x", "2-cells x"],
+        &widths,
+    );
 
     // Two Cells split the constant HBM2 bandwidth: each pseudo-channel
     // runs at half rate (doubled burst occupancy).

@@ -9,8 +9,14 @@ use hb_kernels::Benchmark;
 
 fn main() {
     let base = bench_cell();
-    let dim = CellDim { x: base.x * 2, y: base.y }; // the paper's 32x8 point
-    let cfg = MachineConfig { cell_dim: dim, ..MachineConfig::baseline_16x8() };
+    let dim = CellDim {
+        x: base.x * 2,
+        y: base.y,
+    }; // the paper's 32x8 point
+    let cfg = MachineConfig {
+        cell_dim: dim,
+        ..MachineConfig::baseline_16x8()
+    };
     let size = bench_size();
     // ET-class comparator normalized to the same DRAM bandwidth and ~1/4
     // the thread count, but far larger L2.
@@ -28,7 +34,9 @@ fn main() {
     );
     let widths = [8usize, 12, 12, 12, 12, 10];
     header(
-        &["kernel", "HB exec", "HB xfer", "ET exec", "ET xfer", "ET/HB"],
+        &[
+            "kernel", "HB exec", "HB xfer", "ET exec", "ET xfer", "ET/HB",
+        ],
         &widths,
     );
 

@@ -8,7 +8,9 @@
 use hb_bench::{bench_size, hb_config};
 
 fn main() {
-    let want = std::env::args().nth(1).unwrap_or_else(|| "SpGEMM".to_owned());
+    let want = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "SpGEMM".to_owned());
     let cfg = hb_config();
     let size = bench_size();
     let suite = hb_kernels::suite();

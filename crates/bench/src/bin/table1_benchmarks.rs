@@ -24,7 +24,11 @@ fn main() {
             .find(|(n, _)| *n == bench.name())
             .map_or("", |(_, i)| *i);
         row(
-            &[bench.name().to_owned(), bench.dwarf().to_owned(), input.to_owned()],
+            &[
+                bench.name().to_owned(),
+                bench.dwarf().to_owned(),
+                input.to_owned(),
+            ],
             &widths,
         );
     }

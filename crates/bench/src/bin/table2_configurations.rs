@@ -14,7 +14,16 @@ fn main() {
     ];
     let widths = [9usize, 10, 10, 11, 13, 14, 12, 10];
     header(
-        &["config", "area mm2", "cells", "cores/cell", "banks/cell", "cache/cell KB", "total cores", "cores/mm2"],
+        &[
+            "config",
+            "area mm2",
+            "cells",
+            "cores/cell",
+            "banks/cell",
+            "cache/cell KB",
+            "total cores",
+            "cores/mm2",
+        ],
         &widths,
     );
     for (name, cfg, area, cell_array) in configs {
@@ -53,7 +62,5 @@ fn main() {
         base.max_outstanding,
         base.ruche_factor,
     );
-    println!(
-        "paper cores/mm2: 26.4 (16x8), 30.3 (16x16), 26.4 (32x8), 26.4 (2x16x8)."
-    );
+    println!("paper cores/mm2: 26.4 (16x8), 30.3 (16x16), 26.4 (32x8), 26.4 (2x16x8).");
 }

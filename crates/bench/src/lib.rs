@@ -42,7 +42,10 @@ pub fn bench_size() -> SizeClass {
 
 /// The fully-featured HB configuration at the current scale.
 pub fn hb_config() -> MachineConfig {
-    MachineConfig { cell_dim: bench_cell(), ..MachineConfig::baseline_16x8() }
+    MachineConfig {
+        cell_dim: bench_cell(),
+        ..MachineConfig::baseline_16x8()
+    }
 }
 
 /// Geometric mean.
@@ -66,7 +69,10 @@ pub fn row(cells: &[String], widths: &[usize]) {
 
 /// Prints a header row plus separator.
 pub fn header(cells: &[&str], widths: &[usize]) {
-    row(&cells.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>(), widths);
+    row(
+        &cells.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>(),
+        widths,
+    );
     let total: usize = widths.iter().map(|w| w + 2).sum();
     println!("{}", "-".repeat(total));
 }

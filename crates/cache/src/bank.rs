@@ -230,7 +230,11 @@ impl CacheBank {
     /// Offers a request to the bank; `false` means backpressure (count it
     /// and retry).
     pub fn try_accept(&mut self, req: CacheRequest) -> bool {
-        debug_assert!(matches!(req.width, 1 | 2 | 4), "unsupported width {}", req.width);
+        debug_assert!(
+            matches!(req.width, 1 | 2 | 4),
+            "unsupported width {}",
+            req.width
+        );
         debug_assert_eq!(
             req.addr % u32::from(req.width),
             0,
@@ -367,7 +371,10 @@ impl CacheBank {
                 let mask = Self::byte_mask(req.addr, req.width, line_bytes);
                 line.valid |= mask;
                 line.dirty |= mask;
-                CacheResponse { id: req.id, data: 0 }
+                CacheResponse {
+                    id: req.id,
+                    data: 0,
+                }
             }
             AccessKind::Amo(op) => {
                 self.stats.amos += 1;
@@ -379,7 +386,10 @@ impl CacheBank {
                 let mask = Self::byte_mask(req.addr, 4, line_bytes);
                 line.valid |= mask;
                 line.dirty |= mask;
-                CacheResponse { id: req.id, data: old }
+                CacheResponse {
+                    id: req.id,
+                    data: old,
+                }
             }
         }
     }
@@ -395,15 +405,28 @@ impl CacheBank {
         }
         // LRU among non-pending ways.
         let victim = (0..self.cfg.ways)
-            .filter(|&w| !self.lines[set * self.cfg.ways + w].as_ref().unwrap().pending)
-            .min_by_key(|&w| self.lines[set * self.cfg.ways + w].as_ref().unwrap().last_use)?;
+            .filter(|&w| {
+                !self.lines[set * self.cfg.ways + w]
+                    .as_ref()
+                    .unwrap()
+                    .pending
+            })
+            .min_by_key(|&w| {
+                self.lines[set * self.cfg.ways + w]
+                    .as_ref()
+                    .unwrap()
+                    .last_use
+            })?;
         let line = self.lines[set * self.cfg.ways + victim].take().unwrap();
         self.stats.evictions += 1;
         if line.dirty != 0 {
             self.stats.writebacks += 1;
             self.mem_requests.push_back(LineRequest {
                 line_addr: line.tag,
-                kind: LineRequestKind::Writeback { data: line.data, valid: line.dirty },
+                kind: LineRequestKind::Writeback {
+                    data: line.data,
+                    valid: line.dirty,
+                },
             });
         }
         Some(victim)
@@ -513,7 +536,8 @@ impl CacheBank {
                 let req = self.input.pop_front().unwrap();
                 self.stats.hits += 1;
                 let resp = self.perform(slot, req);
-                self.responses.push_back((self.cycle + self.cfg.hit_latency, resp));
+                self.responses
+                    .push_back((self.cycle + self.cfg.hit_latency, resp));
                 return Some(line_addr);
             }
             // Present but requested bytes invalid (write-validate hole):
@@ -528,9 +552,14 @@ impl CacheBank {
             let req = self.input.pop_front().unwrap();
             self.stats.misses += 1;
             self.lines[slot].as_mut().unwrap().pending = true;
-            self.mshrs.push(Mshr { line_addr, waiting: vec![req] });
-            self.mem_requests
-                .push_back(LineRequest { line_addr, kind: LineRequestKind::Fetch });
+            self.mshrs.push(Mshr {
+                line_addr,
+                waiting: vec![req],
+            });
+            self.mem_requests.push_back(LineRequest {
+                line_addr,
+                kind: LineRequestKind::Fetch,
+            });
             return Some(line_addr);
         }
 
@@ -550,7 +579,8 @@ impl CacheBank {
             self.stats.write_validate_fills += 1;
             let slot = set * self.cfg.ways + way;
             let resp = self.perform(slot, req);
-            self.responses.push_back((self.cycle + self.cfg.hit_latency, resp));
+            self.responses
+                .push_back((self.cycle + self.cfg.hit_latency, resp));
             return Some(line_addr);
         }
 
@@ -572,9 +602,14 @@ impl CacheBank {
         let req = self.input.pop_front().unwrap();
         self.install_line(set, way, line_addr, true);
         self.stats.misses += 1;
-        self.mshrs.push(Mshr { line_addr, waiting: vec![req] });
-        self.mem_requests
-            .push_back(LineRequest { line_addr, kind: LineRequestKind::Fetch });
+        self.mshrs.push(Mshr {
+            line_addr,
+            waiting: vec![req],
+        });
+        self.mem_requests.push_back(LineRequest {
+            line_addr,
+            kind: LineRequestKind::Fetch,
+        });
         Some(line_addr)
     }
 }
@@ -584,15 +619,31 @@ mod tests {
     use super::*;
 
     fn load(id: u64, addr: u32) -> CacheRequest {
-        CacheRequest { id, addr, kind: AccessKind::Load, data: 0, width: 4 }
+        CacheRequest {
+            id,
+            addr,
+            kind: AccessKind::Load,
+            data: 0,
+            width: 4,
+        }
     }
 
     fn store(id: u64, addr: u32, data: u32) -> CacheRequest {
-        CacheRequest { id, addr, kind: AccessKind::Store, data, width: 4 }
+        CacheRequest {
+            id,
+            addr,
+            kind: AccessKind::Store,
+            data,
+            width: 4,
+        }
     }
 
     /// Drives the bank with a perfect zero-latency memory behind it.
-    fn run_with_memory(bank: &mut CacheBank, backing: &mut Vec<u8>, cycles: u64) -> Vec<CacheResponse> {
+    fn run_with_memory(
+        bank: &mut CacheBank,
+        backing: &mut [u8],
+        cycles: u64,
+    ) -> Vec<CacheResponse> {
         let mut out = Vec::new();
         for _ in 0..cycles {
             bank.tick();
@@ -627,7 +678,13 @@ mod tests {
         mem[0x100..0x104].copy_from_slice(&0xabcd_1234u32.to_le_bytes());
         assert!(bank.try_accept(load(1, 0x100)));
         let rs = run_with_memory(&mut bank, &mut mem, 20);
-        assert_eq!(rs, vec![CacheResponse { id: 1, data: 0xabcd_1234 }]);
+        assert_eq!(
+            rs,
+            vec![CacheResponse {
+                id: 1,
+                data: 0xabcd_1234
+            }]
+        );
         assert_eq!(bank.stats().misses, 1);
     }
 
@@ -648,19 +705,28 @@ mod tests {
         let mut bank = CacheBank::new(CacheConfig::default());
         bank.try_accept(store(1, 0x200, 7));
         bank.tick();
-        assert!(bank.pop_mem_request().is_none(), "write-validate must not fetch");
+        assert!(
+            bank.pop_mem_request().is_none(),
+            "write-validate must not fetch"
+        );
         assert_eq!(bank.stats().write_validate_fills, 1);
     }
 
     #[test]
     fn write_allocate_store_miss_fetches() {
-        let cfg = CacheConfig { write_validate: false, ..CacheConfig::default() };
+        let cfg = CacheConfig {
+            write_validate: false,
+            ..CacheConfig::default()
+        };
         let mut bank = CacheBank::new(cfg);
         bank.try_accept(store(1, 0x200, 7));
         bank.tick();
         assert!(matches!(
             bank.pop_mem_request(),
-            Some(LineRequest { kind: LineRequestKind::Fetch, .. })
+            Some(LineRequest {
+                kind: LineRequestKind::Fetch,
+                ..
+            })
         ));
     }
 
@@ -678,12 +744,22 @@ mod tests {
         // And the stored word is still there.
         bank.try_accept(load(3, 0x200));
         let rs = run_with_memory(&mut bank, &mut mem, 20);
-        assert_eq!(rs, vec![CacheResponse { id: 3, data: 0x5555 }]);
+        assert_eq!(
+            rs,
+            vec![CacheResponse {
+                id: 3,
+                data: 0x5555
+            }]
+        );
     }
 
     #[test]
     fn eviction_writes_back_only_dirty_bytes() {
-        let cfg = CacheConfig { sets: 1, ways: 1, ..CacheConfig::default() };
+        let cfg = CacheConfig {
+            sets: 1,
+            ways: 1,
+            ..CacheConfig::default()
+        };
         let mut bank = CacheBank::new(cfg);
         let mut mem = vec![0u8; 1 << 20];
         // Prefill memory under the line we'll partially overwrite.
@@ -749,7 +825,10 @@ mod tests {
 
     #[test]
     fn blocking_mode_stalls_hits_behind_miss() {
-        let cfg = CacheConfig { blocking: true, ..CacheConfig::default() };
+        let cfg = CacheConfig {
+            blocking: true,
+            ..CacheConfig::default()
+        };
         let mut bank = CacheBank::new(cfg);
         let mut mem = vec![0u8; 4096];
         bank.try_accept(load(1, 0x100));
@@ -761,7 +840,10 @@ mod tests {
         for _ in 0..10 {
             bank.tick();
         }
-        assert!(bank.pop_response().is_none(), "blocking bank must stall the hit");
+        assert!(
+            bank.pop_response().is_none(),
+            "blocking bank must stall the hit"
+        );
         assert!(bank.stats().blocked_cycles > 0);
     }
 
@@ -787,7 +869,10 @@ mod tests {
 
     #[test]
     fn mshr_exhaustion_backpressures() {
-        let cfg = CacheConfig { mshrs: 2, ..CacheConfig::default() };
+        let cfg = CacheConfig {
+            mshrs: 2,
+            ..CacheConfig::default()
+        };
         let mut bank = CacheBank::new(cfg);
         // Three distinct-line misses; memory never answers.
         bank.try_accept(load(1, 0x1000));
@@ -802,7 +887,10 @@ mod tests {
 
     #[test]
     fn input_queue_backpressures() {
-        let cfg = CacheConfig { input_depth: 2, ..CacheConfig::default() };
+        let cfg = CacheConfig {
+            input_depth: 2,
+            ..CacheConfig::default()
+        };
         let mut bank = CacheBank::new(cfg);
         assert!(bank.try_accept(load(1, 0x0)));
         assert!(bank.try_accept(load(2, 0x40)));
@@ -814,11 +902,35 @@ mod tests {
     fn byte_and_halfword_accesses() {
         let mut bank = CacheBank::new(CacheConfig::default());
         let mut mem = vec![0u8; 4096];
-        bank.try_accept(CacheRequest { id: 1, addr: 0x10, kind: AccessKind::Store, data: 0xab, width: 1 });
-        bank.try_accept(CacheRequest { id: 2, addr: 0x12, kind: AccessKind::Store, data: 0xbeef, width: 2 });
+        bank.try_accept(CacheRequest {
+            id: 1,
+            addr: 0x10,
+            kind: AccessKind::Store,
+            data: 0xab,
+            width: 1,
+        });
+        bank.try_accept(CacheRequest {
+            id: 2,
+            addr: 0x12,
+            kind: AccessKind::Store,
+            data: 0xbeef,
+            width: 2,
+        });
         run_with_memory(&mut bank, &mut mem, 10);
-        bank.try_accept(CacheRequest { id: 3, addr: 0x10, kind: AccessKind::Load, data: 0, width: 1 });
-        bank.try_accept(CacheRequest { id: 4, addr: 0x12, kind: AccessKind::Load, data: 0, width: 2 });
+        bank.try_accept(CacheRequest {
+            id: 3,
+            addr: 0x10,
+            kind: AccessKind::Load,
+            data: 0,
+            width: 1,
+        });
+        bank.try_accept(CacheRequest {
+            id: 4,
+            addr: 0x12,
+            kind: AccessKind::Load,
+            data: 0,
+            width: 2,
+        });
         let rs = run_with_memory(&mut bank, &mut mem, 10);
         assert_eq!(rs[0].data, 0xab);
         assert_eq!(rs[1].data, 0xbeef);
@@ -826,7 +938,11 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recent() {
-        let cfg = CacheConfig { sets: 1, ways: 2, ..CacheConfig::default() };
+        let cfg = CacheConfig {
+            sets: 1,
+            ways: 2,
+            ..CacheConfig::default()
+        };
         let mut bank = CacheBank::new(cfg);
         let mut mem = vec![0u8; 1 << 20];
         bank.try_accept(load(1, 0x0)); // way A

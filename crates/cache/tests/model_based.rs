@@ -1,10 +1,11 @@
 //! Model-based testing: a random stream of loads/stores/AMOs through the
 //! cache bank (with a functional DRAM behind it) must behave exactly like
 //! a flat byte-array memory model, across every policy configuration.
+//! Deterministically seeded (`hb_rng`) so failures replay exactly.
 
 use hb_cache::{AccessKind, CacheBank, CacheConfig, CacheRequest, LineRequestKind};
 use hb_isa::AmoOp;
-use proptest::prelude::*;
+use hb_rng::Rng;
 
 #[derive(Debug, Clone, Copy)]
 enum Op {
@@ -15,35 +16,25 @@ enum Op {
 
 const MEM_BYTES: u32 = 1 << 16;
 
-fn any_op() -> impl Strategy<Value = Op> {
-    let width = prop_oneof![Just(1u8), Just(2u8), Just(4u8)];
-    prop_oneof![
-        (0u32..MEM_BYTES / 4, width.clone()).prop_map(|(w, width)| Op::Load {
-            addr: w * 4 & !(u32::from(width) - 1),
-            width
-        }),
-        (0u32..MEM_BYTES / 4, width, any::<u32>()).prop_map(|(w, width, data)| Op::Store {
-            addr: w * 4 & !(u32::from(width) - 1),
+fn any_op(rng: &mut Rng) -> Op {
+    let width = *rng.pick(&[1u8, 2, 4]);
+    let w = rng.range_u32(0, MEM_BYTES / 4);
+    match rng.index(3) {
+        0 => Op::Load {
+            addr: (w * 4) & !(u32::from(width) - 1),
             width,
-            data
-        }),
-        (
-            0u32..MEM_BYTES / 4,
-            prop_oneof![
-                Just(AmoOp::Swap),
-                Just(AmoOp::Add),
-                Just(AmoOp::Xor),
-                Just(AmoOp::And),
-                Just(AmoOp::Or),
-                Just(AmoOp::Min),
-                Just(AmoOp::Max),
-                Just(AmoOp::Minu),
-                Just(AmoOp::Maxu)
-            ],
-            any::<u32>()
-        )
-            .prop_map(|(w, op, data)| Op::Amo { addr: w * 4, op, data }),
-    ]
+        },
+        1 => Op::Store {
+            addr: (w * 4) & !(u32::from(width) - 1),
+            width,
+            data: rng.next_u32(),
+        },
+        _ => Op::Amo {
+            addr: w * 4,
+            op: *rng.pick(&AmoOp::ALL),
+            data: rng.next_u32(),
+        },
+    }
 }
 
 /// Reference model: flat byte memory with architectural semantics.
@@ -121,18 +112,32 @@ fn service(bank: &mut CacheBank, backing: &mut [u8]) {
 fn run_against_model(ops: &[Op], cfg: CacheConfig) {
     let mut bank = CacheBank::new(cfg);
     let mut backing = vec![0u8; MEM_BYTES as usize];
-    let mut model = Model { bytes: vec![0u8; MEM_BYTES as usize] };
+    let mut model = Model {
+        bytes: vec![0u8; MEM_BYTES as usize],
+    };
     for (i, &op) in ops.iter().enumerate() {
         let req = match op {
-            Op::Load { addr, width } => {
-                CacheRequest { id: i as u64, addr, kind: AccessKind::Load, data: 0, width }
-            }
-            Op::Store { addr, width, data } => {
-                CacheRequest { id: i as u64, addr, kind: AccessKind::Store, data, width }
-            }
-            Op::Amo { addr, op, data } => {
-                CacheRequest { id: i as u64, addr, kind: AccessKind::Amo(op), data, width: 4 }
-            }
+            Op::Load { addr, width } => CacheRequest {
+                id: i as u64,
+                addr,
+                kind: AccessKind::Load,
+                data: 0,
+                width,
+            },
+            Op::Store { addr, width, data } => CacheRequest {
+                id: i as u64,
+                addr,
+                kind: AccessKind::Store,
+                data,
+                width,
+            },
+            Op::Amo { addr, op, data } => CacheRequest {
+                id: i as u64,
+                addr,
+                kind: AccessKind::Amo(op),
+                data,
+                width: 4,
+            },
         };
         let got = complete(&mut bank, &mut backing, req);
         let want = model.apply(op);
@@ -151,27 +156,57 @@ fn run_against_model(ops: &[Op], cfg: CacheConfig) {
     assert_eq!(backing, model.bytes, "post-flush memory image diverged");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn op_vec(rng: &mut Rng, max_len: usize) -> Vec<Op> {
+    let len = 1 + rng.index(max_len - 1);
+    (0..len).map(|_| any_op(rng)).collect()
+}
 
-    #[test]
-    fn write_validate_bank_matches_flat_memory(ops in prop::collection::vec(any_op(), 1..200)) {
-        run_against_model(&ops, CacheConfig { sets: 4, ways: 2, ..CacheConfig::default() });
-    }
-
-    #[test]
-    fn write_allocate_bank_matches_flat_memory(ops in prop::collection::vec(any_op(), 1..200)) {
+#[test]
+fn write_validate_bank_matches_flat_memory() {
+    let mut rng = Rng::seed_from_u64(0xCAC_4E01);
+    for _ in 0..48 {
+        let ops = op_vec(&mut rng, 200);
         run_against_model(
             &ops,
-            CacheConfig { sets: 4, ways: 2, write_validate: false, ..CacheConfig::default() },
+            CacheConfig {
+                sets: 4,
+                ways: 2,
+                ..CacheConfig::default()
+            },
         );
     }
+}
 
-    #[test]
-    fn blocking_bank_matches_flat_memory(ops in prop::collection::vec(any_op(), 1..150)) {
+#[test]
+fn write_allocate_bank_matches_flat_memory() {
+    let mut rng = Rng::seed_from_u64(0xCAC_4E02);
+    for _ in 0..48 {
+        let ops = op_vec(&mut rng, 200);
         run_against_model(
             &ops,
-            CacheConfig { sets: 2, ways: 1, blocking: true, ..CacheConfig::default() },
+            CacheConfig {
+                sets: 4,
+                ways: 2,
+                write_validate: false,
+                ..CacheConfig::default()
+            },
+        );
+    }
+}
+
+#[test]
+fn blocking_bank_matches_flat_memory() {
+    let mut rng = Rng::seed_from_u64(0xCAC_4E03);
+    for _ in 0..48 {
+        let ops = op_vec(&mut rng, 150);
+        run_against_model(
+            &ops,
+            CacheConfig {
+                sets: 2,
+                ways: 1,
+                blocking: true,
+                ..CacheConfig::default()
+            },
         );
     }
 }

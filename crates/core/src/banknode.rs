@@ -142,22 +142,33 @@ impl BankNode {
         while let Some(resp) = self.bank.pop_response() {
             let gid = resp.id / 4;
             let idx = (resp.id % 4) as usize;
-            let group = self.groups.get_mut(&gid).expect("bank response without group");
+            let group = self
+                .groups
+                .get_mut(&gid)
+                .expect("bank response without group");
             group.data[idx] = resp.data;
             group.remaining -= 1;
             if group.remaining == 0 {
                 let group = self.groups.remove(&gid).unwrap();
                 let kind = match group.kind {
-                    GroupKind::Load => RespKind::Load { data: group.data, count: group.count },
+                    GroupKind::Load => RespKind::Load {
+                        data: group.data,
+                        count: group.count,
+                    },
                     GroupKind::Store => RespKind::StoreAck,
-                    GroupKind::Amo => RespKind::AmoOld { data: group.data[0] },
+                    GroupKind::Amo => RespKind::AmoOld {
+                        data: group.data[0],
+                    },
                 };
                 self.resp_outbox.push_back((
                     group.from.cell,
                     Packet {
                         src: self.coord,
                         dst: group.from.coord,
-                        payload: Response { op_id: group.op_id, kind },
+                        payload: Response {
+                            op_id: group.op_id,
+                            kind,
+                        },
                     },
                 ));
             }
@@ -179,9 +190,16 @@ mod tests {
             src: Coord::new(1, 1),
             dst: Coord::new(0, 0),
             payload: Request {
-                from: NodeId { cell: 0, coord: Coord::new(1, 1) },
+                from: NodeId {
+                    cell: 0,
+                    coord: Coord::new(1, 1),
+                },
                 op_id,
-                kind: ReqKind::Load { addr, width: 4, count },
+                kind: ReqKind::Load {
+                    addr,
+                    width: 4,
+                    count,
+                },
             },
         }
     }
@@ -240,9 +258,16 @@ mod tests {
             src: Coord::new(2, 3),
             dst: Coord::new(0, 0),
             payload: Request {
-                from: NodeId { cell: 1, coord: Coord::new(2, 3) },
+                from: NodeId {
+                    cell: 1,
+                    coord: Coord::new(2, 3),
+                },
                 op_id: 9,
-                kind: ReqKind::Store { addr: 0x40, width: 4, data: 5 },
+                kind: ReqKind::Store {
+                    addr: 0x40,
+                    width: 4,
+                    data: 5,
+                },
             },
         });
         for _ in 0..10 {

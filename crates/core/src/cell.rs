@@ -30,7 +30,10 @@ pub struct GroupSpec {
 impl GroupSpec {
     /// One group covering the whole Cell.
     pub fn whole_cell(cfg: &MachineConfig) -> GroupSpec {
-        GroupSpec { origin: (0, 0), dim: (cfg.cell_dim.x, cfg.cell_dim.y) }
+        GroupSpec {
+            origin: (0, 0),
+            dim: (cfg.cell_dim.x, cfg.cell_dim.y),
+        }
     }
 
     /// Splits the Cell into a grid of equally-sized groups.
@@ -44,7 +47,10 @@ impl GroupSpec {
         let mut groups = Vec::new();
         for oy in (0..cfg.cell_dim.y).step_by(gh as usize) {
             for ox in (0..cfg.cell_dim.x).step_by(gw as usize) {
-                groups.push(GroupSpec { origin: (ox, oy), dim: (gw, gh) });
+                groups.push(GroupSpec {
+                    origin: (ox, oy),
+                    dim: (gw, gh),
+                });
             }
         }
         groups
@@ -135,8 +141,10 @@ impl Cell {
         };
         // Each strip serves one row of `cell_w` banks regardless of the
         // configured default.
-        let strip_cfg =
-            hb_noc::StripConfig { banks: cfg.cell_dim.x as usize, ..cfg.strip };
+        let strip_cfg = hb_noc::StripConfig {
+            banks: cfg.cell_dim.x as usize,
+            ..cfg.strip
+        };
         let strip = || StripChannel::new(strip_cfg);
         Cell {
             id,
@@ -148,10 +156,7 @@ impl Cell {
             strip_to_mem: [strip(), strip()],
             strip_from_mem: [strip(), strip()],
             hbm: Hbm2Channel::new(cfg.hbm.clone()),
-            hbm_clock: ClockDivider::new(
-                u64::from(cfg.mem_freq_mhz),
-                u64::from(cfg.core_freq_mhz),
-            ),
+            hbm_clock: ClockDivider::new(u64::from(cfg.mem_freq_mhz), u64::from(cfg.core_freq_mhz)),
             dram: Dram::new(cfg.dram_bytes_per_cell as usize),
             hbm_retry: VecDeque::new(),
             mem_ops: HashMap::new(),
@@ -226,7 +231,10 @@ impl Cell {
         self.barriers.clear();
         self.active = vec![false; w as usize * h as usize];
         for (gi, (g, args)) in groups.iter().enumerate() {
-            assert!(g.origin.0 + g.dim.0 <= w && g.origin.1 + g.dim.1 <= h, "group leaves cell");
+            assert!(
+                g.origin.0 + g.dim.0 <= w && g.origin.1 + g.dim.1 <= h,
+                "group leaves cell"
+            );
             self.barriers.push(BarrierNetwork::tree_for_group(
                 g.dim.0,
                 g.dim.1,
@@ -238,7 +246,11 @@ impl Cell {
                     assert!(!owned[i], "tile ({x},{y}) in two groups");
                     owned[i] = true;
                     self.active[i] = true;
-                    let info = GroupInfo { origin: g.origin, dim: g.dim, barrier_id: gi };
+                    let info = GroupInfo {
+                        origin: g.origin,
+                        dim: g.dim,
+                        barrier_id: gi,
+                    };
                     self.tiles[i].launch(program.clone(), args, info);
                 }
             }
@@ -428,8 +440,15 @@ impl Cell {
                         (true, 8 + self.cfg.line_bytes)
                     }
                 };
-                self.mem_ops
-                    .insert(id, MemOp { bank: b, line_addr: lr.line_addr, write, data: None });
+                self.mem_ops.insert(
+                    id,
+                    MemOp {
+                        bank: b,
+                        line_addr: lr.line_addr,
+                        write,
+                        data: None,
+                    },
+                );
                 self.strip_to_mem[strip].enqueue(hb_noc::StripTransfer {
                     id,
                     bank: pos,
@@ -466,9 +485,14 @@ impl Cell {
                 if resp.write {
                     self.mem_ops.remove(&resp.id);
                 } else {
-                    let op = self.mem_ops.get_mut(&resp.id).expect("unknown HBM response");
-                    let line =
-                        self.dram.slice(op.line_addr, self.cfg.line_bytes as usize).to_vec();
+                    let op = self
+                        .mem_ops
+                        .get_mut(&resp.id)
+                        .expect("unknown HBM response");
+                    let line = self
+                        .dram
+                        .slice(op.line_addr, self.cfg.line_bytes as usize)
+                        .to_vec();
                     op.data = Some(line);
                     let strip = usize::from(op.bank >= w as usize);
                     let pos = op.bank % w as usize;

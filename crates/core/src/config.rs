@@ -150,20 +150,29 @@ impl MachineConfig {
     /// Table II column 2: Cell doubled vertically (16x16). Twice the tiles,
     /// same cache banks (half the cache capacity per tile).
     pub fn cell_16x16() -> MachineConfig {
-        MachineConfig { cell_dim: CellDim { x: 16, y: 16 }, ..MachineConfig::baseline_16x8() }
+        MachineConfig {
+            cell_dim: CellDim { x: 16, y: 16 },
+            ..MachineConfig::baseline_16x8()
+        }
     }
 
     /// Table II column 3: Cell doubled horizontally (32x8). Twice the tiles
     /// *and* twice the cache banks/bandwidth, at the cost of bisection
     /// pressure.
     pub fn cell_32x8() -> MachineConfig {
-        MachineConfig { cell_dim: CellDim { x: 32, y: 8 }, ..MachineConfig::baseline_16x8() }
+        MachineConfig {
+            cell_dim: CellDim { x: 32, y: 8 },
+            ..MachineConfig::baseline_16x8()
+        }
     }
 
     /// Table II column 4: two 16x8 Cells (2x16x8), each with its own
     /// Local-DRAM address space.
     pub fn two_cells_16x8() -> MachineConfig {
-        MachineConfig { num_cells: 2, ..MachineConfig::baseline_16x8() }
+        MachineConfig {
+            num_cells: 2,
+            ..MachineConfig::baseline_16x8()
+        }
     }
 
     /// The Figure 10 starting point: a "Baseline Manycore" normalized to a
@@ -229,11 +238,17 @@ impl MachineConfig {
     /// bank count, SPM too small, ...).
     pub fn validate(&self) {
         assert!(self.cell_dim.x > 0 && self.cell_dim.y > 0, "empty cell");
-        assert!(self.banks_per_cell().is_power_of_two(), "bank count must be a power of two");
+        assert!(
+            self.banks_per_cell().is_power_of_two(),
+            "bank count must be a power of two"
+        );
         assert!(self.spm_bytes >= 256, "SPM too small");
         assert!(self.max_outstanding >= 1);
         assert!(self.num_cells >= 1);
-        assert!(self.dram_bytes_per_cell <= (16 << 20), "EVA offset field is 24 bits");
+        assert!(
+            self.dram_bytes_per_cell <= (16 << 20),
+            "EVA offset field is 24 bits"
+        );
     }
 }
 
@@ -271,5 +286,4 @@ mod tests {
         assert!(!cellular.non_blocking_loads);
         assert!(base.non_blocking_loads);
     }
-
 }

@@ -1,0 +1,399 @@
+//! Lockstep co-simulation: the cycle-level tile checked against the
+//! functional golden model, instruction by instruction.
+//!
+//! The cycle-level [`Tile`](crate::Tile) is ~1.1k lines of pipelined,
+//! scoreboarded, network-coupled state machine; the [`hb_iss::Hart`] is a
+//! few hundred lines of direct interpretation. Running them in lockstep —
+//! the checker consumes the tile's [`TraceEvent::Retire`] stream and steps
+//! the ISS once per retire — catches any architectural disagreement at the
+//! first diverging instruction instead of as a corrupted result buffer a
+//! million cycles later.
+//!
+//! What is compared:
+//!
+//! * every retire: the PC of the retiring instruction;
+//! * whenever the tile is quiescent (no outstanding remote operations, so
+//!   no in-flight register fills): the full integer and FP register files;
+//! * at the end of the run, after draining the network and flushing the
+//!   caches: PC, both register files, the scratchpad, and all DRAM.
+//!
+//! A divergence produces a [`Divergence`] carrying the disassembled recent
+//! retire history.
+
+use crate::func::IssTile;
+use crate::machine::{Machine, RunSummary, SimError};
+use crate::stats::CoreStats;
+use crate::trace::TraceEvent;
+use hb_isa::Instr;
+use hb_iss::Step;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// How many retires of context a [`Divergence`] carries.
+const CONTEXT_DEPTH: usize = 12;
+
+/// Cycles the post-run drain may take before giving up.
+const DRAIN_BUDGET: u64 = 100_000;
+
+/// First architectural disagreement between the tile and the ISS.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Core cycle of the diverging retire (or the final comparison).
+    pub cycle: u64,
+    /// PC at the divergence.
+    pub pc: u32,
+    /// What disagreed.
+    pub what: String,
+    /// Disassembled recent retire history, oldest first.
+    pub context: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cosim divergence at cycle {}, pc {:#010x}: {}",
+            self.cycle, self.pc, self.what
+        )?;
+        write!(f, "recent retires (oldest first):\n{}", self.context)
+    }
+}
+
+/// Why a co-simulated run stopped short.
+#[derive(Debug)]
+pub enum CosimError {
+    /// The cycle-level simulation itself failed (fault or timeout).
+    Sim(SimError),
+    /// The two models disagreed.
+    Diverged(Box<Divergence>),
+}
+
+impl fmt::Display for CosimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CosimError::Sim(e) => write!(f, "{e}"),
+            CosimError::Diverged(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+impl std::error::Error for CosimError {}
+
+impl From<SimError> for CosimError {
+    fn from(e: SimError) -> CosimError {
+        CosimError::Sim(e)
+    }
+}
+
+/// Summary of a clean co-simulated run.
+#[derive(Debug, Clone, Copy)]
+pub struct CosimReport {
+    /// Instructions checked in lockstep.
+    pub instrs: u64,
+    /// Full register-file comparisons performed.
+    pub reg_compares: u64,
+}
+
+/// The lockstep oracle for one tile.
+///
+/// Create it *after* launching the kernel (it snapshots the launched
+/// state), feed it the machine's drained trace events as the simulation
+/// advances, and call [`CosimChecker::finish`] once the machine is done.
+/// [`Machine::run_cosim`] wraps the whole protocol for the common
+/// single-tile case.
+#[derive(Debug)]
+pub struct CosimChecker {
+    iss: IssTile,
+    cell: u8,
+    xy: (u8, u8),
+    recent: VecDeque<(u64, u32, Instr)>,
+    instrs: u64,
+    reg_compares: u64,
+}
+
+impl CosimChecker {
+    /// Snapshots tile `xy` of Cell `cell` (which must be launched) into a
+    /// fresh golden model.
+    pub fn new(machine: &Machine, cell: u8, xy: (u8, u8)) -> CosimChecker {
+        CosimChecker {
+            iss: IssTile::from_machine(machine, cell, xy),
+            cell,
+            xy,
+            recent: VecDeque::with_capacity(CONTEXT_DEPTH),
+            instrs: 0,
+            reg_compares: 0,
+        }
+    }
+
+    /// Disassembled recent retire history, oldest first.
+    pub fn context(&self) -> String {
+        let mut out = String::new();
+        for (cycle, pc, instr) in &self.recent {
+            out.push_str(&format!("  [{cycle:>8}] {pc:08x}: {instr}\n"));
+        }
+        if out.is_empty() {
+            out.push_str("  (no retires observed)\n");
+        }
+        out
+    }
+
+    fn diverge(&self, cycle: u64, pc: u32, what: String) -> Box<Divergence> {
+        Box::new(Divergence {
+            cycle,
+            pc,
+            what,
+            context: self.context(),
+        })
+    }
+
+    fn compare_regfiles(
+        &mut self,
+        machine: &Machine,
+        cycle: u64,
+        pc: u32,
+    ) -> Result<(), Box<Divergence>> {
+        let tile = machine.cell(self.cell).tile(self.xy.0, self.xy.1);
+        self.reg_compares += 1;
+        for i in 0..32 {
+            let t = tile.arch_regs()[i];
+            let s = self.iss.hart.regs[i];
+            if t != s {
+                return Err(self.diverge(
+                    cycle,
+                    pc,
+                    format!("x{i} mismatch: tile={t:#010x} iss={s:#010x}"),
+                ));
+            }
+            let tf = tile.arch_fregs()[i].to_bits();
+            let sf = self.iss.hart.fregs[i].to_bits();
+            if tf != sf {
+                return Err(self.diverge(
+                    cycle,
+                    pc,
+                    format!("f{i} mismatch: tile bits={tf:#010x} iss bits={sf:#010x}"),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Consumes one batch of drained trace events, stepping the ISS once
+    /// per retire of the checked tile and comparing as it goes. Call every
+    /// cycle (or at least often enough that the trace ring cannot evict).
+    ///
+    /// # Errors
+    ///
+    /// The first architectural disagreement, with disassembled context.
+    pub fn observe(
+        &mut self,
+        machine: &Machine,
+        events: &[TraceEvent],
+    ) -> Result<(), Box<Divergence>> {
+        let mut retired = false;
+        let mut last = (0u64, 0u32);
+        for ev in events {
+            let TraceEvent::Retire {
+                cycle,
+                tile,
+                pc,
+                instr,
+            } = ev
+            else {
+                continue;
+            };
+            if *tile != self.xy {
+                continue;
+            }
+            if self.iss.hart.pc != *pc {
+                return Err(self.diverge(
+                    *cycle,
+                    *pc,
+                    format!(
+                        "pc mismatch: tile retired {pc:#010x}, iss expects {:#010x}",
+                        self.iss.hart.pc
+                    ),
+                ));
+            }
+            self.iss.bus.set_now(*cycle);
+            match self.iss.hart.step(&self.iss.program, &mut self.iss.bus) {
+                Ok(Step::Retired | Step::Barrier | Step::Ecall) => {}
+                Err(f) => {
+                    return Err(self.diverge(
+                        *cycle,
+                        *pc,
+                        format!("iss faulted where the tile retired: {f}"),
+                    ));
+                }
+            }
+            if self.recent.len() == CONTEXT_DEPTH {
+                self.recent.pop_front();
+            }
+            self.recent.push_back((*cycle, *pc, *instr));
+            self.instrs += 1;
+            retired = true;
+            last = (*cycle, *pc);
+        }
+        // Register files are only comparable when no remote fills are in
+        // flight (the tile retires remote loads at issue and writes the
+        // destination later).
+        if retired
+            && machine
+                .cell(self.cell)
+                .tile(self.xy.0, self.xy.1)
+                .outstanding()
+                == 0
+        {
+            self.compare_regfiles(machine, last.0, last.1)?;
+        }
+        Ok(())
+    }
+
+    /// Final full-state comparison: PC, register files, scratchpad and all
+    /// DRAM. The machine must be done and flushed (`run_cosim` handles the
+    /// draining and flushing).
+    ///
+    /// # Errors
+    ///
+    /// The first disagreement found.
+    pub fn finish(mut self, machine: &Machine) -> Result<CosimReport, Box<Divergence>> {
+        let cycle = machine.cycle();
+        let tile = machine.cell(self.cell).tile(self.xy.0, self.xy.1);
+        let pc = tile.pc();
+        if self.iss.hart.pc != pc {
+            return Err(self.diverge(
+                cycle,
+                pc,
+                format!(
+                    "final pc mismatch: tile {pc:#010x}, iss {:#010x}",
+                    self.iss.hart.pc
+                ),
+            ));
+        }
+        self.compare_regfiles(machine, cycle, pc)?;
+        let tile = machine.cell(self.cell).tile(self.xy.0, self.xy.1);
+        let tile_spm = tile.spm();
+        let iss_spm = self.iss.bus.spm(0);
+        if let Some(off) = (0..tile_spm.len()).find(|&i| tile_spm[i] != iss_spm[i]) {
+            return Err(self.diverge(
+                cycle,
+                pc,
+                format!(
+                    "SPM mismatch at offset {off:#x}: tile byte {:#04x}, iss byte {:#04x}",
+                    tile_spm[off], iss_spm[off]
+                ),
+            ));
+        }
+        for c in 0..machine.num_cells() {
+            let dram = machine.cell(c as u8).dram();
+            let real = dram.slice(0, dram.len());
+            let shadow = self.iss.bus.dram.cell(c as u8);
+            if let Some(off) = (0..real.len()).find(|&i| real[i] != shadow[i]) {
+                let a = off & !3;
+                return Err(self.diverge(
+                    cycle,
+                    pc,
+                    format!(
+                        "DRAM mismatch in cell {c} at {a:#010x}: tile word {:#010x}, iss word {:#010x}",
+                        u32::from_le_bytes(real[a..a + 4].try_into().unwrap()),
+                        u32::from_le_bytes(shadow[a..a + 4].try_into().unwrap()),
+                    ),
+                ));
+            }
+        }
+        Ok(CosimReport {
+            instrs: self.instrs,
+            reg_compares: self.reg_compares,
+        })
+    }
+}
+
+impl Machine {
+    /// Runs the machine to completion with a lockstep golden-model check
+    /// on its single running tile.
+    ///
+    /// Call after launching exactly one tile (a 1x1 tile group). The tile's
+    /// every retire is checked against the ISS; at the end the caches are
+    /// flushed and the full architectural state — registers, scratchpad,
+    /// DRAM — must match bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// [`CosimError::Sim`] if the simulation faults or times out,
+    /// [`CosimError::Diverged`] on the first disagreement.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly one tile is running.
+    pub fn run_cosim(&mut self, max_cycles: u64) -> Result<(RunSummary, CosimReport), CosimError> {
+        let dim = self.config().cell_dim;
+        let mut target = None;
+        for c in 0..self.num_cells() as u8 {
+            for y in 0..dim.y {
+                for x in 0..dim.x {
+                    if self.cell(c).tile(x, y).is_running() {
+                        assert!(
+                            target.is_none(),
+                            "run_cosim checks exactly one running tile"
+                        );
+                        target = Some((c, (x, y)));
+                    }
+                }
+            }
+        }
+        let (cell, xy) = target.expect("run_cosim needs one launched tile");
+
+        let mut checker = CosimChecker::new(self, cell, xy);
+        let trace = self.enable_tracing(64);
+        trace.drain();
+
+        let start = self.cycle();
+        loop {
+            if self.all_done() {
+                break;
+            }
+            if let Some(msg) = (0..self.num_cells() as u8).find_map(|c| self.cell(c).fault()) {
+                return Err(SimError::Fault(msg).into());
+            }
+            if self.cycle() - start >= max_cycles {
+                let running = (0..self.num_cells() as u8)
+                    .map(|c| self.cell(c).running_tiles())
+                    .sum();
+                return Err(SimError::Timeout {
+                    cycles: self.cycle() - start,
+                    running_tiles: running,
+                }
+                .into());
+            }
+            self.tick();
+            let events = trace.drain();
+            checker
+                .observe(self, &events)
+                .map_err(CosimError::Diverged)?;
+        }
+        let cycles = self.cycle() - start;
+
+        // Drain in-flight responses (stores issued right before ecall may
+        // still be in the network) and flush the caches so DRAM holds the
+        // architectural truth.
+        let mut spare = 0;
+        while self.cell(cell).tile(xy.0, xy.1).outstanding() > 0 {
+            assert!(
+                spare < DRAIN_BUDGET,
+                "network failed to drain after completion"
+            );
+            self.tick();
+            spare += 1;
+        }
+        checker
+            .observe(self, &trace.drain())
+            .map_err(CosimError::Diverged)?;
+        self.flush_all_caches();
+
+        let mut core = CoreStats::default();
+        for c in 0..self.num_cells() as u8 {
+            core += self.cell(c).core_stats();
+        }
+        let report = checker.finish(self).map_err(CosimError::Diverged)?;
+        Ok((RunSummary { cycles, core }, report))
+    }
+}

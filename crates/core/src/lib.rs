@@ -49,6 +49,8 @@
 mod banknode;
 mod cell;
 mod config;
+pub mod cosim;
+pub mod func;
 mod icache;
 mod kernel_util;
 mod machine;
@@ -56,14 +58,16 @@ mod multicell;
 mod payload;
 pub mod pgas;
 pub mod profile;
-pub mod trace;
 mod stats;
 mod tile;
+pub mod trace;
 
 pub use cell::{Cell, GroupSpec};
-pub use kernel_util::HbOps;
 pub use config::{CellDim, MachineConfig};
+pub use cosim::{CosimChecker, CosimError, CosimReport, Divergence};
+pub use func::{FuncBus, IssTile, SnapshotDram, TileCtx, WarmupReport};
 pub use icache::ICache;
+pub use kernel_util::HbOps;
 pub use machine::{Machine, RunSummary, SimError};
 pub use multicell::{MultiCellEstimator, Phase};
 pub use payload::{NodeId, ReqKind, Request, RespKind, Response};

@@ -29,7 +29,10 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::Fault(msg) => write!(f, "tile fault: {msg}"),
-            SimError::Timeout { cycles, running_tiles } => {
+            SimError::Timeout {
+                cycles,
+                running_tiles,
+            } => {
                 write!(f, "simulation did not finish in {cycles} cycles ({running_tiles} tiles still running)")
             }
         }
@@ -71,7 +74,11 @@ struct Fabric {
 impl Fabric {
     fn new(cfg: &MachineConfig) -> Fabric {
         // Eastward + westward crossings per boundary row, mesh + Ruche.
-        let per_row = if cfg.ruche_factor > 0 { 1 + cfg.ruche_factor as usize } else { 1 };
+        let per_row = if cfg.ruche_factor > 0 {
+            1 + cfg.ruche_factor as usize
+        } else {
+            1
+        };
         Fabric {
             latency: u64::from(cfg.cell_dim.x),
             words_per_cycle: 2 * per_row * cfg.cell_dim.y as usize,
@@ -94,9 +101,16 @@ impl Machine {
     pub fn new(cfg: MachineConfig) -> Machine {
         cfg.validate();
         let cfg = Arc::new(cfg);
-        let cells = (0..cfg.num_cells).map(|i| Cell::new(cfg.clone(), i)).collect();
+        let cells = (0..cfg.num_cells)
+            .map(|i| Cell::new(cfg.clone(), i))
+            .collect();
         let fabric = Fabric::new(&cfg);
-        Machine { cfg, cells, fabric, cycle: 0 }
+        Machine {
+            cfg,
+            cells,
+            fabric,
+            cycle: 0,
+        }
     }
 
     /// The machine configuration.
@@ -124,6 +138,11 @@ impl Machine {
         self.cycle
     }
 
+    /// All Cells, mutably (functional fast-forward borrows every DRAM).
+    pub(crate) fn cells_mut(&mut self) -> &mut [Cell] {
+        &mut self.cells
+    }
+
     /// Enables execution tracing: installs a shared ring buffer holding the
     /// most recent `capacity` events across all tiles and returns the
     /// handle for rendering (most useful after a fault).
@@ -144,7 +163,10 @@ impl Machine {
     /// Panics if `offset` exceeds the 30-bit Global-DRAM window.
     pub fn global_location(&self, offset: u32) -> (u8, u32) {
         assert!(offset < (1 << 30), "global offset exceeds the EVA window");
-        match self.cells[0].pgas().translate(crate::pgas::global_dram(offset)) {
+        match self.cells[0]
+            .pgas()
+            .translate(crate::pgas::global_dram(offset))
+        {
             Ok(crate::pgas::Target::Bank { cell, addr, .. }) => (cell, addr),
             other => unreachable!("global EVA translated to {other:?}"),
         }
@@ -176,7 +198,12 @@ impl Machine {
     }
 
     /// Convenience: launch tile groups on Cell `cell`.
-    pub fn launch_groups(&mut self, cell: u8, program: &Arc<Program>, groups: &[(GroupSpec, Vec<u32>)]) {
+    pub fn launch_groups(
+        &mut self,
+        cell: u8,
+        program: &Arc<Program>,
+        groups: &[(GroupSpec, Vec<u32>)],
+    ) {
         self.cells[cell as usize].launch_groups(program, groups);
     }
 
@@ -242,14 +269,20 @@ impl Machine {
                 for cell in &self.cells {
                     core += cell.core_stats();
                 }
-                return Ok(RunSummary { cycles: self.cycle - start, core });
+                return Ok(RunSummary {
+                    cycles: self.cycle - start,
+                    core,
+                });
             }
             if let Some(msg) = self.cells.iter().find_map(Cell::fault) {
                 return Err(SimError::Fault(msg));
             }
             if self.cycle - start >= max_cycles {
                 let running_tiles = self.cells.iter().map(Cell::running_tiles).sum();
-                return Err(SimError::Timeout { cycles: self.cycle - start, running_tiles });
+                return Err(SimError::Timeout {
+                    cycles: self.cycle - start,
+                    running_tiles,
+                });
             }
             self.tick();
         }

@@ -79,10 +79,19 @@ mod tests {
 
     #[test]
     fn phases_accumulate() {
-        let est = MultiCellEstimator { boundary_words_per_cycle: 32.0, efficiency: 1.0 };
+        let est = MultiCellEstimator {
+            boundary_words_per_cycle: 32.0,
+            efficiency: 1.0,
+        };
         let phases = [
-            Phase { exec_cycles: 1000, transfer_bytes: 128 },
-            Phase { exec_cycles: 2000, transfer_bytes: 0 },
+            Phase {
+                exec_cycles: 1000,
+                transfer_bytes: 128,
+            },
+            Phase {
+                exec_cycles: 2000,
+                transfer_bytes: 0,
+            },
         ];
         assert_eq!(est.total_cycles(&phases), 1000 + 1 + 2000);
     }

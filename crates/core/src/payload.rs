@@ -108,11 +108,23 @@ mod tests {
 
     #[test]
     fn request_sizes() {
-        let load4 = ReqKind::Load { addr: 0, width: 4, count: 4 };
+        let load4 = ReqKind::Load {
+            addr: 0,
+            width: 4,
+            count: 4,
+        };
         assert_eq!(load4.bytes(), 16);
-        let store = ReqKind::Store { addr: 0, width: 2, data: 7 };
+        let store = ReqKind::Store {
+            addr: 0,
+            width: 2,
+            data: 7,
+        };
         assert_eq!(store.bytes(), 2);
-        let amo = ReqKind::Amo { addr: 0, op: AmoOp::Add, data: 1 };
+        let amo = ReqKind::Amo {
+            addr: 0,
+            op: AmoOp::Add,
+            data: 1,
+        };
         assert_eq!(amo.bytes(), 4);
     }
 }

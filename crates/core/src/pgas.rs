@@ -184,11 +184,18 @@ impl PgasMap {
                 if x >= self.cell_w || y >= self.cell_h || offset >= self.spm_bytes {
                     return bad;
                 }
-                Ok(Target::RemoteSpm { tile: Coord::new(x, y), offset })
+                Ok(Target::RemoteSpm {
+                    tile: Coord::new(x, y),
+                    offset,
+                })
             }
             0b10 => {
                 let cell_field = ((eva >> 24) & 0x3f) as u8;
-                let cell = if cell_field == OWN_CELL { self.cell_id } else { cell_field };
+                let cell = if cell_field == OWN_CELL {
+                    self.cell_id
+                } else {
+                    cell_field
+                };
                 let addr = eva & 0xff_ffff;
                 if cell >= self.num_cells && cell_field != OWN_CELL {
                     return bad;
@@ -196,7 +203,11 @@ impl PgasMap {
                 if addr >= self.dram_bytes {
                     return bad;
                 }
-                Ok(Target::Bank { cell, bank: self.bank_for(addr), addr })
+                Ok(Target::Bank {
+                    cell,
+                    bank: self.bank_for(addr),
+                    addr,
+                })
             }
             _ => {
                 // Global DRAM: hash the line over (cell, bank) across the
@@ -218,11 +229,46 @@ impl PgasMap {
         }
     }
 
+    /// Like [`PgasMap::translate`], but skips bank selection for Cell-local
+    /// DRAM (the returned `bank` is 0). Bank choice only matters to the
+    /// cycle-level memory system; functional consumers (the `hb-iss` bus)
+    /// need just "which Cell, which byte", and the bank hash — two integer
+    /// divisions plus an optional IPOLY reduction — dominates their
+    /// per-access cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BadEva`] exactly when [`PgasMap::translate`] does.
+    pub fn translate_flat(&self, eva: u32) -> Result<Target, BadEva> {
+        if eva >> 30 == 0b10 {
+            let cell_field = ((eva >> 24) & 0x3f) as u8;
+            let cell = if cell_field == OWN_CELL {
+                self.cell_id
+            } else {
+                cell_field
+            };
+            let addr = eva & 0xff_ffff;
+            if (cell >= self.num_cells && cell_field != OWN_CELL) || addr >= self.dram_bytes {
+                return Err(BadEva { eva });
+            }
+            return Ok(Target::Bank {
+                cell,
+                bank: 0,
+                addr,
+            });
+        }
+        self.translate(eva)
+    }
+
     /// Bank selection for a Cell-local DRAM address.
     pub fn bank_for(&self, addr: u32) -> usize {
         let line = addr / self.line_bytes;
         let banks = self.banks() as u32;
-        let b = if self.ipoly { ipoly_hash(line, banks) } else { line % banks };
+        let b = if self.ipoly {
+            ipoly_hash(line, banks)
+        } else {
+            line % banks
+        };
         b as usize
     }
 
@@ -268,15 +314,15 @@ impl PgasMap {
 /// Irreducible polynomials over GF(2) by degree, for IPOLY hashing
 /// (Rau, "Pseudo-randomly interleaved memory", ISCA 1991).
 const IPOLY: [u32; 9] = [
-    0b1,          // degree 0 (unused)
-    0b11,         // x + 1
-    0b111,        // x^2 + x + 1
-    0b1011,       // x^3 + x + 1
-    0b10011,      // x^4 + x + 1
-    0b100101,     // x^5 + x^2 + 1
-    0b1000011,    // x^6 + x + 1
-    0b10001001,   // x^7 + x^3 + 1
-    0b100011011,  // x^8 + x^4 + x^3 + x + 1
+    0b1,         // degree 0 (unused)
+    0b11,        // x + 1
+    0b111,       // x^2 + x + 1
+    0b1011,      // x^3 + x + 1
+    0b10011,     // x^4 + x + 1
+    0b100101,    // x^5 + x^2 + 1
+    0b1000011,   // x^6 + x + 1
+    0b10001001,  // x^7 + x^3 + 1
+    0b100011011, // x^8 + x^4 + x^3 + x + 1
 ];
 
 /// Hashes a line index into `banks` slots (power of two) using polynomial
@@ -325,7 +371,12 @@ mod tests {
         let m = map();
         assert_eq!(m.translate(0x0), Ok(Target::LocalSpm { offset: 0 }));
         assert_eq!(m.translate(0xfff), Ok(Target::LocalSpm { offset: 0xfff }));
-        assert_eq!(m.translate(csr::TILE_X), Ok(Target::Csr { offset: csr::TILE_X }));
+        assert_eq!(
+            m.translate(csr::TILE_X),
+            Ok(Target::Csr {
+                offset: csr::TILE_X
+            })
+        );
         assert!(m.translate(0x2000).is_err());
     }
 
@@ -335,7 +386,10 @@ mod tests {
         let eva = group_spm(5, 3, 0x40);
         assert_eq!(
             m.translate(eva),
-            Ok(Target::RemoteSpm { tile: Coord::new(5, 3), offset: 0x40 })
+            Ok(Target::RemoteSpm {
+                tile: Coord::new(5, 3),
+                offset: 0x40
+            })
         );
         // Nonexistent tile.
         assert!(m.translate(group_spm(20, 3, 0)).is_err());
@@ -363,7 +417,10 @@ mod tests {
             Target::Bank { cell, .. } => assert_eq!(cell, 1),
             other => panic!("wrong target {other:?}"),
         }
-        assert!(m.translate(group_dram(7, 0)).is_err(), "cell 7 does not exist");
+        assert!(
+            m.translate(group_dram(7, 0)).is_err(),
+            "cell 7 does not exist"
+        );
     }
 
     #[test]
@@ -409,7 +466,10 @@ mod tests {
         for line in 0..(banks * 64) {
             counts[ipoly_hash(line, banks) as usize] += 1;
         }
-        assert!(counts.iter().all(|&c| c == 64), "sequential lines must balance: {counts:?}");
+        assert!(
+            counts.iter().all(|&c| c == 64),
+            "sequential lines must balance: {counts:?}"
+        );
     }
 
     #[test]

@@ -80,7 +80,9 @@ impl CellProfile {
 
     /// ASCII heatmap of per-tile core utilization (execute cycles / total).
     pub fn tile_heatmap(&self) -> String {
-        self.render_grid("tile utilization (execute share)", |s: &CoreStats| s.utilization())
+        self.render_grid("tile utilization (execute share)", |s: &CoreStats| {
+            s.utilization()
+        })
     }
 
     /// ASCII heatmap of the dominant stall share per tile.
@@ -155,10 +157,19 @@ impl CellProfile {
         let hbm_busy = self.hbm.data_utilization();
         let shares = [
             (exec, "compute-bound: add tiles"),
-            (remote, "memory-latency-bound: increase MLP or cache locality"),
+            (
+                remote,
+                "memory-latency-bound: increase MLP or cache locality",
+            ),
             (barrier, "synchronization-bound: improve load balance"),
-            (credit, "network-injection-bound: reduce request rate or widen NoC"),
-            (fpu, "iterative-FPU-bound: pipeline fdiv/fsqrt or restructure math"),
+            (
+                credit,
+                "network-injection-bound: reduce request rate or widen NoC",
+            ),
+            (
+                fpu,
+                "iterative-FPU-bound: pipeline fdiv/fsqrt or restructure math",
+            ),
         ];
         let &(top, verdict) = shares.iter().max_by_key(|&&(v, _)| v).unwrap();
         if verdict.starts_with("memory") && hbm_busy > 0.7 {
@@ -217,11 +228,15 @@ mod tests {
     use super::*;
 
     fn fake_profile() -> CellProfile {
-        let mut busy_tile = CoreStats::default();
-        busy_tile.int_cycles = 90;
+        let mut busy_tile = CoreStats {
+            int_cycles: 90,
+            ..CoreStats::default()
+        };
         busy_tile.add_stall(StallKind::RemoteLoad);
-        let mut idle_tile = CoreStats::default();
-        idle_tile.int_cycles = 5;
+        let mut idle_tile = CoreStats {
+            int_cycles: 5,
+            ..CoreStats::default()
+        };
         for _ in 0..95 {
             idle_tile.add_stall(StallKind::Barrier);
         }
@@ -265,7 +280,13 @@ mod tests {
     fn report_contains_all_sections() {
         let p = fake_profile();
         let r = p.report();
-        for needle in ["tile utilization", "eastward link", "stall blame", "HBM2", "verdict"] {
+        for needle in [
+            "tile utilization",
+            "eastward link",
+            "stall blame",
+            "HBM2",
+            "verdict",
+        ] {
             assert!(r.contains(needle), "report missing {needle}");
         }
     }

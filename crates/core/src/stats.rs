@@ -177,8 +177,18 @@ pub fn utilization_report(stats: &CoreStats) -> String {
     use std::fmt::Write;
     let total = stats.total_cycles().max(1) as f64;
     let mut out = String::new();
-    let _ = writeln!(out, "{:<14} {:>7.2}%", "int", stats.int_cycles as f64 / total * 100.0);
-    let _ = writeln!(out, "{:<14} {:>7.2}%", "fp", stats.fp_cycles as f64 / total * 100.0);
+    let _ = writeln!(
+        out,
+        "{:<14} {:>7.2}%",
+        "int",
+        stats.int_cycles as f64 / total * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "{:<14} {:>7.2}%",
+        "fp",
+        stats.fp_cycles as f64 / total * 100.0
+    );
     for kind in StallKind::ALL {
         let v = stats.stall(kind) as f64 / total * 100.0;
         if v > 0.005 {
@@ -194,9 +204,11 @@ mod tests {
 
     #[test]
     fn totals_add_up() {
-        let mut s = CoreStats::default();
-        s.int_cycles = 10;
-        s.fp_cycles = 5;
+        let mut s = CoreStats {
+            int_cycles: 10,
+            fp_cycles: 5,
+            ..CoreStats::default()
+        };
         s.add_stall(StallKind::RemoteLoad);
         s.add_stall(StallKind::RemoteLoad);
         s.add_stall(StallKind::Barrier);
@@ -207,11 +219,15 @@ mod tests {
 
     #[test]
     fn aggregation_sums_fields() {
-        let mut a = CoreStats::default();
-        a.int_cycles = 3;
+        let mut a = CoreStats {
+            int_cycles: 3,
+            ..CoreStats::default()
+        };
         a.add_stall(StallKind::Fence);
-        let mut b = CoreStats::default();
-        b.fp_cycles = 4;
+        let mut b = CoreStats {
+            fp_cycles: 4,
+            ..CoreStats::default()
+        };
         b.add_stall(StallKind::Fence);
         let c = a + b;
         assert_eq!(c.int_cycles, 3);
@@ -221,8 +237,10 @@ mod tests {
 
     #[test]
     fn report_mentions_active_categories() {
-        let mut s = CoreStats::default();
-        s.int_cycles = 50;
+        let mut s = CoreStats {
+            int_cycles: 50,
+            ..CoreStats::default()
+        };
         for _ in 0..50 {
             s.add_stall(StallKind::Barrier);
         }

@@ -34,7 +34,11 @@ enum Dst {
 #[derive(Debug, Clone)]
 enum PendingOp {
     /// A (possibly compressed) load: one destination per word.
-    Load { dsts: Vec<Dst>, width: u8, signed: bool },
+    Load {
+        dsts: Vec<Dst>,
+        width: u8,
+        signed: bool,
+    },
     /// A posted store awaiting its scoreboard credit.
     Store,
     /// An atomic op returning the old value.
@@ -166,7 +170,11 @@ impl Tile {
             cfg,
             pgas,
             xy,
-            group: GroupInfo { origin: (0, 0), dim: (1, 1), barrier_id: 0 },
+            group: GroupInfo {
+                origin: (0, 0),
+                dim: (1, 1),
+                barrier_id: 0,
+            },
             regs: [0; 32],
             fregs: [0.0; 32],
             pc: 0,
@@ -286,15 +294,84 @@ impl Tile {
         self.fregs[r.index() as usize]
     }
 
+    /// The whole integer register file (functional snapshot).
+    pub fn arch_regs(&self) -> &[u32; 32] {
+        &self.regs
+    }
+
+    /// The whole FP register file (functional snapshot).
+    pub fn arch_fregs(&self) -> &[f32; 32] {
+        &self.fregs
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// The full scratchpad image.
+    pub fn spm(&self) -> &[u8] {
+        &self.spm
+    }
+
+    /// The loaded program, if launched.
+    pub fn program(&self) -> Option<&Arc<Program>> {
+        self.program.as_ref()
+    }
+
+    /// Kernel arguments as loaded at launch (ARG CSRs).
+    pub fn args(&self) -> [u32; 8] {
+        self.args
+    }
+
+    /// Overwrites the architectural state — registers, PC, scratchpad —
+    /// with a functionally-computed snapshot (fast-forward injection).
+    ///
+    /// Clears all hazard/scoreboard timing state; the caller must only
+    /// inject while the tile is quiescent (no outstanding remote ops), which
+    /// [`crate::Machine::warmup_functional`] guarantees by running before
+    /// the first cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile has outstanding remote operations or `spm` does
+    /// not match the configured scratchpad size.
+    pub fn restore_arch_state(&mut self, regs: &[u32; 32], fregs: &[f32; 32], pc: u32, spm: &[u8]) {
+        assert_eq!(
+            self.outstanding, 0,
+            "cannot inject state over in-flight remote ops"
+        );
+        assert_eq!(spm.len(), self.spm.len(), "SPM image size mismatch");
+        self.regs = *regs;
+        self.fregs = *fregs;
+        self.pc = pc;
+        self.spm.copy_from_slice(spm);
+        self.int_ready = [0; 32];
+        self.fp_ready = [0; 32];
+        self.int_pending = [false; 32];
+        self.fp_pending = [false; 32];
+        self.wants_join = false;
+        self.barrier_waiting = false;
+        self.blocking_on = None;
+        self.combine = None;
+    }
+
     fn stall(&mut self, kind: StallKind) {
         self.stats.add_stall(kind);
     }
 
     fn trap(&mut self, msg: String) {
         if let Some(t) = &self.trace {
-            t.push(TraceEvent::Fault { cycle: self.last_cycle, tile: self.xy, message: msg.clone() });
+            t.push(TraceEvent::Fault {
+                cycle: self.last_cycle,
+                tile: self.xy,
+                message: msg.clone(),
+            });
         }
-        self.fault = Some(format!("tile ({},{}) @pc={:#x}: {msg}", self.xy.0, self.xy.1, self.pc));
+        self.fault = Some(format!(
+            "tile ({},{}) @pc={:#x}: {msg}",
+            self.xy.0, self.xy.1, self.pc
+        ));
         self.running = false;
     }
 
@@ -352,7 +429,14 @@ impl Tile {
                 return;
             };
             match (op, resp.kind) {
-                (PendingOp::Load { dsts, width, signed }, RespKind::Load { data, count }) => {
+                (
+                    PendingOp::Load {
+                        dsts,
+                        width,
+                        signed,
+                    },
+                    RespKind::Load { data, count },
+                ) => {
                     debug_assert_eq!(dsts.len(), count as usize);
                     for (i, dst) in dsts.iter().enumerate() {
                         let v = extend(data[i], width, signed);
@@ -401,13 +485,13 @@ impl Tile {
         let kind = match req.kind {
             ReqKind::Load { addr, width, count } => {
                 let mut data = [0u32; 4];
-                for i in 0..count as usize {
+                for (i, slot) in data.iter_mut().enumerate().take(count as usize) {
                     let a = addr + (i as u32) * u32::from(width);
-                    if a + u32::from(width) > self.cfg.spm_bytes {
-                        data[i] = 0;
+                    *slot = if a + u32::from(width) > self.cfg.spm_bytes {
+                        0
                     } else {
-                        data[i] = read_bytes(&self.spm, a, width);
-                    }
+                        read_bytes(&self.spm, a, width)
+                    };
                 }
                 RespKind::Load { data, count }
             }
@@ -424,10 +508,17 @@ impl Tile {
                 RespKind::AmoOld { data: old }
             }
         };
-        let resp = Response { op_id: req.op_id, kind };
+        let resp = Response {
+            op_id: req.op_id,
+            kind,
+        };
         self.resp_outbox.push_back((
             req.from.cell,
-            Packet { src: pkt.dst, dst: req.from.coord, payload: resp },
+            Packet {
+                src: pkt.dst,
+                dst: req.from.coord,
+                payload: resp,
+            },
         ));
     }
 
@@ -445,7 +536,11 @@ impl Tile {
                 coord: self.pgas.tile_coord(self.xy.0, self.xy.1),
             },
             op_id: c.op_id,
-            kind: ReqKind::Load { addr: c.base_addr, width: 4, count },
+            kind: ReqKind::Load {
+                addr: c.base_addr,
+                width: 4,
+                count,
+            },
         };
         self.req_outbox.push_back((
             c.dst_cell,
@@ -460,6 +555,7 @@ impl Tile {
 
     /// Issues a remote word load, possibly merging into the combining
     /// latch. Returns `false` if it must retry (no scoreboard/queue space).
+    #[allow(clippy::too_many_arguments)]
     fn issue_remote_load(
         &mut self,
         now: u64,
@@ -495,8 +591,14 @@ impl Tile {
                 return false;
             }
             let op_id = self.alloc_op_id();
-            self.pending_ops
-                .insert(op_id, PendingOp::Load { dsts: vec![dst], width, signed });
+            self.pending_ops.insert(
+                op_id,
+                PendingOp::Load {
+                    dsts: vec![dst],
+                    width,
+                    signed,
+                },
+            );
             self.combine = Some(Combine {
                 dst_cell: cell,
                 dst_coord: coord,
@@ -515,9 +617,24 @@ impl Tile {
             return false;
         }
         let op_id = self.alloc_op_id();
-        self.pending_ops
-            .insert(op_id, PendingOp::Load { dsts: vec![dst], width, signed });
-        self.send_request(cell, coord, op_id, ReqKind::Load { addr, width, count: 1 });
+        self.pending_ops.insert(
+            op_id,
+            PendingOp::Load {
+                dsts: vec![dst],
+                width,
+                signed,
+            },
+        );
+        self.send_request(
+            cell,
+            coord,
+            op_id,
+            ReqKind::Load {
+                addr,
+                width,
+                count: 1,
+            },
+        );
         self.mark_pending(dst);
         self.outstanding += 1;
         true
@@ -685,10 +802,17 @@ impl Tile {
                 self.penalty_kind = StallKind::BranchMiss;
                 self.stats.branch_misses += 1;
             }
-            I::Branch { op, rs1, rs2, offset } => {
+            I::Branch {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 self.stats.branches += 1;
-                let taken =
-                    op.taken(self.regs[rs1.index() as usize], self.regs[rs2.index() as usize]);
+                let taken = op.taken(
+                    self.regs[rs1.index() as usize],
+                    self.regs[rs2.index() as usize],
+                );
                 // Static BTFN: predict taken for backward targets.
                 let predicted_taken = offset < 0;
                 if taken {
@@ -711,7 +835,10 @@ impl Tile {
                 if op.is_muldiv() {
                     let lat = if matches!(
                         op,
-                        hb_isa::OpOp::Div | hb_isa::OpOp::Divu | hb_isa::OpOp::Rem | hb_isa::OpOp::Remu
+                        hb_isa::OpOp::Div
+                            | hb_isa::OpOp::Divu
+                            | hb_isa::OpOp::Rem
+                            | hb_isa::OpOp::Remu
                     ) {
                         self.div_busy_until = now + cfg.div_latency;
                         cfg.div_latency
@@ -735,7 +862,12 @@ impl Tile {
                 self.stats.instrs += 1;
                 self.stats.int_cycles += 1;
                 if let Some(t) = &self.trace {
-                    t.push(TraceEvent::Retire { cycle: now, tile: self.xy, pc: self.pc, instr });
+                    t.push(TraceEvent::Retire {
+                        cycle: now,
+                        tile: self.xy,
+                        pc: self.pc,
+                        instr,
+                    });
                 }
                 return;
             }
@@ -743,7 +875,12 @@ impl Tile {
                 self.trap("ebreak".to_owned());
                 return;
             }
-            I::Load { width, rd, rs1, offset } => {
+            I::Load {
+                width,
+                rd,
+                rs1,
+                offset,
+            } => {
                 let addr = self.regs[rs1.index() as usize].wrapping_add(offset as u32);
                 let signed = matches!(width, hb_isa::LoadWidth::B | hb_isa::LoadWidth::H);
                 if !self.do_load(now, addr, width.bytes() as u8, signed, Dst::Int(rd)) {
@@ -756,7 +893,12 @@ impl Tile {
                     return;
                 }
             }
-            I::Store { width, rs1, rs2, offset } => {
+            I::Store {
+                width,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 let addr = self.regs[rs1.index() as usize].wrapping_add(offset as u32);
                 let data = self.regs[rs2.index() as usize];
                 if !self.do_store(now, addr, width.bytes() as u8, data) {
@@ -770,7 +912,9 @@ impl Tile {
                     return;
                 }
             }
-            I::Amo { op, rd, rs1, rs2, .. } => {
+            I::Amo {
+                op, rd, rs1, rs2, ..
+            } => {
                 let addr = self.regs[rs1.index() as usize];
                 let data = self.regs[rs2.index() as usize];
                 if !self.do_amo(now, addr, op, data, rd) {
@@ -801,7 +945,13 @@ impl Tile {
                     _ => self.set_fp_latency(rd, now, cfg.fp_latency, StallKind::Bypass),
                 }
             }
-            I::Fma { op, rd, rs1, rs2, rs3 } => {
+            I::Fma {
+                op,
+                rd,
+                rs1,
+                rs2,
+                rs3,
+            } => {
                 fp_instr = true;
                 let a = self.fregs[rs1.index() as usize];
                 let b = self.fregs[rs2.index() as usize];
@@ -851,7 +1001,12 @@ impl Tile {
         }
 
         if let Some(t) = &self.trace {
-            t.push(TraceEvent::Retire { cycle: now, tile: self.xy, pc: self.pc, instr });
+            t.push(TraceEvent::Retire {
+                cycle: now,
+                tile: self.xy,
+                pc: self.pc,
+                instr,
+            });
         }
         self.pc = next_pc;
         self.stats.instrs += 1;
@@ -898,28 +1053,25 @@ impl Tile {
                 },
             ),
             I::Fence | I::Ecall | I::Ebreak => None,
-            I::Amo { rd, rs1, rs2, .. } => {
-                int(rs1).or_else(|| int(rs2)).or_else(|| int_dst(rd))
-            }
+            I::Amo { rd, rs1, rs2, .. } => int(rs1).or_else(|| int(rs2)).or_else(|| int_dst(rd)),
             I::LrW { rd, rs1, .. } => int(rs1).or_else(|| int_dst(rd)),
             I::ScW { rd, rs1, rs2, .. } => int(rs1).or_else(|| int(rs2)).or_else(|| int_dst(rd)),
             I::Flw { rd, rs1, .. } => int(rs1).or_else(|| fp_dst(rd)),
             I::Fsw { rs1, rs2, .. } => int(rs1).or_else(|| fp(rs2)),
-            I::FpOp { op, rd, rs1, rs2 } => fp(rs1)
+            I::FpOp { op, rd, rs1, rs2 } => fp(rs1).or_else(|| fp(rs2)).or_else(|| fp_dst(rd)).or(
+                if matches!(op, hb_isa::FpOp::Div | hb_isa::FpOp::Sqrt) && self.fpu_busy_until > now
+                {
+                    Some(StallKind::FpBusy)
+                } else {
+                    None
+                },
+            ),
+            I::Fma {
+                rd, rs1, rs2, rs3, ..
+            } => fp(rs1)
                 .or_else(|| fp(rs2))
-                .or_else(|| fp_dst(rd))
-                .or(
-                    if matches!(op, hb_isa::FpOp::Div | hb_isa::FpOp::Sqrt)
-                        && self.fpu_busy_until > now
-                    {
-                        Some(StallKind::FpBusy)
-                    } else {
-                        None
-                    },
-                ),
-            I::Fma { rd, rs1, rs2, rs3, .. } => {
-                fp(rs1).or_else(|| fp(rs2)).or_else(|| fp(rs3)).or_else(|| fp_dst(rd))
-            }
+                .or_else(|| fp(rs3))
+                .or_else(|| fp_dst(rd)),
             I::FpCmp { rd, rs1, rs2, .. } => fp(rs1).or_else(|| fp(rs2)).or_else(|| int_dst(rd)),
             I::FcvtWS { rd, rs1 } | I::FcvtWuS { rd, rs1 } => int_dst(rd).or_else(|| fp(rs1)),
             I::FcvtSW { rd, rs1 } | I::FcvtSWu { rd, rs1 } => int(rs1).or_else(|| fp_dst(rd)),
@@ -945,11 +1097,21 @@ impl Tile {
                 match dst {
                     Dst::Int(rd) => {
                         self.write_int(rd, v);
-                        self.set_int_latency(rd, now, self.cfg.spm_load_latency, StallKind::LocalLoad);
+                        self.set_int_latency(
+                            rd,
+                            now,
+                            self.cfg.spm_load_latency,
+                            StallKind::LocalLoad,
+                        );
                     }
                     Dst::Fp(rd) => {
                         self.fregs[rd.index() as usize] = f32::from_bits(v);
-                        self.set_fp_latency(rd, now, self.cfg.spm_load_latency, StallKind::LocalLoad);
+                        self.set_fp_latency(
+                            rd,
+                            now,
+                            self.cfg.spm_load_latency,
+                            StallKind::LocalLoad,
+                        );
                     }
                 }
                 true
@@ -1020,7 +1182,10 @@ impl Tile {
             Ok(Target::Csr { offset }) => match offset {
                 csr::BARRIER => {
                     if let Some(t) = &self.trace {
-                        t.push(TraceEvent::BarrierJoin { cycle: self.last_cycle, tile: self.xy });
+                        t.push(TraceEvent::BarrierJoin {
+                            cycle: self.last_cycle,
+                            tile: self.xy,
+                        });
                     }
                     self.wants_join = true;
                     self.barrier_waiting = true;
@@ -1109,7 +1274,11 @@ impl Tile {
                     self.pgas.cell_id,
                     coord,
                     op_id,
-                    ReqKind::Amo { addr: offset, op, data },
+                    ReqKind::Amo {
+                        addr: offset,
+                        op,
+                        data,
+                    },
                 );
                 if rd != Gpr::Zero {
                     self.int_pending[rd.index() as usize] = true;

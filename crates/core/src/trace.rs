@@ -6,10 +6,9 @@
 //! useful right after a [`SimError::Fault`](crate::SimError).
 
 use hb_isa::Instr;
-use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::fmt::Write as _;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// One traced event.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,18 +54,36 @@ pub enum TraceEvent {
 }
 
 impl TraceEvent {
-    fn render(&self) -> String {
+    /// One-line disassembled rendering of the event.
+    pub fn render(&self) -> String {
         match self {
-            TraceEvent::Retire { cycle, tile, pc, instr } => {
+            TraceEvent::Retire {
+                cycle,
+                tile,
+                pc,
+                instr,
+            } => {
                 format!("[{cycle:>8}] ({},{}) {pc:08x}: {instr}", tile.0, tile.1)
             }
-            TraceEvent::RemoteIssue { cycle, tile, op_id, what } => {
-                format!("[{cycle:>8}] ({},{}) -> net op#{op_id} {what}", tile.0, tile.1)
+            TraceEvent::RemoteIssue {
+                cycle,
+                tile,
+                op_id,
+                what,
+            } => {
+                format!(
+                    "[{cycle:>8}] ({},{}) -> net op#{op_id} {what}",
+                    tile.0, tile.1
+                )
             }
             TraceEvent::BarrierJoin { cycle, tile } => {
                 format!("[{cycle:>8}] ({},{}) barrier join", tile.0, tile.1)
             }
-            TraceEvent::Fault { cycle, tile, message } => {
+            TraceEvent::Fault {
+                cycle,
+                tile,
+                message,
+            } => {
                 format!("[{cycle:>8}] ({},{}) FAULT: {message}", tile.0, tile.1)
             }
         }
@@ -86,12 +103,18 @@ pub type TraceHandle = Arc<TraceBuffer>;
 impl TraceBuffer {
     /// Creates a buffer holding the most recent `capacity` events.
     pub fn new(capacity: usize) -> TraceHandle {
-        Arc::new(TraceBuffer { ring: Mutex::new(VecDeque::with_capacity(capacity)), capacity })
+        Arc::new(TraceBuffer {
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+        })
     }
 
     /// Appends an event, evicting the oldest when full.
     pub fn push(&self, ev: TraceEvent) {
-        let mut ring = self.ring.lock();
+        if self.capacity == 0 {
+            return;
+        }
+        let mut ring = self.ring.lock().unwrap();
         if ring.len() == self.capacity {
             ring.pop_front();
         }
@@ -100,23 +123,37 @@ impl TraceBuffer {
 
     /// Number of retained events.
     pub fn len(&self) -> usize {
-        self.ring.lock().len()
+        self.ring.lock().unwrap().len()
     }
 
     /// Whether nothing has been traced.
     pub fn is_empty(&self) -> bool {
-        self.ring.lock().is_empty()
+        self.ring.lock().unwrap().is_empty()
+    }
+
+    /// Configured ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Snapshot of the retained events, oldest first.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.ring.lock().iter().cloned().collect()
+        self.ring.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Removes and returns all retained events, oldest first.
+    ///
+    /// Consumers that must observe *every* event (e.g. the lockstep
+    /// co-simulation checker) drain the ring each cycle so nothing is
+    /// evicted between observations.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        self.ring.lock().unwrap().drain(..).collect()
     }
 
     /// Renders the retained events, one line each, oldest first.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        for ev in self.ring.lock().iter() {
+        for ev in self.ring.lock().unwrap().iter() {
             let _ = writeln!(out, "{}", ev.render());
         }
         out
@@ -158,9 +195,115 @@ mod tests {
     fn render_disassembles() {
         let t = TraceBuffer::new(4);
         t.push(retire(5));
-        t.push(TraceEvent::Fault { cycle: 6, tile: (0, 0), message: "boom".into() });
+        t.push(TraceEvent::Fault {
+            cycle: 6,
+            tile: (0, 0),
+            message: "boom".into(),
+        });
         let text = t.render();
         assert!(text.contains("addi a0, a0, 1"));
         assert!(text.contains("FAULT: boom"));
+    }
+
+    #[test]
+    fn drain_empties_the_ring_and_preserves_order() {
+        let t = TraceBuffer::new(8);
+        for c in 0..5 {
+            t.push(retire(c));
+        }
+        assert_eq!(t.len(), 5);
+        assert!(!t.is_empty());
+        let drained = t.drain();
+        assert_eq!(drained.len(), 5);
+        for (i, ev) in drained.iter().enumerate() {
+            assert!(
+                matches!(ev, TraceEvent::Retire { cycle, .. } if *cycle == i as u64),
+                "drain must keep oldest-first order"
+            );
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.drain(), vec![], "second drain finds nothing");
+        // The ring keeps working after a drain.
+        t.push(retire(9));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn mixed_event_kinds_keep_push_order() {
+        let t = TraceBuffer::new(8);
+        t.push(retire(1));
+        t.push(TraceEvent::RemoteIssue {
+            cycle: 2,
+            tile: (1, 2),
+            op_id: 7,
+            what: "load x4 @0x80001234".into(),
+        });
+        t.push(TraceEvent::BarrierJoin {
+            cycle: 3,
+            tile: (1, 2),
+        });
+        t.push(retire(4));
+        let evs = t.events();
+        assert!(matches!(evs[0], TraceEvent::Retire { cycle: 1, .. }));
+        assert!(matches!(
+            evs[1],
+            TraceEvent::RemoteIssue {
+                cycle: 2,
+                op_id: 7,
+                ..
+            }
+        ));
+        assert!(matches!(evs[2], TraceEvent::BarrierJoin { cycle: 3, .. }));
+        assert!(matches!(evs[3], TraceEvent::Retire { cycle: 4, .. }));
+        // events() is a snapshot, not a drain.
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn dump_formats_every_event_kind() {
+        let t = TraceBuffer::new(8);
+        t.push(retire(12));
+        t.push(TraceEvent::RemoteIssue {
+            cycle: 13,
+            tile: (3, 4),
+            op_id: 42,
+            what: "amoadd @0x80000040".into(),
+        });
+        t.push(TraceEvent::BarrierJoin {
+            cycle: 14,
+            tile: (3, 4),
+        });
+        t.push(TraceEvent::Fault {
+            cycle: 15,
+            tile: (0, 7),
+            message: "ebreak".into(),
+        });
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "one line per event:\n{text}");
+        assert!(
+            lines[0].contains("(1,2) 00000030: addi a0, a0, 1"),
+            "{}",
+            lines[0]
+        );
+        assert!(
+            lines[1].contains("(3,4) -> net op#42 amoadd @0x80000040"),
+            "{}",
+            lines[1]
+        );
+        assert!(lines[2].contains("(3,4) barrier join"), "{}", lines[2]);
+        assert!(lines[3].contains("(0,7) FAULT: ebreak"), "{}", lines[3]);
+        // Cycle columns are right-aligned to 8 so dumps line up.
+        assert!(lines[0].starts_with("[      12]"), "{}", lines[0]);
+    }
+
+    #[test]
+    fn capacity_is_reported_and_zero_capacity_holds_nothing() {
+        let t = TraceBuffer::new(16);
+        assert_eq!(t.capacity(), 16);
+        assert!(t.is_empty());
+        let z = TraceBuffer::new(0);
+        z.push(retire(1));
+        assert_eq!(z.len(), 0, "a zero-capacity ring drops everything");
     }
 }

@@ -8,7 +8,10 @@ use hb_isa::Gpr::*;
 use std::sync::Arc;
 
 fn cfg() -> MachineConfig {
-    MachineConfig { cell_dim: CellDim { x: 4, y: 2 }, ..MachineConfig::baseline_16x8() }
+    MachineConfig {
+        cell_dim: CellDim { x: 4, y: 2 },
+        ..MachineConfig::baseline_16x8()
+    }
 }
 
 #[test]
@@ -42,7 +45,10 @@ fn lpc_burst_across_line_boundary_is_correct() {
     m.launch(0, &p, &[pgas::local_dram(start), pgas::local_dram(out)]);
     m.run(100_000).unwrap();
     m.cell_mut(0).flush_caches();
-    assert_eq!(m.cell(0).dram().read_u32(out), 0x100 + 0x101 + 0x102 + 0x103);
+    assert_eq!(
+        m.cell(0).dram().read_u32(out),
+        0x100 + 0x101 + 0x102 + 0x103
+    );
 }
 
 #[test]
@@ -240,7 +246,10 @@ fn tracing_captures_retires_and_faults() {
     m.launch(0, &p, &[]);
     assert!(matches!(m.run(10_000), Err(hb_core::SimError::Fault(_))));
     let text = trace.render();
-    assert!(text.contains("addi t0, zero, 3"), "trace missing retire:\n{text}");
+    assert!(
+        text.contains("addi t0, zero, 3"),
+        "trace missing retire:\n{text}"
+    );
     assert!(text.contains("FAULT"), "trace missing fault:\n{text}");
 }
 

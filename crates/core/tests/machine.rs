@@ -7,7 +7,10 @@ use hb_isa::Gpr::*;
 use std::sync::Arc;
 
 fn small_cfg() -> MachineConfig {
-    MachineConfig { cell_dim: CellDim { x: 4, y: 2 }, ..MachineConfig::baseline_16x8() }
+    MachineConfig {
+        cell_dim: CellDim { x: 4, y: 2 },
+        ..MachineConfig::baseline_16x8()
+    }
 }
 
 fn machine(cfg: MachineConfig) -> Machine {
@@ -103,7 +106,11 @@ fn parallel_for_sums_array() {
     m.launch(
         0,
         &p,
-        &[pgas::local_dram(q0), pgas::local_dram(input), pgas::local_dram(result)],
+        &[
+            pgas::local_dram(q0),
+            pgas::local_dram(input),
+            pgas::local_dram(result),
+        ],
     );
     m.run(2_000_000).unwrap();
     m.cell_mut(0).flush_caches();
@@ -120,7 +127,7 @@ fn group_spm_neighbor_exchange() {
     a.tg_rank(S0, T6);
     a.csr_load(T0, pgas::csr::TILE_X, T6); // x
     a.csr_load(T1, pgas::csr::TILE_Y, T6); // y
-    // neighbor x = (x+1) % 4
+                                           // neighbor x = (x+1) % 4
     a.addi(T0, T0, 1);
     a.andi(T0, T0, 3);
     // EVA = (1<<30) | y<<24 | x<<18 | 0x200
@@ -395,11 +402,19 @@ fn producer_consumer_across_cells() {
     a.ecall();
     let consumer = Arc::new(a.assemble(0).unwrap());
 
-    m.launch(0, &producer, &[pgas::group_dram(1, data), pgas::group_dram(1, flag)]);
+    m.launch(
+        0,
+        &producer,
+        &[pgas::group_dram(1, data), pgas::group_dram(1, flag)],
+    );
     m.launch(
         1,
         &consumer,
-        &[pgas::local_dram(data), pgas::local_dram(flag), pgas::local_dram(out)],
+        &[
+            pgas::local_dram(data),
+            pgas::local_dram(flag),
+            pgas::local_dram(out),
+        ],
     );
     m.run(5_000_000).unwrap();
     m.cell_mut(1).flush_caches();
@@ -486,8 +501,14 @@ fn tile_groups_partition_the_cell() {
     let p = Arc::new(a.assemble(0).unwrap());
 
     let out = m.cell_mut(0).alloc(8 * 4, 64);
-    let g0 = GroupSpec { origin: (0, 0), dim: (2, 2) };
-    let g1 = GroupSpec { origin: (2, 0), dim: (2, 2) };
+    let g0 = GroupSpec {
+        origin: (0, 0),
+        dim: (2, 2),
+    };
+    let g1 = GroupSpec {
+        origin: (2, 0),
+        dim: (2, 2),
+    };
     let base0 = pgas::local_dram(out);
     let base1 = pgas::local_dram(out + 16);
     m.launch_groups(0, &p, &[(g0, vec![base0]), (g1, vec![base1])]);

@@ -19,13 +19,34 @@ pub struct AreaComponent {
 /// Proportions follow the paper's Figure 2 inset: SRAMs dominate, the
 /// Ruche-augmented router adds ~4% to the tile.
 pub const TILE_BREAKDOWN_14NM: [AreaComponent; 7] = [
-    AreaComponent { name: "scratchpad (4KB)", um2_14nm: 9_900.0 },
-    AreaComponent { name: "icache (4KB+tags)", um2_14nm: 8_700.0 },
-    AreaComponent { name: "fpu", um2_14nm: 6_400.0 },
-    AreaComponent { name: "int core + regfile", um2_14nm: 6_100.0 },
-    AreaComponent { name: "router (mesh part)", um2_14nm: 3_800.0 },
-    AreaComponent { name: "router (ruche adders)", um2_14nm: 1_500.0 },
-    AreaComponent { name: "network interface + scoreboard", um2_14nm: 1_400.0 },
+    AreaComponent {
+        name: "scratchpad (4KB)",
+        um2_14nm: 9_900.0,
+    },
+    AreaComponent {
+        name: "icache (4KB+tags)",
+        um2_14nm: 8_700.0,
+    },
+    AreaComponent {
+        name: "fpu",
+        um2_14nm: 6_400.0,
+    },
+    AreaComponent {
+        name: "int core + regfile",
+        um2_14nm: 6_100.0,
+    },
+    AreaComponent {
+        name: "router (mesh part)",
+        um2_14nm: 3_800.0,
+    },
+    AreaComponent {
+        name: "router (ruche adders)",
+        um2_14nm: 1_500.0,
+    },
+    AreaComponent {
+        name: "network interface + scoreboard",
+        um2_14nm: 1_400.0,
+    },
 ];
 
 /// Area scale factor from 14/16 nm to the 3 nm node (lithography scaling
@@ -97,13 +118,19 @@ mod tests {
     #[test]
     fn ruche_costs_four_percent_of_tile() {
         let f = ruche_area_overhead();
-        assert!((0.03..0.05).contains(&f), "ruche tile overhead {f:.3} (paper: ~4%)");
+        assert!(
+            (0.03..0.05).contains(&f),
+            "ruche tile overhead {f:.3} (paper: ~4%)"
+        );
     }
 
     #[test]
     fn ruche_costs_forty_percent_of_router() {
         let f = ruche_router_overhead();
-        assert!((0.3..0.5).contains(&f), "ruche router overhead {f:.2} (paper: ~40%)");
+        assert!(
+            (0.3..0.5).contains(&f),
+            "ruche router overhead {f:.2} (paper: ~40%)"
+        );
     }
 
     #[test]

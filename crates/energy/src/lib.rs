@@ -110,14 +110,32 @@ fn hb_fu(class: InstrClass) -> f64 {
 /// HammerBlade EPI breakdown for one instruction class.
 pub fn hammerblade_epi(class: InstrClass) -> EpiBreakdown {
     let mut components = vec![
-        Component { name: "ifetch", pj: HB_IFETCH },
-        Component { name: "decode+ctrl", pj: HB_DECODE },
-        Component { name: "regfile", pj: HB_REGFILE },
-        Component { name: "fu", pj: hb_fu(class) },
-        Component { name: "clock", pj: HB_CLOCK },
+        Component {
+            name: "ifetch",
+            pj: HB_IFETCH,
+        },
+        Component {
+            name: "decode+ctrl",
+            pj: HB_DECODE,
+        },
+        Component {
+            name: "regfile",
+            pj: HB_REGFILE,
+        },
+        Component {
+            name: "fu",
+            pj: hb_fu(class),
+        },
+        Component {
+            name: "clock",
+            pj: HB_CLOCK,
+        },
     ];
     if matches!(class, InstrClass::Load | InstrClass::Store) {
-        components.push(Component { name: "spm", pj: HB_SPM });
+        components.push(Component {
+            name: "spm",
+            pj: HB_SPM,
+        });
     }
     EpiBreakdown { class, components }
 }
@@ -202,7 +220,10 @@ mod tests {
 
     #[test]
     fn ratios_span_the_papers_range() {
-        let ratios: Vec<f64> = InstrClass::ALL.iter().map(|&c| efficiency_ratio(c)).collect();
+        let ratios: Vec<f64> = InstrClass::ALL
+            .iter()
+            .map(|&c| efficiency_ratio(c))
+            .collect();
         let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = ratios.iter().cloned().fold(0.0, f64::max);
         assert!(
@@ -240,9 +261,16 @@ mod tests {
 
     #[test]
     fn kernel_energy_accumulates() {
-        let ev = KernelEvents { int_instrs: 1000, dram_lines: 10, ..KernelEvents::default() };
+        let ev = KernelEvents {
+            int_instrs: 1000,
+            dram_lines: 10,
+            ..KernelEvents::default()
+        };
         let base = kernel_energy_nj(&ev);
-        let more = kernel_energy_nj(&KernelEvents { int_instrs: 2000, ..ev });
+        let more = kernel_energy_nj(&KernelEvents {
+            int_instrs: 2000,
+            ..ev
+        });
         assert!(more > base);
     }
 }

@@ -19,8 +19,7 @@
 //! (instruction and memory-access counts from the HB simulator) into
 //! hierarchical-machine execution time.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hb_rng::Rng;
 
 /// Configuration of the hierarchical machine.
 #[derive(Debug, Clone, PartialEq)]
@@ -148,9 +147,7 @@ impl HierMachine {
 
         // Inter-shire traffic: random accesses cross shires with
         // probability (shires-1)/shires and move a whole link block each.
-        let cross = (w.mem_accesses as f64
-            * w.random_fraction
-            * (cfg.shires as f64 - 1.0)
+        let cross = (w.mem_accesses as f64 * w.random_fraction * (cfg.shires as f64 - 1.0)
             / cfg.shires as f64) as u64;
         let noc = cross * u64::from(cfg.link_bytes_per_cycle)
             / (cfg.bisection_links as u64 * u64::from(cfg.link_bytes_per_cycle));
@@ -174,7 +171,11 @@ impl HierMachine {
         // Algorithmic synchronization applies to any machine running the
         // same phased algorithm.
         cycles = (cycles as f64 / (1.0 - w.sync_fraction)) as u64;
-        HierEstimate { cycles: cycles.max(1), bottleneck, miss_rate }
+        HierEstimate {
+            cycles: cycles.max(1),
+            bottleneck,
+            miss_rate,
+        }
     }
 
     /// Cycles to move `bytes` of data between two shires when the data is
@@ -208,14 +209,20 @@ impl BlockChannel {
     /// Creates a channel of `block_bytes` width with a queue of word
     /// addresses to deliver.
     pub fn new(block_bytes: u32, word_addrs: Vec<u32>) -> BlockChannel {
-        BlockChannel { block_bytes, queue: word_addrs, cursor: 0, cycle: 0, useful_bytes: 0 }
+        BlockChannel {
+            block_bytes,
+            queue: word_addrs,
+            cursor: 0,
+            cycle: 0,
+            useful_bytes: 0,
+        }
     }
 
     /// Generates `words` random word addresses in a `span`-byte window
     /// (the Figure 3 scenario: 1 MB of sparse random data).
     pub fn random_workload(words: usize, span: u32, seed: u64) -> Vec<u32> {
-        let mut rng = StdRng::seed_from_u64(seed);
-        (0..words).map(|_| rng.random_range(0..span / 4) * 4).collect()
+        let mut rng = Rng::seed_from_u64(seed);
+        (0..words).map(|_| rng.range_u32(0, span / 4) * 4).collect()
     }
 
     /// Whether all words have been delivered.
@@ -234,8 +241,7 @@ impl BlockChannel {
         }
         let block = self.queue[self.cursor] / self.block_bytes;
         let mut carried = 0u32;
-        while self.cursor < self.queue.len()
-            && self.queue[self.cursor] / self.block_bytes == block
+        while self.cursor < self.queue.len() && self.queue[self.cursor] / self.block_bytes == block
         {
             self.cursor += 1;
             carried += 4;
@@ -320,8 +326,14 @@ mod tests {
 
     #[test]
     fn large_l2_reduces_misses() {
-        let small = HierMachine::new(HierConfig { l2_per_shire: 1 << 20, ..HierConfig::default() });
-        let big = HierMachine::new(HierConfig { l2_per_shire: 64 << 20, ..HierConfig::default() });
+        let small = HierMachine::new(HierConfig {
+            l2_per_shire: 1 << 20,
+            ..HierConfig::default()
+        });
+        let big = HierMachine::new(HierConfig {
+            l2_per_shire: 64 << 20,
+            ..HierConfig::default()
+        });
         let w = WorkloadProfile {
             instrs: 10_000_000,
             mem_accesses: 5_000_000,

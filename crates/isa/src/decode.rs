@@ -110,14 +110,27 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
     let err = Err(DecodeError { word });
     let opc = word & 0x7f;
     let instr = match opc {
-        OPC_LUI => Instr::Lui { rd: rd(word), imm: imm_u(word) },
-        OPC_AUIPC => Instr::Auipc { rd: rd(word), imm: imm_u(word) },
-        OPC_JAL => Instr::Jal { rd: rd(word), offset: imm_j(word) },
+        OPC_LUI => Instr::Lui {
+            rd: rd(word),
+            imm: imm_u(word),
+        },
+        OPC_AUIPC => Instr::Auipc {
+            rd: rd(word),
+            imm: imm_u(word),
+        },
+        OPC_JAL => Instr::Jal {
+            rd: rd(word),
+            offset: imm_j(word),
+        },
         OPC_JALR => {
             if funct3(word) != 0 {
                 return err;
             }
-            Instr::Jalr { rd: rd(word), rs1: rs1(word), offset: imm_i(word) }
+            Instr::Jalr {
+                rd: rd(word),
+                rs1: rs1(word),
+                offset: imm_i(word),
+            }
         }
         OPC_BRANCH => {
             let f3 = funct3(word);
@@ -125,7 +138,12 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
                 .into_iter()
                 .find(|op| op.funct3() == f3)
                 .ok_or(DecodeError { word })?;
-            Instr::Branch { op, rs1: rs1(word), rs2: rs2(word), offset: imm_b(word) }
+            Instr::Branch {
+                op,
+                rs1: rs1(word),
+                rs2: rs2(word),
+                offset: imm_b(word),
+            }
         }
         OPC_LOAD => {
             let f3 = funct3(word);
@@ -133,7 +151,12 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
                 .into_iter()
                 .find(|wd| wd.funct3() == f3)
                 .ok_or(DecodeError { word })?;
-            Instr::Load { width, rd: rd(word), rs1: rs1(word), offset: imm_i(word) }
+            Instr::Load {
+                width,
+                rd: rd(word),
+                rs1: rs1(word),
+                offset: imm_i(word),
+            }
         }
         OPC_STORE => {
             let f3 = funct3(word);
@@ -141,7 +164,12 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
                 .into_iter()
                 .find(|wd| wd.funct3() == f3)
                 .ok_or(DecodeError { word })?;
-            Instr::Store { width, rs1: rs1(word), rs2: rs2(word), offset: imm_s(word) }
+            Instr::Store {
+                width,
+                rs1: rs1(word),
+                rs2: rs2(word),
+                offset: imm_s(word),
+            }
         }
         OPC_OP_IMM => {
             let f3 = funct3(word);
@@ -170,7 +198,12 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
             } else {
                 imm_i(word)
             };
-            Instr::OpImm { op, rd: rd(word), rs1: rs1(word), imm }
+            Instr::OpImm {
+                op,
+                rd: rd(word),
+                rs1: rs1(word),
+                imm,
+            }
         }
         OPC_OP => {
             let (f3, f7) = (funct3(word), funct7(word));
@@ -178,7 +211,12 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
                 .into_iter()
                 .find(|op| op.funct3() == f3 && op.funct7() == f7)
                 .ok_or(DecodeError { word })?;
-            Instr::Op { op, rd: rd(word), rs1: rs1(word), rs2: rs2(word) }
+            Instr::Op {
+                op,
+                rd: rd(word),
+                rs1: rs1(word),
+                rs2: rs2(word),
+            }
         }
         OPC_MISC_MEM => Instr::Fence,
         OPC_SYSTEM => match word >> 20 {
@@ -199,15 +237,33 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
                     if rs2(word) != Gpr::Zero {
                         return err;
                     }
-                    Instr::LrW { rd: rd(word), rs1: rs1(word), aq, rl }
+                    Instr::LrW {
+                        rd: rd(word),
+                        rs1: rs1(word),
+                        aq,
+                        rl,
+                    }
                 }
-                0b00011 => Instr::ScW { rd: rd(word), rs1: rs1(word), rs2: rs2(word), aq, rl },
+                0b00011 => Instr::ScW {
+                    rd: rd(word),
+                    rs1: rs1(word),
+                    rs2: rs2(word),
+                    aq,
+                    rl,
+                },
                 _ => {
                     let op = AmoOp::ALL
                         .into_iter()
                         .find(|op| op.funct5() == f5)
                         .ok_or(DecodeError { word })?;
-                    Instr::Amo { op, rd: rd(word), rs1: rs1(word), rs2: rs2(word), aq, rl }
+                    Instr::Amo {
+                        op,
+                        rd: rd(word),
+                        rs1: rs1(word),
+                        rs2: rs2(word),
+                        aq,
+                        rl,
+                    }
                 }
             }
         }
@@ -215,13 +271,21 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
             if funct3(word) != 0b010 {
                 return err;
             }
-            Instr::Flw { rd: frd(word), rs1: rs1(word), offset: imm_i(word) }
+            Instr::Flw {
+                rd: frd(word),
+                rs1: rs1(word),
+                offset: imm_i(word),
+            }
         }
         OPC_STORE_FP => {
             if funct3(word) != 0b010 {
                 return err;
             }
-            Instr::Fsw { rs1: rs1(word), rs2: frs2(word), offset: imm_s(word) }
+            Instr::Fsw {
+                rs1: rs1(word),
+                rs2: frs2(word),
+                offset: imm_s(word),
+            }
         }
         OPC_MADD | OPC_MSUB | OPC_NMSUB | OPC_NMADD => {
             if (word >> 25) & 0x3 != 0 {
@@ -233,7 +297,13 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
                 OPC_NMSUB => FmaOp::Nmsub,
                 _ => FmaOp::Nmadd,
             };
-            Instr::Fma { op, rd: frd(word), rs1: frs1(word), rs2: frs2(word), rs3: frs3(word) }
+            Instr::Fma {
+                op,
+                rd: frd(word),
+                rs1: frs1(word),
+                rs2: frs2(word),
+                rs3: frs3(word),
+            }
         }
         OPC_OP_FP => decode_op_fp(word)?,
         _ => return err,
@@ -247,15 +317,40 @@ fn decode_op_fp(word: u32) -> Result<Instr, DecodeError> {
     let f3 = funct3(word);
     let rs2_field = (word >> 20) & 0x1f;
     let instr = match f7 {
-        0b000_0000 => Instr::FpOp { op: FpOp::Add, rd: frd(word), rs1: frs1(word), rs2: frs2(word) },
-        0b000_0100 => Instr::FpOp { op: FpOp::Sub, rd: frd(word), rs1: frs1(word), rs2: frs2(word) },
-        0b000_1000 => Instr::FpOp { op: FpOp::Mul, rd: frd(word), rs1: frs1(word), rs2: frs2(word) },
-        0b000_1100 => Instr::FpOp { op: FpOp::Div, rd: frd(word), rs1: frs1(word), rs2: frs2(word) },
+        0b000_0000 => Instr::FpOp {
+            op: FpOp::Add,
+            rd: frd(word),
+            rs1: frs1(word),
+            rs2: frs2(word),
+        },
+        0b000_0100 => Instr::FpOp {
+            op: FpOp::Sub,
+            rd: frd(word),
+            rs1: frs1(word),
+            rs2: frs2(word),
+        },
+        0b000_1000 => Instr::FpOp {
+            op: FpOp::Mul,
+            rd: frd(word),
+            rs1: frs1(word),
+            rs2: frs2(word),
+        },
+        0b000_1100 => Instr::FpOp {
+            op: FpOp::Div,
+            rd: frd(word),
+            rs1: frs1(word),
+            rs2: frs2(word),
+        },
         0b010_1100 => {
             if rs2_field != 0 {
                 return err;
             }
-            Instr::FpOp { op: FpOp::Sqrt, rd: frd(word), rs1: frs1(word), rs2: Fpr::Ft0 }
+            Instr::FpOp {
+                op: FpOp::Sqrt,
+                rd: frd(word),
+                rs1: frs1(word),
+                rs2: Fpr::Ft0,
+            }
         }
         0b001_0000 => {
             let op = match f3 {
@@ -264,7 +359,12 @@ fn decode_op_fp(word: u32) -> Result<Instr, DecodeError> {
                 0b010 => FpOp::Sgnjx,
                 _ => return err,
             };
-            Instr::FpOp { op, rd: frd(word), rs1: frs1(word), rs2: frs2(word) }
+            Instr::FpOp {
+                op,
+                rd: frd(word),
+                rs1: frs1(word),
+                rs2: frs2(word),
+            }
         }
         0b001_0100 => {
             let op = match f3 {
@@ -272,7 +372,12 @@ fn decode_op_fp(word: u32) -> Result<Instr, DecodeError> {
                 0b001 => FpOp::Max,
                 _ => return err,
             };
-            Instr::FpOp { op, rd: frd(word), rs1: frs1(word), rs2: frs2(word) }
+            Instr::FpOp {
+                op,
+                rd: frd(word),
+                rs1: frs1(word),
+                rs2: frs2(word),
+            }
         }
         0b101_0000 => {
             let op = match f3 {
@@ -281,29 +386,52 @@ fn decode_op_fp(word: u32) -> Result<Instr, DecodeError> {
                 0b000 => FpCmp::Le,
                 _ => return err,
             };
-            Instr::FpCmp { op, rd: rd(word), rs1: frs1(word), rs2: frs2(word) }
+            Instr::FpCmp {
+                op,
+                rd: rd(word),
+                rs1: frs1(word),
+                rs2: frs2(word),
+            }
         }
         0b110_0000 => match rs2_field {
-            0 => Instr::FcvtWS { rd: rd(word), rs1: frs1(word) },
-            1 => Instr::FcvtWuS { rd: rd(word), rs1: frs1(word) },
+            0 => Instr::FcvtWS {
+                rd: rd(word),
+                rs1: frs1(word),
+            },
+            1 => Instr::FcvtWuS {
+                rd: rd(word),
+                rs1: frs1(word),
+            },
             _ => return err,
         },
         0b110_1000 => match rs2_field {
-            0 => Instr::FcvtSW { rd: frd(word), rs1: rs1(word) },
-            1 => Instr::FcvtSWu { rd: frd(word), rs1: rs1(word) },
+            0 => Instr::FcvtSW {
+                rd: frd(word),
+                rs1: rs1(word),
+            },
+            1 => Instr::FcvtSWu {
+                rd: frd(word),
+                rs1: rs1(word),
+            },
             _ => return err,
         },
         0b111_0000 => {
             if rs2_field != 0 || f3 != 0 {
                 return err;
             }
-            Instr::FmvXW { rd: rd(word), rs1: frs1(word) }
+            Instr::FmvXW {
+                rd: rd(word),
+                rs1: frs1(word),
+            }
         }
         0b111_1000 => {
             if rs2_field != 0 || f3 != 0 {
                 return err;
             }
-            Instr::FmvWX { rd: frd(word), rs1: rs1(word) }
+            Instr::FmvWX {
+                rd: frd(word),
+                rs1: rs1(word),
+            }
         }
         _ => return err,
     };
@@ -326,16 +454,34 @@ mod tests {
     #[test]
     fn decode_negative_immediates() {
         // addi a0, a0, -1
-        let i = Instr::OpImm { op: OpImmOp::Addi, rd: A0, rs1: A0, imm: -1 };
+        let i = Instr::OpImm {
+            op: OpImmOp::Addi,
+            rd: A0,
+            rs1: A0,
+            imm: -1,
+        };
         assert_eq!(decode(i.encode()), Ok(i));
         // lw t0, -64(sp)
-        let i = Instr::Load { width: LoadWidth::W, rd: T0, rs1: Sp, offset: -64 };
+        let i = Instr::Load {
+            width: LoadWidth::W,
+            rd: T0,
+            rs1: Sp,
+            offset: -64,
+        };
         assert_eq!(decode(i.encode()), Ok(i));
         // jal ra, -1048576 (minimum J offset)
-        let i = Instr::Jal { rd: Ra, offset: -(1 << 20) };
+        let i = Instr::Jal {
+            rd: Ra,
+            offset: -(1 << 20),
+        };
         assert_eq!(decode(i.encode()), Ok(i));
         // beq with minimum B offset
-        let i = Instr::Branch { op: BranchOp::Eq, rs1: A0, rs2: A1, offset: -4096 };
+        let i = Instr::Branch {
+            op: BranchOp::Eq,
+            rs1: A0,
+            rs2: A1,
+            offset: -4096,
+        };
         assert_eq!(decode(i.encode()), Ok(i));
     }
 
@@ -348,9 +494,20 @@ mod tests {
 
     #[test]
     fn decode_lr_sc() {
-        let i = Instr::LrW { rd: A0, rs1: A1, aq: true, rl: false };
+        let i = Instr::LrW {
+            rd: A0,
+            rs1: A1,
+            aq: true,
+            rl: false,
+        };
         assert_eq!(decode(i.encode()), Ok(i));
-        let i = Instr::ScW { rd: A0, rs1: A1, rs2: A2, aq: false, rl: true };
+        let i = Instr::ScW {
+            rd: A0,
+            rs1: A1,
+            rs2: A2,
+            aq: false,
+            rl: true,
+        };
         assert_eq!(decode(i.encode()), Ok(i));
     }
 }

@@ -24,8 +24,18 @@ impl fmt::Display for Instr {
             Instr::Auipc { rd, imm } => write!(f, "auipc {rd}, {:#x}", imm & 0xfffff),
             Instr::Jal { rd, offset } => write!(f, "jal {rd}, {offset}"),
             Instr::Jalr { rd, rs1, offset } => write!(f, "jalr {rd}, {offset}({rs1})"),
-            Instr::Branch { op, rs1, rs2, offset } => write!(f, "{op} {rs1}, {rs2}, {offset}"),
-            Instr::Load { width, rd, rs1, offset } => {
+            Instr::Branch {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => write!(f, "{op} {rs1}, {rs2}, {offset}"),
+            Instr::Load {
+                width,
+                rd,
+                rs1,
+                offset,
+            } => {
                 let m = match width {
                     LoadWidth::B => "lb",
                     LoadWidth::H => "lh",
@@ -35,7 +45,12 @@ impl fmt::Display for Instr {
                 };
                 write!(f, "{m} {rd}, {offset}({rs1})")
             }
-            Instr::Store { width, rs1, rs2, offset } => {
+            Instr::Store {
+                width,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 let m = match width {
                     StoreWidth::B => "sb",
                     StoreWidth::H => "sh",
@@ -83,7 +98,14 @@ impl fmt::Display for Instr {
             Instr::Fence => f.write_str("fence"),
             Instr::Ecall => f.write_str("ecall"),
             Instr::Ebreak => f.write_str("ebreak"),
-            Instr::Amo { op, rd, rs1, rs2, aq, rl } => {
+            Instr::Amo {
+                op,
+                rd,
+                rs1,
+                rs2,
+                aq,
+                rl,
+            } => {
                 let m = match op {
                     AmoOp::Swap => "amoswap.w",
                     AmoOp::Add => "amoadd.w",
@@ -98,7 +120,13 @@ impl fmt::Display for Instr {
                 write!(f, "{m}{} {rd}, {rs2}, ({rs1})", aqrl(aq, rl))
             }
             Instr::LrW { rd, rs1, aq, rl } => write!(f, "lr.w{} {rd}, ({rs1})", aqrl(aq, rl)),
-            Instr::ScW { rd, rs1, rs2, aq, rl } => {
+            Instr::ScW {
+                rd,
+                rs1,
+                rs2,
+                aq,
+                rl,
+            } => {
                 write!(f, "sc.w{} {rd}, {rs2}, ({rs1})", aqrl(aq, rl))
             }
             Instr::Flw { rd, rs1, offset } => write!(f, "flw {rd}, {offset}({rs1})"),
@@ -118,7 +146,13 @@ impl fmt::Display for Instr {
                 };
                 write!(f, "{m} {rd}, {rs1}, {rs2}")
             }
-            Instr::Fma { op, rd, rs1, rs2, rs3 } => {
+            Instr::Fma {
+                op,
+                rd,
+                rs1,
+                rs2,
+                rs3,
+            } => {
                 let m = match op {
                     FmaOp::Madd => "fmadd.s",
                     FmaOp::Msub => "fmsub.s",
@@ -161,13 +195,36 @@ mod tests {
 
     #[test]
     fn disasm_formats() {
-        let i = Instr::Op { op: OpOp::Add, rd: A0, rs1: A1, rs2: A2 };
+        let i = Instr::Op {
+            op: OpOp::Add,
+            rd: A0,
+            rs1: A1,
+            rs2: A2,
+        };
         assert_eq!(i.to_string(), "add a0, a1, a2");
-        let i = Instr::Load { width: LoadWidth::W, rd: T0, rs1: Sp, offset: -4 };
+        let i = Instr::Load {
+            width: LoadWidth::W,
+            rd: T0,
+            rs1: Sp,
+            offset: -4,
+        };
         assert_eq!(i.to_string(), "lw t0, -4(sp)");
-        let i = Instr::Fma { op: FmaOp::Madd, rd: Fa0, rs1: Fa1, rs2: Fa2, rs3: Fa3 };
+        let i = Instr::Fma {
+            op: FmaOp::Madd,
+            rd: Fa0,
+            rs1: Fa1,
+            rs2: Fa2,
+            rs3: Fa3,
+        };
         assert_eq!(i.to_string(), "fmadd.s fa0, fa1, fa2, fa3");
-        let i = Instr::Amo { op: AmoOp::Add, rd: A0, rs1: A2, rs2: A1, aq: true, rl: true };
+        let i = Instr::Amo {
+            op: AmoOp::Add,
+            rd: A0,
+            rs1: A2,
+            rs2: A1,
+            aq: true,
+            rl: true,
+        };
         assert_eq!(i.to_string(), "amoadd.w.aqrl a0, a1, (a2)");
     }
 }

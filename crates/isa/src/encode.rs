@@ -45,12 +45,18 @@ fn r_type(opc: u32, f7: u32, f3: u32, d: u8, s1: u8, s2: u8) -> u32 {
 }
 
 fn i_type(opc: u32, f3: u32, d: u8, s1: u8, imm: i32) -> u32 {
-    debug_assert!((-2048..2048).contains(&imm), "I-type imm out of range: {imm}");
+    debug_assert!(
+        (-2048..2048).contains(&imm),
+        "I-type imm out of range: {imm}"
+    );
     opc | rd(d) | funct3(f3) | rs1(s1) | (((imm as u32) & 0xfff) << 20)
 }
 
 fn s_type(opc: u32, f3: u32, s1: u8, s2: u8, imm: i32) -> u32 {
-    debug_assert!((-2048..2048).contains(&imm), "S-type imm out of range: {imm}");
+    debug_assert!(
+        (-2048..2048).contains(&imm),
+        "S-type imm out of range: {imm}"
+    );
     let imm = imm as u32;
     opc | funct3(f3) | rs1(s1) | rs2(s2) | ((imm & 0x1f) << 7) | (((imm >> 5) & 0x7f) << 25)
 }
@@ -158,19 +164,35 @@ impl Instr {
             Instr::Lui { rd: d, imm } => u_type(OPC_LUI, d.index(), imm),
             Instr::Auipc { rd: d, imm } => u_type(OPC_AUIPC, d.index(), imm),
             Instr::Jal { rd: d, offset } => j_type(OPC_JAL, d.index(), offset),
-            Instr::Jalr { rd: d, rs1: s1, offset } => {
-                i_type(OPC_JALR, 0b000, d.index(), s1.index(), offset)
-            }
-            Instr::Branch { op, rs1: s1, rs2: s2, offset } => {
-                b_type(OPC_BRANCH, op.funct3(), s1.index(), s2.index(), offset)
-            }
-            Instr::Load { width, rd: d, rs1: s1, offset } => {
-                i_type(OPC_LOAD, width.funct3(), d.index(), s1.index(), offset)
-            }
-            Instr::Store { width, rs1: s1, rs2: s2, offset } => {
-                s_type(OPC_STORE, width.funct3(), s1.index(), s2.index(), offset)
-            }
-            Instr::OpImm { op, rd: d, rs1: s1, imm } => {
+            Instr::Jalr {
+                rd: d,
+                rs1: s1,
+                offset,
+            } => i_type(OPC_JALR, 0b000, d.index(), s1.index(), offset),
+            Instr::Branch {
+                op,
+                rs1: s1,
+                rs2: s2,
+                offset,
+            } => b_type(OPC_BRANCH, op.funct3(), s1.index(), s2.index(), offset),
+            Instr::Load {
+                width,
+                rd: d,
+                rs1: s1,
+                offset,
+            } => i_type(OPC_LOAD, width.funct3(), d.index(), s1.index(), offset),
+            Instr::Store {
+                width,
+                rs1: s1,
+                rs2: s2,
+                offset,
+            } => s_type(OPC_STORE, width.funct3(), s1.index(), s2.index(), offset),
+            Instr::OpImm {
+                op,
+                rd: d,
+                rs1: s1,
+                imm,
+            } => {
                 let mut w = i_type(OPC_OP_IMM, op.funct3(), d.index(), s1.index(), imm);
                 if op.is_shift() {
                     debug_assert!((0..32).contains(&imm), "shift amount out of range: {imm}");
@@ -185,28 +207,69 @@ impl Instr {
                 }
                 w
             }
-            Instr::Op { op, rd: d, rs1: s1, rs2: s2 } => {
-                r_type(OPC_OP, op.funct7(), op.funct3(), d.index(), s1.index(), s2.index())
-            }
+            Instr::Op {
+                op,
+                rd: d,
+                rs1: s1,
+                rs2: s2,
+            } => r_type(
+                OPC_OP,
+                op.funct7(),
+                op.funct3(),
+                d.index(),
+                s1.index(),
+                s2.index(),
+            ),
             Instr::Fence => OPC_MISC_MEM | (0b0000_1111_1111 << 20),
             Instr::Ecall => OPC_SYSTEM,
             Instr::Ebreak => OPC_SYSTEM | (1 << 20),
-            Instr::Amo { op, rd: d, rs1: s1, rs2: s2, aq, rl } => {
-                amo(op.funct5(), aq, rl, d, s1, s2)
-            }
-            Instr::LrW { rd: d, rs1: s1, aq, rl } => amo(0b00010, aq, rl, d, s1, Gpr::Zero),
-            Instr::ScW { rd: d, rs1: s1, rs2: s2, aq, rl } => amo(0b00011, aq, rl, d, s1, s2),
-            Instr::Flw { rd: d, rs1: s1, offset } => {
-                i_type(OPC_LOAD_FP, 0b010, d.index(), s1.index(), offset)
-            }
-            Instr::Fsw { rs1: s1, rs2: s2, offset } => {
-                s_type(OPC_STORE_FP, 0b010, s1.index(), s2.index(), offset)
-            }
-            Instr::FpOp { op, rd: d, rs1: s1, rs2: s2 } => {
+            Instr::Amo {
+                op,
+                rd: d,
+                rs1: s1,
+                rs2: s2,
+                aq,
+                rl,
+            } => amo(op.funct5(), aq, rl, d, s1, s2),
+            Instr::LrW {
+                rd: d,
+                rs1: s1,
+                aq,
+                rl,
+            } => amo(0b00010, aq, rl, d, s1, Gpr::Zero),
+            Instr::ScW {
+                rd: d,
+                rs1: s1,
+                rs2: s2,
+                aq,
+                rl,
+            } => amo(0b00011, aq, rl, d, s1, s2),
+            Instr::Flw {
+                rd: d,
+                rs1: s1,
+                offset,
+            } => i_type(OPC_LOAD_FP, 0b010, d.index(), s1.index(), offset),
+            Instr::Fsw {
+                rs1: s1,
+                rs2: s2,
+                offset,
+            } => s_type(OPC_STORE_FP, 0b010, s1.index(), s2.index(), offset),
+            Instr::FpOp {
+                op,
+                rd: d,
+                rs1: s1,
+                rs2: s2,
+            } => {
                 let (f7, f3, s2e) = fp_op_fields(op, s2);
                 r_type(OPC_OP_FP, f7, f3, d.index(), s1.index(), s2e)
             }
-            Instr::Fma { op, rd: d, rs1: s1, rs2: s2, rs3 } => {
+            Instr::Fma {
+                op,
+                rd: d,
+                rs1: s1,
+                rs2: s2,
+                rs3,
+            } => {
                 let opc = match op {
                     FmaOp::Madd => OPC_MADD,
                     FmaOp::Msub => OPC_MSUB,
@@ -218,7 +281,12 @@ impl Instr {
                     | rs2(s2.index())
                     | ((rs3.index() as u32) << 27)
             }
-            Instr::FpCmp { op, rd: d, rs1: s1, rs2: s2 } => {
+            Instr::FpCmp {
+                op,
+                rd: d,
+                rs1: s1,
+                rs2: s2,
+            } => {
                 let f3 = match op {
                     FpCmp::Eq => 0b010,
                     FpCmp::Lt => 0b001,
@@ -273,31 +341,62 @@ mod tests {
     #[test]
     fn golden_encodings() {
         // addi x1, x2, 100  -> imm=100(0x064), rs1=2, f3=0, rd=1, opc=0x13
-        let i = Instr::OpImm { op: OpImmOp::Addi, rd: Ra, rs1: Sp, imm: 100 };
+        let i = Instr::OpImm {
+            op: OpImmOp::Addi,
+            rd: Ra,
+            rs1: Sp,
+            imm: 100,
+        };
         assert_eq!(i.encode(), 0x0641_0093);
 
         // add x3, x4, x5
-        let i = Instr::Op { op: OpOp::Add, rd: Gp, rs1: Tp, rs2: T0 };
+        let i = Instr::Op {
+            op: OpOp::Add,
+            rd: Gp,
+            rs1: Tp,
+            rs2: T0,
+        };
         assert_eq!(i.encode(), 0x0052_01b3);
 
         // lw x6, 8(x7)
-        let i = Instr::Load { width: LoadWidth::W, rd: T1, rs1: T2, offset: 8 };
+        let i = Instr::Load {
+            width: LoadWidth::W,
+            rd: T1,
+            rs1: T2,
+            offset: 8,
+        };
         assert_eq!(i.encode(), 0x0083_a303);
 
         // sw x8, -4(x9)
-        let i = Instr::Store { width: StoreWidth::W, rs1: S1, rs2: S0, offset: -4 };
+        let i = Instr::Store {
+            width: StoreWidth::W,
+            rs1: S1,
+            rs2: S0,
+            offset: -4,
+        };
         assert_eq!(i.encode(), 0xfe84_ae23);
 
         // beq x10, x11, 16
-        let i = Instr::Branch { op: BranchOp::Eq, rs1: A0, rs2: A1, offset: 16 };
+        let i = Instr::Branch {
+            op: BranchOp::Eq,
+            rs1: A0,
+            rs2: A1,
+            offset: 16,
+        };
         assert_eq!(i.encode(), 0x00b5_0863);
 
         // jal x1, 2048
-        let i = Instr::Jal { rd: Ra, offset: 2048 };
+        let i = Instr::Jal {
+            rd: Ra,
+            offset: 2048,
+        };
         assert_eq!(i.encode(), 0x0010_00ef);
 
         // lui x5, 0x12345
-        let i = Instr::Lui { rd: T0, imm: 0x12345 };
+        let i = Instr::Lui {
+            rd: T0,
+            imm: 0x12345,
+        };
         assert_eq!(i.encode(), 0x1234_52b7);
 
         // ecall / ebreak
@@ -305,25 +404,52 @@ mod tests {
         assert_eq!(Instr::Ebreak.encode(), 0x0010_0073);
 
         // amoadd.w x10, x11, (x12)
-        let i = Instr::Amo { op: AmoOp::Add, rd: A0, rs1: A2, rs2: A1, aq: false, rl: false };
+        let i = Instr::Amo {
+            op: AmoOp::Add,
+            rd: A0,
+            rs1: A2,
+            rs2: A1,
+            aq: false,
+            rl: false,
+        };
         assert_eq!(i.encode(), 0x00b6_252f);
 
         // mul x5, x6, x7
-        let i = Instr::Op { op: OpOp::Mul, rd: T0, rs1: T1, rs2: T2 };
+        let i = Instr::Op {
+            op: OpOp::Mul,
+            rd: T0,
+            rs1: T1,
+            rs2: T2,
+        };
         assert_eq!(i.encode(), 0x0273_02b3);
     }
 
     #[test]
     fn srai_sets_funct7() {
-        let i = Instr::OpImm { op: OpImmOp::Srai, rd: A0, rs1: A0, imm: 3 };
+        let i = Instr::OpImm {
+            op: OpImmOp::Srai,
+            rd: A0,
+            rs1: A0,
+            imm: 3,
+        };
         assert_eq!(i.encode() >> 25, 0b010_0000);
-        let i = Instr::OpImm { op: OpImmOp::Srli, rd: A0, rs1: A0, imm: 3 };
+        let i = Instr::OpImm {
+            op: OpImmOp::Srli,
+            rd: A0,
+            rs1: A0,
+            imm: 3,
+        };
         assert_eq!(i.encode() >> 25, 0);
     }
 
     #[test]
     fn negative_branch_offset() {
-        let i = Instr::Branch { op: BranchOp::Ne, rs1: A0, rs2: Zero, offset: -8 };
+        let i = Instr::Branch {
+            op: BranchOp::Ne,
+            rs1: A0,
+            rs2: Zero,
+            offset: -8,
+        };
         // imm[12]=1 (sign), so bit 31 must be set.
         assert_eq!(i.encode() >> 31, 1);
     }

@@ -298,13 +298,7 @@ impl OpOp {
                     (sa / sb) as u32
                 }
             }
-            OpOp::Divu => {
-                if b == 0 {
-                    u32::MAX
-                } else {
-                    a / b
-                }
-            }
+            OpOp::Divu => a.checked_div(b).unwrap_or(u32::MAX),
             OpOp::Rem => {
                 if b == 0 {
                     a
@@ -529,7 +523,12 @@ pub enum Instr {
         imm: i32,
     },
     /// Register-register ALU operation (including M extension).
-    Op { op: OpOp, rd: Gpr, rs1: Gpr, rs2: Gpr },
+    Op {
+        op: OpOp,
+        rd: Gpr,
+        rs1: Gpr,
+        rs2: Gpr,
+    },
     /// `fence` — on HammerBlade, drains the remote-op scoreboard: the core
     /// stalls until every outstanding request has been acknowledged.
     Fence,
@@ -548,7 +547,12 @@ pub enum Instr {
         rl: bool,
     },
     /// `lr.w rd, (rs1)` — load-reserved.
-    LrW { rd: Gpr, rs1: Gpr, aq: bool, rl: bool },
+    LrW {
+        rd: Gpr,
+        rs1: Gpr,
+        aq: bool,
+        rl: bool,
+    },
     /// `sc.w rd, rs2, (rs1)` — store-conditional.
     ScW {
         rd: Gpr,

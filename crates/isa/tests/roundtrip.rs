@@ -1,233 +1,263 @@
-//! Property tests: every representable instruction encodes to a word that
+//! Randomized tests: every representable instruction encodes to a word that
 //! decodes back to itself, and ALU semantics obey RISC-V identities.
+//! Deterministically seeded (`hb_rng`) so failures replay exactly.
 
 use hb_isa::*;
-use proptest::prelude::*;
+use hb_rng::Rng;
 
-fn any_gpr() -> impl Strategy<Value = Gpr> {
-    (0u8..32).prop_map(Gpr::from_index)
+fn any_gpr(rng: &mut Rng) -> Gpr {
+    Gpr::from_index(rng.range_u32(0, 32) as u8)
 }
 
-fn any_fpr() -> impl Strategy<Value = Fpr> {
-    (0u8..32).prop_map(Fpr::from_index)
+fn any_fpr(rng: &mut Rng) -> Fpr {
+    Fpr::from_index(rng.range_u32(0, 32) as u8)
 }
 
-fn any_branch_op() -> impl Strategy<Value = BranchOp> {
-    prop_oneof![
-        Just(BranchOp::Eq),
-        Just(BranchOp::Ne),
-        Just(BranchOp::Lt),
-        Just(BranchOp::Ge),
-        Just(BranchOp::Ltu),
-        Just(BranchOp::Geu),
-    ]
+fn imm20(rng: &mut Rng) -> i32 {
+    rng.range_i64(-(1 << 19), 1 << 19) as i32
 }
 
-fn any_op_op() -> impl Strategy<Value = OpOp> {
-    prop_oneof![
-        Just(OpOp::Add),
-        Just(OpOp::Sub),
-        Just(OpOp::Sll),
-        Just(OpOp::Slt),
-        Just(OpOp::Sltu),
-        Just(OpOp::Xor),
-        Just(OpOp::Srl),
-        Just(OpOp::Sra),
-        Just(OpOp::Or),
-        Just(OpOp::And),
-        Just(OpOp::Mul),
-        Just(OpOp::Mulh),
-        Just(OpOp::Mulhsu),
-        Just(OpOp::Mulhu),
-        Just(OpOp::Div),
-        Just(OpOp::Divu),
-        Just(OpOp::Rem),
-        Just(OpOp::Remu),
-    ]
+fn imm12(rng: &mut Rng) -> i32 {
+    rng.range_i64(-2048, 2048) as i32
 }
 
-fn any_amo_op() -> impl Strategy<Value = AmoOp> {
-    prop_oneof![
-        Just(AmoOp::Swap),
-        Just(AmoOp::Add),
-        Just(AmoOp::Xor),
-        Just(AmoOp::And),
-        Just(AmoOp::Or),
-        Just(AmoOp::Min),
-        Just(AmoOp::Max),
-        Just(AmoOp::Minu),
-        Just(AmoOp::Maxu),
-    ]
-}
-
-fn any_fp_op() -> impl Strategy<Value = FpOp> {
-    prop_oneof![
-        Just(FpOp::Add),
-        Just(FpOp::Sub),
-        Just(FpOp::Mul),
-        Just(FpOp::Div),
-        Just(FpOp::Sgnj),
-        Just(FpOp::Sgnjn),
-        Just(FpOp::Sgnjx),
-        Just(FpOp::Min),
-        Just(FpOp::Max),
-    ]
-}
-
-/// A strategy over the full representable instruction space (with
-/// encoding-legal immediates).
-fn any_instr() -> impl Strategy<Value = Instr> {
-    prop_oneof![
-        (any_gpr(), -(1i32 << 19)..(1 << 19)).prop_map(|(rd, imm)| Instr::Lui { rd, imm }),
-        (any_gpr(), -(1i32 << 19)..(1 << 19)).prop_map(|(rd, imm)| Instr::Auipc { rd, imm }),
-        (any_gpr(), (-(1i32 << 19)..(1 << 19)).prop_map(|o| o * 2))
-            .prop_map(|(rd, offset)| Instr::Jal { rd, offset }),
-        (any_gpr(), any_gpr(), -2048i32..2048)
-            .prop_map(|(rd, rs1, offset)| Instr::Jalr { rd, rs1, offset }),
-        (any_branch_op(), any_gpr(), any_gpr(), (-2048i32..2048).prop_map(|o| o * 2))
-            .prop_map(|(op, rs1, rs2, offset)| Instr::Branch { op, rs1, rs2, offset }),
-        (
-            prop_oneof![
-                Just(LoadWidth::B),
-                Just(LoadWidth::H),
-                Just(LoadWidth::W),
-                Just(LoadWidth::Bu),
-                Just(LoadWidth::Hu)
-            ],
-            any_gpr(),
-            any_gpr(),
-            -2048i32..2048
-        )
-            .prop_map(|(width, rd, rs1, offset)| Instr::Load { width, rd, rs1, offset }),
-        (
-            prop_oneof![Just(StoreWidth::B), Just(StoreWidth::H), Just(StoreWidth::W)],
-            any_gpr(),
-            any_gpr(),
-            -2048i32..2048
-        )
-            .prop_map(|(width, rs1, rs2, offset)| Instr::Store { width, rs1, rs2, offset }),
-        // Non-shift immediates.
-        (
-            prop_oneof![
-                Just(OpImmOp::Addi),
-                Just(OpImmOp::Slti),
-                Just(OpImmOp::Sltiu),
-                Just(OpImmOp::Xori),
-                Just(OpImmOp::Ori),
-                Just(OpImmOp::Andi)
-            ],
-            any_gpr(),
-            any_gpr(),
-            -2048i32..2048
-        )
-            .prop_map(|(op, rd, rs1, imm)| Instr::OpImm { op, rd, rs1, imm }),
-        // Shifts: imm restricted to 0..32.
-        (
-            prop_oneof![Just(OpImmOp::Slli), Just(OpImmOp::Srli), Just(OpImmOp::Srai)],
-            any_gpr(),
-            any_gpr(),
-            0i32..32
-        )
-            .prop_map(|(op, rd, rs1, imm)| Instr::OpImm { op, rd, rs1, imm }),
-        (any_op_op(), any_gpr(), any_gpr(), any_gpr())
-            .prop_map(|(op, rd, rs1, rs2)| Instr::Op { op, rd, rs1, rs2 }),
-        Just(Instr::Fence),
-        Just(Instr::Ecall),
-        Just(Instr::Ebreak),
-        (any_amo_op(), any_gpr(), any_gpr(), any_gpr(), any::<bool>(), any::<bool>())
-            .prop_map(|(op, rd, rs1, rs2, aq, rl)| Instr::Amo { op, rd, rs1, rs2, aq, rl }),
-        (any_gpr(), any_gpr(), any::<bool>(), any::<bool>())
-            .prop_map(|(rd, rs1, aq, rl)| Instr::LrW { rd, rs1, aq, rl }),
-        (any_gpr(), any_gpr(), any_gpr(), any::<bool>(), any::<bool>())
-            .prop_map(|(rd, rs1, rs2, aq, rl)| Instr::ScW { rd, rs1, rs2, aq, rl }),
-        (any_fpr(), any_gpr(), -2048i32..2048)
-            .prop_map(|(rd, rs1, offset)| Instr::Flw { rd, rs1, offset }),
-        (any_gpr(), any_fpr(), -2048i32..2048)
-            .prop_map(|(rs1, rs2, offset)| Instr::Fsw { rs1, rs2, offset }),
-        (any_fp_op(), any_fpr(), any_fpr(), any_fpr())
-            .prop_map(|(op, rd, rs1, rs2)| Instr::FpOp { op, rd, rs1, rs2 }),
-        // Sqrt canonicalizes rs2 to f0.
-        (any_fpr(), any_fpr()).prop_map(|(rd, rs1)| Instr::FpOp {
-            op: FpOp::Sqrt,
-            rd,
-            rs1,
-            rs2: Fpr::Ft0
-        }),
-        (
-            prop_oneof![Just(FmaOp::Madd), Just(FmaOp::Msub), Just(FmaOp::Nmsub), Just(FmaOp::Nmadd)],
-            any_fpr(),
-            any_fpr(),
-            any_fpr(),
-            any_fpr()
-        )
-            .prop_map(|(op, rd, rs1, rs2, rs3)| Instr::Fma { op, rd, rs1, rs2, rs3 }),
-        (
-            prop_oneof![Just(FpCmp::Eq), Just(FpCmp::Lt), Just(FpCmp::Le)],
-            any_gpr(),
-            any_fpr(),
-            any_fpr()
-        )
-            .prop_map(|(op, rd, rs1, rs2)| Instr::FpCmp { op, rd, rs1, rs2 }),
-        (any_gpr(), any_fpr()).prop_map(|(rd, rs1)| Instr::FcvtWS { rd, rs1 }),
-        (any_gpr(), any_fpr()).prop_map(|(rd, rs1)| Instr::FcvtWuS { rd, rs1 }),
-        (any_fpr(), any_gpr()).prop_map(|(rd, rs1)| Instr::FcvtSW { rd, rs1 }),
-        (any_fpr(), any_gpr()).prop_map(|(rd, rs1)| Instr::FcvtSWu { rd, rs1 }),
-        (any_gpr(), any_fpr()).prop_map(|(rd, rs1)| Instr::FmvXW { rd, rs1 }),
-        (any_fpr(), any_gpr()).prop_map(|(rd, rs1)| Instr::FmvWX { rd, rs1 }),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(4096))]
-
-    /// decode(encode(i)) == i over the whole instruction space.
-    #[test]
-    fn encode_decode_round_trip(instr in any_instr()) {
-        let word = instr.encode();
-        prop_assert_eq!(decode(word), Ok(instr));
-    }
-
-    /// Disassembly never panics and never produces an empty string.
-    #[test]
-    fn disasm_total(instr in any_instr()) {
-        prop_assert!(!instr.to_string().is_empty());
-    }
-
-    /// Decoding arbitrary words either fails or re-encodes to an equivalent
-    /// instruction (decode is a partial inverse of encode, modulo the
-    /// rounding-mode and fence-operand fields the core ignores).
-    #[test]
-    fn decode_is_partial_inverse(word in any::<u32>()) {
-        if let Ok(instr) = decode(word) {
-            let reenc = instr.encode();
-            prop_assert_eq!(decode(reenc), Ok(instr));
+/// Uniformly samples the full representable instruction space (with
+/// encoding-legal immediates) — the same coverage the old proptest
+/// strategy provided.
+fn any_instr(rng: &mut Rng) -> Instr {
+    match rng.index(25) {
+        0 => Instr::Lui {
+            rd: any_gpr(rng),
+            imm: imm20(rng),
+        },
+        1 => Instr::Auipc {
+            rd: any_gpr(rng),
+            imm: imm20(rng),
+        },
+        2 => Instr::Jal {
+            rd: any_gpr(rng),
+            offset: imm20(rng) * 2,
+        },
+        3 => Instr::Jalr {
+            rd: any_gpr(rng),
+            rs1: any_gpr(rng),
+            offset: imm12(rng),
+        },
+        4 => Instr::Branch {
+            op: *rng.pick(&BranchOp::ALL),
+            rs1: any_gpr(rng),
+            rs2: any_gpr(rng),
+            offset: imm12(rng) * 2,
+        },
+        5 => Instr::Load {
+            width: *rng.pick(&LoadWidth::ALL),
+            rd: any_gpr(rng),
+            rs1: any_gpr(rng),
+            offset: imm12(rng),
+        },
+        6 => Instr::Store {
+            width: *rng.pick(&StoreWidth::ALL),
+            rs1: any_gpr(rng),
+            rs2: any_gpr(rng),
+            offset: imm12(rng),
+        },
+        7 => {
+            // Shift immediates are restricted to 0..32.
+            let op = *rng.pick(&OpImmOp::ALL);
+            let imm = match op {
+                OpImmOp::Slli | OpImmOp::Srli | OpImmOp::Srai => rng.range_i64(0, 32) as i32,
+                _ => imm12(rng),
+            };
+            Instr::OpImm {
+                op,
+                rd: any_gpr(rng),
+                rs1: any_gpr(rng),
+                imm,
+            }
+        }
+        8 => Instr::Op {
+            op: *rng.pick(&OpOp::ALL),
+            rd: any_gpr(rng),
+            rs1: any_gpr(rng),
+            rs2: any_gpr(rng),
+        },
+        9 => Instr::Fence,
+        10 => Instr::Ecall,
+        11 => Instr::Ebreak,
+        12 => Instr::Amo {
+            op: *rng.pick(&AmoOp::ALL),
+            rd: any_gpr(rng),
+            rs1: any_gpr(rng),
+            rs2: any_gpr(rng),
+            aq: rng.chance(0.5),
+            rl: rng.chance(0.5),
+        },
+        13 => Instr::LrW {
+            rd: any_gpr(rng),
+            rs1: any_gpr(rng),
+            aq: rng.chance(0.5),
+            rl: rng.chance(0.5),
+        },
+        14 => Instr::ScW {
+            rd: any_gpr(rng),
+            rs1: any_gpr(rng),
+            rs2: any_gpr(rng),
+            aq: rng.chance(0.5),
+            rl: rng.chance(0.5),
+        },
+        15 => Instr::Flw {
+            rd: any_fpr(rng),
+            rs1: any_gpr(rng),
+            offset: imm12(rng),
+        },
+        16 => Instr::Fsw {
+            rs1: any_gpr(rng),
+            rs2: any_fpr(rng),
+            offset: imm12(rng),
+        },
+        17 => {
+            // Sqrt canonicalizes rs2 to f0.
+            let op = *rng.pick(&FpOp::ALL);
+            let rs2 = if op == FpOp::Sqrt {
+                Fpr::Ft0
+            } else {
+                any_fpr(rng)
+            };
+            Instr::FpOp {
+                op,
+                rd: any_fpr(rng),
+                rs1: any_fpr(rng),
+                rs2,
+            }
+        }
+        18 => Instr::Fma {
+            op: *rng.pick(&FmaOp::ALL),
+            rd: any_fpr(rng),
+            rs1: any_fpr(rng),
+            rs2: any_fpr(rng),
+            rs3: any_fpr(rng),
+        },
+        19 => Instr::FpCmp {
+            op: *rng.pick(&FpCmp::ALL),
+            rd: any_gpr(rng),
+            rs1: any_fpr(rng),
+            rs2: any_fpr(rng),
+        },
+        20 => Instr::FcvtWS {
+            rd: any_gpr(rng),
+            rs1: any_fpr(rng),
+        },
+        21 => Instr::FcvtWuS {
+            rd: any_gpr(rng),
+            rs1: any_fpr(rng),
+        },
+        22 => Instr::FcvtSW {
+            rd: any_fpr(rng),
+            rs1: any_gpr(rng),
+        },
+        23 => Instr::FcvtSWu {
+            rd: any_fpr(rng),
+            rs1: any_gpr(rng),
+        },
+        _ => {
+            if rng.chance(0.5) {
+                Instr::FmvXW {
+                    rd: any_gpr(rng),
+                    rs1: any_fpr(rng),
+                }
+            } else {
+                Instr::FmvWX {
+                    rd: any_fpr(rng),
+                    rs1: any_gpr(rng),
+                }
+            }
         }
     }
+}
 
-    /// M-extension division conventions.
-    #[test]
-    fn div_by_zero_conventions(a in any::<u32>()) {
-        prop_assert_eq!(OpOp::Div.eval(a, 0), u32::MAX);
-        prop_assert_eq!(OpOp::Divu.eval(a, 0), u32::MAX);
-        prop_assert_eq!(OpOp::Rem.eval(a, 0), a);
-        prop_assert_eq!(OpOp::Remu.eval(a, 0), a);
+/// decode(encode(i)) == i over the whole instruction space.
+#[test]
+fn encode_decode_round_trip() {
+    let mut rng = Rng::seed_from_u64(0x150_0001);
+    for _ in 0..4096 {
+        let instr = any_instr(&mut rng);
+        let word = instr.encode();
+        assert_eq!(decode(word), Ok(instr), "round trip failed for {instr:?}");
     }
+}
 
-    /// Division identity: a == div(a,b)*b + rem(a,b) for non-overflow cases.
-    #[test]
-    fn div_rem_identity(a in any::<i32>(), b in any::<i32>()) {
-        prop_assume!(b != 0 && !(a == i32::MIN && b == -1));
+/// Disassembly never panics and never produces an empty string.
+#[test]
+fn disasm_total() {
+    let mut rng = Rng::seed_from_u64(0x150_0002);
+    for _ in 0..4096 {
+        let instr = any_instr(&mut rng);
+        assert!(!instr.to_string().is_empty());
+    }
+}
+
+/// Decoding arbitrary words either fails or re-encodes to an equivalent
+/// instruction (decode is a partial inverse of encode, modulo the
+/// rounding-mode and fence-operand fields the core ignores).
+#[test]
+fn decode_is_partial_inverse() {
+    let mut rng = Rng::seed_from_u64(0x150_0003);
+    for _ in 0..65536 {
+        let word = rng.next_u32();
+        if let Ok(instr) = decode(word) {
+            let reenc = instr.encode();
+            assert_eq!(decode(reenc), Ok(instr), "word {word:#010x}");
+        }
+    }
+}
+
+/// M-extension division conventions.
+#[test]
+fn div_by_zero_conventions() {
+    let mut rng = Rng::seed_from_u64(0x150_0004);
+    for _ in 0..4096 {
+        let a = rng.next_u32();
+        assert_eq!(OpOp::Div.eval(a, 0), u32::MAX);
+        assert_eq!(OpOp::Divu.eval(a, 0), u32::MAX);
+        assert_eq!(OpOp::Rem.eval(a, 0), a);
+        assert_eq!(OpOp::Remu.eval(a, 0), a);
+    }
+}
+
+/// Division identity: a == div(a,b)*b + rem(a,b) for non-overflow cases.
+#[test]
+fn div_rem_identity() {
+    let mut rng = Rng::seed_from_u64(0x150_0005);
+    let mut checked = 0;
+    while checked < 4096 {
+        let a = rng.next_u32() as i32;
+        let b = rng.next_u32() as i32;
+        if b == 0 || (a == i32::MIN && b == -1) {
+            continue;
+        }
         let q = OpOp::Div.eval(a as u32, b as u32) as i32;
         let r = OpOp::Rem.eval(a as u32, b as u32) as i32;
-        prop_assert_eq!(q.wrapping_mul(b).wrapping_add(r), a);
+        assert_eq!(q.wrapping_mul(b).wrapping_add(r), a, "a={a} b={b}");
+        checked += 1;
     }
+}
 
-    /// AMO min/max are commutative-idempotent on repeated application.
-    #[test]
-    fn amo_minmax_idempotent(old in any::<u32>(), x in any::<u32>()) {
-        for op in [AmoOp::Min, AmoOp::Max, AmoOp::Minu, AmoOp::Maxu, AmoOp::And, AmoOp::Or] {
+/// AMO min/max/and/or are idempotent on repeated application.
+#[test]
+fn amo_minmax_idempotent() {
+    let mut rng = Rng::seed_from_u64(0x150_0006);
+    for _ in 0..4096 {
+        let (old, x) = (rng.next_u32(), rng.next_u32());
+        for op in [
+            AmoOp::Min,
+            AmoOp::Max,
+            AmoOp::Minu,
+            AmoOp::Maxu,
+            AmoOp::And,
+            AmoOp::Or,
+        ] {
             let once = op.apply(old, x);
-            prop_assert_eq!(op.apply(once, x), once);
+            assert_eq!(op.apply(once, x), once, "{op:?} old={old:#x} x={x:#x}");
         }
     }
 }

@@ -1,0 +1,386 @@
+//! Deterministic generator of legal RV32IMAF instruction sequences for
+//! differential fuzzing (ISS vs. cycle-level tile).
+//!
+//! Sequences are *legal by construction* for both execution models:
+//!
+//! - Control flow is forward-only (branches and `jal` skip ahead a bounded
+//!   distance), so every sequence terminates within its own length.
+//! - Memory accesses go through three reserved base registers kept pinned
+//!   at caller-supplied windows (`t0` → scratchpad, `t1` → DRAM, `t2` → a
+//!   word-aligned DRAM AMO address), naturally aligned, in bounds.
+//! - AMOs target only the DRAM window (the tile traps on AMOs to the
+//!   local-SPM space) and `lr/sc`, `ebreak`, `jalr` and CSR accesses are
+//!   never generated.
+//! - The sequence ends with `fence; ecall` so the tile quiesces its
+//!   remote-operation scoreboard before comparison.
+//!
+//! Everything else — including NaN-producing FP arithmetic and div-by-zero
+//! — is fair game, because both models evaluate operations through the
+//! identical `hb_isa` semantics.
+
+use hb_isa::{
+    AmoOp, BranchOp, FmaOp, FpCmp, FpOp, Fpr, Gpr, Instr, LoadWidth, OpImmOp, OpOp, StoreWidth,
+};
+use hb_rng::Rng;
+
+/// Shape of one generated sequence.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Number of generated body instructions (the trailing `fence; ecall`
+    /// comes on top).
+    pub len: usize,
+    /// Base EVA of the scratchpad load/store window.
+    pub spm_base: u32,
+    /// Window length in bytes (≤ 2048 so offsets fit an I-immediate).
+    pub spm_len: u32,
+    /// Base EVA of the DRAM load/store window.
+    pub dram_base: u32,
+    /// Window length in bytes (≤ 2048).
+    pub dram_len: u32,
+}
+
+/// Base register pinned at the scratchpad window.
+const SPM_BASE: Gpr = Gpr::T0;
+/// Base register pinned at the DRAM window.
+const DRAM_BASE: Gpr = Gpr::T1;
+/// Register holding the current AMO target address.
+const AMO_ADDR: Gpr = Gpr::T2;
+
+fn is_reserved(r: Gpr) -> bool {
+    matches!(r, Gpr::T0 | Gpr::T1 | Gpr::T2)
+}
+
+/// `li rd, value` as a lui+addi pair (always two instructions).
+fn li_u(rd: Gpr, value: u32) -> [Instr; 2] {
+    let hi = value.wrapping_add(0x800) >> 12;
+    let lo = value.wrapping_sub(hi << 12) as i32;
+    // Encode the 20-bit immediate as the signed field LUI carries.
+    let hi_imm = ((hi << 12) as i32) >> 12;
+    [
+        Instr::Lui { rd, imm: hi_imm },
+        Instr::OpImm {
+            op: OpImmOp::Addi,
+            rd,
+            rs1: rd,
+            imm: lo,
+        },
+    ]
+}
+
+fn any_gpr(rng: &mut Rng) -> Gpr {
+    Gpr::from_index(rng.range_u32(0, 32) as u8)
+}
+
+/// Any GPR except the reserved window bases (valid as a destination).
+fn dst_gpr(rng: &mut Rng) -> Gpr {
+    loop {
+        let r = any_gpr(rng);
+        if !is_reserved(r) {
+            return r;
+        }
+    }
+}
+
+fn any_fpr(rng: &mut Rng) -> Fpr {
+    Fpr::from_index(rng.range_u32(0, 32) as u8)
+}
+
+/// Aligned offset for a `width`-byte access inside a `len`-byte window.
+fn aligned_offset(rng: &mut Rng, len: u32, width: u32) -> i32 {
+    (rng.range_u32(0, len / width) * width) as i32
+}
+
+/// Points `t2` at a fresh word-aligned DRAM address. A *single*
+/// instruction (off the never-clobbered `t1` base) so forward branches can
+/// never land in the middle of a re-pin and leave `t2` out of the window.
+fn amo_repin(rng: &mut Rng, cfg: &FuzzConfig) -> Instr {
+    Instr::OpImm {
+        op: OpImmOp::Addi,
+        rd: AMO_ADDR,
+        rs1: DRAM_BASE,
+        imm: aligned_offset(rng, cfg.dram_len, 4),
+    }
+}
+
+/// Generates one legal instruction sequence. Equal `(seed, cfg)` always
+/// produce the identical sequence.
+pub fn gen_sequence(seed: u64, cfg: &FuzzConfig) -> Vec<Instr> {
+    assert!(
+        cfg.spm_len >= 4 && cfg.spm_len <= 2048,
+        "spm window must fit I-immediates"
+    );
+    assert!(
+        cfg.dram_len >= 4 && cfg.dram_len <= 2048,
+        "dram window must fit I-immediates"
+    );
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(cfg.len + 8);
+    out.extend(li_u(SPM_BASE, cfg.spm_base));
+    out.extend(li_u(DRAM_BASE, cfg.dram_base));
+    out.push(amo_repin(&mut rng, cfg));
+
+    while out.len() < cfg.len {
+        let remaining = cfg.len - out.len();
+        match rng.index(100) {
+            // ALU immediate (also the occasional LUI/AUIPC).
+            0..=22 => {
+                let op = *rng.pick(&OpImmOp::ALL);
+                let imm = match op {
+                    OpImmOp::Slli | OpImmOp::Srli | OpImmOp::Srai => rng.range_i64(0, 32) as i32,
+                    _ => rng.range_i64(-2048, 2048) as i32,
+                };
+                out.push(Instr::OpImm {
+                    op,
+                    rd: dst_gpr(&mut rng),
+                    rs1: any_gpr(&mut rng),
+                    imm,
+                });
+            }
+            23..=27 => {
+                let imm = rng.range_i64(-(1 << 19), 1 << 19) as i32;
+                if rng.chance(0.5) {
+                    out.push(Instr::Lui {
+                        rd: dst_gpr(&mut rng),
+                        imm,
+                    });
+                } else {
+                    out.push(Instr::Auipc {
+                        rd: dst_gpr(&mut rng),
+                        imm,
+                    });
+                }
+            }
+            // ALU register-register (full M extension).
+            28..=49 => {
+                let op = *rng.pick(&OpOp::ALL);
+                out.push(Instr::Op {
+                    op,
+                    rd: dst_gpr(&mut rng),
+                    rs1: any_gpr(&mut rng),
+                    rs2: any_gpr(&mut rng),
+                });
+            }
+            // Integer loads/stores, split between the SPM and DRAM windows.
+            50..=59 => {
+                let (base, len) = if rng.chance(0.5) {
+                    (SPM_BASE, cfg.spm_len)
+                } else {
+                    (DRAM_BASE, cfg.dram_len)
+                };
+                let width = *rng.pick(&LoadWidth::ALL);
+                out.push(Instr::Load {
+                    width,
+                    rd: dst_gpr(&mut rng),
+                    rs1: base,
+                    offset: aligned_offset(&mut rng, len, width.bytes()),
+                });
+            }
+            60..=69 => {
+                let (base, len) = if rng.chance(0.5) {
+                    (SPM_BASE, cfg.spm_len)
+                } else {
+                    (DRAM_BASE, cfg.dram_len)
+                };
+                let width = *rng.pick(&StoreWidth::ALL);
+                out.push(Instr::Store {
+                    width,
+                    rs1: base,
+                    rs2: any_gpr(&mut rng),
+                    offset: aligned_offset(&mut rng, len, width.bytes()),
+                });
+            }
+            // FP loads/stores.
+            70..=74 => {
+                let (base, len) = if rng.chance(0.5) {
+                    (SPM_BASE, cfg.spm_len)
+                } else {
+                    (DRAM_BASE, cfg.dram_len)
+                };
+                let offset = aligned_offset(&mut rng, len, 4);
+                if rng.chance(0.5) {
+                    out.push(Instr::Flw {
+                        rd: any_fpr(&mut rng),
+                        rs1: base,
+                        offset,
+                    });
+                } else {
+                    out.push(Instr::Fsw {
+                        rs1: base,
+                        rs2: any_fpr(&mut rng),
+                        offset,
+                    });
+                }
+            }
+            // FP compute: moves in, arithmetic, FMA, compares, converts.
+            75..=89 => match rng.index(6) {
+                0 => out.push(Instr::FmvWX {
+                    rd: any_fpr(&mut rng),
+                    rs1: any_gpr(&mut rng),
+                }),
+                1 => {
+                    let op = *rng.pick(&FpOp::ALL);
+                    let rs2 = if op == FpOp::Sqrt {
+                        Fpr::Ft0
+                    } else {
+                        any_fpr(&mut rng)
+                    };
+                    out.push(Instr::FpOp {
+                        op,
+                        rd: any_fpr(&mut rng),
+                        rs1: any_fpr(&mut rng),
+                        rs2,
+                    });
+                }
+                2 => out.push(Instr::Fma {
+                    op: *rng.pick(&FmaOp::ALL),
+                    rd: any_fpr(&mut rng),
+                    rs1: any_fpr(&mut rng),
+                    rs2: any_fpr(&mut rng),
+                    rs3: any_fpr(&mut rng),
+                }),
+                3 => out.push(Instr::FpCmp {
+                    op: *rng.pick(&FpCmp::ALL),
+                    rd: dst_gpr(&mut rng),
+                    rs1: any_fpr(&mut rng),
+                    rs2: any_fpr(&mut rng),
+                }),
+                4 => {
+                    if rng.chance(0.5) {
+                        out.push(Instr::FcvtWS {
+                            rd: dst_gpr(&mut rng),
+                            rs1: any_fpr(&mut rng),
+                        });
+                    } else {
+                        out.push(Instr::FcvtWuS {
+                            rd: dst_gpr(&mut rng),
+                            rs1: any_fpr(&mut rng),
+                        });
+                    }
+                }
+                _ => {
+                    if rng.chance(0.5) {
+                        out.push(Instr::FcvtSW {
+                            rd: any_fpr(&mut rng),
+                            rs1: any_gpr(&mut rng),
+                        });
+                    } else {
+                        out.push(Instr::FmvXW {
+                            rd: dst_gpr(&mut rng),
+                            rs1: any_fpr(&mut rng),
+                        });
+                    }
+                }
+            },
+            // AMOs to the pinned DRAM word; re-pin the address afterwards
+            // about half the time so different words get hit.
+            90..=93 => {
+                out.push(Instr::Amo {
+                    op: *rng.pick(&AmoOp::ALL),
+                    rd: dst_gpr(&mut rng),
+                    rs1: AMO_ADDR,
+                    rs2: any_gpr(&mut rng),
+                    aq: false,
+                    rl: false,
+                });
+                if rng.chance(0.5) {
+                    out.push(amo_repin(&mut rng, cfg));
+                }
+            }
+            // Forward-only control flow (bounded skip ⇒ always terminates).
+            94..=97 => {
+                if remaining < 2 {
+                    out.push(Instr::NOP);
+                    continue;
+                }
+                let max_skip = remaining.min(12) as u64;
+                let offset = 4 * (1 + rng.below(max_skip)) as i32;
+                out.push(Instr::Branch {
+                    op: *rng.pick(&BranchOp::ALL),
+                    rs1: any_gpr(&mut rng),
+                    rs2: any_gpr(&mut rng),
+                    offset,
+                });
+            }
+            98 => {
+                if remaining < 2 {
+                    out.push(Instr::NOP);
+                    continue;
+                }
+                let max_skip = remaining.min(12) as u64;
+                let offset = 4 * (1 + rng.below(max_skip)) as i32;
+                out.push(Instr::Jal {
+                    rd: dst_gpr(&mut rng),
+                    offset,
+                });
+            }
+            // The occasional fence is architecturally a no-op but exercises
+            // the tile's quiesce path mid-stream.
+            _ => out.push(Instr::Fence),
+        }
+    }
+
+    out.push(Instr::Fence);
+    out.push(Instr::Ecall);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Hart, SparseMem, StopReason};
+    use hb_asm::Assembler;
+
+    fn cfg() -> FuzzConfig {
+        FuzzConfig {
+            len: 200,
+            spm_base: 0x100,
+            spm_len: 1024,
+            dram_base: 0xbf00_0000,
+            dram_len: 2048,
+        }
+    }
+
+    #[test]
+    fn sequences_are_deterministic_and_distinct() {
+        let c = cfg();
+        assert_eq!(gen_sequence(7, &c), gen_sequence(7, &c));
+        assert_ne!(gen_sequence(7, &c), gen_sequence(8, &c));
+    }
+
+    #[test]
+    fn sequences_never_contain_illegal_instructions() {
+        let c = cfg();
+        for seed in 0..50 {
+            for i in gen_sequence(seed, &c) {
+                assert!(
+                    !matches!(
+                        i,
+                        Instr::LrW { .. } | Instr::ScW { .. } | Instr::Ebreak | Instr::Jalr { .. }
+                    ),
+                    "seed {seed} generated {i:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_sequence_terminates_on_the_iss() {
+        let c = cfg();
+        for seed in 0..100 {
+            let body = gen_sequence(seed, &c);
+            let n = body.len() as u64;
+            let mut a = Assembler::new();
+            for &i in &body {
+                a.emit(i);
+            }
+            let p = a.assemble(0).unwrap();
+            let mut h = Hart::new();
+            h.launch(p.base(), &[], 4096);
+            let mut m = SparseMem::new();
+            let stop = h
+                .run(&p, &mut m, n + 10)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(stop, StopReason::Ecall, "seed {seed} did not reach ecall");
+        }
+    }
+}

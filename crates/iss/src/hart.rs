@@ -1,0 +1,502 @@
+//! The functional RV32IMAF hart.
+
+use crate::mem::{Bus, StoreEffect};
+use hb_asm::Program;
+use hb_isa::{Fpr, Gpr, Instr, LoadWidth};
+use std::fmt;
+
+/// Architectural fault (the functional analogue of a tile trap).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IssFault {
+    /// PC of the faulting instruction.
+    pub pc: u32,
+    /// Human-readable cause, matching the tile's trap messages where the
+    /// two models share one ("lr/sc not supported; use AMOs", ...).
+    pub msg: String,
+}
+
+impl fmt::Display for IssFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "iss fault @pc={:#x}: {}", self.pc, self.msg)
+    }
+}
+
+impl std::error::Error for IssFault {}
+
+/// Outcome of a single [`Hart::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// One instruction retired.
+    Retired,
+    /// The hart reached `ecall` (kernel complete). The PC stays at the
+    /// `ecall`, matching the cycle-level tile's final PC.
+    Ecall,
+    /// The instruction retired and was a barrier join; the driver decides
+    /// when execution may continue.
+    Barrier,
+}
+
+/// Why [`Hart::run`] stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// `ecall` executed — kernel complete.
+    Ecall,
+    /// The instruction budget ran out first.
+    InstrLimit,
+    /// A barrier join retired (only when running with
+    /// [`Hart::run_until_barrier`]).
+    Barrier,
+}
+
+/// Functional execution statistics, rvr-style.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IssStats {
+    /// Instructions retired.
+    pub instrs: u64,
+    /// Conditional branches retired.
+    pub branches: u64,
+    /// Conditional branches taken.
+    pub branches_taken: u64,
+    /// Loads retired (including `flw` and CSR reads).
+    pub loads: u64,
+    /// Stores retired (including `fsw` and barrier joins).
+    pub stores: u64,
+    /// Atomic memory operations retired.
+    pub amos: u64,
+    /// FP-unit instructions retired (arith/compare/convert/move).
+    pub fp_ops: u64,
+    /// Integer multiply/divide instructions retired.
+    pub muldiv: u64,
+}
+
+impl IssStats {
+    /// Guest instructions per host second for a measured wall-clock run.
+    pub fn mips(&self, host_seconds: f64) -> f64 {
+        if host_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.instrs as f64 / host_seconds / 1.0e6
+    }
+}
+
+impl fmt::Display for IssStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "instret   {:>12}", self.instrs)?;
+        writeln!(
+            f,
+            "branches  {:>12}  ({:.1}% taken)",
+            self.branches,
+            if self.branches == 0 {
+                0.0
+            } else {
+                100.0 * self.branches_taken as f64 / self.branches as f64
+            }
+        )?;
+        writeln!(f, "loads     {:>12}", self.loads)?;
+        writeln!(f, "stores    {:>12}", self.stores)?;
+        writeln!(f, "amos      {:>12}", self.amos)?;
+        writeln!(f, "fp ops    {:>12}", self.fp_ops)?;
+        write!(f, "muldiv    {:>12}", self.muldiv)
+    }
+}
+
+fn extend(value: u32, width: u8, signed: bool) -> u32 {
+    match (width, signed) {
+        (1, false) => value & 0xff,
+        (1, true) => value as u8 as i8 as i32 as u32,
+        (2, false) => value & 0xffff,
+        (2, true) => value as u16 as i16 as i32 as u32,
+        _ => value,
+    }
+}
+
+/// One functional RV32IMAF hart: the architectural registers of a tile and
+/// nothing else. Memory comes from the [`Bus`] passed to [`Hart::step`].
+#[derive(Debug, Clone)]
+pub struct Hart {
+    /// Integer register file (`x0` reads as zero; writes are discarded).
+    pub regs: [u32; 32],
+    /// FP register file, stored as `f32` exactly like the tile.
+    pub fregs: [f32; 32],
+    /// Program counter.
+    pub pc: u32,
+    /// Retire-stream statistics.
+    pub stats: IssStats,
+    finished: bool,
+}
+
+impl Default for Hart {
+    fn default() -> Hart {
+        Hart::new()
+    }
+}
+
+impl Hart {
+    /// Creates a hart with zeroed state.
+    pub fn new() -> Hart {
+        Hart {
+            regs: [0; 32],
+            fregs: [0.0; 32],
+            pc: 0,
+            stats: IssStats::default(),
+            finished: false,
+        }
+    }
+
+    /// Resets to the tile's launch state: `args` in `a0..a7`, `sp` at the
+    /// top of the scratchpad, PC at the program base.
+    pub fn launch(&mut self, base: u32, args: &[u32], sp: u32) {
+        assert!(args.len() <= 8, "at most 8 kernel arguments");
+        self.regs = [0; 32];
+        self.fregs = [0.0; 32];
+        for (i, &a) in args.iter().enumerate() {
+            self.regs[Gpr::A0.index() as usize + i] = a;
+        }
+        self.regs[Gpr::Sp.index() as usize] = sp;
+        self.pc = base;
+        self.stats = IssStats::default();
+        self.finished = false;
+    }
+
+    /// Whether the hart has executed `ecall`.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    fn reg(&self, r: Gpr) -> u32 {
+        self.regs[r.index() as usize]
+    }
+
+    fn write_int(&mut self, rd: Gpr, value: u32) {
+        if rd != Gpr::Zero {
+            self.regs[rd.index() as usize] = value;
+        }
+    }
+
+    fn freg(&self, r: Fpr) -> f32 {
+        self.fregs[r.index() as usize]
+    }
+
+    fn write_fp(&mut self, rd: Fpr, value: f32) {
+        self.fregs[rd.index() as usize] = value;
+    }
+
+    fn fault(&mut self, msg: impl Into<String>) -> Result<Step, IssFault> {
+        self.finished = true;
+        Err(IssFault {
+            pc: self.pc,
+            msg: msg.into(),
+        })
+    }
+
+    /// Executes one instruction against `bus`, using `program` for fetch.
+    ///
+    /// Mirrors the cycle-level tile's architectural semantics exactly: the
+    /// same `hb_isa` op evaluation, the same `x0` behaviour, the same trap
+    /// conditions (`ebreak`, `lr/sc`, PC escaping the image). On
+    /// [`Step::Ecall`] the PC stays at the `ecall` and the hart refuses
+    /// further steps (returns `Ecall` again).
+    pub fn step(&mut self, program: &Program, bus: &mut impl Bus) -> Result<Step, IssFault> {
+        use Instr as I;
+        if self.finished {
+            return Ok(Step::Ecall);
+        }
+        let Some(instr) = program.instr_at(self.pc) else {
+            return self.fault("pc outside program image");
+        };
+        let mut next_pc = self.pc.wrapping_add(4);
+        let mut effect = Step::Retired;
+
+        match instr {
+            I::Lui { rd, imm } => self.write_int(rd, (imm as u32) << 12),
+            I::Auipc { rd, imm } => self.write_int(rd, self.pc.wrapping_add((imm as u32) << 12)),
+            I::Jal { rd, offset } => {
+                self.write_int(rd, self.pc.wrapping_add(4));
+                next_pc = self.pc.wrapping_add(offset as u32);
+            }
+            I::Jalr { rd, rs1, offset } => {
+                let target = self.reg(rs1).wrapping_add(offset as u32) & !1;
+                self.write_int(rd, self.pc.wrapping_add(4));
+                next_pc = target;
+            }
+            I::Branch {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                self.stats.branches += 1;
+                if op.taken(self.reg(rs1), self.reg(rs2)) {
+                    self.stats.branches_taken += 1;
+                    next_pc = self.pc.wrapping_add(offset as u32);
+                }
+            }
+            I::OpImm { op, rd, rs1, imm } => {
+                let v = op.eval(self.reg(rs1), imm);
+                self.write_int(rd, v);
+            }
+            I::Op { op, rd, rs1, rs2 } => {
+                if op.is_muldiv() {
+                    self.stats.muldiv += 1;
+                }
+                let v = op.eval(self.reg(rs1), self.reg(rs2));
+                self.write_int(rd, v);
+            }
+            I::Fence => {}
+            I::Ecall => {
+                self.finished = true;
+                self.stats.instrs += 1;
+                return Ok(Step::Ecall);
+            }
+            I::Ebreak => return self.fault("ebreak"),
+            I::Load {
+                width,
+                rd,
+                rs1,
+                offset,
+            } => {
+                self.stats.loads += 1;
+                let addr = self.reg(rs1).wrapping_add(offset as u32);
+                let signed = matches!(width, LoadWidth::B | LoadWidth::H);
+                let w = width.bytes() as u8;
+                match bus.load(addr, w) {
+                    Ok(raw) => self.write_int(rd, extend(raw, w, signed)),
+                    Err(e) => return self.fault(e),
+                }
+            }
+            I::Flw { rd, rs1, offset } => {
+                self.stats.loads += 1;
+                let addr = self.reg(rs1).wrapping_add(offset as u32);
+                match bus.load(addr, 4) {
+                    Ok(raw) => self.write_fp(rd, f32::from_bits(raw)),
+                    Err(e) => return self.fault(e),
+                }
+            }
+            I::Store {
+                width,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                self.stats.stores += 1;
+                let addr = self.reg(rs1).wrapping_add(offset as u32);
+                match bus.store(addr, width.bytes() as u8, self.reg(rs2)) {
+                    Ok(StoreEffect::Done) => {}
+                    Ok(StoreEffect::Barrier) => effect = Step::Barrier,
+                    Err(e) => return self.fault(e),
+                }
+            }
+            I::Fsw { rs1, rs2, offset } => {
+                self.stats.stores += 1;
+                let addr = self.reg(rs1).wrapping_add(offset as u32);
+                match bus.store(addr, 4, self.freg(rs2).to_bits()) {
+                    Ok(StoreEffect::Done) => {}
+                    Ok(StoreEffect::Barrier) => effect = Step::Barrier,
+                    Err(e) => return self.fault(e),
+                }
+            }
+            I::Amo {
+                op, rd, rs1, rs2, ..
+            } => {
+                self.stats.amos += 1;
+                match bus.amo(self.reg(rs1), op, self.reg(rs2)) {
+                    Ok(old) => self.write_int(rd, old),
+                    Err(e) => return self.fault(e),
+                }
+            }
+            I::LrW { .. } | I::ScW { .. } => {
+                return self.fault("lr/sc not supported; use AMOs");
+            }
+            I::FpOp { op, rd, rs1, rs2 } => {
+                self.stats.fp_ops += 1;
+                let v = op.eval(self.freg(rs1), self.freg(rs2));
+                self.write_fp(rd, v);
+            }
+            I::Fma {
+                op,
+                rd,
+                rs1,
+                rs2,
+                rs3,
+            } => {
+                self.stats.fp_ops += 1;
+                let v = op.eval(self.freg(rs1), self.freg(rs2), self.freg(rs3));
+                self.write_fp(rd, v);
+            }
+            I::FpCmp { op, rd, rs1, rs2 } => {
+                self.stats.fp_ops += 1;
+                let v = u32::from(op.eval(self.freg(rs1), self.freg(rs2)));
+                self.write_int(rd, v);
+            }
+            I::FcvtWS { rd, rs1 } => {
+                self.stats.fp_ops += 1;
+                let v = self.freg(rs1) as i32 as u32;
+                self.write_int(rd, v);
+            }
+            I::FcvtWuS { rd, rs1 } => {
+                self.stats.fp_ops += 1;
+                let v = self.freg(rs1) as u32;
+                self.write_int(rd, v);
+            }
+            I::FcvtSW { rd, rs1 } => {
+                self.stats.fp_ops += 1;
+                let v = self.reg(rs1) as i32 as f32;
+                self.write_fp(rd, v);
+            }
+            I::FcvtSWu { rd, rs1 } => {
+                self.stats.fp_ops += 1;
+                let v = self.reg(rs1) as f32;
+                self.write_fp(rd, v);
+            }
+            I::FmvXW { rd, rs1 } => {
+                self.stats.fp_ops += 1;
+                let v = self.freg(rs1).to_bits();
+                self.write_int(rd, v);
+            }
+            I::FmvWX { rd, rs1 } => {
+                self.stats.fp_ops += 1;
+                let v = f32::from_bits(self.reg(rs1));
+                self.write_fp(rd, v);
+            }
+        }
+
+        self.pc = next_pc;
+        self.stats.instrs += 1;
+        Ok(effect)
+    }
+
+    /// Runs to completion (`ecall`) or until `max_instrs` retire. Barrier
+    /// joins do not pause execution (correct for 1x1 tile groups, where the
+    /// Cell releases the barrier immediately).
+    pub fn run(
+        &mut self,
+        program: &Program,
+        bus: &mut impl Bus,
+        max_instrs: u64,
+    ) -> Result<StopReason, IssFault> {
+        let budget_end = self.stats.instrs + max_instrs;
+        while self.stats.instrs < budget_end {
+            if let Step::Ecall = self.step(program, bus)? {
+                return Ok(StopReason::Ecall);
+            }
+        }
+        Ok(StopReason::InstrLimit)
+    }
+
+    /// Like [`Hart::run`] but stops *after* a barrier join retires —
+    /// multi-hart functional execution uses this to rendezvous.
+    pub fn run_until_barrier(
+        &mut self,
+        program: &Program,
+        bus: &mut impl Bus,
+        max_instrs: u64,
+    ) -> Result<StopReason, IssFault> {
+        let budget_end = self.stats.instrs + max_instrs;
+        while self.stats.instrs < budget_end {
+            match self.step(program, bus)? {
+                Step::Ecall => return Ok(StopReason::Ecall),
+                Step::Barrier => return Ok(StopReason::Barrier),
+                Step::Retired => {}
+            }
+        }
+        Ok(StopReason::InstrLimit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SparseMem;
+    use hb_asm::Assembler;
+    use hb_isa::Gpr::*;
+
+    fn asm(build: impl FnOnce(&mut Assembler)) -> Program {
+        let mut a = Assembler::new();
+        build(&mut a);
+        a.assemble(0).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_loop_runs_to_ecall() {
+        // sum = 0; for i in 0..10 { sum += i } — exercises branches.
+        let p = asm(|a| {
+            a.li(A0, 0);
+            a.li(T0, 0);
+            a.li(T1, 10);
+            let top = a.here();
+            a.add(A0, A0, T0);
+            a.addi(T0, T0, 1);
+            a.blt(T0, T1, top);
+            a.ecall();
+        });
+        let mut h = Hart::new();
+        h.launch(p.base(), &[], 4096);
+        let mut m = SparseMem::new();
+        assert_eq!(h.run(&p, &mut m, 10_000).unwrap(), StopReason::Ecall);
+        assert_eq!(h.regs[A0.index() as usize], 45);
+        assert_eq!(h.stats.branches, 10);
+        assert_eq!(h.stats.branches_taken, 9);
+        assert!(h.is_finished());
+        // PC parks at the ecall, like the tile.
+        assert_eq!(p.instr_at(h.pc), Some(hb_isa::Instr::Ecall));
+    }
+
+    #[test]
+    fn loads_stores_and_x0() {
+        let p = asm(|a| {
+            a.li(T0, 0x100);
+            a.li(T1, -2);
+            a.sw(T1, T0, 0);
+            a.lb(A0, T0, 0); // sign-extended 0xfe
+            a.lbu(A1, T0, 0); // zero-extended
+            a.lw(Zero, T0, 0); // write to x0 discarded
+            a.ecall();
+        });
+        let mut h = Hart::new();
+        h.launch(p.base(), &[], 4096);
+        let mut m = SparseMem::new();
+        h.run(&p, &mut m, 100).unwrap();
+        assert_eq!(h.regs[A0.index() as usize], 0xffff_fffe);
+        assert_eq!(h.regs[A1.index() as usize], 0xfe);
+        assert_eq!(h.regs[0], 0);
+        assert_eq!(m.read_u32(0x100), 0xffff_fffe);
+    }
+
+    #[test]
+    fn instr_limit_stops_infinite_loop() {
+        let p = asm(|a| {
+            let spin = a.here();
+            a.j(spin);
+        });
+        let mut h = Hart::new();
+        h.launch(p.base(), &[], 4096);
+        let mut m = SparseMem::new();
+        assert_eq!(h.run(&p, &mut m, 1000).unwrap(), StopReason::InstrLimit);
+        assert_eq!(h.stats.instrs, 1000);
+    }
+
+    #[test]
+    fn traps_match_tile_conventions() {
+        let p = asm(|a| {
+            a.ebreak();
+        });
+        let mut h = Hart::new();
+        h.launch(p.base(), &[], 4096);
+        let mut m = SparseMem::new();
+        let err = h.run(&p, &mut m, 10).unwrap_err();
+        assert_eq!(err.msg, "ebreak");
+        assert_eq!(err.pc, p.base());
+    }
+
+    #[test]
+    fn running_off_the_image_faults() {
+        let p = asm(|a| {
+            a.nop();
+        });
+        let mut h = Hart::new();
+        h.launch(p.base(), &[], 4096);
+        let mut m = SparseMem::new();
+        let err = h.run(&p, &mut m, 10).unwrap_err();
+        assert_eq!(err.msg, "pc outside program image");
+    }
+}

@@ -1,0 +1,175 @@
+//! The ISS memory interface and the default sparse paged memory.
+
+use hb_isa::AmoOp;
+use std::collections::HashMap;
+
+/// Bytes per [`SparseMem`] page.
+pub const PAGE_BYTES: u32 = 4096;
+
+/// Side effect of a store as seen by the execution driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreEffect {
+    /// Plain data store, nothing to coordinate.
+    Done,
+    /// The store was a barrier join (HammerBlade joins by storing to the
+    /// BARRIER CSR). The hart retires the store; the driver decides when
+    /// the barrier releases (immediately for a 1x1 group, rendezvous for
+    /// multi-hart functional execution).
+    Barrier,
+}
+
+/// Memory system plugged under a [`Hart`](crate::Hart).
+///
+/// Implementations define the address space: the default [`SparseMem`] is a
+/// flat 32-bit space; `hb-core` provides a PGAS bus with tile semantics
+/// (SPM bounds-checks, CSR reads, group-SPM redirection, DRAM). `width` is
+/// 1, 2 or 4; addresses are byte addresses. Loads return the raw (not yet
+/// sign-extended) `width` bytes, little-endian, in the low bits — the hart
+/// applies sign extension. Errors become [`IssFault`](crate::IssFault)s.
+pub trait Bus {
+    /// Loads `width` bytes at `addr`.
+    fn load(&mut self, addr: u32, width: u8) -> Result<u32, String>;
+    /// Stores the low `width` bytes of `data` at `addr`.
+    fn store(&mut self, addr: u32, width: u8, data: u32) -> Result<StoreEffect, String>;
+    /// Atomically applies `op` to the word at `addr`, returning the old
+    /// value.
+    fn amo(&mut self, addr: u32, op: AmoOp, data: u32) -> Result<u32, String>;
+    /// Value of the CYCLE CSR, when the bus models one (the co-simulation
+    /// bus forwards the cycle-level tile's clock so CSR reads match).
+    fn now(&self) -> u64 {
+        0
+    }
+}
+
+/// Sparse paged byte memory over the full 32-bit space.
+///
+/// Reads of untouched pages return zero without allocating; writes allocate
+/// 4 KiB pages on demand. Accesses may not straddle a page boundary —
+/// aligned 1/2/4-byte accesses never do.
+#[derive(Debug, Clone, Default)]
+pub struct SparseMem {
+    pages: HashMap<u32, Box<[u8; PAGE_BYTES as usize]>>,
+}
+
+impl SparseMem {
+    /// Creates an empty (all-zero) memory.
+    pub fn new() -> SparseMem {
+        SparseMem::default()
+    }
+
+    /// Drops every page (memory reads as zero again).
+    pub fn clear(&mut self) {
+        self.pages.clear();
+    }
+
+    /// Number of resident 4 KiB pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads `width` bytes at `addr` (little-endian, low bits).
+    pub fn read(&self, addr: u32, width: u8) -> u32 {
+        let (page, off) = (addr / PAGE_BYTES, (addr % PAGE_BYTES) as usize);
+        let Some(p) = self.pages.get(&page) else {
+            return 0;
+        };
+        let mut v = 0u32;
+        for i in (0..width as usize).rev() {
+            v = (v << 8) | u32::from(p[off + i]);
+        }
+        v
+    }
+
+    /// Writes the low `width` bytes of `value` at `addr`.
+    pub fn write(&mut self, addr: u32, width: u8, value: u32) {
+        let (page, off) = (addr / PAGE_BYTES, (addr % PAGE_BYTES) as usize);
+        let p = self
+            .pages
+            .entry(page)
+            .or_insert_with(|| Box::new([0; PAGE_BYTES as usize]));
+        for i in 0..width as usize {
+            p[off + i] = (value >> (8 * i)) as u8;
+        }
+    }
+
+    /// Reads a little-endian word.
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        self.read(addr, 4)
+    }
+
+    /// Writes a little-endian word.
+    pub fn write_u32(&mut self, addr: u32, value: u32) {
+        self.write(addr, 4, value);
+    }
+
+    /// Copies `data` into memory at `addr`.
+    pub fn write_bytes(&mut self, addr: u32, data: &[u8]) {
+        for (i, &b) in data.iter().enumerate() {
+            self.write(addr + i as u32, 1, u32::from(b));
+        }
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u32, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| self.read(addr + i as u32, 1) as u8)
+            .collect()
+    }
+}
+
+impl Bus for SparseMem {
+    fn load(&mut self, addr: u32, width: u8) -> Result<u32, String> {
+        Ok(self.read(addr, width))
+    }
+
+    fn store(&mut self, addr: u32, width: u8, data: u32) -> Result<StoreEffect, String> {
+        self.write(addr, width, data);
+        Ok(StoreEffect::Done)
+    }
+
+    fn amo(&mut self, addr: u32, op: AmoOp, data: u32) -> Result<u32, String> {
+        let old = self.read(addr, 4);
+        self.write(addr, 4, op.apply(old, data));
+        Ok(old)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_and_round_trip() {
+        let mut m = SparseMem::new();
+        assert_eq!(m.read_u32(0xdead_b000), 0);
+        assert_eq!(m.resident_pages(), 0, "reads must not allocate");
+        m.write_u32(0xdead_b000, 0x1234_5678);
+        assert_eq!(m.read_u32(0xdead_b000), 0x1234_5678);
+        assert_eq!(m.read(0xdead_b000, 1), 0x78, "little-endian");
+        assert_eq!(m.resident_pages(), 1);
+    }
+
+    #[test]
+    fn pages_are_independent() {
+        let mut m = SparseMem::new();
+        m.write_u32(0, 1);
+        m.write_u32(PAGE_BYTES, 2);
+        m.write_u32(u32::MAX - 3, 3);
+        assert_eq!(m.read_u32(0), 1);
+        assert_eq!(m.read_u32(PAGE_BYTES), 2);
+        assert_eq!(m.read_u32(u32::MAX - 3), 3);
+        assert_eq!(m.resident_pages(), 3);
+        m.clear();
+        assert_eq!(m.read_u32(0), 0);
+    }
+
+    #[test]
+    fn amo_returns_old_value() {
+        let mut m = SparseMem::new();
+        m.write_u32(64, 10);
+        assert_eq!(m.amo(64, AmoOp::Add, 5).unwrap(), 10);
+        assert_eq!(m.read_u32(64), 15);
+        assert_eq!(m.amo(64, AmoOp::Swap, 99).unwrap(), 15);
+        assert_eq!(m.read_u32(64), 99);
+    }
+}

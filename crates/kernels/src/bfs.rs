@@ -56,7 +56,12 @@ pub struct Bfs {
 
 impl Default for Bfs {
     fn default() -> Bfs {
-        Bfs { scale: 8, edges: 4096, road: false, direction_optimizing: false }
+        Bfs {
+            scale: 8,
+            edges: 4096,
+            road: false,
+            direction_optimizing: false,
+        }
     }
 }
 
@@ -64,19 +69,35 @@ impl Bfs {
     /// The paper's road-network configuration (low HBM utilization from
     /// small frontiers).
     pub fn road_network() -> Bfs {
-        Bfs { scale: 5, edges: 0, road: true, ..Bfs::default() }
+        Bfs {
+            scale: 5,
+            edges: 0,
+            road: true,
+            ..Bfs::default()
+        }
     }
 
     /// The direction-optimizing variant (paper §IV.B / Beamer \[10\]).
     pub fn direction_optimizing() -> Bfs {
-        Bfs { direction_optimizing: true, ..Bfs::default() }
+        Bfs {
+            direction_optimizing: true,
+            ..Bfs::default()
+        }
     }
 
     fn sized(&self, size: SizeClass) -> Bfs {
         match size {
-            SizeClass::Tiny => Bfs { scale: 6, edges: 512, ..self.clone() },
+            SizeClass::Tiny => Bfs {
+                scale: 6,
+                edges: 512,
+                ..self.clone()
+            },
             SizeClass::Small => self.clone(),
-            SizeClass::Large => Bfs { scale: 11, edges: 16384, ..self.clone() },
+            SizeClass::Large => Bfs {
+                scale: 11,
+                edges: 16384,
+                ..self.clone()
+            },
         }
     }
 
@@ -385,7 +406,10 @@ mod tests {
     use hb_core::CellDim;
 
     fn small_cfg() -> MachineConfig {
-        MachineConfig { cell_dim: CellDim { x: 4, y: 2 }, ..MachineConfig::baseline_16x8() }
+        MachineConfig {
+            cell_dim: CellDim { x: 4, y: 2 },
+            ..MachineConfig::baseline_16x8()
+        }
     }
 
     #[test]
@@ -396,14 +420,18 @@ mod tests {
 
     #[test]
     fn bfs_validates_road_grid() {
-        Bfs::road_network().run(&small_cfg(), SizeClass::Tiny).unwrap();
+        Bfs::road_network()
+            .run(&small_cfg(), SizeClass::Tiny)
+            .unwrap();
     }
 
     #[test]
     fn direction_optimizing_bfs_validates() {
         // Power-law graphs hit dense mid-search frontiers, exercising the
         // bottom-up sweep.
-        Bfs::direction_optimizing().run(&small_cfg(), SizeClass::Tiny).unwrap();
+        Bfs::direction_optimizing()
+            .run(&small_cfg(), SizeClass::Tiny)
+            .unwrap();
     }
 
     #[test]
@@ -411,8 +439,9 @@ mod tests {
         // On a dense-frontier graph the bottom-up path must actually
         // reduce edge work (fewer remote requests than pure top-down).
         let plain = Bfs::default().run(&small_cfg(), SizeClass::Tiny).unwrap();
-        let diropt =
-            Bfs::direction_optimizing().run(&small_cfg(), SizeClass::Tiny).unwrap();
+        let diropt = Bfs::direction_optimizing()
+            .run(&small_cfg(), SizeClass::Tiny)
+            .unwrap();
         // Same result (validated internally); the optimized variant must
         // not be wildly slower.
         assert!(diropt.cycles < plain.cycles * 3);

@@ -106,7 +106,7 @@ impl BarnesHut {
         a.flw(Fs6, T1, 0); // pm
         a.fmv_w_x(Fs7, Zero); // fx
         a.fmv_w_x(Fs8, Zero); // fy
-        // Push root (node 0).
+                              // Push root (node 0).
         a.sw(Zero, S2, 0);
         a.li(S6, 4); // sp (bytes)
 
@@ -187,8 +187,9 @@ impl BarnesHut {
     pub fn execute(&self, cfg: &MachineConfig) -> Result<BenchStats, SimError> {
         let bodies = gen::bodies(self.bodies as usize, 0xB4);
         let tree = golden::QuadTree::build(&bodies);
-        let expect: Vec<(f32, f32)> =
-            (0..bodies.len()).map(|b| tree.force(&bodies, b, THETA)).collect();
+        let expect: Vec<(f32, f32)> = (0..bodies.len())
+            .map(|b| tree.force(&bodies, b, THETA))
+            .collect();
 
         // Serialize the tree into flat arrays.
         let nn = tree.nodes.len();
@@ -203,7 +204,11 @@ impl BarnesHut {
             cy.push(node.com.1);
             mass.push(node.mass);
             size2.push(node.size * node.size);
-            leaf.push(if node.is_leaf { node.children[0] } else { u32::MAX });
+            leaf.push(if node.is_leaf {
+                node.children[0]
+            } else {
+                u32::MAX
+            });
             if node.is_leaf {
                 child.extend_from_slice(&[u32::MAX; 4]);
             } else {
@@ -264,7 +269,10 @@ impl BarnesHut {
         let summary = machine.run(cycle_budget(cfg))?;
         machine.cell_mut(0).flush_caches();
         let fx = machine.cell(0).dram().read_f32_slice(out_d, n as usize);
-        let fy = machine.cell(0).dram().read_f32_slice(out_d + 4 * n, n as usize);
+        let fy = machine
+            .cell(0)
+            .dram()
+            .read_f32_slice(out_d + 4 * n, n as usize);
         for b in 0..n as usize {
             let (ex, ey) = expect[b];
             let scale = ex.abs().max(ey.abs()).max(1.0);

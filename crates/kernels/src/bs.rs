@@ -30,8 +30,13 @@ impl Default for BlackScholes {
 /// Emits `dst = CND(d)` (cumulative normal distribution, golden-matching).
 /// Clobbers `Ft0..Ft7`, `T4` and `T5`; `d` must not alias those.
 fn emit_cnd(a: &mut Assembler, dst: Fpr, d: Fpr) {
-    const COEFF: [f32; 5] =
-        [0.319_381_53, -0.356_563_78, 1.781_477_9, -1.821_255_9, 1.330_274_4];
+    const COEFF: [f32; 5] = [
+        0.319_381_53,
+        -0.356_563_78,
+        1.781_477_9,
+        -1.821_255_9,
+        1.330_274_4,
+    ];
     // l = |d|
     a.fabs(Ft0, d);
     // kk = 1 / (1 + 0.2316419 * l)
@@ -52,7 +57,7 @@ fn emit_cnd(a: &mut Assembler, dst: Fpr, d: Fpr) {
     a.fmul(Ft4, Ft4, Ft5);
     emit_exp_approx(a, Ft5, Ft4, Ft6, T5);
     // w = 1 - 0.39894228 * ft5 * poly
-    a.lif(Ft6, T5, 0.398_942_28);
+    a.lif(Ft6, T5, 0.398_942_3);
     a.fmul(Ft6, Ft6, Ft5);
     a.fmul(Ft6, Ft6, Ft3);
     a.lif(Ft7, T5, 1.0);
@@ -108,7 +113,7 @@ impl BlackScholes {
         a.fmul(Fs5, Ft0, Fs3);
         a.fdiv(Fs6, Fs4, Fs5); // d1
         a.fsub(Fs7, Fs6, Fs5); // d2
-        // fs8 = CND(d1), fs9 = CND(d2)
+                               // fs8 = CND(d1), fs9 = CND(d2)
         emit_cnd(&mut a, Fs8, Fs6);
         emit_cnd(&mut a, Fs9, Fs7);
         // fs10 = exp(-R*t)
@@ -135,8 +140,10 @@ impl BlackScholes {
     /// Runs and validates against [`golden::black_scholes_call`].
     pub fn execute(&self, cfg: &MachineConfig) -> Result<BenchStats, SimError> {
         let opts = gen::bs_options(self.count as usize, 0xB5);
-        let expect: Vec<f32> =
-            opts.iter().map(|&(s, k, t)| golden::black_scholes_call(s, k, t)).collect();
+        let expect: Vec<f32> = opts
+            .iter()
+            .map(|&(s, k, t)| golden::black_scholes_call(s, k, t))
+            .collect();
 
         let mut machine = Machine::new(cfg.clone());
         let cell = machine.cell_mut(0);

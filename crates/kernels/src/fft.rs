@@ -32,16 +32,25 @@ pub struct Fft {
 
 impl Default for Fft {
     fn default() -> Fft {
-        Fft { points: 64, batch: 32 }
+        Fft {
+            points: 64,
+            batch: 32,
+        }
     }
 }
 
 impl Fft {
     fn sized(&self, size: SizeClass) -> Fft {
         match size {
-            SizeClass::Tiny => Fft { points: 16, batch: 8 },
+            SizeClass::Tiny => Fft {
+                points: 16,
+                batch: 8,
+            },
             SizeClass::Small => self.clone(),
-            SizeClass::Large => Fft { points: 128, batch: 128 },
+            SizeClass::Large => Fft {
+                points: 128,
+                batch: 128,
+            },
         }
     }
 
@@ -147,7 +156,7 @@ impl Fft {
                     a.slli(T0, T0, 3);
                     a.flw(Fs0, T0, SPM_TW); // wr
                     a.flw(Fs1, T0, SPM_TW + 4); // wi
-                    // i = start + k, j = i + half (complex indices).
+                                                // i = start + k, j = i + half (complex indices).
                     a.add(T1, S5, S6);
                     a.slli(T1, T1, 3);
                     a.add(T2, T1, Zero);
@@ -155,7 +164,7 @@ impl Fft {
                     a.add(T2, T1, T3); // j byte offset
                     a.flw(Fa0, T2, SPM_DATA); // xr
                     a.flw(Fa1, T2, SPM_DATA + 4); // xi
-                    // (tr, ti) = x * w
+                                                  // (tr, ti) = x * w
                     a.fmul(Fa2, Fa0, Fs0);
                     a.fnmsub(Fa2, Fa1, Fs1, Fa2); // tr = xr*wr - xi*wi
                     a.fmul(Fa3, Fa0, Fs1);
@@ -210,7 +219,7 @@ impl Fft {
     /// Runs and validates against [`golden::fft`].
     pub fn execute(&self, cfg: &MachineConfig) -> Result<BenchStats, SimError> {
         let n = self.points as usize;
-        assert!(n.is_power_of_two() && n >= 8 && n <= 128);
+        assert!(n.is_power_of_two() && (8..=128).contains(&n));
         let mut signals = gen::complex_signal(n * self.batch as usize, 0xFF7);
         let input = signals.clone();
         for s in 0..self.batch as usize {
@@ -220,8 +229,9 @@ impl Fft {
 
         // Host-precomputed tables (the RV32 core has no sin/cos).
         let bits = n.trailing_zeros();
-        let rev: Vec<u32> =
-            (0..n as u32).map(|i| i.reverse_bits() >> (32 - bits)).collect();
+        let rev: Vec<u32> = (0..n as u32)
+            .map(|i| i.reverse_bits() >> (32 - bits))
+            .collect();
         let mut twiddles = Vec::with_capacity(n);
         for k in 0..n / 2 {
             let ang = -2.0 * std::f32::consts::PI * k as f32 / n as f32;
@@ -289,6 +299,9 @@ mod tests {
             ..MachineConfig::baseline_16x8()
         };
         let stats = Fft::default().run(&cfg, SizeClass::Tiny).unwrap();
-        assert!(stats.core.lpc_merged > 0, "FFT block copies should trigger LPC");
+        assert!(
+            stats.core.lpc_merged > 0,
+            "FFT block copies should trigger LPC"
+        );
     }
 }

@@ -24,7 +24,9 @@ mod rand_like {
         let mut state = 0x2545_F491_4F6C_DD1Du64;
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
             })
             .collect()
@@ -157,7 +159,7 @@ impl Jacobi {
                 a.flw(Fa0, T0, 0); // self z
                 a.flw(Fa1, T0, -4); // z-1
                 a.flw(Fa2, T0, 4); // z+1
-                // Golden order: self + left + right + up + down + z-1 + z+1.
+                                   // Golden order: self + left + right + up + down + z-1 + z+1.
                 a.fadd(Fa7, Fa0, Fa3);
                 a.fadd(Fa7, Fa7, Fa4);
                 a.fadd(Fa7, Fa7, Fa5);
@@ -215,7 +217,11 @@ impl Jacobi {
     /// Runs and validates against repeated [`golden::jacobi_step`].
     pub fn execute(&self, cfg: &MachineConfig) -> Result<BenchStats, SimError> {
         assert!(self.z <= 448, "column must fit double-buffered in SPM");
-        let (nx, ny, nz) = (cfg.cell_dim.x as usize, cfg.cell_dim.y as usize, self.z as usize);
+        let (nx, ny, nz) = (
+            cfg.cell_dim.x as usize,
+            cfg.cell_dim.y as usize,
+            self.z as usize,
+        );
         let init = grid_values(nx * ny * nz);
         let mut expect = init.clone();
         for _ in 0..self.steps {
@@ -272,6 +278,9 @@ mod tests {
             ..MachineConfig::baseline_16x8()
         };
         let stats = Jacobi::default().run(&cfg, SizeClass::Tiny).unwrap();
-        assert!(stats.core.remote_requests > 0, "neighbor SPM reads are remote");
+        assert!(
+            stats.core.remote_requests > 0,
+            "neighbor SPM reads are remote"
+        );
     }
 }

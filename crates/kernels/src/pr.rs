@@ -44,16 +44,31 @@ pub struct PageRank {
 
 impl Default for PageRank {
     fn default() -> PageRank {
-        PageRank { scale: 8, edges: 2048, iters: 4, power_law: true }
+        PageRank {
+            scale: 8,
+            edges: 2048,
+            iters: 4,
+            power_law: true,
+        }
     }
 }
 
 impl PageRank {
     fn sized(&self, size: SizeClass) -> PageRank {
         match size {
-            SizeClass::Tiny => PageRank { scale: 6, edges: 512, iters: 2, power_law: self.power_law },
+            SizeClass::Tiny => PageRank {
+                scale: 6,
+                edges: 512,
+                iters: 2,
+                power_law: self.power_law,
+            },
             SizeClass::Small => self.clone(),
-            SizeClass::Large => PageRank { scale: 10, edges: 16384, iters: 8, power_law: self.power_law },
+            SizeClass::Large => PageRank {
+                scale: 10,
+                edges: 16384,
+                iters: 8,
+                power_law: self.power_law,
+            },
         }
     }
 
@@ -250,7 +265,11 @@ impl PageRank {
         let summary = machine.run(cycle_budget(cfg))?;
         machine.cell_mut(0).flush_caches();
         // Result buffer depends on iteration parity.
-        let result = if self.iters % 2 == 0 { pr_a } else { pr_b };
+        let result = if self.iters.is_multiple_of(2) {
+            pr_a
+        } else {
+            pr_b
+        };
         let got = machine.cell(0).dram().read_f32_slice(result, n as usize);
         for (v, (g_val, e)) in got.iter().zip(&expect).enumerate() {
             assert!(

@@ -32,7 +32,12 @@ pub struct Sgemm {
 
 impl Default for Sgemm {
     fn default() -> Sgemm {
-        Sgemm { m: 32, k: 32, n: 32, blocked: false }
+        Sgemm {
+            m: 32,
+            k: 32,
+            n: 32,
+            blocked: false,
+        }
     }
 }
 
@@ -40,14 +45,29 @@ impl Sgemm {
     /// The SPM-blocked variant (requires M, N multiples of 8 and K a
     /// multiple of 16).
     pub fn blocked() -> Sgemm {
-        Sgemm { m: 32, k: 32, n: 32, blocked: true }
+        Sgemm {
+            m: 32,
+            k: 32,
+            n: 32,
+            blocked: true,
+        }
     }
 
     fn sized(&self, size: SizeClass) -> Sgemm {
         match size {
-            SizeClass::Tiny => Sgemm { m: 8, k: 16, n: 8, ..self.clone() },
+            SizeClass::Tiny => Sgemm {
+                m: 8,
+                k: 16,
+                n: 8,
+                ..self.clone()
+            },
             SizeClass::Small => self.clone(),
-            SizeClass::Large => Sgemm { m: 64, k: 64, n: 64, ..self.clone() },
+            SizeClass::Large => Sgemm {
+                m: 64,
+                k: 64,
+                n: 64,
+                ..self.clone()
+            },
         }
     }
 
@@ -282,7 +302,7 @@ impl Sgemm {
         assert_eq!(self.n % 4, 0, "N must be a multiple of 4");
         if self.blocked {
             assert!(
-                self.m % 8 == 0 && self.n % 8 == 0 && self.k % 16 == 0,
+                self.m.is_multiple_of(8) && self.n.is_multiple_of(8) && self.k.is_multiple_of(16),
                 "blocked SGEMM needs M,N % 8 == 0 and K % 16 == 0"
             );
         }
@@ -299,8 +319,11 @@ impl Sgemm {
         cell.dram_mut().write_f32_slice(a_dev, &a_host);
         cell.dram_mut().write_f32_slice(b_dev, &b_host);
 
-        let program =
-            Arc::new(if self.blocked { Self::program_blocked() } else { Self::program() });
+        let program = Arc::new(if self.blocked {
+            Self::program_blocked()
+        } else {
+            Self::program()
+        });
         machine.launch(
             0,
             &program,

@@ -45,21 +45,37 @@ pub struct SpGemm {
 
 impl Default for SpGemm {
     fn default() -> SpGemm {
-        SpGemm { n: 128, nnz_per_row: 8, power_law: false }
+        SpGemm {
+            n: 128,
+            nnz_per_row: 8,
+            power_law: false,
+        }
     }
 }
 
 impl SpGemm {
     /// The paper's "SpGEMM (WV)" configuration: power-law input.
     pub fn wiki_vote() -> SpGemm {
-        SpGemm { n: 256, nnz_per_row: 8, power_law: true }
+        SpGemm {
+            n: 256,
+            nnz_per_row: 8,
+            power_law: true,
+        }
     }
 
     fn sized(&self, size: SizeClass) -> SpGemm {
         match size {
-            SizeClass::Tiny => SpGemm { n: 32, nnz_per_row: 4, power_law: self.power_law },
+            SizeClass::Tiny => SpGemm {
+                n: 32,
+                nnz_per_row: 4,
+                power_law: self.power_law,
+            },
             SizeClass::Small => self.clone(),
-            SizeClass::Large => SpGemm { n: 512, nnz_per_row: 8, power_law: self.power_law },
+            SizeClass::Large => SpGemm {
+                n: 512,
+                nnz_per_row: 8,
+                power_law: self.power_law,
+            },
         }
     }
 
@@ -123,7 +139,7 @@ impl SpGemm {
         a.lw(T3, T2, 0); // k = a_ci[ptr]
         a.add(T2, A2, T1);
         a.flw(Fa0, T2, 0); // av
-        // B row k range.
+                           // B row k range.
         a.slli(T4, T3, 2);
         a.add(T4, A3, T4);
         a.lw(S8, T4, 0);
@@ -247,8 +263,12 @@ impl SpGemm {
         let is = dram.read_u32_slice(out_i, got_nnz);
         let js = dram.read_u32_slice(out_j, got_nnz);
         let vs = dram.read_f32_slice(out_v, got_nnz);
-        let triples: Vec<(u32, u32, f32)> =
-            is.into_iter().zip(js).zip(vs).map(|((i, j), v)| (i, j, v)).collect();
+        let triples: Vec<(u32, u32, f32)> = is
+            .into_iter()
+            .zip(js)
+            .zip(vs)
+            .map(|((i, j), v)| (i, j, v))
+            .collect();
         let got = CsrMatrix::from_triples(am.rows, bm.cols, &triples);
         assert_eq!(got.row_ptr, expect.row_ptr, "SpGEMM structure mismatch");
         assert_eq!(got.col_idx, expect.col_idx, "SpGEMM pattern mismatch");

@@ -41,7 +41,10 @@ impl SmithWaterman {
         match size {
             SizeClass::Tiny => SmithWaterman { pairs: 8, len: 16 },
             SizeClass::Small => self.clone(),
-            SizeClass::Large => SmithWaterman { pairs: 128, len: 64 },
+            SizeClass::Large => SmithWaterman {
+                pairs: 128,
+                len: 64,
+            },
         }
     }
 
@@ -93,7 +96,7 @@ impl SmithWaterman {
             {
                 a.mv(T0, S3); // up_left = diag
                 a.lw(S3, S5, 4); // diag = prev[j+1]
-                // score = up_left + (q[i]==r[j] ? 2 : -1)
+                                 // score = up_left + (q[i]==r[j] ? 2 : -1)
                 a.lbu(T1, S2, SPM_REF);
                 let mismatch = a.new_label();
                 let scored = a.new_label();
@@ -181,7 +184,10 @@ impl SmithWaterman {
         );
         let summary = machine.run(cycle_budget(cfg))?;
         machine.cell_mut(0).flush_caches();
-        let got = machine.cell(0).dram().read_u32_slice(out, self.pairs as usize);
+        let got = machine
+            .cell(0)
+            .dram()
+            .read_u32_slice(out, self.pairs as usize);
         assert_eq!(got, expect, "SW score mismatch");
         Ok(BenchStats::collect("SW", summary.cycles, &machine))
     }

@@ -69,7 +69,7 @@ pub fn emit_ln_approx(
     a.fadd(t1, x, one);
     a.fdiv(t0, t0, t1); // y
     a.fmul(t1, t0, t0); // y2
-    // dst = 1/7
+                        // dst = 1/7
     a.lif(dst, scratch, 1.0 / 7.0);
     a.fmul(dst, dst, t1);
     a.lif(t2, scratch, 1.0 / 5.0);

@@ -176,10 +176,17 @@ impl Hbm2Channel {
     ///
     /// Panics if `banks` is not a power of two or geometry fields are zero.
     pub fn new(config: Hbm2Config) -> Hbm2Channel {
-        assert!(config.banks.is_power_of_two(), "bank count must be a power of two");
+        assert!(
+            config.banks.is_power_of_two(),
+            "bank count must be a power of two"
+        );
         assert!(config.row_bytes >= config.line_bytes && config.line_bytes > 0);
         let banks = vec![
-            Bank { open_row: None, ready_at: 0, precharge_ok_at: 0 };
+            Bank {
+                open_row: None,
+                ready_at: 0,
+                precharge_ok_at: 0
+            };
             config.banks
         ];
         let next_refresh_at = config.t_refi;
@@ -214,7 +221,10 @@ impl Hbm2Channel {
         if !self.can_accept() {
             return false;
         }
-        self.queue.push_back(Queued { req, touched_row: false });
+        self.queue.push_back(Queued {
+            req,
+            touched_row: false,
+        });
         true
     }
 
@@ -388,24 +398,42 @@ mod tests {
         let cfg = Hbm2Config::default();
         let (t_rcd, t_cas, burst) = (cfg.t_rcd, cfg.t_cas, cfg.burst_cycles);
         let mut ch = Hbm2Channel::new(cfg);
-        assert!(ch.enqueue(DramRequest { id: 7, addr: 0, write: false }));
+        assert!(ch.enqueue(DramRequest {
+            id: 7,
+            addr: 0,
+            write: false
+        }));
         let (resp, at) = run_until_response(&mut ch, 200).expect("read must complete");
         assert_eq!(resp.id, 7);
         // Activation + CAS + burst, plus a couple of scheduling cycles.
         let floor = t_rcd + t_cas + burst;
-        assert!(at >= floor, "completed at {at}, faster than DRAM timing floor {floor}");
-        assert!(at <= floor + 4, "completed at {at}, too slow vs floor {floor}");
+        assert!(
+            at >= floor,
+            "completed at {at}, faster than DRAM timing floor {floor}"
+        );
+        assert!(
+            at <= floor + 4,
+            "completed at {at}, too slow vs floor {floor}"
+        );
     }
 
     #[test]
     fn row_hit_is_faster_than_row_miss() {
         let mut ch = Hbm2Channel::new(Hbm2Config::default());
-        ch.enqueue(DramRequest { id: 1, addr: 0, write: false });
+        ch.enqueue(DramRequest {
+            id: 1,
+            addr: 0,
+            write: false,
+        });
         let (_, t_miss) = run_until_response(&mut ch, 200).unwrap();
         // Same bank, same row: next line in the row is banks*line_bytes away.
         let same_row_addr = ch.config().line_bytes * ch.config().banks as u32;
         let start = ch.cycle();
-        ch.enqueue(DramRequest { id: 2, addr: same_row_addr, write: false });
+        ch.enqueue(DramRequest {
+            id: 2,
+            addr: same_row_addr,
+            write: false,
+        });
         let (_, t_hit_abs) = run_until_response(&mut ch, 200).unwrap();
         let t_hit = t_hit_abs - start;
         assert!(
@@ -421,9 +449,17 @@ mod tests {
         let cfg = Hbm2Config::default();
         let row_span = cfg.row_bytes * cfg.banks as u32; // same bank, next row
         let mut ch = Hbm2Channel::new(cfg);
-        ch.enqueue(DramRequest { id: 1, addr: 0, write: false });
+        ch.enqueue(DramRequest {
+            id: 1,
+            addr: 0,
+            write: false,
+        });
         run_until_response(&mut ch, 200).unwrap();
-        ch.enqueue(DramRequest { id: 2, addr: row_span, write: false });
+        ch.enqueue(DramRequest {
+            id: 2,
+            addr: row_span,
+            write: false,
+        });
         run_until_response(&mut ch, 300).unwrap();
         assert_eq!(ch.stats().row_conflicts, 1);
     }
@@ -434,8 +470,16 @@ mod tests {
         // total time well under 2x the single-request latency.
         let cfg = Hbm2Config::default();
         let mut ch = Hbm2Channel::new(cfg.clone());
-        ch.enqueue(DramRequest { id: 1, addr: 0, write: false });
-        ch.enqueue(DramRequest { id: 2, addr: cfg.line_bytes, write: false }); // bank 1
+        ch.enqueue(DramRequest {
+            id: 1,
+            addr: 0,
+            write: false,
+        });
+        ch.enqueue(DramRequest {
+            id: 2,
+            addr: cfg.line_bytes,
+            write: false,
+        }); // bank 1
         let mut done = 0;
         let mut finish = 0;
         for _ in 0..400 {
@@ -467,7 +511,11 @@ mod tests {
         let mut completed = 0u64;
         for _ in 0..20_000 {
             while ch.can_accept() {
-                ch.enqueue(DramRequest { id: u64::from(next), addr: next * line, write: false });
+                ch.enqueue(DramRequest {
+                    id: u64::from(next),
+                    addr: next * line,
+                    write: false,
+                });
                 next += 1;
             }
             ch.tick();
@@ -484,7 +532,11 @@ mod tests {
 
     #[test]
     fn refresh_blocks_and_is_accounted() {
-        let cfg = Hbm2Config { t_refi: 100, t_rfc: 50, ..Hbm2Config::default() };
+        let cfg = Hbm2Config {
+            t_refi: 100,
+            t_rfc: 50,
+            ..Hbm2Config::default()
+        };
         let mut ch = Hbm2Channel::new(cfg);
         for _ in 0..1000 {
             ch.tick();
@@ -497,17 +549,36 @@ mod tests {
 
     #[test]
     fn queue_full_rejects() {
-        let cfg = Hbm2Config { queue_depth: 2, ..Hbm2Config::default() };
+        let cfg = Hbm2Config {
+            queue_depth: 2,
+            ..Hbm2Config::default()
+        };
         let mut ch = Hbm2Channel::new(cfg);
-        assert!(ch.enqueue(DramRequest { id: 1, addr: 0, write: false }));
-        assert!(ch.enqueue(DramRequest { id: 2, addr: 64, write: false }));
-        assert!(!ch.enqueue(DramRequest { id: 3, addr: 128, write: false }));
+        assert!(ch.enqueue(DramRequest {
+            id: 1,
+            addr: 0,
+            write: false
+        }));
+        assert!(ch.enqueue(DramRequest {
+            id: 2,
+            addr: 64,
+            write: false
+        }));
+        assert!(!ch.enqueue(DramRequest {
+            id: 3,
+            addr: 128,
+            write: false
+        }));
     }
 
     #[test]
     fn writes_counted_separately() {
         let mut ch = Hbm2Channel::new(Hbm2Config::default());
-        ch.enqueue(DramRequest { id: 1, addr: 0, write: true });
+        ch.enqueue(DramRequest {
+            id: 1,
+            addr: 0,
+            write: true,
+        });
         run_until_response(&mut ch, 200).unwrap();
         assert_eq!(ch.stats().writes, 1);
         assert_eq!(ch.stats().reads, 0);

@@ -28,7 +28,11 @@ impl ClockDivider {
     /// Panics if `denom` is zero or `numer > denom`.
     pub fn new(numer: u64, denom: u64) -> ClockDivider {
         assert!(denom > 0 && numer <= denom, "ratio must be <= 1");
-        ClockDivider { numer, denom, acc: 0 }
+        ClockDivider {
+            numer,
+            denom,
+            acc: 0,
+        }
     }
 
     /// Advances the fast clock one cycle; returns `true` when the slow clock

@@ -1,7 +1,5 @@
 //! Functional byte storage backing a Cell's DRAM address range.
 
-use bytes::{Buf, BufMut};
-
 /// A flat little-endian byte store. Timing is modelled separately by
 /// [`Hbm2Channel`](crate::Hbm2Channel); this type holds the actual data that
 /// cache refills read and evictions write.
@@ -13,7 +11,9 @@ pub struct Dram {
 impl Dram {
     /// Allocates `size` bytes of zeroed storage.
     pub fn new(size: usize) -> Dram {
-        Dram { bytes: vec![0; size] }
+        Dram {
+            bytes: vec![0; size],
+        }
     }
 
     /// Capacity in bytes.
@@ -32,8 +32,11 @@ impl Dram {
     ///
     /// Panics if `addr + 4` exceeds capacity.
     pub fn read_u32(&self, addr: u32) -> u32 {
-        let mut slice = &self.bytes[addr as usize..addr as usize + 4];
-        slice.get_u32_le()
+        u32::from_le_bytes(
+            self.bytes[addr as usize..addr as usize + 4]
+                .try_into()
+                .unwrap(),
+        )
     }
 
     /// Writes a little-endian `u32` at `addr`.
@@ -42,8 +45,7 @@ impl Dram {
     ///
     /// Panics if `addr + 4` exceeds capacity.
     pub fn write_u32(&mut self, addr: u32, value: u32) {
-        let mut slice = &mut self.bytes[addr as usize..addr as usize + 4];
-        slice.put_u32_le(value);
+        self.bytes[addr as usize..addr as usize + 4].copy_from_slice(&value.to_le_bytes());
     }
 
     /// Reads an `f32` stored at `addr`.

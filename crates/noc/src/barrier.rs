@@ -368,8 +368,12 @@ mod tests {
     #[should_panic(expected = "no barrier root")]
     fn rejects_rootless_config() {
         let configs = [
-            BarrierConfig { output: Some(Dir::East) },
-            BarrierConfig { output: Some(Dir::West) },
+            BarrierConfig {
+                output: Some(Dir::East),
+            },
+            BarrierConfig {
+                output: Some(Dir::West),
+            },
         ];
         let _ = BarrierNetwork::new(2, 1, 0, &configs);
     }

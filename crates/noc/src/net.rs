@@ -93,7 +93,14 @@ pub struct NetworkConfig {
 impl NetworkConfig {
     /// A full-width mesh/Ruche configuration with the given shape.
     pub fn new(width: u8, height: u8, ruche_factor: u8, order: RouteOrder) -> NetworkConfig {
-        NetworkConfig { width, height, ruche_factor, order, fifo_depth: 4, link_occupancy: 1 }
+        NetworkConfig {
+            width,
+            height,
+            ruche_factor,
+            order,
+            fifo_depth: 4,
+            link_occupancy: 1,
+        }
     }
 }
 
@@ -145,7 +152,10 @@ impl std::ops::Sub for LinkStats {
     type Output = LinkStats;
 
     fn sub(self, rhs: LinkStats) -> LinkStats {
-        LinkStats { busy: self.busy - rhs.busy, stalled: self.stalled - rhs.stalled }
+        LinkStats {
+            busy: self.busy - rhs.busy,
+            stalled: self.stalled - rhs.stalled,
+        }
     }
 }
 
@@ -153,7 +163,10 @@ impl std::ops::Add for LinkStats {
     type Output = LinkStats;
 
     fn add(self, rhs: LinkStats) -> LinkStats {
-        LinkStats { busy: self.busy + rhs.busy, stalled: self.stalled + rhs.stalled }
+        LinkStats {
+            busy: self.busy + rhs.busy,
+            stalled: self.stalled + rhs.stalled,
+        }
     }
 }
 
@@ -175,20 +188,27 @@ struct Router<P> {
 
 impl<P> Router<P> {
     fn new() -> Router<P> {
-        Router { inputs: std::array::from_fn(|_| VecDeque::new()), rr: [0; NPORTS] }
+        Router {
+            inputs: std::array::from_fn(|_| VecDeque::new()),
+            rr: [0; NPORTS],
+        }
     }
 }
 
 /// A cycle-level single-flit-packet network: 2-D mesh plus optional
 /// horizontal Ruche links, credit/latch flow control, round-robin output
 /// arbitration and dimension-ordered routing.
+/// One router's output latches: a packet plus its link-release cycle per
+/// output port.
+type OutputLatches<P> = [Option<(Packet<P>, u64)>; NPORTS];
+
 #[derive(Debug)]
 pub struct Network<P> {
     cfg: NetworkConfig,
     routers: Vec<Router<P>>,
     /// Output latch per (router, output port): the packet and the cycle at
     /// which it may leave the link (link_occupancy pacing).
-    latches: Vec<[Option<(Packet<P>, u64)>; NPORTS]>,
+    latches: Vec<OutputLatches<P>>,
     link_stats: Vec<[LinkStats; NPORTS]>,
     eject_qs: Vec<VecDeque<Packet<P>>>,
     stats: NetworkStats,
@@ -202,7 +222,10 @@ impl<P: Clone + std::fmt::Debug> Network<P> {
     ///
     /// Panics if any dimension or the FIFO depth is zero.
     pub fn new(cfg: NetworkConfig) -> Network<P> {
-        assert!(cfg.width > 0 && cfg.height > 0, "network dimensions must be nonzero");
+        assert!(
+            cfg.width > 0 && cfg.height > 0,
+            "network dimensions must be nonzero"
+        );
         assert!(cfg.fifo_depth > 0, "fifo depth must be nonzero");
         let n = cfg.width as usize * cfg.height as usize;
         Network {
@@ -236,7 +259,10 @@ impl<P: Clone + std::fmt::Debug> Network<P> {
     }
 
     fn coord(&self, idx: usize) -> Coord {
-        Coord::new((idx % self.cfg.width as usize) as u8, (idx / self.cfg.width as usize) as u8)
+        Coord::new(
+            (idx % self.cfg.width as usize) as u8,
+            (idx / self.cfg.width as usize) as u8,
+        )
     }
 
     /// Where the output link of (`router`, `port`) lands: `None` for the
@@ -248,9 +274,7 @@ impl<P: Clone + std::fmt::Debug> Network<P> {
         match port {
             Port::Local => None,
             Port::North => (c.y > 0).then(|| (self.idx(Coord::new(c.x, c.y - 1)), Port::South)),
-            Port::South => {
-                (c.y + 1 < h).then(|| (self.idx(Coord::new(c.x, c.y + 1)), Port::North))
-            }
+            Port::South => (c.y + 1 < h).then(|| (self.idx(Coord::new(c.x, c.y + 1)), Port::North)),
             Port::East => (c.x + 1 < w).then(|| (self.idx(Coord::new(c.x + 1, c.y)), Port::West)),
             Port::West => (c.x > 0).then(|| (self.idx(Coord::new(c.x - 1, c.y)), Port::East)),
             Port::RucheEast => (rf > 0 && c.x + rf < w)
@@ -568,7 +592,10 @@ mod tests {
     #[test]
     fn xy_routing_goes_x_first() {
         let net = mesh(4, 4);
-        assert_eq!(net.route_port(Coord::new(0, 0), Coord::new(3, 3)), Port::East);
+        assert_eq!(
+            net.route_port(Coord::new(0, 0), Coord::new(3, 3)),
+            Port::East
+        );
         let net2: Network<u64> = Network::new(NetworkConfig {
             width: 4,
             height: 4,
@@ -577,7 +604,10 @@ mod tests {
             fifo_depth: 2,
             link_occupancy: 1,
         });
-        assert_eq!(net2.route_port(Coord::new(0, 0), Coord::new(3, 3)), Port::South);
+        assert_eq!(
+            net2.route_port(Coord::new(0, 0), Coord::new(3, 3)),
+            Port::South
+        );
     }
 
     #[test]
@@ -593,7 +623,14 @@ mod tests {
         for _ in 0..2000 {
             let src = Coord::new(rand() % 4, rand() % 4);
             let dst = Coord::new(rand() % 4, rand() % 4);
-            if net.inject(src, Packet { src, dst, payload: injected }) {
+            if net.inject(
+                src,
+                Packet {
+                    src,
+                    dst,
+                    payload: injected,
+                },
+            ) {
                 injected += 1;
             }
             net.tick();
@@ -629,7 +666,14 @@ mod tests {
             for dy in 0..8u8 {
                 let src = Coord::new(sy % 8, sy);
                 let dst = Coord::new((sy + dy) % 8, dy);
-                while !net.inject(src, Packet { src, dst, payload: id }) {
+                while !net.inject(
+                    src,
+                    Packet {
+                        src,
+                        dst,
+                        payload: id,
+                    },
+                ) {
                     net.tick();
                     drain_check(&mut net, &mut outstanding);
                 }

@@ -28,7 +28,12 @@ pub struct StripConfig {
 
 impl Default for StripConfig {
     fn default() -> StripConfig {
-        StripConfig { banks: 16, bytes_per_cycle: 16, base_latency: 2, skip_distance: 4 }
+        StripConfig {
+            banks: 16,
+            bytes_per_cycle: 16,
+            base_latency: 2,
+            skip_distance: 4,
+        }
     }
 }
 
@@ -102,7 +107,11 @@ impl StripChannel {
     ///
     /// Panics if `bank` is outside the strip.
     pub fn enqueue(&mut self, xfer: StripTransfer) {
-        assert!(xfer.bank < self.cfg.banks, "bank {} outside strip", xfer.bank);
+        assert!(
+            xfer.bank < self.cfg.banks,
+            "bank {} outside strip",
+            xfer.bank
+        );
         self.queue.push_back(xfer);
     }
 
@@ -142,7 +151,10 @@ impl StripChannel {
         if let Some(next) = self.queue.pop_front() {
             let beats = u64::from(next.bytes.div_ceil(self.cfg.bytes_per_cycle));
             let latency = self.cfg.base_latency + self.hop_latency(next.bank);
-            self.active = Some(Active { xfer: next, done_at: self.cycle + latency + beats });
+            self.active = Some(Active {
+                xfer: next,
+                done_at: self.cycle + latency + beats,
+            });
             self.stats.busy_cycles += 1;
             self.stats.wait_cycles += self.queue.len() as u64;
         }
@@ -166,7 +178,12 @@ mod tests {
     #[test]
     fn near_bank_latency_floor() {
         let mut ch = StripChannel::new(StripConfig::default());
-        ch.enqueue(StripTransfer { id: 1, bank: 0, bytes: 64, write: false });
+        ch.enqueue(StripTransfer {
+            id: 1,
+            bank: 0,
+            bytes: 64,
+            write: false,
+        });
         let t = complete_one(&mut ch, 100);
         // base 2 + 4 beats (64/16) + scheduling.
         assert!((6..=8).contains(&t), "near-bank transfer took {t}");
@@ -174,22 +191,43 @@ mod tests {
 
     #[test]
     fn skip_channels_help_far_banks() {
-        let plain = StripConfig { skip_distance: 1, ..StripConfig::default() };
+        let plain = StripConfig {
+            skip_distance: 1,
+            ..StripConfig::default()
+        };
         let skip = StripConfig::default(); // skip 4
         let mut a = StripChannel::new(plain);
         let mut b = StripChannel::new(skip);
-        a.enqueue(StripTransfer { id: 1, bank: 15, bytes: 64, write: false });
-        b.enqueue(StripTransfer { id: 1, bank: 15, bytes: 64, write: false });
+        a.enqueue(StripTransfer {
+            id: 1,
+            bank: 15,
+            bytes: 64,
+            write: false,
+        });
+        b.enqueue(StripTransfer {
+            id: 1,
+            bank: 15,
+            bytes: 64,
+            write: false,
+        });
         let ta = complete_one(&mut a, 100);
         let tb = complete_one(&mut b, 100);
-        assert!(tb < ta, "skip channel ({tb}) not faster than plain chain ({ta})");
+        assert!(
+            tb < ta,
+            "skip channel ({tb}) not faster than plain chain ({ta})"
+        );
     }
 
     #[test]
     fn serializes_transfers() {
         let mut ch = StripChannel::new(StripConfig::default());
         for id in 0..4 {
-            ch.enqueue(StripTransfer { id, bank: 0, bytes: 64, write: id % 2 == 0 });
+            ch.enqueue(StripTransfer {
+                id,
+                bank: 0,
+                bytes: 64,
+                write: id % 2 == 0,
+            });
         }
         let mut order = Vec::new();
         for _ in 0..200 {
@@ -207,7 +245,12 @@ mod tests {
         // Steady-state: a 64B transfer should take ~4 busy beats + overhead.
         let mut ch = StripChannel::new(StripConfig::default());
         for id in 0..100 {
-            ch.enqueue(StripTransfer { id, bank: 0, bytes: 64, write: false });
+            ch.enqueue(StripTransfer {
+                id,
+                bank: 0,
+                bytes: 64,
+                write: false,
+            });
         }
         let mut done = 0;
         let mut cycles = 0u64;

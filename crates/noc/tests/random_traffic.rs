@@ -1,10 +1,10 @@
-//! Property tests on the network: conservation, in-order pairwise
+//! Randomized tests on the network (seeded via `hb_rng`): conservation, in-order pairwise
 //! delivery, and correct destinations under arbitrary random traffic, for
 //! both routing orders, with and without Ruche links and with narrow
 //! links.
 
 use hb_noc::{Coord, Network, NetworkConfig, Packet, RouteOrder};
-use proptest::prelude::*;
+use hb_rng::Rng;
 use std::collections::HashMap;
 
 #[derive(Debug, Clone, Copy)]
@@ -13,11 +13,22 @@ struct Flow {
     dst: Coord,
 }
 
-fn any_flow(w: u8, h: u8) -> impl Strategy<Value = Flow> {
-    (0..w, 0..h, 0..w, 0..h).prop_map(|(sx, sy, dx, dy)| Flow {
-        src: Coord::new(sx, sy),
-        dst: Coord::new(dx, dy),
-    })
+fn any_flow(rng: &mut Rng, w: u8, h: u8) -> Flow {
+    Flow {
+        src: Coord::new(
+            rng.range_u32(0, w.into()) as u8,
+            rng.range_u32(0, h.into()) as u8,
+        ),
+        dst: Coord::new(
+            rng.range_u32(0, w.into()) as u8,
+            rng.range_u32(0, h.into()) as u8,
+        ),
+    }
+}
+
+fn flow_vec(rng: &mut Rng, w: u8, h: u8, max_len: usize) -> Vec<Flow> {
+    let len = 1 + rng.index(max_len - 1);
+    (0..len).map(|_| any_flow(rng, w, h)).collect()
 }
 
 fn run_traffic(cfg: NetworkConfig, flows: &[Flow]) {
@@ -25,19 +36,24 @@ fn run_traffic(cfg: NetworkConfig, flows: &[Flow]) {
     let (w, h) = (cfg.width, cfg.height);
     let mut expected: HashMap<u64, Coord> = HashMap::new();
     let mut next_per_pair: HashMap<(Coord, Coord), u64> = HashMap::new();
-    let mut id = 0u64;
     let mut queue: Vec<(Flow, u64)> = Vec::new();
-    for &f in flows {
+    for (id, &f) in (0u64..).zip(flows) {
         queue.push((f, id));
         expected.insert(id, f.dst);
-        id += 1;
     }
     let mut qi = 0;
     for _ in 0..50_000 {
         // Inject in order (per source) as capacity allows.
         while qi < queue.len() {
             let (f, pid) = queue[qi];
-            if net.inject(f.src, Packet { src: f.src, dst: f.dst, payload: pid }) {
+            if net.inject(
+                f.src,
+                Packet {
+                    src: f.src,
+                    dst: f.dst,
+                    payload: pid,
+                },
+            ) {
                 qi += 1;
             } else {
                 break;
@@ -71,11 +87,11 @@ fn run_traffic(cfg: NetworkConfig, flows: &[Flow]) {
     panic!("{} packets undelivered", expected.len());
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn mesh_xy_delivers_everything(flows in prop::collection::vec(any_flow(6, 5), 1..150)) {
+#[test]
+fn mesh_xy_delivers_everything() {
+    let mut rng = Rng::seed_from_u64(0x40C_0001);
+    for _ in 0..24 {
+        let flows = flow_vec(&mut rng, 6, 5, 150);
         run_traffic(
             NetworkConfig {
                 width: 6,
@@ -88,9 +104,13 @@ proptest! {
             &flows,
         );
     }
+}
 
-    #[test]
-    fn ruche_yx_delivers_everything(flows in prop::collection::vec(any_flow(9, 4), 1..150)) {
+#[test]
+fn ruche_yx_delivers_everything() {
+    let mut rng = Rng::seed_from_u64(0x40C_0002);
+    for _ in 0..24 {
+        let flows = flow_vec(&mut rng, 9, 4, 150);
         run_traffic(
             NetworkConfig {
                 width: 9,
@@ -103,9 +123,13 @@ proptest! {
             &flows,
         );
     }
+}
 
-    #[test]
-    fn narrow_links_deliver_everything(flows in prop::collection::vec(any_flow(5, 5), 1..100)) {
+#[test]
+fn narrow_links_deliver_everything() {
+    let mut rng = Rng::seed_from_u64(0x40C_0003);
+    for _ in 0..24 {
+        let flows = flow_vec(&mut rng, 5, 5, 100);
         run_traffic(
             NetworkConfig {
                 width: 5,

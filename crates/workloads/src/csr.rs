@@ -25,7 +25,10 @@ impl CsrMatrix {
     /// Panics if any index is out of bounds.
     pub fn from_triples(rows: u32, cols: u32, triples: &[(u32, u32, f32)]) -> CsrMatrix {
         for &(r, c, _) in triples {
-            assert!(r < rows && c < cols, "entry ({r},{c}) outside {rows}x{cols}");
+            assert!(
+                r < rows && c < cols,
+                "entry ({r},{c}) outside {rows}x{cols}"
+            );
         }
         let mut sorted: Vec<(u32, u32, f32)> = triples.to_vec();
         sorted.sort_by_key(|&(r, c, _)| (r, c));
@@ -94,7 +97,10 @@ impl CsrMatrix {
         (0..self.rows)
             .map(|r| {
                 let (cols, vals) = self.row(r);
-                cols.iter().zip(vals).map(|(&c, &v)| v * x[c as usize]).sum()
+                cols.iter()
+                    .zip(vals)
+                    .map(|(&c, &v)| v * x[c as usize])
+                    .sum()
             })
             .collect()
     }
@@ -110,11 +116,7 @@ mod tests {
     use super::*;
 
     fn sample() -> CsrMatrix {
-        CsrMatrix::from_triples(
-            3,
-            3,
-            &[(0, 1, 2.0), (0, 2, 3.0), (1, 0, 4.0), (2, 2, 5.0)],
-        )
+        CsrMatrix::from_triples(3, 3, &[(0, 1, 2.0), (0, 2, 3.0), (1, 0, 4.0), (2, 2, 5.0)])
     }
 
     #[test]

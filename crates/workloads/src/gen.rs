@@ -1,8 +1,7 @@
 //! Synthetic workload generators standing in for the paper's inputs.
 
 use crate::csr::CsrMatrix;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hb_rng::Rng;
 
 /// Generates an RMAT power-law graph with `1 << scale` vertices and
 /// `edges` directed edges (Graph500-style parameters a=0.57, b=c=0.19),
@@ -10,12 +9,12 @@ use rand::{Rng, SeedableRng};
 /// high-degree hubs and a long tail.
 pub fn rmat(scale: u32, edges: usize, seed: u64) -> CsrMatrix {
     let n = 1u32 << scale;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut triples = Vec::with_capacity(edges);
     for _ in 0..edges {
         let (mut r, mut c) = (0u32, 0u32);
         for level in (0..scale).rev() {
-            let p: f64 = rng.random();
+            let p: f64 = rng.f64();
             let (dr, dc) = if p < 0.57 {
                 (0, 0)
             } else if p < 0.76 {
@@ -59,12 +58,12 @@ pub fn road_grid(w: u32, h: u32) -> CsrMatrix {
 /// Generates a uniformly random sparse matrix with ~`nnz_per_row` nonzeros
 /// per row and values in `[0, 1)`.
 pub fn uniform_sparse(rows: u32, cols: u32, nnz_per_row: u32, seed: u64) -> CsrMatrix {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut triples = Vec::with_capacity((rows * nnz_per_row) as usize);
     for r in 0..rows {
         for _ in 0..nnz_per_row {
-            let c = rng.random_range(0..cols);
-            triples.push((r, c, rng.random::<f32>()));
+            let c = rng.range_u32(0, cols);
+            triples.push((r, c, rng.f32()));
         }
     }
     CsrMatrix::from_triples(rows, cols, &triples)
@@ -72,38 +71,38 @@ pub fn uniform_sparse(rows: u32, cols: u32, nnz_per_row: u32, seed: u64) -> CsrM
 
 /// Generates a dense row-major matrix with values in `[-1, 1)`.
 pub fn dense_matrix(rows: usize, cols: usize, seed: u64) -> Vec<f32> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..rows * cols).map(|_| rng.random_range(-1.0..1.0)).collect()
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..rows * cols).map(|_| rng.range_f32(-1.0, 1.0)).collect()
 }
 
 /// Generates a complex signal as interleaved (re, im) pairs.
 pub fn complex_signal(n: usize, seed: u64) -> Vec<f32> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..2 * n).map(|_| rng.random_range(-1.0..1.0)).collect()
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..2 * n).map(|_| rng.range_f32(-1.0, 1.0)).collect()
 }
 
 /// Random bytes (AES plaintext blocks).
 pub fn random_bytes(n: usize, seed: u64) -> Vec<u8> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.random()).collect()
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..n).map(|_| rng.next_u32() as u8).collect()
 }
 
 /// Random DNA-like sequences over a 4-letter alphabet (Smith-Waterman).
 pub fn dna_sequence(n: usize, seed: u64) -> Vec<u8> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.random_range(0..4u8)).collect()
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..n).map(|_| rng.range_u32(0, 4) as u8).collect()
 }
 
 /// Option-pricing inputs for Black-Scholes: (spot, strike, time) tuples in
 /// realistic ranges.
 pub fn bs_options(n: usize, seed: u64) -> Vec<(f32, f32, f32)> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     (0..n)
         .map(|_| {
             (
-                rng.random_range(5.0..30.0),
-                rng.random_range(1.0..100.0),
-                rng.random_range(0.25..10.0),
+                rng.range_f32(5.0, 30.0),
+                rng.range_f32(1.0, 100.0),
+                rng.range_f32(0.25, 10.0),
             )
         })
         .collect()
@@ -112,13 +111,13 @@ pub fn bs_options(n: usize, seed: u64) -> Vec<(f32, f32, f32)> {
 /// Random body positions/masses in the unit square (Barnes-Hut).
 /// Returns (x, y, mass) triples.
 pub fn bodies(n: usize, seed: u64) -> Vec<(f32, f32, f32)> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     (0..n)
         .map(|_| {
             (
-                rng.random_range(0.0..1.0),
-                rng.random_range(0.0..1.0),
-                rng.random_range(0.5..2.0),
+                rng.range_f32(0.0, 1.0),
+                rng.range_f32(0.0, 1.0),
+                rng.range_f32(0.5, 2.0),
             )
         })
         .collect()

@@ -29,7 +29,10 @@ impl fmt::Display for MtxError {
 impl std::error::Error for MtxError {}
 
 fn err(line: usize, message: impl Into<String>) -> MtxError {
-    MtxError { line, message: message.into() }
+    MtxError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Parses Matrix Market coordinate text into CSR.
@@ -43,15 +46,19 @@ pub fn parse_mtx(src: &str) -> Result<CsrMatrix, MtxError> {
     let mut lines = src.lines().enumerate().map(|(i, l)| (i + 1, l));
 
     // Header: %%MatrixMarket matrix coordinate <field> <symmetry>
-    let (hline, header) = lines
-        .next()
-        .ok_or_else(|| err(0, "empty file"))?;
+    let (hline, header) = lines.next().ok_or_else(|| err(0, "empty file"))?;
     let toks: Vec<&str> = header.split_whitespace().collect();
     if toks.len() != 5 || !toks[0].eq_ignore_ascii_case("%%MatrixMarket") {
-        return Err(err(hline, "expected `%%MatrixMarket matrix coordinate ...` header"));
+        return Err(err(
+            hline,
+            "expected `%%MatrixMarket matrix coordinate ...` header",
+        ));
     }
     if !toks[1].eq_ignore_ascii_case("matrix") || !toks[2].eq_ignore_ascii_case("coordinate") {
-        return Err(err(hline, format!("unsupported object/format `{} {}`", toks[1], toks[2])));
+        return Err(err(
+            hline,
+            format!("unsupported object/format `{} {}`", toks[1], toks[2]),
+        ));
     }
     let pattern = match toks[3].to_ascii_lowercase().as_str() {
         "real" | "integer" => false,
@@ -98,12 +105,17 @@ pub fn parse_mtx(src: &str) -> Result<CsrMatrix, MtxError> {
         let r: u32 = parts[0].parse().map_err(|_| err(ln, "bad row index"))?;
         let c: u32 = parts[1].parse().map_err(|_| err(ln, "bad col index"))?;
         if r == 0 || c == 0 || r > rows || c > cols {
-            return Err(err(ln, format!("index ({r},{c}) outside {rows}x{cols} (1-based)")));
+            return Err(err(
+                ln,
+                format!("index ({r},{c}) outside {rows}x{cols} (1-based)"),
+            ));
         }
         let v: f32 = if pattern {
             1.0
         } else {
-            parts[2].parse().map_err(|_| err(ln, format!("bad value `{}`", parts[2])))?
+            parts[2]
+                .parse()
+                .map_err(|_| err(ln, format!("bad value `{}`", parts[2])))?
         };
         triples.push((r - 1, c - 1, v));
         if symmetric && r != c {
@@ -112,7 +124,10 @@ pub fn parse_mtx(src: &str) -> Result<CsrMatrix, MtxError> {
         seen += 1;
     }
     if seen != nnz {
-        return Err(err(0, format!("size line promised {nnz} entries, found {seen}")));
+        return Err(err(
+            0,
+            format!("size line promised {nnz} entries, found {seen}"),
+        ));
     }
     Ok(CsrMatrix::from_triples(rows, cols, &triples))
 }
@@ -167,8 +182,8 @@ mod tests {
 
     #[test]
     fn pattern_entries_get_unit_values() {
-        let m = parse_mtx("%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 1\n")
-            .unwrap();
+        let m =
+            parse_mtx("%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 1\n").unwrap();
         assert_eq!(m.vals, vec![1.0]);
     }
 

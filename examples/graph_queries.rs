@@ -63,7 +63,12 @@ fn run(groups_x: u8, groups_y: u8) -> (u64, usize) {
         cell.dram_mut().write_u32(q0, 0);
         launches.push((
             g,
-            vec![pgas::local_dram(rp), pgas::local_dram(q0), pgas::local_dram(result), n],
+            vec![
+                pgas::local_dram(rp),
+                pgas::local_dram(q0),
+                pgas::local_dram(result),
+                n,
+            ],
         ));
         results.push(result);
     }

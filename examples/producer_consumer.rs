@@ -79,7 +79,10 @@ fn consumer() -> Assembler {
 }
 
 fn main() {
-    let cfg = MachineConfig { num_cells: 2, ..MachineConfig::baseline_16x8() };
+    let cfg = MachineConfig {
+        num_cells: 2,
+        ..MachineConfig::baseline_16x8()
+    };
     let mut machine = Machine::new(cfg);
 
     // Buffers live in Cell 1's DRAM; Cell 0 reaches them via Group DRAM.
@@ -97,7 +100,12 @@ fn main() {
     machine.launch(
         1,
         &consumer,
-        &[pgas::local_dram(data), pgas::local_dram(flag), pgas::local_dram(total), N],
+        &[
+            pgas::local_dram(data),
+            pgas::local_dram(flag),
+            pgas::local_dram(total),
+            N,
+        ],
     );
     let summary = machine.run(50_000_000).expect("pipeline completes");
     machine.cell_mut(1).flush_caches();

@@ -15,8 +15,13 @@ fn main() {
         "running a {}x{}x{} Jacobi stencil for {} steps on a {}x{} Cell...",
         cfg.cell_dim.x, cfg.cell_dim.y, jacobi.z, jacobi.steps, cfg.cell_dim.x, cfg.cell_dim.y
     );
-    let stats = jacobi.run(&cfg, SizeClass::Small).expect("jacobi validates");
-    println!("\nvalidated against the golden 7-point stencil in {} cycles", stats.cycles);
+    let stats = jacobi
+        .run(&cfg, SizeClass::Small)
+        .expect("jacobi validates");
+    println!(
+        "\nvalidated against the golden 7-point stencil in {} cycles",
+        stats.cycles
+    );
     println!(
         "{} remote scratchpad/cache requests, {} merged by load-packet compression\n",
         stats.core.remote_requests, stats.core.lpc_merged

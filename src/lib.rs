@@ -14,23 +14,28 @@
 //! assert_eq!(config.cell_dim, CellDim { x: 16, y: 8 });
 //! ```
 
-/// RV32IMAF instruction set: encode/decode, registers, disassembly.
-pub use hb_isa as isa;
 /// Assembler with labels, relocation and pseudo-instructions.
 pub use hb_asm as asm;
-/// HBM2 pseudo-channel DRAM timing model.
-pub use hb_mem as mem;
-/// On-chip networks: mesh, Ruche, barrier and refill channels.
-pub use hb_noc as noc;
 /// Non-blocking, write-validate last-level cache banks.
 pub use hb_cache as cache;
 /// The HammerBlade tile, Cell and Machine: the paper's core contribution.
 pub use hb_core as core;
-/// Synthetic workload generators and golden reference kernels.
-pub use hb_workloads as workloads;
-/// The ten-benchmark parallel suite of Table I.
-pub use hb_kernels as kernels;
-/// Hierarchical-manycore (ET-style) baseline model.
-pub use hb_hier as hier;
 /// Per-instruction energy model.
 pub use hb_energy as energy;
+/// Hierarchical-manycore (ET-style) baseline model.
+pub use hb_hier as hier;
+/// RV32IMAF instruction set: encode/decode, registers, disassembly.
+pub use hb_isa as isa;
+/// Fast functional RV32IMAF golden model (ISS) for co-simulation,
+/// fast-forward and differential fuzzing.
+pub use hb_iss as iss;
+/// The ten-benchmark parallel suite of Table I.
+pub use hb_kernels as kernels;
+/// HBM2 pseudo-channel DRAM timing model.
+pub use hb_mem as mem;
+/// On-chip networks: mesh, Ruche, barrier and refill channels.
+pub use hb_noc as noc;
+/// Deterministic xoshiro256** PRNG used by tests and workload generators.
+pub use hb_rng as rng;
+/// Synthetic workload generators and golden reference kernels.
+pub use hb_workloads as workloads;

@@ -1,148 +1,108 @@
 //! Differential testing of the floating-point pipeline: random
-//! straight-line RV32F programs run on the cycle-level tile and on an
-//! architectural interpreter must produce bit-identical FP register
-//! files, regardless of pipelining, bypass latencies and the iterative
+//! straight-line RV32F programs run on the cycle-level tile and on the
+//! `hb-iss` golden model must produce bit-identical FP register files,
+//! regardless of pipelining, bypass latencies and the iterative
 //! divide/sqrt unit.
 
 use hammerblade::asm::Assembler;
 use hammerblade::core::{CellDim, Machine, MachineConfig};
 use hammerblade::isa::{FmaOp, FpOp, Fpr, Gpr, Instr};
-use proptest::prelude::*;
+use hammerblade::iss::{Hart, SparseMem};
+use hammerblade::rng::Rng;
 use std::sync::Arc;
 
-#[derive(Debug, Clone, Copy)]
-enum Step {
-    /// Load a constant bit pattern into an FP register (li + fmv.w.x).
-    Set(Fpr, u32),
-    /// Two-operand FP op.
-    Op(FpOp, Fpr, Fpr, Fpr),
-    /// Fused multiply-add.
-    Fma(FmaOp, Fpr, Fpr, Fpr, Fpr),
-    /// Square root.
-    Sqrt(Fpr, Fpr),
-    /// Int -> FP conversion of a small constant.
-    CvtFromInt(Fpr, i32),
-}
-
-fn any_fpr() -> impl Strategy<Value = Fpr> {
-    (0u8..32).prop_map(Fpr::from_index)
+fn any_fpr(rng: &mut Rng) -> Fpr {
+    Fpr::from_index(rng.below(32) as u8)
 }
 
 /// Finite, comfortably-ranged f32 bit patterns (no NaN/inf/subnormal
 /// corner semantics; those are covered by unit tests of `FpOp::eval`).
-fn finite_bits() -> impl Strategy<Value = u32> {
-    (-1_000_000i32..1_000_000).prop_map(|v| ((v as f32) / 128.0).to_bits())
+fn finite_bits(rng: &mut Rng) -> u32 {
+    ((rng.range_i64(-1_000_000, 1_000_000) as f32) / 128.0).to_bits()
 }
 
-fn any_step() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (any_fpr(), finite_bits()).prop_map(|(r, b)| Step::Set(r, b)),
-        (
-            prop_oneof![
-                Just(FpOp::Add),
-                Just(FpOp::Sub),
-                Just(FpOp::Mul),
-                Just(FpOp::Div),
-                Just(FpOp::Min),
-                Just(FpOp::Max),
-                Just(FpOp::Sgnj),
-                Just(FpOp::Sgnjn),
-                Just(FpOp::Sgnjx)
-            ],
-            any_fpr(),
-            any_fpr(),
-            any_fpr()
-        )
-            .prop_map(|(op, rd, rs1, rs2)| Step::Op(op, rd, rs1, rs2)),
-        (
-            prop_oneof![Just(FmaOp::Madd), Just(FmaOp::Msub), Just(FmaOp::Nmsub), Just(FmaOp::Nmadd)],
-            any_fpr(),
-            any_fpr(),
-            any_fpr(),
-            any_fpr()
-        )
-            .prop_map(|(op, rd, rs1, rs2, rs3)| Step::Fma(op, rd, rs1, rs2, rs3)),
-        (any_fpr(), any_fpr()).prop_map(|(rd, rs1)| Step::Sqrt(rd, rs1)),
-        (any_fpr(), 0i32..2000).prop_map(|(rd, v)| Step::CvtFromInt(rd, v)),
-    ]
-}
-
-/// Architectural reference.
-fn interpret(steps: &[Step]) -> [u32; 32] {
-    let mut f = [0.0f32; 32];
-    for &s in steps {
-        match s {
-            Step::Set(r, bits) => f[r.index() as usize] = f32::from_bits(bits),
-            Step::Op(op, rd, rs1, rs2) => {
-                f[rd.index() as usize] = op.eval(f[rs1.index() as usize], f[rs2.index() as usize]);
-            }
-            Step::Fma(op, rd, a, b, c) => {
-                f[rd.index() as usize] =
-                    op.eval(f[a.index() as usize], f[b.index() as usize], f[c.index() as usize]);
-            }
-            Step::Sqrt(rd, rs1) => {
-                f[rd.index() as usize] = FpOp::Sqrt.eval(f[rs1.index() as usize], 0.0);
-            }
-            Step::CvtFromInt(rd, v) => f[rd.index() as usize] = v as f32,
+/// Emits one random FP step (constant set, compute or convert).
+fn emit_step(rng: &mut Rng, a: &mut Assembler) {
+    const BIN_OPS: [FpOp; 9] = [
+        FpOp::Add,
+        FpOp::Sub,
+        FpOp::Mul,
+        FpOp::Div,
+        FpOp::Min,
+        FpOp::Max,
+        FpOp::Sgnj,
+        FpOp::Sgnjn,
+        FpOp::Sgnjx,
+    ];
+    match rng.below(5) {
+        0 => {
+            let bits = finite_bits(rng);
+            a.li_u(Gpr::T0, bits);
+            a.fmv_w_x(any_fpr(rng), Gpr::T0);
+        }
+        1 => {
+            a.emit(Instr::FpOp {
+                op: *rng.pick(&BIN_OPS),
+                rd: any_fpr(rng),
+                rs1: any_fpr(rng),
+                rs2: any_fpr(rng),
+            });
+        }
+        2 => {
+            a.emit(Instr::Fma {
+                op: *rng.pick(&FmaOp::ALL),
+                rd: any_fpr(rng),
+                rs1: any_fpr(rng),
+                rs2: any_fpr(rng),
+                rs3: any_fpr(rng),
+            });
+        }
+        3 => {
+            a.fsqrt(any_fpr(rng), any_fpr(rng));
+        }
+        _ => {
+            a.li(Gpr::T0, rng.range_i64(0, 2000) as i32);
+            a.fcvt_s_w(any_fpr(rng), Gpr::T0);
         }
     }
-    let mut bits = [0u32; 32];
-    for i in 0..32 {
-        bits[i] = f[i].to_bits();
-    }
-    bits
 }
 
-fn emit(a: &mut Assembler, steps: &[Step]) {
-    for &s in steps {
-        match s {
-            Step::Set(r, bits) => {
-                a.li_u(Gpr::T0, bits);
-                a.fmv_w_x(r, Gpr::T0);
-            }
-            Step::Op(op, rd, rs1, rs2) => {
-                a.emit(Instr::FpOp { op, rd, rs1, rs2 });
-            }
-            Step::Fma(op, rd, rs1, rs2, rs3) => {
-                a.emit(Instr::Fma { op, rd, rs1, rs2, rs3 });
-            }
-            Step::Sqrt(rd, rs1) => {
-                a.fsqrt(rd, rs1);
-            }
-            Step::CvtFromInt(rd, v) => {
-                a.li(Gpr::T0, v);
-                a.fcvt_s_w(rd, Gpr::T0);
-            }
-        }
-    }
-    a.ecall();
-}
+#[test]
+fn fp_pipeline_matches_iss() {
+    for case in 0..48u64 {
+        let mut rng = Rng::seed_from_u64(0xF9_0001 + case);
+        let steps = 1 + rng.below(50);
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn fp_pipeline_matches_interpreter(steps in prop::collection::vec(any_step(), 1..50)) {
         let cfg = MachineConfig {
             cell_dim: CellDim { x: 1, y: 1 },
             ..MachineConfig::baseline_16x8()
         };
         let mut machine = Machine::new(cfg);
         let mut a = Assembler::new();
-        emit(&mut a, &steps);
+        for _ in 0..steps {
+            emit_step(&mut rng, &mut a);
+        }
+        a.ecall();
         let image = Arc::new(a.assemble(0).unwrap());
         machine.launch(0, &image, &[]);
-        machine.run(1_000_000).expect("straight-line FP code terminates");
+        machine
+            .run(1_000_000)
+            .expect("straight-line FP code terminates");
 
-        let expect = interpret(&steps);
+        // Golden model, from the same launch state.
+        let mut hart = Hart::new();
+        hart.launch(image.base(), &[], machine.config().spm_bytes);
+        let mut mem = SparseMem::new();
+        hart.run(&image, &mut mem, 1_000_000)
+            .expect("iss runs the same code");
+
         let tile = machine.cell(0).tile(0, 0);
         for r in Fpr::ALL {
             let got = tile.freg(r).to_bits();
-            prop_assert_eq!(
-                got,
-                expect[r.index() as usize],
-                "FP register {} diverged: sim {:#010x} vs ref {:#010x}",
-                r, got, expect[r.index() as usize]
+            let expect = hart.fregs[r.index() as usize].to_bits();
+            assert_eq!(
+                got, expect,
+                "case {case}: FP register {r} diverged: sim {got:#010x} vs iss {expect:#010x}"
             );
         }
     }

@@ -1,101 +1,68 @@
 //! Differential testing: random straight-line RV32IM programs run on the
-//! cycle-level tile and on an independent architectural interpreter must
-//! produce identical register files.
+//! cycle-level tile and on the `hb-iss` golden model must produce
+//! identical register files, regardless of pipelining, bypass latencies
+//! and the iterative divide unit.
 
 use hammerblade::asm::Assembler;
 use hammerblade::core::{CellDim, Machine, MachineConfig};
 use hammerblade::isa::{Gpr, Instr, OpImmOp, OpOp};
-use proptest::prelude::*;
+use hammerblade::iss::{Hart, SparseMem};
+use hammerblade::rng::Rng;
 use std::sync::Arc;
 
-/// A minimal architectural interpreter for straight-line integer code.
-fn interpret(instrs: &[Instr]) -> [u32; 32] {
-    let mut regs = [0u32; 32];
-    for instr in instrs {
-        match *instr {
-            Instr::Lui { rd, imm } => {
-                if rd != Gpr::Zero {
-                    regs[rd.index() as usize] = (imm as u32) << 12;
-                }
-            }
-            Instr::OpImm { op, rd, rs1, imm } => {
-                let v = op.eval(regs[rs1.index() as usize], imm);
-                if rd != Gpr::Zero {
-                    regs[rd.index() as usize] = v;
-                }
-            }
-            Instr::Op { op, rd, rs1, rs2 } => {
-                let v = op.eval(regs[rs1.index() as usize], regs[rs2.index() as usize]);
-                if rd != Gpr::Zero {
-                    regs[rd.index() as usize] = v;
-                }
-            }
-            Instr::Ecall => break,
-            other => panic!("interpreter does not model {other:?}"),
-        }
+fn any_gpr(rng: &mut Rng) -> Gpr {
+    Gpr::from_index(rng.below(32) as u8)
+}
+
+/// One random ALU instruction (no memory, no control flow).
+fn any_alu_instr(rng: &mut Rng) -> Instr {
+    const IMM_OPS: [OpImmOp; 6] = [
+        OpImmOp::Addi,
+        OpImmOp::Slti,
+        OpImmOp::Sltiu,
+        OpImmOp::Xori,
+        OpImmOp::Ori,
+        OpImmOp::Andi,
+    ];
+    const SHIFT_OPS: [OpImmOp; 3] = [OpImmOp::Slli, OpImmOp::Srli, OpImmOp::Srai];
+    match rng.below(4) {
+        0 => Instr::Lui {
+            rd: any_gpr(rng),
+            imm: rng.range_i64(-(1 << 19), 1 << 19) as i32,
+        },
+        1 => Instr::OpImm {
+            op: *rng.pick(&IMM_OPS),
+            rd: any_gpr(rng),
+            rs1: any_gpr(rng),
+            imm: rng.range_i64(-2048, 2048) as i32,
+        },
+        2 => Instr::OpImm {
+            op: *rng.pick(&SHIFT_OPS),
+            rd: any_gpr(rng),
+            rs1: any_gpr(rng),
+            imm: rng.range_i64(0, 32) as i32,
+        },
+        _ => Instr::Op {
+            op: *rng.pick(&OpOp::ALL),
+            rd: any_gpr(rng),
+            rs1: any_gpr(rng),
+            rs2: any_gpr(rng),
+        },
     }
-    regs
 }
 
-fn any_alu_instr() -> impl Strategy<Value = Instr> {
-    let gpr = || (0u8..32).prop_map(Gpr::from_index);
-    prop_oneof![
-        (gpr(), -(1i32 << 19)..(1 << 19)).prop_map(|(rd, imm)| Instr::Lui { rd, imm }),
-        (
-            prop_oneof![
-                Just(OpImmOp::Addi),
-                Just(OpImmOp::Slti),
-                Just(OpImmOp::Xori),
-                Just(OpImmOp::Ori),
-                Just(OpImmOp::Andi)
-            ],
-            gpr(),
-            gpr(),
-            -2048i32..2048
-        )
-            .prop_map(|(op, rd, rs1, imm)| Instr::OpImm { op, rd, rs1, imm }),
-        (
-            prop_oneof![Just(OpImmOp::Slli), Just(OpImmOp::Srli), Just(OpImmOp::Srai)],
-            gpr(),
-            gpr(),
-            0i32..32
-        )
-            .prop_map(|(op, rd, rs1, imm)| Instr::OpImm { op, rd, rs1, imm }),
-        (
-            prop_oneof![
-                Just(OpOp::Add),
-                Just(OpOp::Sub),
-                Just(OpOp::Sll),
-                Just(OpOp::Slt),
-                Just(OpOp::Sltu),
-                Just(OpOp::Xor),
-                Just(OpOp::Srl),
-                Just(OpOp::Sra),
-                Just(OpOp::Or),
-                Just(OpOp::And),
-                Just(OpOp::Mul),
-                Just(OpOp::Mulh),
-                Just(OpOp::Mulhu),
-                Just(OpOp::Div),
-                Just(OpOp::Divu),
-                Just(OpOp::Rem),
-                Just(OpOp::Remu)
-            ],
-            gpr(),
-            gpr(),
-            gpr()
-        )
-            .prop_map(|(op, rd, rs1, rs2)| Instr::Op { op, rd, rs1, rs2 }),
-    ]
-}
+#[test]
+fn simulator_matches_iss() {
+    for case in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(0xD1F_A100 + case);
+        let len = 1 + rng.below(60) as usize;
+        let program: Vec<Instr> = (0..len).map(|_| any_alu_instr(&mut rng)).collect();
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn simulator_matches_interpreter(program in prop::collection::vec(any_alu_instr(), 1..60)) {
         // Simulator side: single 1x1 Cell.
-        let cfg = MachineConfig { cell_dim: CellDim { x: 1, y: 1 }, ..MachineConfig::baseline_16x8() };
+        let cfg = MachineConfig {
+            cell_dim: CellDim { x: 1, y: 1 },
+            ..MachineConfig::baseline_16x8()
+        };
         let mut machine = Machine::new(cfg);
         let mut a = Assembler::new();
         for &i in &program {
@@ -104,35 +71,49 @@ proptest! {
         a.ecall();
         let image = Arc::new(a.assemble(0).unwrap());
         machine.launch(0, &image, &[]);
-        machine.run(1_000_000).expect("straight-line code terminates");
+        machine
+            .run(1_000_000)
+            .expect("straight-line code terminates");
 
-        // Interpreter side, starting from the same launch state
-        // (a0..a7 = 0, sp = spm_bytes): prepend the sp initialization.
-        let mut full = vec![Instr::Lui {
-            rd: Gpr::Sp,
-            imm: (machine.config().spm_bytes >> 12) as i32,
-        }];
-        full.extend_from_slice(&program);
-        let expect = interpret(&full);
+        // Golden model, from the same launch state.
+        let mut hart = Hart::new();
+        hart.launch(image.base(), &[], machine.config().spm_bytes);
+        let mut mem = SparseMem::new();
+        hart.run(&image, &mut mem, 1_000_000)
+            .expect("iss runs the same code");
 
         let tile = machine.cell(0).tile(0, 0);
         for r in Gpr::ALL {
-            prop_assert_eq!(
+            assert_eq!(
                 tile.reg(r),
-                expect[r.index() as usize],
-                "register {} diverged", r
+                hart.regs[r.index() as usize],
+                "case {case}: register {r} diverged"
             );
         }
+        assert_eq!(tile.pc(), hart.pc, "case {case}: final pc diverged");
     }
 }
 
-/// Interpreter helper is itself sanity-checked.
+/// The golden model agrees with a hand-computed example.
 #[test]
-fn interpreter_smoke() {
-    let prog = [
-        Instr::OpImm { op: OpImmOp::Addi, rd: Gpr::A0, rs1: Gpr::Zero, imm: 7 },
-        Instr::Op { op: OpOp::Add, rd: Gpr::A1, rs1: Gpr::A0, rs2: Gpr::A0 },
-    ];
-    let regs = interpret(&prog);
-    assert_eq!(regs[Gpr::A1.index() as usize], 14);
+fn iss_smoke() {
+    let mut a = Assembler::new();
+    a.emit(Instr::OpImm {
+        op: OpImmOp::Addi,
+        rd: Gpr::A0,
+        rs1: Gpr::Zero,
+        imm: 7,
+    });
+    a.emit(Instr::Op {
+        op: OpOp::Add,
+        rd: Gpr::A1,
+        rs1: Gpr::A0,
+        rs2: Gpr::A0,
+    });
+    a.ecall();
+    let p = a.assemble(0).unwrap();
+    let mut hart = Hart::new();
+    hart.launch(p.base(), &[], 4096);
+    hart.run(&p, &mut SparseMem::new(), 100).unwrap();
+    assert_eq!(hart.regs[Gpr::A1.index() as usize], 14);
 }

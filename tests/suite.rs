@@ -6,7 +6,10 @@ use hammerblade::core::{CellDim, MachineConfig};
 use hammerblade::kernels::{suite, SizeClass};
 
 fn tiny_cfg() -> MachineConfig {
-    MachineConfig { cell_dim: CellDim { x: 4, y: 2 }, ..MachineConfig::baseline_16x8() }
+    MachineConfig {
+        cell_dim: CellDim { x: 4, y: 2 },
+        ..MachineConfig::baseline_16x8()
+    }
 }
 
 #[test]
@@ -17,7 +20,11 @@ fn all_ten_benchmarks_validate() {
             .run(&cfg, SizeClass::Tiny)
             .unwrap_or_else(|e| panic!("{} failed: {e}", bench.name()));
         assert!(stats.cycles > 0, "{} reported zero cycles", bench.name());
-        assert!(stats.core.instrs > 0, "{} retired no instructions", bench.name());
+        assert!(
+            stats.core.instrs > 0,
+            "{} retired no instructions",
+            bench.name()
+        );
     }
 }
 

@@ -1,0 +1,143 @@
+//! Functional fast-forward (`Machine::warmup_functional`): kernel init
+//! phases execute on the `hb-iss` golden model at interpreter speed, the
+//! resulting architectural state is injected back into the tiles, and the
+//! cycle-level simulation takes over — producing the same final memory
+//! image as a pure cycle-level run.
+
+use hammerblade::core::{pgas, CellDim, Machine, MachineConfig};
+use hammerblade::kernels::{Jacobi, Sgemm};
+use hammerblade::rng::Rng;
+use hammerblade::workloads::{gen, golden};
+use std::sync::Arc;
+
+fn config(x: u8, y: u8) -> MachineConfig {
+    MachineConfig {
+        cell_dim: CellDim { x, y },
+        ..MachineConfig::baseline_16x8()
+    }
+}
+
+/// Builds a small SGEMM machine; returns (machine, c_dev, expect).
+fn sgemm_machine(cfg: &MachineConfig) -> (Machine, u32, Vec<f32>) {
+    let (m, k, n) = (8usize, 16usize, 8usize);
+    let a_host = gen::dense_matrix(m, k, 0xA);
+    let b_host = gen::dense_matrix(k, n, 0xB);
+    let expect = golden::sgemm(m, k, n, &a_host, &b_host);
+
+    let mut machine = Machine::new(cfg.clone());
+    let cell = machine.cell_mut(0);
+    let a_dev = cell.alloc((m * k * 4) as u32, 64);
+    let b_dev = cell.alloc((k * n * 4) as u32, 64);
+    let c_dev = cell.alloc((m * n * 4) as u32, 64);
+    cell.dram_mut().write_f32_slice(a_dev, &a_host);
+    cell.dram_mut().write_f32_slice(b_dev, &b_host);
+    let program = Arc::new(Sgemm::program());
+    machine.launch(
+        0,
+        &program,
+        &[
+            pgas::local_dram(a_dev),
+            pgas::local_dram(b_dev),
+            pgas::local_dram(c_dev),
+            m as u32,
+            k as u32,
+            n as u32,
+        ],
+    );
+    (machine, c_dev, expect)
+}
+
+/// SGEMM has no barrier, so a generous warmup budget fast-forwards the
+/// whole kernel functionally; the cycle model then just retires the final
+/// `ecall`. The result must still validate bit-for-bit against golden.
+#[test]
+fn warmup_can_fast_forward_a_whole_barrier_free_kernel() {
+    let cfg = config(2, 2);
+    let (mut machine, c_dev, expect) = sgemm_machine(&cfg);
+    let report = machine.warmup_functional(1_000_000).unwrap();
+    assert_eq!(report.tiles, 4);
+    assert_eq!(report.finished, 4, "every tile must park at its ecall");
+    assert!(report.instrs > 400, "fast-forward must execute real work");
+
+    let summary = machine.run(1_000_000).unwrap();
+    // Only the parked ecalls (plus launch latency) remain for the cycle
+    // model — far less than the thousands of cycles the kernel itself takes.
+    assert!(
+        summary.cycles < 200,
+        "warmup must have consumed the kernel work"
+    );
+    machine.cell_mut(0).flush_caches();
+    let got = machine.cell(0).dram().read_f32_slice(c_dev, expect.len());
+    for (i, (g, e)) in got.iter().zip(&expect).enumerate() {
+        assert!(
+            (g - e).abs() <= e.abs() * 1e-3 + 1e-4,
+            "C[{i}]: warmup {g} vs golden {e}"
+        );
+    }
+}
+
+/// The warmup result is bit-identical to a pure cycle-level run of the
+/// same kernel (the ISS mirrors tile FP semantics exactly).
+#[test]
+fn warmup_matches_pure_cycle_simulation_bit_for_bit() {
+    let cfg = config(2, 2);
+
+    let (mut pure, c_pure, _) = sgemm_machine(&cfg);
+    pure.run(10_000_000).unwrap();
+    pure.cell_mut(0).flush_caches();
+    let len = 8 * 8;
+    let pure_bits = pure.cell(0).dram().read_u32_slice(c_pure, len);
+
+    let (mut warm, c_warm, _) = sgemm_machine(&cfg);
+    warm.warmup_functional(1_000_000).unwrap();
+    warm.run(1_000_000).unwrap();
+    warm.cell_mut(0).flush_caches();
+    let warm_bits = warm.cell(0).dram().read_u32_slice(c_warm, len);
+
+    assert_eq!(
+        pure_bits, warm_bits,
+        "warmup must not change the computed result"
+    );
+}
+
+/// Jacobi's init phase (column copy-in) fast-forwards up to the first
+/// barrier; the stencil steps then run cycle-accurately and must still
+/// validate against the golden model.
+#[test]
+fn warmup_stops_at_the_first_barrier_and_cycle_sim_completes() {
+    let cfg = config(4, 4);
+    let (nx, ny, nz, steps) = (4usize, 4usize, 32usize, 2u32);
+    let mut init = vec![0f32; nx * ny * nz];
+    let mut rng = Rng::seed_from_u64(0x0AC1);
+    for v in &mut init {
+        *v = rng.range_f32(-1.0, 1.0);
+    }
+    let mut expect = init.clone();
+    for _ in 0..steps {
+        expect = golden::jacobi_step(nx, ny, nz, &expect);
+    }
+
+    let mut machine = Machine::new(cfg);
+    let cell = machine.cell_mut(0);
+    let grid = cell.alloc((nx * ny * nz * 4) as u32, 64);
+    cell.dram_mut().write_f32_slice(grid, &init);
+    let program = Arc::new(Jacobi::program());
+    machine.launch(0, &program, &[pgas::local_dram(grid), nz as u32, steps]);
+
+    let report = machine.warmup_functional(1_000_000).unwrap();
+    assert_eq!(
+        report.at_barrier, 16,
+        "all 16 tiles must park at the copy-in barrier"
+    );
+    assert_eq!(report.finished, 0);
+
+    machine.run(10_000_000).unwrap();
+    machine.cell_mut(0).flush_caches();
+    let got = machine.cell(0).dram().read_f32_slice(grid, expect.len());
+    for (i, (g, e)) in got.iter().zip(&expect).enumerate() {
+        assert!(
+            (g - e).abs() <= 1e-4 + e.abs() * 1e-4,
+            "grid[{i}]: warmup {g} vs golden {e}"
+        );
+    }
+}
