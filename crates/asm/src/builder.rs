@@ -181,6 +181,8 @@ impl Assembler {
         mul => OpOp::Mul;
         /// `mulh rd, rs1, rs2`
         mulh => OpOp::Mulh;
+        /// `mulhsu rd, rs1, rs2`
+        mulhsu => OpOp::Mulhsu;
         /// `mulhu rd, rs1, rs2`
         mulhu => OpOp::Mulhu;
         /// `div rd, rs1, rs2` (iterative divider)
@@ -609,8 +611,9 @@ impl Assembler {
     ///
     /// # Errors
     ///
-    /// Returns an [`AsmError`] when a label is unbound or redefined, or when
-    /// a resolved offset does not fit its encoding.
+    /// Returns an [`AsmError`] when a label is unbound or redefined, when a
+    /// resolved offset does not fit its encoding, or when an immediate
+    /// operand of a directly-emitted instruction does not fit its field.
     pub fn assemble(&self, base_pc: u32) -> Result<Program, AsmError> {
         if let Some(label) = self.redefined {
             return Err(AsmError::RedefinedLabel { label });
@@ -622,7 +625,10 @@ impl Assembler {
         let mut instrs = Vec::with_capacity(self.items.len());
         for (at, item) in self.items.iter().enumerate() {
             let instr = match *item {
-                Item::Fixed(i) => i,
+                Item::Fixed(i) => {
+                    check_encodable(&i, at)?;
+                    i
+                }
                 Item::Branch {
                     op,
                     rs1,
@@ -660,6 +666,78 @@ impl Assembler {
             instrs.push(instr);
         }
         Ok(Program::from_instrs(base_pc, instrs))
+    }
+}
+
+/// Rejects instructions whose immediate operands cannot be encoded, so that
+/// `assemble` fails loudly instead of `encode` truncating bits (release
+/// builds skip the encoder's debug assertions).
+fn check_encodable(instr: &Instr, at: usize) -> Result<(), AsmError> {
+    let imm12 = |what, value: i32| {
+        if (-2048..2048).contains(&value) {
+            Ok(())
+        } else {
+            Err(AsmError::ImmOutOfRange {
+                what,
+                value: i64::from(value),
+            })
+        }
+    };
+    match *instr {
+        Instr::Lui { imm, .. } | Instr::Auipc { imm, .. } => {
+            if (-(1 << 19)..1 << 19).contains(&imm) {
+                Ok(())
+            } else {
+                Err(AsmError::ImmOutOfRange {
+                    what: "a 20-bit upper immediate",
+                    value: i64::from(imm),
+                })
+            }
+        }
+        Instr::OpImm { op, imm, .. } => match op {
+            OpImmOp::Slli | OpImmOp::Srli | OpImmOp::Srai => {
+                if (0..32).contains(&imm) {
+                    Ok(())
+                } else {
+                    Err(AsmError::ImmOutOfRange {
+                        what: "a 5-bit shift amount",
+                        value: i64::from(imm),
+                    })
+                }
+            }
+            _ => imm12("a 12-bit immediate", imm),
+        },
+        Instr::Load { offset, .. } | Instr::Flw { offset, .. } => {
+            imm12("a 12-bit load offset", offset)
+        }
+        Instr::Store { offset, .. } | Instr::Fsw { offset, .. } => {
+            imm12("a 12-bit store offset", offset)
+        }
+        Instr::Jalr { offset, .. } => imm12("a 12-bit jalr offset", offset),
+        Instr::Branch { offset, .. } => {
+            if !(-4096..4096).contains(&offset) || offset % i32::try_from(INSTR_BYTES).unwrap() != 0
+            {
+                Err(AsmError::BranchOutOfRange {
+                    at_instr: at,
+                    offset: i64::from(offset),
+                })
+            } else {
+                Ok(())
+            }
+        }
+        Instr::Jal { offset, .. } => {
+            if !(-(1 << 20)..1 << 20).contains(&offset)
+                || offset % i32::try_from(INSTR_BYTES).unwrap() != 0
+            {
+                Err(AsmError::JumpOutOfRange {
+                    at_instr: at,
+                    offset: i64::from(offset),
+                })
+            } else {
+                Ok(())
+            }
+        }
+        _ => Ok(()),
     }
 }
 

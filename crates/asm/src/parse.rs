@@ -26,7 +26,7 @@
 use crate::builder::{Assembler, Label};
 use crate::program::Program;
 use crate::AsmError;
-use hb_isa::{Fpr, Gpr};
+use hb_isa::{BranchOp, Fpr, Gpr, Instr};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -112,6 +112,22 @@ fn imm(tok: &str, line: usize) -> Result<i32, ParseError> {
     };
     let v = v as i32;
     Ok(if neg { v.wrapping_neg() } else { v })
+}
+
+/// Normalizes a `lui`/`auipc` operand to the signed 20-bit field value.
+/// Disassembly prints the field as unsigned hex (`lui t0, 0xbf000`), so
+/// values in `[0, 2^20)` are reinterpreted by sign-extending from bit 19.
+fn upper20(v: i32, line: usize) -> Result<i32, ParseError> {
+    if (0..1 << 20).contains(&v) {
+        Ok((v << 12) >> 12)
+    } else if (-(1 << 19)..1 << 19).contains(&v) {
+        Ok(v)
+    } else {
+        Err(err(
+            line,
+            format!("upper immediate {v} does not fit 20 bits"),
+        ))
+    }
 }
 
 fn gpr(tok: &str, line: usize) -> Result<Gpr, ParseError> {
@@ -232,20 +248,58 @@ impl Parser {
                 self.a.$f(rs2, base, off);
             }};
         }
+        // Branch targets are labels or (as disassembly prints them)
+        // numeric byte offsets relative to the branch itself.
         macro_rules! branch {
-            ($f:ident) => {{
+            ($f:ident, $op:expr) => {{
                 need(3)?;
                 let (rs1, rs2) = (gpr(ops[0], line)?, gpr(ops[1], line)?);
-                let target = self.label(ops[2]);
-                self.a.$f(rs1, rs2, target);
+                if let Ok(offset) = imm(ops[2], line) {
+                    self.a.emit(Instr::Branch {
+                        op: $op,
+                        rs1,
+                        rs2,
+                        offset,
+                    });
+                } else {
+                    let target = self.label(ops[2]);
+                    self.a.$f(rs1, rs2, target);
+                }
+            }};
+        }
+        // `bgt`/`ble` are pseudos with swapped source operands.
+        macro_rules! branch_swapped {
+            ($f:ident, $op:expr) => {{
+                need(3)?;
+                let (rs1, rs2) = (gpr(ops[0], line)?, gpr(ops[1], line)?);
+                if let Ok(offset) = imm(ops[2], line) {
+                    self.a.emit(Instr::Branch {
+                        op: $op,
+                        rs1: rs2,
+                        rs2: rs1,
+                        offset,
+                    });
+                } else {
+                    let target = self.label(ops[2]);
+                    self.a.$f(rs1, rs2, target);
+                }
             }};
         }
         macro_rules! branchz {
-            ($f:ident) => {{
+            ($f:ident, $op:expr) => {{
                 need(2)?;
                 let rs1 = gpr(ops[0], line)?;
-                let target = self.label(ops[1]);
-                self.a.$f(rs1, target);
+                if let Ok(offset) = imm(ops[1], line) {
+                    self.a.emit(Instr::Branch {
+                        op: $op,
+                        rs1,
+                        rs2: Gpr::Zero,
+                        offset,
+                    });
+                } else {
+                    let target = self.label(ops[1]);
+                    self.a.$f(rs1, target);
+                }
             }};
         }
         macro_rules! amo {
@@ -292,6 +346,7 @@ impl Parser {
             "and" => rrr!(and),
             "mul" => rrr!(mul),
             "mulh" => rrr!(mulh),
+            "mulhsu" => rrr!(mulhsu),
             "mulhu" => rrr!(mulhu),
             "div" => rrr!(div),
             "divu" => rrr!(divu),
@@ -309,12 +364,12 @@ impl Parser {
             "lui" => {
                 need(2)?;
                 let rd = gpr(ops[0], line)?;
-                self.a.lui(rd, imm(ops[1], line)?);
+                self.a.lui(rd, upper20(imm(ops[1], line)?, line)?);
             }
             "auipc" => {
                 need(2)?;
                 let rd = gpr(ops[0], line)?;
-                self.a.auipc(rd, imm(ops[1], line)?);
+                self.a.auipc(rd, upper20(imm(ops[1], line)?, line)?);
             }
             // Loads/stores.
             "lw" => load!(lw),
@@ -338,30 +393,48 @@ impl Parser {
                 self.a.fsw(rs2, base, off);
             }
             // Branches and jumps.
-            "beq" => branch!(beq),
-            "bne" => branch!(bne),
-            "blt" => branch!(blt),
-            "bge" => branch!(bge),
-            "bltu" => branch!(bltu),
-            "bgeu" => branch!(bgeu),
-            "bgt" => branch!(bgt),
-            "ble" => branch!(ble),
-            "beqz" => branchz!(beqz),
-            "bnez" => branchz!(bnez),
+            "beq" => branch!(beq, BranchOp::Eq),
+            "bne" => branch!(bne, BranchOp::Ne),
+            "blt" => branch!(blt, BranchOp::Lt),
+            "bge" => branch!(bge, BranchOp::Ge),
+            "bltu" => branch!(bltu, BranchOp::Ltu),
+            "bgeu" => branch!(bgeu, BranchOp::Geu),
+            "bgt" => branch_swapped!(bgt, BranchOp::Lt),
+            "ble" => branch_swapped!(ble, BranchOp::Ge),
+            "beqz" => branchz!(beqz, BranchOp::Eq),
+            "bnez" => branchz!(bnez, BranchOp::Ne),
             "j" => {
                 need(1)?;
-                let t = self.label(ops[0]);
-                self.a.j(t);
+                if let Ok(offset) = imm(ops[0], line) {
+                    self.a.emit(Instr::Jal {
+                        rd: Gpr::Zero,
+                        offset,
+                    });
+                } else {
+                    let t = self.label(ops[0]);
+                    self.a.j(t);
+                }
             }
             "jal" => match n {
                 1 => {
-                    let t = self.label(ops[0]);
-                    self.a.jal(Gpr::Ra, t);
+                    if let Ok(offset) = imm(ops[0], line) {
+                        self.a.emit(Instr::Jal {
+                            rd: Gpr::Ra,
+                            offset,
+                        });
+                    } else {
+                        let t = self.label(ops[0]);
+                        self.a.jal(Gpr::Ra, t);
+                    }
                 }
                 2 => {
                     let rd = gpr(ops[0], line)?;
-                    let t = self.label(ops[1]);
-                    self.a.jal(rd, t);
+                    if let Ok(offset) = imm(ops[1], line) {
+                        self.a.emit(Instr::Jal { rd, offset });
+                    } else {
+                        let t = self.label(ops[1]);
+                        self.a.jal(rd, t);
+                    }
                 }
                 _ => return Err(err(line, "`jal` expects 1 or 2 operands")),
             },

@@ -1,0 +1,282 @@
+//! Error-path coverage for the assembler: every [`AsmError`] variant, with
+//! boundary offsets exercised on both sides of each encoding limit.
+
+use hb_asm::{AsmError, Assembler};
+use hb_isa::{BranchOp, Gpr::*, Instr, LoadWidth, OpImmOp, StoreWidth};
+
+fn branch_with_offset(offset: i32) -> Result<(), AsmError> {
+    let mut a = Assembler::new();
+    a.emit(Instr::Branch {
+        op: BranchOp::Eq,
+        rs1: A0,
+        rs2: A1,
+        offset,
+    });
+    a.ecall();
+    a.assemble(0).map(|_| ())
+}
+
+fn jal_with_offset(offset: i32) -> Result<(), AsmError> {
+    let mut a = Assembler::new();
+    a.emit(Instr::Jal { rd: Ra, offset });
+    a.ecall();
+    a.assemble(0).map(|_| ())
+}
+
+// ---- label errors ----
+
+#[test]
+fn unbound_label() {
+    let mut a = Assembler::new();
+    let l = a.new_label();
+    a.j(l);
+    assert_eq!(a.assemble(0), Err(AsmError::UnboundLabel { label: 0 }));
+}
+
+#[test]
+fn redefined_label() {
+    let mut a = Assembler::new();
+    let l = a.new_label();
+    a.bind(l);
+    a.nop();
+    a.bind(l);
+    assert_eq!(a.assemble(0), Err(AsmError::RedefinedLabel { label: 0 }));
+}
+
+// ---- branch range: the B-type field holds [-4096, 4096) ----
+
+#[test]
+fn branch_offset_boundaries() {
+    assert!(branch_with_offset(4092).is_ok(), "+4092 is the last slot");
+    assert!(branch_with_offset(-4096).is_ok(), "-4096 is the first slot");
+    assert_eq!(
+        branch_with_offset(4096),
+        Err(AsmError::BranchOutOfRange {
+            at_instr: 0,
+            offset: 4096
+        })
+    );
+    assert_eq!(
+        branch_with_offset(-4100),
+        Err(AsmError::BranchOutOfRange {
+            at_instr: 0,
+            offset: -4100
+        })
+    );
+}
+
+#[test]
+fn misaligned_branch_offset_is_rejected() {
+    assert!(matches!(
+        branch_with_offset(6),
+        Err(AsmError::BranchOutOfRange { .. })
+    ));
+}
+
+#[test]
+fn label_branch_out_of_range() {
+    let mut a = Assembler::new();
+    let back = a.here();
+    a.nop();
+    for _ in 0..1024 {
+        a.nop();
+    }
+    a.beq(A0, A1, back); // 1025 instructions back = -4100 bytes
+    a.ecall();
+    assert!(matches!(
+        a.assemble(0),
+        Err(AsmError::BranchOutOfRange { .. })
+    ));
+}
+
+// ---- jump range: the J-type field holds [-2^20, 2^20) ----
+
+#[test]
+fn jal_offset_boundaries() {
+    assert!(jal_with_offset((1 << 20) - 4).is_ok());
+    assert!(jal_with_offset(-(1 << 20)).is_ok());
+    assert_eq!(
+        jal_with_offset(1 << 20),
+        Err(AsmError::JumpOutOfRange {
+            at_instr: 0,
+            offset: 1 << 20
+        })
+    );
+    assert_eq!(
+        jal_with_offset(-(1 << 20) - 4),
+        Err(AsmError::JumpOutOfRange {
+            at_instr: 0,
+            offset: -(1 << 20) - 4
+        })
+    );
+}
+
+#[test]
+fn misaligned_jal_offset_is_rejected() {
+    assert!(matches!(
+        jal_with_offset(2),
+        Err(AsmError::JumpOutOfRange { .. })
+    ));
+}
+
+// ---- immediate fields ----
+
+#[test]
+fn addi_immediate_boundaries() {
+    let ok = |imm| {
+        let mut a = Assembler::new();
+        a.addi(A0, A0, imm);
+        a.ecall();
+        a.assemble(0)
+    };
+    assert!(ok(2047).is_ok());
+    assert!(ok(-2048).is_ok());
+    assert_eq!(
+        ok(2048),
+        Err(AsmError::ImmOutOfRange {
+            what: "a 12-bit immediate",
+            value: 2048
+        })
+    );
+    assert_eq!(
+        ok(-2049),
+        Err(AsmError::ImmOutOfRange {
+            what: "a 12-bit immediate",
+            value: -2049
+        })
+    );
+}
+
+#[test]
+fn shift_amount_boundaries() {
+    let ok = |imm| {
+        let mut a = Assembler::new();
+        a.slli(A0, A0, imm);
+        a.ecall();
+        a.assemble(0)
+    };
+    assert!(ok(0).is_ok());
+    assert!(ok(31).is_ok());
+    assert_eq!(
+        ok(32),
+        Err(AsmError::ImmOutOfRange {
+            what: "a 5-bit shift amount",
+            value: 32
+        })
+    );
+    assert_eq!(
+        ok(-1),
+        Err(AsmError::ImmOutOfRange {
+            what: "a 5-bit shift amount",
+            value: -1
+        })
+    );
+}
+
+#[test]
+fn load_store_offset_boundaries() {
+    let load = |offset| {
+        let mut a = Assembler::new();
+        a.emit(Instr::Load {
+            width: LoadWidth::W,
+            rd: A0,
+            rs1: Sp,
+            offset,
+        });
+        a.ecall();
+        a.assemble(0)
+    };
+    assert!(load(2047).is_ok());
+    assert!(load(-2048).is_ok());
+    assert!(matches!(
+        load(2048),
+        Err(AsmError::ImmOutOfRange {
+            what: "a 12-bit load offset",
+            ..
+        })
+    ));
+
+    let store = |offset| {
+        let mut a = Assembler::new();
+        a.emit(Instr::Store {
+            width: StoreWidth::W,
+            rs1: Sp,
+            rs2: A0,
+            offset,
+        });
+        a.ecall();
+        a.assemble(0)
+    };
+    assert!(store(2047).is_ok());
+    assert!(matches!(
+        store(-2049),
+        Err(AsmError::ImmOutOfRange {
+            what: "a 12-bit store offset",
+            ..
+        })
+    ));
+}
+
+#[test]
+fn jalr_offset_out_of_range() {
+    let mut a = Assembler::new();
+    a.jalr(Ra, A0, 4000);
+    a.ecall();
+    assert!(matches!(
+        a.assemble(0),
+        Err(AsmError::ImmOutOfRange {
+            what: "a 12-bit jalr offset",
+            ..
+        })
+    ));
+}
+
+#[test]
+fn lui_immediate_out_of_range() {
+    let mut a = Assembler::new();
+    a.lui(A0, 1 << 19); // one past the signed 20-bit field
+    a.ecall();
+    assert!(matches!(
+        a.assemble(0),
+        Err(AsmError::ImmOutOfRange {
+            what: "a 20-bit upper immediate",
+            ..
+        })
+    ));
+    let mut a = Assembler::new();
+    a.lui(A0, (1 << 19) - 1);
+    a.auipc(A1, -(1 << 19));
+    a.ecall();
+    assert!(a.assemble(0).is_ok());
+}
+
+#[test]
+fn opimm_via_raw_emit_is_checked() {
+    let mut a = Assembler::new();
+    a.emit(Instr::OpImm {
+        op: OpImmOp::Andi,
+        rd: A0,
+        rs1: A0,
+        imm: 1 << 13,
+    });
+    a.ecall();
+    assert!(matches!(a.assemble(0), Err(AsmError::ImmOutOfRange { .. })));
+}
+
+// ---- error display ----
+
+#[test]
+fn errors_render_usefully() {
+    let text = AsmError::ImmOutOfRange {
+        what: "a 12-bit immediate",
+        value: 4096,
+    }
+    .to_string();
+    assert!(text.contains("4096") && text.contains("12-bit"));
+    let text = AsmError::BranchOutOfRange {
+        at_instr: 7,
+        offset: 8192,
+    }
+    .to_string();
+    assert!(text.contains('7') && text.contains("8192"));
+}

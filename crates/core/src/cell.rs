@@ -101,7 +101,7 @@ pub struct Cell {
 impl Cell {
     /// Builds an idle Cell.
     pub fn new(cfg: Arc<MachineConfig>, id: u8) -> Cell {
-        cfg.validate();
+        cfg.validate_or_panic();
         let pgas = PgasMap {
             cell_id: id,
             num_cells: cfg.num_cells,

@@ -232,25 +232,111 @@ impl MachineConfig {
 
     /// Validates internal consistency.
     ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] describing why the configuration
+    /// is impossible (zero tiles, non-power-of-two bank count, SPM too
+    /// small, ...).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.cell_dim.x == 0 || self.cell_dim.y == 0 {
+            return Err(ConfigError::EmptyCell { dim: self.cell_dim });
+        }
+        if !self.banks_per_cell().is_power_of_two() {
+            return Err(ConfigError::BankCountNotPowerOfTwo {
+                banks: self.banks_per_cell(),
+            });
+        }
+        if self.spm_bytes < 256 {
+            return Err(ConfigError::SpmTooSmall {
+                bytes: self.spm_bytes,
+            });
+        }
+        if self.max_outstanding < 1 {
+            return Err(ConfigError::ZeroScoreboard);
+        }
+        if self.num_cells < 1 {
+            return Err(ConfigError::ZeroCells);
+        }
+        if self.dram_bytes_per_cell > (16 << 20) {
+            return Err(ConfigError::DramWindowTooLarge {
+                bytes: self.dram_bytes_per_cell,
+            });
+        }
+        Ok(())
+    }
+
+    /// Like [`MachineConfig::validate`], for call sites where an invalid
+    /// configuration is a programming error.
+    ///
     /// # Panics
     ///
-    /// Panics on an impossible configuration (zero tiles, non-power-of-two
-    /// bank count, SPM too small, ...).
-    pub fn validate(&self) {
-        assert!(self.cell_dim.x > 0 && self.cell_dim.y > 0, "empty cell");
-        assert!(
-            self.banks_per_cell().is_power_of_two(),
-            "bank count must be a power of two"
-        );
-        assert!(self.spm_bytes >= 256, "SPM too small");
-        assert!(self.max_outstanding >= 1);
-        assert!(self.num_cells >= 1);
-        assert!(
-            self.dram_bytes_per_cell <= (16 << 20),
-            "EVA offset field is 24 bits"
-        );
+    /// Panics with the [`ConfigError`] message on an impossible
+    /// configuration.
+    pub fn validate_or_panic(&self) {
+        if let Err(e) = self.validate() {
+            panic!("invalid machine configuration: {e}");
+        }
     }
 }
+
+/// Why a [`MachineConfig`] is internally inconsistent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A Cell dimension is zero.
+    EmptyCell {
+        /// The offending shape.
+        dim: CellDim,
+    },
+    /// IPOLY hashing and the strip network require a power-of-two bank
+    /// count (banks = 2 x cell width).
+    BankCountNotPowerOfTwo {
+        /// The computed bank count.
+        banks: usize,
+    },
+    /// The scratchpad cannot hold even a minimal stack frame.
+    SpmTooSmall {
+        /// The configured size.
+        bytes: u32,
+    },
+    /// The remote-op scoreboard must hold at least one entry.
+    ZeroScoreboard,
+    /// A machine needs at least one Cell.
+    ZeroCells,
+    /// The Local/Group-DRAM EVA offset field is 24 bits, capping the
+    /// per-Cell window at 16 MiB.
+    DramWindowTooLarge {
+        /// The configured size.
+        bytes: u32,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::EmptyCell { dim } => {
+                write!(f, "empty cell: {}x{} tiles", dim.x, dim.y)
+            }
+            ConfigError::BankCountNotPowerOfTwo { banks } => {
+                write!(f, "bank count {banks} must be a power of two")
+            }
+            ConfigError::SpmTooSmall { bytes } => {
+                write!(f, "SPM of {bytes} bytes is too small (minimum 256)")
+            }
+            ConfigError::ZeroScoreboard => {
+                write!(f, "max_outstanding must be at least 1")
+            }
+            ConfigError::ZeroCells => write!(f, "num_cells must be at least 1"),
+            ConfigError::DramWindowTooLarge { bytes } => {
+                write!(
+                    f,
+                    "DRAM window of {bytes} bytes exceeds the 24-bit EVA offset field (16 MiB)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 #[cfg(test)]
 mod tests {
@@ -260,22 +346,79 @@ mod tests {
     fn table_ii_geometry() {
         // Baseline: 32 banks, 1 MB of cache per Cell.
         let c = MachineConfig::baseline_16x8();
-        c.validate();
+        c.validate().unwrap();
         assert_eq!(c.banks_per_cell(), 32);
         assert_eq!(c.cell_cache_bytes(), 1 << 20);
         assert_eq!(c.cell_dim.tiles(), 128);
 
         // 32x8: 64 banks, 2 MB.
         let c = MachineConfig::cell_32x8();
-        c.validate();
+        c.validate().unwrap();
         assert_eq!(c.banks_per_cell(), 64);
         assert_eq!(c.cell_cache_bytes(), 2 << 20);
 
         // 16x16: same banks as baseline, twice the tiles.
         let c = MachineConfig::cell_16x16();
-        c.validate();
+        c.validate().unwrap();
         assert_eq!(c.banks_per_cell(), 32);
         assert_eq!(c.cell_dim.tiles(), 256);
+    }
+
+    #[test]
+    fn validate_reports_each_inconsistency() {
+        let base = MachineConfig::baseline_16x8();
+
+        let c = MachineConfig {
+            cell_dim: CellDim { x: 0, y: 8 },
+            ..base.clone()
+        };
+        assert!(matches!(c.validate(), Err(ConfigError::EmptyCell { .. })));
+
+        let c = MachineConfig {
+            cell_dim: CellDim { x: 6, y: 4 },
+            ..base.clone()
+        };
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::BankCountNotPowerOfTwo { banks: 12 })
+        );
+
+        let c = MachineConfig {
+            spm_bytes: 128,
+            ..base.clone()
+        };
+        assert_eq!(c.validate(), Err(ConfigError::SpmTooSmall { bytes: 128 }));
+
+        let c = MachineConfig {
+            max_outstanding: 0,
+            ..base.clone()
+        };
+        assert_eq!(c.validate(), Err(ConfigError::ZeroScoreboard));
+
+        let c = MachineConfig {
+            num_cells: 0,
+            ..base.clone()
+        };
+        assert_eq!(c.validate(), Err(ConfigError::ZeroCells));
+
+        let c = MachineConfig {
+            dram_bytes_per_cell: 32 << 20,
+            ..base
+        };
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::DramWindowTooLarge { bytes: 32 << 20 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid machine configuration")]
+    fn validate_or_panic_panics_on_bad_config() {
+        MachineConfig {
+            num_cells: 0,
+            ..MachineConfig::baseline_16x8()
+        }
+        .validate_or_panic();
     }
 
     #[test]

@@ -63,7 +63,7 @@ mod tile;
 pub mod trace;
 
 pub use cell::{Cell, GroupSpec};
-pub use config::{CellDim, MachineConfig};
+pub use config::{CellDim, ConfigError, MachineConfig};
 pub use cosim::{CosimChecker, CosimError, CosimReport, Divergence};
 pub use func::{FuncBus, IssTile, SnapshotDram, TileCtx, WarmupReport};
 pub use icache::ICache;

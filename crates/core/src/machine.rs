@@ -99,7 +99,7 @@ pub struct Machine {
 impl Machine {
     /// Builds a machine from a configuration.
     pub fn new(cfg: MachineConfig) -> Machine {
-        cfg.validate();
+        cfg.validate_or_panic();
         let cfg = Arc::new(cfg);
         let cells = (0..cfg.num_cells)
             .map(|i| Cell::new(cfg.clone(), i))

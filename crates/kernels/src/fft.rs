@@ -159,7 +159,6 @@ impl Fft {
                                                 // i = start + k, j = i + half (complex indices).
                     a.add(T1, S5, S6);
                     a.slli(T1, T1, 3);
-                    a.add(T2, T1, Zero);
                     a.slli(T3, S3, 3);
                     a.add(T2, T1, T3); // j byte offset
                     a.flw(Fa0, T2, SPM_DATA); // xr

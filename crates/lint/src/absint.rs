@@ -1,0 +1,1071 @@
+//! Abstract interpretation of tile resources.
+//!
+//! A small constant-propagation domain over the GPRs drives an address
+//! classifier that mirrors `hb_core::pgas::PgasMap::translate`, letting the
+//! linter statically decide where each memory access lands: local SPM, a
+//! tile CSR, or the remote network. On top of that, intervals track how many
+//! remote operations can be outstanding in the 63-entry scoreboard, which
+//! registers have in-flight remote loads, and how many barrier joins each
+//! static path has executed.
+
+use crate::cfg::{Cfg, Terminator};
+use crate::dataflow::defs_uses;
+use crate::{Diagnostic, LintConfig, Rule, Severity};
+use hb_core::pgas::{csr, OWN_CELL};
+use hb_isa::{Fpr, Gpr, Instr, INSTR_BYTES};
+
+/// Sentinel for an interval bound that widening has given up on.
+const UNBOUNDED: u32 = u32::MAX;
+
+/// Constant-propagation lattice value for one register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Val {
+    /// Unreached (bottom).
+    Bot,
+    /// Known constant on every path.
+    Const(u32),
+    /// Statically unknown (top).
+    Top,
+}
+
+impl Val {
+    fn join(self, other: Val) -> Val {
+        match (self, other) {
+            (Val::Bot, v) | (v, Val::Bot) => v,
+            (Val::Const(a), Val::Const(b)) if a == b => Val::Const(a),
+            _ => Val::Top,
+        }
+    }
+}
+
+/// Closed interval of possible outstanding-operation counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Interval {
+    lo: u32,
+    hi: u32,
+}
+
+impl Interval {
+    const ZERO: Interval = Interval { lo: 0, hi: 0 };
+
+    fn join(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Adds `lo..=hi` more operations.
+    fn bump(&mut self, lo: u32, hi: u32) {
+        self.lo = self.lo.saturating_add(lo);
+        if self.hi != UNBOUNDED {
+            self.hi = self.hi.saturating_add(hi).min(UNBOUNDED - 1);
+        }
+    }
+
+    /// At least one operation definitely retired (an interlock stall).
+    fn retire_one(&mut self) {
+        self.lo = self.lo.saturating_sub(1);
+    }
+
+    fn widen(self, newer: Interval) -> Interval {
+        Interval {
+            lo: if newer.lo < self.lo { 0 } else { self.lo },
+            hi: if newer.hi > self.hi {
+                UNBOUNDED
+            } else {
+                self.hi
+            },
+        }
+    }
+}
+
+/// Abstract machine state at a program point.
+#[derive(Debug, Clone, PartialEq)]
+struct State {
+    /// Constant-propagation values for the 32 GPRs.
+    regs: [Val; 32],
+    /// Outstanding remote operations (scoreboard entries).
+    ops: Interval,
+    /// The subset of `ops` that are posted remote *stores*.
+    stores: Interval,
+    /// Register-mask (see `dataflow`) of registers whose value is still in
+    /// flight from a remote load or AMO.
+    pending: u64,
+    /// Register-mask of *tile-divergent* values: derived from the tile's
+    /// own coordinates/rank, the cycle counter, or an AMO result. A branch
+    /// on a divergent value can send different tiles down different paths,
+    /// which is what turns unbalanced barrier counts into a deadlock.
+    div: u64,
+}
+
+impl State {
+    fn entry(lc: &LintConfig) -> State {
+        // `Tile::launch` zeroes every register, then sets sp to the top of
+        // the SPM and a0..a7 to the kernel arguments.
+        let mut regs = [Val::Const(0); 32];
+        regs[Gpr::Sp.index() as usize] = Val::Const(lc.spm_bytes);
+        for r in &mut regs[10..=17] {
+            *r = Val::Top;
+        }
+        State {
+            regs,
+            ops: Interval::ZERO,
+            stores: Interval::ZERO,
+            pending: 0,
+            div: 0,
+        }
+    }
+
+    fn join(&self, other: &State) -> State {
+        let mut regs = [Val::Bot; 32];
+        for (i, r) in regs.iter_mut().enumerate() {
+            *r = self.regs[i].join(other.regs[i]);
+        }
+        State {
+            regs,
+            ops: self.ops.join(other.ops),
+            stores: self.stores.join(other.stores),
+            pending: self.pending | other.pending,
+            div: self.div | other.div,
+        }
+    }
+
+    fn widen(&self, newer: &State) -> State {
+        State {
+            regs: newer.regs,
+            ops: self.ops.widen(newer.ops),
+            stores: self.stores.widen(newer.stores),
+            pending: newer.pending,
+            div: newer.div,
+        }
+    }
+
+    fn get(&self, r: Gpr) -> Val {
+        self.regs[r.index() as usize]
+    }
+
+    fn set(&mut self, r: Gpr, v: Val) {
+        if r != Gpr::Zero {
+            self.regs[r.index() as usize] = v;
+        }
+    }
+}
+
+/// Where a statically-classified access lands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Class {
+    /// In-bounds local SPM.
+    Local,
+    /// A CSR in the local window (carries the CSR offset).
+    Csr(u32),
+    /// Definitely remote: group SPM or any DRAM space.
+    Remote,
+    /// Address not statically known.
+    Unknown,
+    /// Definitely faults in `PgasMap::translate` or the tile access checks.
+    Bad(Rule, String),
+}
+
+fn classify(v: Val, width: u32, lc: &LintConfig) -> Class {
+    let c = match v {
+        Val::Const(c) => c,
+        _ => return Class::Unknown,
+    };
+    if width > 1 && c % width != 0 {
+        return Class::Bad(
+            Rule::UnalignedAccess,
+            format!("address {c:#010x} is not {width}-byte aligned"),
+        );
+    }
+    match c >> 30 {
+        0b00 => {
+            if c + width <= lc.spm_bytes {
+                Class::Local
+            } else if (0x1000..0x1100).contains(&c) {
+                Class::Csr(c)
+            } else {
+                Class::Bad(
+                    Rule::SpmOutOfBounds,
+                    format!(
+                        "address {c:#010x} is outside the {}-byte local SPM and the CSR window",
+                        lc.spm_bytes
+                    ),
+                )
+            }
+        }
+        0b01 => {
+            let y = (c >> 24) & 0x3f;
+            let x = (c >> 18) & 0x3f;
+            let offset = c & 0x3ffff;
+            if x >= u32::from(lc.cell_w) || y >= u32::from(lc.cell_h) {
+                Class::Bad(
+                    Rule::SpmOutOfBounds,
+                    format!(
+                        "group-SPM EVA {c:#010x} names tile ({x}, {y}) outside the {}x{} cell",
+                        lc.cell_w, lc.cell_h
+                    ),
+                )
+            } else if offset + width > lc.spm_bytes {
+                Class::Bad(
+                    Rule::SpmOutOfBounds,
+                    format!(
+                        "group-SPM EVA {c:#010x} offset {offset:#x} overruns the {}-byte SPM",
+                        lc.spm_bytes
+                    ),
+                )
+            } else {
+                Class::Remote
+            }
+        }
+        0b10 => {
+            let cell = (c >> 24) & 0x3f;
+            let addr = c & 0xff_ffff;
+            if cell != u32::from(OWN_CELL) && cell >= u32::from(lc.num_cells) {
+                Class::Bad(
+                    Rule::SpmOutOfBounds,
+                    format!(
+                        "DRAM EVA {c:#010x} names cell {cell} but the machine has {} cell(s)",
+                        lc.num_cells
+                    ),
+                )
+            } else if addr + width > lc.dram_bytes_per_cell {
+                Class::Bad(
+                    Rule::SpmOutOfBounds,
+                    format!(
+                        "DRAM EVA {c:#010x} offset {addr:#x} overruns the {}-byte cell window",
+                        lc.dram_bytes_per_cell
+                    ),
+                )
+            } else {
+                Class::Remote
+            }
+        }
+        _ => Class::Remote, // Global DRAM: hashed, always in range.
+    }
+}
+
+fn csr_load_ok(offset: u32) -> bool {
+    matches!(
+        offset,
+        csr::TILE_X
+            | csr::TILE_Y
+            | csr::TG_X
+            | csr::TG_Y
+            | csr::TG_W
+            | csr::TG_H
+            | csr::TG_RANK
+            | csr::TG_SIZE
+            | csr::CELL_W
+            | csr::CELL_H
+            | csr::CELL_ID
+            | csr::NUM_CELLS
+            | csr::CYCLE
+    ) || (csr::ARG0..csr::ARG0 + 32).contains(&offset)
+}
+
+/// Per-instruction facts collected while re-walking blocks after the
+/// fixpoint, consumed by the loop-level and barrier-phase checks.
+struct Recorder {
+    diags: Vec<Diagnostic>,
+    barrier_at: Vec<bool>,
+    fence_at: Vec<bool>,
+    remote_load_at: Vec<bool>,
+    remote_store_at: Vec<bool>,
+    pending_use_at: Vec<bool>,
+    divergent_branch_at: Vec<bool>,
+}
+
+struct Interp<'a> {
+    lc: &'a LintConfig,
+    cfg: &'a Cfg,
+}
+
+impl Interp<'_> {
+    fn pc(&self, i: usize) -> u32 {
+        self.cfg.pc_of(i)
+    }
+
+    fn emit(
+        &self,
+        rec: &mut Option<&mut Recorder>,
+        sev: Severity,
+        i: usize,
+        rule: Rule,
+        msg: String,
+    ) {
+        if let Some(r) = rec {
+            r.diags.push(Diagnostic {
+                severity: sev,
+                pc: Some(self.pc(i)),
+                rule,
+                message: msg,
+            });
+        }
+    }
+
+    /// Interprets one instruction, updating `st` and (if `rec` is set)
+    /// reporting diagnostics and per-instruction facts.
+    fn step(&self, st: &mut State, i: usize, instr: &Instr, mut rec: Option<&mut Recorder>) {
+        // A read of a register with an in-flight remote value stalls the
+        // core until the value arrives (per-register interlock), after
+        // which that operation has retired.
+        let (_, uses) = defs_uses(instr);
+        let stalled = uses & st.pending;
+        if stalled != 0 {
+            for bit in 0..64u32 {
+                if stalled & (1 << bit) == 0 {
+                    continue;
+                }
+                let name = if bit < 32 {
+                    Gpr::from_index(bit as u8).abi_name()
+                } else {
+                    Fpr::from_index((bit - 32) as u8).abi_name()
+                };
+                self.emit(
+                    &mut rec,
+                    Severity::Info,
+                    i,
+                    Rule::RemoteUseStall,
+                    format!(
+                        "{name} is consumed while its remote load may still be in flight; \
+                         the core stalls here (consider scheduling independent work first)"
+                    ),
+                );
+                st.ops.retire_one();
+            }
+            st.pending &= !stalled;
+            if let Some(r) = rec.as_deref_mut() {
+                r.pending_use_at[i] = true;
+            }
+        }
+
+        // Divergence taint, computed against the pre-instruction state.
+        // Values flowing from the tile's own identity (coordinates, rank,
+        // cycle counter) or from AMO results differ across tiles; anything
+        // else is optimistically assumed uniform (memory contents are not
+        // tracked). Link registers and upper-immediates are always uniform.
+        let (defs, _) = defs_uses(instr);
+        let divergent_def = match *instr {
+            Instr::Lui { .. } | Instr::Auipc { .. } | Instr::Jal { .. } | Instr::Jalr { .. } => {
+                false
+            }
+            Instr::Amo { .. } => true,
+            Instr::Load { rs1, offset, .. } => match self.effective(st, rs1, offset) {
+                Val::Const(c) => {
+                    matches!(c, csr::TILE_X | csr::TILE_Y | csr::TG_RANK | csr::CYCLE)
+                        || st.div & reg_bit_gpr(rs1) != 0
+                }
+                _ => st.div & reg_bit_gpr(rs1) != 0,
+            },
+            _ => uses & st.div != 0,
+        };
+        if let Instr::Branch { .. } = instr {
+            if uses & st.div != 0 {
+                if let Some(r) = rec.as_deref_mut() {
+                    r.divergent_branch_at[i] = true;
+                }
+            }
+        }
+        if defs != 0 {
+            if divergent_def {
+                st.div |= defs;
+            } else {
+                st.div &= !defs;
+            }
+        }
+
+        match *instr {
+            Instr::Lui { rd, imm } => st.set(rd, Val::Const((imm as u32) << 12)),
+            Instr::Auipc { rd, imm } => {
+                st.set(rd, Val::Const(self.pc(i).wrapping_add((imm as u32) << 12)));
+            }
+            Instr::Jal { rd, .. } | Instr::Jalr { rd, .. } => {
+                st.set(rd, Val::Const(self.pc(i).wrapping_add(INSTR_BYTES)));
+            }
+            Instr::Branch { .. } => {}
+            Instr::OpImm { op, rd, rs1, imm } => {
+                let v = match st.get(rs1) {
+                    Val::Const(a) => Val::Const(op.eval(a, imm)),
+                    Val::Bot => Val::Bot,
+                    Val::Top => Val::Top,
+                };
+                st.set(rd, v);
+            }
+            Instr::Op { op, rd, rs1, rs2 } => {
+                let v = match (st.get(rs1), st.get(rs2)) {
+                    (Val::Const(a), Val::Const(b)) => Val::Const(op.eval(a, b)),
+                    _ => Val::Top,
+                };
+                st.set(rd, v);
+            }
+            Instr::Load {
+                width,
+                rd,
+                rs1,
+                offset,
+            } => {
+                let addr = self.effective(st, rs1, offset);
+                self.load_effect(st, i, addr, width.bytes(), LoadDst::Int(rd), &mut rec);
+            }
+            Instr::Flw { rd, rs1, offset } => {
+                let addr = self.effective(st, rs1, offset);
+                self.load_effect(st, i, addr, 4, LoadDst::Fp(rd), &mut rec);
+            }
+            Instr::Store {
+                width,
+                rs1,
+                rs2: _,
+                offset,
+            } => {
+                let addr = self.effective(st, rs1, offset);
+                self.store_effect(st, i, addr, width.bytes(), &mut rec);
+            }
+            Instr::Fsw {
+                rs1,
+                rs2: _,
+                offset,
+            } => {
+                let addr = self.effective(st, rs1, offset);
+                self.store_effect(st, i, addr, 4, &mut rec);
+            }
+            Instr::Fence => {
+                st.ops = Interval::ZERO;
+                st.stores = Interval::ZERO;
+                st.pending = 0;
+                if let Some(r) = rec.as_deref_mut() {
+                    r.fence_at[i] = true;
+                }
+            }
+            Instr::Ecall => {
+                if st.stores.hi > 0 {
+                    self.emit(
+                        &mut rec,
+                        Severity::Warning,
+                        i,
+                        Rule::UnfencedExit,
+                        "tile can finish with posted remote stores still in flight; \
+                         add a fence before ecall so results are visible"
+                            .to_owned(),
+                    );
+                }
+            }
+            Instr::Ebreak => {}
+            Instr::Amo { rd, rs1, .. } => {
+                let addr = self.effective(st, rs1, 0);
+                match classify(addr, 4, self.lc) {
+                    Class::Local | Class::Csr(_) => self.emit(
+                        &mut rec,
+                        Severity::Error,
+                        i,
+                        Rule::AmoToLocal,
+                        "AMO targets the local SPM/CSR space; HammerBlade executes atomics \
+                         at cache banks and remote SPMs only (the tile traps here)"
+                            .to_owned(),
+                    ),
+                    Class::Bad(rule, msg) => self.emit(&mut rec, Severity::Error, i, rule, msg),
+                    Class::Remote => {
+                        self.issue(st, i, 1, &mut rec);
+                        st.pending |= reg_bit_gpr(rd);
+                    }
+                    Class::Unknown => {
+                        st.ops.bump(0, 1);
+                        st.pending |= reg_bit_gpr(rd);
+                    }
+                }
+                st.set(rd, Val::Top);
+            }
+            Instr::LrW { rd, .. } | Instr::ScW { rd, .. } => {
+                self.emit(
+                    &mut rec,
+                    Severity::Error,
+                    i,
+                    Rule::AmoToLocal,
+                    "lr/sc are not supported by the tile (it traps); use AMOs".to_owned(),
+                );
+                st.set(rd, Val::Top);
+            }
+            Instr::FpOp { .. } | Instr::Fma { .. } => {}
+            Instr::FpCmp { rd, .. }
+            | Instr::FcvtWS { rd, .. }
+            | Instr::FcvtWuS { rd, .. }
+            | Instr::FmvXW { rd, .. } => st.set(rd, Val::Top),
+            Instr::FcvtSW { .. } | Instr::FcvtSWu { .. } | Instr::FmvWX { .. } => {}
+        }
+    }
+
+    fn effective(&self, st: &State, base: Gpr, offset: i32) -> Val {
+        match st.get(base) {
+            Val::Const(b) => Val::Const(b.wrapping_add(offset as u32)),
+            v => v,
+        }
+    }
+
+    /// Accounts for a newly-issued remote operation and reports scoreboard
+    /// pressure when the upper bound first crosses the capacity.
+    fn issue(&self, st: &mut State, i: usize, definite: u32, rec: &mut Option<&mut Recorder>) {
+        let before = st.ops.hi;
+        st.ops.bump(definite, 1);
+        if before != UNBOUNDED
+            && before <= self.lc.max_outstanding
+            && st.ops.hi > self.lc.max_outstanding
+        {
+            self.emit(
+                rec,
+                Severity::Warning,
+                i,
+                Rule::ScoreboardPressure,
+                format!(
+                    "up to {} remote operations can be outstanding here, exceeding the \
+                     {}-entry scoreboard; the core will stall for credits (fence earlier \
+                     or batch fewer requests)",
+                    st.ops.hi, self.lc.max_outstanding
+                ),
+            );
+        }
+    }
+
+    fn load_effect(
+        &self,
+        st: &mut State,
+        i: usize,
+        addr: Val,
+        width: u32,
+        dst: LoadDst,
+        rec: &mut Option<&mut Recorder>,
+    ) {
+        match classify(addr, width, self.lc) {
+            Class::Local => {}
+            Class::Csr(offset) => {
+                if offset == csr::BARRIER {
+                    self.emit(
+                        rec,
+                        Severity::Error,
+                        i,
+                        Rule::BadCsrAccess,
+                        "the barrier CSR is store-only; loading it traps".to_owned(),
+                    );
+                } else if !csr_load_ok(offset) {
+                    self.emit(
+                        rec,
+                        Severity::Error,
+                        i,
+                        Rule::BadCsrAccess,
+                        format!("load of unknown CSR {offset:#x} traps"),
+                    );
+                }
+            }
+            Class::Remote => {
+                self.issue(st, i, 1, rec);
+                st.pending |= dst.bit();
+                if let Some(r) = rec.as_deref_mut() {
+                    r.remote_load_at[i] = true;
+                }
+            }
+            Class::Unknown => {
+                st.ops.bump(0, 1);
+                st.pending |= dst.bit();
+            }
+            Class::Bad(rule, msg) => self.emit(rec, Severity::Error, i, rule, msg),
+        }
+        if let LoadDst::Int(rd) = dst {
+            st.set(rd, Val::Top);
+        }
+    }
+
+    fn store_effect(
+        &self,
+        st: &mut State,
+        i: usize,
+        addr: Val,
+        width: u32,
+        rec: &mut Option<&mut Recorder>,
+    ) {
+        match classify(addr, width, self.lc) {
+            Class::Local => {}
+            Class::Csr(offset) => {
+                if offset == csr::BARRIER {
+                    if st.stores.hi > 0 {
+                        self.emit(
+                            rec,
+                            Severity::Warning,
+                            i,
+                            Rule::BarrierWithoutFence,
+                            "barrier join while posted remote stores may still be in \
+                             flight; peers released by this barrier can read stale data \
+                             (fence first)"
+                                .to_owned(),
+                        );
+                    }
+                    if let Some(r) = rec.as_deref_mut() {
+                        r.barrier_at[i] = true;
+                    }
+                } else {
+                    self.emit(
+                        rec,
+                        Severity::Error,
+                        i,
+                        Rule::BadCsrAccess,
+                        format!("store to read-only CSR {offset:#x} traps"),
+                    );
+                }
+            }
+            Class::Remote => {
+                self.issue(st, i, 1, rec);
+                st.stores.bump(1, 1);
+                if let Some(r) = rec.as_deref_mut() {
+                    r.remote_store_at[i] = true;
+                }
+            }
+            Class::Unknown => {
+                st.ops.bump(0, 1);
+                st.stores.bump(0, 1);
+            }
+            Class::Bad(rule, msg) => self.emit(rec, Severity::Error, i, rule, msg),
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum LoadDst {
+    Int(Gpr),
+    Fp(Fpr),
+}
+
+impl LoadDst {
+    fn bit(self) -> u64 {
+        match self {
+            LoadDst::Int(Gpr::Zero) => 0,
+            LoadDst::Int(r) => 1u64 << r.index(),
+            LoadDst::Fp(r) => 1u64 << (32 + r.index()),
+        }
+    }
+}
+
+fn reg_bit_gpr(r: Gpr) -> u64 {
+    if r == Gpr::Zero {
+        0
+    } else {
+        1u64 << r.index()
+    }
+}
+
+/// Runs the resource abstract interpretation and all derived checks.
+pub fn check_resources(cfg: &Cfg, instrs: &[Instr], lc: &LintConfig, diags: &mut Vec<Diagnostic>) {
+    let n = cfg.blocks.len();
+    if n == 0 {
+        return;
+    }
+    let interp = Interp { lc, cfg };
+    let reachable = cfg.reachable();
+    let rpo = cfg.reverse_postorder();
+
+    // --- Fixpoint over block entry states, with interval widening. ---
+    let mut in_state: Vec<Option<State>> = vec![None; n];
+    in_state[0] = Some(State::entry(lc));
+    let mut bumps = vec![0u32; n];
+    loop {
+        let mut changed = false;
+        for &b in &rpo {
+            let Some(st_in) = in_state[b].clone() else {
+                continue;
+            };
+            let mut st = st_in;
+            let (start, end) = (cfg.blocks[b].start, cfg.blocks[b].end);
+            for (i, instr) in instrs[start..end].iter().enumerate() {
+                interp.step(&mut st, start + i, instr, None);
+            }
+            for &s in &cfg.blocks[b].succs {
+                let merged = match &in_state[s] {
+                    None => st.clone(),
+                    Some(old) => old.join(&st),
+                };
+                if in_state[s].as_ref() != Some(&merged) {
+                    bumps[s] += 1;
+                    let merged = if bumps[s] > 4 {
+                        in_state[s].as_ref().unwrap_or(&merged).widen(&merged)
+                    } else {
+                        merged
+                    };
+                    if in_state[s].as_ref() != Some(&merged) {
+                        in_state[s] = Some(merged);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // --- Reporting pass: walk each reachable block once from its fixpoint
+    // entry state, emitting diagnostics and per-instruction facts. ---
+    let mut rec = Recorder {
+        diags: Vec::new(),
+        barrier_at: vec![false; instrs.len()],
+        fence_at: vec![false; instrs.len()],
+        remote_load_at: vec![false; instrs.len()],
+        remote_store_at: vec![false; instrs.len()],
+        pending_use_at: vec![false; instrs.len()],
+        divergent_branch_at: vec![false; instrs.len()],
+    };
+    for b in 0..n {
+        if !reachable[b] {
+            continue;
+        }
+        let Some(st_in) = in_state[b].clone() else {
+            continue;
+        };
+        let mut st = st_in;
+        let (start, end) = (cfg.blocks[b].start, cfg.blocks[b].end);
+        for (i, instr) in instrs[start..end].iter().enumerate() {
+            interp.step(&mut st, start + i, instr, Some(&mut rec));
+        }
+    }
+
+    let loop_diags = check_loop_saturation(cfg, &reachable, &rec, lc);
+    rec.diags.extend(loop_diags);
+    check_barrier_phases(
+        cfg,
+        &reachable,
+        &rec.barrier_at,
+        &rec.divergent_branch_at,
+        &mut rec.diags,
+    );
+    check_icache(cfg, instrs.len(), lc, &mut rec.diags);
+
+    diags.append(&mut rec.diags);
+}
+
+/// Flags loops that issue remote operations every iteration with no fence
+/// and no consuming stall inside the loop: scoreboard occupancy then grows
+/// monotonically until the 63-entry limit throttles the core.
+fn check_loop_saturation(
+    cfg: &Cfg,
+    reachable: &[bool],
+    rec: &Recorder,
+    lc: &LintConfig,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut seen_heads = std::collections::HashSet::new();
+    for (tail, head) in cfg.back_edges() {
+        if !reachable[head] || !seen_heads.insert(head) {
+            continue;
+        }
+        let body = cfg.natural_loop(tail, head);
+        let mut loads = false;
+        let mut stores = false;
+        let mut fenced = false;
+        let mut consumed = false;
+        for &b in &body {
+            for i in cfg.blocks[b].start..cfg.blocks[b].end {
+                loads |= rec.remote_load_at[i];
+                stores |= rec.remote_store_at[i];
+                fenced |= rec.fence_at[i];
+                consumed |= rec.pending_use_at[i];
+            }
+        }
+        if fenced {
+            continue;
+        }
+        if stores || (loads && !consumed) {
+            out.push(Diagnostic {
+                severity: Severity::Info,
+                pc: Some(cfg.pc_of(cfg.blocks[head].start)),
+                rule: Rule::ScoreboardPressure,
+                message: format!(
+                    "loop at {:#x} issues remote {} every iteration without a fence; \
+                     occupancy accumulates until the {}-entry scoreboard throttles issue",
+                    cfg.pc_of(cfg.blocks[head].start),
+                    if stores { "stores" } else { "loads" },
+                    lc.max_outstanding
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Immediate dominators over reachable blocks (Cooper–Harvey–Kennedy).
+/// `idom[0] == 0`; unreachable blocks map to `usize::MAX`.
+fn idoms(cfg: &Cfg, reachable: &[bool]) -> Vec<usize> {
+    const UNDEF: usize = usize::MAX;
+    let n = cfg.blocks.len();
+    let rpo = cfg.reverse_postorder();
+    let mut rpo_pos = vec![UNDEF; n];
+    for (pos, &b) in rpo.iter().enumerate() {
+        rpo_pos[b] = pos;
+    }
+    let preds = cfg.preds();
+    let mut idom = vec![UNDEF; n];
+    if n == 0 {
+        return idom;
+    }
+    idom[0] = 0;
+    let intersect = |idom: &[usize], rpo_pos: &[usize], mut a: usize, mut b: usize| {
+        while a != b {
+            while rpo_pos[a] > rpo_pos[b] {
+                a = idom[a];
+            }
+            while rpo_pos[b] > rpo_pos[a] {
+                b = idom[b];
+            }
+        }
+        a
+    };
+    loop {
+        let mut changed = false;
+        for &b in rpo.iter().skip(1) {
+            let mut new_idom = UNDEF;
+            for &p in &preds[b] {
+                if !reachable[p] || idom[p] == UNDEF {
+                    continue;
+                }
+                new_idom = if new_idom == UNDEF {
+                    p
+                } else {
+                    intersect(&idom, &rpo_pos, new_idom, p)
+                };
+            }
+            if new_idom != UNDEF && idom[b] != new_idom {
+                idom[b] = new_idom;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    idom
+}
+
+/// Nearest dominator of `b` (inclusive of `idom[b]`) ending in a
+/// conditional branch — the branch that decides which of the conflicting
+/// paths a tile takes.
+fn dominating_branch(cfg: &Cfg, idom: &[usize], b: usize) -> Option<usize> {
+    let mut d = *idom.get(b)?;
+    if d == usize::MAX {
+        return None;
+    }
+    loop {
+        if cfg.blocks[d].term == Terminator::Branch {
+            return Some(d);
+        }
+        if d == 0 {
+            return None;
+        }
+        let up = idom[d];
+        if up == d || up == usize::MAX {
+            return None;
+        }
+        d = up;
+    }
+}
+
+/// Nearest common dominator of two blocks.
+fn common_dominator(idom: &[usize], a: usize, b: usize) -> Option<usize> {
+    let mut seen = std::collections::HashSet::new();
+    let mut x = a;
+    loop {
+        seen.insert(x);
+        if x == 0 || idom.get(x).copied()? == usize::MAX {
+            break;
+        }
+        let up = idom[x];
+        if up == x {
+            break;
+        }
+        x = up;
+    }
+    let mut y = b;
+    loop {
+        if seen.contains(&y) {
+            return Some(y);
+        }
+        if y == 0 || idom.get(y).copied()? == usize::MAX {
+            return None;
+        }
+        let up = idom[y];
+        if up == y {
+            return None;
+        }
+        y = up;
+    }
+}
+
+/// Checks that every static path executes the same barrier-join sequence.
+///
+/// Phases propagate over the acyclic skeleton of the CFG (back edges
+/// removed): a join whose predecessors carry different phase counts means
+/// tiles taking different paths join a different number of barriers. Each
+/// conflict is attributed to the nearest dominating conditional branch: a
+/// branch on a *tile-divergent* value (rank, coordinates, AMO result)
+/// definitely deadlocks the group barrier — an error. A branch on a value
+/// the analysis believes is tile-uniform (e.g. a flag every tile reads from
+/// shared memory) keeps all tiles on the same path, so the imbalance is
+/// only reported as info. Program exits must likewise agree.
+fn check_barrier_phases(
+    cfg: &Cfg,
+    reachable: &[bool],
+    barrier_at: &[bool],
+    divergent_branch_at: &[bool],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let n = cfg.blocks.len();
+    if n == 0 {
+        return;
+    }
+    let back: std::collections::HashSet<(usize, usize)> = cfg.back_edges().into_iter().collect();
+    let preds = cfg.preds();
+    let idom = idoms(cfg, reachable);
+    let count: Vec<u32> = cfg
+        .blocks
+        .iter()
+        .map(|b| (b.start..b.end).filter(|&i| barrier_at[i]).count() as u32)
+        .collect();
+    // Severity and framing for one conflict, based on the deciding branch.
+    let attribute = |decider: Option<usize>| -> (Severity, String) {
+        match decider {
+            Some(d) => {
+                let branch_pc = cfg.pc_of(cfg.blocks[d].end - 1);
+                if divergent_branch_at[cfg.blocks[d].end - 1] {
+                    (
+                        Severity::Error,
+                        format!(
+                            "the deciding branch at {branch_pc:#x} depends on a \
+                             tile-divergent value, so tiles take different paths and \
+                             deadlock the group barrier"
+                        ),
+                    )
+                } else {
+                    (
+                        Severity::Info,
+                        format!(
+                            "safe only because the deciding branch at {branch_pc:#x} \
+                             appears tile-uniform; if it can differ across tiles the \
+                             group barrier deadlocks"
+                        ),
+                    )
+                }
+            }
+            None => (
+                Severity::Error,
+                "no single deciding branch found; if tiles can take different paths \
+                 the group barrier deadlocks"
+                    .to_owned(),
+            ),
+        }
+    };
+
+    let mut phase: Vec<Option<u32>> = vec![None; n];
+    phase[0] = Some(0);
+    for &b in &cfg.reverse_postorder() {
+        if b == 0 {
+            continue;
+        }
+        let mut agreed: Option<u32> = None;
+        let mut conflict = None;
+        for &p in &preds[b] {
+            if back.contains(&(p, b)) || !reachable[p] {
+                continue;
+            }
+            let Some(pp) = phase[p] else { continue };
+            let v = pp + count[p];
+            match agreed {
+                None => agreed = Some(v),
+                Some(a) if a != v => conflict = Some((a, v)),
+                Some(_) => {}
+            }
+        }
+        if let Some((a, v)) = conflict {
+            let (severity, why) = attribute(dominating_branch(cfg, &idom, b));
+            diags.push(Diagnostic {
+                severity,
+                pc: Some(cfg.pc_of(cfg.blocks[b].start)),
+                rule: Rule::BarrierMismatch,
+                message: format!(
+                    "paths joining at {:#x} have executed different numbers of barrier \
+                     joins ({} vs {}); {why}",
+                    cfg.pc_of(cfg.blocks[b].start),
+                    a.min(v),
+                    a.max(v),
+                ),
+            });
+        }
+        phase[b] = agreed;
+    }
+
+    // Every exit must agree too: otherwise some tiles finish while others
+    // still wait at a barrier.
+    let mut exit_phase: Option<(u32, usize)> = None;
+    for (bi, b) in cfg.blocks.iter().enumerate() {
+        if !reachable[bi] || b.term != Terminator::Exit {
+            continue;
+        }
+        let Some(p) = phase[bi] else { continue };
+        let v = p + count[bi];
+        match exit_phase {
+            None => exit_phase = Some((v, bi)),
+            Some((e, first)) if e != v => {
+                let decider = common_dominator(&idom, first, bi)
+                    .and_then(|cd| {
+                        if cfg.blocks[cd].term == Terminator::Branch {
+                            Some(cd)
+                        } else {
+                            dominating_branch(cfg, &idom, cd)
+                        }
+                    })
+                    .or_else(|| dominating_branch(cfg, &idom, bi));
+                let (severity, why) = attribute(decider);
+                diags.push(Diagnostic {
+                    severity,
+                    pc: Some(cfg.pc_of(b.end - 1)),
+                    rule: Rule::BarrierMismatch,
+                    message: format!("program exits disagree on barrier count ({e} vs {v}); {why}"),
+                });
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// Footprint checks against the direct-mapped instruction cache.
+fn check_icache(cfg: &Cfg, n_instrs: usize, lc: &LintConfig, diags: &mut Vec<Diagnostic>) {
+    let bytes = n_instrs as u32 * INSTR_BYTES;
+    if bytes > lc.icache_bytes {
+        diags.push(Diagnostic {
+            severity: Severity::Info,
+            pc: None,
+            rule: Rule::IcacheFootprint,
+            message: format!(
+                "program is {bytes} bytes but the icache holds {}; expect capacity \
+                 misses when the working set spans the image",
+                lc.icache_bytes
+            ),
+        });
+    }
+    let mut seen_heads = std::collections::HashSet::new();
+    for (tail, head) in cfg.back_edges() {
+        if !seen_heads.insert(head) {
+            continue;
+        }
+        let body = cfg.natural_loop(tail, head);
+        let lo = body.iter().map(|&b| cfg.blocks[b].start).min().unwrap_or(0);
+        let hi = body.iter().map(|&b| cfg.blocks[b].end).max().unwrap_or(0);
+        let span = (hi - lo) as u32 * INSTR_BYTES;
+        if span > lc.icache_bytes {
+            diags.push(Diagnostic {
+                severity: Severity::Warning,
+                pc: Some(cfg.pc_of(cfg.blocks[head].start)),
+                rule: Rule::IcacheLoopSpill,
+                message: format!(
+                    "loop at {:#x} spans {span} bytes, larger than the {}-byte \
+                     direct-mapped icache: every iteration misses",
+                    cfg.pc_of(cfg.blocks[head].start),
+                    lc.icache_bytes
+                ),
+            });
+        }
+    }
+}

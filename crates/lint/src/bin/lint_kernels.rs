@@ -1,0 +1,95 @@
+//! Lints every kernel in `hb-kernels` across its parameterizations.
+//!
+//! ```text
+//! cargo run -p hb-lint --bin lint-kernels [-- --deny-warnings] [--verbose]
+//! ```
+//!
+//! Exits non-zero if any kernel produces an `Error`-severity diagnostic
+//! (or, with `--deny-warnings`, a `Warning`). `Info` findings are counted
+//! in the summary and printed only with `--verbose`.
+
+use hb_asm::Program;
+use hb_core::MachineConfig;
+use hb_kernels::{
+    Aes, BarnesHut, Bfs, BlackScholes, Fft, Jacobi, PageRank, Sgemm, SmithWaterman, SpGemm,
+};
+use hb_lint::{lint, render, LintConfig, Severity};
+use std::process::ExitCode;
+
+fn programs() -> Vec<(&'static str, Program)> {
+    vec![
+        ("aes", Aes::program()),
+        ("bfs (top-down)", Bfs::program(false)),
+        ("bfs (direction-optimizing)", Bfs::program(true)),
+        ("barnes-hut", BarnesHut::program()),
+        ("black-scholes", BlackScholes::program()),
+        ("fft", Fft::program()),
+        ("jacobi", Jacobi::program()),
+        ("pagerank", PageRank::program()),
+        ("sgemm", Sgemm::program()),
+        ("sgemm (blocked)", Sgemm::program_blocked()),
+        ("spgemm", SpGemm::program()),
+        ("smith-waterman", SmithWaterman::program()),
+    ]
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let deny_warnings = args.iter().any(|a| a == "--deny-warnings");
+    let verbose = args.iter().any(|a| a == "--verbose" || a == "-v");
+    if let Some(bad) = args
+        .iter()
+        .find(|a| !matches!(a.as_str(), "--deny-warnings" | "--verbose" | "-v"))
+    {
+        eprintln!("unknown argument `{bad}`");
+        eprintln!("usage: lint-kernels [--deny-warnings] [--verbose]");
+        return ExitCode::from(2);
+    }
+
+    let machine = MachineConfig::baseline_16x8();
+    if let Err(e) = machine.validate() {
+        eprintln!("machine configuration invalid: {e}");
+        return ExitCode::from(2);
+    }
+    let config = LintConfig::for_machine(&machine);
+
+    let mut total = [0usize; 3]; // info, warning, error
+    let mut failed = false;
+    for (name, program) in programs() {
+        let diags = lint(&program, &config);
+        let count = |s: Severity| diags.iter().filter(|d| d.severity == s).count();
+        let (ni, nw, ne) = (
+            count(Severity::Info),
+            count(Severity::Warning),
+            count(Severity::Error),
+        );
+        total[0] += ni;
+        total[1] += nw;
+        total[2] += ne;
+        println!(
+            "{name:30} {:5} instrs   {ne} error(s), {nw} warning(s), {ni} info",
+            program.len()
+        );
+        for d in &diags {
+            let show = match d.severity {
+                Severity::Error | Severity::Warning => true,
+                Severity::Info => verbose,
+            };
+            if show {
+                println!("{}", render(&program, d));
+            }
+        }
+        if ne > 0 || (deny_warnings && nw > 0) {
+            failed = true;
+        }
+    }
+    println!(
+        "\ntotal: {} error(s), {} warning(s), {} info",
+        total[2], total[1], total[0]
+    );
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,351 @@
+//! Basic-block control-flow graph over an assembled [`Program`].
+//!
+//! Blocks are maximal straight-line instruction runs; edges follow the
+//! static control flow of branches and direct jumps. Indirect jumps
+//! (`jalr`) have no statically-known successors and terminate analysis
+//! along that path; the linter reports them so authors know the analyses
+//! are partial there.
+
+use hb_asm::Program;
+use hb_isa::{Instr, INSTR_BYTES};
+
+/// How a basic block ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Terminator {
+    /// Execution continues into the next block (a leader follows).
+    FallThrough,
+    /// Conditional branch: taken edge plus fall-through edge.
+    Branch,
+    /// Unconditional direct jump (`jal`).
+    Jump,
+    /// Indirect jump (`jalr`): successors unknown.
+    Indirect,
+    /// `ecall` / `ebreak`: the tile stops here.
+    Exit,
+    /// The block ends at the last instruction of the image with no
+    /// terminator: the PC runs off the program and the tile traps.
+    OffEnd,
+}
+
+/// One basic block: instruction indices `start..end` within the program.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Index of the first instruction.
+    pub start: usize,
+    /// One past the index of the last instruction.
+    pub end: usize,
+    /// Successor block indices (taken target first for branches).
+    pub succs: Vec<usize>,
+    /// How the block ends.
+    pub term: Terminator,
+}
+
+/// The control-flow graph of a program.
+#[derive(Debug)]
+pub struct Cfg {
+    /// Blocks in program (address) order; block 0 is the entry.
+    pub blocks: Vec<Block>,
+    /// Map from instruction index to owning block index.
+    pub block_of: Vec<usize>,
+    /// Byte address of instruction 0.
+    pub base: u32,
+    /// Branch/jump targets that resolved outside the image (instruction
+    /// index of the offending control transfer).
+    pub wild_targets: Vec<usize>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `program`.
+    pub fn build(program: &Program) -> Cfg {
+        let instrs = program.instrs();
+        let n = instrs.len();
+        let mut is_leader = vec![false; n];
+        let mut wild_targets = Vec::new();
+        if n > 0 {
+            is_leader[0] = true;
+        }
+        let target_of = |i: usize, offset: i32| -> Option<usize> {
+            let t = i as i64 + i64::from(offset) / i64::from(INSTR_BYTES);
+            if (0..n as i64).contains(&t) {
+                Some(t as usize)
+            } else {
+                None
+            }
+        };
+        for (i, instr) in instrs.iter().enumerate() {
+            match *instr {
+                Instr::Branch { offset, .. } => {
+                    match target_of(i, offset) {
+                        Some(t) => is_leader[t] = true,
+                        None => wild_targets.push(i),
+                    }
+                    if i + 1 < n {
+                        is_leader[i + 1] = true;
+                    }
+                }
+                Instr::Jal { offset, .. } => {
+                    match target_of(i, offset) {
+                        Some(t) => is_leader[t] = true,
+                        None => wild_targets.push(i),
+                    }
+                    if i + 1 < n {
+                        is_leader[i + 1] = true;
+                    }
+                }
+                Instr::Jalr { .. } | Instr::Ecall | Instr::Ebreak if i + 1 < n => {
+                    is_leader[i + 1] = true;
+                }
+                _ => {}
+            }
+        }
+
+        // Carve blocks at leaders.
+        let mut blocks = Vec::new();
+        let mut block_of = vec![0usize; n];
+        let mut start = 0usize;
+        for (i, &leader) in is_leader.iter().enumerate() {
+            if i > start && leader {
+                blocks.push(Block {
+                    start,
+                    end: i,
+                    succs: Vec::new(),
+                    term: Terminator::FallThrough,
+                });
+                start = i;
+            }
+        }
+        if n > 0 {
+            blocks.push(Block {
+                start,
+                end: n,
+                succs: Vec::new(),
+                term: Terminator::FallThrough,
+            });
+        }
+        for (bi, b) in blocks.iter().enumerate() {
+            for slot in &mut block_of[b.start..b.end] {
+                *slot = bi;
+            }
+        }
+
+        // Terminators and edges.
+        for block in &mut blocks {
+            let last = block.end - 1;
+            let (term, succs) = match instrs[last] {
+                Instr::Branch { offset, .. } => {
+                    let mut s = Vec::new();
+                    if let Some(t) = target_of(last, offset) {
+                        s.push(block_of[t]);
+                    }
+                    if last + 1 < n {
+                        let ft = block_of[last + 1];
+                        if !s.contains(&ft) {
+                            s.push(ft);
+                        }
+                    }
+                    (Terminator::Branch, s)
+                }
+                Instr::Jal { offset, .. } => {
+                    let s = target_of(last, offset)
+                        .map(|t| vec![block_of[t]])
+                        .unwrap_or_default();
+                    (Terminator::Jump, s)
+                }
+                Instr::Jalr { .. } => (Terminator::Indirect, Vec::new()),
+                Instr::Ecall | Instr::Ebreak => (Terminator::Exit, Vec::new()),
+                _ => {
+                    if last + 1 < n {
+                        (Terminator::FallThrough, vec![block_of[last + 1]])
+                    } else {
+                        (Terminator::OffEnd, Vec::new())
+                    }
+                }
+            };
+            block.term = term;
+            block.succs = succs;
+        }
+
+        Cfg {
+            blocks,
+            block_of,
+            base: program.base(),
+            wild_targets,
+        }
+    }
+
+    /// Byte address of instruction `idx`.
+    pub fn pc_of(&self, idx: usize) -> u32 {
+        self.base + (idx as u32) * INSTR_BYTES
+    }
+
+    /// Blocks reachable from the entry, as a boolean mask.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.blocks.len()];
+        if self.blocks.is_empty() {
+            return seen;
+        }
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(b) = stack.pop() {
+            for &s in &self.blocks[b].succs {
+                if !seen[s] {
+                    seen[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Reverse postorder over reachable blocks (a good iteration order for
+    /// forward dataflow).
+    pub fn reverse_postorder(&self) -> Vec<usize> {
+        let mut state = vec![0u8; self.blocks.len()]; // 0 new, 1 open, 2 done
+        let mut post = Vec::new();
+        if self.blocks.is_empty() {
+            return post;
+        }
+        // Iterative DFS with an explicit phase marker.
+        let mut stack = vec![(0usize, 0usize)];
+        state[0] = 1;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            let succs = &self.blocks[b].succs;
+            if *next < succs.len() {
+                let s = succs[*next];
+                *next += 1;
+                if state[s] == 0 {
+                    state[s] = 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                state[b] = 2;
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        post
+    }
+
+    /// Back edges `(tail, head)` found by DFS from the entry: each one
+    /// closes a natural loop headed at `head`.
+    pub fn back_edges(&self) -> Vec<(usize, usize)> {
+        let mut edges = Vec::new();
+        if self.blocks.is_empty() {
+            return edges;
+        }
+        let mut state = vec![0u8; self.blocks.len()];
+        let mut stack = vec![(0usize, 0usize)];
+        state[0] = 1;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            let succs = &self.blocks[b].succs;
+            if *next < succs.len() {
+                let s = succs[*next];
+                *next += 1;
+                match state[s] {
+                    0 => {
+                        state[s] = 1;
+                        stack.push((s, 0));
+                    }
+                    1 => edges.push((b, s)), // s is on the DFS stack: back edge
+                    _ => {}
+                }
+            } else {
+                state[b] = 2;
+                stack.pop();
+            }
+        }
+        edges
+    }
+
+    /// The natural loop of back edge `(tail, head)`: `head`, `tail`, and
+    /// every block that reaches `tail` without passing through `head`.
+    pub fn natural_loop(&self, tail: usize, head: usize) -> Vec<usize> {
+        let mut in_loop = vec![false; self.blocks.len()];
+        in_loop[head] = true;
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); self.blocks.len()];
+        for (bi, b) in self.blocks.iter().enumerate() {
+            for &s in &b.succs {
+                preds[s].push(bi);
+            }
+        }
+        let mut stack = vec![tail];
+        while let Some(b) = stack.pop() {
+            if in_loop[b] {
+                continue;
+            }
+            in_loop[b] = true;
+            for &p in &preds[b] {
+                stack.push(p);
+            }
+        }
+        (0..self.blocks.len()).filter(|&b| in_loop[b]).collect()
+    }
+
+    /// Predecessor lists for every block.
+    pub fn preds(&self) -> Vec<Vec<usize>> {
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); self.blocks.len()];
+        for (bi, b) in self.blocks.iter().enumerate() {
+            for &s in &b.succs {
+                preds[s].push(bi);
+            }
+        }
+        preds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_asm::Assembler;
+    use hb_isa::Gpr::*;
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let mut a = Assembler::new();
+        a.li(A0, 1).li(A1, 2).add(A2, A0, A1).ecall();
+        let p = a.assemble(0).unwrap();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.blocks.len(), 1);
+        assert_eq!(cfg.blocks[0].term, Terminator::Exit);
+    }
+
+    #[test]
+    fn loop_produces_back_edge() {
+        let mut a = Assembler::new();
+        a.li(T0, 10);
+        let top = a.here();
+        a.addi(T0, T0, -1);
+        a.bnez(T0, top);
+        a.ecall();
+        let p = a.assemble(0).unwrap();
+        let cfg = Cfg::build(&p);
+        let back = cfg.back_edges();
+        assert_eq!(back.len(), 1);
+        let (tail, head) = back[0];
+        let body = cfg.natural_loop(tail, head);
+        assert!(body.contains(&head) && body.contains(&tail));
+    }
+
+    #[test]
+    fn branch_has_two_successors() {
+        let mut a = Assembler::new();
+        let skip = a.new_label();
+        a.beqz(A0, skip);
+        a.li(A1, 1);
+        a.bind(skip);
+        a.ecall();
+        let p = a.assemble(0).unwrap();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.blocks[0].succs.len(), 2);
+    }
+
+    #[test]
+    fn off_end_detected() {
+        let mut a = Assembler::new();
+        a.li(A0, 1);
+        let p = a.assemble(0).unwrap();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.blocks.last().unwrap().term, Terminator::OffEnd);
+    }
+}

@@ -1,0 +1,339 @@
+//! Register dataflow over the CFG: def/use extraction, initialized-register
+//! analysis (use-before-def), backward liveness (dead writes), and
+//! unreachable-block detection.
+//!
+//! Registers are tracked in a 64-bit mask: bits 0–31 are GPRs `x0..x31`,
+//! bits 32–63 are FPRs `f0..f31`. `x0` (zero) is never a def or a use.
+
+use crate::cfg::{Cfg, Terminator};
+use crate::{Diagnostic, Rule, Severity};
+use hb_isa::{FpOp, Fpr, Gpr, Instr};
+
+/// Bit index of a GPR in a register mask.
+#[inline]
+fn gbit(r: Gpr) -> u64 {
+    1u64 << r.index()
+}
+
+/// Bit index of an FPR in a register mask.
+#[inline]
+fn fbit(r: Fpr) -> u64 {
+    1u64 << (32 + r.index())
+}
+
+fn gname(bit: u32) -> String {
+    if bit < 32 {
+        Gpr::from_index(bit as u8).abi_name().to_owned()
+    } else {
+        Fpr::from_index((bit - 32) as u8).abi_name().to_owned()
+    }
+}
+
+/// The registers an instruction reads and writes, as bit masks.
+///
+/// `x0` is excluded from both sides: writes to it are discarded by the
+/// hardware and its value is always defined.
+pub fn defs_uses(instr: &Instr) -> (u64, u64) {
+    let g = |r: Gpr| if r == Gpr::Zero { 0 } else { gbit(r) };
+    match *instr {
+        Instr::Lui { rd, .. } | Instr::Auipc { rd, .. } => (g(rd), 0),
+        Instr::Jal { rd, .. } => (g(rd), 0),
+        Instr::Jalr { rd, rs1, .. } => (g(rd), g(rs1)),
+        Instr::Branch { rs1, rs2, .. } => (0, g(rs1) | g(rs2)),
+        Instr::Load { rd, rs1, .. } => (g(rd), g(rs1)),
+        Instr::Store { rs1, rs2, .. } => (0, g(rs1) | g(rs2)),
+        Instr::OpImm { rd, rs1, .. } => (g(rd), g(rs1)),
+        Instr::Op { rd, rs1, rs2, .. } => (g(rd), g(rs1) | g(rs2)),
+        Instr::Fence | Instr::Ecall | Instr::Ebreak => (0, 0),
+        Instr::Amo { rd, rs1, rs2, .. } => (g(rd), g(rs1) | g(rs2)),
+        Instr::LrW { rd, rs1, .. } => (g(rd), g(rs1)),
+        Instr::ScW { rd, rs1, rs2, .. } => (g(rd), g(rs1) | g(rs2)),
+        Instr::Flw { rd, rs1, .. } => (fbit(rd), g(rs1)),
+        Instr::Fsw { rs1, rs2, .. } => (0, g(rs1) | fbit(rs2)),
+        Instr::FpOp { op, rd, rs1, rs2 } => {
+            // fsqrt.s encodes rs2 as a don't-care field; reading it would
+            // make every kernel's first sqrt a false use-before-def.
+            let uses = if op == FpOp::Sqrt {
+                fbit(rs1)
+            } else {
+                fbit(rs1) | fbit(rs2)
+            };
+            (fbit(rd), uses)
+        }
+        Instr::Fma {
+            rd, rs1, rs2, rs3, ..
+        } => (fbit(rd), fbit(rs1) | fbit(rs2) | fbit(rs3)),
+        Instr::FpCmp { rd, rs1, rs2, .. } => (g(rd), fbit(rs1) | fbit(rs2)),
+        Instr::FcvtWS { rd, rs1 } | Instr::FcvtWuS { rd, rs1 } => (g(rd), fbit(rs1)),
+        Instr::FcvtSW { rd, rs1 } | Instr::FcvtSWu { rd, rs1 } => (fbit(rd), g(rs1)),
+        Instr::FmvXW { rd, rs1 } => (g(rd), fbit(rs1)),
+        Instr::FmvWX { rd, rs1 } => (fbit(rd), g(rs1)),
+    }
+}
+
+/// Registers guaranteed to hold meaningful values when `Tile::launch` starts
+/// a program: `zero`, `sp` (top of SPM) and the kernel arguments `a0..a7`.
+///
+/// `Tile::launch` zeroes every other register, so reading one is not
+/// undefined behaviour in the simulator — but it is almost always a kernel
+/// bug, because no meaningful value was ever placed there.
+pub fn entry_defined() -> u64 {
+    let mut m = gbit(Gpr::Zero) | gbit(Gpr::Sp);
+    for r in [
+        Gpr::A0,
+        Gpr::A1,
+        Gpr::A2,
+        Gpr::A3,
+        Gpr::A4,
+        Gpr::A5,
+        Gpr::A6,
+        Gpr::A7,
+    ] {
+        m |= gbit(r);
+    }
+    m
+}
+
+/// Runs the forward initialized-registers analysis and reports
+/// use-before-def.
+///
+/// Two lattices run side by side: *may-init* (union over predecessors) and
+/// *must-init* (intersection). A use outside may-init is uninitialized on
+/// every path — an [`Severity::Error`]. A use outside must-init but inside
+/// may-init is uninitialized on *some* path; since the analysis is
+/// path-insensitive that may be a false positive, so it is reported as a
+/// [`Severity::Warning`].
+pub fn check_use_before_def(cfg: &Cfg, instrs: &[Instr], diags: &mut Vec<Diagnostic>) {
+    let n = cfg.blocks.len();
+    if n == 0 {
+        return;
+    }
+    let entry = entry_defined();
+    // Per-block gen masks (defs anywhere in the block).
+    let gen: Vec<u64> = cfg
+        .blocks
+        .iter()
+        .map(|b| {
+            instrs[b.start..b.end]
+                .iter()
+                .fold(0, |m, instr| m | defs_uses(instr).0)
+        })
+        .collect();
+
+    let preds = cfg.preds();
+    let reachable = cfg.reachable();
+    let rpo = cfg.reverse_postorder();
+
+    let mut may_in = vec![0u64; n];
+    let mut must_in = vec![u64::MAX; n];
+    may_in[0] = entry;
+    must_in[0] = entry;
+
+    loop {
+        let mut changed = false;
+        for &b in &rpo {
+            if b != 0 {
+                let mut may = 0u64;
+                let mut must = u64::MAX;
+                for &p in &preds[b] {
+                    if !reachable[p] {
+                        continue;
+                    }
+                    may |= may_in[p] | gen[p];
+                    must &= must_in[p] | gen[p];
+                }
+                if preds[b].is_empty() {
+                    must = 0;
+                }
+                if may != may_in[b] || must != must_in[b] {
+                    may_in[b] = may;
+                    must_in[b] = must;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    for (bi, b) in cfg.blocks.iter().enumerate() {
+        if !reachable[bi] {
+            continue;
+        }
+        let mut may = may_in[bi];
+        let mut must = must_in[bi];
+        for (off, instr) in instrs[b.start..b.end].iter().enumerate() {
+            let i = b.start + off;
+            let (d, u) = defs_uses(instr);
+            let never = u & !may;
+            let maybe = u & may & !must;
+            for bit in 0..64 {
+                let m = 1u64 << bit;
+                if never & m != 0 {
+                    diags.push(Diagnostic {
+                        severity: Severity::Error,
+                        pc: Some(cfg.pc_of(i)),
+                        rule: Rule::UseBeforeDef,
+                        message: format!(
+                            "register {} is read but never written on any path to this point \
+                             (launch zeroes it, so this reads 0)",
+                            gname(bit)
+                        ),
+                    });
+                } else if maybe & m != 0 {
+                    diags.push(Diagnostic {
+                        severity: Severity::Warning,
+                        pc: Some(cfg.pc_of(i)),
+                        rule: Rule::UseBeforeDef,
+                        message: format!(
+                            "register {} may be read before it is written on some path",
+                            gname(bit)
+                        ),
+                    });
+                }
+            }
+            may |= d;
+            must |= d;
+        }
+    }
+}
+
+/// Backward liveness; reports writes whose value is never read.
+///
+/// ALU/move results that die are warnings. Dead *loads* are only
+/// informational: a load whose value is discarded still warms the remote
+/// path and is a recognized prefetch idiom. AMO results are exempt — the
+/// memory side effect is the point.
+pub fn check_dead_writes(cfg: &Cfg, instrs: &[Instr], diags: &mut Vec<Diagnostic>) {
+    let n = cfg.blocks.len();
+    if n == 0 {
+        return;
+    }
+    let reachable = cfg.reachable();
+
+    // Per-block use/def for backward analysis.
+    let mut use_b = vec![0u64; n];
+    let mut def_b = vec![0u64; n];
+    for (bi, b) in cfg.blocks.iter().enumerate() {
+        for instr in &instrs[b.start..b.end] {
+            let (d, u) = defs_uses(instr);
+            use_b[bi] |= u & !def_b[bi];
+            def_b[bi] |= d;
+        }
+    }
+
+    let mut live_out = vec![0u64; n];
+    let mut live_in = vec![0u64; n];
+    // Indirect jumps could go anywhere: everything is live. Exits kill all.
+    let all_live = u64::MAX;
+    loop {
+        let mut changed = false;
+        for bi in (0..n).rev() {
+            let b = &cfg.blocks[bi];
+            let mut out = match b.term {
+                Terminator::Indirect => all_live,
+                Terminator::Exit | Terminator::OffEnd => 0,
+                _ => 0,
+            };
+            for &s in &b.succs {
+                out |= live_in[s];
+            }
+            let inn = use_b[bi] | (out & !def_b[bi]);
+            if out != live_out[bi] || inn != live_in[bi] {
+                live_out[bi] = out;
+                live_in[bi] = inn;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    for (bi, b) in cfg.blocks.iter().enumerate() {
+        if !reachable[bi] {
+            continue;
+        }
+        let mut live = live_out[bi];
+        // Walk backwards through the block.
+        for i in (b.start..b.end).rev() {
+            let (d, u) = defs_uses(&instrs[i]);
+            if d != 0 && d & live == 0 {
+                let is_load = matches!(instrs[i], Instr::Load { .. } | Instr::Flw { .. });
+                let is_amo = matches!(
+                    instrs[i],
+                    Instr::Amo { .. } | Instr::LrW { .. } | Instr::ScW { .. }
+                );
+                let is_link = matches!(instrs[i], Instr::Jal { .. } | Instr::Jalr { .. });
+                if !is_amo && !is_link {
+                    let bit = d.trailing_zeros();
+                    diags.push(Diagnostic {
+                        severity: if is_load {
+                            Severity::Info
+                        } else {
+                            Severity::Warning
+                        },
+                        pc: Some(cfg.pc_of(i)),
+                        rule: Rule::DeadWrite,
+                        message: if is_load {
+                            format!(
+                                "loaded value in {} is never read (prefetch, or dead load?)",
+                                gname(bit)
+                            )
+                        } else {
+                            format!("value written to {} is never read", gname(bit))
+                        },
+                    });
+                }
+            }
+            live &= !d;
+            live |= u;
+        }
+    }
+}
+
+/// Reports blocks that no path from the entry reaches, and control flow
+/// that leaves the program image.
+pub fn check_reachability(cfg: &Cfg, diags: &mut Vec<Diagnostic>) {
+    let reachable = cfg.reachable();
+    for (bi, b) in cfg.blocks.iter().enumerate() {
+        if !reachable[bi] {
+            diags.push(Diagnostic {
+                severity: Severity::Warning,
+                pc: Some(cfg.pc_of(b.start)),
+                rule: Rule::UnreachableBlock,
+                message: format!(
+                    "block at {:#x} is unreachable from the entry point",
+                    cfg.pc_of(b.start)
+                ),
+            });
+            continue;
+        }
+        match b.term {
+            Terminator::OffEnd => diags.push(Diagnostic {
+                severity: Severity::Error,
+                pc: Some(cfg.pc_of(b.end - 1)),
+                rule: Rule::FallsOffEnd,
+                message: "execution can run past the last instruction of the program \
+                          (missing ecall or jump?)"
+                    .to_owned(),
+            }),
+            Terminator::Indirect => diags.push(Diagnostic {
+                severity: Severity::Info,
+                pc: Some(cfg.pc_of(b.end - 1)),
+                rule: Rule::IndirectJump,
+                message: "indirect jump: static analyses cannot follow this edge".to_owned(),
+            }),
+            _ => {}
+        }
+    }
+    for &i in &cfg.wild_targets {
+        diags.push(Diagnostic {
+            severity: Severity::Error,
+            pc: Some(cfg.pc_of(i)),
+            rule: Rule::FallsOffEnd,
+            message: "branch or jump target lies outside the program image".to_owned(),
+        });
+    }
+}

@@ -1,0 +1,430 @@
+//! Per-rule acceptance tests: each linter rule must fire on a minimal
+//! deliberately-broken program, and must stay quiet on the fixed version.
+
+use hb_asm::{Assembler, Program};
+use hb_core::{pgas, HbOps};
+use hb_isa::Gpr::*;
+use hb_lint::{lint, render, AssembleChecked, CheckError, Diagnostic, LintConfig, Rule, Severity};
+
+fn diags(p: &Program) -> Vec<Diagnostic> {
+    lint(p, &LintConfig::default())
+}
+
+fn has(ds: &[Diagnostic], rule: Rule, severity: Severity) -> bool {
+    ds.iter().any(|d| d.rule == rule && d.severity == severity)
+}
+
+#[track_caller]
+fn assert_fires(p: &Program, rule: Rule, severity: Severity) {
+    let ds = diags(p);
+    assert!(
+        has(&ds, rule, severity),
+        "expected {severity} {rule} among:\n{}",
+        ds.iter()
+            .map(|d| format!("  {d}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[track_caller]
+fn assert_silent(p: &Program, rule: Rule) {
+    let ds = diags(p);
+    assert!(
+        !ds.iter().any(|d| d.rule == rule),
+        "expected no {rule} among:\n{}",
+        ds.iter()
+            .map(|d| format!("  {d}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+// ---- dataflow ----
+
+#[test]
+fn use_before_def_fires_on_never_written_register() {
+    let mut a = Assembler::new();
+    a.add(A0, T3, T4); // t3/t4 never written
+    a.ecall();
+    assert_fires(&a.assemble(0).unwrap(), Rule::UseBeforeDef, Severity::Error);
+}
+
+#[test]
+fn use_before_def_warns_when_defined_on_one_path_only() {
+    let mut a = Assembler::new();
+    let skip = a.new_label();
+    a.beqz(A0, skip);
+    a.li(T0, 7); // t0 defined only when a0 != 0
+    a.bind(skip);
+    a.mv(A1, T0);
+    a.ecall();
+    assert_fires(
+        &a.assemble(0).unwrap(),
+        Rule::UseBeforeDef,
+        Severity::Warning,
+    );
+}
+
+#[test]
+fn use_before_def_silent_on_arguments_and_sp() {
+    let mut a = Assembler::new();
+    a.add(A0, A1, A2);
+    a.sw(A0, Sp, -4);
+    a.ecall();
+    assert_silent(&a.assemble(0).unwrap(), Rule::UseBeforeDef);
+}
+
+#[test]
+fn dead_write_fires_on_overwritten_constant() {
+    let mut a = Assembler::new();
+    a.li(T0, 5); // dead: overwritten before any read
+    a.li(T0, 6);
+    a.mv(A0, T0);
+    a.ecall();
+    assert_fires(&a.assemble(0).unwrap(), Rule::DeadWrite, Severity::Warning);
+}
+
+#[test]
+fn dead_write_silent_when_value_is_read() {
+    let mut a = Assembler::new();
+    a.li(T0, 5);
+    a.sw(T0, Sp, -4); // the value escapes to memory
+    a.ecall();
+    assert_silent(&a.assemble(0).unwrap(), Rule::DeadWrite);
+}
+
+#[test]
+fn unreachable_block_fires_on_skipped_code() {
+    let mut a = Assembler::new();
+    let skip = a.new_label();
+    a.j(skip);
+    a.li(A0, 1); // unreachable
+    a.bind(skip);
+    a.ecall();
+    assert_fires(
+        &a.assemble(0).unwrap(),
+        Rule::UnreachableBlock,
+        Severity::Warning,
+    );
+}
+
+#[test]
+fn falls_off_end_fires_without_ecall() {
+    let mut a = Assembler::new();
+    a.li(A0, 1);
+    assert_fires(&a.assemble(0).unwrap(), Rule::FallsOffEnd, Severity::Error);
+}
+
+// ---- scoreboard ----
+
+#[test]
+fn scoreboard_pressure_fires_past_sixty_three_outstanding() {
+    let mut a = Assembler::new();
+    a.li_u(T0, pgas::local_dram(0));
+    // 64 posted remote stores, no fence: one more than the scoreboard holds.
+    for i in 0..64 {
+        a.sw(Zero, T0, i * 4);
+    }
+    a.fence();
+    a.ecall();
+    assert_fires(
+        &a.assemble(0).unwrap(),
+        Rule::ScoreboardPressure,
+        Severity::Warning,
+    );
+}
+
+#[test]
+fn scoreboard_pressure_silent_below_capacity() {
+    let mut a = Assembler::new();
+    a.li_u(T0, pgas::local_dram(0));
+    for i in 0..63 {
+        a.sw(Zero, T0, i * 4);
+    }
+    a.fence();
+    a.ecall();
+    assert_silent(&a.assemble(0).unwrap(), Rule::ScoreboardPressure);
+}
+
+#[test]
+fn remote_use_stall_reported_on_immediate_consume() {
+    let mut a = Assembler::new();
+    a.li_u(T0, pgas::local_dram(0));
+    a.lw(T1, T0, 0); // remote load...
+    a.add(A0, T1, T1); // ...consumed immediately
+    a.fence();
+    a.ecall();
+    assert_fires(
+        &a.assemble(0).unwrap(),
+        Rule::RemoteUseStall,
+        Severity::Info,
+    );
+}
+
+// ---- barriers ----
+
+/// Rank-guarded barrier: only tiles with rank 0 join — a guaranteed
+/// deadlock, because the deciding branch reads a tile-divergent CSR.
+#[test]
+fn barrier_mismatch_on_divergent_branch_is_an_error() {
+    let mut a = Assembler::new();
+    let skip = a.new_label();
+    a.tg_rank(T0, T6);
+    a.bnez(T0, skip);
+    a.barrier(T6);
+    a.bind(skip);
+    a.fence();
+    a.ecall();
+    assert_fires(
+        &a.assemble(0).unwrap(),
+        Rule::BarrierMismatch,
+        Severity::Error,
+    );
+}
+
+/// The same imbalance behind an argument-driven branch is only flagged as
+/// info: arguments are launch-uniform, so all tiles take the same path.
+#[test]
+fn barrier_mismatch_on_uniform_branch_is_info_only() {
+    let mut a = Assembler::new();
+    let skip = a.new_label();
+    a.bnez(A0, skip);
+    a.barrier(T6);
+    a.bind(skip);
+    a.fence();
+    a.ecall();
+    let ds = diags(&a.assemble(0).unwrap());
+    assert!(has(&ds, Rule::BarrierMismatch, Severity::Info));
+    assert!(!has(&ds, Rule::BarrierMismatch, Severity::Error));
+}
+
+#[test]
+fn barrier_mismatch_silent_when_paths_balance() {
+    let mut a = Assembler::new();
+    let other = a.new_label();
+    let join = a.new_label();
+    a.tg_rank(T0, T6);
+    a.bnez(T0, other);
+    a.barrier(T6);
+    a.j(join);
+    a.bind(other);
+    a.barrier(T6);
+    a.bind(join);
+    a.fence();
+    a.ecall();
+    assert_silent(&a.assemble(0).unwrap(), Rule::BarrierMismatch);
+}
+
+#[test]
+fn barrier_without_fence_fires_on_unflushed_stores() {
+    let mut a = Assembler::new();
+    a.li_u(T0, pgas::local_dram(0));
+    a.sw(Zero, T0, 0); // posted remote store...
+    a.barrier(T6); // ...still in flight at the barrier
+    a.fence();
+    a.ecall();
+    assert_fires(
+        &a.assemble(0).unwrap(),
+        Rule::BarrierWithoutFence,
+        Severity::Warning,
+    );
+}
+
+#[test]
+fn barrier_after_fence_is_clean() {
+    let mut a = Assembler::new();
+    a.li_u(T0, pgas::local_dram(0));
+    a.sw(Zero, T0, 0);
+    a.fence();
+    a.barrier(T6);
+    a.fence();
+    a.ecall();
+    assert_silent(&a.assemble(0).unwrap(), Rule::BarrierWithoutFence);
+}
+
+#[test]
+fn unfenced_exit_fires_on_posted_stores_at_ecall() {
+    let mut a = Assembler::new();
+    a.li_u(T0, pgas::local_dram(0));
+    a.sw(Zero, T0, 0);
+    a.ecall(); // no fence: the result may never land
+    assert_fires(
+        &a.assemble(0).unwrap(),
+        Rule::UnfencedExit,
+        Severity::Warning,
+    );
+}
+
+// ---- addresses ----
+
+#[test]
+fn unaligned_access_fires_on_misaligned_word_store() {
+    let mut a = Assembler::new();
+    a.li(T0, 2);
+    a.sw(Zero, T0, 0); // word store to address 2
+    a.ecall();
+    assert_fires(
+        &a.assemble(0).unwrap(),
+        Rule::UnalignedAccess,
+        Severity::Error,
+    );
+}
+
+#[test]
+fn spm_out_of_bounds_fires_past_the_scratchpad() {
+    let mut a = Assembler::new();
+    a.li(T0, 0x3000); // local space, beyond the 4 KB SPM and the CSR window
+    a.sw(Zero, T0, 0);
+    a.ecall();
+    assert_fires(
+        &a.assemble(0).unwrap(),
+        Rule::SpmOutOfBounds,
+        Severity::Error,
+    );
+}
+
+#[test]
+fn bad_csr_access_fires_on_store_to_read_only_csr() {
+    let mut a = Assembler::new();
+    a.li_u(T0, 0x1018); // TG_RANK is load-only
+    a.sw(Zero, T0, 0);
+    a.ecall();
+    assert_fires(&a.assemble(0).unwrap(), Rule::BadCsrAccess, Severity::Error);
+}
+
+#[test]
+fn bad_csr_access_fires_on_load_of_barrier_csr() {
+    let mut a = Assembler::new();
+    a.li_u(T0, 0x1030); // the barrier CSR is store-only
+    a.lw(A0, T0, 0);
+    a.ecall();
+    assert_fires(&a.assemble(0).unwrap(), Rule::BadCsrAccess, Severity::Error);
+}
+
+#[test]
+fn amo_to_local_fires_on_spm_target() {
+    let mut a = Assembler::new();
+    a.li(T0, 0x100); // local SPM: atomics only execute at cache banks
+    a.li(T2, 1);
+    a.amoadd(T1, T2, T0);
+    a.fence();
+    a.mv(A0, T1);
+    a.ecall();
+    assert_fires(&a.assemble(0).unwrap(), Rule::AmoToLocal, Severity::Error);
+}
+
+#[test]
+fn amo_to_remote_dram_is_legal() {
+    let mut a = Assembler::new();
+    a.li_u(T0, pgas::local_dram(0));
+    a.li(T2, 1);
+    a.amoadd(T1, T2, T0);
+    a.fence();
+    a.mv(A0, T1);
+    a.ecall();
+    assert_silent(&a.assemble(0).unwrap(), Rule::AmoToLocal);
+}
+
+#[test]
+fn lr_sc_are_rejected() {
+    let mut a = Assembler::new();
+    a.li_u(T0, pgas::local_dram(0));
+    a.emit(hb_isa::Instr::LrW {
+        rd: T1,
+        rs1: T0,
+        aq: false,
+        rl: false,
+    });
+    a.fence();
+    a.mv(A0, T1);
+    a.ecall();
+    assert_fires(&a.assemble(0).unwrap(), Rule::AmoToLocal, Severity::Error);
+}
+
+// ---- icache ----
+
+#[test]
+fn icache_loop_spill_fires_on_oversized_loop() {
+    let mut a = Assembler::new();
+    a.li(T0, 100);
+    let head = a.here();
+    let exit = a.new_label();
+    // Loop body larger than the 4 KB icache: every iteration re-misses.
+    // The body outranges a conditional branch, so jump back via `j`.
+    for _ in 0..1100 {
+        a.nop();
+    }
+    a.addi(T0, T0, -1);
+    a.beqz(T0, exit);
+    a.j(head);
+    a.bind(exit);
+    a.ecall();
+    assert_fires(
+        &a.assemble(0).unwrap(),
+        Rule::IcacheLoopSpill,
+        Severity::Warning,
+    );
+}
+
+// ---- configuration ----
+
+#[test]
+fn disabled_rules_are_suppressed() {
+    let mut a = Assembler::new();
+    a.add(A0, T3, T4);
+    a.ecall();
+    let p = a.assemble(0).unwrap();
+    let lc = LintConfig::default().disable(Rule::UseBeforeDef);
+    assert!(!lint(&p, &lc).iter().any(|d| d.rule == Rule::UseBeforeDef));
+}
+
+#[test]
+fn rule_names_round_trip() {
+    for rule in Rule::ALL {
+        assert_eq!(Rule::from_name(rule.name()), Some(rule));
+    }
+    assert_eq!(Rule::from_name("no-such-rule"), None);
+}
+
+// ---- rendering & strict assembly ----
+
+#[test]
+fn render_marks_the_offending_instruction() {
+    let mut a = Assembler::new();
+    a.li(T0, 2);
+    a.sw(Zero, T0, 0);
+    a.ecall();
+    let p = a.assemble(0).unwrap();
+    let ds = diags(&p);
+    let d = ds
+        .iter()
+        .find(|d| d.rule == Rule::UnalignedAccess)
+        .expect("unaligned store found");
+    let rendered = render(&p, d);
+    assert!(rendered.contains(">>>"), "no marker in:\n{rendered}");
+    assert!(rendered.contains("sw"), "no disassembly in:\n{rendered}");
+}
+
+#[test]
+fn assemble_checked_rejects_broken_programs() {
+    let mut a = Assembler::new();
+    a.add(A0, T3, T4);
+    a.ecall();
+    match a.assemble_checked(0, &LintConfig::default()) {
+        Err(CheckError::Lint(ds)) => {
+            assert!(has(&ds, Rule::UseBeforeDef, Severity::Error));
+        }
+        other => panic!("expected lint rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn assemble_checked_accepts_clean_programs() {
+    let mut a = Assembler::new();
+    a.add(A0, A1, A2);
+    a.fence();
+    a.ecall();
+    a.assemble_checked(0, &LintConfig::default())
+        .expect("clean program passes strict assembly");
+}

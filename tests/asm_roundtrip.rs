@@ -1,0 +1,57 @@
+//! Round-trip: disassembling any shipped kernel and re-parsing the text
+//! must reproduce the exact same machine words. This pins the disassembler
+//! and the text parser to each other.
+
+use hb_asm::{parse_with_base, Program};
+
+fn strip_listing(disasm: &str) -> String {
+    // Each line is "{pc:08x}: {word:08x}  {instr}" — keep the mnemonic part.
+    disasm
+        .lines()
+        .map(|line| {
+            let (_, instr) = line
+                .split_once(":")
+                .unwrap_or_else(|| panic!("listing line without pc: `{line}`"));
+            // Skip the word column (first token after the colon).
+            instr
+                .trim_start()
+                .split_once(' ')
+                .map_or("", |(_, rest)| rest)
+                .trim()
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[track_caller]
+fn round_trips(name: &str, program: &Program) {
+    let text = strip_listing(&program.disassemble());
+    let reparsed = parse_with_base(&text, program.base())
+        .unwrap_or_else(|e| panic!("{name}: disassembly does not re-parse: {e}"));
+    assert_eq!(
+        reparsed.words(),
+        program.words(),
+        "{name}: reassembled words differ from the original"
+    );
+}
+
+#[test]
+fn all_kernels_round_trip_through_text() {
+    let programs = [
+        ("aes", hb_kernels::Aes::program()),
+        ("bfs (top-down)", hb_kernels::Bfs::program(false)),
+        ("bfs (direction-optimizing)", hb_kernels::Bfs::program(true)),
+        ("barnes-hut", hb_kernels::BarnesHut::program()),
+        ("black-scholes", hb_kernels::BlackScholes::program()),
+        ("fft", hb_kernels::Fft::program()),
+        ("jacobi", hb_kernels::Jacobi::program()),
+        ("pagerank", hb_kernels::PageRank::program()),
+        ("sgemm", hb_kernels::Sgemm::program()),
+        ("sgemm (blocked)", hb_kernels::Sgemm::program_blocked()),
+        ("spgemm", hb_kernels::SpGemm::program()),
+        ("smith-waterman", hb_kernels::SmithWaterman::program()),
+    ];
+    for (name, program) in &programs {
+        round_trips(name, program);
+    }
+}
