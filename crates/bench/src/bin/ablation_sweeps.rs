@@ -7,7 +7,7 @@
 //!
 //! Each sweep uses the kernel most sensitive to the resource.
 
-use hb_bench::{bench_size, hb_config, header, row};
+use hb_bench::{bench_size, hb_config, header, job_threads, point_config, row, run_ordered};
 use hb_core::MachineConfig;
 use hb_kernels::{Benchmark, PageRank, Sgemm, SpGemm};
 
@@ -20,16 +20,23 @@ fn sweep<B: Benchmark>(
     println!("{title}");
     let widths = [14usize, 12, 10];
     header(&["setting", "cycles", "speedup"], &widths);
-    let mut base = None;
-    for (label, cfg) in points {
+    // Sweep points are independent simulations: fan them out, print the
+    // ordered results (speedups are relative to the first point).
+    let jobs = job_threads();
+    let cycles = run_ordered(points.iter().collect(), jobs, |_, (label, cfg)| {
         eprintln!("  {} / {label} ...", bench.name());
-        let stats = bench.run(cfg, size).expect("ablation run");
-        let b = *base.get_or_insert(stats.cycles as f64);
+        bench
+            .run(&point_config(cfg, jobs), size)
+            .expect("ablation run")
+            .cycles
+    });
+    let base = cycles[0] as f64;
+    for ((label, _), cyc) in points.iter().zip(&cycles) {
         row(
             &[
                 label.clone(),
-                stats.cycles.to_string(),
-                format!("{:.2}x", b / stats.cycles as f64),
+                cyc.to_string(),
+                format!("{:.2}x", base / *cyc as f64),
             ],
             &widths,
         );

@@ -4,7 +4,9 @@
 //! Ruche network, write-validate, Load Packet Compression, Regional IPOLY
 //! and non-blocking caches. Reports per-kernel and geomean speedups.
 
-use hb_bench::{bench_cell, bench_size, geomean, header, row};
+use hb_bench::{
+    bench_cell, bench_size, geomean, header, job_threads, point_config, row, run_ordered,
+};
 use hb_core::{CellDim, MachineConfig};
 
 fn main() {
@@ -111,22 +113,36 @@ fn main() {
     head.push("geomean");
     header(&head, &widths);
 
+    // The ladder is cumulative, so materialize the configurations first;
+    // the (configuration, kernel) simulation points are then independent
+    // and fan out across the job pool, collected in submission order.
+    let mut configs: Vec<(&'static str, MachineConfig)> = Vec::new();
     let mut cfg = base;
-    let mut baseline_tput: Vec<f64> = Vec::new();
     for (label, apply) in steps {
         cfg = apply(&cfg);
+        configs.push((label, cfg.clone()));
+    }
+    let jobs = job_threads();
+    let points: Vec<(usize, usize)> = (0..configs.len())
+        .flat_map(|si| (0..suite.len()).map(move |ki| (si, ki)))
+        .collect();
+    let tputs = run_ordered(points, jobs, |_, (si, ki)| {
+        let (label, cfg) = &configs[si];
+        let bench = &suite[ki];
+        eprintln!("  running {} / {label} ...", bench.name());
+        let stats = bench
+            .run(&point_config(cfg, jobs), size)
+            .unwrap_or_else(|e| panic!("{} under '{label}' failed: {e}", bench.name()));
+        // Work-normalized (Jacobi's grid scales with the Cell).
+        stats.throughput()
+    });
+
+    for (si, (label, _)) in configs.iter().enumerate() {
         let mut speedups = Vec::new();
-        let mut cells = vec![label.to_owned()];
-        for (i, bench) in suite.iter().enumerate() {
-            eprintln!("  running {} / {label} ...", bench.name());
-            let stats = bench
-                .run(&cfg, size)
-                .unwrap_or_else(|e| panic!("{} under '{label}' failed: {e}", bench.name()));
-            if baseline_tput.len() <= i {
-                baseline_tput.push(stats.throughput());
-            }
-            // Work-normalized speedup (Jacobi's grid scales with the Cell).
-            let speedup = stats.throughput() / baseline_tput[i];
+        let mut cells = vec![(*label).to_owned()];
+        for ki in 0..suite.len() {
+            // Row 0 of the ladder is the Baseline Manycore.
+            let speedup = tputs[si * suite.len() + ki] / tputs[ki];
             speedups.push(speedup);
             cells.push(format!("{speedup:.2}"));
         }

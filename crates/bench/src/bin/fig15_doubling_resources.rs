@@ -2,7 +2,9 @@
 //! constant HBM2 bandwidth — taller Cells (16x16), wider Cells (32x8) and
 //! more Cells (2x16x8) — vs the baseline 16x8 Cell.
 
-use hb_bench::{bench_cell, bench_size, geomean, header, row};
+use hb_bench::{
+    bench_cell, bench_size, geomean, header, job_threads, point_config, row, run_ordered,
+};
 use hb_core::{CellDim, MachineConfig, MultiCellEstimator, Phase};
 
 fn main() {
@@ -50,28 +52,51 @@ fn main() {
 
     let est = MultiCellEstimator::from_config(&base_cfg);
     let suite = hb_kernels::suite();
+
+    // Every (kernel, configuration) point is an independent simulation;
+    // fan them all out across the job pool and reassemble the rows from
+    // the ordered results.
+    let variants = [
+        ("base", &base_cfg),
+        ("tall", &tall),
+        ("wide", &wide),
+        ("half-bw", &half_bw),
+    ];
+    let jobs = job_threads();
+    let points: Vec<(usize, usize)> = (0..suite.len())
+        .flat_map(|ki| (0..variants.len()).map(move |vi| (ki, vi)))
+        .collect();
+    let runs = run_ordered(points, jobs, |_, (ki, vi)| {
+        let bench = &suite[ki];
+        let (vname, cfg) = variants[vi];
+        eprintln!("  running {} / {vname} ...", bench.name());
+        let stats = bench
+            .run(&point_config(cfg, jobs), size)
+            .unwrap_or_else(|e| panic!("{} / {vname} failed: {e}", bench.name()));
+        (stats.cycles, stats.throughput(), stats.work_units)
+    });
+
     let (mut s_tall, mut s_wide, mut s_two) = (Vec::new(), Vec::new(), Vec::new());
-    for bench in &suite {
-        eprintln!("  running {} ...", bench.name());
-        let base_run = bench.run(&base_cfg, size).expect("baseline run");
-        let base = base_run.cycles as f64;
-        let base_t = base_run.throughput();
-        let tall_t = bench.run(&tall, size).expect("tall run").throughput();
-        let wide_t = bench.run(&wide, size).expect("wide run").throughput();
+    for (ki, bench) in suite.iter().enumerate() {
+        let at = |vi: usize| runs[ki * variants.len() + vi];
+        let (base_cycles, base_t, _) = at(0);
+        let base = base_cycles as f64;
+        let (_, tall_t, _) = at(1);
+        let (_, wide_t, _) = at(2);
         // Two Cells, the paper's own methodology: each Cell handles half
         // the work at half the HBM2 bandwidth, plus a conservative
         // inter-phase broadcast of shared data for hard-to-partition
         // kernels (graph/octree duplication into both Local DRAMs).
-        let half_run = bench.run(&half_bw, size).expect("half-bandwidth run");
+        let (half_cycles, _, half_work) = at(3);
         let dup_bytes: u64 = match bench.name() {
             "BFS" | "PR" | "SpGEMM" | "BH" => 256 * 1024,
             _ => 0,
         };
         let two_c = est.total_cycles(&[Phase {
-            exec_cycles: half_run.cycles / 2,
+            exec_cycles: half_cycles / 2,
             transfer_bytes: dup_bytes,
         }]) as f64;
-        let two_t = half_run.work_units / two_c;
+        let two_t = half_work / two_c;
         s_tall.push(tall_t / base_t);
         s_wide.push(wide_t / base_t);
         s_two.push(two_t / base_t);

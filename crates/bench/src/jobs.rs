@@ -1,0 +1,119 @@
+//! Host-level job parallelism for the figure/table sweep binaries.
+//!
+//! The fig10/fig15/ablation harnesses run many *independent* (kernel,
+//! configuration) simulation points; [`run_ordered`] fans them out across a
+//! scoped worker pool and collects results in submission order, so table
+//! rows print exactly as in the sequential harness. This is the second
+//! level of parallelism on top of the per-Machine tile-phase pool
+//! (`hb_core::TilePool`): when job-level fan-out is active, Machines should
+//! run with `threads = 1` (see [`point_config`]) so the host is not
+//! oversubscribed.
+
+use hb_core::MachineConfig;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Job-level worker count for a sweep binary: `--threads N` (or
+/// `--threads=N`) on the command line wins, else the `HB_THREADS`
+/// environment variable, else 1.
+pub fn job_threads() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            if let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) {
+                return n.max(1);
+            }
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            if let Ok(n) = v.parse::<usize>() {
+                return n.max(1);
+            }
+        }
+    }
+    hb_core::threads_from_env()
+}
+
+/// The configuration a fanned-out simulation point should run with: when
+/// more than one job runs at a time, each Machine keeps its tile phase
+/// sequential (`threads = 1`) so total host threads ≈ `jobs`, not
+/// `jobs * threads`. Simulated results are identical either way.
+pub fn point_config(base: &MachineConfig, jobs: usize) -> MachineConfig {
+    MachineConfig {
+        threads: if jobs > 1 { 1 } else { base.threads },
+        ..base.clone()
+    }
+}
+
+/// Runs `f` over every item on up to `threads` scoped workers and returns
+/// the results **in item order** (work-stealing execution, deterministic
+/// collection). `threads <= 1` degrades to a plain in-order loop. A
+/// panicking job propagates to the caller when the scope joins.
+pub fn run_ordered<I, T, F>(items: Vec<I>, threads: usize, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I) -> T + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let work: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(n) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i].lock().unwrap().take().expect("item claimed once");
+                let out = f(i, item);
+                *slots[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap().expect("every job completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_item_order() {
+        let items: Vec<usize> = (0..64).collect();
+        let out = run_ordered(items, 4, |i, item| {
+            assert_eq!(i, item);
+            item * 10
+        });
+        assert_eq!(out, (0..64).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_is_inline_and_ordered() {
+        let out = run_ordered(vec!["a", "b", "c"], 1, |i, s| format!("{i}{s}"));
+        assert_eq!(out, vec!["0a", "1b", "2c"]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = run_ordered(vec![7usize], 16, |_, x| x + 1);
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn point_config_forces_sequential_tiles_under_fanout() {
+        let mut base = MachineConfig::baseline_16x8();
+        base.threads = 8;
+        assert_eq!(point_config(&base, 4).threads, 1);
+        assert_eq!(point_config(&base, 1).threads, 8);
+    }
+}

@@ -12,6 +12,9 @@
 use hb_core::{CellDim, MachineConfig};
 use hb_kernels::SizeClass;
 
+pub mod jobs;
+pub use jobs::{job_threads, point_config, run_ordered};
+
 /// The benchmark scale selected by `HB_SCALE`.
 pub fn scale() -> SizeClass {
     match std::env::var("HB_SCALE").as_deref() {

@@ -4,6 +4,7 @@
 
 use crate::banknode::BankNode;
 use crate::config::MachineConfig;
+use crate::parallel::{PhaseTimes, TilePool};
 use crate::payload::{Request, Response};
 use crate::pgas::PgasMap;
 use crate::stats::CoreStats;
@@ -57,6 +58,12 @@ impl GroupSpec {
     }
 }
 
+/// Packets a tile may receive from each network per cycle. Requests use it
+/// as the `req_inbox` occupancy bound; responses as a hard per-cycle
+/// ejection cap, so a burst of responses converging on one tile drains at
+/// the latch rate instead of instantaneously (see `phase_network`).
+pub const EJECT_PER_CYCLE: usize = 8;
+
 /// An in-flight bank↔DRAM line operation.
 #[derive(Debug)]
 struct MemOp {
@@ -92,6 +99,12 @@ pub struct Cell {
     active: Vec<bool>,
     alloc_ptr: u32,
     cycle: u64,
+    /// Worker pool for the tile phase (shared across the machine's Cells);
+    /// `None` steps tiles inline.
+    pool: Option<Arc<TilePool>>,
+    /// Tracing serializes the tile phase (the shared ring must observe
+    /// events in deterministic tile order).
+    traced: bool,
     /// Requests bound for other Cells (drained by the inter-Cell fabric).
     pub xreq_out: VecDeque<(u8, Packet<Request>)>,
     /// Responses bound for other Cells.
@@ -165,10 +178,17 @@ impl Cell {
             active: vec![false; cfg.cell_dim.tiles()],
             alloc_ptr: 0,
             cycle: 0,
+            pool: None,
+            traced: false,
             xreq_out: VecDeque::new(),
             xresp_out: VecDeque::new(),
             cfg,
         }
+    }
+
+    /// Installs the shared tile-phase worker pool (see [`crate::parallel`]).
+    pub fn set_pool(&mut self, pool: Arc<TilePool>) {
+        self.pool = Some(pool);
     }
 
     /// The Cell's PGAS map (coordinate helpers).
@@ -322,7 +342,13 @@ impl Cell {
     }
 
     /// Installs a shared trace buffer into every tile (see [`crate::trace`]).
+    ///
+    /// Tracing disables tile-phase parallelism for this Cell: the shared
+    /// ring must record events in tile order for the cosim checker, so the
+    /// tile phase falls back to the sequential schedule (which the parallel
+    /// one is bit-identical to anyway).
     pub fn set_trace(&mut self, trace: crate::trace::TraceHandle) {
+        self.traced = true;
         for t in &mut self.tiles {
             t.set_trace(trace.clone());
         }
@@ -377,24 +403,66 @@ impl Cell {
         }
     }
 
-    /// Delivers a response arriving from another Cell.
+    /// Delivers a response arriving from another Cell. Staged: the packet
+    /// reaches the tile's `resp_inbox` on a later cycle, subject to the
+    /// [`EJECT_PER_CYCLE`] delivery cap, so a cross-Cell response burst
+    /// cannot exceed the latch rate a local response would observe.
     pub fn deliver_remote_response(&mut self, pkt: Packet<Response>) {
         if let Some((x, y)) = self.pgas.coord_to_tile(pkt.dst) {
-            self.tile_mut(x, y).resp_inbox.push_back(pkt);
+            self.tile_mut(x, y).resp_stage.push_back(pkt);
         }
     }
 
     /// Advances the whole Cell one core-clock cycle.
+    ///
+    /// The cycle is a sequence of bulk-synchronous phases (see
+    /// [`crate::parallel`] for the model and determinism argument):
+    /// network → memory → tiles → sync → inject. Only the tile phase runs
+    /// on the worker pool; every phase boundary is a full barrier, and
+    /// tile inboxes/outboxes are written and drained in *different* phases,
+    /// so they act as the double buffers between tile compute and the
+    /// sequential Cell plumbing.
     pub fn tick(&mut self) {
         self.cycle += 1;
         let now = self.cycle;
-        let w = self.cfg.cell_dim.x;
+        self.phase_network();
+        self.phase_memory();
+        self.phase_tiles(now);
+        self.phase_sync();
+        self.phase_inject();
+    }
 
-        // 1. Networks advance.
+    /// Like [`tick`](Self::tick), accumulating per-phase wall-clock time.
+    pub fn tick_profiled(&mut self, acc: &mut PhaseTimes) {
+        self.cycle += 1;
+        let now = self.cycle;
+        let t0 = std::time::Instant::now();
+        self.phase_network();
+        let t1 = std::time::Instant::now();
+        self.phase_memory();
+        let t2 = std::time::Instant::now();
+        self.phase_tiles(now);
+        let t3 = std::time::Instant::now();
+        self.phase_sync();
+        let t4 = std::time::Instant::now();
+        self.phase_inject();
+        let t5 = std::time::Instant::now();
+        acc.network += t1 - t0;
+        acc.memory += t2 - t1;
+        acc.tiles += t3 - t2;
+        acc.sync += t4 - t3;
+        acc.inject += t5 - t4;
+    }
+
+    /// BSP phase 1 — networks advance, then ejection latches fill: requests
+    /// to banks and tiles, responses to tiles. Delivery into a tile is
+    /// rate-limited to [`EJECT_PER_CYCLE`] packets per network per cycle,
+    /// matching the one-packet-per-cycle-per-port latch model (DESIGN.md,
+    /// "Cycle model"): the request cap doubles as the inbox bound, the
+    /// response cap throttles bursts that converge on one destination.
+    fn phase_network(&mut self) {
         self.req_net.tick();
         self.resp_net.tick();
-
-        // 2. Ejections: requests to banks and tiles, responses to tiles.
         for b in 0..self.banks.len() {
             let coord = self.banks[b].coord;
             while self.banks[b].can_take() {
@@ -407,18 +475,39 @@ impl Cell {
         for i in 0..self.tiles.len() {
             let (x, y) = self.tiles[i].xy;
             let coord = self.pgas.tile_coord(x, y);
-            while self.tiles[i].req_inbox.len() < 8 {
+            while self.tiles[i].req_inbox.len() < EJECT_PER_CYCLE {
                 match self.req_net.eject(coord) {
                     Some(pkt) => self.tiles[i].req_inbox.push_back(pkt),
                     None => break,
                 }
             }
-            while let Some(pkt) = self.resp_net.eject(coord) {
-                self.tiles[i].resp_inbox.push_back(pkt);
+            let mut ejected = 0;
+            while ejected < EJECT_PER_CYCLE {
+                match self.resp_net.eject(coord) {
+                    Some(pkt) => {
+                        self.tiles[i].resp_inbox.push_back(pkt);
+                        ejected += 1;
+                    }
+                    None => break,
+                }
+            }
+            // Fabric-staged responses share the same delivery budget.
+            while ejected < EJECT_PER_CYCLE {
+                match self.tiles[i].resp_stage.pop_front() {
+                    Some(pkt) => {
+                        self.tiles[i].resp_inbox.push_back(pkt);
+                        ejected += 1;
+                    }
+                    None => break,
+                }
             }
         }
+    }
 
-        // 3. Banks: adapter + bank pipeline, then their DRAM side.
+    /// BSP phase 2 — cache banks, refill strips and the HBM2 channel.
+    fn phase_memory(&mut self) {
+        let w = self.cfg.cell_dim.x;
+        // Banks: adapter + bank pipeline, then their DRAM side.
         for b in 0..self.banks.len() {
             self.banks[b].tick();
             while let Some(lr) = self.banks[b].bank.pop_mem_request() {
@@ -458,7 +547,7 @@ impl Cell {
             }
         }
 
-        // 4. Strip channels toward memory -> HBM2 queue.
+        // Strip channels toward memory -> HBM2 queue.
         for strip in &mut self.strip_to_mem {
             strip.tick();
             while let Some(t) = strip.pop_complete() {
@@ -471,7 +560,7 @@ impl Cell {
             }
         }
 
-        // 5. HBM2 on its own clock.
+        // HBM2 on its own clock.
         if self.hbm_clock.tick() {
             while let Some(&req) = self.hbm_retry.front() {
                 if self.hbm.enqueue(req) {
@@ -506,7 +595,7 @@ impl Cell {
             }
         }
 
-        // 6. Strip channels from memory -> cache refill completion.
+        // Strip channels from memory -> cache refill completion.
         for s in 0..2 {
             self.strip_from_mem[s].tick();
             while let Some(t) = self.strip_from_mem[s].pop_complete() {
@@ -515,15 +604,28 @@ impl Cell {
                 self.banks[op.bank].bank.complete_fetch(op.line_addr, &data);
             }
         }
+    }
 
-        // 7. Tiles execute.
-        for i in 0..self.tiles.len() {
-            if self.active[i] {
-                self.tiles[i].step(now);
+    /// BSP phase 3 — every active tile executes one pipeline cycle. This is
+    /// the only phase the worker pool shards: tiles touch nothing but their
+    /// own state here, so any execution order is bit-identical to the
+    /// in-order loop. Tracing forces the sequential schedule so ring-buffer
+    /// event order stays deterministic.
+    fn phase_tiles(&mut self, now: u64) {
+        match &self.pool {
+            Some(pool) if !self.traced => pool.step_tiles(&mut self.tiles, &self.active, now),
+            _ => {
+                for (t, &a) in self.tiles.iter_mut().zip(&self.active) {
+                    if a {
+                        t.step(now);
+                    }
+                }
             }
         }
+    }
 
-        // 8. Barrier joins and releases.
+    /// BSP phase 4 — barrier joins and releases.
+    fn phase_sync(&mut self) {
         for i in 0..self.tiles.len() {
             if self.tiles[i].wants_join {
                 self.tiles[i].wants_join = false;
@@ -547,8 +649,11 @@ impl Cell {
                 }
             }
         }
+    }
 
-        // 9. Injections.
+    /// BSP phase 5 — injections: tile and bank outboxes drain into the
+    /// routers (cross-Cell traffic diverts to the fabric queues).
+    fn phase_inject(&mut self) {
         for i in 0..self.tiles.len() {
             let (x, y) = self.tiles[i].xy;
             let coord = self.pgas.tile_coord(x, y);
@@ -592,5 +697,76 @@ impl Cell {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CellDim;
+    use crate::payload::RespKind;
+
+    fn small_cell() -> Cell {
+        let cfg = MachineConfig {
+            cell_dim: CellDim { x: 4, y: 2 },
+            threads: 1,
+            ..MachineConfig::baseline_16x8()
+        };
+        Cell::new(Arc::new(cfg), 0)
+    }
+
+    /// Regression for the response-inbox unboundedness asymmetry: request
+    /// ejection was capped but responses could land in `resp_inbox` at an
+    /// unbounded per-cycle rate through the fabric path. A burst of N
+    /// responses must now take at least N / EJECT_PER_CYCLE cycles to
+    /// deliver, and no cycle may deliver more than EJECT_PER_CYCLE.
+    #[test]
+    fn response_burst_delivery_is_rate_limited() {
+        let mut cell = small_cell();
+        let dst = cell.pgas().tile_coord(0, 0);
+        let n = 4 * EJECT_PER_CYCLE;
+        for i in 0..n {
+            cell.deliver_remote_response(Packet {
+                src: dst,
+                dst,
+                payload: crate::payload::Response {
+                    op_id: i as u32,
+                    kind: RespKind::StoreAck,
+                },
+            });
+        }
+        // The tile is idle (never launched), so delivered responses
+        // accumulate in its inbox where the per-cycle rate is observable.
+        let mut prev = 0usize;
+        let mut cycles = 0u64;
+        while cell.tile(0, 0).resp_inbox.len() < n {
+            cell.tick();
+            cycles += 1;
+            let len = cell.tile(0, 0).resp_inbox.len();
+            assert!(
+                len - prev <= EJECT_PER_CYCLE,
+                "{} responses delivered in one cycle (cap {EJECT_PER_CYCLE})",
+                len - prev
+            );
+            prev = len;
+            assert!(cycles <= 4 * n as u64, "burst failed to deliver");
+        }
+        let floor = (n / EJECT_PER_CYCLE) as u64;
+        assert!(
+            cycles >= floor,
+            "a {n}-response burst must take >= {floor} cycles, took {cycles}"
+        );
+    }
+
+    /// The phase split must not change what a cycle does: an idle Cell
+    /// ticks without panicking and advances its cycle counter.
+    #[test]
+    fn idle_cell_ticks_through_phases() {
+        let mut cell = small_cell();
+        for _ in 0..32 {
+            cell.tick();
+        }
+        assert_eq!(cell.cycle(), 32);
+        assert!(cell.all_done());
     }
 }

@@ -106,6 +106,13 @@ pub struct MachineConfig {
     pub hbm: Hbm2Config,
     /// Cache-strip refill channel parameters.
     pub strip: StripConfig,
+
+    // ---- Host execution (does not affect simulated results) ----
+    /// Host worker threads for the tile phase of each cycle (see
+    /// `hb_core::parallel`). `1` steps tiles inline; `>1` shards them
+    /// across a persistent pool. Results are bit-identical either way.
+    /// Presets seed this from the `HB_THREADS` environment variable.
+    pub threads: usize,
 }
 
 impl MachineConfig {
@@ -144,6 +151,7 @@ impl MachineConfig {
             mem_freq_mhz: 1000,
             hbm: Hbm2Config::default(),
             strip: StripConfig::default(),
+            threads: crate::parallel::threads_from_env(),
         }
     }
 

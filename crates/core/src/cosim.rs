@@ -348,11 +348,13 @@ impl Machine {
 
         let start = self.cycle();
         loop {
-            if self.all_done() {
-                break;
-            }
+            // Fault first, mirroring `Machine::run`: a trap on the final
+            // budgeted cycle must surface as a fault, not a timeout.
             if let Some(msg) = (0..self.num_cells() as u8).find_map(|c| self.cell(c).fault()) {
                 return Err(SimError::Fault(msg).into());
+            }
+            if self.all_done() {
+                break;
             }
             if self.cycle() - start >= max_cycles {
                 let running = (0..self.num_cells() as u8)

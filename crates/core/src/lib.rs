@@ -55,6 +55,7 @@ mod icache;
 mod kernel_util;
 mod machine;
 mod multicell;
+pub mod parallel;
 mod payload;
 pub mod pgas;
 pub mod profile;
@@ -62,7 +63,7 @@ mod stats;
 mod tile;
 pub mod trace;
 
-pub use cell::{Cell, GroupSpec};
+pub use cell::{Cell, GroupSpec, EJECT_PER_CYCLE};
 pub use config::{CellDim, ConfigError, MachineConfig};
 pub use cosim::{CosimChecker, CosimError, CosimReport, Divergence};
 pub use func::{FuncBus, IssTile, SnapshotDram, TileCtx, WarmupReport};
@@ -70,6 +71,7 @@ pub use icache::ICache;
 pub use kernel_util::HbOps;
 pub use machine::{Machine, RunSummary, SimError};
 pub use multicell::{MultiCellEstimator, Phase};
+pub use parallel::{threads_from_env, PhaseTimes, TilePool};
 pub use payload::{NodeId, ReqKind, Request, RespKind, Response};
 pub use pgas::{ipoly_hash, PgasMap, Target};
 pub use stats::{utilization_report, CoreStats, StallKind};

@@ -98,12 +98,24 @@ pub struct Machine {
 
 impl Machine {
     /// Builds a machine from a configuration.
+    ///
+    /// If [`MachineConfig::threads`] is greater than one, a single
+    /// [`TilePool`](crate::parallel::TilePool) is created and shared by all
+    /// Cells; the tile phase of each cycle then runs across that pool. The
+    /// simulated results are bit-identical either way (see
+    /// `crates/core/src/parallel.rs`).
     pub fn new(cfg: MachineConfig) -> Machine {
         cfg.validate_or_panic();
         let cfg = Arc::new(cfg);
-        let cells = (0..cfg.num_cells)
+        let mut cells: Vec<Cell> = (0..cfg.num_cells)
             .map(|i| Cell::new(cfg.clone(), i))
             .collect();
+        if cfg.threads > 1 {
+            let pool = Arc::new(crate::parallel::TilePool::new(cfg.threads));
+            for cell in &mut cells {
+                cell.set_pool(pool.clone());
+            }
+        }
         let fabric = Fabric::new(&cfg);
         Machine {
             cfg,
@@ -213,7 +225,25 @@ impl Machine {
         for cell in &mut self.cells {
             cell.tick();
         }
-        // Fabric: collect outbound traffic (budgeted) and deliver due items.
+        self.tick_fabric();
+    }
+
+    /// Advances one core cycle while accumulating per-phase wall-clock time
+    /// into `acc` (fabric time is accounted to the network phase). Used by
+    /// the `sim_throughput` bench to measure the tile phase's share of a
+    /// cycle — the Amdahl bound on tile-phase parallel scaling.
+    pub fn tick_profiled(&mut self, acc: &mut crate::parallel::PhaseTimes) {
+        self.cycle += 1;
+        for cell in &mut self.cells {
+            cell.tick_profiled(acc);
+        }
+        let t0 = std::time::Instant::now();
+        self.tick_fabric();
+        acc.network += t0.elapsed();
+    }
+
+    /// Fabric: collect outbound traffic (budgeted) and deliver due items.
+    fn tick_fabric(&mut self) {
         for ci in 0..self.cells.len() {
             let mut budget = self.fabric.words_per_cycle;
             while budget > 0 {
@@ -260,10 +290,16 @@ impl Machine {
     /// # Errors
     ///
     /// [`SimError::Fault`] if any tile traps; [`SimError::Timeout`] if the
-    /// kernel does not finish within `max_cycles`.
+    /// kernel does not finish within `max_cycles`. Fault detection takes
+    /// precedence: a kernel that traps on the final cycle of its budget (or
+    /// whose trap stops its tile so the rest "finish") reports the fault,
+    /// never a timeout or a bogus success.
     pub fn run(&mut self, max_cycles: u64) -> Result<RunSummary, SimError> {
         let start = self.cycle;
         loop {
+            if let Some(msg) = self.cells.iter().find_map(Cell::fault) {
+                return Err(SimError::Fault(msg));
+            }
             if self.all_done() {
                 let mut core = CoreStats::default();
                 for cell in &self.cells {
@@ -273,9 +309,6 @@ impl Machine {
                     cycles: self.cycle - start,
                     core,
                 });
-            }
-            if let Some(msg) = self.cells.iter().find_map(Cell::fault) {
-                return Err(SimError::Fault(msg));
             }
             if self.cycle - start >= max_cycles {
                 let running_tiles = self.cells.iter().map(Cell::running_tiles).sum();

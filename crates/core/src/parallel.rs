@@ -1,0 +1,307 @@
+//! Deterministic parallel execution engine for the tile phase of
+//! [`Cell::tick`](crate::Cell::tick).
+//!
+//! # Execution model
+//!
+//! The Cell advances in bulk-synchronous (BSP) phases each core cycle (see
+//! `DESIGN.md`, "Parallel execution"):
+//!
+//! 1. **network** — router pipelines advance; packets are ejected into
+//!    per-tile/per-bank inboxes,
+//! 2. **memory** — cache banks, refill strips and the HBM2 channel,
+//! 3. **tiles** — every tile executes one pipeline cycle
+//!    ([`Tile::step`](crate::Tile::step)): icache, hazards, SPM, the
+//!    remote-op scoreboard, inbox draining and outbox filling,
+//! 4. **sync** — barrier-network joins and releases,
+//! 5. **inject** — tile/bank outboxes drain into the routers.
+//!
+//! During phase 3 a tile touches only its own state: inboxes were filled in
+//! phase 1 (latched — nothing writes them again until the next cycle) and
+//! outboxes are drained in phase 5, so the inbox/outbox pairs act as the
+//! double buffers between the tile phase and the sequencing phases. Tiles
+//! therefore step independently, and executing them on any number of worker
+//! threads produces *bit-identical* architectural state, statistics and
+//! network traffic to the single-threaded in-order schedule (verified by
+//! `crates/core/tests/determinism.rs` across the whole kernel suite).
+//!
+//! [`TilePool`] is the persistent worker pool that runs phase 3: `threads-1`
+//! long-lived `std::thread` workers plus the calling thread, each stepping a
+//! contiguous shard of the tile array. Thread count comes from
+//! [`MachineConfig::threads`](crate::MachineConfig::threads) (seeded from
+//! the `HB_THREADS` environment variable).
+
+use crate::tile::Tile;
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Wall-clock time spent in each BSP phase of [`Cell::tick`](crate::Cell::tick),
+/// accumulated by [`Machine::tick_profiled`](crate::Machine::tick_profiled).
+///
+/// Used by the `sim_throughput` bench to report what fraction of a cycle is
+/// spent in the (parallelizable) tile phase versus the sequential
+/// network/memory sequencing — the Amdahl bound on tile-phase scaling.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PhaseTimes {
+    /// Router pipelines + ejection into inboxes (+ inter-Cell fabric).
+    pub network: Duration,
+    /// Cache banks, refill strips, HBM2.
+    pub memory: Duration,
+    /// Tile execution (the parallel phase).
+    pub tiles: Duration,
+    /// Barrier joins/releases.
+    pub sync: Duration,
+    /// Outbox draining into the routers.
+    pub inject: Duration,
+}
+
+impl PhaseTimes {
+    /// Total accounted time.
+    pub fn total(&self) -> Duration {
+        self.network + self.memory + self.tiles + self.sync + self.inject
+    }
+
+    /// Fraction of the accounted time spent in the tile phase.
+    pub fn tile_share(&self) -> f64 {
+        let total = self.total().as_secs_f64();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.tiles.as_secs_f64() / total
+        }
+    }
+}
+
+/// One shard of tile-stepping work handed to a worker.
+///
+/// Raw pointers because workers are persistent (the borrow cannot be
+/// expressed through the channel); safety rests on three invariants upheld
+/// by [`TilePool::step_tiles`]: shard ranges are pairwise disjoint, `active`
+/// is only read, and the caller blocks on the completion latch before the
+/// borrow it took the pointers from ends.
+struct Shard {
+    tiles: *mut Tile,
+    active: *const bool,
+    start: usize,
+    end: usize,
+    now: u64,
+}
+
+// SAFETY: `Tile` is `Send` (all fields are owned or `Arc` of `Send + Sync`
+// data) and `step_tiles` guarantees disjoint, latch-synchronized access.
+unsafe impl Send for Shard {}
+
+/// Countdown latch: the caller waits until every worker reports done.
+#[derive(Debug, Default)]
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn reset(&self, n: usize) {
+        *self.remaining.lock().unwrap() = n;
+    }
+
+    fn count_down(&self) {
+        let mut g = self.remaining.lock().unwrap();
+        *g -= 1;
+        if *g == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut g = self.remaining.lock().unwrap();
+        while *g > 0 {
+            g = self.done.wait(g).unwrap();
+        }
+    }
+}
+
+/// A persistent worker pool executing the tile phase across threads.
+///
+/// Created once per [`Machine`](crate::Machine) (shared by its Cells) and
+/// reused every cycle; workers park on their channel between cycles, so the
+/// steady-state cost per cycle is one send per worker plus the latch wait.
+pub struct TilePool {
+    senders: Vec<Sender<Shard>>,
+    latch: Arc<Latch>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for TilePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TilePool")
+            .field("threads", &self.threads())
+            .finish()
+    }
+}
+
+impl TilePool {
+    /// Builds a pool of `threads` total workers (the calling thread counts
+    /// as one, so `threads - 1` OS threads are spawned). `threads <= 1`
+    /// yields an empty pool that steps tiles inline.
+    pub fn new(threads: usize) -> TilePool {
+        let workers = threads.saturating_sub(1);
+        let latch = Arc::new(Latch::default());
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (tx, rx) = channel::<Shard>();
+            let latch = latch.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("hb-tile-{w}"))
+                .spawn(move || {
+                    // Senders dropping (pool drop) ends the iterator.
+                    for shard in rx {
+                        // SAFETY: see `Shard` — [start, end) is disjoint
+                        // from every other shard (including the caller's),
+                        // and the caller keeps the backing allocation
+                        // borrowed until the latch opens.
+                        unsafe {
+                            let n = shard.end - shard.start;
+                            let tiles =
+                                std::slice::from_raw_parts_mut(shard.tiles.add(shard.start), n);
+                            let active =
+                                std::slice::from_raw_parts(shard.active.add(shard.start), n);
+                            for (t, &a) in tiles.iter_mut().zip(active) {
+                                if a {
+                                    t.step(shard.now);
+                                }
+                            }
+                        }
+                        latch.count_down();
+                    }
+                })
+                .expect("spawn tile worker");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        TilePool {
+            senders,
+            latch,
+            handles,
+        }
+    }
+
+    /// Builds a pool sized from the `HB_THREADS` environment variable
+    /// (absent/unparsable → 1, i.e. an inline pool).
+    pub fn from_env() -> TilePool {
+        TilePool::new(threads_from_env())
+    }
+
+    /// Total worker count (spawned threads + the calling thread).
+    pub fn threads(&self) -> usize {
+        self.senders.len() + 1
+    }
+
+    /// Steps every `active` tile one cycle, sharded across the pool.
+    ///
+    /// Bit-identical to the sequential loop `for i { if active[i] {
+    /// tiles[i].step(now) } }`: tiles share no mutable state during the
+    /// step (see the module docs), so shard assignment and thread
+    /// interleaving cannot affect any per-tile result.
+    pub fn step_tiles(&self, tiles: &mut [Tile], active: &[bool], now: u64) {
+        assert_eq!(tiles.len(), active.len());
+        let shards = self.senders.len() + 1;
+        let chunk = tiles.len().div_ceil(shards);
+        if self.senders.is_empty() || chunk == 0 {
+            for (t, &a) in tiles.iter_mut().zip(active) {
+                if a {
+                    t.step(now);
+                }
+            }
+            return;
+        }
+        self.latch.reset(self.senders.len());
+        let len = tiles.len();
+        let base = tiles.as_mut_ptr();
+        let act = active.as_ptr();
+        for (w, tx) in self.senders.iter().enumerate() {
+            let start = ((w + 1) * chunk).min(len);
+            let end = ((w + 2) * chunk).min(len);
+            tx.send(Shard {
+                tiles: base,
+                active: act,
+                start,
+                end,
+                now,
+            })
+            .expect("tile worker alive");
+        }
+        // The calling thread takes the first shard, through the same raw
+        // base pointer as the workers so no `&mut` to the full slice is
+        // live while they hold their sub-slices.
+        // SAFETY: [0, chunk) is disjoint from every worker shard.
+        unsafe {
+            let head = std::slice::from_raw_parts_mut(base, chunk.min(len));
+            for (t, &a) in head.iter_mut().zip(&active[..chunk.min(len)]) {
+                if a {
+                    t.step(now);
+                }
+            }
+        }
+        self.latch.wait();
+    }
+}
+
+impl Drop for TilePool {
+    fn drop(&mut self) {
+        // Closing the channels ends each worker's receive loop.
+        self.senders.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Parses `HB_THREADS` (total tile-phase workers; absent or invalid → 1).
+pub fn threads_from_env() -> usize {
+    std::env::var("HB_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map_or(1, |n| n.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_pool_is_inline() {
+        let pool = TilePool::new(1);
+        assert_eq!(pool.threads(), 1);
+        // No tiles: must not deadlock or panic.
+        pool.step_tiles(&mut [], &[], 1);
+    }
+
+    #[test]
+    fn pool_with_more_threads_than_tiles() {
+        // 8 workers, 0 tiles: every shard is empty; the latch must still
+        // open.
+        let pool = TilePool::new(8);
+        assert_eq!(pool.threads(), 8);
+        pool.step_tiles(&mut [], &[], 1);
+        pool.step_tiles(&mut [], &[], 2);
+    }
+
+    #[test]
+    fn env_parsing_defaults_to_one() {
+        // Only checks the parser contract on the current environment: the
+        // result is always at least 1.
+        assert!(threads_from_env() >= 1);
+    }
+
+    #[test]
+    fn phase_times_shares() {
+        let t = PhaseTimes {
+            tiles: Duration::from_millis(75),
+            network: Duration::from_millis(25),
+            ..PhaseTimes::default()
+        };
+        assert!((t.tile_share() - 0.75).abs() < 1e-9);
+        assert_eq!(PhaseTimes::default().tile_share(), 0.0);
+    }
+}

@@ -146,37 +146,50 @@ impl CellProfile {
 
     /// Names the dominant bottleneck, in the spirit of the paper's "where
     /// and why the processors spend most of the time" tools.
-    pub fn bottleneck(&self) -> &'static str {
+    ///
+    /// Shares are normalized against the aggregate cycle count and the
+    /// verdict reports the winning share as a percentage. The
+    /// DRAM-bandwidth check is independent of which stall category tops the
+    /// table: a saturated HBM2 channel (>70% data-bus utilization) is the
+    /// bottleneck even when the cores mostly show compute cycles, because
+    /// adding tiles or MLP cannot help a full memory pipe.
+    pub fn bottleneck(&self) -> String {
         let agg = self.aggregate();
-        let total = agg.total_cycles().max(1);
+        let total = agg.total_cycles().max(1) as f64;
         let exec = agg.int_cycles + agg.fp_cycles;
         let remote = agg.stall(StallKind::RemoteLoad) + agg.stall(StallKind::AmoDep);
         let barrier = agg.stall(StallKind::Barrier) + agg.stall(StallKind::Fence);
         let credit = agg.stall(StallKind::RemoteCredit);
         let fpu = agg.stall(StallKind::FpBusy) + agg.stall(StallKind::IntBusy);
         let hbm_busy = self.hbm.data_utilization();
+        if hbm_busy > 0.7 {
+            return format!(
+                "DRAM-bandwidth-bound: needs more HBM2 bandwidth \
+                 (data bus {:.0}% busy)",
+                hbm_busy * 100.0
+            );
+        }
         let shares = [
-            (exec, "compute-bound: add tiles"),
+            (exec as f64 / total, "compute-bound: add tiles"),
             (
-                remote,
+                remote as f64 / total,
                 "memory-latency-bound: increase MLP or cache locality",
             ),
-            (barrier, "synchronization-bound: improve load balance"),
             (
-                credit,
+                barrier as f64 / total,
+                "synchronization-bound: improve load balance",
+            ),
+            (
+                credit as f64 / total,
                 "network-injection-bound: reduce request rate or widen NoC",
             ),
             (
-                fpu,
+                fpu as f64 / total,
                 "iterative-FPU-bound: pipeline fdiv/fsqrt or restructure math",
             ),
         ];
-        let &(top, verdict) = shares.iter().max_by_key(|&&(v, _)| v).unwrap();
-        if verdict.starts_with("memory") && hbm_busy > 0.7 {
-            return "DRAM-bandwidth-bound: needs more HBM2 bandwidth";
-        }
-        let _ = (top, total);
-        verdict
+        let &(top, verdict) = shares.iter().max_by(|a, b| a.0.total_cmp(&b.0)).unwrap();
+        format!("{verdict} ({:.0}% of cycles)", top * 100.0)
     }
 
     /// The full §III.D-style report: utilization heatmaps, cache and HBM
@@ -265,7 +278,32 @@ mod tests {
     #[test]
     fn bottleneck_diagnoses_barrier_imbalance() {
         let p = fake_profile();
-        assert!(p.bottleneck().contains("synchronization"));
+        let verdict = p.bottleneck();
+        assert!(verdict.contains("synchronization"));
+        // The verdict reports the winning share normalized to total cycles:
+        // 95 barrier stalls out of 191 aggregate cycles -> 50%.
+        assert!(verdict.contains("50% of cycles"), "verdict: {verdict}");
+    }
+
+    #[test]
+    fn saturated_hbm_wins_even_when_compute_bound() {
+        // A compute-bound kernel (top share is execute cycles) on a >70%
+        // busy HBM2 data bus must still be diagnosed as DRAM-bound: the
+        // override is independent of which stall category tops the table.
+        let mut p = fake_profile();
+        p.hbm = Hbm2Stats {
+            read_cycles: 80,
+            write_cycles: 0,
+            busy_cycles: 10,
+            idle_cycles: 10,
+            ..Hbm2Stats::default()
+        };
+        let verdict = p.bottleneck();
+        assert!(
+            verdict.contains("DRAM-bandwidth-bound"),
+            "verdict: {verdict}"
+        );
+        assert!(verdict.contains("80%"), "verdict: {verdict}");
     }
 
     #[test]

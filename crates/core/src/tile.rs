@@ -117,6 +117,10 @@ pub struct Tile {
     pub req_inbox: VecDeque<Packet<Request>>,
     /// Incoming responses for this tile's remote ops.
     pub resp_inbox: VecDeque<Packet<Response>>,
+    /// Responses arriving from the inter-Cell fabric, staged so delivery
+    /// into [`resp_inbox`](Self::resp_inbox) respects the per-cycle
+    /// ejection cap (see [`crate::EJECT_PER_CYCLE`]).
+    pub resp_stage: VecDeque<Packet<Response>>,
 
     // Barrier interface (handled by the Cell).
     /// Set when the core executed a barrier join this cycle.
@@ -201,6 +205,7 @@ impl Tile {
             resp_outbox: VecDeque::new(),
             req_inbox: VecDeque::new(),
             resp_inbox: VecDeque::new(),
+            resp_stage: VecDeque::new(),
             wants_join: false,
             barrier_waiting: false,
             running: false,

@@ -452,6 +452,39 @@ fn bad_eva_faults() {
 }
 
 #[test]
+fn fault_at_cycle_limit_reports_fault_not_timeout() {
+    // A kernel that traps (load from an unmapped EVA) run with the cycle
+    // budget expiring on exactly the trap cycle: fault detection must take
+    // precedence over the timeout (and over "all done").
+    let trap_kernel = || {
+        let mut a = Assembler::new();
+        a.li_u(T0, 0x2000); // outside SPM and CSRs
+        a.lw(T1, T0, 0);
+        a.ecall();
+        Arc::new(a.assemble(0).unwrap())
+    };
+    // Probe run: find the exact cycle on which the trap surfaces.
+    let mut probe = machine(small_cfg());
+    probe.launch(0, &trap_kernel(), &[]);
+    let mut fault_cycle = 0;
+    while probe.cycle() < 10_000 {
+        probe.tick();
+        if probe.cell(0).fault().is_some() {
+            fault_cycle = probe.cycle();
+            break;
+        }
+    }
+    assert!(fault_cycle > 0, "probe kernel never faulted");
+    // Budget expires on the trap cycle itself.
+    let mut m = machine(small_cfg());
+    m.launch(0, &trap_kernel(), &[]);
+    match m.run(fault_cycle) {
+        Err(SimError::Fault(msg)) => assert!(msg.contains("does not map"), "{msg}"),
+        other => panic!("expected fault at the cycle limit, got {other:?}"),
+    }
+}
+
+#[test]
 fn ruche_speeds_up_cross_cell_traffic() {
     // All tiles hammer the far-column banks; ruche should finish faster on
     // a wide cell.
