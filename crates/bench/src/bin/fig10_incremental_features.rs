@@ -5,7 +5,8 @@
 //! and non-blocking caches. Reports per-kernel and geomean speedups.
 
 use hb_bench::{
-    bench_cell, bench_size, geomean, header, job_threads, point_config, row, run_ordered,
+    bench_cell, bench_size, geomean, header, job_threads, point_config, row, run_instrumented,
+    run_ordered, telemetry_out, telemetry_window,
 };
 use hb_core::{CellDim, MachineConfig};
 
@@ -153,4 +154,15 @@ fn main() {
         "\npaper: all optimizations together give ~5.2x geomean over the Baseline\n\
          Manycore; core density is the single largest contributor."
     );
+
+    // `--telemetry <out>`: one instrumented SGEMM pass on the top rung of
+    // the ladder (all features on), run inline after the sweep.
+    if let Some(out) = telemetry_out() {
+        let sgemm = suite
+            .iter()
+            .find(|b| b.name() == "SGEMM")
+            .expect("suite has SGEMM");
+        let (_, full_cfg) = configs.last().expect("ladder is non-empty");
+        run_instrumented(sgemm.as_ref(), full_cfg, size, telemetry_window(1000), &out);
+    }
 }

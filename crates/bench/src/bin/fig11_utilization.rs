@@ -2,7 +2,9 @@
 //! Cell, kernels ordered memory-intensive -> compute-intensive, with the
 //! stall taxonomy of Table III.
 
-use hb_bench::{bench_size, hb_config, header, row};
+use hb_bench::{
+    bench_size, hb_config, header, row, run_instrumented, telemetry_out, telemetry_window,
+};
 use hb_core::StallKind;
 
 fn main() {
@@ -59,6 +61,17 @@ fn main() {
     println!("\nTable III — stall taxonomy:");
     for kind in StallKind::ALL {
         println!("  {:<12} {}", kind.label(), describe(kind));
+    }
+
+    // `--telemetry <out>`: one instrumented SGEMM pass on the same
+    // fully-featured configuration the table used.
+    if let Some(out) = telemetry_out() {
+        let suite = hb_kernels::suite();
+        let sgemm = suite
+            .iter()
+            .find(|b| b.name() == "SGEMM")
+            .expect("suite has SGEMM");
+        run_instrumented(sgemm.as_ref(), &cfg, size, telemetry_window(1000), &out);
     }
 }
 

@@ -3,7 +3,8 @@
 //! more Cells (2x16x8) — vs the baseline 16x8 Cell.
 
 use hb_bench::{
-    bench_cell, bench_size, geomean, header, job_threads, point_config, row, run_ordered,
+    bench_cell, bench_size, geomean, header, job_threads, point_config, row, run_instrumented,
+    run_ordered, telemetry_out, telemetry_window,
 };
 use hb_core::{CellDim, MachineConfig, MultiCellEstimator, Phase};
 
@@ -127,4 +128,20 @@ fn main() {
          win when data is hard to partition; more Cells avoid bisection\n\
          pressure but duplicate shared data."
     );
+
+    // `--telemetry <out>`: one instrumented SGEMM pass on the baseline
+    // configuration the speedups are normalized to.
+    if let Some(out) = telemetry_out() {
+        let sgemm = suite
+            .iter()
+            .find(|b| b.name() == "SGEMM")
+            .expect("suite has SGEMM");
+        run_instrumented(
+            sgemm.as_ref(),
+            &base_cfg,
+            size,
+            telemetry_window(1000),
+            &out,
+        );
+    }
 }

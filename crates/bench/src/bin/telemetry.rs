@@ -1,0 +1,52 @@
+//! Instrumented single-kernel run: samples cycle-windowed telemetry while
+//! the kernel executes, writes a Perfetto-loadable Chrome trace plus an
+//! NDJSON dump, and prints the tile-utilization and router-occupancy
+//! heatmaps of Cell 0.
+//!
+//! ```text
+//! cargo run --release -p hb-bench --bin telemetry -- \
+//!     [--kernel SGEMM] [--window 1000] [--out telemetry.json]
+//! ```
+//!
+//! Kernel names match the suite (`SGEMM`, `FFT`, `BFS`, ... — case
+//! insensitive); `HB_SCALE` picks the Cell shape as in the figure
+//! binaries. The run is bit-identical to an uninstrumented one.
+
+use hb_bench::{bench_size, hb_config, run_instrumented, telemetry_window};
+
+fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    let eq = format!("{flag}=");
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        } else if let Some(v) = a.strip_prefix(&eq) {
+            return Some(v.to_owned());
+        }
+    }
+    None
+}
+
+fn main() {
+    let kernel = arg_value("--kernel").unwrap_or_else(|| "SGEMM".to_owned());
+    let out = arg_value("--out").unwrap_or_else(|| "telemetry.json".to_owned());
+    let window = telemetry_window(1000);
+
+    let suite = hb_kernels::suite();
+    let bench = suite
+        .iter()
+        .find(|b| b.name().eq_ignore_ascii_case(&kernel))
+        .unwrap_or_else(|| {
+            let names: Vec<&str> = suite.iter().map(|b| b.name()).collect();
+            panic!("unknown kernel {kernel:?}; available: {}", names.join(", "))
+        });
+
+    let cfg = hb_config();
+    println!(
+        "telemetry run: {} on a {}x{} Cell, window {window}",
+        bench.name(),
+        cfg.cell_dim.x,
+        cfg.cell_dim.y
+    );
+    run_instrumented(bench.as_ref(), &cfg, bench_size(), window, &out);
+}

@@ -13,7 +13,9 @@ use hb_core::{CellDim, MachineConfig};
 use hb_kernels::SizeClass;
 
 pub mod jobs;
+pub mod telemetry;
 pub use jobs::{job_threads, point_config, run_ordered};
+pub use telemetry::{run_instrumented, telemetry_out, telemetry_window};
 
 /// The benchmark scale selected by `HB_SCALE`.
 pub fn scale() -> SizeClass {

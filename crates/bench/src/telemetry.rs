@@ -1,0 +1,98 @@
+//! Telemetry wiring shared by the figure binaries and the `telemetry`
+//! binary: `--telemetry <out>` argument parsing and an instrumented
+//! single-kernel pass that writes a Chrome trace + NDJSON dump and prints
+//! the mesh heatmaps.
+
+use hb_core::MachineConfig;
+use hb_kernels::{Benchmark, SizeClass};
+use hb_obs::Keep;
+use std::io::Write as _;
+
+/// Telemetry output path from the command line: `--telemetry <path>` or
+/// `--telemetry=<path>`, else `None` (telemetry stays off).
+pub fn telemetry_out() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--telemetry" {
+            return args.next();
+        } else if let Some(v) = a.strip_prefix("--telemetry=") {
+            return Some(v.to_owned());
+        }
+    }
+    None
+}
+
+/// Sampling window from the command line: `--window N` or `--window=N`,
+/// else `default`.
+pub fn telemetry_window(default: u64) -> u64 {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--window" {
+            if let Some(n) = args.next().and_then(|v| v.parse::<u64>().ok()) {
+                return n.max(1);
+            }
+        } else if let Some(v) = a.strip_prefix("--window=") {
+            if let Ok(n) = v.parse::<u64>() {
+                return n.max(1);
+            }
+        }
+    }
+    default
+}
+
+/// Runs one instrumented pass of `bench` on `cfg` with the given sampling
+/// window, writes the Chrome trace to `out` and the NDJSON dump next to it
+/// (`<out>.ndjson`), and prints the Cell-0 heatmaps to stdout.
+///
+/// The pass runs inline on the calling thread: the observer factory behind
+/// [`hb_obs::attach`] is thread-local, so machines built by `run_ordered`
+/// workers are never instrumented — only this one is. Simulated results
+/// are bit-identical to the uninstrumented run.
+///
+/// # Panics
+///
+/// Panics if the kernel faults or an output file cannot be written.
+pub fn run_instrumented(
+    bench: &dyn Benchmark,
+    cfg: &MachineConfig,
+    size: SizeClass,
+    window: u64,
+    out: &str,
+) {
+    let inst_cfg = MachineConfig {
+        telemetry_window: window,
+        ..cfg.clone()
+    };
+    let (scope, store) = hb_obs::attach(Keep::All);
+    let stats = bench
+        .run(&inst_cfg, size)
+        .unwrap_or_else(|e| panic!("instrumented {} failed: {e}", bench.name()));
+    drop(scope);
+
+    let t = store.lock().unwrap();
+    assert!(
+        !t.samples.is_empty(),
+        "instrumented run produced no telemetry windows"
+    );
+    let mut f = std::fs::File::create(out).unwrap_or_else(|e| panic!("create {out}: {e}"));
+    hb_obs::chrome::write(&t, &mut f).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    let nd = format!("{out}.ndjson");
+    let mut f = std::fs::File::create(&nd).unwrap_or_else(|e| panic!("create {nd}: {e}"));
+    hb_obs::ndjson::write(&t, &mut f).unwrap_or_else(|e| panic!("write {nd}: {e}"));
+
+    println!(
+        "\ntelemetry: {} @ window {window} -> {out} (Chrome trace, load at ui.perfetto.dev), \
+         {nd} (NDJSON)",
+        bench.name()
+    );
+    println!(
+        "  {} windows, {} events, {} cycles, {} instrs",
+        t.samples.len(),
+        hb_obs::chrome::instant_event_count(&t),
+        stats.cycles,
+        stats.core.instrs
+    );
+    println!("\n{}", hb_obs::heatmap::tile_utilization(&t, 0));
+    println!("{}", hb_obs::heatmap::link_occupancy(&t, 0));
+    let _ = std::io::stdout().flush();
+}

@@ -354,6 +354,35 @@ impl Cell {
         }
     }
 
+    /// Turns telemetry event capture on or off for every tile (see
+    /// [`crate::observe`]). Unlike [`Cell::set_trace`] this does not force
+    /// the sequential tile phase: events land in tile-local buffers during
+    /// the (possibly parallel) tile phase and are drained at the window
+    /// boundary, after the sync phase.
+    pub fn set_observed(&mut self, on: bool) {
+        for t in &mut self.tiles {
+            t.set_observed(on);
+        }
+    }
+
+    /// Drains every tile's captured instant events into `out`, in
+    /// deterministic row-major tile order.
+    pub fn drain_obs_events(&mut self, out: &mut Vec<crate::observe::ObsEvent>) {
+        let cell = self.id;
+        for t in &mut self.tiles {
+            let tile = t.xy;
+            out.extend(
+                t.drain_obs_events()
+                    .map(|(cycle, kind)| crate::observe::ObsEvent {
+                        cycle,
+                        cell,
+                        tile,
+                        kind,
+                    }),
+            );
+        }
+    }
+
     /// Stats of one cache bank.
     pub fn bank_stats(&self, bank: usize) -> &CacheStats {
         self.banks[bank].bank.stats()
@@ -367,6 +396,18 @@ impl Cell {
     /// Response-network link stats for the output link at (`at`, `port`).
     pub fn response_link(&self, at: Coord, port: hb_noc::Port) -> LinkStats {
         self.resp_net.link_stats(at, port)
+    }
+
+    /// Per-router cumulative request-network counters (ports summed),
+    /// indexed row-major over the Cell's router grid — the cheap snapshot
+    /// the telemetry sampler diffs each window.
+    pub fn request_net_snapshot(&self) -> Vec<LinkStats> {
+        self.req_net.snapshot()
+    }
+
+    /// Per-router cumulative response-network counters (ports summed).
+    pub fn response_net_snapshot(&self) -> Vec<LinkStats> {
+        self.resp_net.snapshot()
     }
 
     /// Request-network bisection stats at the Cell's vertical midline.

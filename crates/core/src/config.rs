@@ -113,6 +113,12 @@ pub struct MachineConfig {
     /// across a persistent pool. Results are bit-identical either way.
     /// Presets seed this from the `HB_THREADS` environment variable.
     pub threads: usize,
+    /// Telemetry sampling window in core cycles; `0` disables sampling.
+    /// Consulted by the `hb-obs` observer factory (see `hb_core::observe`)
+    /// when one is installed — without a factory the knob is inert.
+    /// Sampling never changes simulated results; runs are bit-identical
+    /// at any window.
+    pub telemetry_window: u64,
 }
 
 impl MachineConfig {
@@ -152,6 +158,7 @@ impl MachineConfig {
             hbm: Hbm2Config::default(),
             strip: StripConfig::default(),
             threads: crate::parallel::threads_from_env(),
+            telemetry_window: 0,
         }
     }
 

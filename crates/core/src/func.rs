@@ -305,6 +305,9 @@ impl<D: DramStore> Bus for FuncBus<D> {
             Target::LocalSpm { offset } => self.spm_store(self.cur, offset, width, data, true),
             Target::Csr { offset } => match offset {
                 csr::BARRIER => Ok(StoreEffect::Barrier),
+                // Kernel-phase marker: architecturally a no-op, mirroring
+                // the cycle-accurate tile.
+                csr::MARK => Ok(StoreEffect::Done),
                 _ => Err(format!("store to read-only CSR {offset:#x}")),
             },
             Target::RemoteSpm { tile, offset } => {

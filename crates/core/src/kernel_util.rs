@@ -28,6 +28,13 @@ pub trait HbOps {
     /// Converts a Cell-DRAM offset already in `rd` into a Local-DRAM EVA
     /// (sets the DRAM space bits). Clobbers `scratch`.
     fn to_local_dram(&mut self, rd: Gpr, scratch: Gpr) -> &mut Self;
+
+    /// Emits a kernel-phase marker: stores `phase` to the store-only
+    /// [`csr::MARK`] CSR. Architecturally a no-op (two retired int
+    /// instructions plus the `li` of `phase`); with telemetry attached the
+    /// value shows up as an instant event on the tile's track. Clobbers
+    /// `scratch` and `scratch2`.
+    fn mark(&mut self, phase: u32, scratch: Gpr, scratch2: Gpr) -> &mut Self;
 }
 
 impl HbOps for Assembler {
@@ -57,6 +64,12 @@ impl HbOps for Assembler {
     fn to_local_dram(&mut self, rd: Gpr, scratch: Gpr) -> &mut Self {
         self.li_u(scratch, pgas::local_dram(0));
         self.or(rd, rd, scratch)
+    }
+
+    fn mark(&mut self, phase: u32, scratch: Gpr, scratch2: Gpr) -> &mut Self {
+        self.li_u(scratch, csr::MARK);
+        self.li_u(scratch2, phase);
+        self.sw(scratch2, scratch, 0)
     }
 }
 

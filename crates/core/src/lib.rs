@@ -55,6 +55,7 @@ mod icache;
 mod kernel_util;
 mod machine;
 mod multicell;
+pub mod observe;
 pub mod parallel;
 mod payload;
 pub mod pgas;
@@ -71,6 +72,7 @@ pub use icache::ICache;
 pub use kernel_util::HbOps;
 pub use machine::{Machine, RunSummary, SimError};
 pub use multicell::{MultiCellEstimator, Phase};
+pub use observe::{set_observer_factory, MachineObserver, ObsEvent, ObsKind, ObserverScope};
 pub use parallel::{threads_from_env, PhaseTimes, TilePool};
 pub use payload::{NodeId, ReqKind, Request, RespKind, Response};
 pub use pgas::{ipoly_hash, PgasMap, Target};

@@ -94,6 +94,11 @@ pub struct Machine {
     cells: Vec<Cell>,
     fabric: Fabric,
     cycle: u64,
+    /// Attached telemetry sink, if any (see [`crate::observe`]).
+    observer: Option<Box<dyn crate::observe::MachineObserver>>,
+    /// Next cycle at which the observer fires; `u64::MAX` when detached,
+    /// so the unobserved hot loop pays exactly one always-false branch.
+    obs_due: u64,
 }
 
 impl Machine {
@@ -117,12 +122,48 @@ impl Machine {
             }
         }
         let fabric = Fabric::new(&cfg);
-        Machine {
+        let mut machine = Machine {
             cfg,
             cells,
             fabric,
             cycle: 0,
+            observer: None,
+            obs_due: u64::MAX,
+        };
+        if let Some(obs) = crate::observe::make_observer(&machine.cfg) {
+            machine.attach_observer(obs);
         }
+        machine
+    }
+
+    /// Attaches a telemetry observer: it will be sampled whenever the
+    /// machine cycle reaches its [`next_due`](crate::observe::MachineObserver::next_due),
+    /// and finished (final partial window) on detach or drop. Tiles start
+    /// recording instant events (marks, barrier joins, fence retires,
+    /// faults). Replaces any previously attached observer without
+    /// finishing it.
+    pub fn attach_observer(&mut self, obs: Box<dyn crate::observe::MachineObserver>) {
+        self.obs_due = obs.next_due();
+        for cell in &mut self.cells {
+            cell.set_observed(true);
+        }
+        self.observer = Some(obs);
+    }
+
+    /// Detaches the observer after flushing its final partial window.
+    pub fn detach_observer(&mut self) -> Option<Box<dyn crate::observe::MachineObserver>> {
+        let mut obs = self.observer.take()?;
+        obs.finish(self);
+        self.obs_due = u64::MAX;
+        for cell in &mut self.cells {
+            cell.set_observed(false);
+        }
+        Some(obs)
+    }
+
+    /// Whether a telemetry observer is attached.
+    pub fn is_observed(&self) -> bool {
+        self.observer.is_some()
     }
 
     /// The machine configuration.
@@ -226,6 +267,22 @@ impl Machine {
             cell.tick();
         }
         self.tick_fabric();
+        if self.cycle >= self.obs_due {
+            self.observe();
+        }
+    }
+
+    /// Out-of-line observer dispatch, so the unobserved [`Machine::tick`]
+    /// only pays the `obs_due` comparison.
+    #[cold]
+    fn observe(&mut self) {
+        let Some(mut obs) = self.observer.take() else {
+            self.obs_due = u64::MAX;
+            return;
+        };
+        obs.sample(self);
+        self.obs_due = obs.next_due();
+        self.observer = Some(obs);
     }
 
     /// Advances one core cycle while accumulating per-phase wall-clock time
@@ -240,6 +297,9 @@ impl Machine {
         let t0 = std::time::Instant::now();
         self.tick_fabric();
         acc.network += t0.elapsed();
+        if self.cycle >= self.obs_due {
+            self.observe();
+        }
     }
 
     /// Fabric: collect outbound traffic (budgeted) and deliver due items.
@@ -318,6 +378,17 @@ impl Machine {
                 });
             }
             self.tick();
+        }
+    }
+}
+
+impl Drop for Machine {
+    /// Flushes the observer's final partial window: benchmark harnesses
+    /// build and drop machines internally, and the telemetry store (shared
+    /// out-of-band) must still see the tail of the run.
+    fn drop(&mut self) {
+        if self.observer.is_some() {
+            self.detach_observer();
         }
     }
 }

@@ -1,0 +1,183 @@
+//! Machine-level observation hooks for the telemetry layer.
+//!
+//! The cycle-accurate model stays oblivious to *what* is observed: this
+//! module only defines the [`MachineObserver`] trait, the tile-local
+//! instant events ([`ObsEvent`]) that fire on kernel-phase marks
+//! ([`crate::pgas::csr::MARK`] stores), barrier joins, fence retires and
+//! faults, and a thread-local factory through which an external crate
+//! (`hb-obs`) attaches an observer to every [`Machine`] built on the
+//! current thread.
+//!
+//! # Cost model
+//!
+//! The hooks are designed to vanish when unused:
+//!
+//! - [`Machine::tick`] takes exactly one extra branch per machine cycle —
+//!   `cycle >= obs_due` — and `obs_due` is `u64::MAX` unless an observer
+//!   is attached.
+//! - Tile event capture is gated by a per-tile `observed` flag that is
+//!   only consulted on the rare paths (mark stores, barrier joins, fence
+//!   retires, faults), never in the fetch/execute hot loop.
+//! - Observation never mutates simulated state, so runs are bit-identical
+//!   with and without an observer attached.
+
+use crate::config::MachineConfig;
+use crate::machine::Machine;
+use std::cell::RefCell;
+
+/// What a tile-local instant event records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObsKind {
+    /// A kernel-phase marker: the value stored to the `MARK` CSR.
+    Mark(u32),
+    /// The tile joined its group barrier.
+    BarrierJoin,
+    /// A `fence` finished draining the remote scoreboard and retired.
+    FenceRetire,
+    /// The tile trapped.
+    Fault,
+}
+
+/// A tile-local instant event, stamped with the Cell cycle it occurred on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsEvent {
+    /// Cell cycle at which the event fired.
+    pub cycle: u64,
+    /// Cell the tile belongs to.
+    pub cell: u8,
+    /// Tile coordinates within the Cell.
+    pub tile: (u8, u8),
+    /// Event payload.
+    pub kind: ObsKind,
+}
+
+/// A sampling sink driven by [`Machine::tick`].
+///
+/// The observer is detached from the machine for the duration of each
+/// callback, so implementations may freely inspect counters and drain the
+/// tiles' event buffers through the `&mut Machine` they receive.
+pub trait MachineObserver: Send + std::fmt::Debug {
+    /// Called at the end of `Machine::tick` whenever the machine cycle
+    /// reaches [`MachineObserver::next_due`]. All five Cell phases and the
+    /// inter-cell fabric have run for this cycle; tile state is quiescent
+    /// (the same synchronization point as the BSP sync phase, seen from
+    /// the machine level), so sampling here composes with the `TilePool`
+    /// without locks.
+    fn sample(&mut self, machine: &mut Machine);
+
+    /// The next machine cycle at which [`MachineObserver::sample`] should
+    /// run (`u64::MAX` to never fire again).
+    fn next_due(&self) -> u64;
+
+    /// Called once when the observer is detached (explicitly or when the
+    /// machine is dropped), to flush a final partial window.
+    fn finish(&mut self, machine: &mut Machine);
+}
+
+type Factory = Box<dyn Fn(&MachineConfig) -> Option<Box<dyn MachineObserver>>>;
+
+thread_local! {
+    static FACTORY: RefCell<Option<Factory>> = const { RefCell::new(None) };
+}
+
+/// Clears the thread's observer factory when dropped.
+///
+/// Returned by [`set_observer_factory`]; hold it for the duration of the
+/// instrumented run.
+#[derive(Debug)]
+pub struct ObserverScope {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for ObserverScope {
+    fn drop(&mut self) {
+        FACTORY.with(|f| *f.borrow_mut() = None);
+    }
+}
+
+/// Installs a factory consulted by every [`Machine::new`] on the current
+/// thread: if it returns an observer, the machine attaches it before the
+/// first cycle. This is how telemetry reaches machines constructed deep
+/// inside benchmark harnesses without threading a parameter through every
+/// call site. The factory is thread-local, so concurrent un-instrumented
+/// runs on worker threads are unaffected; installing a new factory
+/// replaces the previous one.
+pub fn set_observer_factory(
+    f: impl Fn(&MachineConfig) -> Option<Box<dyn MachineObserver>> + 'static,
+) -> ObserverScope {
+    FACTORY.with(|slot| *slot.borrow_mut() = Some(Box::new(f)));
+    ObserverScope {
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+/// Consults the thread-local factory, if any.
+pub(crate) fn make_observer(cfg: &MachineConfig) -> Option<Box<dyn MachineObserver>> {
+    FACTORY.with(|slot| slot.borrow().as_ref().and_then(|mk| mk(cfg)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CellDim, MachineConfig};
+
+    #[derive(Debug)]
+    struct CountingObserver {
+        window: u64,
+        due: u64,
+        samples: std::sync::Arc<std::sync::Mutex<Vec<u64>>>,
+    }
+
+    impl MachineObserver for CountingObserver {
+        fn sample(&mut self, machine: &mut Machine) {
+            self.samples.lock().unwrap().push(machine.cycle());
+            self.due += self.window;
+        }
+
+        fn next_due(&self) -> u64 {
+            self.due
+        }
+
+        fn finish(&mut self, machine: &mut Machine) {
+            self.samples.lock().unwrap().push(machine.cycle());
+        }
+    }
+
+    fn tiny_cfg() -> MachineConfig {
+        MachineConfig {
+            cell_dim: CellDim { x: 2, y: 2 },
+            ..MachineConfig::baseline_16x8()
+        }
+    }
+
+    #[test]
+    fn factory_attaches_and_scope_clears() {
+        let samples = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let s2 = samples.clone();
+        let scope = set_observer_factory(move |_cfg| {
+            Some(Box::new(CountingObserver {
+                window: 10,
+                due: 10,
+                samples: s2.clone(),
+            }))
+        });
+        let mut machine = Machine::new(tiny_cfg());
+        for _ in 0..25 {
+            machine.tick();
+        }
+        drop(machine); // finish() flushes the partial window
+        let got = samples.lock().unwrap().clone();
+        assert_eq!(got, vec![10, 20, 25]);
+        drop(scope);
+        // With the scope gone, new machines are unobserved.
+        let machine = Machine::new(tiny_cfg());
+        assert!(!machine.is_observed());
+    }
+
+    #[test]
+    fn factory_may_decline() {
+        let _scope = set_observer_factory(|_cfg| None);
+        let machine = Machine::new(tiny_cfg());
+        assert!(!machine.is_observed());
+    }
+}

@@ -56,6 +56,11 @@ pub mod csr {
     pub const BARRIER: u32 = 0x1030;
     /// Load: current core cycle (low 32 bits).
     pub const CYCLE: u32 = 0x1034;
+    /// Kernel-phase marker (store-only). Architecturally a no-op: the
+    /// store retires in one cycle and changes no simulated state, so
+    /// kernels may mark phases unconditionally. When telemetry is
+    /// attached, the stored value is recorded as an instant event.
+    pub const MARK: u32 = 0x1038;
     /// Kernel arguments 0-7 (each 4 bytes).
     pub const ARG0: u32 = 0x1040;
 }

@@ -2,7 +2,7 @@
 //! Figure 11 / Table III and aggregate Cell counters.
 
 use std::fmt;
-use std::ops::{Add, AddAssign};
+use std::ops::{Add, AddAssign, Sub};
 
 /// Why a core did not retire an instruction this cycle (Table III).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -144,6 +144,35 @@ impl CoreStats {
             (self.int_cycles + self.fp_cycles) as f64 / total as f64
         }
     }
+
+    /// One JSON object on a single line, hand-written (no serde). Shared
+    /// between the telemetry exporters and anything that wants
+    /// machine-readable per-core counters; stall buckets are keyed by
+    /// [`StallKind::label`].
+    pub fn to_json_line(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(256);
+        let _ = write!(
+            out,
+            "{{\"int_cycles\":{},\"fp_cycles\":{},\"instrs\":{},\
+             \"remote_requests\":{},\"lpc_merged\":{},\"branch_misses\":{},\
+             \"branches\":{},\"icache_misses\":{},\"stalls\":{{",
+            self.int_cycles,
+            self.fp_cycles,
+            self.instrs,
+            self.remote_requests,
+            self.lpc_merged,
+            self.branch_misses,
+            self.branches,
+            self.icache_misses,
+        );
+        for (i, kind) in StallKind::ALL.into_iter().enumerate() {
+            let comma = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{comma}\"{}\":{}", kind.label(), self.stall(kind));
+        }
+        out.push_str("}}");
+        out
+    }
 }
 
 impl Add for CoreStats {
@@ -171,8 +200,32 @@ impl AddAssign for CoreStats {
     }
 }
 
+impl Sub for CoreStats {
+    type Output = CoreStats;
+
+    fn sub(mut self, rhs: CoreStats) -> CoreStats {
+        self.int_cycles -= rhs.int_cycles;
+        self.fp_cycles -= rhs.fp_cycles;
+        for i in 0..StallKind::COUNT {
+            self.stalls[i] -= rhs.stalls[i];
+        }
+        self.instrs -= rhs.instrs;
+        self.remote_requests -= rhs.remote_requests;
+        self.lpc_merged -= rhs.lpc_merged;
+        self.branch_misses -= rhs.branch_misses;
+        self.branches -= rhs.branches;
+        self.icache_misses -= rhs.icache_misses;
+        self
+    }
+}
+
 /// Formats a core-utilization breakdown as percentage rows (the Figure 11
-/// report format).
+/// report format), with a totals footer.
+///
+/// Rows below 0.01% are elided for readability, but the `all` row always
+/// sums every category — hidden ones included — so it reads exactly
+/// 100.00% whenever any cycle was accounted. That invariant is checked
+/// here: a mismatch means a counter was double-booked or dropped.
 pub fn utilization_report(stats: &CoreStats) -> String {
     use std::fmt::Write;
     let total = stats.total_cycles().max(1) as f64;
@@ -189,12 +242,25 @@ pub fn utilization_report(stats: &CoreStats) -> String {
         "fp",
         stats.fp_cycles as f64 / total * 100.0
     );
+    let mut all = (stats.int_cycles + stats.fp_cycles) as f64 / total * 100.0;
     for kind in StallKind::ALL {
         let v = stats.stall(kind) as f64 / total * 100.0;
+        all += v;
         if v > 0.005 {
             let _ = writeln!(out, "{:<14} {:>7.2}%", kind.label(), v);
         }
     }
+    if stats.total_cycles() > 0 {
+        assert!(
+            (all - 100.0).abs() < 1e-6,
+            "cycle taxonomy does not cover the run: categories sum to {all}%"
+        );
+    }
+    let _ = writeln!(out, "{:<14} {all:>7.2}%", "all");
+    let ipc = stats.instrs as f64 / total;
+    let _ = writeln!(out, "total          {} cycles", stats.total_cycles());
+    let _ = writeln!(out, "instrs         {}", stats.instrs);
+    let _ = writeln!(out, "ipc            {ipc:>7.2}");
     out
 }
 
@@ -247,6 +313,84 @@ mod tests {
         let report = utilization_report(&s);
         assert!(report.contains("barrier"));
         assert!(!report.contains("fence"));
+    }
+
+    #[test]
+    fn report_footer_totals_and_invariant() {
+        let mut s = CoreStats {
+            int_cycles: 30,
+            fp_cycles: 10,
+            instrs: 40,
+            ..CoreStats::default()
+        };
+        for _ in 0..60 {
+            s.add_stall(StallKind::RemoteLoad);
+        }
+        let report = utilization_report(&s);
+        assert!(report.contains("all             100.00%"), "{report}");
+        assert!(report.contains("total          100 cycles"), "{report}");
+        assert!(report.contains("instrs         40"), "{report}");
+        assert!(report.contains("ipc               0.40"), "{report}");
+    }
+
+    #[test]
+    fn report_footer_counts_hidden_categories() {
+        // One stall cycle out of 100k renders below the 0.01% display
+        // threshold, but the `all` row must still account for it.
+        let mut s = CoreStats {
+            int_cycles: 99_999,
+            ..CoreStats::default()
+        };
+        s.add_stall(StallKind::Bypass);
+        let report = utilization_report(&s);
+        assert!(!report.contains("bypass"), "{report}");
+        assert!(report.contains("all             100.00%"), "{report}");
+    }
+
+    #[test]
+    fn json_line_is_complete_and_flat() {
+        let mut s = CoreStats {
+            int_cycles: 7,
+            fp_cycles: 3,
+            instrs: 10,
+            ..CoreStats::default()
+        };
+        s.add_stall(StallKind::Barrier);
+        let line = s.to_json_line();
+        assert!(!line.contains('\n'));
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"int_cycles\":7"));
+        assert!(line.contains("\"stalls\":{"));
+        for kind in StallKind::ALL {
+            assert!(line.contains(&format!("\"{}\":", kind.label())), "{line}");
+        }
+        assert!(line.contains("\"barrier\":1"));
+        assert_eq!(
+            line.matches('{').count(),
+            line.matches('}').count(),
+            "{line}"
+        );
+    }
+
+    #[test]
+    fn window_deltas_subtract_fieldwise() {
+        let mut before = CoreStats {
+            int_cycles: 5,
+            instrs: 5,
+            ..CoreStats::default()
+        };
+        before.add_stall(StallKind::Fence);
+        let mut after = before;
+        after.int_cycles += 3;
+        after.instrs += 3;
+        after.add_stall(StallKind::Fence);
+        after.add_stall(StallKind::Barrier);
+        let d = after - before;
+        assert_eq!(d.int_cycles, 3);
+        assert_eq!(d.instrs, 3);
+        assert_eq!(d.stall(StallKind::Fence), 1);
+        assert_eq!(d.stall(StallKind::Barrier), 1);
+        assert_eq!(before + d, after);
     }
 
     #[test]

@@ -135,6 +135,12 @@ pub struct Tile {
     stats: CoreStats,
     trace: Option<TraceHandle>,
     last_cycle: u64,
+
+    /// Telemetry capture (see [`crate::observe`]): when set, the rare
+    /// event paths (mark stores, barrier joins, fence retires, faults)
+    /// append to `obs_events`; the sampler drains the buffer each window.
+    observed: bool,
+    obs_events: Vec<(u64, crate::observe::ObsKind)>,
 }
 
 const OUTBOX_CAP: usize = 4;
@@ -214,12 +220,28 @@ impl Tile {
             stats: CoreStats::default(),
             trace: None,
             last_cycle: 0,
+            observed: false,
+            obs_events: Vec::new(),
         }
     }
 
     /// Installs a shared trace buffer (see [`crate::trace`]).
     pub fn set_trace(&mut self, trace: TraceHandle) {
         self.trace = Some(trace);
+    }
+
+    /// Turns telemetry event capture on or off (off discards any
+    /// undrained events).
+    pub fn set_observed(&mut self, on: bool) {
+        self.observed = on;
+        if !on {
+            self.obs_events.clear();
+        }
+    }
+
+    /// Drains the captured `(cycle, kind)` instant events, oldest first.
+    pub fn drain_obs_events(&mut self) -> std::vec::Drain<'_, (u64, crate::observe::ObsKind)> {
+        self.obs_events.drain(..)
     }
 
     /// Launches the kernel: resets architectural state, loads `args` into
@@ -372,6 +394,10 @@ impl Tile {
                 tile: self.xy,
                 message: msg.clone(),
             });
+        }
+        if self.observed {
+            self.obs_events
+                .push((self.last_cycle, crate::observe::ObsKind::Fault));
         }
         self.fault = Some(format!(
             "tile ({},{}) @pc={:#x}: {msg}",
@@ -859,6 +885,10 @@ impl Tile {
                     self.stall(StallKind::Fence);
                     return;
                 }
+                if self.observed {
+                    self.obs_events
+                        .push((now, crate::observe::ObsKind::FenceRetire));
+                }
             }
             I::Ecall => {
                 self.flush_combine();
@@ -1194,6 +1224,20 @@ impl Tile {
                     }
                     self.wants_join = true;
                     self.barrier_waiting = true;
+                    if self.observed {
+                        self.obs_events
+                            .push((now, crate::observe::ObsKind::BarrierJoin));
+                    }
+                    true
+                }
+                csr::MARK => {
+                    // Architecturally a no-op: the store retires normally
+                    // whether or not telemetry is listening, so marked
+                    // kernels stay bit-identical with telemetry off.
+                    if self.observed {
+                        self.obs_events
+                            .push((now, crate::observe::ObsKind::Mark(data)));
+                    }
                     true
                 }
                 _ => {

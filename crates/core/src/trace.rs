@@ -54,6 +54,16 @@ pub enum TraceEvent {
 }
 
 impl TraceEvent {
+    /// The Cell cycle stamped on the event when it was pushed.
+    pub fn cycle(&self) -> u64 {
+        match self {
+            TraceEvent::Retire { cycle, .. }
+            | TraceEvent::RemoteIssue { cycle, .. }
+            | TraceEvent::BarrierJoin { cycle, .. }
+            | TraceEvent::Fault { cycle, .. } => *cycle,
+        }
+    }
+
     /// One-line disassembled rendering of the event.
     pub fn render(&self) -> String {
         match self {
@@ -151,9 +161,36 @@ impl TraceBuffer {
     }
 
     /// Renders the retained events, one line each, oldest first.
+    ///
+    /// Note that "oldest first" means *push order*: when the Cell executes
+    /// its tile phase, every event a tile generates in one cycle lands
+    /// before any event of the next tile, so a raw dump groups by tile
+    /// rather than by time. Use [`TraceBuffer::render_all`] for a
+    /// time-ordered dump.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for ev in self.ring.lock().unwrap().iter() {
+            let _ = writeln!(out, "{}", ev.render());
+        }
+        out
+    }
+
+    /// Snapshot of the retained events re-ordered by cycle stamp.
+    ///
+    /// The sort is stable, so events of the same cycle keep the
+    /// deterministic tile iteration order they were pushed in.
+    pub fn events_sorted(&self) -> Vec<TraceEvent> {
+        let mut evs = self.events();
+        evs.sort_by_key(TraceEvent::cycle);
+        evs
+    }
+
+    /// Renders the retained events merge-sorted by cycle, so a post-fault
+    /// dump interleaves tiles in true time order instead of grouping each
+    /// tile's events together.
+    pub fn render_all(&self) -> String {
+        let mut out = String::new();
+        for ev in self.events_sorted() {
             let _ = writeln!(out, "{}", ev.render());
         }
         out
@@ -295,6 +332,65 @@ mod tests {
         assert!(lines[3].contains("(0,7) FAULT: ebreak"), "{}", lines[3]);
         // Cycle columns are right-aligned to 8 so dumps line up.
         assert!(lines[0].starts_with("[      12]"), "{}", lines[0]);
+    }
+
+    #[test]
+    fn render_all_interleaves_tiles_by_cycle() {
+        // Two tiles pushing in per-tile phase order: tile (0,0) logs its
+        // whole history before tile (1,0) does, the way a post-fault dump
+        // sees them.
+        let t = TraceBuffer::new(8);
+        for c in [10u64, 20, 30] {
+            t.push(TraceEvent::RemoteIssue {
+                cycle: c,
+                tile: (0, 0),
+                op_id: c as u32,
+                what: "load".into(),
+            });
+        }
+        t.push(TraceEvent::BarrierJoin {
+            cycle: 15,
+            tile: (1, 0),
+        });
+        t.push(TraceEvent::Fault {
+            cycle: 25,
+            tile: (1, 0),
+            message: "trap".into(),
+        });
+        // Raw order groups by tile; sorted order interleaves.
+        let raw: Vec<u64> = t.events().iter().map(TraceEvent::cycle).collect();
+        assert_eq!(raw, vec![10, 20, 30, 15, 25]);
+        let sorted: Vec<u64> = t.events_sorted().iter().map(TraceEvent::cycle).collect();
+        assert_eq!(sorted, vec![10, 15, 20, 25, 30]);
+        let text = t.render_all();
+        let fault_line = text.lines().position(|l| l.contains("FAULT")).unwrap();
+        let last_load = text.lines().position(|l| l.contains("op#30")).unwrap();
+        assert!(
+            fault_line < last_load,
+            "cycle-25 fault must render before the cycle-30 issue:\n{text}"
+        );
+    }
+
+    #[test]
+    fn stable_sort_keeps_same_cycle_push_order() {
+        let t = TraceBuffer::new(4);
+        t.push(TraceEvent::BarrierJoin {
+            cycle: 5,
+            tile: (0, 0),
+        });
+        t.push(TraceEvent::BarrierJoin {
+            cycle: 5,
+            tile: (1, 0),
+        });
+        let evs = t.events_sorted();
+        assert!(matches!(
+            evs[0],
+            TraceEvent::BarrierJoin { tile: (0, 0), .. }
+        ));
+        assert!(matches!(
+            evs[1],
+            TraceEvent::BarrierJoin { tile: (1, 0), .. }
+        ));
     }
 
     #[test]

@@ -600,6 +600,8 @@ impl Interp<'_> {
                     if let Some(r) = rec.as_deref_mut() {
                         r.barrier_at[i] = true;
                     }
+                } else if offset == csr::MARK {
+                    // Kernel-phase marker: a legal store-only no-op.
                 } else {
                     self.emit(
                         rec,

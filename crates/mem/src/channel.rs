@@ -126,6 +126,51 @@ impl Hbm2Stats {
             self.row_hits as f64 / total as f64
         }
     }
+
+    /// Counters accumulated since `prev` was snapshotted. All fields are
+    /// cumulative and monotonic, so a window delta is a plain field-wise
+    /// subtraction.
+    pub fn delta_since(&self, prev: &Hbm2Stats) -> Hbm2Stats {
+        *self - *prev
+    }
+}
+
+impl std::ops::Add for Hbm2Stats {
+    type Output = Hbm2Stats;
+
+    fn add(self, rhs: Hbm2Stats) -> Hbm2Stats {
+        Hbm2Stats {
+            read_cycles: self.read_cycles + rhs.read_cycles,
+            write_cycles: self.write_cycles + rhs.write_cycles,
+            busy_cycles: self.busy_cycles + rhs.busy_cycles,
+            idle_cycles: self.idle_cycles + rhs.idle_cycles,
+            refresh_cycles: self.refresh_cycles + rhs.refresh_cycles,
+            row_hits: self.row_hits + rhs.row_hits,
+            row_misses: self.row_misses + rhs.row_misses,
+            row_conflicts: self.row_conflicts + rhs.row_conflicts,
+            reads: self.reads + rhs.reads,
+            writes: self.writes + rhs.writes,
+        }
+    }
+}
+
+impl std::ops::Sub for Hbm2Stats {
+    type Output = Hbm2Stats;
+
+    fn sub(self, rhs: Hbm2Stats) -> Hbm2Stats {
+        Hbm2Stats {
+            read_cycles: self.read_cycles - rhs.read_cycles,
+            write_cycles: self.write_cycles - rhs.write_cycles,
+            busy_cycles: self.busy_cycles - rhs.busy_cycles,
+            idle_cycles: self.idle_cycles - rhs.idle_cycles,
+            refresh_cycles: self.refresh_cycles - rhs.refresh_cycles,
+            row_hits: self.row_hits - rhs.row_hits,
+            row_misses: self.row_misses - rhs.row_misses,
+            row_conflicts: self.row_conflicts - rhs.row_conflicts,
+            reads: self.reads - rhs.reads,
+            writes: self.writes - rhs.writes,
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -241,6 +286,13 @@ impl Hbm2Channel {
     /// Accumulated utilization statistics.
     pub fn stats(&self) -> &Hbm2Stats {
         &self.stats
+    }
+
+    /// Copy of the cumulative counters, for delta-based telemetry: keep
+    /// the previous snapshot and subtract (`Hbm2Stats::delta_since`) to get
+    /// per-window read/write/busy/idle activity.
+    pub fn snapshot(&self) -> Hbm2Stats {
+        self.stats
     }
 
     /// Current memory-clock cycle.
@@ -391,6 +443,34 @@ mod tests {
             }
         }
         None
+    }
+
+    #[test]
+    fn snapshot_deltas_track_per_window_activity() {
+        let mut ch = Hbm2Channel::new(Hbm2Config::default());
+        assert!(ch.enqueue(DramRequest {
+            id: 1,
+            addr: 0,
+            write: false
+        }));
+        run_until_response(&mut ch, 200).expect("read completes");
+        let mid = ch.snapshot();
+        assert!(mid.reads == 1 && mid.read_cycles > 0);
+        // A second window with only idle cycles: the delta must show no new
+        // data transfer, and cumulative counters must stay monotonic.
+        for _ in 0..50 {
+            ch.tick();
+        }
+        let end = ch.snapshot();
+        let delta = end.delta_since(&mid);
+        assert_eq!(delta.reads, 0);
+        assert_eq!(delta.read_cycles, 0);
+        assert_eq!(
+            delta.denominator() + delta.refresh_cycles,
+            50,
+            "every cycle in the window is accounted for: {delta:?}"
+        );
+        assert!(delta.idle_cycles > 0);
     }
 
     #[test]

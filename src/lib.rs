@@ -35,6 +35,8 @@ pub use hb_kernels as kernels;
 pub use hb_mem as mem;
 /// On-chip networks: mesh, Ruche, barrier and refill channels.
 pub use hb_noc as noc;
+/// Cycle-windowed telemetry: sampler, Chrome-trace/NDJSON export, heatmaps.
+pub use hb_obs as obs;
 /// Deterministic xoshiro256** PRNG used by tests and workload generators.
 pub use hb_rng as rng;
 /// Synthetic workload generators and golden reference kernels.
