@@ -88,6 +88,7 @@ fn describe(kind: StallKind) -> &'static str {
         StallKind::Barrier => "blocked in the hardware barrier",
         StallKind::FpBusy => "iterative FP divide/sqrt unit busy",
         StallKind::IntBusy => "iterative integer divider busy",
+        StallKind::Frozen => "core frozen by an injected fault",
         StallKind::Done => "tile finished, waiting for the kernel to end",
     }
 }

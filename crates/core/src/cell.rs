@@ -255,23 +255,59 @@ impl Cell {
                 g.origin.0 + g.dim.0 <= w && g.origin.1 + g.dim.1 <= h,
                 "group leaves cell"
             );
-            self.barriers.push(BarrierNetwork::tree_for_group(
-                g.dim.0,
-                g.dim.1,
-                self.cfg.ruche_factor,
-            ));
+            let mut barrier =
+                BarrierNetwork::tree_for_group(g.dim.0, g.dim.1, self.cfg.ruche_factor);
+            // Degraded mode: partition the group into live and
+            // configured-dead members, bypass the dead ones in the barrier
+            // tree, and pair each dead tile with a live adopter (row-major
+            // on both sides) so kernels can redistribute its work.
+            let mut live = Vec::new();
+            let mut dead = Vec::new();
+            for y in g.origin.1..g.origin.1 + g.dim.1 {
+                for x in g.origin.0..g.origin.0 + g.dim.0 {
+                    if self.cfg.disabled_tiles.contains(&(x, y)) {
+                        dead.push((x, y));
+                    } else {
+                        live.push((x, y));
+                    }
+                }
+            }
+            assert!(
+                dead.len() <= live.len(),
+                "group has more disabled tiles than live ones"
+            );
+            for &(x, y) in &dead {
+                barrier.bypass(Coord::new(x - g.origin.0, y - g.origin.1));
+            }
+            self.barriers.push(barrier);
             for y in g.origin.1..g.origin.1 + g.dim.1 {
                 for x in g.origin.0..g.origin.0 + g.dim.0 {
                     let i = y as usize * w as usize + x as usize;
                     assert!(!owned[i], "tile ({x},{y}) in two groups");
                     owned[i] = true;
                     self.active[i] = true;
+                    let live_pos = live.iter().position(|&p| p == (x, y));
+                    let adopt = match live_pos {
+                        Some(k) if k < dead.len() => {
+                            let (dx, dy) = dead[k];
+                            (u32::from(dx) << 8) | u32::from(dy)
+                        }
+                        _ => crate::pgas::NO_ADOPTEE,
+                    };
                     let info = GroupInfo {
                         origin: g.origin,
                         dim: g.dim,
                         barrier_id: gi,
+                        live_rank: live_pos.unwrap_or(0) as u32,
+                        live_size: live.len() as u32,
+                        adopt,
                     };
                     self.tiles[i].launch(program.clone(), args, info);
+                    if live_pos.is_none() {
+                        // Dead tiles stay addressable (their NI serves
+                        // remote-SPM traffic) but never execute.
+                        self.tiles[i].disable();
+                    }
                 }
             }
         }
@@ -291,17 +327,26 @@ impl Cell {
             .all(|(t, &a)| !a || t.is_finished())
     }
 
-    /// The first tile fault, if any.
-    pub fn fault(&self) -> Option<String> {
-        self.tiles.iter().find_map(|t| t.fault().map(str::to_owned))
+    /// The first tile fault, if any, with tile attribution and a
+    /// disassembled window around the faulting pc.
+    pub fn fault(&self) -> Option<crate::diag::FaultInfo> {
+        self.tiles.iter().find_map(|t| {
+            t.fault().map(|(pc, cause)| match t.program() {
+                Some(p) => crate::diag::FaultInfo::at_tile(self.id as usize, t.xy, pc, cause, p),
+                None => crate::diag::FaultInfo::host(cause),
+            })
+        })
     }
 
-    /// Number of active tiles that are still running.
+    /// Number of active tiles that have not retired `ecall`. Tiles parked
+    /// in a barrier, blocked on the scoreboard, frozen or faulted all
+    /// count: a timeout diagnosis needs every tile that is not *done*, not
+    /// just the ones still retiring instructions.
     pub fn running_tiles(&self) -> usize {
         self.tiles
             .iter()
             .zip(&self.active)
-            .filter(|(t, &a)| a && !t.is_finished() && t.fault().is_none())
+            .filter(|(t, &a)| a && !t.is_finished())
             .count()
     }
 
@@ -366,7 +411,8 @@ impl Cell {
     }
 
     /// Drains every tile's captured instant events into `out`, in
-    /// deterministic row-major tile order.
+    /// deterministic row-major tile order, followed by NoC retransmit
+    /// events attributed to the tile row nearest each link's router.
     pub fn drain_obs_events(&mut self, out: &mut Vec<crate::observe::ObsEvent>) {
         let cell = self.id;
         for t in &mut self.tiles {
@@ -381,6 +427,67 @@ impl Cell {
                     }),
             );
         }
+        let (w, h) = (self.cfg.cell_dim.x, self.cfg.cell_dim.y);
+        for ev in self
+            .req_net
+            .drain_retransmit_events()
+            .into_iter()
+            .chain(self.resp_net.drain_retransmit_events())
+        {
+            // Router row 0 is the top bank strip; tile rows start at 1.
+            let tile = (ev.at.x.min(w - 1), ev.at.y.saturating_sub(1).min(h - 1));
+            out.push(crate::observe::ObsEvent {
+                cycle: ev.cycle,
+                cell,
+                tile,
+                kind: crate::observe::ObsKind::Retransmit,
+            });
+        }
+    }
+
+    /// Schedules a transient link fault (see [`hb_noc::Network`]): the next
+    /// packet crossing the output link at (`at`, `port`) at or after
+    /// `cycle` is corrupted in flight, detected, and replayed after
+    /// [`hb_noc::RETRY_PENALTY`] cycles.
+    pub fn schedule_link_fault(&mut self, req: bool, cycle: u64, at: Coord, port: hb_noc::Port) {
+        if req {
+            self.req_net.schedule_link_fault(cycle, at, port);
+        } else {
+            self.resp_net.schedule_link_fault(cycle, at, port);
+        }
+    }
+
+    /// Injects an HBM channel stall window of `window` memory-clock cycles
+    /// (see [`hb_mem::Hbm2Channel::stall_for`]); the telemetry instant is
+    /// attributed to tile (0,0) of the Cell.
+    pub fn inject_hbm_stall(&mut self, window: u64, cycle: u64) {
+        self.hbm.stall_for(window);
+        self.tiles[0].push_obs(
+            cycle,
+            crate::observe::ObsKind::Inject(crate::observe::InjectKind::Hbm),
+        );
+    }
+
+    /// Packets currently inside the request network.
+    pub fn req_in_flight(&self) -> u64 {
+        self.req_net.in_flight()
+    }
+
+    /// Packets currently inside the response network.
+    pub fn resp_in_flight(&self) -> u64 {
+        self.resp_net.in_flight()
+    }
+
+    /// Total packets delivered by both NoCs so far (a cheap forward-progress
+    /// signal for the hang watchdog).
+    pub fn net_ejected(&self) -> u64 {
+        self.req_net.stats().ejected + self.resp_net.stats().ejected
+    }
+
+    /// Link-level retransmits performed by both NoCs (injected faults that
+    /// were detected and replayed).
+    pub fn net_retransmits(&self) -> u64 {
+        self.req_net.stats().retransmits + self.resp_net.stats().retransmits
     }
 
     /// Stats of one cache bank.

@@ -107,6 +107,14 @@ pub struct MachineConfig {
     /// Cache-strip refill channel parameters.
     pub strip: StripConfig,
 
+    // ---- Resilience ----
+    /// Tiles (Cell coordinates, applied to every Cell) configured dead:
+    /// launched but never executing, bypassed in the barrier trees, with
+    /// their group work redistributed over the `TG_LIVE_*`/`TG_ADOPT` CSRs.
+    /// Their network interfaces stay alive so their scratchpads remain
+    /// addressable. Empty on every preset.
+    pub disabled_tiles: Vec<(u8, u8)>,
+
     // ---- Host execution (does not affect simulated results) ----
     /// Host worker threads for the tile phase of each cycle (see
     /// `hb_core::parallel`). `1` steps tiles inline; `>1` shards them
@@ -157,6 +165,7 @@ impl MachineConfig {
             mem_freq_mhz: 1000,
             hbm: Hbm2Config::default(),
             strip: StripConfig::default(),
+            disabled_tiles: Vec::new(),
             threads: crate::parallel::threads_from_env(),
             telemetry_window: 0,
         }
@@ -277,6 +286,16 @@ impl MachineConfig {
                 bytes: self.dram_bytes_per_cell,
             });
         }
+        if let Some(&(x, y)) = self
+            .disabled_tiles
+            .iter()
+            .find(|&&(x, y)| x >= self.cell_dim.x || y >= self.cell_dim.y)
+        {
+            return Err(ConfigError::DisabledTileOutOfRange {
+                tile: (x, y),
+                dim: self.cell_dim,
+            });
+        }
         Ok(())
     }
 
@@ -323,6 +342,13 @@ pub enum ConfigError {
         /// The configured size.
         bytes: u32,
     },
+    /// A configured-dead tile lies outside the Cell's tile array.
+    DisabledTileOutOfRange {
+        /// The offending coordinates.
+        tile: (u8, u8),
+        /// The Cell shape.
+        dim: CellDim,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -341,6 +367,13 @@ impl std::fmt::Display for ConfigError {
                 write!(f, "max_outstanding must be at least 1")
             }
             ConfigError::ZeroCells => write!(f, "num_cells must be at least 1"),
+            ConfigError::DisabledTileOutOfRange { tile, dim } => {
+                write!(
+                    f,
+                    "disabled tile ({},{}) outside the {}x{} cell",
+                    tile.0, tile.1, dim.x, dim.y
+                )
+            }
             ConfigError::DramWindowTooLarge { bytes } => {
                 write!(
                     f,
@@ -418,11 +451,23 @@ mod tests {
 
         let c = MachineConfig {
             dram_bytes_per_cell: 32 << 20,
-            ..base
+            ..base.clone()
         };
         assert_eq!(
             c.validate(),
             Err(ConfigError::DramWindowTooLarge { bytes: 32 << 20 })
+        );
+
+        let c = MachineConfig {
+            disabled_tiles: vec![(1, 1), (16, 0)],
+            ..base
+        };
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::DisabledTileOutOfRange {
+                tile: (16, 0),
+                dim: CellDim { x: 16, y: 8 }
+            })
         );
     }
 

@@ -350,8 +350,8 @@ impl Machine {
         loop {
             // Fault first, mirroring `Machine::run`: a trap on the final
             // budgeted cycle must surface as a fault, not a timeout.
-            if let Some(msg) = (0..self.num_cells() as u8).find_map(|c| self.cell(c).fault()) {
-                return Err(SimError::Fault(msg).into());
+            if let Some(info) = (0..self.num_cells() as u8).find_map(|c| self.cell(c).fault()) {
+                return Err(SimError::Fault(Box::new(info)).into());
             }
             if self.all_done() {
                 break;
@@ -363,6 +363,7 @@ impl Machine {
                 return Err(SimError::Timeout {
                     cycles: self.cycle() - start,
                     running_tiles: running,
+                    hang: None,
                 }
                 .into());
             }

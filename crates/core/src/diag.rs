@@ -1,0 +1,267 @@
+//! Structured fault and hang diagnosis.
+//!
+//! A trap used to surface as `SimError::Fault(String)`; this module gives
+//! it structure — which tile, which pc, why, and a disassembled window
+//! around the faulting instruction — and gives `SimError::Timeout` a
+//! [`HangReport`] produced by the machine's progress watchdog, which
+//! classifies *why* a run never finished instead of just saying that it
+//! didn't.
+
+use hb_asm::Program;
+use std::fmt;
+
+/// How many instructions around the faulting pc the disassembly window
+/// shows on each side.
+const WINDOW_RADIUS: u32 = 3;
+
+/// A structured tile (or host-level) fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultInfo {
+    /// Cell the faulting tile belongs to; 0 for host-level faults.
+    pub cell: usize,
+    /// Faulting tile coordinates, or `None` for host-level faults
+    /// (e.g. a functional-warmup precondition failure).
+    pub coord: Option<(u8, u8)>,
+    /// Program counter at the fault, if it happened on a tile.
+    pub pc: Option<u32>,
+    /// Why the tile trapped, without the coordinate prefix.
+    pub cause: String,
+    /// Disassembled window around `pc`, one `"{pc:#x}: {instr}"` line per
+    /// entry, with the faulting pc marked by `" <-- fault"`.
+    pub window: Vec<String>,
+}
+
+impl FaultInfo {
+    /// A host-level fault (no tile attribution).
+    pub fn host(cause: impl Into<String>) -> FaultInfo {
+        FaultInfo {
+            cell: 0,
+            coord: None,
+            pc: None,
+            cause: cause.into(),
+            window: Vec::new(),
+        }
+    }
+
+    /// A tile fault with a disassembled window read from `program`.
+    pub fn at_tile(
+        cell: usize,
+        coord: (u8, u8),
+        pc: u32,
+        cause: impl Into<String>,
+        program: &Program,
+    ) -> FaultInfo {
+        let mut window = Vec::new();
+        let first = pc.saturating_sub(4 * WINDOW_RADIUS);
+        for i in 0..=(2 * WINDOW_RADIUS) {
+            let at = first + 4 * i;
+            if let Some(instr) = program.instr_at(at) {
+                let marker = if at == pc { "  <-- fault" } else { "" };
+                window.push(format!("{at:#06x}: {instr}{marker}"));
+            }
+        }
+        FaultInfo {
+            cell,
+            coord: Some(coord),
+            pc: Some(pc),
+            cause: cause.into(),
+            window,
+        }
+    }
+}
+
+impl fmt::Display for FaultInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.coord, self.pc) {
+            (Some((x, y)), Some(pc)) => {
+                write!(f, "tile ({x},{y}) @pc={pc:#x}: {}", self.cause)?;
+            }
+            _ => write!(f, "{}", self.cause)?,
+        }
+        for line in &self.window {
+            write!(f, "\n  {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Why a run hung, as classified by the progress watchdog at timeout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HangClass {
+    /// Tiles are parked in the hardware barrier while at least one group
+    /// member never joined (exited, froze, or is stuck elsewhere).
+    BarrierStall {
+        /// Tiles blocked in the barrier, as `(cell, x, y)`.
+        waiting: Vec<(usize, u8, u8)>,
+        /// Unfinished group members *not* waiting at the barrier — the
+        /// tiles the waiters are waiting for.
+        missing: Vec<(usize, u8, u8)>,
+    },
+    /// A tile's remote-op scoreboard never drained even though both NoC
+    /// networks are empty: a response was lost or never generated.
+    ScoreboardLeak {
+        /// Leaking tiles, as `(cell, x, y, outstanding ops)`.
+        tiles: Vec<(usize, u8, u8, usize)>,
+    },
+    /// Packets are parked inside the NoC and made no progress over the
+    /// watchdog window: backpressure deadlock.
+    NocBackpressure {
+        /// Packets in flight across all request networks.
+        req_in_flight: u64,
+        /// Packets in flight across all response networks.
+        resp_in_flight: u64,
+    },
+    /// Instructions keep retiring but the run never completes (or tiles
+    /// are frozen with nothing else to blame): livelock.
+    Livelock {
+        /// Instructions retired during the last watchdog window.
+        recent_instrs: u64,
+        /// Tiles currently frozen by an injected fault.
+        frozen: Vec<(usize, u8, u8)>,
+    },
+}
+
+impl HangClass {
+    /// Stable lowercase label for reports and tests.
+    pub fn label(&self) -> &'static str {
+        match self {
+            HangClass::BarrierStall { .. } => "barrier-stall",
+            HangClass::ScoreboardLeak { .. } => "scoreboard-leak",
+            HangClass::NocBackpressure { .. } => "noc-backpressure",
+            HangClass::Livelock { .. } => "livelock",
+        }
+    }
+}
+
+/// The watchdog's diagnosis attached to `SimError::Timeout`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HangReport {
+    /// The classified cause.
+    pub class: HangClass,
+    /// Machine cycle of the last observed forward progress (retired
+    /// instruction or delivered flit).
+    pub last_progress_cycle: u64,
+}
+
+fn fmt_tiles(f: &mut fmt::Formatter<'_>, tiles: &[(usize, u8, u8)]) -> fmt::Result {
+    for (i, (c, x, y)) in tiles.iter().enumerate() {
+        if i > 0 {
+            write!(f, " ")?;
+        }
+        write!(f, "c{c}({x},{y})")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for HangReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.class {
+            HangClass::BarrierStall { waiting, missing } => {
+                write!(f, "barrier stall: waiting ")?;
+                fmt_tiles(f, waiting)?;
+                write!(f, "; missing ")?;
+                fmt_tiles(f, missing)?;
+            }
+            HangClass::ScoreboardLeak { tiles } => {
+                write!(f, "scoreboard leak:")?;
+                for (c, x, y, n) in tiles {
+                    write!(f, " c{c}({x},{y})={n}")?;
+                }
+            }
+            HangClass::NocBackpressure {
+                req_in_flight,
+                resp_in_flight,
+            } => {
+                write!(
+                    f,
+                    "noc backpressure deadlock: {req_in_flight} req + \
+                     {resp_in_flight} resp flits parked"
+                )?;
+            }
+            HangClass::Livelock {
+                recent_instrs,
+                frozen,
+            } => {
+                write!(f, "livelock: {recent_instrs} instrs in last window")?;
+                if !frozen.is_empty() {
+                    write!(f, "; frozen ")?;
+                    fmt_tiles(f, frozen)?;
+                }
+            }
+        }
+        write!(f, " (last progress at cycle {})", self.last_progress_cycle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_asm::Assembler;
+    use hb_isa::Gpr;
+
+    fn program() -> Program {
+        let mut a = Assembler::new();
+        a.li(Gpr::A0, 1);
+        a.li(Gpr::A1, 2);
+        a.add(Gpr::A2, Gpr::A0, Gpr::A1);
+        a.ecall();
+        a.assemble(0x100).unwrap()
+    }
+
+    #[test]
+    fn tile_fault_renders_coord_pc_and_window() {
+        let p = program();
+        let info = FaultInfo::at_tile(0, (2, 3), 0x108, "store to read-only CSR", &p);
+        let text = info.to_string();
+        assert!(
+            text.starts_with("tile (2,3) @pc=0x108: store to read-only CSR"),
+            "{text}"
+        );
+        assert!(text.contains("<-- fault"), "{text}");
+        // The window is clipped to the program image (base 0x100).
+        assert!(!text.contains("0x00fc"), "{text}");
+        assert!(text.contains("0x0100"), "{text}");
+    }
+
+    #[test]
+    fn host_fault_renders_cause_only() {
+        let info = FaultInfo::host("warmup needs quiescent tiles");
+        assert_eq!(info.to_string(), "warmup needs quiescent tiles");
+    }
+
+    #[test]
+    fn hang_report_labels_and_display() {
+        let r = HangReport {
+            class: HangClass::BarrierStall {
+                waiting: vec![(0, 1, 1), (0, 2, 1)],
+                missing: vec![(0, 0, 0)],
+            },
+            last_progress_cycle: 400,
+        };
+        assert_eq!(r.class.label(), "barrier-stall");
+        let text = r.to_string();
+        assert!(text.contains("waiting c0(1,1) c0(2,1)"), "{text}");
+        assert!(text.contains("missing c0(0,0)"), "{text}");
+        assert!(text.contains("cycle 400"), "{text}");
+        let l = HangReport {
+            class: HangClass::Livelock {
+                recent_instrs: 0,
+                frozen: vec![(1, 3, 0)],
+            },
+            last_progress_cycle: 7,
+        };
+        assert!(l.to_string().contains("frozen c1(3,0)"), "{}", l);
+        assert_eq!(
+            HangClass::NocBackpressure {
+                req_in_flight: 1,
+                resp_in_flight: 2
+            }
+            .label(),
+            "noc-backpressure"
+        );
+        assert_eq!(
+            HangClass::ScoreboardLeak { tiles: vec![] }.label(),
+            "scoreboard-leak"
+        );
+    }
+}

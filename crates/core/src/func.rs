@@ -235,6 +235,9 @@ impl<D: DramStore> FuncBus<D> {
                 ly * u32::from(ctx.group.dim.0) + lx
             }
             csr::TG_SIZE => u32::from(ctx.group.dim.0) * u32::from(ctx.group.dim.1),
+            csr::TG_LIVE_RANK => ctx.group.live_rank,
+            csr::TG_LIVE_SIZE => ctx.group.live_size,
+            csr::TG_ADOPT => ctx.group.adopt,
             csr::CELL_W => u32::from(self.pgas.cell_w),
             csr::CELL_H => u32::from(self.pgas.cell_h),
             csr::CELL_ID => u32::from(self.pgas.cell_id),
@@ -477,9 +480,11 @@ impl Machine {
                         continue;
                     }
                     if tile.outstanding() > 0 {
-                        return Err(SimError::Fault(format!(
+                        return Err(SimError::Fault(Box::new(crate::diag::FaultInfo::host(
+                            format!(
                             "warmup_functional needs quiescent tiles; ({x},{y}) has in-flight ops"
-                        )));
+                        ),
+                        ))));
                     }
                     cell_snaps.push(TileSnap {
                         cell: c,
@@ -546,9 +551,11 @@ impl Machine {
                                 break;
                             }
                             Err(f) => {
-                                return Err(SimError::Fault(format!(
-                                    "functional warmup of tile ({},{}) cell {}: {f}",
-                                    snap.xy.0, snap.xy.1, snap.cell
+                                return Err(SimError::Fault(Box::new(
+                                    crate::diag::FaultInfo::host(format!(
+                                        "functional warmup of tile ({},{}) cell {}: {f}",
+                                        snap.xy.0, snap.xy.1, snap.cell
+                                    )),
                                 )));
                             }
                         }
@@ -598,6 +605,9 @@ mod tests {
                 origin: (0, 0),
                 dim: (1, 1),
                 barrier_id: 0,
+                live_rank: 0,
+                live_size: 1,
+                adopt: crate::pgas::NO_ADOPTEE,
             },
             args: [7, 0, 0, 0, 0, 0, 0, 0],
         };

@@ -53,6 +53,20 @@ impl ICache {
         }
     }
 
+    /// Number of cache lines.
+    pub fn lines(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Invalidates one line, as the parity logic does when an injected bit
+    /// flip is detected in the tag or data array: the next access to the
+    /// line is a forced (correct) refill, so the flip costs a miss but can
+    /// never corrupt execution.
+    pub fn invalidate_line(&mut self, index: usize) {
+        let n = self.tags.len();
+        self.tags[index % n] = None;
+    }
+
     /// Lookup hits so far.
     pub fn hits(&self) -> u64 {
         self.hits
@@ -85,6 +99,21 @@ mod tests {
         assert!(!ic.access(4096)); // same index, different tag
         assert!(!ic.access(0x0)); // evicted
         assert_eq!(ic.misses(), 3);
+    }
+
+    #[test]
+    fn invalidated_line_forces_one_refill() {
+        let mut ic = ICache::new(4096);
+        assert_eq!(ic.lines(), 256);
+        assert!(!ic.access(0x100));
+        assert!(ic.access(0x104));
+        // 0x100 lives in line 0x10; a parity flip invalidates it.
+        ic.invalidate_line(0x10);
+        assert!(!ic.access(0x100), "invalidated line must miss once");
+        assert!(ic.access(0x104), "refill restores the line");
+        // Indices wrap so any u16 line id from a fault plan is safe.
+        ic.invalidate_line(0x10 + 256);
+        assert!(!ic.access(0x100));
     }
 
     #[test]

@@ -22,6 +22,20 @@ pub trait HbOps {
     /// Loads `rd` with the tile group size. Clobbers `scratch`.
     fn tg_size(&mut self, rd: Gpr, scratch: Gpr) -> &mut Self;
 
+    /// Loads `rd` with the tile's rank among *live* (non-disabled) group
+    /// members. Identical to [`HbOps::tg_rank`] when no tiles are
+    /// disabled, at the same instruction count. Clobbers `scratch`.
+    fn tg_live_rank(&mut self, rd: Gpr, scratch: Gpr) -> &mut Self;
+
+    /// Loads `rd` with the number of live group members. Clobbers
+    /// `scratch`.
+    fn tg_live_size(&mut self, rd: Gpr, scratch: Gpr) -> &mut Self;
+
+    /// Loads `rd` with the packed coordinates `(x << 8) | y` of the
+    /// disabled tile this one adopts, or [`pgas::NO_ADOPTEE`]. Clobbers
+    /// `scratch`.
+    fn tg_adopt(&mut self, rd: Gpr, scratch: Gpr) -> &mut Self;
+
     /// Loads kernel argument `n` (0..8) into `rd`. Clobbers `scratch`.
     fn arg(&mut self, rd: Gpr, n: u32, scratch: Gpr) -> &mut Self;
 
@@ -54,6 +68,18 @@ impl HbOps for Assembler {
 
     fn tg_size(&mut self, rd: Gpr, scratch: Gpr) -> &mut Self {
         self.csr_load(rd, csr::TG_SIZE, scratch)
+    }
+
+    fn tg_live_rank(&mut self, rd: Gpr, scratch: Gpr) -> &mut Self {
+        self.csr_load(rd, csr::TG_LIVE_RANK, scratch)
+    }
+
+    fn tg_live_size(&mut self, rd: Gpr, scratch: Gpr) -> &mut Self {
+        self.csr_load(rd, csr::TG_LIVE_SIZE, scratch)
+    }
+
+    fn tg_adopt(&mut self, rd: Gpr, scratch: Gpr) -> &mut Self {
+        self.csr_load(rd, csr::TG_ADOPT, scratch)
     }
 
     fn arg(&mut self, rd: Gpr, n: u32, scratch: Gpr) -> &mut Self {

@@ -50,6 +50,7 @@ mod banknode;
 mod cell;
 mod config;
 pub mod cosim;
+pub mod diag;
 pub mod func;
 mod icache;
 mod kernel_util;
@@ -67,12 +68,15 @@ pub mod trace;
 pub use cell::{Cell, GroupSpec, EJECT_PER_CYCLE};
 pub use config::{CellDim, ConfigError, MachineConfig};
 pub use cosim::{CosimChecker, CosimError, CosimReport, Divergence};
+pub use diag::{FaultInfo, HangClass, HangReport};
 pub use func::{FuncBus, IssTile, SnapshotDram, TileCtx, WarmupReport};
 pub use icache::ICache;
 pub use kernel_util::HbOps;
 pub use machine::{Machine, RunSummary, SimError};
 pub use multicell::{MultiCellEstimator, Phase};
-pub use observe::{set_observer_factory, MachineObserver, ObsEvent, ObsKind, ObserverScope};
+pub use observe::{
+    set_observer_factory, InjectKind, MachineObserver, ObsEvent, ObsKind, ObserverScope,
+};
 pub use parallel::{threads_from_env, PhaseTimes, TilePool};
 pub use payload::{NodeId, ReqKind, Request, RespKind, Response};
 pub use pgas::{ipoly_hash, PgasMap, Target};

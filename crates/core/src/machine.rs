@@ -3,37 +3,50 @@
 
 use crate::cell::{Cell, GroupSpec};
 use crate::config::MachineConfig;
+use crate::diag::{FaultInfo, HangClass, HangReport};
 use crate::payload::{Request, Response};
 use crate::stats::CoreStats;
 use hb_asm::Program;
-use hb_noc::Packet;
+use hb_fault::{Injection, Site};
+use hb_noc::{Coord, Packet, Port};
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
 
+/// Cycles between progress snapshots taken by the hang watchdog inside
+/// [`Machine::run`].
+const WATCHDOG_WINDOW: u64 = 10_000;
+
 /// Simulation-terminating errors.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SimError {
-    /// A tile trapped.
-    Fault(String),
+    /// A tile trapped (boxed: [`FaultInfo`] carries a disasm window).
+    Fault(Box<FaultInfo>),
     /// The run exceeded its cycle budget.
     Timeout {
         /// Cycles executed before giving up.
         cycles: u64,
-        /// Tiles still running, for diagnosis.
+        /// Active tiles that had not retired `ecall`, for diagnosis.
         running_tiles: usize,
+        /// The progress watchdog's classification of the hang.
+        hang: Option<Box<HangReport>>,
     },
 }
 
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::Fault(msg) => write!(f, "tile fault: {msg}"),
+            SimError::Fault(info) => write!(f, "tile fault: {info}"),
             SimError::Timeout {
                 cycles,
                 running_tiles,
+                hang,
             } => {
-                write!(f, "simulation did not finish in {cycles} cycles ({running_tiles} tiles still running)")
+                write!(f, "simulation did not finish in {cycles} cycles ({running_tiles} tiles still running)")?;
+                if let Some(h) = hang {
+                    write!(f, ": {h}")?;
+                }
+                Ok(())
             }
         }
     }
@@ -99,6 +112,15 @@ pub struct Machine {
     /// Next cycle at which the observer fires; `u64::MAX` when detached,
     /// so the unobserved hot loop pays exactly one always-false branch.
     obs_due: u64,
+    /// Machine-level injections (everything but NoC link faults, which arm
+    /// inside the networks), sorted by cycle.
+    fault_plan: Vec<Injection>,
+    /// Index of the next undelivered entry in `fault_plan`.
+    fault_cursor: usize,
+    /// Cycle of the next injection; `u64::MAX` with no plan installed, so
+    /// the zero-injection hot loop pays exactly one always-false branch
+    /// (the same pattern as `obs_due`).
+    fault_due: u64,
 }
 
 impl Machine {
@@ -129,6 +151,9 @@ impl Machine {
             cycle: 0,
             observer: None,
             obs_due: u64::MAX,
+            fault_plan: Vec::new(),
+            fault_cursor: 0,
+            fault_due: u64::MAX,
         };
         if let Some(obs) = crate::observe::make_observer(&machine.cfg) {
             machine.attach_observer(obs);
@@ -260,6 +285,37 @@ impl Machine {
         self.cells[cell as usize].launch_groups(program, groups);
     }
 
+    /// Installs a fault-injection plan (see [`hb_fault`]). NoC link faults
+    /// arm directly inside the target Cell's networks; every other site
+    /// lands through a machine-level due list checked once per cycle, in
+    /// the sequential part of the cycle — injection order is therefore
+    /// deterministic and independent of the tile-phase thread count.
+    /// Replaces any previously installed plan.
+    pub fn set_injection_plan(&mut self, plan: &hb_fault::InjectionPlan) {
+        let mut rest = Vec::new();
+        for inj in &plan.injections {
+            if let Site::NocLink {
+                cell,
+                x,
+                y,
+                port,
+                req,
+            } = inj.site
+            {
+                let c = usize::from(cell) % self.cells.len();
+                let at = Coord::new(x % self.cfg.net_width(), y % self.cfg.net_height());
+                let port = Port::from_index(usize::from(port) % Port::COUNT);
+                self.cells[c].schedule_link_fault(req, inj.cycle, at, port);
+            } else {
+                rest.push(*inj);
+            }
+        }
+        rest.sort_by_key(|i| i.cycle);
+        self.fault_due = rest.first().map_or(u64::MAX, |i| i.cycle);
+        self.fault_plan = rest;
+        self.fault_cursor = 0;
+    }
+
     /// Advances the machine one core cycle.
     pub fn tick(&mut self) {
         self.cycle += 1;
@@ -267,8 +323,77 @@ impl Machine {
             cell.tick();
         }
         self.tick_fabric();
+        if self.cycle >= self.fault_due {
+            self.inject_due();
+        }
         if self.cycle >= self.obs_due {
             self.observe();
+        }
+    }
+
+    /// Out-of-line injection dispatch: delivers every plan entry due at or
+    /// before the current cycle. Runs after the Cells' phases and the
+    /// fabric, so the flipped state is what the *next* cycle observes —
+    /// the same point in the cycle for every thread count.
+    #[cold]
+    fn inject_due(&mut self) {
+        while let Some(&inj) = self.fault_plan.get(self.fault_cursor) {
+            if inj.cycle > self.cycle {
+                break;
+            }
+            self.fault_cursor += 1;
+            self.apply_injection(&inj);
+        }
+        self.fault_due = self
+            .fault_plan
+            .get(self.fault_cursor)
+            .map_or(u64::MAX, |i| i.cycle);
+    }
+
+    /// Lands one injection. Out-of-range coordinates wrap rather than
+    /// panic, so randomly drawn plans are always applicable.
+    fn apply_injection(&mut self, inj: &Injection) {
+        let cycle = self.cycle;
+        let (w, h) = (self.cfg.cell_dim.x, self.cfg.cell_dim.y);
+        let ncells = self.cells.len();
+        match inj.site {
+            Site::RegFile {
+                cell,
+                x,
+                y,
+                reg,
+                bit,
+            } => {
+                self.cells[usize::from(cell) % ncells]
+                    .tile_mut(x % w, y % h)
+                    .inject_reg_flip(reg, bit, cycle);
+            }
+            Site::Spm {
+                cell,
+                x,
+                y,
+                word,
+                bit,
+            } => {
+                self.cells[usize::from(cell) % ncells]
+                    .tile_mut(x % w, y % h)
+                    .inject_spm_flip(word, bit, cycle);
+            }
+            Site::IcacheLine { cell, x, y, line } => {
+                self.cells[usize::from(cell) % ncells]
+                    .tile_mut(x % w, y % h)
+                    .inject_icache_invalidate(line, cycle);
+            }
+            Site::HbmStall { cell, window } => {
+                self.cells[usize::from(cell) % ncells].inject_hbm_stall(u64::from(window), cycle);
+            }
+            Site::TileFreeze { cell, x, y, cycles } => {
+                self.cells[usize::from(cell) % ncells]
+                    .tile_mut(x % w, y % h)
+                    .freeze(cycles, cycle);
+            }
+            // Link faults were partitioned out in `set_injection_plan`.
+            Site::NocLink { .. } => unreachable!("link faults arm inside the networks"),
         }
     }
 
@@ -297,6 +422,9 @@ impl Machine {
         let t0 = std::time::Instant::now();
         self.tick_fabric();
         acc.network += t0.elapsed();
+        if self.cycle >= self.fault_due {
+            self.inject_due();
+        }
         if self.cycle >= self.obs_due {
             self.observe();
         }
@@ -353,12 +481,16 @@ impl Machine {
     /// kernel does not finish within `max_cycles`. Fault detection takes
     /// precedence: a kernel that traps on the final cycle of its budget (or
     /// whose trap stops its tile so the rest "finish") reports the fault,
-    /// never a timeout or a bogus success.
+    /// never a timeout or a bogus success. A timeout carries the progress
+    /// watchdog's [`HangReport`] classifying *why* the run never finished.
     pub fn run(&mut self, max_cycles: u64) -> Result<RunSummary, SimError> {
         let start = self.cycle;
+        let mut wd_sig = self.progress_signature();
+        let mut wd_progress_cycle = self.cycle;
+        let mut wd_next = self.cycle + WATCHDOG_WINDOW;
         loop {
-            if let Some(msg) = self.cells.iter().find_map(Cell::fault) {
-                return Err(SimError::Fault(msg));
+            if let Some(info) = self.cells.iter().find_map(Cell::fault) {
+                return Err(SimError::Fault(Box::new(info)));
             }
             if self.all_done() {
                 let mut core = CoreStats::default();
@@ -372,12 +504,105 @@ impl Machine {
             }
             if self.cycle - start >= max_cycles {
                 let running_tiles = self.cells.iter().map(Cell::running_tiles).sum();
+                let sig = self.progress_signature();
+                if sig != wd_sig {
+                    wd_progress_cycle = self.cycle;
+                }
+                let hang = self.classify_hang(wd_progress_cycle, sig.0.saturating_sub(wd_sig.0));
                 return Err(SimError::Timeout {
                     cycles: self.cycle - start,
                     running_tiles,
+                    hang: Some(Box::new(hang)),
                 });
             }
+            if self.cycle >= wd_next {
+                let sig = self.progress_signature();
+                if sig != wd_sig {
+                    wd_progress_cycle = self.cycle;
+                    wd_sig = sig;
+                }
+                wd_next = self.cycle + WATCHDOG_WINDOW;
+            }
             self.tick();
+        }
+    }
+
+    /// A cheap forward-progress fingerprint: total retired instructions
+    /// plus total packets delivered by the Cell NoCs.
+    fn progress_signature(&self) -> (u64, u64) {
+        let instrs = self.cells.iter().map(|c| c.core_stats().instrs).sum();
+        let ejected = self.cells.iter().map(Cell::net_ejected).sum();
+        (instrs, ejected)
+    }
+
+    /// Classifies a hang at timeout. Precedence: tiles parked in a barrier
+    /// dominate (they explain every downstream symptom), then a leaked
+    /// scoreboard with drained networks, then packets stuck inside a NoC;
+    /// anything else — including tiles frozen by injection — is a livelock.
+    fn classify_hang(&self, last_progress_cycle: u64, recent_instrs: u64) -> HangReport {
+        let (w, h) = (self.cfg.cell_dim.x, self.cfg.cell_dim.y);
+        let mut waiting = Vec::new();
+        for (ci, cell) in self.cells.iter().enumerate() {
+            for y in 0..h {
+                for x in 0..w {
+                    if cell.tile(x, y).barrier_waiting {
+                        waiting.push((ci, x, y));
+                    }
+                }
+            }
+        }
+        let class = if waiting.is_empty() {
+            let req: u64 = self.cells.iter().map(Cell::req_in_flight).sum();
+            let resp: u64 = self.cells.iter().map(Cell::resp_in_flight).sum();
+            let mut leaks = Vec::new();
+            let mut frozen = Vec::new();
+            for (ci, cell) in self.cells.iter().enumerate() {
+                for y in 0..h {
+                    for x in 0..w {
+                        let t = cell.tile(x, y);
+                        if !t.is_finished() && t.outstanding() > 0 {
+                            leaks.push((ci, x, y, t.outstanding()));
+                        }
+                        if t.is_frozen() {
+                            frozen.push((ci, x, y));
+                        }
+                    }
+                }
+            }
+            if req == 0 && resp == 0 && !leaks.is_empty() {
+                HangClass::ScoreboardLeak { tiles: leaks }
+            } else if req + resp > 0 {
+                HangClass::NocBackpressure {
+                    req_in_flight: req,
+                    resp_in_flight: resp,
+                }
+            } else {
+                HangClass::Livelock {
+                    recent_instrs,
+                    frozen,
+                }
+            }
+        } else {
+            // The waiters' unfinished group members that never joined are
+            // who everyone is waiting for.
+            let mut missing = Vec::new();
+            for &(ci, wx, wy) in &waiting {
+                let g = self.cells[ci].tile(wx, wy).group();
+                for y in g.origin.1..g.origin.1 + g.dim.1 {
+                    for x in g.origin.0..g.origin.0 + g.dim.0 {
+                        let t = self.cells[ci].tile(x, y);
+                        let m = (ci, x, y);
+                        if !t.is_finished() && !t.barrier_waiting && !missing.contains(&m) {
+                            missing.push(m);
+                        }
+                    }
+                }
+            }
+            HangClass::BarrierStall { waiting, missing }
+        };
+        HangReport {
+            class,
+            last_progress_cycle,
         }
     }
 }

@@ -36,6 +36,40 @@ pub enum ObsKind {
     FenceRetire,
     /// The tile trapped.
     Fault,
+    /// An `hb-fault` injection landed on this tile (or, for HBM stalls,
+    /// on this tile's Cell, attributed to tile (0,0)).
+    Inject(InjectKind),
+    /// A corrupted flit was detected and replayed on a NoC link; the event
+    /// is attributed to the tile row nearest the link's router.
+    Retransmit,
+}
+
+/// Which structure an [`ObsKind::Inject`] event hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectKind {
+    /// Integer register-file bit flip.
+    Reg,
+    /// Scratchpad word bit flip.
+    Spm,
+    /// Instruction-cache line invalidation (detected parity flip).
+    Icache,
+    /// HBM channel stall window.
+    Hbm,
+    /// Whole-tile freeze.
+    Freeze,
+}
+
+impl InjectKind {
+    /// Stable lowercase label for exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            InjectKind::Reg => "reg",
+            InjectKind::Spm => "spm",
+            InjectKind::Icache => "icache",
+            InjectKind::Hbm => "hbm",
+            InjectKind::Freeze => "freeze",
+        }
+    }
 }
 
 /// A tile-local instant event, stamped with the Cell cycle it occurred on.

@@ -63,7 +63,23 @@ pub mod csr {
     pub const MARK: u32 = 0x1038;
     /// Kernel arguments 0-7 (each 4 bytes).
     pub const ARG0: u32 = 0x1040;
+    /// Load: this tile's rank among the *live* (non-disabled) members of
+    /// its group, row-major. Equals `TG_RANK` when no tile is disabled;
+    /// kernels that stride by rank read this instead so work redistributes
+    /// around `MachineConfig::disabled_tiles`.
+    pub const TG_LIVE_RANK: u32 = 0x1060;
+    /// Load: number of live (non-disabled) tiles in the group. Equals
+    /// `TG_SIZE` when no tile is disabled.
+    pub const TG_LIVE_SIZE: u32 = 0x1064;
+    /// Load: the disabled group-mate this tile adopts, packed as
+    /// `(x << 8) | y` in tile coordinates, or `0xffff_ffff` when the tile
+    /// has no adoptee. Coordinate-based kernels (Jacobi) use this to take
+    /// over a dead tile's slice through its still-live scratchpad NI.
+    pub const TG_ADOPT: u32 = 0x1068;
 }
+
+/// `TG_ADOPT` value meaning "no adoptee".
+pub const NO_ADOPTEE: u32 = u32::MAX;
 
 /// Builds a Local-SPM EVA (offset within the issuing tile's scratchpad).
 pub const fn local_spm(offset: u32) -> u32 {

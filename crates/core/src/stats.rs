@@ -30,13 +30,15 @@ pub enum StallKind {
     FpBusy,
     /// Iterative integer divider busy.
     IntBusy,
+    /// Frozen by an injected whole-tile fault (`hb-fault`).
+    Frozen,
     /// Tile finished (idle until the kernel ends elsewhere).
     Done,
 }
 
 impl StallKind {
     /// Number of stall categories.
-    pub const COUNT: usize = 12;
+    pub const COUNT: usize = 13;
 
     /// Every category, in display order.
     pub const ALL: [StallKind; StallKind::COUNT] = [
@@ -51,6 +53,7 @@ impl StallKind {
         StallKind::Barrier,
         StallKind::FpBusy,
         StallKind::IntBusy,
+        StallKind::Frozen,
         StallKind::Done,
     ];
 
@@ -68,6 +71,7 @@ impl StallKind {
             StallKind::Barrier => "barrier",
             StallKind::FpBusy => "fdiv_fsqrt",
             StallKind::IntBusy => "idiv",
+            StallKind::Frozen => "frozen",
             StallKind::Done => "done",
         }
     }

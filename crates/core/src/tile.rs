@@ -58,6 +58,11 @@ struct Combine {
 }
 
 /// Tile-group identity exposed through CSRs.
+///
+/// The `live_*` fields carry the degraded-mode view when the machine runs
+/// with [`crate::MachineConfig::disabled_tiles`]: each tile's copy holds
+/// its own rank among the *live* group members plus an optional dead tile
+/// it adopts. With no disabled tiles they mirror `TG_RANK`/`TG_SIZE`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GroupInfo {
     /// Group origin within the Cell (tile coordinates).
@@ -66,6 +71,13 @@ pub struct GroupInfo {
     pub dim: (u8, u8),
     /// Index of this group's barrier network in the Cell.
     pub barrier_id: usize,
+    /// This tile's rank among live (non-disabled) group members, row-major.
+    pub live_rank: u32,
+    /// Number of live group members.
+    pub live_size: u32,
+    /// Packed Cell coordinates `(x << 8) | y` of the disabled tile this
+    /// one adopts the work of, or [`crate::pgas::NO_ADOPTEE`].
+    pub adopt: u32,
 }
 
 /// One HammerBlade tile (core + SPM + network interface).
@@ -131,7 +143,8 @@ pub struct Tile {
     /// Execution state.
     running: bool,
     finished: bool,
-    fault: Option<String>,
+    /// `(pc, cause)` of the trap, if the tile trapped.
+    fault: Option<(u32, String)>,
     stats: CoreStats,
     trace: Option<TraceHandle>,
     last_cycle: u64,
@@ -184,6 +197,9 @@ impl Tile {
                 origin: (0, 0),
                 dim: (1, 1),
                 barrier_id: 0,
+                live_rank: 0,
+                live_size: 1,
+                adopt: crate::pgas::NO_ADOPTEE,
             },
             regs: [0; 32],
             fregs: [0.0; 32],
@@ -281,9 +297,9 @@ impl Tile {
         self.running
     }
 
-    /// The fault message, if the tile trapped.
-    pub fn fault(&self) -> Option<&str> {
-        self.fault.as_deref()
+    /// The `(pc, cause)` of the trap, if the tile trapped.
+    pub fn fault(&self) -> Option<(u32, &str)> {
+        self.fault.as_ref().map(|(pc, cause)| (*pc, cause.as_str()))
     }
 
     /// Outstanding remote operations (scoreboard occupancy).
@@ -383,6 +399,73 @@ impl Tile {
         self.combine = None;
     }
 
+    /// Marks this tile as configured-dead: it stays addressable (its NI
+    /// keeps serving remote-SPM traffic and its barrier node is bypassed by
+    /// the Cell) but never executes an instruction. Called after
+    /// [`Tile::launch`] for tiles in
+    /// [`crate::MachineConfig::disabled_tiles`].
+    pub fn disable(&mut self) {
+        self.running = false;
+        self.finished = true;
+    }
+
+    /// Whether the tile is currently frozen by an injected fault.
+    pub fn is_frozen(&self) -> bool {
+        self.penalty_kind == StallKind::Frozen && self.penalty_until > self.last_cycle
+    }
+
+    /// Appends an instant event if telemetry capture is on (used by the
+    /// Cell for events it attributes to this tile, e.g. HBM stalls).
+    pub(crate) fn push_obs(&mut self, cycle: u64, kind: crate::observe::ObsKind) {
+        if self.observed {
+            self.obs_events.push((cycle, kind));
+        }
+    }
+
+    fn note_inject(&mut self, cycle: u64, kind: crate::observe::InjectKind) {
+        self.push_obs(cycle, crate::observe::ObsKind::Inject(kind));
+    }
+
+    /// Injects a single-bit flip into an integer register. Flips aimed at
+    /// `x0` are masked by the hardwired zero; returns whether the flip
+    /// landed in architectural state.
+    pub fn inject_reg_flip(&mut self, reg: u8, bit: u8, cycle: u64) -> bool {
+        let r = usize::from(reg) % 32;
+        if r == 0 {
+            return false;
+        }
+        self.regs[r] ^= 1 << (bit % 32);
+        self.note_inject(cycle, crate::observe::InjectKind::Reg);
+        true
+    }
+
+    /// Injects a single-bit flip into one scratchpad word (word index wraps
+    /// to the SPM size).
+    pub fn inject_spm_flip(&mut self, word: u16, bit: u8, cycle: u64) {
+        let nwords = self.spm.len() / 4;
+        let off = (usize::from(word) % nwords) as u32 * 4;
+        let v = read_bytes(&self.spm, off, 4) ^ (1 << (bit % 32));
+        write_bytes(&mut self.spm, off, 4, v);
+        self.note_inject(cycle, crate::observe::InjectKind::Spm);
+    }
+
+    /// Injects a detected icache parity flip: the line is invalidated, so
+    /// the next fetch of it refills (one extra miss, never corruption).
+    pub fn inject_icache_invalidate(&mut self, line: u16, cycle: u64) {
+        self.icache.invalidate_line(usize::from(line));
+        self.note_inject(cycle, crate::observe::InjectKind::Icache);
+    }
+
+    /// Freezes the core for `cycles` (or forever, for
+    /// [`hb_fault::FREEZE_FOREVER`]-style `u64::MAX`): the pipeline stalls
+    /// as [`StallKind::Frozen`] but the network interface keeps serving
+    /// remote-SPM traffic, like a clock-gated core behind a live NI.
+    pub fn freeze(&mut self, cycles: u64, now: u64) {
+        self.penalty_until = now.saturating_add(cycles);
+        self.penalty_kind = StallKind::Frozen;
+        self.note_inject(now, crate::observe::InjectKind::Freeze);
+    }
+
     fn stall(&mut self, kind: StallKind) {
         self.stats.add_stall(kind);
     }
@@ -399,10 +482,7 @@ impl Tile {
             self.obs_events
                 .push((self.last_cycle, crate::observe::ObsKind::Fault));
         }
-        self.fault = Some(format!(
-            "tile ({},{}) @pc={:#x}: {msg}",
-            self.xy.0, self.xy.1, self.pc
-        ));
+        self.fault = Some((self.pc, msg));
         self.running = false;
     }
 
@@ -726,6 +806,9 @@ impl Tile {
                 ly * u32::from(self.group.dim.0) + lx
             }
             csr::TG_SIZE => u32::from(self.group.dim.0) * u32::from(self.group.dim.1),
+            csr::TG_LIVE_RANK => self.group.live_rank,
+            csr::TG_LIVE_SIZE => self.group.live_size,
+            csr::TG_ADOPT => self.group.adopt,
             csr::CELL_W => u32::from(self.pgas.cell_w),
             csr::CELL_H => u32::from(self.pgas.cell_h),
             csr::CELL_ID => u32::from(self.pgas.cell_id),

@@ -446,7 +446,7 @@ fn bad_eva_faults() {
     let p = Arc::new(a.assemble(0).unwrap());
     m.launch(0, &p, &[]);
     match m.run(10_000) {
-        Err(SimError::Fault(msg)) => assert!(msg.contains("does not map")),
+        Err(SimError::Fault(msg)) => assert!(msg.cause.contains("does not map")),
         other => panic!("expected fault, got {other:?}"),
     }
 }
@@ -479,7 +479,7 @@ fn fault_at_cycle_limit_reports_fault_not_timeout() {
     let mut m = machine(small_cfg());
     m.launch(0, &trap_kernel(), &[]);
     match m.run(fault_cycle) {
-        Err(SimError::Fault(msg)) => assert!(msg.contains("does not map"), "{msg}"),
+        Err(SimError::Fault(msg)) => assert!(msg.cause.contains("does not map"), "{msg}"),
         other => panic!("expected fault at the cycle limit, got {other:?}"),
     }
 }

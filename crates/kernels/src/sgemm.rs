@@ -391,4 +391,16 @@ mod tests {
         assert!(stats.cycles > 0);
         assert!(stats.core.fp_cycles > 0, "SGEMM must execute FP work");
     }
+
+    #[test]
+    fn sgemm_stays_golden_with_two_dead_tiles() {
+        // Rank-strided kernels degrade through the live-rank prologue
+        // alone: the six live tiles cover the dense 0..6 rank space.
+        let cfg = MachineConfig {
+            cell_dim: CellDim { x: 4, y: 2 },
+            disabled_tiles: vec![(1, 0), (2, 1)],
+            ..MachineConfig::baseline_16x8()
+        };
+        Sgemm::default().run(&cfg, SizeClass::Tiny).unwrap();
+    }
 }

@@ -4,12 +4,19 @@ use hb_asm::Assembler;
 use hb_core::HbOps;
 use hb_isa::Gpr;
 
-/// Emits the standard kernel prologue: `rank` ← tile-group rank and
-/// `nthreads` ← tile-group size (clobbering `scratch`). Launch arguments
-/// stay in `a0..a7`.
+/// Emits the standard kernel prologue: `rank` ← *live* tile-group rank
+/// and `nthreads` ← live tile-group size (clobbering `scratch`). Launch
+/// arguments stay in `a0..a7`.
+///
+/// Using the live-rank CSRs instead of `TG_RANK`/`TG_SIZE` makes every
+/// rank-strided kernel degrade transparently around tiles disabled via
+/// `MachineConfig::disabled_tiles`: live tiles see a dense `0..live_size`
+/// rank space and simply cover more work each. With no tiles disabled the
+/// CSRs read identically to the plain rank/size, and the load sequence is
+/// the same length, so fault-free runs are bit-identical.
 pub fn prologue(a: &mut Assembler, rank: Gpr, nthreads: Gpr, scratch: Gpr) {
-    a.tg_rank(rank, scratch);
-    a.tg_size(nthreads, scratch);
+    a.tg_live_rank(rank, scratch);
+    a.tg_live_size(nthreads, scratch);
 }
 
 /// Emits a rank-strided loop header over `0..count`: on entry `idx` holds

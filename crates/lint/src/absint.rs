@@ -256,6 +256,9 @@ fn csr_load_ok(offset: u32) -> bool {
             | csr::TG_H
             | csr::TG_RANK
             | csr::TG_SIZE
+            | csr::TG_LIVE_RANK
+            | csr::TG_LIVE_SIZE
+            | csr::TG_ADOPT
             | csr::CELL_W
             | csr::CELL_H
             | csr::CELL_ID
@@ -353,8 +356,15 @@ impl Interp<'_> {
             Instr::Amo { .. } => true,
             Instr::Load { rs1, offset, .. } => match self.effective(st, rs1, offset) {
                 Val::Const(c) => {
-                    matches!(c, csr::TILE_X | csr::TILE_Y | csr::TG_RANK | csr::CYCLE)
-                        || st.div & reg_bit_gpr(rs1) != 0
+                    matches!(
+                        c,
+                        csr::TILE_X
+                            | csr::TILE_Y
+                            | csr::TG_RANK
+                            | csr::TG_LIVE_RANK
+                            | csr::TG_ADOPT
+                            | csr::CYCLE
+                    ) || st.div & reg_bit_gpr(rs1) != 0
                 }
                 _ => st.div & reg_bit_gpr(rs1) != 0,
             },

@@ -75,6 +75,9 @@ pub struct BarrierNetwork {
     parent: Vec<Option<usize>>,
     children: Vec<Vec<usize>>,
     nodes: Vec<NodeState>,
+    /// Bypassed (disabled-tile) nodes: their barrier hardware auto-joins
+    /// every round so the tree converges without the tile's participation.
+    bypassed: Vec<bool>,
     /// Up-signals in flight: arrive at (target) on the next tick.
     up_in_flight: Vec<usize>,
     /// Wake signals in flight.
@@ -128,6 +131,7 @@ impl BarrierNetwork {
             parent,
             children,
             nodes: vec![NodeState::default(); n],
+            bypassed: vec![false; n],
             up_in_flight: Vec::new(),
             wake_in_flight: Vec::new(),
             cycle: 0,
@@ -206,6 +210,19 @@ impl BarrierNetwork {
         self.nodes[i].joins += 1;
     }
 
+    /// Marks tile `at` as bypassed: its barrier node joins every round on
+    /// its own, paced by the wake signals it receives, so a group with
+    /// disabled tiles still converges. Used for `disabled_tiles` resilience.
+    pub fn bypass(&mut self, at: Coord) {
+        let i = self.idx(at);
+        self.bypassed[i] = true;
+    }
+
+    /// Whether tile `at` is bypassed.
+    pub fn is_bypassed(&self, at: Coord) -> bool {
+        self.bypassed[self.idx(at)]
+    }
+
     /// Whether tile `at` has an unconsumed release (the barrier it joined
     /// has completed and the wake signal arrived).
     pub fn is_released(&self, at: Coord) -> bool {
@@ -242,7 +259,15 @@ impl BarrierNetwork {
             let nchild = self.children[i].len() as u64;
             let n = &self.nodes[i];
             let round = n.sent; // next round to send is round `sent`
-            let ready = n.joins > round && n.recv >= (round + 1) * nchild;
+                                // A bypassed node joins instantly each round, paced by its own
+                                // releases (like a tile that re-joins the moment it is woken),
+                                // so it can never flood its parent ahead of the live tiles.
+            let joined = if self.bypassed[i] {
+                n.sent <= n.released
+            } else {
+                n.joins > round
+            };
+            let ready = joined && n.recv >= (round + 1) * nchild;
             if !ready {
                 continue;
             }
@@ -362,6 +387,73 @@ mod tests {
         let mut net = BarrierNetwork::tree_for_group(16, 1, 3);
         let lat = barrier_latency(&mut net, 16, 1);
         assert!(lat <= 10, "16x1 ruche barrier took {lat} cycles");
+    }
+
+    /// Like `barrier_latency` but only the tiles in `live` join/consume.
+    fn masked_round(net: &mut BarrierNetwork, live: &[Coord]) -> u64 {
+        for &c in live {
+            net.join(c);
+        }
+        for _ in 0..10_000 {
+            net.tick();
+            if live.iter().all(|&c| net.is_released(c)) {
+                for &c in live {
+                    net.consume_release(c);
+                }
+                return net.cycle();
+            }
+        }
+        panic!("masked barrier never completed");
+    }
+
+    #[test]
+    fn bypassed_tiles_do_not_block_the_barrier() {
+        let mut net = BarrierNetwork::tree_for_group(4, 4, 3);
+        let dead = [Coord::new(0, 0), Coord::new(2, 1)];
+        for d in dead {
+            net.bypass(d);
+            assert!(net.is_bypassed(d));
+        }
+        let live: Vec<Coord> = all_coords(4, 4).filter(|c| !dead.contains(c)).collect();
+        // Without the bypass these rounds would hang (see
+        // barrier_waits_for_stragglers); with it they complete repeatedly.
+        let mut last = 0;
+        for round in 1..=4 {
+            let at = masked_round(&mut net, &live);
+            assert!(at > last, "round {round} did not advance");
+            last = at;
+            assert_eq!(net.rounds(), round);
+        }
+    }
+
+    #[test]
+    fn bypassing_the_root_still_converges() {
+        let mut net = BarrierNetwork::tree_for_group(4, 4, 3);
+        let root = Coord::new(2, 2);
+        net.bypass(root);
+        let live: Vec<Coord> = all_coords(4, 4).filter(|&c| c != root).collect();
+        masked_round(&mut net, &live);
+        masked_round(&mut net, &live);
+        assert_eq!(net.rounds(), 2);
+    }
+
+    #[test]
+    fn bypassed_nodes_cannot_release_a_round_early() {
+        // A bypassed leaf shares a parent with live tiles; the parent must
+        // not fire until the live tiles actually join.
+        let mut net = BarrierNetwork::tree_for_group(4, 1, 0);
+        net.bypass(Coord::new(0, 0));
+        for _ in 0..200 {
+            net.tick();
+        }
+        assert_eq!(
+            net.rounds(),
+            0,
+            "barrier completed with no live tile joining"
+        );
+        let live: Vec<Coord> = (1..4).map(|x| Coord::new(x, 0)).collect();
+        masked_round(&mut net, &live);
+        assert_eq!(net.rounds(), 1);
     }
 
     #[test]

@@ -48,7 +48,10 @@ mod net;
 mod strip;
 
 pub use barrier::{BarrierConfig, BarrierNetwork, Dir};
-pub use net::{Coord, LinkStats, Network, NetworkConfig, NetworkStats, Packet, Port, RouteOrder};
+pub use net::{
+    Coord, LinkStats, Network, NetworkConfig, NetworkStats, Packet, Port, RetransmitEvent,
+    RouteOrder, RETRY_PENALTY,
+};
 pub use strip::{StripChannel, StripConfig, StripStats, StripTransfer};
 
 /// Ruche factor: how many tiles a horizontal Ruche link skips.

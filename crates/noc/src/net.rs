@@ -49,6 +49,9 @@ pub enum Port {
 }
 
 impl Port {
+    /// Number of router ports.
+    pub const COUNT: usize = NPORTS;
+
     const ALL: [Port; NPORTS] = [
         Port::Local,
         Port::North,
@@ -58,6 +61,13 @@ impl Port {
         Port::RucheEast,
         Port::RucheWest,
     ];
+
+    /// The port with discriminant `i % COUNT` (the inverse of `as usize`,
+    /// made total so externally supplied indices — e.g. fault-plan draws —
+    /// are always valid).
+    pub fn from_index(i: usize) -> Port {
+        Port::ALL[i % NPORTS]
+    }
 }
 
 /// Dimension order used by the deterministic routing function.
@@ -188,6 +198,25 @@ pub struct NetworkStats {
     pub injected: u64,
     /// Packets ejected at local ports.
     pub ejected: u64,
+    /// Flits replayed by the link-level ack/retransmit protocol after an
+    /// injected corruption was detected.
+    pub retransmits: u64,
+}
+
+/// Extra cycles a corrupted flit waits before its link-level replay: one
+/// cycle for the corrupted transfer, one for the nack, one to re-arbitrate.
+pub const RETRY_PENALTY: u64 = 3;
+
+/// A completed link-level retransmit, drained for telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetransmitEvent {
+    /// Cycle the corruption was detected (replay lands `RETRY_PENALTY`
+    /// cycles later).
+    pub cycle: u64,
+    /// Router whose output link carried the corrupted flit.
+    pub at: Coord,
+    /// The output port.
+    pub port: Port,
 }
 
 #[derive(Debug)]
@@ -224,6 +253,11 @@ pub struct Network<P> {
     eject_qs: Vec<VecDeque<Packet<P>>>,
     stats: NetworkStats,
     cycle: u64,
+    /// Scheduled link faults as `(cycle, router index, port)`: the first
+    /// delivery attempt at or after `cycle` on that output link is
+    /// corrupted, detected, and replayed. Empty on the zero-injection path.
+    link_faults: Vec<(u64, usize, usize)>,
+    retransmit_events: Vec<RetransmitEvent>,
 }
 
 impl<P: Clone + std::fmt::Debug> Network<P> {
@@ -247,6 +281,41 @@ impl<P: Clone + std::fmt::Debug> Network<P> {
             eject_qs: (0..n).map(|_| VecDeque::new()).collect(),
             stats: NetworkStats::default(),
             cycle: 0,
+            link_faults: Vec::new(),
+            retransmit_events: Vec::new(),
+        }
+    }
+
+    /// Schedules a transient fault on the output link of (`at`, `port`):
+    /// the first flit attempting to cross that link at or after `cycle` is
+    /// corrupted in flight, caught by the link-level check, and replayed
+    /// after [`RETRY_PENALTY`] cycles. A fault scheduled on a link that
+    /// never carries traffic again stays armed and is architecturally
+    /// masked. No packet is ever lost, so conservation holds.
+    pub fn schedule_link_fault(&mut self, cycle: u64, at: Coord, port: Port) {
+        let idx = self.idx(at);
+        self.link_faults.push((cycle, idx, port as usize));
+    }
+
+    /// Drains retransmit events recorded since the last call.
+    pub fn drain_retransmit_events(&mut self) -> Vec<RetransmitEvent> {
+        std::mem::take(&mut self.retransmit_events)
+    }
+
+    /// Consumes an armed fault on (`idx`, `port`) whose cycle has come due,
+    /// if any. Out of line: only reached when faults are scheduled.
+    #[cold]
+    fn take_due_fault(&mut self, idx: usize, port: usize) -> bool {
+        let due = self
+            .link_faults
+            .iter()
+            .position(|&(c, i, p)| c <= self.cycle && i == idx && p == port);
+        match due {
+            Some(at) => {
+                self.link_faults.swap_remove(at);
+                true
+            }
+            None => false,
         }
     }
 
@@ -402,6 +471,7 @@ impl<P: Clone + std::fmt::Debug> Network<P> {
     /// most one link per cycle).
     pub fn tick(&mut self) {
         self.cycle += 1;
+        let faults_armed = !self.link_faults.is_empty();
 
         // Phase A: deliver output latches across links.
         for idx in 0..self.routers.len() {
@@ -413,6 +483,22 @@ impl<P: Clone + std::fmt::Debug> Network<P> {
                 if self.cycle < free_at {
                     // Still serializing across a narrow link.
                     self.link_stats[idx][p].busy += 1;
+                    continue;
+                }
+                if faults_armed && self.take_due_fault(idx, p) {
+                    // The flit is corrupted in flight; the downstream link
+                    // check nacks it and the sender holds it latched for a
+                    // bounded replay.
+                    if let Some((_, fa)) = self.latches[idx][p].as_mut() {
+                        *fa = self.cycle + RETRY_PENALTY;
+                    }
+                    self.stats.retransmits += 1;
+                    self.link_stats[idx][p].busy += 1;
+                    self.retransmit_events.push(RetransmitEvent {
+                        cycle: self.cycle,
+                        at: self.coord(idx),
+                        port,
+                    });
                     continue;
                 }
                 match self.link_dest(idx, port) {
@@ -772,6 +858,93 @@ mod tests {
         assert_eq!(ruche_links, 8 + 2 * 3 * 4);
         // The paper: Ruche-3 gives 4x the bisection bandwidth of the mesh.
         assert_eq!(ruche_links, 4 * mesh_links);
+    }
+
+    #[test]
+    fn link_fault_replays_the_flit_with_bounded_delay() {
+        let (src, dst) = (Coord::new(0, 0), Coord::new(3, 0));
+        let mut clean = mesh(4, 1);
+        let baseline = deliver(&mut clean, src, dst, 5);
+
+        let mut faulty = mesh(4, 1);
+        // Corrupt the first flit crossing the east link out of (1,0).
+        faulty.schedule_link_fault(0, Coord::new(1, 0), Port::East);
+        let lat = deliver(&mut faulty, src, dst, 5);
+        assert_eq!(
+            lat,
+            baseline + RETRY_PENALTY,
+            "replay must cost exactly the retry penalty"
+        );
+        assert_eq!(faulty.stats().retransmits, 1);
+        let evs = faulty.drain_retransmit_events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].at, Coord::new(1, 0));
+        assert_eq!(evs[0].port, Port::East);
+        assert!(faulty.drain_retransmit_events().is_empty());
+        // The packet arrived exactly once despite the corruption.
+        assert!(faulty.is_drained());
+    }
+
+    #[test]
+    fn fault_on_an_idle_link_stays_armed_and_is_masked() {
+        let mut net = mesh(4, 1);
+        net.schedule_link_fault(0, Coord::new(2, 0), Port::West);
+        // Traffic that never crosses the faulted link is untouched.
+        deliver(&mut net, Coord::new(0, 0), Coord::new(3, 0), 1);
+        assert_eq!(net.stats().retransmits, 0);
+        // The armed fault fires on the first westward crossing.
+        deliver(&mut net, Coord::new(3, 0), Coord::new(0, 0), 2);
+        assert_eq!(net.stats().retransmits, 1);
+    }
+
+    #[test]
+    fn conservation_holds_under_link_faults() {
+        let mut net = mesh(4, 4);
+        for c in 0..64 {
+            net.schedule_link_fault(c, Coord::new((c % 4) as u8, (c / 16) as u8), Port::East);
+        }
+        let mut injected = 0u64;
+        let mut ejected = 0u64;
+        let mut seed = 99u64;
+        let mut rand = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (seed >> 33) as u8
+        };
+        for _ in 0..1000 {
+            let src = Coord::new(rand() % 4, rand() % 4);
+            let dst = Coord::new(rand() % 4, rand() % 4);
+            if net.inject(
+                src,
+                Packet {
+                    src,
+                    dst,
+                    payload: injected,
+                },
+            ) {
+                injected += 1;
+            }
+            net.tick();
+            for y in 0..4 {
+                for x in 0..4 {
+                    while net.eject(Coord::new(x, y)).is_some() {
+                        ejected += 1;
+                    }
+                }
+            }
+        }
+        for _ in 0..500 {
+            net.tick();
+            for y in 0..4 {
+                for x in 0..4 {
+                    while net.eject(Coord::new(x, y)).is_some() {
+                        ejected += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(injected, ejected, "retransmit lost or duplicated packets");
+        assert!(net.is_drained());
+        assert!(net.stats().retransmits > 0, "no scheduled fault ever fired");
     }
 
     #[test]

@@ -107,6 +107,8 @@ pub fn to_string(t: &Telemetry) -> String {
             ObsKind::BarrierJoin => "barrier join".to_owned(),
             ObsKind::FenceRetire => "fence retire".to_owned(),
             ObsKind::Fault => "fault".to_owned(),
+            ObsKind::Inject(k) => format!("inject {}", k.label()),
+            ObsKind::Retransmit => "noc retransmit".to_owned(),
         };
         push(
             &mut out,
@@ -208,12 +210,26 @@ mod tests {
                     cells: vec![cw],
                 },
             ],
-            events: vec![ObsEvent {
-                cycle: 42,
-                cell: 0,
-                tile: (1, 0),
-                kind: hb_core::ObsKind::Mark(3),
-            }],
+            events: vec![
+                ObsEvent {
+                    cycle: 42,
+                    cell: 0,
+                    tile: (1, 0),
+                    kind: hb_core::ObsKind::Mark(3),
+                },
+                ObsEvent {
+                    cycle: 60,
+                    cell: 0,
+                    tile: (0, 0),
+                    kind: hb_core::ObsKind::Inject(hb_core::InjectKind::Spm),
+                },
+                ObsEvent {
+                    cycle: 75,
+                    cell: 0,
+                    tile: (1, 0),
+                    kind: hb_core::ObsKind::Retransmit,
+                },
+            ],
             final_cycle: 150,
             dropped: 0,
         }
@@ -237,6 +253,8 @@ mod tests {
         // The partial window normalizes by its true 50-cycle span: 100%.
         assert!(doc.contains("\"util\":100.00"), "{doc}");
         assert!(doc.contains("\"name\":\"mark 3\""), "{doc}");
+        assert!(doc.contains("\"name\":\"inject spm\""), "{doc}");
+        assert!(doc.contains("\"name\":\"noc retransmit\""), "{doc}");
         assert!(doc.contains("\"name\":\"tile (1,0)\""), "{doc}");
         assert!(doc.contains("\"read\":30.00"), "{doc}");
         assert!(doc.contains("\"req\":30"), "{doc}"); // 6 routers x 5 flits

@@ -75,6 +75,8 @@ pub fn to_string(t: &Telemetry) -> String {
             ObsKind::BarrierJoin => ("barrier", -1),
             ObsKind::FenceRetire => ("fence_retire", -1),
             ObsKind::Fault => ("fault", -1),
+            ObsKind::Inject(k) => ("inject", i64::from(k as u8)),
+            ObsKind::Retransmit => ("retransmit", -1),
         };
         let _ = writeln!(
             out,

@@ -22,6 +22,9 @@ pub use hb_cache as cache;
 pub use hb_core as core;
 /// Per-instruction energy model.
 pub use hb_energy as energy;
+/// Deterministic seeded fault injection plans and the AVF outcome
+/// taxonomy (`fault_campaign` classifies against these).
+pub use hb_fault as fault;
 /// Hierarchical-manycore (ET-style) baseline model.
 pub use hb_hier as hier;
 /// RV32IMAF instruction set: encode/decode, registers, disassembly.

@@ -11,6 +11,7 @@
 
 use hammerblade::asm::Assembler;
 use hammerblade::core::{pgas, CellDim, CosimChecker, CosimError, Machine, MachineConfig};
+use hammerblade::fault::{InjectionPlan, Site};
 use hammerblade::isa::Gpr;
 use hammerblade::iss::fuzz::{gen_sequence, FuzzConfig};
 use hammerblade::rng::Rng;
@@ -104,4 +105,50 @@ fn cosim_catches_a_real_divergence() {
     );
     let rendered = format!("{}", CosimError::Diverged(d));
     assert!(rendered.contains("recent retires"), "{rendered}");
+}
+
+/// Injection mode: a seeded register flip landed mid-run via the hb-fault
+/// plan must surface as a cosim divergence naming the first divergent
+/// register — never as a silent pass. (The ISS shadow never sees
+/// injections; divergence detection *is* the fault-detection story for
+/// cosim runs.)
+#[test]
+fn cosim_flags_an_injected_register_flip() {
+    // s0 = 5; ~600-cycle delay loop; a0 = s0; ecall.
+    let mut a = Assembler::new();
+    a.li(Gpr::S0, 5);
+    a.li(Gpr::T0, 200);
+    let top = a.here();
+    a.addi(Gpr::T0, Gpr::T0, -1);
+    a.bnez(Gpr::T0, top);
+    a.mv(Gpr::A0, Gpr::S0);
+    a.fence();
+    a.ecall();
+    let image = Arc::new(a.assemble(0).unwrap());
+
+    let mut machine = Machine::new(fuzz_machine_config());
+    machine.launch(0, &image, &[]);
+    machine.set_injection_plan(&InjectionPlan::explicit([(
+        100,
+        Site::RegFile {
+            cell: 0,
+            x: 0,
+            y: 0,
+            reg: Gpr::S0 as u8,
+            bit: 1,
+        },
+    )]));
+    match machine.run_cosim(1_000_000) {
+        Err(CosimError::Diverged(d)) => {
+            let reg = format!("x{} mismatch", Gpr::S0 as u8);
+            assert!(d.what.contains(&reg), "wrong divergence: {}", d.what);
+        }
+        other => panic!("injected flip must diverge the cosim, got {other:?}"),
+    }
+
+    // Same launch with no plan: the checker stays green.
+    let mut clean = Machine::new(fuzz_machine_config());
+    clean.launch(0, &image, &[]);
+    let (_, report) = clean.run_cosim(1_000_000).expect("clean run matches ISS");
+    assert!(report.instrs > 0);
 }
