@@ -5,54 +5,64 @@
 //! - remote-op scoreboard depth 1..63 (the paper fixes 63),
 //! - MSHRs per cache bank 1..16 (the paper consolidates MSHRs at the LLC).
 //!
-//! Each sweep uses the kernel most sensitive to the resource.
+//! Each sweep uses the kernel most sensitive to the resource. Every sweep
+//! point is a content-addressed job executed through the `hb-serve`
+//! campaign service: points shared between sweeps (e.g. the baseline
+//! configuration) simulate once, and with `--out DIR` the whole sweep is
+//! durable — a killed run resumes where it stopped and a repeated run is
+//! pure cache hits.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p hb-bench --bin ablation_sweeps -- \
+//!   [--out DIR] [--threads T]
+//! ```
 
-use hb_bench::{bench_size, hb_config, header, job_threads, point_config, row, run_ordered};
+use hb_bench::{bench_size, cli, hb_config, header, job_threads, row};
 use hb_core::MachineConfig;
-use hb_kernels::{Benchmark, PageRank, Sgemm, SpGemm};
+use hb_serve::{
+    size_token, Campaign, CancelToken, JobKind, JobSpec, PlanSpec, RunOpts, SimExecutor, Store,
+};
+use std::path::PathBuf;
 
-fn sweep<B: Benchmark>(
-    title: &str,
-    bench: &B,
-    points: &[(String, MachineConfig)],
-    size: hb_kernels::SizeClass,
-) {
-    println!("{title}");
-    let widths = [14usize, 12, 10];
-    header(&["setting", "cycles", "speedup"], &widths);
-    // Sweep points are independent simulations: fan them out, print the
-    // ordered results (speedups are relative to the first point).
-    let jobs = job_threads();
-    let cycles = run_ordered(points.iter().collect(), jobs, |_, (label, cfg)| {
-        eprintln!("  {} / {label} ...", bench.name());
-        bench
-            .run(&point_config(cfg, jobs), size)
-            .expect("ablation run")
-            .cycles
-    });
-    let base = cycles[0] as f64;
-    for ((label, _), cyc) in points.iter().zip(&cycles) {
-        row(
-            &[
-                label.clone(),
-                cyc.to_string(),
-                format!("{:.2}x", base / *cyc as f64),
-            ],
-            &widths,
-        );
+const USAGE: &str = "usage: ablation_sweeps [--out DIR] [--threads T]";
+
+struct Sweep {
+    title: &'static str,
+    /// Suite benchmark name, optionally `Name@variant` (`SGEMM@blocked`).
+    kernel: &'static str,
+    points: Vec<(String, MachineConfig)>,
+}
+
+fn parse_args() -> Option<PathBuf> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = None;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--out" => out = Some(PathBuf::from(cli::flag_value(&argv, &mut i, USAGE))),
+            "--threads" => {
+                // Consumed for arity; job_threads() already parsed it.
+                let _ = cli::flag_value(&argv, &mut i, USAGE);
+            }
+            other => cli::usage_fail(USAGE, format!("unknown option {other:?}")),
+        }
+        i += 1;
     }
-    println!();
+    out
 }
 
 fn main() {
+    let out = parse_args();
     let base = hb_config();
     let size = bench_size();
+    let threads = job_threads();
     println!(
         "Ablation sweeps ({}x{} Cell)\n",
         base.cell_dim.x, base.cell_dim.y
     );
 
-    // Ruche factor: network-heavy dense kernel.
     let ruche_points: Vec<(String, MachineConfig)> = [0u8, 1, 2, 3, 4]
         .into_iter()
         .map(|rf| {
@@ -65,14 +75,6 @@ fn main() {
             )
         })
         .collect();
-    sweep(
-        "-- Ruche factor (SGEMM) --",
-        &Sgemm::default(),
-        &ruche_points,
-        size,
-    );
-
-    // Scoreboard depth: MLP-hungry irregular kernel.
     let sb_points: Vec<(String, MachineConfig)> = [1usize, 2, 4, 8, 16, 32, 63]
         .into_iter()
         .map(|n| {
@@ -85,20 +87,6 @@ fn main() {
             )
         })
         .collect();
-    sweep(
-        "-- scoreboard depth (SGEMM) --",
-        &Sgemm::default(),
-        &sb_points,
-        size,
-    );
-    sweep(
-        "-- scoreboard depth (PageRank) --",
-        &PageRank::default(),
-        &sb_points,
-        size,
-    );
-
-    // MSHRs per bank: miss-heavy sparse kernel.
     let mshr_points: Vec<(String, MachineConfig)> = [1usize, 2, 4, 8, 16]
         .into_iter()
         .map(|n| {
@@ -111,28 +99,137 @@ fn main() {
             )
         })
         .collect();
-    sweep(
-        "-- MSHRs per bank (SpGEMM) --",
-        &SpGemm::default(),
-        &mshr_points,
-        size,
-    );
-
     // Kernel-structure ablation: DRAM-streaming vs SPM-blocked SGEMM (the
     // paper's recommended load-blocks/compute/dump structure).
-    let style_points: Vec<(String, MachineConfig)> = vec![("streamed".into(), base.clone())];
-    sweep(
-        "-- SGEMM streamed --",
-        &Sgemm::default(),
-        &style_points,
-        size,
+    let style_point = vec![("streamed".to_owned(), base.clone())];
+    let blocked_point = vec![("spm-blocked".to_owned(), base.clone())];
+
+    let sweeps = [
+        Sweep {
+            title: "-- Ruche factor (SGEMM) --",
+            kernel: "SGEMM",
+            points: ruche_points,
+        },
+        Sweep {
+            title: "-- scoreboard depth (SGEMM) --",
+            kernel: "SGEMM",
+            points: sb_points.clone(),
+        },
+        Sweep {
+            title: "-- scoreboard depth (PageRank) --",
+            kernel: "PR",
+            points: sb_points,
+        },
+        Sweep {
+            title: "-- MSHRs per bank (SpGEMM) --",
+            kernel: "SpGEMM",
+            points: mshr_points,
+        },
+        Sweep {
+            title: "-- SGEMM streamed --",
+            kernel: "SGEMM",
+            points: style_point,
+        },
+        Sweep {
+            title: "-- SGEMM SPM-blocked --",
+            kernel: "SGEMM@blocked",
+            points: blocked_point,
+        },
+    ];
+
+    // One campaign over every point; identical (kernel, config, size)
+    // points across sweeps hash identically and simulate once.
+    let specs: Vec<JobSpec> = sweeps
+        .iter()
+        .flat_map(|sweep| {
+            sweep.points.iter().map(|(label, cfg)| JobSpec {
+                kind: JobKind::Ablation {
+                    size: size_token(size).to_owned(),
+                },
+                kernel: sweep.kernel.to_owned(),
+                seed: 0,
+                plan: PlanSpec::None,
+                config: cfg.clone(),
+                label: label.clone(),
+            })
+        })
+        .collect();
+    let campaign = Campaign {
+        name: format!(
+            "ablation sweeps {}x{} {}",
+            base.cell_dim.x,
+            base.cell_dim.y,
+            size_token(size)
+        ),
+        specs,
+    };
+
+    let (dir, ephemeral) = match out {
+        Some(d) => (d, false),
+        None => (
+            std::env::temp_dir().join(format!("ablation-sweeps-{}", std::process::id())),
+            true,
+        ),
+    };
+    if let Err(e) = campaign.save(&dir) {
+        cli::fail(format!("cannot write campaign manifest: {e}"));
+    }
+    let store =
+        Campaign::open_store(&dir).unwrap_or_else(|e| cli::fail(format!("cannot open store: {e}")));
+    let summary = campaign.run(
+        &store,
+        &SimExecutor::new(threads),
+        &RunOpts {
+            threads,
+            ..RunOpts::default()
+        },
+        &CancelToken::new(),
     );
-    sweep(
-        "-- SGEMM SPM-blocked --",
-        &Sgemm::blocked(),
-        &style_points,
-        size,
-    );
+
+    let cycles_of = |store: &Store, spec: &JobSpec| -> u64 {
+        store
+            .get(&spec.hash())
+            .unwrap_or_else(|| {
+                cli::fail(format!(
+                    "sweep point {:?} ({}) has no stored result; see {}",
+                    spec.label,
+                    spec.kernel,
+                    dir.join("store").join("journal.ndjson").display()
+                ))
+            })
+            .cycles
+    };
+
+    let mut spec_iter = campaign.specs.iter();
+    for sweep in &sweeps {
+        println!("{}", sweep.title);
+        let widths = [14usize, 12, 10];
+        header(&["setting", "cycles", "speedup"], &widths);
+        let cycles: Vec<u64> = sweep
+            .points
+            .iter()
+            .map(|_| cycles_of(&store, spec_iter.next().expect("spec per point")))
+            .collect();
+        let base_cycles = cycles[0] as f64;
+        for ((label, _), cyc) in sweep.points.iter().zip(&cycles) {
+            row(
+                &[
+                    label.clone(),
+                    cyc.to_string(),
+                    format!("{:.2}x", base_cycles / *cyc as f64),
+                ],
+                &widths,
+            );
+        }
+        println!();
+    }
+
+    println!("service: {}", summary.line());
+    if ephemeral {
+        let _ = std::fs::remove_dir_all(&dir);
+    } else {
+        println!("store: {}", dir.display());
+    }
 
     println!(
         "expected knees: ruche gains saturate by factor 3 (the silicon's\n\

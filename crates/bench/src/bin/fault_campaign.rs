@@ -2,21 +2,26 @@
 //! outcome classification (the resilience counterpart of the figure
 //! binaries).
 //!
-//! For each of `--n` runs the campaign expands a one-fault plan from
-//! `--seed + i`, runs the kernel under injection, and classifies the
-//! outcome against a zero-injection golden run of the same binary:
+//! The campaign itself — golden cross-checks, plan expansion, outcome
+//! classification — executes through the `hb-serve` campaign service: each
+//! of the `--n` runs is a content-addressed job, so with `--out DIR` the
+//! results are durable (a killed campaign resumes where it stopped, and
+//! re-running the same command is pure cache hits). Without `--out` the
+//! store is a temporary directory and behavior matches the classic one-shot
+//! harness.
 //!
-//! - **masked**   — final DRAM identical to the golden run,
+//! Outcomes, classified against the campaign's golden record:
+//!
+//! - **masked**   — final DRAM digest identical to the golden run,
 //! - **sdc**      — run completed but DRAM differs (silent corruption),
 //! - **detected** — the machine raised a structured [`hb_core::FaultInfo`],
 //! - **hang**     — the run timed out (the watchdog's `HangReport` says why).
 //!
-//! The golden run is itself cross-checked: before the campaign starts, the
-//! harness verifies that a run with an *empty installed plan* is
-//! bit-identical (DRAM digest, cycles, instructions) to a run that never
-//! touched `hb-fault`, and — for barrier-free kernels — that the
-//! cycle-level DRAM matches an `hb-iss` functional execution of the same
-//! launch.
+//! The golden run is cross-checked exactly as before: a run with an *empty
+//! installed plan* must be bit-identical (DRAM digest, cycles,
+//! instructions) to a run that never touched `hb-fault`, and — for
+//! barrier-free kernels — the cycle-level DRAM must match an `hb-iss`
+//! functional execution of the same launch.
 //!
 //! Everything is a pure function of `--seed`, so repeated invocations and
 //! `HB_THREADS=1` vs `HB_THREADS=4` produce identical tables.
@@ -27,206 +32,101 @@
 //! cargo run --release -p hb-bench --bin fault_campaign -- \
 //!   [--kernel sgemm|jacobi] [--seed S] [--n N] [--cell WxH] \
 //!   [--disable x,y[;x,y]] [--expect masked=a,sdc=b,detected=c,hang=d] \
-//!   [--verbose]
+//!   [--out DIR] [--threads T] [--verbose]
 //! ```
 
-use hb_asm::Program;
-use hb_core::{pgas, CellDim, Machine, MachineConfig, SimError, SnapshotDram};
-use hb_fault::{AvfTable, InjectionPlan, Outcome, PlanShape};
-use hb_kernels::{Jacobi, Sgemm};
-use hb_workloads::gen;
-use std::sync::Arc;
+use hb_bench::cli;
+use hb_core::{CellDim, MachineConfig};
+use hb_fault::{AvfTable, Outcome, SiteKind};
+use hb_serve::{Campaign, CancelToken, JobRecord, RunOpts, SimExecutor, Store};
+use std::path::PathBuf;
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Kernel {
-    Sgemm,
-    Jacobi,
-}
-
-impl Kernel {
-    fn parse(s: &str) -> Option<Kernel> {
-        match s.to_ascii_lowercase().as_str() {
-            "sgemm" => Some(Kernel::Sgemm),
-            "jacobi" => Some(Kernel::Jacobi),
-            _ => None,
-        }
-    }
-
-    fn label(self) -> &'static str {
-        match self {
-            Kernel::Sgemm => "sgemm",
-            Kernel::Jacobi => "jacobi",
-        }
-    }
-
-    /// Whether the kernel is barrier-free, so an `hb-iss` functional run
-    /// executes it to completion and can anchor the golden memory image.
-    fn functional_runs_to_completion(self) -> bool {
-        matches!(self, Kernel::Sgemm)
-    }
-}
+const USAGE: &str = "usage: fault_campaign [--kernel sgemm|jacobi] [--seed S] [--n N] \
+[--cell WxH] [--disable x,y[;x,y]] [--expect masked=a,sdc=b,detected=c,hang=d] \
+[--out DIR] [--threads T] [--verbose]";
 
 struct Args {
-    kernel: Kernel,
+    kernel: String,
     seed: u64,
     n: usize,
     cell: CellDim,
     disabled: Vec<(u8, u8)>,
     expect: Option<[u64; Outcome::COUNT]>,
+    out: Option<PathBuf>,
+    threads: usize,
     verbose: bool,
-}
-
-fn usage() -> ! {
-    eprintln!(
-        "usage: fault_campaign [--kernel sgemm|jacobi] [--seed S] [--n N] \
-         [--cell WxH] [--disable x,y[;x,y]] \
-         [--expect masked=a,sdc=b,detected=c,hang=d] [--verbose]"
-    );
-    std::process::exit(2);
 }
 
 fn parse_args() -> Args {
     let mut out = Args {
-        kernel: Kernel::Sgemm,
+        kernel: "sgemm".to_owned(),
         seed: 1,
         n: 50,
         cell: CellDim { x: 4, y: 4 },
         disabled: Vec::new(),
         expect: None,
+        out: None,
+        threads: hb_bench::job_threads(),
         verbose: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
-    let value = |i: &mut usize| -> String {
-        *i += 1;
-        argv.get(*i).cloned().unwrap_or_else(|| usage())
-    };
     while i < argv.len() {
-        match argv[i].as_str() {
+        let flag = argv[i].clone();
+        match flag.as_str() {
             "--kernel" => {
-                let v = value(&mut i);
-                out.kernel = Kernel::parse(&v).unwrap_or_else(|| usage());
-            }
-            "--seed" => out.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--n" => out.n = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--cell" => {
-                let v = value(&mut i);
-                let (w, h) = v.split_once('x').unwrap_or_else(|| usage());
-                out.cell = CellDim {
-                    x: w.parse().unwrap_or_else(|_| usage()),
-                    y: h.parse().unwrap_or_else(|_| usage()),
-                };
-            }
-            "--disable" => {
-                for part in value(&mut i).split(';') {
-                    let (x, y) = part.split_once(',').unwrap_or_else(|| usage());
-                    out.disabled.push((
-                        x.trim().parse().unwrap_or_else(|_| usage()),
-                        y.trim().parse().unwrap_or_else(|_| usage()),
-                    ));
+                let v = cli::flag_value(&argv, &mut i, USAGE).to_ascii_lowercase();
+                if !matches!(v.as_str(), "sgemm" | "jacobi") {
+                    cli::usage_fail(USAGE, format!("unknown kernel {v:?}"));
                 }
+                out.kernel = v;
+            }
+            "--seed" => {
+                out.seed = cli::parse_value(&flag, &cli::flag_value(&argv, &mut i, USAGE), USAGE)
+            }
+            "--n" => out.n = cli::parse_value(&flag, &cli::flag_value(&argv, &mut i, USAGE), USAGE),
+            "--cell" => out.cell = cli::parse_cell(&cli::flag_value(&argv, &mut i, USAGE), USAGE),
+            "--disable" => {
+                out.disabled = cli::parse_disabled(&cli::flag_value(&argv, &mut i, USAGE), USAGE)
             }
             "--expect" => {
-                let v = value(&mut i);
+                let v = cli::flag_value(&argv, &mut i, USAGE);
                 let mut want = [0u64; Outcome::COUNT];
                 for part in v.split(',') {
-                    let (key, n) = part.split_once('=').unwrap_or_else(|| usage());
-                    let slot = Outcome::ALL
-                        .iter()
-                        .find(|o| o.label() == key.trim())
-                        .unwrap_or_else(|| usage());
-                    want[*slot as usize] = n.trim().parse().unwrap_or_else(|_| usage());
+                    let Some((key, n)) = part.split_once('=') else {
+                        cli::usage_fail(USAGE, format!("bad --expect component {part:?}"));
+                    };
+                    let Some(slot) = Outcome::ALL.iter().find(|o| o.label() == key.trim()) else {
+                        cli::usage_fail(USAGE, format!("unknown outcome {key:?} in --expect"));
+                    };
+                    want[*slot as usize] = cli::parse_value("--expect", n.trim(), USAGE);
                 }
                 out.expect = Some(want);
             }
+            "--out" => out.out = Some(PathBuf::from(cli::flag_value(&argv, &mut i, USAGE))),
+            "--threads" => {
+                // Consumed here for arity; job_threads() already parsed it.
+                let _ = cli::flag_value(&argv, &mut i, USAGE);
+            }
             "--verbose" => out.verbose = true,
-            _ => usage(),
+            other => cli::usage_fail(USAGE, format!("unknown option {other:?}")),
         }
         i += 1;
     }
     out
 }
 
-/// Builds the machine, allocates and fills the kernel inputs, and returns
-/// the launch (program + argument words). Input generation is seeded, so
-/// every run of the campaign sees identical initial DRAM.
-fn prepare(kernel: Kernel, machine: &mut Machine) -> (Arc<Program>, Vec<u32>) {
-    let (nx, ny) = {
-        let d = machine.config().cell_dim;
-        (d.x as usize, d.y as usize)
-    };
-    let cell = machine.cell_mut(0);
-    match kernel {
-        Kernel::Sgemm => {
-            // 16 output blocks: every tile of a 4x4 cell owns live state.
-            let (m, k, n) = (32usize, 16usize, 32usize);
-            let a_host = gen::dense_matrix(m, k, 0xA);
-            let b_host = gen::dense_matrix(k, n, 0xB);
-            let a_dev = cell.alloc((m * k * 4) as u32, 64);
-            let b_dev = cell.alloc((k * n * 4) as u32, 64);
-            let c_dev = cell.alloc((m * n * 4) as u32, 64);
-            cell.dram_mut().write_f32_slice(a_dev, &a_host);
-            cell.dram_mut().write_f32_slice(b_dev, &b_host);
-            // The SPM-blocked variant: operand blocks live in the
-            // scratchpad, so SPM faults have architectural state to hit.
-            (
-                Arc::new(Sgemm::program_blocked()),
-                vec![
-                    pgas::local_dram(a_dev),
-                    pgas::local_dram(b_dev),
-                    pgas::local_dram(c_dev),
-                    m as u32,
-                    k as u32,
-                    n as u32,
-                ],
-            )
-        }
-        Kernel::Jacobi => {
-            let (z, steps) = (32usize, 2u32);
-            let init = gen::dense_matrix(nx * ny, z, 0x1AC0B1);
-            let grid = cell.alloc((nx * ny * z * 4) as u32, 64);
-            cell.dram_mut().write_f32_slice(grid, &init);
-            (
-                Arc::new(Jacobi::program()),
-                vec![pgas::local_dram(grid), z as u32, steps],
-            )
-        }
-    }
-}
-
-/// One full simulation: fresh machine, same seeded inputs, optional
-/// injection plan. Returns the run result and the flushed DRAM image.
-fn run_once(
-    kernel: Kernel,
-    cfg: &MachineConfig,
-    plan: Option<&InjectionPlan>,
-    budget: u64,
-) -> (Result<hb_core::RunSummary, SimError>, SnapshotDram) {
-    let mut machine = Machine::new(cfg.clone());
-    let (program, args) = prepare(kernel, &mut machine);
-    machine.launch(0, &program, &args);
-    if let Some(plan) = plan {
-        machine.set_injection_plan(plan);
-    }
-    let result = machine.run(budget);
-    machine.flush_all_caches();
-    (result, SnapshotDram::from_machine(&machine))
-}
-
-/// FNV-1a digest over every Cell's DRAM image.
-fn digest(snap: &SnapshotDram, cells: u8) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for c in 0..cells {
-        for &b in snap.cell(c) {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-    h
-}
-
-fn same_memory(a: &SnapshotDram, b: &SnapshotDram, cells: u8) -> bool {
-    (0..cells).all(|c| a.cell(c) == b.cell(c))
+/// Fetches a job's record or exits with its journaled failure detail.
+fn must_get(store: &Store, hash: &str, what: &str) -> JobRecord {
+    store.get(hash).unwrap_or_else(|| {
+        let detail = store
+            .journal()
+            .ok()
+            .and_then(|j| j.into_iter().rev().find(|e| e.hash == hash))
+            .map(|e| e.detail)
+            .unwrap_or_else(|| "no result stored".to_owned());
+        cli::fail(format!("{what}: {detail}"));
+    })
 }
 
 fn main() {
@@ -234,96 +134,79 @@ fn main() {
     let cfg = MachineConfig {
         cell_dim: args.cell,
         disabled_tiles: args.disabled.clone(),
+        threads: 1,
         ..MachineConfig::baseline_16x8()
     };
-    cfg.validate().expect("campaign config is consistent");
-    let cells = cfg.num_cells;
+    if let Err(e) = cfg.validate() {
+        cli::fail(format!("invalid campaign configuration: {e}"));
+    }
     println!(
         "fault_campaign: kernel={} cell={}x{} seed={} n={} disabled={:?}",
-        args.kernel.label(),
-        cfg.cell_dim.x,
-        cfg.cell_dim.y,
-        args.seed,
-        args.n,
-        args.disabled,
+        args.kernel, cfg.cell_dim.x, cfg.cell_dim.y, args.seed, args.n, args.disabled,
     );
 
-    // Golden run: never touches hb-fault.
-    let (gold_res, gold_mem) = run_once(args.kernel, &cfg, None, 10_000_000);
-    let gold = gold_res.expect("zero-injection golden run must complete");
-    let gold_digest = digest(&gold_mem, cells);
+    // Durable store under --out (a full hb-serve campaign directory:
+    // `hb-serve status/resume/report --dir DIR` work on it afterwards);
+    // otherwise a throwaway temp directory.
+    let (dir, ephemeral) = match &args.out {
+        Some(d) => (d.clone(), false),
+        None => (
+            std::env::temp_dir().join(format!("fault-campaign-{}", std::process::id())),
+            true,
+        ),
+    };
+    let name = format!(
+        "{} cell={}x{} seed={} faults={}",
+        args.kernel, args.cell.x, args.cell.y, args.seed, args.n
+    );
+    let campaign = Campaign::fault(name, &args.kernel, &cfg, args.seed, args.n);
+    if let Err(e) = campaign.save(&dir) {
+        cli::fail(format!("cannot write campaign manifest: {e}"));
+    }
+    let store =
+        Campaign::open_store(&dir).unwrap_or_else(|e| cli::fail(format!("cannot open store: {e}")));
+
+    let opts = RunOpts {
+        threads: args.threads,
+        ..RunOpts::default()
+    };
+    let summary = campaign.run(
+        &store,
+        &SimExecutor::new(args.threads),
+        &opts,
+        &CancelToken::new(),
+    );
+
+    // Golden record (the service ran its cross-checks; surface them).
+    let gold = must_get(&store, &campaign.specs[0].hash(), "golden run failed");
     println!(
-        "golden: cycles={} instrs={} dram-digest={gold_digest:#018x}",
-        gold.cycles, gold.core.instrs
+        "golden: cycles={} instrs={} dram-digest={:#018x}",
+        gold.cycles, gold.instrs, gold.dram_digest
     );
-
-    // Bit-identity: installing an *empty* plan must change nothing — the
-    // zero-injection hot path is one untaken branch.
-    let (empty_res, empty_mem) = run_once(
-        args.kernel,
-        &cfg,
-        Some(&InjectionPlan::default()),
-        10_000_000,
-    );
-    let empty = empty_res.expect("empty-plan run must complete");
-    assert_eq!(
-        (empty.cycles, empty.core.instrs, digest(&empty_mem, cells)),
-        (gold.cycles, gold.core.instrs, gold_digest),
-        "empty injection plan must be bit-identical to the uninstrumented run"
-    );
-    println!("zero-injection bit-identity: ok");
-
-    // Anchor the golden image to the hb-iss functional model where the
-    // kernel runs to completion functionally (no barriers).
-    if args.kernel.functional_runs_to_completion() {
-        let mut machine = Machine::new(cfg.clone());
-        let (program, largs) = prepare(args.kernel, &mut machine);
-        machine.launch(0, &program, &largs);
-        machine
-            .warmup_functional(100_000_000)
-            .expect("functional golden run completes");
-        machine.flush_all_caches();
-        let func_mem = SnapshotDram::from_machine(&machine);
-        assert!(
-            same_memory(&gold_mem, &func_mem, cells),
-            "cycle-level golden memory diverges from the hb-iss functional run"
-        );
+    if gold.checks.split(',').any(|c| c == "empty-plan-identity") {
+        println!("zero-injection bit-identity: ok");
+    }
+    if gold.checks.split(',').any(|c| c == "iss-anchor") {
         println!("hb-iss golden anchor: ok");
     }
 
-    // Faults are drawn over the golden run's active cycle range; the
-    // injected-run budget leaves room for stall windows and retransmits
-    // while still bounding frozen-tile hangs.
-    let shape = PlanShape {
-        cells,
-        dim: (cfg.cell_dim.x, cfg.cell_dim.y),
-        spm_words: (cfg.spm_bytes / 4).min(u32::from(u16::MAX)) as u16,
-        icache_lines: (cfg.icache_bytes / cfg.line_bytes).min(u32::from(u16::MAX)) as u16,
-        cycles: (100, (gold.cycles * 3 / 4).max(200)),
-    };
-    let budget = gold.cycles * 4 + 20_000;
-
     let mut table = AvfTable::new();
-    for i in 0..args.n {
-        let plan = InjectionPlan::random(args.seed.wrapping_add(i as u64), 1, &shape);
-        let inj = plan.injections[0];
-        let (result, mem) = run_once(args.kernel, &cfg, Some(&plan), budget);
-        let outcome = match &result {
-            Err(SimError::Fault(_)) => Outcome::Detected,
-            Err(SimError::Timeout { .. }) => Outcome::Hang,
-            Ok(_) if same_memory(&mem, &gold_mem, cells) => Outcome::Masked,
-            Ok(_) => Outcome::Sdc,
-        };
-        table.record(inj.site.kind(), outcome);
+    for (i, spec) in campaign.specs[1..].iter().enumerate() {
+        let rec = must_get(&store, &spec.hash(), &format!("run {i} failed"));
+        let kind = SiteKind::ALL
+            .iter()
+            .find(|k| k.label() == rec.site)
+            .unwrap_or_else(|| cli::fail(format!("run {i}: unknown site {:?}", rec.site)));
+        let outcome = Outcome::ALL
+            .iter()
+            .find(|o| o.label() == rec.outcome)
+            .unwrap_or_else(|| cli::fail(format!("run {i}: unknown outcome {:?}", rec.outcome)));
+        table.record(*kind, *outcome);
         if args.verbose {
-            let detail = match &result {
-                Err(e) => format!(" [{e}]"),
-                Ok(_) => String::new(),
-            };
             println!(
-                "run {i:>3}: cycle={:>7} site={:<11} -> {}{detail}",
-                inj.cycle,
-                inj.site.kind().label(),
+                "run {i:>3}: cycle={:>7} site={:<11} -> {}",
+                rec.inj_cycle,
+                kind.label(),
                 outcome.label(),
             );
         }
@@ -331,13 +214,23 @@ fn main() {
 
     println!("\n{}", table.render());
     println!("summary: {}", table.summary_line());
+    println!("service: {}", summary.line());
+    if !ephemeral {
+        println!("store: {}", dir.display());
+    }
 
-    if let Some(want) = args.expect {
+    let expect_result = args.expect.map(|want| {
         let got: Vec<u64> = Outcome::ALL
             .iter()
             .map(|&o| table.outcome_total(o))
             .collect();
-        if got != want {
+        (got == want, want)
+    });
+    if ephemeral {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    if let Some((ok, want)) = expect_result {
+        if !ok {
             eprintln!(
                 "expectation mismatch: wanted masked={} sdc={} detected={} hang={}",
                 want[0], want[1], want[2], want[3]

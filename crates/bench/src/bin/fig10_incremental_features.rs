@@ -163,6 +163,10 @@ fn main() {
             .find(|b| b.name() == "SGEMM")
             .expect("suite has SGEMM");
         let (_, full_cfg) = configs.last().expect("ladder is non-empty");
-        run_instrumented(sgemm.as_ref(), full_cfg, size, telemetry_window(1000), &out);
+        if let Err(e) =
+            run_instrumented(sgemm.as_ref(), full_cfg, size, telemetry_window(1000), &out)
+        {
+            hb_bench::cli::fail(e);
+        }
     }
 }

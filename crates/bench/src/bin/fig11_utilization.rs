@@ -71,7 +71,9 @@ fn main() {
             .iter()
             .find(|b| b.name() == "SGEMM")
             .expect("suite has SGEMM");
-        run_instrumented(sgemm.as_ref(), &cfg, size, telemetry_window(1000), &out);
+        if let Err(e) = run_instrumented(sgemm.as_ref(), &cfg, size, telemetry_window(1000), &out) {
+            hb_bench::cli::fail(e);
+        }
     }
 }
 

@@ -136,12 +136,14 @@ fn main() {
             .iter()
             .find(|b| b.name() == "SGEMM")
             .expect("suite has SGEMM");
-        run_instrumented(
+        if let Err(e) = run_instrumented(
             sgemm.as_ref(),
             &base_cfg,
             size,
             telemetry_window(1000),
             &out,
-        );
+        ) {
+            hb_bench::cli::fail(e);
+        }
     }
 }

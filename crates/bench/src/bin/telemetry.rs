@@ -38,7 +38,10 @@ fn main() {
         .find(|b| b.name().eq_ignore_ascii_case(&kernel))
         .unwrap_or_else(|| {
             let names: Vec<&str> = suite.iter().map(|b| b.name()).collect();
-            panic!("unknown kernel {kernel:?}; available: {}", names.join(", "))
+            hb_bench::cli::usage_fail(
+                "usage: telemetry [--kernel SGEMM] [--window 1000] [--out telemetry.json]",
+                format!("unknown kernel {kernel:?}; available: {}", names.join(", ")),
+            )
         });
 
     let cfg = hb_config();
@@ -48,5 +51,7 @@ fn main() {
         cfg.cell_dim.x,
         cfg.cell_dim.y
     );
-    run_instrumented(bench.as_ref(), &cfg, bench_size(), window, &out);
+    if let Err(e) = run_instrumented(bench.as_ref(), &cfg, bench_size(), window, &out) {
+        hb_bench::cli::fail(e);
+    }
 }

@@ -10,6 +10,7 @@
 //! oversubscribed.
 
 use hb_core::MachineConfig;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -43,26 +44,50 @@ pub fn point_config(base: &MachineConfig, jobs: usize) -> MachineConfig {
     }
 }
 
+/// One job's panic, caught and isolated by [`run_ordered_results`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// Submission index of the job that panicked.
+    pub index: usize,
+    /// Best-effort panic payload message.
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job {} panicked: {}", self.index, self.message)
+    }
+}
+
 /// Runs `f` over every item on up to `threads` scoped workers and returns
-/// the results **in item order** (work-stealing execution, deterministic
-/// collection). `threads <= 1` degrades to a plain in-order loop. A
-/// panicking job propagates to the caller when the scope joins.
-pub fn run_ordered<I, T, F>(items: Vec<I>, threads: usize, f: F) -> Vec<T>
+/// one `Result` **per item, in item order** (work-stealing execution,
+/// deterministic collection). Each job runs under `catch_unwind`, so a
+/// panicking job yields `Err(JobPanic)` in its own slot and every other job
+/// still completes — one bad simulation point cannot take down a
+/// whole-figure sweep. `threads <= 1` degrades to a plain in-order loop
+/// (with the same isolation).
+pub fn run_ordered_results<I, T, F>(items: Vec<I>, threads: usize, f: F) -> Vec<Result<T, JobPanic>>
 where
     I: Send,
     T: Send,
     F: Fn(usize, I) -> T + Sync,
 {
+    let guarded = |i: usize, item: I| -> Result<T, JobPanic> {
+        catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(|payload| JobPanic {
+            index: i,
+            message: panic_message(payload.as_ref()),
+        })
+    };
     let n = items.len();
     if threads <= 1 || n <= 1 {
         return items
             .into_iter()
             .enumerate()
-            .map(|(i, item)| f(i, item))
+            .map(|(i, item)| guarded(i, item))
             .collect();
     }
     let work: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
-    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Result<T, JobPanic>>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|s| {
         for _ in 0..threads.min(n) {
@@ -72,7 +97,7 @@ where
                     break;
                 }
                 let item = work[i].lock().unwrap().take().expect("item claimed once");
-                let out = f(i, item);
+                let out = guarded(i, item);
                 *slots[i].lock().unwrap() = Some(out);
             });
         }
@@ -81,6 +106,31 @@ where
         .into_iter()
         .map(|s| s.into_inner().unwrap().expect("every job completed"))
         .collect()
+}
+
+/// [`run_ordered_results`] for harnesses that treat any panic as fatal:
+/// every *other* job still runs to completion first, then the first panic
+/// (in item order) is re-raised with its index and message.
+pub fn run_ordered<I, T, F>(items: Vec<I>, threads: usize, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I) -> T + Sync,
+{
+    run_ordered_results(items, threads, f)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|p| panic!("{p}")))
+        .collect()
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
 }
 
 #[cfg(test)]
@@ -107,6 +157,51 @@ mod tests {
     fn more_threads_than_items() {
         let out = run_ordered(vec![7usize], 16, |_, x| x + 1);
         assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_poison_the_pool() {
+        let items: Vec<usize> = (0..8).collect();
+        let out = run_ordered_results(items, 4, |_, item| {
+            if item == 3 {
+                panic!("point {item} exploded");
+            }
+            item * 10
+        });
+        assert_eq!(out.len(), 8);
+        for (i, r) in out.iter().enumerate() {
+            if i == 3 {
+                let p = r.as_ref().unwrap_err();
+                assert_eq!(p.index, 3);
+                assert!(p.message.contains("point 3 exploded"), "{p:?}");
+            } else {
+                assert_eq!(*r, Ok(i * 10), "job {i} completed despite job 3");
+            }
+        }
+        // Same isolation on the single-threaded path.
+        let out = run_ordered_results(vec![0usize, 1], 1, |_, item| {
+            if item == 0 {
+                panic!("boom");
+            }
+            item
+        });
+        assert!(out[0].is_err());
+        assert_eq!(out[1], Ok(1));
+    }
+
+    #[test]
+    fn run_ordered_reraises_the_first_panic_in_order() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            run_ordered(vec![0usize, 1, 2], 2, |_, item| {
+                if item >= 1 {
+                    panic!("item {item} bad");
+                }
+                item
+            })
+        }));
+        let msg = super::panic_message(caught.unwrap_err().as_ref());
+        assert!(msg.contains("job 1 panicked"), "{msg}");
+        assert!(msg.contains("item 1 bad"), "{msg}");
     }
 
     #[test]

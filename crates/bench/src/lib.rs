@@ -14,8 +14,14 @@ use hb_kernels::SizeClass;
 
 pub mod jobs;
 pub mod telemetry;
-pub use jobs::{job_threads, point_config, run_ordered};
+pub use jobs::{job_threads, point_config, run_ordered, run_ordered_results, JobPanic};
 pub use telemetry::{run_instrumented, telemetry_out, telemetry_window};
+
+/// Uniform command-line error handling for the harness binaries: malformed
+/// arguments are one `error:` line + usage and exit 2; runtime failures
+/// (unwritable `--out`, invalid configuration) are one `error:` line and
+/// exit 1. Shared with the `hb-serve` CLI, which hosts the implementation.
+pub use hb_serve::cli;
 
 /// The benchmark scale selected by `HB_SCALE`.
 pub fn scale() -> SizeClass {

@@ -49,16 +49,18 @@ pub fn telemetry_window(default: u64) -> u64 {
 /// workers are never instrumented — only this one is. Simulated results
 /// are bit-identical to the uninstrumented run.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the kernel faults or an output file cannot be written.
+/// Returns a message (for the binaries to surface as one clean `error:`
+/// line, not a panic backtrace) when the kernel faults, produces no
+/// telemetry, or an output file cannot be written.
 pub fn run_instrumented(
     bench: &dyn Benchmark,
     cfg: &MachineConfig,
     size: SizeClass,
     window: u64,
     out: &str,
-) {
+) -> Result<(), String> {
     let inst_cfg = MachineConfig {
         telemetry_window: window,
         ..cfg.clone()
@@ -66,19 +68,18 @@ pub fn run_instrumented(
     let (scope, store) = hb_obs::attach(Keep::All);
     let stats = bench
         .run(&inst_cfg, size)
-        .unwrap_or_else(|e| panic!("instrumented {} failed: {e}", bench.name()));
+        .map_err(|e| format!("instrumented {} failed: {e}", bench.name()))?;
     drop(scope);
 
     let t = store.lock().unwrap();
-    assert!(
-        !t.samples.is_empty(),
-        "instrumented run produced no telemetry windows"
-    );
-    let mut f = std::fs::File::create(out).unwrap_or_else(|e| panic!("create {out}: {e}"));
-    hb_obs::chrome::write(&t, &mut f).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    if t.samples.is_empty() {
+        return Err("instrumented run produced no telemetry windows".to_owned());
+    }
+    let mut f = std::fs::File::create(out).map_err(|e| format!("cannot write {out}: {e}"))?;
+    hb_obs::chrome::write(&t, &mut f).map_err(|e| format!("cannot write {out}: {e}"))?;
     let nd = format!("{out}.ndjson");
-    let mut f = std::fs::File::create(&nd).unwrap_or_else(|e| panic!("create {nd}: {e}"));
-    hb_obs::ndjson::write(&t, &mut f).unwrap_or_else(|e| panic!("write {nd}: {e}"));
+    let mut f = std::fs::File::create(&nd).map_err(|e| format!("cannot write {nd}: {e}"))?;
+    hb_obs::ndjson::write(&t, &mut f).map_err(|e| format!("cannot write {nd}: {e}"))?;
 
     println!(
         "\ntelemetry: {} @ window {window} -> {out} (Chrome trace, load at ui.perfetto.dev), \
@@ -95,4 +96,5 @@ pub fn run_instrumented(
     println!("\n{}", hb_obs::heatmap::tile_utilization(&t, 0));
     println!("{}", hb_obs::heatmap::link_occupancy(&t, 0));
     let _ = std::io::stdout().flush();
+    Ok(())
 }

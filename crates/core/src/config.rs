@@ -313,6 +313,224 @@ impl MachineConfig {
     }
 }
 
+impl MachineConfig {
+    /// Version of the canonical text layout produced by
+    /// [`MachineConfig::canonical_text`]. Bump whenever a field is added,
+    /// removed or re-interpreted so stale cached results never alias.
+    pub const CANONICAL_VERSION: u32 = 1;
+
+    /// Stable canonical serialization: every simulated-behaviour field in a
+    /// fixed order as `key=value` pairs joined by `;`, prefixed with a
+    /// layout version. Host-execution knobs that cannot change simulated
+    /// results (`threads`) are deliberately excluded, so the text — and any
+    /// content hash derived from it — is identical across `HB_THREADS`
+    /// settings.
+    pub fn canonical_text(&self) -> String {
+        let disabled = self
+            .disabled_tiles
+            .iter()
+            .map(|(x, y)| format!("{x},{y}"))
+            .collect::<Vec<_>>()
+            .join("+");
+        format!(
+            "cfgv={v};cell={cx}x{cy};cells={cells};ruche={ruche};nbl={nbl};wv={wv};\
+             lpc={lpc};ipoly={ipoly};nbc={nbc};spm={spm};icache={ic};sets={sets};\
+             ways={ways};line={line};mshrs={mshrs};dram={dram};fma={fma};mul={mul};\
+             div={div};fdiv={fdiv};fsqrt={fsqrt};fp={fp};spmld={spmld};bmiss={bmiss};\
+             icmiss={icmiss};outst={outst};fifo={fifo};linkocc={linkocc};\
+             coremhz={coremhz};memmhz={memmhz};hbm={hbanks},{hrow},{hline},{hburst},\
+             {hrcd},{hrp},{hcas},{hras},{hccd},{hrfc},{hrefi},{hqd};\
+             strip={sbanks},{sbpc},{slat},{sskip};disabled={disabled};telw={telw}",
+            v = MachineConfig::CANONICAL_VERSION,
+            cx = self.cell_dim.x,
+            cy = self.cell_dim.y,
+            cells = self.num_cells,
+            ruche = self.ruche_factor,
+            nbl = u8::from(self.non_blocking_loads),
+            wv = u8::from(self.write_validate),
+            lpc = u8::from(self.load_packet_compression),
+            ipoly = u8::from(self.ipoly_hashing),
+            nbc = u8::from(self.non_blocking_cache),
+            spm = self.spm_bytes,
+            ic = self.icache_bytes,
+            sets = self.cache_sets,
+            ways = self.cache_ways,
+            line = self.line_bytes,
+            mshrs = self.cache_mshrs,
+            dram = self.dram_bytes_per_cell,
+            fma = self.fma_latency,
+            mul = self.mul_latency,
+            div = self.div_latency,
+            fdiv = self.fdiv_latency,
+            fsqrt = self.fsqrt_latency,
+            fp = self.fp_latency,
+            spmld = self.spm_load_latency,
+            bmiss = self.branch_miss_penalty,
+            icmiss = self.icache_miss_latency,
+            outst = self.max_outstanding,
+            fifo = self.net_fifo_depth,
+            linkocc = self.link_occupancy,
+            coremhz = self.core_freq_mhz,
+            memmhz = self.mem_freq_mhz,
+            hbanks = self.hbm.banks,
+            hrow = self.hbm.row_bytes,
+            hline = self.hbm.line_bytes,
+            hburst = self.hbm.burst_cycles,
+            hrcd = self.hbm.t_rcd,
+            hrp = self.hbm.t_rp,
+            hcas = self.hbm.t_cas,
+            hras = self.hbm.t_ras,
+            hccd = self.hbm.t_ccd,
+            hrfc = self.hbm.t_rfc,
+            hrefi = self.hbm.t_refi,
+            hqd = self.hbm.queue_depth,
+            sbanks = self.strip.banks,
+            sbpc = self.strip.bytes_per_cycle,
+            slat = self.strip.base_latency,
+            sskip = self.strip.skip_distance,
+            disabled = disabled,
+            telw = self.telemetry_window,
+        )
+    }
+
+    /// Parses a [`MachineConfig::canonical_text`] string back into a
+    /// configuration. `threads` is not part of the canonical form and is
+    /// restored to `1`; callers that simulate set it explicitly.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing, unknown or malformed field.
+    /// A version other than [`MachineConfig::CANONICAL_VERSION`] is an
+    /// error — stale text must not silently reparse.
+    pub fn from_canonical_text(text: &str) -> Result<MachineConfig, String> {
+        let mut map = std::collections::BTreeMap::new();
+        for part in text.split(';') {
+            let (k, v) = part
+                .split_once('=')
+                .ok_or_else(|| format!("malformed field {part:?}"))?;
+            if map.insert(k.trim(), v).is_some() {
+                return Err(format!("duplicate field {k:?}"));
+            }
+        }
+        fn req<'a>(
+            map: &std::collections::BTreeMap<&str, &'a str>,
+            key: &str,
+        ) -> Result<&'a str, String> {
+            map.get(key)
+                .copied()
+                .ok_or_else(|| format!("missing field {key:?}"))
+        }
+        fn num<T: std::str::FromStr>(key: &str, v: &str) -> Result<T, String> {
+            v.parse()
+                .map_err(|_| format!("bad value for {key:?}: {v:?}"))
+        }
+        fn get<T: std::str::FromStr>(
+            map: &std::collections::BTreeMap<&str, &str>,
+            key: &str,
+        ) -> Result<T, String> {
+            num(key, req(map, key)?)
+        }
+        fn get_bool(
+            map: &std::collections::BTreeMap<&str, &str>,
+            key: &str,
+        ) -> Result<bool, String> {
+            Ok(get::<u8>(map, key)? != 0)
+        }
+        fn fields<'a, const N: usize>(key: &str, v: &'a str) -> Result<[&'a str; N], String> {
+            let parts: Vec<&str> = v.split(',').collect();
+            parts
+                .try_into()
+                .map_err(|_| format!("{key:?} wants {N} comma-separated values, got {v:?}"))
+        }
+
+        let version: u32 = get(&map, "cfgv")?;
+        if version != MachineConfig::CANONICAL_VERSION {
+            return Err(format!(
+                "canonical config version {version} != supported {}",
+                MachineConfig::CANONICAL_VERSION
+            ));
+        }
+        let cell = req(&map, "cell")?;
+        let (cx, cy) = cell
+            .split_once('x')
+            .ok_or_else(|| format!("bad cell dim {cell:?}"))?;
+        let hbm = fields::<12>("hbm", req(&map, "hbm")?)?;
+        let strip = fields::<4>("strip", req(&map, "strip")?)?;
+        let disabled_text = req(&map, "disabled")?;
+        let mut disabled_tiles = Vec::new();
+        if !disabled_text.is_empty() {
+            for pair in disabled_text.split('+') {
+                let (x, y) = pair
+                    .split_once(',')
+                    .ok_or_else(|| format!("bad disabled tile {pair:?}"))?;
+                disabled_tiles.push((num("disabled", x)?, num("disabled", y)?));
+            }
+        }
+        let cfg = MachineConfig {
+            cell_dim: CellDim {
+                x: num("cell", cx)?,
+                y: num("cell", cy)?,
+            },
+            num_cells: get(&map, "cells")?,
+            ruche_factor: get(&map, "ruche")?,
+            non_blocking_loads: get_bool(&map, "nbl")?,
+            write_validate: get_bool(&map, "wv")?,
+            load_packet_compression: get_bool(&map, "lpc")?,
+            ipoly_hashing: get_bool(&map, "ipoly")?,
+            non_blocking_cache: get_bool(&map, "nbc")?,
+            spm_bytes: get(&map, "spm")?,
+            icache_bytes: get(&map, "icache")?,
+            cache_sets: get(&map, "sets")?,
+            cache_ways: get(&map, "ways")?,
+            line_bytes: get(&map, "line")?,
+            cache_mshrs: get(&map, "mshrs")?,
+            dram_bytes_per_cell: get(&map, "dram")?,
+            fma_latency: get(&map, "fma")?,
+            mul_latency: get(&map, "mul")?,
+            div_latency: get(&map, "div")?,
+            fdiv_latency: get(&map, "fdiv")?,
+            fsqrt_latency: get(&map, "fsqrt")?,
+            fp_latency: get(&map, "fp")?,
+            spm_load_latency: get(&map, "spmld")?,
+            branch_miss_penalty: get(&map, "bmiss")?,
+            icache_miss_latency: get(&map, "icmiss")?,
+            max_outstanding: get(&map, "outst")?,
+            net_fifo_depth: get(&map, "fifo")?,
+            link_occupancy: get(&map, "linkocc")?,
+            core_freq_mhz: get(&map, "coremhz")?,
+            mem_freq_mhz: get(&map, "memmhz")?,
+            hbm: Hbm2Config {
+                banks: num("hbm.banks", hbm[0])?,
+                row_bytes: num("hbm.row_bytes", hbm[1])?,
+                line_bytes: num("hbm.line_bytes", hbm[2])?,
+                burst_cycles: num("hbm.burst_cycles", hbm[3])?,
+                t_rcd: num("hbm.t_rcd", hbm[4])?,
+                t_rp: num("hbm.t_rp", hbm[5])?,
+                t_cas: num("hbm.t_cas", hbm[6])?,
+                t_ras: num("hbm.t_ras", hbm[7])?,
+                t_ccd: num("hbm.t_ccd", hbm[8])?,
+                t_rfc: num("hbm.t_rfc", hbm[9])?,
+                t_refi: num("hbm.t_refi", hbm[10])?,
+                queue_depth: num("hbm.queue_depth", hbm[11])?,
+            },
+            strip: StripConfig {
+                banks: num("strip.banks", strip[0])?,
+                bytes_per_cycle: num("strip.bytes_per_cycle", strip[1])?,
+                base_latency: num("strip.base_latency", strip[2])?,
+                skip_distance: num("strip.skip_distance", strip[3])?,
+            },
+            disabled_tiles,
+            threads: 1,
+            telemetry_window: get(&map, "telw")?,
+        };
+        // 34 top-level keys: every field accounted for, nothing unknown.
+        if map.len() != 34 {
+            return Err(format!("expected 34 canonical fields, got {}", map.len()));
+        }
+        Ok(cfg)
+    }
+}
+
 /// Why a [`MachineConfig`] is internally inconsistent.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ConfigError {
@@ -479,6 +697,312 @@ mod tests {
             ..MachineConfig::baseline_16x8()
         }
         .validate_or_panic();
+    }
+
+    #[test]
+    fn canonical_text_roundtrips_every_preset() {
+        for cfg in [
+            MachineConfig::baseline_16x8(),
+            MachineConfig::cell_16x16(),
+            MachineConfig::cell_32x8(),
+            MachineConfig::two_cells_16x8(),
+            MachineConfig::baseline_manycore(),
+            MachineConfig::cellular_baseline(),
+            MachineConfig {
+                disabled_tiles: vec![(1, 1), (0, 2)],
+                telemetry_window: 500,
+                ..MachineConfig::baseline_16x8()
+            },
+        ] {
+            let text = cfg.canonical_text();
+            let back = MachineConfig::from_canonical_text(&text).unwrap();
+            // threads is host-only and restored to 1; everything else must
+            // survive the round trip bit-exactly.
+            let normalized = MachineConfig { threads: 1, ..cfg };
+            assert_eq!(back, normalized, "roundtrip of {text}");
+            assert_eq!(back.canonical_text(), text);
+        }
+    }
+
+    #[test]
+    fn canonical_text_ignores_threads_and_sees_every_other_field() {
+        let base = MachineConfig::baseline_16x8();
+        let a = MachineConfig {
+            threads: 1,
+            ..base.clone()
+        };
+        let b = MachineConfig {
+            threads: 8,
+            ..base.clone()
+        };
+        assert_eq!(
+            a.canonical_text(),
+            b.canonical_text(),
+            "threads must not leak into the canonical form"
+        );
+
+        // Mutating any simulated-behaviour field must change the text (and
+        // therefore any content hash derived from it).
+        let mutations: Vec<(&str, MachineConfig)> = vec![
+            (
+                "cell_dim",
+                MachineConfig {
+                    cell_dim: CellDim { x: 8, y: 8 },
+                    ..base.clone()
+                },
+            ),
+            (
+                "num_cells",
+                MachineConfig {
+                    num_cells: 2,
+                    ..base.clone()
+                },
+            ),
+            (
+                "ruche_factor",
+                MachineConfig {
+                    ruche_factor: 0,
+                    ..base.clone()
+                },
+            ),
+            (
+                "non_blocking_loads",
+                MachineConfig {
+                    non_blocking_loads: false,
+                    ..base.clone()
+                },
+            ),
+            (
+                "write_validate",
+                MachineConfig {
+                    write_validate: false,
+                    ..base.clone()
+                },
+            ),
+            (
+                "load_packet_compression",
+                MachineConfig {
+                    load_packet_compression: false,
+                    ..base.clone()
+                },
+            ),
+            (
+                "ipoly_hashing",
+                MachineConfig {
+                    ipoly_hashing: false,
+                    ..base.clone()
+                },
+            ),
+            (
+                "non_blocking_cache",
+                MachineConfig {
+                    non_blocking_cache: false,
+                    ..base.clone()
+                },
+            ),
+            (
+                "spm_bytes",
+                MachineConfig {
+                    spm_bytes: 8192,
+                    ..base.clone()
+                },
+            ),
+            (
+                "icache_bytes",
+                MachineConfig {
+                    icache_bytes: 8192,
+                    ..base.clone()
+                },
+            ),
+            (
+                "cache_sets",
+                MachineConfig {
+                    cache_sets: 128,
+                    ..base.clone()
+                },
+            ),
+            (
+                "cache_ways",
+                MachineConfig {
+                    cache_ways: 4,
+                    ..base.clone()
+                },
+            ),
+            (
+                "line_bytes",
+                MachineConfig {
+                    line_bytes: 32,
+                    ..base.clone()
+                },
+            ),
+            (
+                "cache_mshrs",
+                MachineConfig {
+                    cache_mshrs: 4,
+                    ..base.clone()
+                },
+            ),
+            (
+                "dram_bytes_per_cell",
+                MachineConfig {
+                    dram_bytes_per_cell: 8 << 20,
+                    ..base.clone()
+                },
+            ),
+            (
+                "fma_latency",
+                MachineConfig {
+                    fma_latency: 4,
+                    ..base.clone()
+                },
+            ),
+            (
+                "mul_latency",
+                MachineConfig {
+                    mul_latency: 3,
+                    ..base.clone()
+                },
+            ),
+            (
+                "div_latency",
+                MachineConfig {
+                    div_latency: 17,
+                    ..base.clone()
+                },
+            ),
+            (
+                "fdiv_latency",
+                MachineConfig {
+                    fdiv_latency: 13,
+                    ..base.clone()
+                },
+            ),
+            (
+                "fsqrt_latency",
+                MachineConfig {
+                    fsqrt_latency: 13,
+                    ..base.clone()
+                },
+            ),
+            (
+                "fp_latency",
+                MachineConfig {
+                    fp_latency: 3,
+                    ..base.clone()
+                },
+            ),
+            (
+                "spm_load_latency",
+                MachineConfig {
+                    spm_load_latency: 3,
+                    ..base.clone()
+                },
+            ),
+            (
+                "branch_miss_penalty",
+                MachineConfig {
+                    branch_miss_penalty: 3,
+                    ..base.clone()
+                },
+            ),
+            (
+                "icache_miss_latency",
+                MachineConfig {
+                    icache_miss_latency: 41,
+                    ..base.clone()
+                },
+            ),
+            (
+                "max_outstanding",
+                MachineConfig {
+                    max_outstanding: 32,
+                    ..base.clone()
+                },
+            ),
+            (
+                "net_fifo_depth",
+                MachineConfig {
+                    net_fifo_depth: 8,
+                    ..base.clone()
+                },
+            ),
+            (
+                "link_occupancy",
+                MachineConfig {
+                    link_occupancy: 2,
+                    ..base.clone()
+                },
+            ),
+            (
+                "core_freq_mhz",
+                MachineConfig {
+                    core_freq_mhz: 1000,
+                    ..base.clone()
+                },
+            ),
+            (
+                "mem_freq_mhz",
+                MachineConfig {
+                    mem_freq_mhz: 800,
+                    ..base.clone()
+                },
+            ),
+            (
+                "hbm",
+                MachineConfig {
+                    hbm: Hbm2Config {
+                        t_cas: 15,
+                        ..base.hbm.clone()
+                    },
+                    ..base.clone()
+                },
+            ),
+            (
+                "strip",
+                MachineConfig {
+                    strip: StripConfig {
+                        base_latency: 3,
+                        ..base.strip
+                    },
+                    ..base.clone()
+                },
+            ),
+            (
+                "disabled_tiles",
+                MachineConfig {
+                    disabled_tiles: vec![(1, 1)],
+                    ..base.clone()
+                },
+            ),
+            (
+                "telemetry_window",
+                MachineConfig {
+                    telemetry_window: 100,
+                    ..base.clone()
+                },
+            ),
+        ];
+        let baseline_text = base.canonical_text();
+        for (field, cfg) in mutations {
+            assert_ne!(
+                cfg.canonical_text(),
+                baseline_text,
+                "mutating {field} must change the canonical text"
+            );
+        }
+    }
+
+    #[test]
+    fn canonical_parse_rejects_garbage() {
+        assert!(MachineConfig::from_canonical_text("").is_err());
+        assert!(MachineConfig::from_canonical_text("cfgv=1").is_err());
+        let good = MachineConfig::baseline_16x8().canonical_text();
+        // Wrong version must not silently reparse.
+        let stale = good.replacen("cfgv=1", "cfgv=0", 1);
+        assert!(MachineConfig::from_canonical_text(&stale).is_err());
+        // A truncated tail (missing fields) is rejected.
+        let cut = &good[..good.len() / 2];
+        assert!(MachineConfig::from_canonical_text(cut).is_err());
     }
 
     #[test]

@@ -109,6 +109,136 @@ pub enum Site {
 }
 
 impl Site {
+    /// Stable canonical text form, `kind(field,field,...)` with fields in
+    /// declaration order — the serialization campaign job hashes fold in
+    /// (see `hb-serve`), so the layout is frozen: any change must bump the
+    /// plan version in [`InjectionPlan::canonical_text`].
+    pub fn canonical(&self) -> String {
+        match *self {
+            Site::RegFile {
+                cell,
+                x,
+                y,
+                reg,
+                bit,
+            } => {
+                format!("regfile({cell},{x},{y},{reg},{bit})")
+            }
+            Site::Spm {
+                cell,
+                x,
+                y,
+                word,
+                bit,
+            } => {
+                format!("spm({cell},{x},{y},{word},{bit})")
+            }
+            Site::IcacheLine { cell, x, y, line } => {
+                format!("icache({cell},{x},{y},{line})")
+            }
+            Site::NocLink {
+                cell,
+                x,
+                y,
+                port,
+                req,
+            } => {
+                format!("noc({cell},{x},{y},{port},{})", u8::from(req))
+            }
+            Site::HbmStall { cell, window } => format!("hbm({cell},{window})"),
+            Site::TileFreeze { cell, x, y, cycles } => {
+                format!("freeze({cell},{x},{y},{cycles})")
+            }
+        }
+    }
+
+    /// Parses [`Site::canonical`] text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the malformed component.
+    pub fn from_canonical(text: &str) -> Result<Site, String> {
+        let open = text.find('(').ok_or_else(|| format!("bad site {text:?}"))?;
+        let body = text[open..]
+            .strip_prefix('(')
+            .and_then(|t| t.strip_suffix(')'))
+            .ok_or_else(|| format!("bad site {text:?}"))?;
+        let kind = &text[..open];
+        let nums: Vec<&str> = body.split(',').collect();
+        fn field<T: std::str::FromStr>(site: &str, v: &str) -> Result<T, String> {
+            v.parse()
+                .map_err(|_| format!("bad site field {v:?} in {site:?}"))
+        }
+        let want = |n: usize| -> Result<(), String> {
+            if nums.len() == n {
+                Ok(())
+            } else {
+                Err(format!(
+                    "site {text:?} wants {n} fields, got {}",
+                    nums.len()
+                ))
+            }
+        };
+        Ok(match kind {
+            "regfile" => {
+                want(5)?;
+                Site::RegFile {
+                    cell: field(text, nums[0])?,
+                    x: field(text, nums[1])?,
+                    y: field(text, nums[2])?,
+                    reg: field(text, nums[3])?,
+                    bit: field(text, nums[4])?,
+                }
+            }
+            "spm" => {
+                want(5)?;
+                Site::Spm {
+                    cell: field(text, nums[0])?,
+                    x: field(text, nums[1])?,
+                    y: field(text, nums[2])?,
+                    word: field(text, nums[3])?,
+                    bit: field(text, nums[4])?,
+                }
+            }
+            "icache" => {
+                want(4)?;
+                Site::IcacheLine {
+                    cell: field(text, nums[0])?,
+                    x: field(text, nums[1])?,
+                    y: field(text, nums[2])?,
+                    line: field(text, nums[3])?,
+                }
+            }
+            "noc" => {
+                want(5)?;
+                Site::NocLink {
+                    cell: field(text, nums[0])?,
+                    x: field(text, nums[1])?,
+                    y: field(text, nums[2])?,
+                    port: field(text, nums[3])?,
+                    req: field::<u8>(text, nums[4])? != 0,
+                }
+            }
+            "hbm" => {
+                want(2)?;
+                Site::HbmStall {
+                    cell: field(text, nums[0])?,
+                    window: field(text, nums[1])?,
+                }
+            }
+            "freeze" => {
+                want(4)?;
+                Site::TileFreeze {
+                    cell: field(text, nums[0])?,
+                    x: field(text, nums[1])?,
+                    y: field(text, nums[2])?,
+                    cycles: field(text, nums[3])?,
+                }
+            }
+            _ => return Err(format!("unknown site kind {kind:?}")),
+        })
+    }
+
     /// The structure this site belongs to, for AVF aggregation.
     pub fn kind(&self) -> SiteKind {
         match self {
@@ -283,6 +413,75 @@ impl InjectionPlan {
                 },
             },
         }
+    }
+
+    /// Stable canonical single-line serialization, versioned:
+    /// `planv=1;seed=S;inj=cycle@site|cycle@site|...`. This is the form
+    /// campaign job hashes fold in, so identical plans — however they were
+    /// constructed — serialize identically.
+    pub fn canonical_text(&self) -> String {
+        let inj = self
+            .injections
+            .iter()
+            .map(|i| format!("{}@{}", i.cycle, i.site.canonical()))
+            .collect::<Vec<_>>()
+            .join("|");
+        format!("planv=1;seed={};inj={inj}", self.seed)
+    }
+
+    /// Parses [`InjectionPlan::canonical_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the malformed component; a version
+    /// other than 1 is an error.
+    pub fn from_canonical_text(text: &str) -> Result<InjectionPlan, String> {
+        let mut seed = None;
+        let mut inj_text = None;
+        let mut version = None;
+        for part in text.split(';') {
+            let (k, v) = part
+                .split_once('=')
+                .ok_or_else(|| format!("malformed plan field {part:?}"))?;
+            match k {
+                "planv" => {
+                    version = Some(
+                        v.parse::<u32>()
+                            .map_err(|_| format!("bad plan version {v:?}"))?,
+                    );
+                }
+                "seed" => {
+                    seed = Some(
+                        v.parse::<u64>()
+                            .map_err(|_| format!("bad plan seed {v:?}"))?,
+                    );
+                }
+                "inj" => inj_text = Some(v),
+                _ => return Err(format!("unknown plan field {k:?}")),
+            }
+        }
+        match version {
+            Some(1) => {}
+            Some(v) => return Err(format!("unsupported plan version {v}")),
+            None => return Err("missing plan version".to_owned()),
+        }
+        let seed = seed.ok_or("missing plan seed")?;
+        let inj_text = inj_text.ok_or("missing plan injections")?;
+        let mut injections = Vec::new();
+        if !inj_text.is_empty() {
+            for item in inj_text.split('|') {
+                let (cycle, site) = item
+                    .split_once('@')
+                    .ok_or_else(|| format!("malformed injection {item:?}"))?;
+                injections.push(Injection {
+                    cycle: cycle
+                        .parse()
+                        .map_err(|_| format!("bad injection cycle {cycle:?}"))?,
+                    site: Site::from_canonical(site)?,
+                });
+            }
+        }
+        Ok(InjectionPlan { seed, injections })
     }
 
     /// Whether the plan schedules nothing.
@@ -493,6 +692,112 @@ mod tests {
         let plan = InjectionPlan::explicit([(50, site), (10, site), (30, site)]);
         let cycles: Vec<u64> = plan.injections.iter().map(|i| i.cycle).collect();
         assert_eq!(cycles, [10, 30, 50]);
+    }
+
+    #[test]
+    fn canonical_plan_roundtrips_and_is_stable() {
+        let plan = InjectionPlan::random(42, 200, &shape());
+        let text = plan.canonical_text();
+        let back = InjectionPlan::from_canonical_text(&text).unwrap();
+        assert_eq!(back, plan);
+        assert_eq!(
+            back.canonical_text(),
+            text,
+            "canonical form is a fixed point"
+        );
+
+        // The empty plan serializes and reparses too.
+        let empty = InjectionPlan::default();
+        assert_eq!(
+            InjectionPlan::from_canonical_text(&empty.canonical_text()).unwrap(),
+            empty
+        );
+
+        // Every site kind has a frozen spelling.
+        let all = InjectionPlan::explicit([
+            (
+                1,
+                Site::RegFile {
+                    cell: 0,
+                    x: 1,
+                    y: 2,
+                    reg: 3,
+                    bit: 4,
+                },
+            ),
+            (
+                2,
+                Site::Spm {
+                    cell: 0,
+                    x: 1,
+                    y: 2,
+                    word: 30,
+                    bit: 4,
+                },
+            ),
+            (
+                3,
+                Site::IcacheLine {
+                    cell: 0,
+                    x: 1,
+                    y: 2,
+                    line: 9,
+                },
+            ),
+            (
+                4,
+                Site::NocLink {
+                    cell: 0,
+                    x: 1,
+                    y: 2,
+                    port: 3,
+                    req: true,
+                },
+            ),
+            (
+                5,
+                Site::HbmStall {
+                    cell: 0,
+                    window: 77,
+                },
+            ),
+            (
+                6,
+                Site::TileFreeze {
+                    cell: 0,
+                    x: 1,
+                    y: 2,
+                    cycles: FREEZE_FOREVER,
+                },
+            ),
+        ]);
+        assert_eq!(
+            all.canonical_text(),
+            format!(
+                "planv=1;seed=0;inj=1@regfile(0,1,2,3,4)|2@spm(0,1,2,30,4)\
+                 |3@icache(0,1,2,9)|4@noc(0,1,2,3,1)|5@hbm(0,77)\
+                 |6@freeze(0,1,2,{FREEZE_FOREVER})"
+            )
+        );
+    }
+
+    #[test]
+    fn canonical_plan_rejects_garbage() {
+        for bad in [
+            "",
+            "planv=2;seed=0;inj=",
+            "seed=0;inj=",
+            "planv=1;inj=",
+            "planv=1;seed=0",
+            "planv=1;seed=0;inj=5@warp(0,0)",
+            "planv=1;seed=0;inj=5@regfile(0,1)",
+            "planv=1;seed=0;inj=xx@hbm(0,1)",
+        ] {
+            assert!(
+                InjectionPlan::from_canonical_text(bad).is_err(),
+                "{bad:?} must not parse"
+            );
+        }
     }
 
     #[test]

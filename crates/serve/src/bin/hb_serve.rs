@@ -1,0 +1,249 @@
+//! `hb-serve` — the campaign execution service CLI.
+//!
+//! A campaign lives in a directory: `manifest.txt` (the jobs), `store/`
+//! (content-addressed results + journal) and `report.txt` (deterministic
+//! aggregate). Results are keyed by a content hash of the job spec (kernel,
+//! config, seed, plan, schema/binary revision), so re-running finished work
+//! is a cache hit and a killed campaign resumes by re-running only the
+//! missing jobs.
+//!
+//! ```text
+//! hb-serve run    --kernel sgemm --faults 200 --seed 7      # submit + execute + report
+//! hb-serve run    ... --max-jobs 100                        # stop after 100 executions
+//! hb-serve resume --dir hb-serve-data                       # finish a killed campaign
+//! hb-serve status --dir hb-serve-data                       # done/missing counts
+//! hb-serve report --dir hb-serve-data                       # rebuild report.txt
+//! hb-serve gc     --dir hb-serve-data                       # drop unreferenced objects
+//! ```
+
+use hb_core::{CellDim, MachineConfig};
+use hb_serve::cli;
+use hb_serve::{report, Campaign, CancelToken, RunOpts, SimExecutor};
+use std::path::PathBuf;
+
+const USAGE: &str = "usage: hb-serve <command> [options]
+
+commands:
+  submit   write the campaign manifest without running it
+  run      submit (if needed) + execute + write report.txt
+  resume   re-run only the jobs missing from the store
+  status   print done/missing counts for the manifest
+  report   rebuild and print the deterministic report
+  gc       delete store objects the manifest does not reference
+
+options:
+  --dir D          campaign directory            [hb-serve-data]
+  --kernel K       sgemm | jacobi                [sgemm]
+  --faults N       seeded single-fault jobs      [50]
+  --seed S         base seed (job i uses S+i)    [1]
+  --cell WxH       tile grid per cell            [4x4]
+  --disable x,y[;x,y]  disabled tiles            []
+  --threads T      worker threads                [HB_THREADS or 1]
+  --max-jobs N     stop after N executed jobs (deterministic mid-run stop)
+  --retries R      retries per transient failure [2]
+  --out FILE       also write the report here";
+
+struct Opts {
+    dir: PathBuf,
+    kernel: String,
+    faults: usize,
+    seed: u64,
+    cell: CellDim,
+    disabled: Vec<(u8, u8)>,
+    threads: usize,
+    max_jobs: Option<usize>,
+    retries: u32,
+    out: Option<PathBuf>,
+}
+
+fn parse_opts(argv: &[String]) -> Opts {
+    let mut opts = Opts {
+        dir: PathBuf::from("hb-serve-data"),
+        kernel: "sgemm".to_owned(),
+        faults: 50,
+        seed: 1,
+        cell: CellDim { x: 4, y: 4 },
+        disabled: Vec::new(),
+        threads: hb_core::threads_from_env(),
+        max_jobs: None,
+        retries: 2,
+        out: None,
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].clone();
+        match flag.as_str() {
+            "--dir" => opts.dir = PathBuf::from(cli::flag_value(argv, &mut i, USAGE)),
+            "--kernel" => opts.kernel = cli::flag_value(argv, &mut i, USAGE).to_ascii_lowercase(),
+            "--faults" => {
+                opts.faults = cli::parse_value(&flag, &cli::flag_value(argv, &mut i, USAGE), USAGE)
+            }
+            "--seed" => {
+                opts.seed = cli::parse_value(&flag, &cli::flag_value(argv, &mut i, USAGE), USAGE)
+            }
+            "--cell" => opts.cell = cli::parse_cell(&cli::flag_value(argv, &mut i, USAGE), USAGE),
+            "--disable" => {
+                opts.disabled = cli::parse_disabled(&cli::flag_value(argv, &mut i, USAGE), USAGE)
+            }
+            "--threads" => {
+                opts.threads =
+                    cli::parse_value::<usize>(&flag, &cli::flag_value(argv, &mut i, USAGE), USAGE)
+                        .max(1)
+            }
+            "--max-jobs" => {
+                opts.max_jobs = Some(cli::parse_value(
+                    &flag,
+                    &cli::flag_value(argv, &mut i, USAGE),
+                    USAGE,
+                ))
+            }
+            "--retries" => {
+                opts.retries = cli::parse_value(&flag, &cli::flag_value(argv, &mut i, USAGE), USAGE)
+            }
+            "--out" => opts.out = Some(PathBuf::from(cli::flag_value(argv, &mut i, USAGE))),
+            other => cli::usage_fail(USAGE, format!("unknown option {other:?}")),
+        }
+        i += 1;
+    }
+    opts
+}
+
+fn campaign_config(opts: &Opts) -> MachineConfig {
+    let cfg = MachineConfig {
+        cell_dim: opts.cell,
+        disabled_tiles: opts.disabled.clone(),
+        threads: 1,
+        ..MachineConfig::baseline_16x8()
+    };
+    if let Err(e) = cfg.validate() {
+        cli::fail(format!("invalid machine configuration: {e}"));
+    }
+    cfg
+}
+
+/// Builds the campaign `submit`/`run` describe; refuses to silently reuse a
+/// directory whose manifest is a *different* campaign.
+fn submit_campaign(opts: &Opts) -> Campaign {
+    let cfg = campaign_config(opts);
+    let name = format!(
+        "{} cell={}x{} seed={} faults={}",
+        opts.kernel, opts.cell.x, opts.cell.y, opts.seed, opts.faults
+    );
+    let campaign = Campaign::fault(name, &opts.kernel, &cfg, opts.seed, opts.faults);
+    if opts.dir.join("manifest.txt").exists() {
+        match Campaign::load(&opts.dir) {
+            Ok(existing) if existing == campaign => return campaign,
+            Ok(existing) => cli::fail(format!(
+                "{} already holds campaign {:?}; pick another --dir or resume it",
+                opts.dir.display(),
+                existing.name
+            )),
+            Err(e) => cli::fail(format!("existing manifest is unreadable: {e}")),
+        }
+    }
+    if let Err(e) = campaign.save(&opts.dir) {
+        cli::fail(format!("cannot write manifest: {e}"));
+    }
+    campaign
+}
+
+fn execute(campaign: &Campaign, opts: &Opts) -> ! {
+    let store = Campaign::open_store(&opts.dir)
+        .unwrap_or_else(|e| cli::fail(format!("cannot open store: {e}")));
+    let exec = SimExecutor::new(opts.threads);
+    let run_opts = RunOpts {
+        threads: opts.threads,
+        retries: opts.retries,
+        max_jobs: opts.max_jobs,
+        ..RunOpts::default()
+    };
+    let summary = campaign.run(&store, &exec, &run_opts, &CancelToken::new());
+    println!("{}", summary.line());
+    println!("{}", campaign.status(&store).line());
+    let report_path = opts.dir.join("report.txt");
+    let text = report::write(campaign, &store, &report_path)
+        .unwrap_or_else(|e| cli::fail(format!("cannot write {}: {e}", report_path.display())));
+    if let Some(out) = &opts.out {
+        use std::io::Write;
+        let mut f = cli::create_out(out);
+        f.write_all(text.as_bytes())
+            .unwrap_or_else(|e| cli::fail(format!("cannot write {}: {e}", out.display())));
+    }
+    println!("report: {}", report_path.display());
+    if summary.failed > 0 {
+        cli::fail(format!(
+            "{} job(s) failed; see the store journal",
+            summary.failed
+        ));
+    }
+    std::process::exit(0);
+}
+
+fn load_campaign(opts: &Opts) -> Campaign {
+    Campaign::load(&opts.dir).unwrap_or_else(|e| cli::fail(e))
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        cli::usage_fail(USAGE, "missing command");
+    };
+    let rest = &argv[1..];
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => println!("{USAGE}"),
+        "submit" => {
+            let opts = parse_opts(rest);
+            let campaign = submit_campaign(&opts);
+            println!(
+                "submitted: {:?} ({} jobs) -> {}",
+                campaign.name,
+                campaign.specs.len(),
+                opts.dir.display()
+            );
+        }
+        "run" => {
+            let opts = parse_opts(rest);
+            let campaign = submit_campaign(&opts);
+            execute(&campaign, &opts);
+        }
+        "resume" => {
+            let opts = parse_opts(rest);
+            let campaign = load_campaign(&opts);
+            execute(&campaign, &opts);
+        }
+        "status" => {
+            let opts = parse_opts(rest);
+            let campaign = load_campaign(&opts);
+            let store = Campaign::open_store(&opts.dir)
+                .unwrap_or_else(|e| cli::fail(format!("cannot open store: {e}")));
+            println!("campaign: {:?}", campaign.name);
+            println!("{}", campaign.status(&store).line());
+        }
+        "report" => {
+            let opts = parse_opts(rest);
+            let campaign = load_campaign(&opts);
+            let store = Campaign::open_store(&opts.dir)
+                .unwrap_or_else(|e| cli::fail(format!("cannot open store: {e}")));
+            let path = opts
+                .out
+                .clone()
+                .unwrap_or_else(|| opts.dir.join("report.txt"));
+            let text = report::write(&campaign, &store, &path)
+                .unwrap_or_else(|e| cli::fail(format!("cannot write {}: {e}", path.display())));
+            print!("{text}");
+        }
+        "gc" => {
+            let opts = parse_opts(rest);
+            let campaign = load_campaign(&opts);
+            let store = Campaign::open_store(&opts.dir)
+                .unwrap_or_else(|e| cli::fail(format!("cannot open store: {e}")));
+            let keep: std::collections::HashSet<String> = campaign.hashes().into_iter().collect();
+            let stats = store.gc(&keep).unwrap_or_else(|e| cli::fail(e));
+            println!(
+                "gc: kept={} deleted={} bytes={}",
+                stats.kept, stats.deleted, stats.bytes
+            );
+        }
+        other => cli::usage_fail(USAGE, format!("unknown command {other:?}")),
+    }
+}

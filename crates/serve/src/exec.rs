@@ -1,0 +1,417 @@
+//! The simulation executor: turns a [`JobSpec`] into a [`JobRecord`] by
+//! actually running the simulator. This is the execution core that
+//! `fault_campaign` previously carried inline; it moved here so the
+//! `hb-serve` binary, the bench harnesses and the tests all share one
+//! implementation (and so every caller gains caching/resume for free).
+//!
+//! Golden/fault jobs run the SPM-blocked SGEMM or the Jacobi kernel with
+//! seeded inputs — identical initial DRAM on every run — and classify
+//! against the campaign's golden record. Ablation jobs run any
+//! `hb_kernels::suite()` benchmark at a size class and record cycles.
+
+use crate::pool::{Executor, JobError};
+use crate::spec::{JobKind, JobSpec, PlanSpec};
+use crate::store::{JobRecord, Store};
+use hb_asm::Program;
+use hb_core::{pgas, Machine, MachineConfig, SimError, SnapshotDram};
+use hb_fault::{InjectionPlan, PlanShape};
+use hb_kernels::{Jacobi, Sgemm, SizeClass};
+use hb_workloads::gen;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// The kernels golden/fault campaigns can run (the ones with seeded input
+/// preparation and a deterministic golden image).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignKernel {
+    /// SPM-blocked SGEMM (every tile of a 4x4 cell owns live state).
+    Sgemm,
+    /// Jacobi relaxation over SPM work descriptors.
+    Jacobi,
+}
+
+impl CampaignKernel {
+    /// Parses a kernel name.
+    pub fn parse(s: &str) -> Option<CampaignKernel> {
+        match s.to_ascii_lowercase().as_str() {
+            "sgemm" => Some(CampaignKernel::Sgemm),
+            "jacobi" => Some(CampaignKernel::Jacobi),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase name.
+    pub fn label(self) -> &'static str {
+        match self {
+            CampaignKernel::Sgemm => "sgemm",
+            CampaignKernel::Jacobi => "jacobi",
+        }
+    }
+
+    /// Whether the kernel is barrier-free, so an `hb-iss` functional run
+    /// executes it to completion and can anchor the golden memory image.
+    fn functional_runs_to_completion(self) -> bool {
+        matches!(self, CampaignKernel::Sgemm)
+    }
+}
+
+/// What fault jobs need from their campaign's golden run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GoldenInfo {
+    /// Golden run length.
+    pub cycles: u64,
+    /// FNV-1a digest of the golden DRAM image.
+    pub digest: u64,
+}
+
+impl GoldenInfo {
+    /// Recovers golden info from a stored golden record.
+    pub fn from_record(rec: &JobRecord) -> GoldenInfo {
+        GoldenInfo {
+            cycles: rec.cycles,
+            digest: rec.dram_digest,
+        }
+    }
+}
+
+/// The shared simulation executor. Caches each campaign's golden info in
+/// memory (and falls back to the store on resume) so thousands of fault
+/// jobs classify against one golden run.
+pub struct SimExecutor {
+    pool_threads: usize,
+    goldens: Mutex<HashMap<String, GoldenInfo>>,
+}
+
+impl SimExecutor {
+    /// An executor for a pool of `pool_threads` workers. When the pool fans
+    /// out, each Machine keeps its tile phase sequential (`threads = 1`) so
+    /// total host threads ≈ workers — same policy as
+    /// `hb-bench::point_config`. Simulated results are identical either way.
+    pub fn new(pool_threads: usize) -> SimExecutor {
+        SimExecutor {
+            pool_threads: pool_threads.max(1),
+            goldens: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn machine_config(&self, spec: &JobSpec) -> MachineConfig {
+        MachineConfig {
+            threads: if self.pool_threads > 1 {
+                1
+            } else {
+                spec.config.threads.max(1)
+            },
+            ..spec.config.clone()
+        }
+    }
+
+    /// Fetches (or computes and caches) the golden info for `spec`'s
+    /// (kernel, config) — from memory, then the store, then a fresh run.
+    fn golden_info(&self, spec: &JobSpec, store: &Store) -> Result<GoldenInfo, JobError> {
+        let gspec = golden_spec(&spec.kernel, &spec.config);
+        let ghash = gspec.hash();
+        if let Some(info) = self.goldens.lock().unwrap().get(&ghash) {
+            return Ok(*info);
+        }
+        let info = if let Some(rec) = store.get(&ghash) {
+            GoldenInfo::from_record(&rec)
+        } else {
+            // A fault job arrived before its golden (e.g. a hand-built
+            // manifest without one): run the golden inline. Not stored —
+            // the pool owns store writes — but cached for this process.
+            let rec = self.run_golden(&gspec)?;
+            GoldenInfo::from_record(&rec)
+        };
+        self.goldens.lock().unwrap().insert(ghash, info);
+        Ok(info)
+    }
+
+    fn run_golden(&self, spec: &JobSpec) -> Result<JobRecord, JobError> {
+        let kernel = campaign_kernel(&spec.kernel)?;
+        let cfg = self.machine_config(spec);
+        cfg.validate()
+            .map_err(|e| JobError::Permanent(format!("invalid config: {e}")))?;
+        let cells = cfg.num_cells;
+        let (gold_res, gold_mem) = run_once(kernel, &cfg, None, GOLDEN_BUDGET);
+        let gold = gold_res.map_err(|e| JobError::Permanent(format!("golden run failed: {e}")))?;
+        let gold_digest = digest(&gold_mem, cells);
+        let mut checks = vec!["empty-plan-identity"];
+
+        // Bit-identity: installing an *empty* plan must change nothing —
+        // the zero-injection hot path is one untaken branch.
+        let (empty_res, empty_mem) =
+            run_once(kernel, &cfg, Some(&InjectionPlan::default()), GOLDEN_BUDGET);
+        let empty =
+            empty_res.map_err(|e| JobError::Permanent(format!("empty-plan run failed: {e}")))?;
+        if (empty.cycles, empty.core.instrs, digest(&empty_mem, cells))
+            != (gold.cycles, gold.core.instrs, gold_digest)
+        {
+            return Err(JobError::Permanent(
+                "empty injection plan is not bit-identical to the uninstrumented run".to_owned(),
+            ));
+        }
+
+        // Anchor the golden image to the hb-iss functional model where the
+        // kernel runs to completion functionally (no barriers).
+        if kernel.functional_runs_to_completion() {
+            let mut machine = Machine::new(cfg.clone());
+            let (program, largs) = prepare(kernel, &mut machine);
+            machine.launch(0, &program, &largs);
+            machine
+                .warmup_functional(100_000_000)
+                .map_err(|e| JobError::Permanent(format!("functional golden run failed: {e}")))?;
+            machine.flush_all_caches();
+            let func_mem = SnapshotDram::from_machine(&machine);
+            if !same_memory(&gold_mem, &func_mem, cells) {
+                return Err(JobError::Permanent(
+                    "cycle-level golden memory diverges from the hb-iss functional run".to_owned(),
+                ));
+            }
+            checks.push("iss-anchor");
+        }
+
+        Ok(JobRecord {
+            kind: spec.kind.canonical(),
+            kernel: spec.kernel.clone(),
+            seed: spec.seed,
+            outcome: "ok".to_owned(),
+            cycles: gold.cycles,
+            instrs: gold.core.instrs,
+            dram_digest: gold_digest,
+            checks: checks.join(","),
+            ..JobRecord::default()
+        })
+    }
+
+    fn run_fault(&self, spec: &JobSpec, store: &Store) -> Result<JobRecord, JobError> {
+        let kernel = campaign_kernel(&spec.kernel)?;
+        let cfg = self.machine_config(spec);
+        cfg.validate()
+            .map_err(|e| JobError::Permanent(format!("invalid config: {e}")))?;
+        let cells = cfg.num_cells;
+        let gold = self.golden_info(spec, store)?;
+
+        let plan = match &spec.plan {
+            PlanSpec::Explicit(plan) => plan.clone(),
+            PlanSpec::Seeded { faults } => {
+                InjectionPlan::random(spec.seed, *faults as usize, &plan_shape(&cfg, gold.cycles))
+            }
+            PlanSpec::None => {
+                return Err(JobError::Permanent(
+                    "fault job without an injection plan".to_owned(),
+                ))
+            }
+        };
+        let (site, inj_cycle) = plan
+            .injections
+            .first()
+            .map(|i| (i.site.kind().label().to_owned(), i.cycle))
+            .unwrap_or_default();
+
+        let budget = fault_budget(gold.cycles);
+        let (result, mem) = run_once(kernel, &cfg, Some(&plan), budget);
+        let (outcome, cycles, instrs) = match &result {
+            Err(SimError::Fault(_)) => ("detected", 0, 0),
+            Err(SimError::Timeout { .. }) => ("hang", 0, 0),
+            Ok(s) if digest(&mem, cells) == gold.digest => ("masked", s.cycles, s.core.instrs),
+            Ok(s) => ("sdc", s.cycles, s.core.instrs),
+        };
+        Ok(JobRecord {
+            kind: spec.kind.canonical(),
+            kernel: spec.kernel.clone(),
+            seed: spec.seed,
+            outcome: outcome.to_owned(),
+            site,
+            inj_cycle,
+            cycles,
+            instrs,
+            dram_digest: digest(&mem, cells),
+            ..JobRecord::default()
+        })
+    }
+
+    fn run_ablation(&self, spec: &JobSpec, size: &str) -> Result<JobRecord, JobError> {
+        let size = parse_size(size)?;
+        let (name, variant) = match spec.kernel.split_once('@') {
+            Some((n, v)) => (n, Some(v)),
+            None => (spec.kernel.as_str(), None),
+        };
+        let bench: Box<dyn hb_kernels::Benchmark> = match variant {
+            Some("blocked") if name.eq_ignore_ascii_case("SGEMM") => Box::new(Sgemm::blocked()),
+            Some(v) => {
+                return Err(JobError::Permanent(format!(
+                    "unknown kernel variant {v:?} for {name:?}"
+                )))
+            }
+            None => hb_kernels::suite()
+                .into_iter()
+                .find(|b| b.name().eq_ignore_ascii_case(name))
+                .ok_or_else(|| JobError::Permanent(format!("unknown kernel {name:?}")))?,
+        };
+        let cfg = self.machine_config(spec);
+        cfg.validate()
+            .map_err(|e| JobError::Permanent(format!("invalid config: {e}")))?;
+        let stats = bench
+            .run(&cfg, size)
+            .map_err(|e| JobError::Permanent(format!("{} failed: {e}", bench.name())))?;
+        Ok(JobRecord {
+            kind: spec.kind.canonical(),
+            kernel: spec.kernel.clone(),
+            seed: spec.seed,
+            outcome: "ok".to_owned(),
+            cycles: stats.cycles,
+            instrs: stats.core.instrs,
+            ..JobRecord::default()
+        })
+    }
+}
+
+impl Executor for SimExecutor {
+    fn run(&self, spec: &JobSpec, store: &Store) -> Result<JobRecord, JobError> {
+        match &spec.kind {
+            JobKind::Golden => self.run_golden(spec),
+            JobKind::Fault => self.run_fault(spec, store),
+            JobKind::Ablation { size } => self.run_ablation(spec, size),
+        }
+    }
+}
+
+/// Cycle budget for golden runs (generous; a golden that cannot finish in
+/// this is a campaign configuration error).
+const GOLDEN_BUDGET: u64 = 10_000_000;
+
+/// The injected-run budget: leaves room for stall windows and retransmits
+/// while still bounding frozen-tile hangs.
+fn fault_budget(golden_cycles: u64) -> u64 {
+    golden_cycles * 4 + 20_000
+}
+
+/// The fault-site shape drawn over: the machine geometry, with faults
+/// landing in the golden run's active cycle range.
+fn plan_shape(cfg: &MachineConfig, golden_cycles: u64) -> PlanShape {
+    PlanShape {
+        cells: cfg.num_cells,
+        dim: (cfg.cell_dim.x, cfg.cell_dim.y),
+        spm_words: (cfg.spm_bytes / 4).min(u32::from(u16::MAX)) as u16,
+        icache_lines: (cfg.icache_bytes / cfg.line_bytes).min(u32::from(u16::MAX)) as u16,
+        cycles: (100, (golden_cycles * 3 / 4).max(200)),
+    }
+}
+
+/// The golden [`JobSpec`] every fault job of a (kernel, config) campaign
+/// classifies against.
+pub fn golden_spec(kernel: &str, config: &MachineConfig) -> JobSpec {
+    JobSpec {
+        kind: JobKind::Golden,
+        kernel: kernel.to_owned(),
+        seed: 0,
+        plan: PlanSpec::None,
+        config: config.clone(),
+        label: "golden".to_owned(),
+    }
+}
+
+fn campaign_kernel(name: &str) -> Result<CampaignKernel, JobError> {
+    CampaignKernel::parse(name)
+        .ok_or_else(|| JobError::Permanent(format!("unknown campaign kernel {name:?}")))
+}
+
+fn parse_size(s: &str) -> Result<SizeClass, JobError> {
+    match s {
+        "tiny" => Ok(SizeClass::Tiny),
+        "small" => Ok(SizeClass::Small),
+        "large" => Ok(SizeClass::Large),
+        _ => Err(JobError::Permanent(format!("unknown size class {s:?}"))),
+    }
+}
+
+/// Renders a [`SizeClass`] as its canonical token.
+pub fn size_token(size: SizeClass) -> &'static str {
+    match size {
+        SizeClass::Tiny => "tiny",
+        SizeClass::Small => "small",
+        SizeClass::Large => "large",
+    }
+}
+
+/// Builds the machine, allocates and fills the kernel inputs, and returns
+/// the launch (program + argument words). Input generation is seeded, so
+/// every run of a campaign sees identical initial DRAM.
+fn prepare(kernel: CampaignKernel, machine: &mut Machine) -> (Arc<Program>, Vec<u32>) {
+    let (nx, ny) = {
+        let d = machine.config().cell_dim;
+        (d.x as usize, d.y as usize)
+    };
+    let cell = machine.cell_mut(0);
+    match kernel {
+        CampaignKernel::Sgemm => {
+            // 16 output blocks: every tile of a 4x4 cell owns live state.
+            let (m, k, n) = (32usize, 16usize, 32usize);
+            let a_host = gen::dense_matrix(m, k, 0xA);
+            let b_host = gen::dense_matrix(k, n, 0xB);
+            let a_dev = cell.alloc((m * k * 4) as u32, 64);
+            let b_dev = cell.alloc((k * n * 4) as u32, 64);
+            let c_dev = cell.alloc((m * n * 4) as u32, 64);
+            cell.dram_mut().write_f32_slice(a_dev, &a_host);
+            cell.dram_mut().write_f32_slice(b_dev, &b_host);
+            // The SPM-blocked variant: operand blocks live in the
+            // scratchpad, so SPM faults have architectural state to hit.
+            (
+                Arc::new(Sgemm::program_blocked()),
+                vec![
+                    pgas::local_dram(a_dev),
+                    pgas::local_dram(b_dev),
+                    pgas::local_dram(c_dev),
+                    m as u32,
+                    k as u32,
+                    n as u32,
+                ],
+            )
+        }
+        CampaignKernel::Jacobi => {
+            let (z, steps) = (32usize, 2u32);
+            let init = gen::dense_matrix(nx * ny, z, 0x1AC0B1);
+            let grid = cell.alloc((nx * ny * z * 4) as u32, 64);
+            cell.dram_mut().write_f32_slice(grid, &init);
+            (
+                Arc::new(Jacobi::program()),
+                vec![pgas::local_dram(grid), z as u32, steps],
+            )
+        }
+    }
+}
+
+/// One full simulation: fresh machine, same seeded inputs, optional
+/// injection plan. Returns the run result and the flushed DRAM image.
+fn run_once(
+    kernel: CampaignKernel,
+    cfg: &MachineConfig,
+    plan: Option<&InjectionPlan>,
+    budget: u64,
+) -> (Result<hb_core::RunSummary, SimError>, SnapshotDram) {
+    let mut machine = Machine::new(cfg.clone());
+    let (program, args) = prepare(kernel, &mut machine);
+    machine.launch(0, &program, &args);
+    if let Some(plan) = plan {
+        machine.set_injection_plan(plan);
+    }
+    let result = machine.run(budget);
+    machine.flush_all_caches();
+    (result, SnapshotDram::from_machine(&machine))
+}
+
+/// FNV-1a digest over every Cell's DRAM image.
+pub fn digest(snap: &SnapshotDram, cells: u8) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for c in 0..cells {
+        for &b in snap.cell(c) {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn same_memory(a: &SnapshotDram, b: &SnapshotDram, cells: u8) -> bool {
+    (0..cells).all(|c| a.cell(c) == b.cell(c))
+}

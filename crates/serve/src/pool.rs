@@ -1,0 +1,425 @@
+//! The campaign worker pool: executes a manifest of jobs against the store
+//! with bounded in-flight memory (one job per worker at a time; results
+//! stream to disk, never accumulate in RAM), per-job panic isolation,
+//! bounded retries with backoff for transient failures, and cooperative
+//! cancellation.
+//!
+//! This is the durable sibling of `hb-bench`'s `jobs::run_ordered`: the same
+//! scoped-thread claim-by-atomic-index shape, but jobs are keyed by content
+//! hash, completed jobs are skipped (cache hits), and a panicking job
+//! becomes a `failed` journal entry instead of poisoning the pool.
+
+use crate::spec::JobSpec;
+use crate::store::{JobRecord, Store};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// How a job execution failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// Worth retrying (I/O hiccup, resource exhaustion).
+    Transient(String),
+    /// Deterministic failure; retrying cannot help.
+    Permanent(String),
+}
+
+impl JobError {
+    /// The failure message.
+    pub fn message(&self) -> &str {
+        match self {
+            JobError::Transient(m) | JobError::Permanent(m) => m,
+        }
+    }
+}
+
+/// Something that can execute one job. The simulation executor lives in
+/// [`crate::exec`]; tests inject mock executors to exercise the pool's
+/// retry/panic/cancellation paths without simulating anything.
+pub trait Executor: Sync {
+    /// Runs `spec` to completion and returns its record (the pool fills in
+    /// `hash` and `retries`). May read `store` (e.g. to fetch the campaign
+    /// golden on resume).
+    ///
+    /// # Errors
+    ///
+    /// [`JobError::Transient`] failures are retried with backoff;
+    /// [`JobError::Permanent`] (and panics) become `failed` journal entries.
+    fn run(&self, spec: &JobSpec, store: &Store) -> Result<JobRecord, JobError>;
+}
+
+/// Pool tuning.
+#[derive(Debug, Clone)]
+pub struct RunOpts {
+    /// Worker threads.
+    pub threads: usize,
+    /// Retries per job after the first attempt (transient failures only).
+    pub retries: u32,
+    /// Base backoff sleep; attempt `k` sleeps `backoff_ms << k`.
+    pub backoff_ms: u64,
+    /// Stop claiming new work after this many *executed* (non-cached) jobs —
+    /// the deterministic stand-in for a mid-campaign kill used by tests and
+    /// the `serve-smoke` CI job. `None` = run to completion.
+    pub max_jobs: Option<usize>,
+}
+
+impl Default for RunOpts {
+    fn default() -> RunOpts {
+        RunOpts {
+            threads: 1,
+            retries: 2,
+            backoff_ms: 20,
+            max_jobs: None,
+        }
+    }
+}
+
+/// Cooperative cancellation: workers finish the job in hand, then stop.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation was requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// What the pool did with one manifest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CampaignSummary {
+    /// Jobs in the manifest.
+    pub total: usize,
+    /// Executed this invocation (cache misses that ran to a stored result).
+    pub run: usize,
+    /// Skipped because a valid result was already stored.
+    pub cached: usize,
+    /// Transient-failure retry attempts consumed (across all jobs).
+    pub retried: usize,
+    /// Jobs that ended in a terminal failure (panic or permanent error).
+    pub failed: usize,
+    /// Jobs not attempted (cancellation or `max_jobs` stop).
+    pub skipped: usize,
+    /// Wall-clock of this invocation.
+    pub wall_ms: u64,
+}
+
+impl CampaignSummary {
+    /// The stable one-line form the CI smoke job greps.
+    pub fn line(&self) -> String {
+        format!(
+            "summary: total={} run={} cached={} retried={} failed={} skipped={} wall_ms={}",
+            self.total,
+            self.run,
+            self.cached,
+            self.retried,
+            self.failed,
+            self.skipped,
+            self.wall_ms
+        )
+    }
+}
+
+/// Executes `specs` over `opts.threads` workers. Jobs whose hash is already
+/// stored are counted as cache hits and skipped; the rest run with per-job
+/// `catch_unwind` isolation and bounded retries, streaming results into
+/// `store` as they complete.
+pub fn run_jobs(
+    specs: &[JobSpec],
+    store: &Store,
+    exec: &dyn Executor,
+    opts: &RunOpts,
+    cancel: &CancelToken,
+) -> CampaignSummary {
+    let started = std::time::Instant::now();
+    let next = AtomicUsize::new(0);
+    let executed = AtomicUsize::new(0);
+    let run = AtomicUsize::new(0);
+    let cached = AtomicUsize::new(0);
+    let retried = AtomicUsize::new(0);
+    let failed = AtomicUsize::new(0);
+    let skipped = AtomicUsize::new(0);
+
+    let worker = || loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= specs.len() {
+            break;
+        }
+        if cancel.is_cancelled() {
+            skipped.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        let spec = &specs[i];
+        let hash = spec.hash();
+        if store.has(&hash) {
+            cached.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        // The executed-budget claim happens before running so `max_jobs`
+        // is exact: exactly that many cache misses execute.
+        if let Some(max) = opts.max_jobs {
+            if executed.fetch_add(1, Ordering::Relaxed) >= max {
+                cancel.cancel();
+                skipped.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+        }
+        let mut attempts: u32 = 0;
+        let outcome = loop {
+            let result = catch_unwind(AssertUnwindSafe(|| exec.run(spec, store)));
+            let err = match result {
+                Ok(Ok(mut rec)) => {
+                    rec.hash = hash.clone();
+                    rec.retries = attempts;
+                    break Ok(rec);
+                }
+                Ok(Err(JobError::Transient(_))) if attempts < opts.retries => {
+                    retried.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(std::time::Duration::from_millis(
+                        opts.backoff_ms << attempts.min(10),
+                    ));
+                    attempts += 1;
+                    continue;
+                }
+                Ok(Err(e)) => e.message().to_owned(),
+                Err(payload) => format!("panic: {}", panic_message(payload.as_ref())),
+            };
+            break Err(err);
+        };
+        match outcome {
+            Ok(rec) => {
+                if store.put(&rec).is_ok() {
+                    run.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    failed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(msg) => {
+                let _ = store.record_failure(&hash, &msg, attempts);
+                failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    };
+
+    if opts.threads <= 1 {
+        worker();
+    } else {
+        std::thread::scope(|s| {
+            for _ in 0..opts.threads.min(specs.len().max(1)) {
+                s.spawn(worker);
+            }
+        });
+    }
+
+    CampaignSummary {
+        total: specs.len(),
+        run: run.load(Ordering::Relaxed),
+        cached: cached.load(Ordering::Relaxed),
+        retried: retried.load(Ordering::Relaxed),
+        failed: failed.load(Ordering::Relaxed),
+        skipped: skipped.load(Ordering::Relaxed),
+        wall_ms: started.elapsed().as_millis() as u64,
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{JobKind, PlanSpec};
+    use hb_core::MachineConfig;
+    use std::sync::Mutex;
+
+    fn specs(n: usize) -> Vec<JobSpec> {
+        (0..n)
+            .map(|i| JobSpec {
+                kind: JobKind::Fault,
+                kernel: "mock".to_owned(),
+                seed: i as u64,
+                plan: PlanSpec::Seeded { faults: 1 },
+                config: MachineConfig {
+                    threads: 1,
+                    ..MachineConfig::baseline_16x8()
+                },
+                label: format!("job {i}"),
+            })
+            .collect()
+    }
+
+    fn open_store(tag: &str) -> (Store, std::path::PathBuf) {
+        let d =
+            std::env::temp_dir().join(format!("hb-serve-pool-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        (Store::open(&d).unwrap(), d)
+    }
+
+    struct MockExec {
+        /// seeds that panic every time
+        panics: Vec<u64>,
+        /// seeds that fail transiently this many times before succeeding
+        flaky: Mutex<std::collections::HashMap<u64, u32>>,
+    }
+
+    impl MockExec {
+        fn ok() -> MockExec {
+            MockExec {
+                panics: Vec::new(),
+                flaky: Mutex::new(Default::default()),
+            }
+        }
+    }
+
+    impl Executor for MockExec {
+        fn run(&self, spec: &JobSpec, _store: &Store) -> Result<JobRecord, JobError> {
+            if self.panics.contains(&spec.seed) {
+                panic!("job {} exploded", spec.seed);
+            }
+            if let Some(left) = self.flaky.lock().unwrap().get_mut(&spec.seed) {
+                if *left > 0 {
+                    *left -= 1;
+                    return Err(JobError::Transient("flaky io".to_owned()));
+                }
+            }
+            Ok(JobRecord {
+                kind: spec.kind.canonical(),
+                kernel: spec.kernel.clone(),
+                seed: spec.seed,
+                outcome: "masked".to_owned(),
+                cycles: 100 + spec.seed,
+                ..JobRecord::default()
+            })
+        }
+    }
+
+    #[test]
+    fn runs_all_then_all_cached() {
+        let (store, dir) = open_store("basic");
+        let specs = specs(16);
+        let opts = RunOpts {
+            threads: 4,
+            ..RunOpts::default()
+        };
+        let s = run_jobs(&specs, &store, &MockExec::ok(), &opts, &CancelToken::new());
+        assert_eq!((s.total, s.run, s.cached, s.failed), (16, 16, 0, 0));
+        let s2 = run_jobs(&specs, &store, &MockExec::ok(), &opts, &CancelToken::new());
+        assert_eq!(
+            (s2.run, s2.cached),
+            (0, 16),
+            "identical rerun is 100% cache hits"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_panicking_job_fails_alone() {
+        let (store, dir) = open_store("panic");
+        let specs = specs(8);
+        let exec = MockExec {
+            panics: vec![3],
+            flaky: Mutex::new(Default::default()),
+        };
+        let opts = RunOpts {
+            threads: 4,
+            ..RunOpts::default()
+        };
+        let s = run_jobs(&specs, &store, &exec, &opts, &CancelToken::new());
+        assert_eq!((s.run, s.failed), (7, 1), "{s:?}");
+        let journal = store.journal().unwrap();
+        let fail: Vec<_> = journal.iter().filter(|e| e.status == "failed").collect();
+        assert_eq!(fail.len(), 1);
+        assert!(fail[0].detail.contains("job 3 exploded"), "{:?}", fail[0]);
+        // The failed job re-runs on resume (and panics again deterministically).
+        let s2 = run_jobs(&specs, &store, &exec, &opts, &CancelToken::new());
+        assert_eq!((s2.run, s2.cached, s2.failed), (0, 7, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_failures_retry_with_bounded_attempts() {
+        let (store, dir) = open_store("retry");
+        let specs = specs(4);
+        let exec = MockExec {
+            panics: Vec::new(),
+            flaky: Mutex::new([(1u64, 2u32), (2, 99)].into()),
+        };
+        let opts = RunOpts {
+            threads: 2,
+            retries: 2,
+            backoff_ms: 1,
+            ..RunOpts::default()
+        };
+        let s = run_jobs(&specs, &store, &exec, &opts, &CancelToken::new());
+        // seed 1 succeeds on its 3rd attempt (2 retries); seed 2 exhausts
+        // the retry budget and fails.
+        assert_eq!((s.run, s.failed), (3, 1), "{s:?}");
+        assert_eq!(s.retried, 4, "2 (seed 1) + 2 (seed 2)");
+        let rec = store
+            .get(&specs[1].hash())
+            .expect("seed 1 eventually stored");
+        assert_eq!(rec.retries, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn max_jobs_stops_exactly_and_resume_completes() {
+        let (store, dir) = open_store("maxjobs");
+        let specs = specs(10);
+        let opts = RunOpts {
+            threads: 2,
+            max_jobs: Some(4),
+            ..RunOpts::default()
+        };
+        let s = run_jobs(&specs, &store, &MockExec::ok(), &opts, &CancelToken::new());
+        assert_eq!(s.run, 4, "{s:?}");
+        assert_eq!(s.run + s.cached + s.skipped, 10, "{s:?}");
+        let resumed = run_jobs(
+            &specs,
+            &store,
+            &MockExec::ok(),
+            &RunOpts {
+                threads: 2,
+                ..RunOpts::default()
+            },
+            &CancelToken::new(),
+        );
+        assert_eq!((resumed.run, resumed.cached), (6, 4), "{resumed:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cancellation_skips_remaining_jobs() {
+        let (store, dir) = open_store("cancel");
+        let specs = specs(6);
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let s = run_jobs(
+            &specs,
+            &store,
+            &MockExec::ok(),
+            &RunOpts::default(),
+            &cancel,
+        );
+        assert_eq!((s.run, s.skipped), (0, 6));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

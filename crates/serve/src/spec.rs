@@ -1,0 +1,358 @@
+//! The campaign job model: a [`JobSpec`] is a canonicalized
+//! (kernel, configuration, seed, injection plan, campaign kind) tuple with a
+//! stable content hash.
+//!
+//! The hash folds in a **revision** — the store schema version
+//! ([`SCHEMA_REV`]) plus the binary revision ([`binary_rev`], the
+//! `HB_SERVE_REV` environment variable, typically a git SHA in CI) — so
+//! results simulated by an older binary or recorded under an older layout
+//! never alias fresh jobs. Identical `(revision, kernel, config, seed, plan,
+//! kind)` tuples hash identically, which is the whole caching story: the
+//! content-addressed store keys results by this hash.
+
+use hb_core::MachineConfig;
+use hb_fault::InjectionPlan;
+
+/// Version of the job canonical form *and* the stored result layout. Bump on
+/// any change to [`JobSpec::canonical_line`], the canonical config/plan
+/// serializations it embeds, or the [`crate::store::JobRecord`] fields.
+pub const SCHEMA_REV: u32 = 1;
+
+/// The binary revision folded into every job hash: `HB_SERVE_REV` when set
+/// (CI sets it to the commit SHA so rebuilt binaries invalidate the cache),
+/// else `"dev"`. Whitespace is stripped so the canonical line stays
+/// single-line and space-delimited.
+pub fn binary_rev() -> String {
+    match std::env::var("HB_SERVE_REV") {
+        Ok(v) if !v.trim().is_empty() => v.split_whitespace().collect(),
+        _ => "dev".to_owned(),
+    }
+}
+
+/// What a job simulates and how its result is interpreted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobKind {
+    /// Zero-injection reference run: records the golden DRAM digest and
+    /// cycle count that fault jobs of the same (kernel, config) classify
+    /// against, and performs the empty-plan bit-identity and `hb-iss`
+    /// functional-anchor cross-checks.
+    Golden,
+    /// One fault-injection run, classified masked/sdc/detected/hang against
+    /// the campaign's golden record.
+    Fault,
+    /// One sweep point: `hb_kernels::Benchmark::run` at a size class,
+    /// recording cycles (ablation/performance campaigns).
+    Ablation {
+        /// Kernel input size class: `tiny`, `small` or `large`.
+        size: String,
+    },
+}
+
+impl JobKind {
+    /// Stable token used in the canonical line.
+    pub fn canonical(&self) -> String {
+        match self {
+            JobKind::Golden => "golden".to_owned(),
+            JobKind::Fault => "fault".to_owned(),
+            JobKind::Ablation { size } => format!("ablation:{size}"),
+        }
+    }
+
+    /// Parses a [`JobKind::canonical`] token.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on an unknown token.
+    pub fn from_canonical(text: &str) -> Result<JobKind, String> {
+        match text {
+            "golden" => Ok(JobKind::Golden),
+            "fault" => Ok(JobKind::Fault),
+            _ => match text.split_once(':') {
+                Some(("ablation", size)) if !size.is_empty() => Ok(JobKind::Ablation {
+                    size: size.to_owned(),
+                }),
+                _ => Err(format!("unknown job kind {text:?}")),
+            },
+        }
+    }
+}
+
+/// The injection plan a job runs under, in hashable form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanSpec {
+    /// No injection (golden and ablation jobs).
+    None,
+    /// `InjectionPlan::random(seed, faults, shape)` where `shape` is derived
+    /// deterministically from the campaign's golden record — so `(seed,
+    /// faults)` fully determines the plan at a given revision.
+    Seeded {
+        /// Faults per run.
+        faults: u32,
+    },
+    /// An explicit fault schedule, canonicalized via
+    /// `InjectionPlan::canonical_text`.
+    Explicit(InjectionPlan),
+}
+
+impl PlanSpec {
+    /// Stable token used in the canonical line (no spaces).
+    pub fn canonical(&self) -> String {
+        match self {
+            PlanSpec::None => "none".to_owned(),
+            PlanSpec::Seeded { faults } => format!("seeded:{faults}"),
+            PlanSpec::Explicit(plan) => format!("explicit:{{{}}}", plan.canonical_text()),
+        }
+    }
+
+    /// Parses a [`PlanSpec::canonical`] token.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on a malformed token.
+    pub fn from_canonical(text: &str) -> Result<PlanSpec, String> {
+        if text == "none" {
+            return Ok(PlanSpec::None);
+        }
+        if let Some(n) = text.strip_prefix("seeded:") {
+            return Ok(PlanSpec::Seeded {
+                faults: n.parse().map_err(|_| format!("bad fault count {n:?}"))?,
+            });
+        }
+        if let Some(body) = text.strip_prefix("explicit:{") {
+            let body = body
+                .strip_suffix('}')
+                .ok_or_else(|| format!("unterminated explicit plan {text:?}"))?;
+            return Ok(PlanSpec::Explicit(InjectionPlan::from_canonical_text(
+                body,
+            )?));
+        }
+        Err(format!("unknown plan spec {text:?}"))
+    }
+}
+
+/// One fully-specified simulation job. Everything that can change the
+/// simulated result is in here (plus the revision); everything that cannot
+/// (`label`, host thread counts) stays out of the hash.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Campaign kind.
+    pub kind: JobKind,
+    /// Kernel name: `sgemm`/`jacobi` for golden/fault jobs, a suite name
+    /// (optionally `Name@variant`, e.g. `SGEMM@blocked`) for ablation jobs.
+    pub kernel: String,
+    /// Seed: selects the injection plan for fault jobs; 0 where unused.
+    pub seed: u64,
+    /// Injection plan.
+    pub plan: PlanSpec,
+    /// Machine configuration (canonicalized; `threads` never hashes).
+    pub config: MachineConfig,
+    /// Display label for reports (sweep point name). **Not hashed.**
+    pub label: String,
+}
+
+impl JobSpec {
+    /// The canonical single-line form the content hash is computed over.
+    /// Space-delimited fields; none of the field serializations contain
+    /// spaces. `label` is display-only and excluded.
+    pub fn canonical_line(&self) -> String {
+        format!(
+            "hbjob v1 rev={}.{} kind={} kernel={} seed={} plan={} cfg{{{}}}",
+            SCHEMA_REV,
+            binary_rev(),
+            self.kind.canonical(),
+            self.kernel,
+            self.seed,
+            self.plan.canonical(),
+            self.config.canonical_text(),
+        )
+    }
+
+    /// Content hash: 128-bit FNV-1a over [`JobSpec::canonical_line`], as 32
+    /// lowercase hex digits. The store keys result objects by this.
+    pub fn hash(&self) -> String {
+        fnv1a128_hex(self.canonical_line().as_bytes())
+    }
+
+    /// The manifest line: the canonical line plus the display label.
+    pub fn manifest_line(&self) -> String {
+        format!("{} label={}", self.canonical_line(), self.label)
+    }
+
+    /// Parses a [`JobSpec::manifest_line`] (or a bare canonical line — the
+    /// label then defaults to empty).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed field. The revision field is
+    /// parsed but **not** required to match the current binary: old manifest
+    /// entries must load so `status` can report them as stale-revision
+    /// misses rather than erroring.
+    pub fn from_manifest_line(line: &str) -> Result<JobSpec, String> {
+        let rest = line
+            .strip_prefix("hbjob v1 ")
+            .ok_or_else(|| format!("not an hbjob v1 line: {line:?}"))?;
+        let mut kind = None;
+        let mut kernel = None;
+        let mut seed = None;
+        let mut plan = None;
+        let mut config = None;
+        let mut label = String::new();
+        // `label=` swallows the rest of the line (labels may contain spaces).
+        let (head, tail) = match rest.split_once(" label=") {
+            Some((h, t)) => (h, Some(t)),
+            None => (rest, None),
+        };
+        if let Some(t) = tail {
+            label = t.to_owned();
+        }
+        for tok in head.split_ascii_whitespace() {
+            // cfg{...} is one token (the canonical config has no spaces) and
+            // contains '=' characters of its own; handle it structurally.
+            if let Some(body) = tok.strip_prefix("cfg{") {
+                let body = body
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("unterminated cfg in {line:?}"))?;
+                config = Some(MachineConfig::from_canonical_text(body)?);
+                continue;
+            }
+            let (k, v) = tok
+                .split_once('=')
+                .ok_or_else(|| format!("malformed job field {tok:?}"))?;
+            match k {
+                "rev" => {} // informational; mismatches surface as cache misses
+                "kind" => kind = Some(JobKind::from_canonical(v)?),
+                "kernel" => kernel = Some(v.to_owned()),
+                "seed" => {
+                    seed = Some(v.parse::<u64>().map_err(|_| format!("bad seed {v:?}"))?);
+                }
+                "plan" => plan = Some(PlanSpec::from_canonical(v)?),
+                _ => return Err(format!("unknown job field {k:?}")),
+            }
+        }
+
+        Ok(JobSpec {
+            kind: kind.ok_or("missing kind")?,
+            kernel: kernel.ok_or("missing kernel")?,
+            seed: seed.ok_or("missing seed")?,
+            plan: plan.ok_or("missing plan")?,
+            config: config.ok_or("missing cfg")?,
+            label,
+        })
+    }
+}
+
+/// 128-bit FNV-1a, rendered as 32 lowercase hex digits.
+pub fn fnv1a128_hex(bytes: &[u8]) -> String {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u128::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    format!("{h:032x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_fault::{InjectionPlan, PlanShape};
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            kind: JobKind::Fault,
+            kernel: "sgemm".to_owned(),
+            seed: 7,
+            plan: PlanSpec::Seeded { faults: 1 },
+            config: MachineConfig::baseline_16x8(),
+            label: "run 7".to_owned(),
+        }
+    }
+
+    #[test]
+    fn hash_is_stable_and_label_free() {
+        let a = spec();
+        let mut b = spec();
+        b.label = "something else".to_owned();
+        assert_eq!(a.hash(), b.hash(), "label must not affect the hash");
+        assert_eq!(a.hash().len(), 32);
+
+        let mut c = spec();
+        c.config.threads = 16;
+        assert_eq!(a.hash(), c.hash(), "host threads must not affect the hash");
+    }
+
+    #[test]
+    fn hash_changes_on_seed_kernel_kind_plan_and_config() {
+        let base = spec();
+        let mut m = spec();
+        m.seed = 8;
+        assert_ne!(base.hash(), m.hash());
+        let mut m = spec();
+        m.kernel = "jacobi".to_owned();
+        assert_ne!(base.hash(), m.hash());
+        let mut m = spec();
+        m.kind = JobKind::Golden;
+        assert_ne!(base.hash(), m.hash());
+        let mut m = spec();
+        m.plan = PlanSpec::Seeded { faults: 2 };
+        assert_ne!(base.hash(), m.hash());
+        let mut m = spec();
+        m.config.ruche_factor = 0;
+        assert_ne!(base.hash(), m.hash());
+    }
+
+    #[test]
+    fn manifest_line_roundtrips() {
+        let shape = PlanShape {
+            cells: 1,
+            dim: (4, 4),
+            spm_words: 512,
+            icache_lines: 128,
+            cycles: (100, 5000),
+        };
+        for s in [
+            spec(),
+            JobSpec {
+                kind: JobKind::Golden,
+                plan: PlanSpec::None,
+                label: String::new(),
+                ..spec()
+            },
+            JobSpec {
+                kind: JobKind::Ablation {
+                    size: "small".to_owned(),
+                },
+                kernel: "SGEMM@blocked".to_owned(),
+                plan: PlanSpec::None,
+                label: "ruche=3 sweep point".to_owned(),
+                ..spec()
+            },
+            JobSpec {
+                plan: PlanSpec::Explicit(InjectionPlan::random(9, 3, &shape)),
+                ..spec()
+            },
+        ] {
+            let line = s.manifest_line();
+            let back = JobSpec::from_manifest_line(&line).unwrap();
+            // threads is not canonical; compare modulo it.
+            let mut want = s.clone();
+            want.config.threads = back.config.threads;
+            assert_eq!(back, want, "roundtrip of {line}");
+            assert_eq!(back.hash(), s.hash());
+        }
+    }
+
+    #[test]
+    fn manifest_parse_rejects_garbage() {
+        for bad in [
+            "",
+            "hbjob v2 kind=golden",
+            "hbjob v1 kind=warp kernel=x seed=0 plan=none cfg{}",
+            "hbjob v1 kind=golden kernel=x seed=z plan=none cfg{}",
+            "hbjob v1 kind=golden kernel=x seed=0 plan=none",
+        ] {
+            assert!(JobSpec::from_manifest_line(bad).is_err(), "{bad:?}");
+        }
+    }
+}

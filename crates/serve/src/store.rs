@@ -1,0 +1,460 @@
+//! Content-addressed results store with an append-only journal.
+//!
+//! Layout under the store root:
+//!
+//! ```text
+//! store/
+//!   objects/<h[0..2]>/<h>.json    one JSON line per completed job (h = JobSpec hash)
+//!   journal.ndjson                append-only completion log
+//! ```
+//!
+//! Object writes are atomic (`.tmp` + rename), so a killed campaign leaves
+//! either a complete object or none; the journal line is appended *after*
+//! the rename. Journal recovery ignores a truncated last line (the classic
+//! kill-during-append artifact), so resume never trips over a partial
+//! record. Cache-hit decisions use the objects (existence + successful
+//! parse); the journal feeds `status`, retry accounting and `gc`.
+
+use crate::json::{self, JsonValue};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// One completed job's stored result: everything the aggregation layer
+/// needs, flat and append-friendly.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct JobRecord {
+    /// Content hash of the [`crate::JobSpec`] that produced this.
+    pub hash: String,
+    /// Job kind token (`golden`/`fault`/`ablation:<size>`).
+    pub kind: String,
+    /// Kernel name.
+    pub kernel: String,
+    /// Job seed.
+    pub seed: u64,
+    /// Outcome: `ok` (golden/ablation), or `masked`/`sdc`/`detected`/`hang`.
+    pub outcome: String,
+    /// Injected site-kind label (`regfile`, `spm`, ...); empty when none.
+    pub site: String,
+    /// Injection cycle; 0 when none.
+    pub inj_cycle: u64,
+    /// Simulated cycles (golden/ablation: run length; fault: observed
+    /// cycles, 0 for hangs).
+    pub cycles: u64,
+    /// Retired instructions.
+    pub instrs: u64,
+    /// FNV-1a digest of the final DRAM image, as `0x`-hex.
+    pub dram_digest: u64,
+    /// Cross-checks the run passed (comma-joined, e.g.
+    /// `empty-plan-identity,iss-anchor`).
+    pub checks: String,
+    /// Transient-failure retries consumed before success.
+    pub retries: u32,
+    /// Paths of side artifacts (telemetry traces); relative to the store
+    /// root, comma-joined. Empty when none.
+    pub artifacts: String,
+}
+
+impl JobRecord {
+    /// Serializes as a single JSON object line.
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"hash\":{},\"kind\":{},\"kernel\":{},\"seed\":{},\"outcome\":{},\
+             \"site\":{},\"inj_cycle\":{},\"cycles\":{},\"instrs\":{},\
+             \"dram_digest\":{},\"checks\":{},\"retries\":{},\"artifacts\":{}}}",
+            json::quote(&self.hash),
+            json::quote(&self.kind),
+            json::quote(&self.kernel),
+            self.seed,
+            json::quote(&self.outcome),
+            json::quote(&self.site),
+            self.inj_cycle,
+            self.cycles,
+            self.instrs,
+            json::quote(&format!("{:#018x}", self.dram_digest)),
+            json::quote(&self.checks),
+            self.retries,
+            json::quote(&self.artifacts),
+        )
+    }
+
+    /// Parses a [`JobRecord::to_json_line`] object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed JSON or missing/mistyped fields.
+    pub fn from_json_line(line: &str) -> Result<JobRecord, String> {
+        let map = json::parse_object(line)?;
+        fn str_field(map: &BTreeMap<String, JsonValue>, key: &str) -> Result<String, String> {
+            match map.get(key) {
+                Some(JsonValue::Str(s)) => Ok(s.clone()),
+                Some(_) => Err(format!("field {key:?} is not a string")),
+                None => Err(format!("missing field {key:?}")),
+            }
+        }
+        fn num_field(map: &BTreeMap<String, JsonValue>, key: &str) -> Result<u64, String> {
+            match map.get(key) {
+                Some(JsonValue::Num(n)) => Ok(*n),
+                Some(_) => Err(format!("field {key:?} is not a number")),
+                None => Err(format!("missing field {key:?}")),
+            }
+        }
+        let digest_hex = str_field(&map, "dram_digest")?;
+        let digest = digest_hex
+            .strip_prefix("0x")
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+            .ok_or_else(|| format!("bad dram_digest {digest_hex:?}"))?;
+        Ok(JobRecord {
+            hash: str_field(&map, "hash")?,
+            kind: str_field(&map, "kind")?,
+            kernel: str_field(&map, "kernel")?,
+            seed: num_field(&map, "seed")?,
+            outcome: str_field(&map, "outcome")?,
+            site: str_field(&map, "site")?,
+            inj_cycle: num_field(&map, "inj_cycle")?,
+            cycles: num_field(&map, "cycles")?,
+            instrs: num_field(&map, "instrs")?,
+            dram_digest: digest,
+            checks: str_field(&map, "checks")?,
+            retries: num_field(&map, "retries")? as u32,
+            artifacts: str_field(&map, "artifacts")?,
+        })
+    }
+}
+
+/// One journal line: the completion (or terminal failure) of a job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// Job hash.
+    pub hash: String,
+    /// `done` (object stored) or `failed` (terminal failure; no object, a
+    /// later run will retry the job).
+    pub status: String,
+    /// Outcome or error summary.
+    pub detail: String,
+    /// Retries consumed.
+    pub retries: u32,
+}
+
+impl JournalEntry {
+    fn to_json_line(&self) -> String {
+        format!(
+            "{{\"hash\":{},\"status\":{},\"detail\":{},\"retries\":{}}}",
+            json::quote(&self.hash),
+            json::quote(&self.status),
+            json::quote(&self.detail),
+            self.retries,
+        )
+    }
+
+    fn from_json_line(line: &str) -> Result<JournalEntry, String> {
+        let map = json::parse_object(line)?;
+        let get_str = |key: &str| -> Result<String, String> {
+            match map.get(key) {
+                Some(JsonValue::Str(s)) => Ok(s.clone()),
+                _ => Err(format!("missing/mistyped {key:?}")),
+            }
+        };
+        let retries = match map.get("retries") {
+            Some(JsonValue::Num(n)) => *n as u32,
+            _ => return Err("missing/mistyped \"retries\"".to_owned()),
+        };
+        Ok(JournalEntry {
+            hash: get_str("hash")?,
+            status: get_str("status")?,
+            detail: get_str("detail")?,
+            retries,
+        })
+    }
+}
+
+/// Statistics from a [`Store::gc`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GcStats {
+    /// Objects kept (referenced by a live manifest).
+    pub kept: usize,
+    /// Objects deleted.
+    pub deleted: usize,
+    /// Bytes reclaimed.
+    pub bytes: u64,
+}
+
+/// The on-disk store.
+#[derive(Debug)]
+pub struct Store {
+    root: PathBuf,
+}
+
+impl Store {
+    /// Opens (creating if needed) a store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open(root: impl Into<PathBuf>) -> std::io::Result<Store> {
+        let root = root.into();
+        std::fs::create_dir_all(root.join("objects"))?;
+        Ok(Store { root })
+    }
+
+    /// The store root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Path of the object for `hash`.
+    pub fn object_path(&self, hash: &str) -> PathBuf {
+        let shard = hash.get(..2).unwrap_or("xx");
+        self.root
+            .join("objects")
+            .join(shard)
+            .join(format!("{hash}.json"))
+    }
+
+    fn journal_path(&self) -> PathBuf {
+        self.root.join("journal.ndjson")
+    }
+
+    /// Fetches the stored result for `hash`; `None` on a miss. A present
+    /// but unparseable object (torn write from a hard kill predating the
+    /// atomic-rename scheme, manual tampering) reads as a miss so the job
+    /// simply re-runs.
+    pub fn get(&self, hash: &str) -> Option<JobRecord> {
+        let text = std::fs::read_to_string(self.object_path(hash)).ok()?;
+        let rec = JobRecord::from_json_line(text.trim_end()).ok()?;
+        (rec.hash == hash).then_some(rec)
+    }
+
+    /// Whether a valid result for `hash` is stored.
+    pub fn has(&self, hash: &str) -> bool {
+        self.get(hash).is_some()
+    }
+
+    /// Stores a completed job's record under its hash (atomic tmp+rename)
+    /// and appends a `done` journal line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn put(&self, rec: &JobRecord) -> std::io::Result<()> {
+        let path = self.object_path(&rec.hash);
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            writeln!(f, "{}", rec.to_json_line())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        self.append_journal(&JournalEntry {
+            hash: rec.hash.clone(),
+            status: "done".to_owned(),
+            detail: rec.outcome.clone(),
+            retries: rec.retries,
+        })
+    }
+
+    /// Appends a terminal-failure journal line (no object is stored, so the
+    /// job re-runs on resume).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn record_failure(&self, hash: &str, error: &str, retries: u32) -> std::io::Result<()> {
+        self.append_journal(&JournalEntry {
+            hash: hash.to_owned(),
+            status: "failed".to_owned(),
+            detail: error.to_owned(),
+            retries,
+        })
+    }
+
+    fn append_journal(&self, entry: &JournalEntry) -> std::io::Result<()> {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.journal_path())?;
+        writeln!(f, "{}", entry.to_json_line())
+    }
+
+    /// Reads the journal, newest last. A truncated final line — the
+    /// signature of a kill mid-append — is silently dropped; any *interior*
+    /// malformed line is an error (that is corruption, not truncation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures and interior corruption.
+    pub fn journal(&self) -> Result<Vec<JournalEntry>, String> {
+        let text = match std::fs::read_to_string(self.journal_path()) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(format!("read journal: {e}")),
+        };
+        let mut out = Vec::new();
+        let lines: Vec<&str> = text.split('\n').collect();
+        // The final `split` fragment is never a complete entry: empty after a
+        // trailing newline, a truncated partial line otherwise. Drop it.
+        let complete = lines.len().saturating_sub(1);
+        for (i, line) in lines.iter().take(complete).enumerate() {
+            match JournalEntry::from_json_line(line) {
+                Ok(e) => out.push(e),
+                Err(err) => return Err(format!("journal line {}: {err}", i + 1)),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Deletes every object whose hash is not in `keep`; prunes journal
+    /// lines for deleted objects by rewriting the journal (atomic rename).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn gc(&self, keep: &std::collections::HashSet<String>) -> Result<GcStats, String> {
+        let mut stats = GcStats::default();
+        let objects = self.root.join("objects");
+        let shards = std::fs::read_dir(&objects).map_err(|e| format!("read objects: {e}"))?;
+        for shard in shards {
+            let shard = shard.map_err(|e| e.to_string())?.path();
+            if !shard.is_dir() {
+                continue;
+            }
+            for obj in std::fs::read_dir(&shard).map_err(|e| e.to_string())? {
+                let path = obj.map_err(|e| e.to_string())?.path();
+                let hash = path
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or("")
+                    .to_owned();
+                if keep.contains(&hash) {
+                    stats.kept += 1;
+                } else {
+                    stats.bytes += path.metadata().map(|m| m.len()).unwrap_or(0);
+                    std::fs::remove_file(&path).map_err(|e| format!("rm {path:?}: {e}"))?;
+                    stats.deleted += 1;
+                }
+            }
+        }
+        // Rewrite the journal without entries for deleted objects.
+        let entries = self.journal()?;
+        let tmp = self.journal_path().with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp).map_err(|e| e.to_string())?;
+            for e in entries.iter().filter(|e| keep.contains(&e.hash)) {
+                writeln!(f, "{}", e.to_json_line()).map_err(|e| e.to_string())?;
+            }
+        }
+        std::fs::rename(&tmp, self.journal_path()).map_err(|e| e.to_string())?;
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(hash: &str) -> JobRecord {
+        JobRecord {
+            hash: hash.to_owned(),
+            kind: "fault".to_owned(),
+            kernel: "sgemm".to_owned(),
+            seed: 7,
+            outcome: "masked".to_owned(),
+            site: "regfile".to_owned(),
+            inj_cycle: 123,
+            cycles: 4567,
+            instrs: 890,
+            dram_digest: 0xdead_beef_cafe_f00d,
+            checks: String::new(),
+            retries: 1,
+            artifacts: String::new(),
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("hb-serve-store-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn record_json_roundtrips() {
+        let r = rec("ab12");
+        let line = r.to_json_line();
+        assert_eq!(JobRecord::from_json_line(&line).unwrap(), r);
+        // Escaping survives.
+        let mut odd = rec("ab12");
+        odd.checks = "a\"b\\c\n".to_owned();
+        assert_eq!(JobRecord::from_json_line(&odd.to_json_line()).unwrap(), odd);
+    }
+
+    #[test]
+    fn put_get_and_journal() {
+        let dir = tmpdir("putget");
+        let store = Store::open(&dir).unwrap();
+        assert!(store.get("ab12").is_none());
+        store.put(&rec("ab12")).unwrap();
+        assert_eq!(store.get("ab12").unwrap(), rec("ab12"));
+        store.record_failure("cd34", "panic: boom", 2).unwrap();
+        let j = store.journal().unwrap();
+        assert_eq!(j.len(), 2);
+        assert_eq!(j[0].status, "done");
+        assert_eq!(j[1].status, "failed");
+        assert_eq!(j[1].retries, 2);
+        assert!(!store.has("cd34"), "failures must not read as cache hits");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_ignores_truncated_last_line() {
+        let dir = tmpdir("trunc");
+        let store = Store::open(&dir).unwrap();
+        store.put(&rec("ab12")).unwrap();
+        store.put(&rec("ef56")).unwrap();
+        // Simulate a kill mid-append: chop the file mid-way through the
+        // last line.
+        let jp = dir.join("journal.ndjson");
+        let text = std::fs::read_to_string(&jp).unwrap();
+        let cut = text.len() - 10;
+        std::fs::write(&jp, &text[..cut]).unwrap();
+        let j = store.journal().unwrap();
+        assert_eq!(j.len(), 1, "partial last line is dropped");
+        assert_eq!(j[0].hash, "ab12");
+        // Interior corruption is NOT silently dropped.
+        std::fs::write(
+            &jp,
+            "{garbage}\n{\"hash\":\"x\",\"status\":\"done\",\"detail\":\"\",\"retries\":0}\n",
+        )
+        .unwrap();
+        assert!(store.journal().is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_object_reads_as_miss() {
+        let dir = tmpdir("corrupt");
+        let store = Store::open(&dir).unwrap();
+        store.put(&rec("ab12")).unwrap();
+        std::fs::write(store.object_path("ab12"), "{not json").unwrap();
+        assert!(store.get("ab12").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_keeps_referenced_objects() {
+        let dir = tmpdir("gc");
+        let store = Store::open(&dir).unwrap();
+        store.put(&rec("ab12")).unwrap();
+        store.put(&rec("cd34")).unwrap();
+        let keep: std::collections::HashSet<String> = ["ab12".to_owned()].into();
+        let stats = store.gc(&keep).unwrap();
+        assert_eq!((stats.kept, stats.deleted), (1, 1));
+        assert!(store.has("ab12"));
+        assert!(!store.has("cd34"));
+        assert_eq!(store.journal().unwrap().len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,63 @@
+//! The revision fold: results recorded by one binary/schema revision must
+//! never be served to another. This lives in its own integration binary
+//! because it mutates the process-global `HB_SERVE_REV` variable, and test
+//! binaries run sequentially while tests *within* a binary do not.
+
+use hb_core::MachineConfig;
+use hb_serve::{
+    binary_rev, Campaign, CancelToken, Executor, JobError, JobRecord, JobSpec, RunOpts, Store,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct NoopExec(AtomicUsize);
+
+impl Executor for NoopExec {
+    fn run(&self, spec: &JobSpec, _store: &Store) -> Result<JobRecord, JobError> {
+        self.0.fetch_add(1, Ordering::Relaxed);
+        Ok(JobRecord {
+            kind: spec.kind.canonical(),
+            kernel: spec.kernel.clone(),
+            seed: spec.seed,
+            outcome: "ok".to_owned(),
+            ..JobRecord::default()
+        })
+    }
+}
+
+#[test]
+fn a_new_binary_revision_invalidates_the_cache() {
+    let dir = std::env::temp_dir().join(format!("hb-serve-rev-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Store::open(&dir).unwrap();
+    let cfg = MachineConfig {
+        threads: 1,
+        ..MachineConfig::baseline_16x8()
+    };
+    let campaign = Campaign::fault("rev", "sgemm", &cfg, 1, 4);
+    let opts = RunOpts::default();
+
+    std::env::set_var("HB_SERVE_REV", "rev-one");
+    assert_eq!(binary_rev(), "rev-one");
+    let hashes_one = campaign.hashes();
+    let exec = NoopExec(AtomicUsize::new(0));
+    let s = campaign.run(&store, &exec, &opts, &CancelToken::new());
+    assert_eq!((s.run, s.cached), (5, 0));
+    let s = campaign.run(&store, &exec, &opts, &CancelToken::new());
+    assert_eq!((s.run, s.cached), (0, 5), "same revision: all hits");
+
+    // A different binary revision re-keys every job: nothing aliases.
+    std::env::set_var("HB_SERVE_REV", "rev-two");
+    assert_ne!(campaign.hashes(), hashes_one);
+    let s = campaign.run(&store, &exec, &opts, &CancelToken::new());
+    assert_eq!((s.run, s.cached), (5, 0), "new revision: all misses");
+    assert_eq!(exec.0.load(Ordering::Relaxed), 10);
+
+    // Back on the first revision the original results still serve.
+    std::env::set_var("HB_SERVE_REV", "rev-one");
+    assert_eq!(campaign.hashes(), hashes_one);
+    let s = campaign.run(&store, &exec, &opts, &CancelToken::new());
+    assert_eq!((s.run, s.cached), (0, 5));
+
+    std::env::remove_var("HB_SERVE_REV");
+    let _ = std::fs::remove_dir_all(&dir);
+}
