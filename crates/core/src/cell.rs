@@ -410,6 +410,34 @@ impl Cell {
         }
     }
 
+    /// Turns race-sanitizer capture on or off for every tile (see
+    /// [`crate::race`]). Like telemetry, capture is tile-local during the
+    /// (possibly parallel) tile phase; logs are drained after sync.
+    pub fn set_race_check(&mut self, on: bool) {
+        for t in &mut self.tiles {
+            t.set_race_check(on);
+        }
+    }
+
+    /// Drains every tile's race log into `checker`, in deterministic
+    /// row-major tile order (which makes reports bit-identical across
+    /// `HB_THREADS` settings).
+    pub fn drain_race_logs(&mut self, checker: &mut crate::race::RaceChecker) {
+        let cell = self.id;
+        for t in &mut self.tiles {
+            let tile = t.xy;
+            if t.race_log_mut().is_empty() {
+                continue;
+            }
+            let events = std::mem::take(t.race_log_mut());
+            checker.process((cell, tile.0, tile.1), &events);
+            // Hand the allocation back to the tile.
+            let mut events = events;
+            events.clear();
+            *t.race_log_mut() = events;
+        }
+    }
+
     /// Drains every tile's captured instant events into `out`, in
     /// deterministic row-major tile order, followed by NoC retransmit
     /// events attributed to the tile row nearest each link's router.
@@ -794,6 +822,7 @@ impl Cell {
                 if self.barriers[g.barrier_id].is_released(local) {
                     self.barriers[g.barrier_id].consume_release(local);
                     self.tiles[i].barrier_waiting = false;
+                    self.tiles[i].race_epoch_end();
                 }
             }
         }

@@ -127,6 +127,14 @@ pub struct MachineConfig {
     /// Sampling never changes simulated results; runs are bit-identical
     /// at any window.
     pub telemetry_window: u64,
+    /// Dynamic race sanitizer (see `hb_core::race`): when `true`, every
+    /// shared-location access (remote stores, AMOs, DRAM and SPM traffic)
+    /// is stamped `(tile, barrier-epoch, kind)` into a shadow map and
+    /// same-epoch conflicting pairs are reported. Checking is read-only:
+    /// simulated results are bit-identical with the sanitizer on or off,
+    /// and with it off the hot loop pays exactly one always-false branch
+    /// (the same pattern as `telemetry_window`/fault hooks).
+    pub race_check: bool,
 }
 
 impl MachineConfig {
@@ -168,6 +176,7 @@ impl MachineConfig {
             disabled_tiles: Vec::new(),
             threads: crate::parallel::threads_from_env(),
             telemetry_window: 0,
+            race_check: false,
         }
     }
 
@@ -522,6 +531,7 @@ impl MachineConfig {
             disabled_tiles,
             threads: 1,
             telemetry_window: get(&map, "telw")?,
+            race_check: false,
         };
         // 34 top-level keys: every field accounted for, nothing unknown.
         if map.len() != 34 {

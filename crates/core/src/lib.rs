@@ -61,6 +61,7 @@ pub mod parallel;
 mod payload;
 pub mod pgas;
 pub mod profile;
+pub mod race;
 mod stats;
 mod tile;
 pub mod trace;
@@ -80,5 +81,8 @@ pub use observe::{
 pub use parallel::{threads_from_env, PhaseTimes, TilePool};
 pub use payload::{NodeId, ReqKind, Request, RespKind, Response};
 pub use pgas::{ipoly_hash, PgasMap, Target};
+pub use race::{
+    collect_races, AccessInfo, AccessKind, RaceChecker, RaceLoc, RaceReport, RaceSinkScope,
+};
 pub use stats::{utilization_report, CoreStats, StallKind};
 pub use tile::{GroupInfo, Tile};

@@ -121,6 +121,12 @@ pub struct Machine {
     /// the zero-injection hot loop pays exactly one always-false branch
     /// (the same pattern as `obs_due`).
     fault_due: u64,
+    /// Dynamic race sanitizer shadow map (see [`crate::race`]); `None`
+    /// unless [`MachineConfig::race_check`] (or
+    /// [`Machine::set_race_check`]) turned checking on, so the unchecked
+    /// hot loop pays exactly one always-false branch (the same pattern as
+    /// `obs_due`/`fault_due`).
+    race: Option<Box<crate::race::RaceChecker>>,
 }
 
 impl Machine {
@@ -154,11 +160,84 @@ impl Machine {
             fault_plan: Vec::new(),
             fault_cursor: 0,
             fault_due: u64::MAX,
+            race: None,
         };
+        if machine.cfg.race_check {
+            machine.set_race_check(true);
+        }
         if let Some(obs) = crate::observe::make_observer(&machine.cfg) {
             machine.attach_observer(obs);
         }
         machine
+    }
+
+    /// Turns the dynamic race sanitizer on or off (see [`crate::race`]).
+    /// Turning it off discards all shadow state and accumulated reports.
+    pub fn set_race_check(&mut self, on: bool) {
+        for cell in &mut self.cells {
+            cell.set_race_check(on);
+        }
+        self.race = if on {
+            Some(Box::new(crate::race::RaceChecker::new()))
+        } else {
+            None
+        };
+    }
+
+    /// Whether the dynamic race sanitizer is on.
+    pub fn is_race_checked(&self) -> bool {
+        self.race.is_some()
+    }
+
+    /// Race reports accumulated so far (pending tile logs are drained
+    /// first). Empty when the sanitizer is off.
+    pub fn race_reports(&mut self) -> &[crate::race::RaceReport] {
+        self.drain_races();
+        self.race.as_ref().map_or(&[][..], |r| r.reports())
+    }
+
+    /// Renders every accumulated race report, one string per report, with
+    /// both PCs disassembled against the involved tiles' loaded programs.
+    pub fn render_races(&mut self) -> Vec<String> {
+        self.drain_races();
+        let Some(race) = self.race.take() else {
+            return Vec::new();
+        };
+        let out = race
+            .reports()
+            .iter()
+            .map(|r| {
+                r.render(|tile, pc| {
+                    self.cells[usize::from(tile.0)]
+                        .tile(tile.1, tile.2)
+                        .disasm_at(pc)
+                })
+            })
+            .collect();
+        self.race = Some(race);
+        out
+    }
+
+    /// Out-of-line race-log drain, so the unchecked [`Machine::tick`] only
+    /// pays the `race.is_some()` comparison. New reports additionally land
+    /// as [`ObsKind::Race`](crate::observe::ObsKind) instant events on the
+    /// second-accessing tile when telemetry is attached.
+    #[cold]
+    fn drain_races(&mut self) {
+        let Some(mut race) = self.race.take() else {
+            return;
+        };
+        let before = race.reports().len();
+        for cell in &mut self.cells {
+            cell.drain_race_logs(&mut race);
+        }
+        for i in before..race.reports().len() {
+            let r = race.reports()[i];
+            self.cells[usize::from(r.b.tile.0)]
+                .tile_mut(r.b.tile.1, r.b.tile.2)
+                .push_obs(r.b.cycle, crate::observe::ObsKind::Race);
+        }
+        self.race = Some(race);
     }
 
     /// Attaches a telemetry observer: it will be sampled whenever the
@@ -272,6 +351,7 @@ impl Machine {
 
     /// Convenience: launch on every tile of Cell `cell`.
     pub fn launch(&mut self, cell: u8, program: &Arc<Program>, args: &[u32]) {
+        self.reset_race_epochs();
         self.cells[cell as usize].launch(program, args);
     }
 
@@ -282,7 +362,20 @@ impl Machine {
         program: &Arc<Program>,
         groups: &[(GroupSpec, Vec<u32>)],
     ) {
+        self.reset_race_epochs();
         self.cells[cell as usize].launch_groups(program, groups);
+    }
+
+    /// A host launch is a synchronization point: drain what the previous
+    /// kernel logged, then clear the shadow state (epochs, histories) so
+    /// accesses of different launches never pair up. Reports accumulate.
+    fn reset_race_epochs(&mut self) {
+        if self.race.is_some() {
+            self.drain_races();
+            if let Some(r) = &mut self.race {
+                r.reset();
+            }
+        }
     }
 
     /// Installs a fault-injection plan (see [`hb_fault`]). NoC link faults
@@ -328,6 +421,9 @@ impl Machine {
         }
         if self.cycle >= self.obs_due {
             self.observe();
+        }
+        if self.race.is_some() {
+            self.drain_races();
         }
     }
 
@@ -427,6 +523,9 @@ impl Machine {
         }
         if self.cycle >= self.obs_due {
             self.observe();
+        }
+        if self.race.is_some() {
+            self.drain_races();
         }
     }
 
@@ -610,10 +709,18 @@ impl Machine {
 impl Drop for Machine {
     /// Flushes the observer's final partial window: benchmark harnesses
     /// build and drop machines internally, and the telemetry store (shared
-    /// out-of-band) must still see the tail of the run.
+    /// out-of-band) must still see the tail of the run. Likewise, when a
+    /// [`collect_races`](crate::race::collect_races) sink is installed on
+    /// this thread, accumulated race reports are pushed there so harnesses
+    /// that never see the machine can still observe them.
     fn drop(&mut self) {
         if self.observer.is_some() {
             self.detach_observer();
+        }
+        if self.race.is_some() && crate::race::sink_active() {
+            let rendered = self.render_races();
+            let reports = self.race_reports().to_vec();
+            crate::race::sink_push(reports.into_iter().zip(rendered).collect());
         }
     }
 }

@@ -42,6 +42,9 @@ pub enum ObsKind {
     /// A corrupted flit was detected and replayed on a NoC link; the event
     /// is attributed to the tile row nearest the link's router.
     Retransmit,
+    /// The dynamic race sanitizer (see [`crate::race`]) reported a new
+    /// conflicting pair; the event lands on the second-accessing tile.
+    Race,
 }
 
 /// Which structure an [`ObsKind::Inject`] event hit.

@@ -154,6 +154,16 @@ pub struct Tile {
     /// append to `obs_events`; the sampler drains the buffer each window.
     observed: bool,
     obs_events: Vec<(u64, crate::observe::ObsKind)>,
+
+    /// Race-sanitizer capture (see [`crate::race`]): when set, every
+    /// shared-location access appends an epoch-log entry; the machine
+    /// drains the log each cycle into the [`crate::race::RaceChecker`].
+    race_check: bool,
+    race_log: Vec<crate::race::TileRaceEvent>,
+    /// Captured at the barrier-join store: whether remote operations were
+    /// still outstanding (an unfenced join lets writes leak into the next
+    /// epoch).
+    race_join_unfenced: bool,
 }
 
 const OUTBOX_CAP: usize = 4;
@@ -238,6 +248,9 @@ impl Tile {
             last_cycle: 0,
             observed: false,
             obs_events: Vec::new(),
+            race_check: false,
+            race_log: Vec::new(),
+            race_join_unfenced: false,
         }
     }
 
@@ -258,6 +271,60 @@ impl Tile {
     /// Drains the captured `(cycle, kind)` instant events, oldest first.
     pub fn drain_obs_events(&mut self) -> std::vec::Drain<'_, (u64, crate::observe::ObsKind)> {
         self.obs_events.drain(..)
+    }
+
+    /// Turns race-sanitizer capture on or off (off discards any undrained
+    /// log entries).
+    pub fn set_race_check(&mut self, on: bool) {
+        self.race_check = on;
+        if !on {
+            self.race_log.clear();
+        }
+    }
+
+    /// The undrained race log (drained by the machine each cycle).
+    pub(crate) fn race_log_mut(&mut self) -> &mut Vec<crate::race::TileRaceEvent> {
+        &mut self.race_log
+    }
+
+    /// Appends a shared-location access to the race log. One always-false
+    /// branch when the sanitizer is off.
+    #[inline]
+    fn push_race(
+        &mut self,
+        cycle: u64,
+        loc: crate::race::RaceLoc,
+        kind: crate::race::AccessKind,
+        remote: bool,
+    ) {
+        if self.race_check {
+            self.race_log.push(crate::race::TileRaceEvent::Access {
+                cycle,
+                loc,
+                pc: self.pc,
+                kind,
+                remote,
+            });
+        }
+    }
+
+    /// Called by the Cell when this tile consumes a barrier release: closes
+    /// the tile's current epoch in the race log.
+    pub(crate) fn race_epoch_end(&mut self) {
+        if self.race_check {
+            self.race_log.push(crate::race::TileRaceEvent::EpochEnd {
+                unfenced: self.race_join_unfenced,
+            });
+        }
+        self.race_join_unfenced = false;
+    }
+
+    /// Disassembles the instruction at `pc` of the loaded program, if any.
+    pub fn disasm_at(&self, pc: u32) -> Option<String> {
+        self.program
+            .as_ref()
+            .and_then(|p| p.instr_at(pc))
+            .map(|i| i.to_string())
     }
 
     /// Launches the kernel: resets architectural state, loads `args` into
@@ -1211,6 +1278,19 @@ impl Tile {
                     self.trap(format!("SPM load overrun at {offset:#x}"));
                     return false;
                 }
+                // Local SPM is remotely addressable (a neighbour's remote
+                // store can land here), so local reads are race-relevant.
+                self.push_race(
+                    now,
+                    crate::race::RaceLoc::Spm {
+                        cell: self.pgas.cell_id,
+                        x: self.xy.0,
+                        y: self.xy.1,
+                        word: offset & !3,
+                    },
+                    crate::race::AccessKind::Read,
+                    false,
+                );
                 let v = extend(read_bytes(&self.spm, offset, width), width, signed);
                 match dst {
                     Dst::Int(rd) => {
@@ -1251,11 +1331,41 @@ impl Tile {
                     return self.do_load(now, offset, width, signed, dst);
                 }
                 let coord = self.pgas.tile_coord(tile.x, tile.y);
-                self.remote_load(now, self.pgas.cell_id, coord, offset, width, signed, dst)
+                let ok =
+                    self.remote_load(now, self.pgas.cell_id, coord, offset, width, signed, dst);
+                if ok {
+                    // Record only on issue; a credit stall retries the
+                    // instruction and would double-count.
+                    self.push_race(
+                        now,
+                        crate::race::RaceLoc::Spm {
+                            cell: self.pgas.cell_id,
+                            x: tile.x,
+                            y: tile.y,
+                            word: offset & !3,
+                        },
+                        crate::race::AccessKind::Read,
+                        true,
+                    );
+                }
+                ok
             }
             Ok(Target::Bank { cell, bank, addr }) => {
                 let coord = self.pgas.bank_coord(bank);
-                self.remote_load(now, cell, coord, addr, width, signed, dst)
+                let ok = self.remote_load(now, cell, coord, addr, width, signed, dst);
+                if ok {
+                    self.push_race(
+                        now,
+                        crate::race::RaceLoc::Dram {
+                            cell,
+                            bank: bank as u8,
+                            word: addr & !3,
+                        },
+                        crate::race::AccessKind::Read,
+                        true,
+                    );
+                }
+                ok
             }
         }
     }
@@ -1294,6 +1404,17 @@ impl Tile {
                     self.trap(format!("SPM store overrun at {offset:#x}"));
                     return false;
                 }
+                self.push_race(
+                    now,
+                    crate::race::RaceLoc::Spm {
+                        cell: self.pgas.cell_id,
+                        x: self.xy.0,
+                        y: self.xy.1,
+                        word: offset & !3,
+                    },
+                    crate::race::AccessKind::Write,
+                    false,
+                );
                 write_bytes(&mut self.spm, offset, width, data);
                 true
             }
@@ -1307,6 +1428,10 @@ impl Tile {
                     }
                     self.wants_join = true;
                     self.barrier_waiting = true;
+                    // Joining with remote ops outstanding means their
+                    // writes are not ordered before the release: the
+                    // sanitizer extends them into the next epoch.
+                    self.race_join_unfenced = self.outstanding > 0;
                     if self.observed {
                         self.obs_events
                             .push((now, crate::observe::ObsKind::BarrierJoin));
@@ -1333,11 +1458,38 @@ impl Tile {
                     return self.do_store(now, offset, width, data);
                 }
                 let coord = self.pgas.tile_coord(tile.x, tile.y);
-                self.remote_store(now, self.pgas.cell_id, coord, offset, width, data)
+                let ok = self.remote_store(now, self.pgas.cell_id, coord, offset, width, data);
+                if ok {
+                    self.push_race(
+                        now,
+                        crate::race::RaceLoc::Spm {
+                            cell: self.pgas.cell_id,
+                            x: tile.x,
+                            y: tile.y,
+                            word: offset & !3,
+                        },
+                        crate::race::AccessKind::Write,
+                        true,
+                    );
+                }
+                ok
             }
             Ok(Target::Bank { cell, bank, addr }) => {
                 let coord = self.pgas.bank_coord(bank);
-                self.remote_store(now, cell, coord, addr, width, data)
+                let ok = self.remote_store(now, cell, coord, addr, width, data);
+                if ok {
+                    self.push_race(
+                        now,
+                        crate::race::RaceLoc::Dram {
+                            cell,
+                            bank: bank as u8,
+                            word: addr & !3,
+                        },
+                        crate::race::AccessKind::Write,
+                        true,
+                    );
+                }
+                ok
             }
         }
     }
@@ -1388,7 +1540,16 @@ impl Tile {
                 if !self.cfg.non_blocking_loads {
                     self.blocking_on = Some(op_id);
                 }
-                let _ = now;
+                self.push_race(
+                    now,
+                    crate::race::RaceLoc::Dram {
+                        cell,
+                        bank: bank as u8,
+                        word: addr & !3,
+                    },
+                    crate::race::AccessKind::Amo,
+                    true,
+                );
                 true
             }
             Ok(Target::RemoteSpm { tile, offset }) => {
@@ -1419,6 +1580,17 @@ impl Tile {
                 if !self.cfg.non_blocking_loads {
                     self.blocking_on = Some(op_id);
                 }
+                self.push_race(
+                    now,
+                    crate::race::RaceLoc::Spm {
+                        cell: self.pgas.cell_id,
+                        x: tile.x,
+                        y: tile.y,
+                        word: offset & !3,
+                    },
+                    crate::race::AccessKind::Amo,
+                    true,
+                );
                 true
             }
             Ok(_) => {

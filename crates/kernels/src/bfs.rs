@@ -244,7 +244,7 @@ impl Bfs {
             a.bge(T0, S3, bu_done);
             a.slli(T1, T0, 2);
             a.add(T1, A2, T1);
-            a.lw(T2, T1, 0); // dist[v]
+            a.amoadd(T2, Zero, T1); // dist[v], atomic read (see below)
             a.li(T3, -1);
             a.bne(T2, T3, bu); // already visited
             a.slli(T4, T0, 2);
@@ -258,14 +258,18 @@ impl Bfs {
             a.lw(T5, T4, 0); // u
             a.slli(T5, T5, 2);
             a.add(T5, A2, T5);
-            a.lw(T2, T5, 0); // dist[u]
+            // Same-phase communication: neighbours' dist words are being
+            // claimed concurrently, so both the probe and the claim below
+            // are atomics (the benign race made explicit — a torn probe
+            // reads -1 or `level`, neither of which equals `level - 1`).
+            a.amoadd(T2, Zero, T5); // dist[u], atomic read
             a.addi(S7, S7, 1);
             a.addi(T4, S5, -1);
             a.bne(T2, T4, bu_edges);
             // Parent on the frontier: claim v.
             a.slli(T4, T0, 2);
             a.add(T4, A2, T4);
-            a.sw(S5, T4, 0); // dist[v] = level
+            a.amoswap(Zero, S5, T4); // dist[v] = level
             a.amoadd(T4, S9, S1); // idx = next_count++
             a.slli(T4, T4, 2);
             a.add(T4, A4, T4);

@@ -93,7 +93,7 @@ impl Jacobi {
     ///
     /// Each tile first builds one column *descriptor* per column it owns —
     /// always its own, plus the `TG_ADOPT` tile's when degraded — at SPM
-    /// [`DESC_BASE`], then runs copy-in / step-loop / copy-out uniformly
+    /// `DESC_BASE`, then runs copy-in / step-loop / copy-out uniformly
     /// over the descriptor list. A descriptor holds the column's DRAM
     /// base, its SPM base (0 locally, a Group-SPM EVA for an adopted
     /// column), an interior flag, and the four neighbor-column EVAs.

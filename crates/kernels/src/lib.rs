@@ -28,6 +28,7 @@ mod bfs;
 mod bh;
 mod bs;
 mod fft;
+pub mod fixtures;
 mod jacobi;
 mod pr;
 mod sgemm;

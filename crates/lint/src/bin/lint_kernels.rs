@@ -1,12 +1,18 @@
 //! Lints every kernel in `hb-kernels` across its parameterizations.
 //!
 //! ```text
-//! cargo run -p hb-lint --bin lint-kernels [-- --deny-warnings] [--verbose]
+//! cargo run -p hb-lint --bin lint-kernels [-- --deny-warnings] [--verbose] [--json]
 //! ```
 //!
 //! Exits non-zero if any kernel produces an `Error`-severity diagnostic
 //! (or, with `--deny-warnings`, a `Warning`). `Info` findings are counted
 //! in the summary and printed only with `--verbose`.
+//!
+//! With `--json`, output is machine-readable NDJSON: one object per
+//! kernel (`{"kernel":...,"instrs":...,"errors":...,"warnings":...,
+//! "info":...,"diagnostics":[{"severity":...,"rule":...,"pc":...,
+//! "message":...}]}`) plus a final `{"total":...}` summary line. Exit
+//! codes are unchanged.
 
 use hb_asm::Program;
 use hb_core::MachineConfig;
@@ -33,16 +39,43 @@ fn programs() -> Vec<(&'static str, Program)> {
     ]
 }
 
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn severity_token(s: Severity) -> &'static str {
+    match s {
+        Severity::Info => "info",
+        Severity::Warning => "warning",
+        Severity::Error => "error",
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let deny_warnings = args.iter().any(|a| a == "--deny-warnings");
     let verbose = args.iter().any(|a| a == "--verbose" || a == "-v");
-    if let Some(bad) = args
-        .iter()
-        .find(|a| !matches!(a.as_str(), "--deny-warnings" | "--verbose" | "-v"))
-    {
+    let json = args.iter().any(|a| a == "--json");
+    if let Some(bad) = args.iter().find(|a| {
+        !matches!(
+            a.as_str(),
+            "--deny-warnings" | "--verbose" | "-v" | "--json"
+        )
+    }) {
         eprintln!("unknown argument `{bad}`");
-        eprintln!("usage: lint-kernels [--deny-warnings] [--verbose]");
+        eprintln!("usage: lint-kernels [--deny-warnings] [--verbose] [--json]");
         return ExitCode::from(2);
     }
 
@@ -66,27 +99,56 @@ fn main() -> ExitCode {
         total[0] += ni;
         total[1] += nw;
         total[2] += ne;
-        println!(
-            "{name:30} {:5} instrs   {ne} error(s), {nw} warning(s), {ni} info",
-            program.len()
-        );
-        for d in &diags {
-            let show = match d.severity {
-                Severity::Error | Severity::Warning => true,
-                Severity::Info => verbose,
-            };
-            if show {
-                println!("{}", render(&program, d));
+        if json {
+            let items: Vec<String> = diags
+                .iter()
+                .map(|d| {
+                    format!(
+                        "{{\"severity\":\"{}\",\"rule\":\"{}\",\"pc\":{},\"message\":\"{}\"}}",
+                        severity_token(d.severity),
+                        d.rule.name(),
+                        d.pc.map_or("null".to_owned(), |pc| pc.to_string()),
+                        json_escape(&d.message)
+                    )
+                })
+                .collect();
+            println!(
+                "{{\"kernel\":\"{}\",\"instrs\":{},\"errors\":{ne},\"warnings\":{nw},\
+                 \"info\":{ni},\"diagnostics\":[{}]}}",
+                json_escape(name),
+                program.len(),
+                items.join(",")
+            );
+        } else {
+            println!(
+                "{name:30} {:5} instrs   {ne} error(s), {nw} warning(s), {ni} info",
+                program.len()
+            );
+            for d in &diags {
+                let show = match d.severity {
+                    Severity::Error | Severity::Warning => true,
+                    Severity::Info => verbose,
+                };
+                if show {
+                    println!("{}", render(&program, d));
+                }
             }
         }
         if ne > 0 || (deny_warnings && nw > 0) {
             failed = true;
         }
     }
-    println!(
-        "\ntotal: {} error(s), {} warning(s), {} info",
-        total[2], total[1], total[0]
-    );
+    if json {
+        println!(
+            "{{\"total\":{{\"errors\":{},\"warnings\":{},\"info\":{}}}}}",
+            total[2], total[1], total[0]
+        );
+    } else {
+        println!(
+            "\ntotal: {} error(s), {} warning(s), {} info",
+            total[2], total[1], total[0]
+        );
+    }
     if failed {
         ExitCode::FAILURE
     } else {

@@ -38,6 +38,7 @@
 pub mod absint;
 pub mod cfg;
 pub mod dataflow;
+pub mod phases;
 
 use hb_asm::{AsmError, Assembler, Program};
 use hb_core::MachineConfig;
@@ -115,11 +116,14 @@ pub enum Rule {
     IcacheFootprint,
     /// A loop body spans more than the instruction cache.
     IcacheLoopSpill,
+    /// Two accesses from different tiles can touch the same shared word in
+    /// the same barrier phase without ordering (see [`mod@phases`]).
+    PhaseRace,
 }
 
 impl Rule {
     /// Every rule, in a fixed order.
-    pub const ALL: [Rule; 16] = [
+    pub const ALL: [Rule; 17] = [
         Rule::UseBeforeDef,
         Rule::DeadWrite,
         Rule::UnreachableBlock,
@@ -136,6 +140,7 @@ impl Rule {
         Rule::AmoToLocal,
         Rule::IcacheFootprint,
         Rule::IcacheLoopSpill,
+        Rule::PhaseRace,
     ];
 
     /// The stable kebab-case identifier of this rule.
@@ -157,6 +162,7 @@ impl Rule {
             Rule::AmoToLocal => "amo-to-local",
             Rule::IcacheFootprint => "icache-footprint",
             Rule::IcacheLoopSpill => "icache-loop-spill",
+            Rule::PhaseRace => "phase-race",
         }
     }
 
@@ -261,6 +267,7 @@ pub fn lint(program: &Program, config: &LintConfig) -> Vec<Diagnostic> {
     dataflow::check_use_before_def(&graph, instrs, &mut diags);
     dataflow::check_dead_writes(&graph, instrs, &mut diags);
     absint::check_resources(&graph, instrs, config, &mut diags);
+    phases::check_phase_conflicts(&graph, instrs, config, &mut diags);
     diags.retain(|d| !config.disabled.contains(&d.rule));
     diags.sort_by(|a, b| {
         b.severity

@@ -109,6 +109,7 @@ pub fn to_string(t: &Telemetry) -> String {
             ObsKind::Fault => "fault".to_owned(),
             ObsKind::Inject(k) => format!("inject {}", k.label()),
             ObsKind::Retransmit => "noc retransmit".to_owned(),
+            ObsKind::Race => "race".to_owned(),
         };
         push(
             &mut out,

@@ -77,6 +77,7 @@ pub fn to_string(t: &Telemetry) -> String {
             ObsKind::Fault => ("fault", -1),
             ObsKind::Inject(k) => ("inject", i64::from(k as u8)),
             ObsKind::Retransmit => ("retransmit", -1),
+            ObsKind::Race => ("race", -1),
         };
         let _ = writeln!(
             out,

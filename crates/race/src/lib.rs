@@ -1,0 +1,316 @@
+//! Two-sided race checking for HammerBlade kernels.
+//!
+//! This crate closes the loop between the two independent race detectors
+//! in the workspace:
+//!
+//! - the **static** side — `hb-lint`'s [`phase-race`](hb_lint::Rule::PhaseRace)
+//!   pass ([`hb_lint::phases`]), which abstractly interprets a kernel over
+//!   a symbolic tile rank and reports access pairs that can touch the same
+//!   shared word in the same barrier phase;
+//! - the **dynamic** side — the barrier-epoch sanitizer in the cycle model
+//!   ([`hb_core::RaceChecker`]), which stamps every shared-location access
+//!   with its tile's barrier epoch and reports same-epoch conflicting
+//!   pairs as they happen.
+//!
+//! The contract between them is one-directional soundness: **every race
+//! the sanitizer observes must have been statically flagged** (the static
+//! pass over-approximates; the dynamic pass only sees what a particular
+//! run did). [`cross_validate`] enforces that contract, and the racy
+//! fixtures in [`hb_kernels::fixtures`] exercise it with exact expected
+//! finding counts on both sides. The clean direction — the whole benchmark
+//! suite produces zero findings from either checker — is covered by
+//! [`check_suite`] and the `race_check` harness binary.
+
+use hb_asm::Program;
+use hb_core::{collect_races, pgas, Machine, MachineConfig, RaceReport};
+use hb_kernels::fixtures::Fixture;
+use hb_kernels::{
+    Aes, BarnesHut, Benchmark, Bfs, BlackScholes, Fft, Jacobi, PageRank, Sgemm, SizeClass,
+    SmithWaterman, SpGemm,
+};
+use hb_lint::phases::phase_conflicts;
+pub use hb_lint::phases::PhaseConflict;
+use hb_lint::LintConfig;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Runs the static phase-conflict analysis against `cfg`'s machine shape.
+pub fn static_conflicts(program: &Program, cfg: &MachineConfig) -> Vec<PhaseConflict> {
+    phase_conflicts(program, &LintConfig::for_machine(cfg))
+}
+
+/// Everything both checkers said about one fixture run.
+pub struct FixtureOutcome {
+    pub name: &'static str,
+    /// Static `phase-race` findings for the fixture's program.
+    pub statics: Vec<PhaseConflict>,
+    /// Raw dynamic reports from the sanitized run.
+    pub dynamic: Vec<RaceReport>,
+    /// The same reports rendered with both PCs disassembled.
+    pub rendered: Vec<String>,
+}
+
+/// Runs one fixture through both checkers: the static pass over its
+/// program, then a sanitized run on a machine built from `cfg` (with
+/// `race_check` forced on), one `ranks + 1`-word DRAM buffer per launch
+/// argument.
+///
+/// # Panics
+///
+/// Panics if the simulated run itself fails (timeout, fault) — fixtures
+/// are racy, not broken.
+pub fn run_fixture(f: &Fixture, cfg: &MachineConfig) -> FixtureOutcome {
+    let program = (f.build)();
+    let statics = static_conflicts(&program, cfg);
+    let cfg = MachineConfig {
+        race_check: true,
+        ..cfg.clone()
+    };
+    let ranks = u32::from(cfg.cell_dim.x) * u32::from(cfg.cell_dim.y);
+    let mut m = Machine::new(cfg);
+    let args: Vec<u32> = (0..f.buffers)
+        .map(|_| pgas::local_dram(m.cell_mut(0).alloc((ranks + 1) * 4, 64)))
+        .collect();
+    let p = Arc::new(program);
+    m.launch(0, &p, &args);
+    m.run(10_000_000)
+        .unwrap_or_else(|e| panic!("fixture {} did not complete: {e:?}", f.name));
+    let rendered = m.render_races();
+    let dynamic = m.race_reports().to_vec();
+    FixtureOutcome {
+        name: f.name,
+        statics,
+        dynamic,
+        rendered,
+    }
+}
+
+fn unordered(a: u32, b: u32) -> (u32, u32) {
+    (a.min(b), a.max(b))
+}
+
+/// Checks the soundness contract: every dynamically observed race — an
+/// unordered `(pc, pc)` instruction pair — must appear among the static
+/// findings. The static side may (and usually does) over-approximate;
+/// the reverse direction is *not* required.
+pub fn cross_validate(statics: &[PhaseConflict], dynamic: &[RaceReport]) -> Result<(), String> {
+    let known: BTreeSet<(u32, u32)> = statics.iter().map(|c| unordered(c.pc_a, c.pc_b)).collect();
+    for r in dynamic {
+        let pair = unordered(r.a.pc, r.b.pc);
+        if !known.contains(&pair) {
+            return Err(format!(
+                "soundness regression: dynamic race between pcs {:#x} and {:#x} \
+                 (on {}) was not statically flagged",
+                pair.0,
+                pair.1,
+                r.loc.render()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Canonical kernel tokens for the twelve checked parameterizations: the
+/// ten suite defaults plus the direction-optimizing BFS and SPM-blocked
+/// SGEMM variants. Tokens are `Name` or `Name@variant` (space-free, so
+/// they fit the `hb-serve` canonical job line) and are what
+/// [`parameterization`] accepts.
+pub const SUITE_KERNELS: [&str; 12] = [
+    "PR",
+    "BFS",
+    "BFS@diropt",
+    "SpGEMM",
+    "BH",
+    "FFT",
+    "Jacobi",
+    "SGEMM",
+    "SGEMM@blocked",
+    "BS",
+    "SW",
+    "AES",
+];
+
+/// Resolves a kernel token (case-insensitive `Name` or `Name@variant`) to
+/// the benchmark instance and the matching static program.
+pub fn parameterization(kernel: &str) -> Option<(Box<dyn Benchmark>, Program)> {
+    let b = |b: Box<dyn Benchmark>, p: Program| Some((b, p));
+    match kernel.to_ascii_lowercase().as_str() {
+        "pr" => b(Box::<PageRank>::default(), PageRank::program()),
+        "bfs" => b(Box::<Bfs>::default(), Bfs::program(false)),
+        "bfs@diropt" => b(Box::new(Bfs::direction_optimizing()), Bfs::program(true)),
+        "spgemm" => b(Box::<SpGemm>::default(), SpGemm::program()),
+        "bh" => b(Box::<BarnesHut>::default(), BarnesHut::program()),
+        "fft" => b(Box::<Fft>::default(), Fft::program()),
+        "jacobi" => b(Box::<Jacobi>::default(), Jacobi::program()),
+        "sgemm" => b(Box::<Sgemm>::default(), Sgemm::program()),
+        "sgemm@blocked" => b(Box::new(Sgemm::blocked()), Sgemm::program_blocked()),
+        "bs" => b(Box::<BlackScholes>::default(), BlackScholes::program()),
+        "sw" => b(Box::<SmithWaterman>::default(), SmithWaterman::program()),
+        "aes" => b(Box::<Aes>::default(), Aes::program()),
+        _ => None,
+    }
+}
+
+/// Every checked parameterization: `(token, benchmark, program)`.
+pub fn suite_parameterizations() -> Vec<(&'static str, Box<dyn Benchmark>, Program)> {
+    SUITE_KERNELS
+        .iter()
+        .map(|k| {
+            let (bench, program) = parameterization(k).expect("token list is exhaustive");
+            (*k, bench, program)
+        })
+        .collect()
+}
+
+/// Verdict for one suite kernel: finding counts from both checkers.
+pub struct SuiteEntry {
+    pub name: &'static str,
+    pub static_findings: usize,
+    pub dynamic_findings: usize,
+    /// Rendered dynamic reports (empty for a clean kernel).
+    pub races: Vec<String>,
+}
+
+impl SuiteEntry {
+    pub fn is_clean(&self) -> bool {
+        self.static_findings == 0 && self.dynamic_findings == 0
+    }
+}
+
+/// Runs every suite parameterization through both checkers: the static
+/// pass against `cfg`'s shape and a full sanitized benchmark run (which
+/// also golden-validates the output, proving the sanitizer is read-only).
+///
+/// # Panics
+///
+/// Panics if a benchmark run fails or mis-validates.
+pub fn check_suite(cfg: &MachineConfig, size: SizeClass) -> Vec<SuiteEntry> {
+    let run_cfg = MachineConfig {
+        race_check: true,
+        ..cfg.clone()
+    };
+    suite_parameterizations()
+        .into_iter()
+        .map(|(name, bench, program)| {
+            let statics = static_conflicts(&program, cfg);
+            let scope = collect_races();
+            bench
+                .run(&run_cfg, size)
+                .unwrap_or_else(|e| panic!("{name} failed under the sanitizer: {e:?}"));
+            let races = scope.take();
+            SuiteEntry {
+                name,
+                static_findings: statics.len(),
+                dynamic_findings: races.len(),
+                races: races.into_iter().map(|(_, s)| s).collect(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_core::CellDim;
+
+    fn cfg(threads: usize) -> MachineConfig {
+        MachineConfig {
+            cell_dim: CellDim { x: 4, y: 2 },
+            threads,
+            ..MachineConfig::baseline_16x8()
+        }
+    }
+
+    #[test]
+    fn fixtures_match_expected_counts_and_cross_validate() {
+        for f in hb_kernels::fixtures::all() {
+            let out = run_fixture(&f, &cfg(1));
+            assert_eq!(
+                out.statics.len(),
+                f.expect_static,
+                "{}: static findings {:#?}",
+                f.name,
+                out.statics
+            );
+            assert_eq!(
+                out.dynamic.len(),
+                f.expect_dynamic,
+                "{}: dynamic reports:\n{}",
+                f.name,
+                out.rendered.join("\n")
+            );
+            cross_validate(&out.statics, &out.dynamic)
+                .unwrap_or_else(|e| panic!("{}: {e}", f.name));
+            // Rendered reports carry both disassembled PCs.
+            for r in &out.rendered {
+                assert!(r.contains("race on"), "{r}");
+                assert!(!r.contains("[?]"), "PC failed to disassemble: {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn fixture_reports_are_bit_identical_across_thread_counts() {
+        for f in hb_kernels::fixtures::all() {
+            let one = run_fixture(&f, &cfg(1));
+            let four = run_fixture(&f, &cfg(4));
+            assert_eq!(one.dynamic, four.dynamic, "{}", f.name);
+            assert_eq!(one.rendered, four.rendered, "{}", f.name);
+        }
+    }
+
+    #[test]
+    fn clean_kernel_is_clean_on_both_sides() {
+        use hb_core::HbOps;
+        use hb_isa::Gpr::*;
+        let mut a = hb_asm::Assembler::new();
+        a.tg_rank(T0, T6);
+        a.slli(T1, T0, 2);
+        a.add(T2, A0, T1);
+        a.sw(T0, T2, 0);
+        a.fence();
+        a.barrier(T6);
+        a.lw(T3, T2, 4);
+        a.fence();
+        a.ecall();
+        let program = a.assemble(0).unwrap();
+
+        let c = cfg(1);
+        assert!(static_conflicts(&program, &c).is_empty());
+        let run_cfg = MachineConfig {
+            race_check: true,
+            ..c
+        };
+        let mut m = Machine::new(run_cfg);
+        let buf = m.cell_mut(0).alloc(9 * 4, 64);
+        let p = Arc::new(program);
+        m.launch(0, &p, &[pgas::local_dram(buf)]);
+        m.run(1_000_000).unwrap();
+        assert!(m.race_reports().is_empty());
+    }
+
+    #[test]
+    fn sink_captures_reports_from_an_internally_dropped_machine() {
+        let f = hb_kernels::fixtures::by_name("shared-row-ww").unwrap();
+        let scope = collect_races();
+        {
+            let c = MachineConfig {
+                race_check: true,
+                ..cfg(1)
+            };
+            let mut m = Machine::new(c);
+            let buf = m.cell_mut(0).alloc(9 * 4, 64);
+            let p = Arc::new((f.build)());
+            m.launch(0, &p, &[pgas::local_dram(buf)]);
+            m.run(1_000_000).unwrap();
+            // No explicit report read: Drop must push to the sink.
+        }
+        let got = scope.take();
+        assert_eq!(got.len(), 1);
+        assert!(got[0].1.contains("race on"));
+        // And the sink is uninstalled with the scope.
+        drop(scope);
+        let orphan = collect_races();
+        assert!(orphan.take().is_empty());
+    }
+}

@@ -264,6 +264,39 @@ impl SimExecutor {
             ..JobRecord::default()
         })
     }
+
+    /// Two-sided race check for one suite kernel: the static phase-conflict
+    /// pass over the program plus a full benchmark run (golden-validating)
+    /// under the dynamic epoch sanitizer. Finding counts land in `checks`
+    /// as `static=N,dynamic=M`; any finding makes the outcome `racy`.
+    fn run_race_check(&self, spec: &JobSpec, size: &str) -> Result<JobRecord, JobError> {
+        let size = parse_size(size)?;
+        let (bench, program) = hb_race::parameterization(&spec.kernel)
+            .ok_or_else(|| JobError::Permanent(format!("unknown kernel {:?}", spec.kernel)))?;
+        let cfg = MachineConfig {
+            race_check: true,
+            ..self.machine_config(spec)
+        };
+        cfg.validate()
+            .map_err(|e| JobError::Permanent(format!("invalid config: {e}")))?;
+        let statics = hb_race::static_conflicts(&program, &cfg);
+        let scope = hb_core::collect_races();
+        let stats = bench
+            .run(&cfg, size)
+            .map_err(|e| JobError::Permanent(format!("{} failed: {e}", bench.name())))?;
+        let races = scope.take();
+        let clean = statics.is_empty() && races.is_empty();
+        Ok(JobRecord {
+            kind: spec.kind.canonical(),
+            kernel: spec.kernel.clone(),
+            seed: spec.seed,
+            outcome: if clean { "clean" } else { "racy" }.to_owned(),
+            cycles: stats.cycles,
+            instrs: stats.core.instrs,
+            checks: format!("static={},dynamic={}", statics.len(), races.len()),
+            ..JobRecord::default()
+        })
+    }
 }
 
 impl Executor for SimExecutor {
@@ -272,6 +305,7 @@ impl Executor for SimExecutor {
             JobKind::Golden => self.run_golden(spec),
             JobKind::Fault => self.run_fault(spec, store),
             JobKind::Ablation { size } => self.run_ablation(spec, size),
+            JobKind::RaceCheck { size } => self.run_race_check(spec, size),
         }
     }
 }

@@ -46,6 +46,14 @@ pub enum JobKind {
         /// Kernel input size class: `tiny`, `small` or `large`.
         size: String,
     },
+    /// One two-sided race check: the kernel's program through the static
+    /// phase-conflict pass and a full benchmark run under the dynamic
+    /// epoch sanitizer. The record's `checks` field carries
+    /// `static=N,dynamic=M`; the outcome is `clean` or `racy`.
+    RaceCheck {
+        /// Kernel input size class for the sanitized run.
+        size: String,
+    },
 }
 
 impl JobKind {
@@ -55,6 +63,7 @@ impl JobKind {
             JobKind::Golden => "golden".to_owned(),
             JobKind::Fault => "fault".to_owned(),
             JobKind::Ablation { size } => format!("ablation:{size}"),
+            JobKind::RaceCheck { size } => format!("race:{size}"),
         }
     }
 
@@ -69,6 +78,9 @@ impl JobKind {
             "fault" => Ok(JobKind::Fault),
             _ => match text.split_once(':') {
                 Some(("ablation", size)) if !size.is_empty() => Ok(JobKind::Ablation {
+                    size: size.to_owned(),
+                }),
+                Some(("race", size)) if !size.is_empty() => Ok(JobKind::RaceCheck {
                     size: size.to_owned(),
                 }),
                 _ => Err(format!("unknown job kind {text:?}")),
@@ -326,6 +338,15 @@ mod tests {
                 kernel: "SGEMM@blocked".to_owned(),
                 plan: PlanSpec::None,
                 label: "ruche=3 sweep point".to_owned(),
+                ..spec()
+            },
+            JobSpec {
+                kind: JobKind::RaceCheck {
+                    size: "tiny".to_owned(),
+                },
+                kernel: "BFS@diropt".to_owned(),
+                plan: PlanSpec::None,
+                label: "race smoke".to_owned(),
                 ..spec()
             },
             JobSpec {

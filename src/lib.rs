@@ -40,6 +40,9 @@ pub use hb_mem as mem;
 pub use hb_noc as noc;
 /// Cycle-windowed telemetry: sampler, Chrome-trace/NDJSON export, heatmaps.
 pub use hb_obs as obs;
+/// Two-sided race checking: the static phase-conflict pass cross-validated
+/// against the dynamic barrier-epoch sanitizer, plus the racy fixtures.
+pub use hb_race as race;
 /// Deterministic xoshiro256** PRNG used by tests and workload generators.
 pub use hb_rng as rng;
 /// Synthetic workload generators and golden reference kernels.

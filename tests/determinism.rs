@@ -48,6 +48,41 @@ fn parallel_tile_phase_is_bit_identical_for_every_kernel() {
 }
 
 #[test]
+fn race_sanitizer_is_read_only_and_suite_is_clean() {
+    // The dynamic race sanitizer only observes: every kernel must simulate
+    // bit-identically with `race_check` on or off — and, while we're
+    // watching, the suite must be race-free.
+    let off_cfg = cfg_with_threads(1);
+    let on_cfg = MachineConfig {
+        race_check: true,
+        ..cfg_with_threads(1)
+    };
+    let scope = hammerblade::core::collect_races();
+    for bench in suite() {
+        let name = bench.name();
+        let off = bench
+            .run(&off_cfg, SizeClass::Tiny)
+            .unwrap_or_else(|e| panic!("{name} (race_check off) failed: {e}"));
+        let on = bench
+            .run(&on_cfg, SizeClass::Tiny)
+            .unwrap_or_else(|e| panic!("{name} (race_check on) failed: {e}"));
+        assert_eq!(off.cycles, on.cycles, "{name}: sanitizer changed cycles");
+        assert_eq!(off.core, on.core, "{name}: sanitizer changed core counters");
+        assert_eq!(off.hbm, on.hbm, "{name}: sanitizer changed HBM2 counters");
+        let races = scope.take();
+        assert!(
+            races.is_empty(),
+            "{name} is racy:\n{}",
+            races
+                .iter()
+                .map(|(_, s)| s.as_str())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+#[test]
 fn oversubscribed_pool_is_still_deterministic() {
     // More worker threads than tiles (4x2 Cell, 16 threads): empty and
     // tiny shards must not change anything either.
