@@ -7,6 +7,7 @@ use crate::config::MachineConfig;
 use crate::parallel::{PhaseTimes, TilePool};
 use crate::payload::{Request, Response};
 use crate::pgas::PgasMap;
+use crate::sched::TileSched;
 use crate::stats::CoreStats;
 use crate::tile::{GroupInfo, Tile};
 use hb_asm::Program;
@@ -97,6 +98,10 @@ pub struct Cell {
     next_mem_id: u64,
     barriers: Vec<BarrierNetwork>,
     active: Vec<bool>,
+    /// Wake-list scheduler for the event-driven tile phase (see
+    /// [`crate::sched`]); dormant when [`MachineConfig::event_core`] is
+    /// off or tracing forces the dense schedule.
+    sched: TileSched,
     alloc_ptr: u32,
     cycle: u64,
     /// Worker pool for the tile phase (shared across the machine's Cells);
@@ -176,6 +181,7 @@ impl Cell {
             next_mem_id: 0,
             barriers: Vec::new(),
             active: vec![false; cfg.cell_dim.tiles()],
+            sched: TileSched::new(cfg.cell_dim.tiles()),
             alloc_ptr: 0,
             cycle: 0,
             pool: None,
@@ -233,9 +239,14 @@ impl Cell {
         &self.tiles[y as usize * self.cfg.cell_dim.x as usize + x as usize]
     }
 
-    /// Mutable tile accessor.
+    /// Mutable tile accessor. Re-arms the tile in the event scheduler:
+    /// any host or fault-injection mutation may unblock it, and a spurious
+    /// wake is harmless (the tile steps once, records the same stall the
+    /// dense schedule would, and parks again).
     pub fn tile_mut(&mut self, x: u8, y: u8) -> &mut Tile {
-        &mut self.tiles[y as usize * self.cfg.cell_dim.x as usize + x as usize]
+        let i = y as usize * self.cfg.cell_dim.x as usize + x as usize;
+        self.sched.wake(i);
+        &mut self.tiles[i]
     }
 
     /// Launches `program` on the given tile groups with per-group argument
@@ -247,6 +258,10 @@ impl Cell {
     /// 8 words.
     pub fn launch_groups(&mut self, program: &Arc<Program>, groups: &[(GroupSpec, Vec<u32>)]) {
         let (w, h) = (self.cfg.cell_dim.x, self.cfg.cell_dim.y);
+        // Tiles still parked from a previous kernel owe stalls; settle the
+        // debt into their (cumulative) stats before forgetting park state.
+        self.sched.settle(&mut self.tiles, self.cycle);
+        self.sched.reset();
         let mut owned = vec![false; w as usize * h as usize];
         self.barriers.clear();
         self.active = vec![false; w as usize * h as usize];
@@ -350,15 +365,49 @@ impl Cell {
             .count()
     }
 
-    /// Aggregated core statistics over active tiles.
+    /// Aggregated core statistics over active tiles. Owed-aware: stalls a
+    /// sleeping tile would have recorded under the dense schedule but has
+    /// not yet been credited are added virtually, so the aggregate is
+    /// bit-identical to the dense one at any observation point.
     pub fn core_stats(&self) -> CoreStats {
         let mut agg = CoreStats::default();
-        for (t, &a) in self.tiles.iter().zip(&self.active) {
+        for (i, (t, &a)) in self.tiles.iter().zip(&self.active).enumerate() {
             if a {
                 agg += *t.stats();
+                if let Some((kind, n)) = self.sched.owed(i, self.cycle) {
+                    agg.add_stall_n(kind, n);
+                }
             }
         }
         agg
+    }
+
+    /// One tile's core statistics, owed-aware (see
+    /// [`core_stats`](Self::core_stats)): every per-tile stats consumer
+    /// (telemetry windows, profiles) must read through here rather than
+    /// `tile(x, y).stats()` so skipped tiles report dense-identical
+    /// counters.
+    pub fn tile_stats(&self, x: u8, y: u8) -> CoreStats {
+        let i = y as usize * self.cfg.cell_dim.x as usize + x as usize;
+        let mut stats = *self.tiles[i].stats();
+        if let Some((kind, n)) = self.sched.owed(i, self.cycle) {
+            stats.add_stall_n(kind, n);
+        }
+        stats
+    }
+
+    /// `(stepped, skipped)` tile-tick counters from the event scheduler:
+    /// how many per-tile steps actually ran versus how many the wake list
+    /// elided. Both zero under the dense schedule.
+    pub fn tile_ticks(&self) -> (u64, u64) {
+        self.sched.tick_counts()
+    }
+
+    /// Wake-list re-arms performed by the event scheduler (always zero
+    /// under the dense schedule). A forward-progress signal: a machine
+    /// that keeps re-arming tiles is quiescent-but-armed, not livelocked.
+    pub fn sched_rearms(&self) -> u64 {
+        self.sched.rearms()
     }
 
     /// HBM2 channel statistics.
@@ -394,6 +443,9 @@ impl Cell {
     /// one is bit-identical to anyway).
     pub fn set_trace(&mut self, trace: crate::trace::TraceHandle) {
         self.traced = true;
+        // Tracing switches to the dense schedule, which never settles the
+        // wake list: materialize any owed stalls first.
+        self.sched.settle(&mut self.tiles, self.cycle);
         for t in &mut self.tiles {
             t.set_trace(trace.clone());
         }
@@ -617,7 +669,16 @@ impl Cell {
         let t1 = std::time::Instant::now();
         self.phase_memory();
         let t2 = std::time::Instant::now();
-        self.phase_tiles(now);
+        // The event path splits its own time between `tiles` (stepping)
+        // and `sched` (wake-list bookkeeping), so the Amdahl tile-share
+        // report never counts scheduler overhead as parallelizable work.
+        if self.event_schedule() {
+            let pool = self.pool.as_deref();
+            self.sched
+                .run_cycle(&mut self.tiles, &self.active, now, pool, Some(acc));
+        } else {
+            self.phase_tiles(now);
+        }
         let t3 = std::time::Instant::now();
         self.phase_sync();
         let t4 = std::time::Instant::now();
@@ -625,9 +686,18 @@ impl Cell {
         let t5 = std::time::Instant::now();
         acc.network += t1 - t0;
         acc.memory += t2 - t1;
-        acc.tiles += t3 - t2;
+        if !self.event_schedule() {
+            acc.tiles += t3 - t2;
+        }
         acc.sync += t4 - t3;
         acc.inject += t5 - t4;
+    }
+
+    /// Whether this Cell runs the event-driven tile phase (tracing forces
+    /// the dense schedule: the shared ring must observe events every
+    /// cycle, in tile order).
+    fn event_schedule(&self) -> bool {
+        self.cfg.event_core && !self.traced
     }
 
     /// BSP phase 1 — networks advance, then ejection latches fill: requests
@@ -651,9 +721,13 @@ impl Cell {
         for i in 0..self.tiles.len() {
             let (x, y) = self.tiles[i].xy;
             let coord = self.pgas.tile_coord(x, y);
+            let mut delivered = false;
             while self.tiles[i].req_inbox.len() < EJECT_PER_CYCLE {
                 match self.req_net.eject(coord) {
-                    Some(pkt) => self.tiles[i].req_inbox.push_back(pkt),
+                    Some(pkt) => {
+                        self.tiles[i].req_inbox.push_back(pkt);
+                        delivered = true;
+                    }
                     None => break,
                 }
             }
@@ -676,6 +750,11 @@ impl Cell {
                     }
                     None => break,
                 }
+            }
+            // A delivery un-quiesces the tile: it must drain its inboxes on
+            // this very cycle, exactly when the dense schedule would.
+            if delivered || ejected > 0 {
+                self.sched.wake(i);
             }
         }
     }
@@ -788,6 +867,12 @@ impl Cell {
     /// in-order loop. Tracing forces the sequential schedule so ring-buffer
     /// event order stays deterministic.
     fn phase_tiles(&mut self, now: u64) {
+        if self.event_schedule() {
+            let pool = self.pool.as_deref();
+            self.sched
+                .run_cycle(&mut self.tiles, &self.active, now, pool, None);
+            return;
+        }
         match &self.pool {
             Some(pool) if !self.traced => pool.step_tiles(&mut self.tiles, &self.active, now),
             _ => {
@@ -823,6 +908,9 @@ impl Cell {
                     self.barriers[g.barrier_id].consume_release(local);
                     self.tiles[i].barrier_waiting = false;
                     self.tiles[i].race_epoch_end();
+                    // Barrier release re-arms the parked tile; it resumes on
+                    // the next cycle's tile phase, as under the dense schedule.
+                    self.sched.wake(i);
                 }
             }
         }

@@ -135,6 +135,14 @@ pub struct MachineConfig {
     /// and with it off the hot loop pays exactly one always-false branch
     /// (the same pattern as `telemetry_window`/fault hooks).
     pub race_check: bool,
+    /// Event-driven tile scheduling (see `hb_core::parallel` and the
+    /// "Event-driven core" section of DESIGN.md): quiescent tiles park on
+    /// a wake list and are skipped until their wake cycle instead of being
+    /// stepped every cycle. Purely a host-execution optimization — every
+    /// counter, memory word and telemetry/fault/race observation is
+    /// bit-identical with the flag on or off. Presets seed this from
+    /// `HB_EVENT_CORE` (`0` = dense, anything else or unset = event).
+    pub event_core: bool,
 }
 
 impl MachineConfig {
@@ -177,6 +185,7 @@ impl MachineConfig {
             threads: crate::parallel::threads_from_env(),
             telemetry_window: 0,
             race_check: false,
+            event_core: crate::parallel::event_core_from_env(),
         }
     }
 
@@ -532,6 +541,7 @@ impl MachineConfig {
             threads: 1,
             telemetry_window: get(&map, "telw")?,
             race_check: false,
+            event_core: true,
         };
         // 34 top-level keys: every field accounted for, nothing unknown.
         if map.len() != 34 {
@@ -726,9 +736,13 @@ mod tests {
         ] {
             let text = cfg.canonical_text();
             let back = MachineConfig::from_canonical_text(&text).unwrap();
-            // threads is host-only and restored to 1; everything else must
-            // survive the round trip bit-exactly.
-            let normalized = MachineConfig { threads: 1, ..cfg };
+            // threads/event_core are host-only and restored to their fixed
+            // values; everything else must survive the round trip bit-exactly.
+            let normalized = MachineConfig {
+                threads: 1,
+                event_core: true,
+                ..cfg
+            };
             assert_eq!(back, normalized, "roundtrip of {text}");
             assert_eq!(back.canonical_text(), text);
         }
@@ -749,6 +763,19 @@ mod tests {
             a.canonical_text(),
             b.canonical_text(),
             "threads must not leak into the canonical form"
+        );
+        let ev_on = MachineConfig {
+            event_core: true,
+            ..base.clone()
+        };
+        let ev_off = MachineConfig {
+            event_core: false,
+            ..base.clone()
+        };
+        assert_eq!(
+            ev_on.canonical_text(),
+            ev_off.canonical_text(),
+            "event_core must not leak into the canonical form"
         );
 
         // Mutating any simulated-behaviour field must change the text (and

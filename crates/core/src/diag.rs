@@ -139,7 +139,9 @@ pub struct HangReport {
     /// The classified cause.
     pub class: HangClass,
     /// Machine cycle of the last observed forward progress (retired
-    /// instruction or delivered flit).
+    /// instruction, delivered flit, or an event-scheduler wake re-arm —
+    /// a fully parked machine whose tiles keep being re-armed by
+    /// deliveries is stalled, not livelocked).
     pub last_progress_cycle: u64,
 }
 

@@ -53,6 +53,17 @@ impl ICache {
         }
     }
 
+    /// Non-mutating lookup: whether an [`access`](Self::access) of `pc`
+    /// would hit right now. Used by the event scheduler to decide if a
+    /// stalled tile's next fetch is free (park) or a miss (step it so the
+    /// refill is charged on the right cycle).
+    pub fn would_hit(&self, pc: u32) -> bool {
+        let line = pc >> self.line_shift;
+        let index = (line & self.index_mask) as usize;
+        let tag = line >> self.index_mask.trailing_ones();
+        self.tags[index] == Some(tag)
+    }
+
     /// Number of cache lines.
     pub fn lines(&self) -> usize {
         self.tags.len()

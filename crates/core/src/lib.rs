@@ -62,6 +62,7 @@ mod payload;
 pub mod pgas;
 pub mod profile;
 pub mod race;
+mod sched;
 mod stats;
 mod tile;
 pub mod trace;
@@ -84,5 +85,6 @@ pub use pgas::{ipoly_hash, PgasMap, Target};
 pub use race::{
     collect_races, AccessInfo, AccessKind, RaceChecker, RaceLoc, RaceReport, RaceSinkScope,
 };
+pub use sched::Park;
 pub use stats::{utilization_report, CoreStats, StallKind};
 pub use tile::{GroupInfo, Tile};

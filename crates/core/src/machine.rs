@@ -626,12 +626,27 @@ impl Machine {
         }
     }
 
-    /// A cheap forward-progress fingerprint: total retired instructions
-    /// plus total packets delivered by the Cell NoCs.
-    fn progress_signature(&self) -> (u64, u64) {
+    /// A cheap forward-progress fingerprint: total retired instructions,
+    /// total packets delivered by the Cell NoCs, and event-scheduler wake
+    /// re-arms. The re-arm count keeps a legitimately all-parked machine —
+    /// e.g. every tile asleep across an injected HBM stall window while
+    /// deliveries keep re-arming them — from reading as zero progress and
+    /// being misclassified as a livelock.
+    fn progress_signature(&self) -> (u64, u64, u64) {
         let instrs = self.cells.iter().map(|c| c.core_stats().instrs).sum();
         let ejected = self.cells.iter().map(Cell::net_ejected).sum();
-        (instrs, ejected)
+        let rearms = self.cells.iter().map(Cell::sched_rearms).sum();
+        (instrs, ejected, rearms)
+    }
+
+    /// Tile-phase tick counts over all Cells since launch:
+    /// `(stepped, skipped)`, where `skipped` counts tile-cycles the event
+    /// scheduler elided (always 0 under the dense schedule).
+    pub fn tile_ticks(&self) -> (u64, u64) {
+        self.cells.iter().fold((0, 0), |(s, k), c| {
+            let (cs, ck) = c.tile_ticks();
+            (s + cs, k + ck)
+        })
     }
 
     /// Classifies a hang at timeout. Precedence: tiles parked in a barrier

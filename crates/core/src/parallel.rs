@@ -30,6 +30,7 @@
 //! [`MachineConfig::threads`](crate::MachineConfig::threads) (seeded from
 //! the `HB_THREADS` environment variable).
 
+use crate::sched::Park;
 use crate::tile::Tile;
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex};
@@ -50,6 +51,11 @@ pub struct PhaseTimes {
     pub memory: Duration,
     /// Tile execution (the parallel phase).
     pub tiles: Duration,
+    /// Event-scheduler bookkeeping (wake scan, stall catch-up, park
+    /// application — see `crate::sched`). Zero under the dense schedule.
+    /// Kept out of `tiles` so the Amdahl tile-share report stays truthful
+    /// about the parallelizable fraction.
+    pub sched: Duration,
     /// Barrier joins/releases.
     pub sync: Duration,
     /// Outbox draining into the routers.
@@ -59,7 +65,7 @@ pub struct PhaseTimes {
 impl PhaseTimes {
     /// Total accounted time.
     pub fn total(&self) -> Duration {
-        self.network + self.memory + self.tiles + self.sync + self.inject
+        self.network + self.memory + self.tiles + self.sched + self.sync + self.inject
     }
 
     /// Fraction of the accounted time spent in the tile phase.
@@ -77,15 +83,30 @@ impl PhaseTimes {
 ///
 /// Raw pointers because workers are persistent (the borrow cannot be
 /// expressed through the channel); safety rests on three invariants upheld
-/// by [`TilePool::step_tiles`]: shard ranges are pairwise disjoint, `active`
-/// is only read, and the caller blocks on the completion latch before the
-/// borrow it took the pointers from ends.
-struct Shard {
-    tiles: *mut Tile,
-    active: *const bool,
-    start: usize,
-    end: usize,
-    now: u64,
+/// by [`TilePool::step_tiles`] / [`TilePool::step_list`]: shard ranges are
+/// pairwise disjoint (and wake-list entries unique, so `List` shards touch
+/// disjoint tiles), read-only inputs are only read, and the caller blocks
+/// on the completion latch before the borrows it took the pointers from
+/// end.
+enum Shard {
+    /// A contiguous range of the dense tile array.
+    Dense {
+        tiles: *mut Tile,
+        active: *const bool,
+        start: usize,
+        end: usize,
+        now: u64,
+    },
+    /// A range of wake-list positions: step `tiles[list[pos]]` and write
+    /// its park hint to `parks[pos]` for each `pos` in `[start, end)`.
+    List {
+        tiles: *mut Tile,
+        list: *const u32,
+        parks: *mut Park,
+        start: usize,
+        end: usize,
+        now: u64,
+    },
 }
 
 // SAFETY: `Tile` is `Send` (all fields are owned or `Arc` of `Send + Sync`
@@ -158,18 +179,25 @@ impl TilePool {
                     for shard in rx {
                         // SAFETY: see `Shard` — [start, end) is disjoint
                         // from every other shard (including the caller's),
-                        // and the caller keeps the backing allocation
+                        // and the caller keeps the backing allocations
                         // borrowed until the latch opens.
                         unsafe {
-                            let n = shard.end - shard.start;
-                            let tiles =
-                                std::slice::from_raw_parts_mut(shard.tiles.add(shard.start), n);
-                            let active =
-                                std::slice::from_raw_parts(shard.active.add(shard.start), n);
-                            for (t, &a) in tiles.iter_mut().zip(active) {
-                                if a {
-                                    t.step(shard.now);
-                                }
+                            match shard {
+                                Shard::Dense {
+                                    tiles,
+                                    active,
+                                    start,
+                                    end,
+                                    now,
+                                } => run_dense_range(tiles, active, start, end, now),
+                                Shard::List {
+                                    tiles,
+                                    list,
+                                    parks,
+                                    start,
+                                    end,
+                                    now,
+                                } => run_list_range(tiles, list, parks, start, end, now),
                             }
                         }
                         latch.count_down();
@@ -222,7 +250,7 @@ impl TilePool {
         for (w, tx) in self.senders.iter().enumerate() {
             let start = ((w + 1) * chunk).min(len);
             let end = ((w + 2) * chunk).min(len);
-            tx.send(Shard {
+            tx.send(Shard::Dense {
                 tiles: base,
                 active: act,
                 start,
@@ -236,14 +264,104 @@ impl TilePool {
         // live while they hold their sub-slices.
         // SAFETY: [0, chunk) is disjoint from every worker shard.
         unsafe {
-            let head = std::slice::from_raw_parts_mut(base, chunk.min(len));
-            for (t, &a) in head.iter_mut().zip(&active[..chunk.min(len)]) {
-                if a {
-                    t.step(now);
-                }
-            }
+            run_dense_range(base, act, 0, chunk.min(len), now);
         }
         self.latch.wait();
+    }
+
+    /// Steps exactly the tiles named by `list` (the event scheduler's wake
+    /// list), writing each tile's park hint to the matching position of
+    /// `parks`, sharded across the pool by list position.
+    ///
+    /// Bit-identical to the inline loop for the same reason as
+    /// [`step_tiles`](Self::step_tiles): wake-list entries are unique, so
+    /// shards touch disjoint tiles and disjoint `parks` positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parks` is not the same length as `list`.
+    pub(crate) fn step_list(&self, tiles: &mut [Tile], list: &[u32], parks: &mut [Park], now: u64) {
+        assert_eq!(list.len(), parks.len());
+        let shards = self.senders.len() + 1;
+        let chunk = list.len().div_ceil(shards);
+        if self.senders.is_empty() || chunk == 0 {
+            for (pos, &i) in list.iter().enumerate() {
+                let t = &mut tiles[i as usize];
+                t.step(now);
+                parks[pos] = t.park_hint(now);
+            }
+            return;
+        }
+        self.latch.reset(self.senders.len());
+        let len = list.len();
+        let base = tiles.as_mut_ptr();
+        let lp = list.as_ptr();
+        let pp = parks.as_mut_ptr();
+        for (w, tx) in self.senders.iter().enumerate() {
+            let start = ((w + 1) * chunk).min(len);
+            let end = ((w + 2) * chunk).min(len);
+            tx.send(Shard::List {
+                tiles: base,
+                list: lp,
+                parks: pp,
+                start,
+                end,
+                now,
+            })
+            .expect("tile worker alive");
+        }
+        // SAFETY: positions [0, chunk) are disjoint from every worker
+        // shard, and list entries are unique tile indices.
+        unsafe {
+            run_list_range(base, lp, pp, 0, chunk.min(len), now);
+        }
+        self.latch.wait();
+    }
+}
+
+/// Steps the active tiles of one dense shard.
+///
+/// # Safety
+///
+/// `[start, end)` must be in bounds for both allocations and disjoint from
+/// every concurrently running shard; the backing borrows must outlive the
+/// call (guaranteed by the pool's completion latch).
+unsafe fn run_dense_range(
+    tiles: *mut Tile,
+    active: *const bool,
+    start: usize,
+    end: usize,
+    now: u64,
+) {
+    let n = end - start;
+    let tiles = std::slice::from_raw_parts_mut(tiles.add(start), n);
+    let active = std::slice::from_raw_parts(active.add(start), n);
+    for (t, &a) in tiles.iter_mut().zip(active) {
+        if a {
+            t.step(now);
+        }
+    }
+}
+
+/// Steps the wake-list tiles of one list shard and records park hints.
+///
+/// # Safety
+///
+/// As [`run_dense_range`], plus: `list[start..end]` must hold unique,
+/// in-bounds tile indices (so tile access is disjoint across shards).
+unsafe fn run_list_range(
+    tiles: *mut Tile,
+    list: *const u32,
+    parks: *mut Park,
+    start: usize,
+    end: usize,
+    now: u64,
+) {
+    for pos in start..end {
+        let i = *list.add(pos) as usize;
+        let t = &mut *tiles.add(i);
+        t.step(now);
+        *parks.add(pos) = t.park_hint(now);
     }
 }
 
@@ -263,6 +381,12 @@ pub fn threads_from_env() -> usize {
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
         .map_or(1, |n| n.max(1))
+}
+
+/// Parses `HB_EVENT_CORE` (event-driven tile scheduling; `0` disables it,
+/// anything else or unset leaves it on).
+pub fn event_core_from_env() -> bool {
+    std::env::var("HB_EVENT_CORE").map_or(true, |v| v.trim() != "0")
 }
 
 #[cfg(test)]

@@ -60,7 +60,7 @@ impl CellProfile {
         let mut east_busy = Vec::with_capacity(w as usize * h as usize);
         for y in 0..h {
             for x in 0..w {
-                tiles.push(*cell.tile(x, y).stats());
+                tiles.push(cell.tile_stats(x, y));
                 let c = cfg.tile_coord(x, y);
                 let busy = cell.request_link(c, Port::East).busy
                     + cell.request_link(c, Port::RucheEast).busy;

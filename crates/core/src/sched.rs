@@ -1,0 +1,276 @@
+//! Event-driven tile scheduler: the wake-list that lets
+//! [`Cell::tick`](crate::Cell::tick) skip quiescent tiles.
+//!
+//! # Model
+//!
+//! The paper's workloads leave most of a 16x8 Cell barrier-parked,
+//! scoreboard-blocked or riding out a multi-cycle penalty for long
+//! stretches, yet the dense tile phase still steps every tile every cycle.
+//! This module replaces that with a *wake list*: after each step a tile
+//! reports a [`Park`] hint — either `Awake` (step me again next cycle) or
+//! `Sleep` (skip me until cycle `wake_at`, or until a wake event re-arms
+//! me). A sleeping tile owes exactly one stall of a constant
+//! [`StallKind`] per skipped cycle; the debt is credited in bulk the next
+//! time it steps (or virtually, by the owed-aware stats accessors on
+//! [`Cell`](crate::Cell)), so every counter comes out bit-identical to the
+//! dense schedule.
+//!
+//! # Why skipping is sound
+//!
+//! A tile only sleeps when *every* per-cycle effect of its dense step is
+//! provably constant over the skipped window:
+//!
+//! - its inboxes, staging queue and combining latch are empty (a dense
+//!   step would drain/serve nothing), and
+//! - its next action is a stall of one fixed kind: `Done` / idle (it will
+//!   never run again), `Barrier` (cleared only by the Cell's sync phase),
+//!   `RemoteLoad` (cleared only by a response delivery), `Fence` with
+//!   outstanding ops (ditto), or a timed penalty (`IcacheMiss`,
+//!   `BranchMiss`, `Frozen`, ... — expires at a known cycle).
+//!
+//! Every event that could change that state runs through the Cell and
+//! re-arms the tile *at the same cycle the dense schedule would observe
+//! it*: packet ejection and fabric staging in the network phase, barrier
+//! release in the sync phase, and any host/fault mutation through
+//! [`Cell::tile_mut`](crate::Cell::tile_mut). Spurious wakes are harmless —
+//! the tile steps once, records the same stall dense would have, and parks
+//! again.
+
+use crate::parallel::{PhaseTimes, TilePool};
+use crate::stats::StallKind;
+use crate::tile::Tile;
+use std::time::Instant;
+
+/// Sentinel for "not parked" in [`TileSched::park_cycle`].
+const NOT_PARKED: u64 = u64::MAX;
+
+/// A tile's scheduling hint after one step: keep stepping it every cycle,
+/// or skip it until a wake event (or `wake_at`, whichever comes first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Park {
+    /// The tile may make progress next cycle: step it.
+    Awake,
+    /// The tile provably stalls every cycle until re-armed.
+    Sleep {
+        /// The stall recorded per skipped cycle under the dense schedule;
+        /// `None` for idle/trapped tiles, which record nothing.
+        kind: Option<StallKind>,
+        /// First cycle the tile must step again on its own (`u64::MAX`
+        /// when only an external event can unblock it).
+        wake_at: u64,
+    },
+}
+
+/// Per-Cell wake-list state, struct-of-arrays so the per-cycle scan only
+/// touches two dense vectors (`asleep`, `wake_at`) in the common case.
+#[derive(Debug)]
+pub(crate) struct TileSched {
+    asleep: Vec<bool>,
+    wake_at: Vec<u64>,
+    /// First cycle the tile has *not* been stepped for; [`NOT_PARKED`]
+    /// when it owes nothing.
+    park_cycle: Vec<u64>,
+    park_kind: Vec<Option<StallKind>>,
+    /// Scratch: indices of tiles to step this cycle.
+    run_list: Vec<u32>,
+    /// Scratch: park hints produced by this cycle's steps (parallel to
+    /// `run_list`).
+    parks: Vec<Park>,
+    stepped: u64,
+    skipped: u64,
+    rearms: u64,
+}
+
+impl TileSched {
+    pub(crate) fn new(tiles: usize) -> TileSched {
+        TileSched {
+            asleep: vec![false; tiles],
+            wake_at: vec![0; tiles],
+            park_cycle: vec![NOT_PARKED; tiles],
+            park_kind: vec![None; tiles],
+            run_list: Vec::with_capacity(tiles),
+            parks: Vec::with_capacity(tiles),
+            stepped: 0,
+            skipped: 0,
+            rearms: 0,
+        }
+    }
+
+    /// Forgets all park state (a fresh launch); counters keep accumulating
+    /// like the tile stats they sit beside.
+    pub(crate) fn reset(&mut self) {
+        self.asleep.fill(false);
+        self.park_cycle.fill(NOT_PARKED);
+        self.park_kind.fill(None);
+    }
+
+    /// Re-arms tile `i`: it will be stepped next cycle and credited its
+    /// owed stalls. Cheap and idempotent — callers wake on any delivery or
+    /// mutation without checking why the tile slept.
+    pub(crate) fn wake(&mut self, i: usize) {
+        if self.asleep[i] {
+            self.asleep[i] = false;
+            self.rearms += 1;
+        }
+    }
+
+    /// Total wake-list re-arms so far (event wakes and timer expiries).
+    /// Feeds the hang watchdog's progress signature: a quiescent-but-armed
+    /// machine keeps re-arming and therefore keeps making "progress".
+    pub(crate) fn rearms(&self) -> u64 {
+        self.rearms
+    }
+
+    /// `(stepped, skipped)` tile-tick counters.
+    pub(crate) fn tick_counts(&self) -> (u64, u64) {
+        (self.stepped, self.skipped)
+    }
+
+    /// Stalls tile `i` still owes at observation horizon `cycle` (the last
+    /// completed Cell cycle), with the kind they carry. Used by the
+    /// owed-aware `&self` stats accessors so telemetry, profiling and the
+    /// run summary see dense-identical counters without stepping anyone.
+    pub(crate) fn owed(&self, i: usize, cycle: u64) -> Option<(StallKind, u64)> {
+        let kind = self.park_kind[i]?;
+        if self.park_cycle[i] == NOT_PARKED {
+            return None;
+        }
+        match (cycle + 1).saturating_sub(self.park_cycle[i]) {
+            0 => None,
+            n => Some((kind, n)),
+        }
+    }
+
+    /// Materializes every owed stall into the tiles' own counters and
+    /// clears all park state. Called before switching to the dense
+    /// schedule (tracing) or relaunching, so no debt is stranded.
+    pub(crate) fn settle(&mut self, tiles: &mut [Tile], cycle: u64) {
+        for (i, tile) in tiles.iter_mut().enumerate() {
+            if let Some((kind, n)) = self.owed(i, cycle) {
+                tile.credit_stalls(kind, n);
+            }
+            self.asleep[i] = false;
+            self.park_cycle[i] = NOT_PARKED;
+            self.park_kind[i] = None;
+        }
+    }
+
+    /// Runs one event-driven tile phase: wakes due sleepers, credits owed
+    /// stalls, steps the wake list (sharded over `pool` when present) and
+    /// applies the new park hints. With `times`, wake-list bookkeeping is
+    /// attributed to the `sched` phase bucket and only the stepping itself
+    /// to `tiles`.
+    pub(crate) fn run_cycle(
+        &mut self,
+        tiles: &mut [Tile],
+        active: &[bool],
+        now: u64,
+        pool: Option<&TilePool>,
+        times: Option<&mut PhaseTimes>,
+    ) {
+        let timed = times.is_some();
+        let t0 = timed.then(Instant::now);
+
+        // Build: scan the SoA state, wake due tiles, credit stall debt.
+        self.run_list.clear();
+        for (i, &a) in active.iter().enumerate() {
+            if !a {
+                continue;
+            }
+            if self.asleep[i] {
+                if self.wake_at[i] > now {
+                    self.skipped += 1;
+                    continue;
+                }
+                self.asleep[i] = false;
+                self.rearms += 1;
+            }
+            if self.park_cycle[i] != NOT_PARKED {
+                let owed = now.saturating_sub(self.park_cycle[i]);
+                if owed > 0 {
+                    if let Some(kind) = self.park_kind[i] {
+                        tiles[i].credit_stalls(kind, owed);
+                    }
+                }
+                self.park_cycle[i] = NOT_PARKED;
+                self.park_kind[i] = None;
+            }
+            self.run_list.push(i as u32);
+        }
+        self.parks.clear();
+        self.parks.resize(self.run_list.len(), Park::Awake);
+
+        let t1 = timed.then(Instant::now);
+
+        // Step: only the wake list, inline or across the worker pool.
+        match pool {
+            Some(pool) => pool.step_list(tiles, &self.run_list, &mut self.parks, now),
+            None => {
+                for (pos, &i) in self.run_list.iter().enumerate() {
+                    let t = &mut tiles[i as usize];
+                    t.step(now);
+                    self.parks[pos] = t.park_hint(now);
+                }
+            }
+        }
+        self.stepped += self.run_list.len() as u64;
+
+        let t2 = timed.then(Instant::now);
+
+        // Apply: record the new parks.
+        for (pos, &i) in self.run_list.iter().enumerate() {
+            if let Park::Sleep { kind, wake_at } = self.parks[pos] {
+                let i = i as usize;
+                self.asleep[i] = true;
+                self.wake_at[i] = wake_at;
+                self.park_kind[i] = kind;
+                self.park_cycle[i] = now + 1;
+            }
+        }
+
+        if let Some(times) = times {
+            let (t0, t1, t2) = (t0.unwrap(), t1.unwrap(), t2.unwrap());
+            times.sched += (t1 - t0) + t2.elapsed();
+            times.tiles += t2 - t1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owed_counts_every_skipped_cycle_inclusive() {
+        let mut s = TileSched::new(1);
+        // Parked during cycle 10's tile phase: first skipped cycle is 11.
+        s.asleep[0] = true;
+        s.wake_at[0] = u64::MAX;
+        s.park_cycle[0] = 11;
+        s.park_kind[0] = Some(StallKind::Barrier);
+        // Observed after cycle 10 completes: nothing owed yet.
+        assert_eq!(s.owed(0, 10), None);
+        // After cycle 15: cycles 11..=15 were skipped.
+        assert_eq!(s.owed(0, 15), Some((StallKind::Barrier, 5)));
+    }
+
+    #[test]
+    fn idle_tiles_owe_nothing() {
+        let mut s = TileSched::new(1);
+        s.asleep[0] = true;
+        s.park_cycle[0] = 5;
+        s.park_kind[0] = None; // trapped/idle: dense records no stall
+        assert_eq!(s.owed(0, 100), None);
+    }
+
+    #[test]
+    fn wake_is_idempotent_and_counts_rearms() {
+        let mut s = TileSched::new(2);
+        s.asleep[1] = true;
+        s.wake(1);
+        s.wake(1);
+        s.wake(0); // already awake: no-op
+        assert!(!s.asleep[1]);
+        assert_eq!(s.rearms(), 1);
+    }
+}

@@ -139,6 +139,14 @@ impl CoreStats {
         self.stalls[kind as usize] += 1;
     }
 
+    /// Records `n` stall cycles of one kind at once — the bulk catch-up
+    /// used by the event scheduler when a tile that slept `n` cycles steps
+    /// again (each skipped cycle owes exactly one stall of a constant
+    /// kind, so the credit is a single add).
+    pub fn add_stall_n(&mut self, kind: StallKind, n: u64) {
+        self.stalls[kind as usize] += n;
+    }
+
     /// Fraction of cycles doing useful work.
     pub fn utilization(&self) -> f64 {
         let total = self.total_cycles();

@@ -537,6 +537,13 @@ impl Tile {
         self.stats.add_stall(kind);
     }
 
+    /// Bulk stall catch-up from the event scheduler: the tile slept `n`
+    /// cycles during which the dense schedule would have recorded one
+    /// stall of `kind` each (see `crate::sched`).
+    pub(crate) fn credit_stalls(&mut self, kind: StallKind, n: u64) {
+        self.stats.add_stall_n(kind, n);
+    }
+
     fn trap(&mut self, msg: String) {
         if let Some(t) = &self.trace {
             t.push(TraceEvent::Fault {
@@ -939,6 +946,104 @@ impl Tile {
         };
 
         self.execute(instr, now);
+    }
+
+    /// Scheduling hint for the event-driven core (see `crate::sched`),
+    /// computed after [`Tile::step`] ran for cycle `now`: may the Cell
+    /// skip this tile, and until when?
+    ///
+    /// The contract: a `Sleep { kind, wake_at }` promises that a dense
+    /// step at every cycle in `(now, wake_at)` would drain nothing, serve
+    /// nothing, and record exactly one stall of `kind` (none for `None`) —
+    /// unless an external event re-arms the tile first, which the Cell
+    /// guarantees happens on any delivery, barrier release or host/fault
+    /// mutation. Anything not provably in that shape stays `Awake`.
+    pub(crate) fn park_hint(&self, now: u64) -> crate::sched::Park {
+        use crate::sched::Park;
+        // Pending inbox/staged traffic or an armed combining latch needs
+        // per-cycle service regardless of pipeline state.
+        if !self.resp_inbox.is_empty()
+            || !self.req_inbox.is_empty()
+            || !self.resp_stage.is_empty()
+            || self.combine.is_some()
+        {
+            return Park::Awake;
+        }
+        // A pending penalty window also bounds event-only sleeps: the tile
+        // must step at expiry so `last_cycle` (and thus `is_frozen`) tracks
+        // the dense schedule.
+        let bound = |wake: u64| {
+            if self.penalty_until > now {
+                wake.min(self.penalty_until)
+            } else {
+                wake
+            }
+        };
+        if !self.running {
+            // Finished tiles stall `Done` forever; trapped/idle ones
+            // record nothing. Both only act on deliveries.
+            let kind = self.finished.then_some(StallKind::Done);
+            return Park::Sleep {
+                kind,
+                wake_at: bound(u64::MAX),
+            };
+        }
+        if self.barrier_waiting {
+            return Park::Sleep {
+                kind: Some(StallKind::Barrier),
+                wake_at: bound(u64::MAX),
+            };
+        }
+        if self.blocking_on.is_some() {
+            return Park::Sleep {
+                kind: Some(StallKind::RemoteLoad),
+                wake_at: bound(u64::MAX),
+            };
+        }
+        if self.penalty_until > now + 1 {
+            return Park::Sleep {
+                kind: Some(self.penalty_kind),
+                wake_at: self.penalty_until,
+            };
+        }
+        if self.penalty_until > now {
+            // One remaining penalty cycle: skipping it saves nothing.
+            return Park::Awake;
+        }
+        // The tile would fetch and (maybe) execute next cycle. Peek: if
+        // the fetch hits and the instruction is provably stuck on a
+        // pending remote operand — or is a fence over outstanding ops —
+        // every cycle until a response delivery is a constant stall.
+        let Some(program) = &self.program else {
+            return Park::Awake;
+        };
+        if !self.icache.would_hit(self.pc) {
+            return Park::Awake;
+        }
+        let Some(instr) = program.instr_at(self.pc) else {
+            return Park::Awake;
+        };
+        if matches!(instr, Instr::Fence) {
+            if self.outstanding > 0 {
+                return Park::Sleep {
+                    kind: Some(StallKind::Fence),
+                    wake_at: u64::MAX,
+                };
+            }
+            return Park::Awake;
+        }
+        // `RemoteLoad` from `instr_hazard` can only come from a pending
+        // bit (ready-kind arrays never hold it), the first-checked
+        // blocking source stays first and pending until a response
+        // delivery, and deliveries always wake — so the stall kind is
+        // constant over the whole sleep.
+        if self.instr_hazard(&instr, now + 1) == Some(StallKind::RemoteLoad) {
+            return Park::Sleep {
+                kind: Some(StallKind::RemoteLoad),
+                wake_at: u64::MAX,
+            };
+        }
+        Park::Awake
     }
 
     /// Decodes hazards and executes one instruction (or records one stall).

@@ -41,12 +41,19 @@ pub struct BenchStats {
     /// Full §III.D profile snapshot (heatmaps, per-bank tables,
     /// bottleneck diagnosis) of Cell 0.
     pub profile: CellProfile,
+    /// Tile-phase ticks actually executed across all Cells — host-side
+    /// scheduler work, not an architectural counter; never compare it
+    /// between schedules.
+    pub ticks_stepped: u64,
+    /// Tile-phase ticks the event scheduler elided (0 when dense).
+    pub ticks_skipped: u64,
 }
 
 impl BenchStats {
     /// Collects counters from Cell 0 of a finished machine.
     pub fn collect(name: &'static str, cycles: u64, machine: &Machine) -> BenchStats {
         let cell = machine.cell(0);
+        let (ticks_stepped, ticks_skipped) = machine.tile_ticks();
         BenchStats {
             name,
             cycles,
@@ -57,7 +64,19 @@ impl BenchStats {
             bisection_links: cell.request_bisection_links(),
             work_units: 1.0,
             profile: CellProfile::capture(cell),
+            ticks_stepped,
+            ticks_skipped,
         }
+    }
+
+    /// Share of tile-phase ticks the event scheduler skipped, in
+    /// `[0, 1]` (0.0 for a dense run or an empty machine).
+    pub fn skipped_share(&self) -> f64 {
+        let total = self.ticks_stepped + self.ticks_skipped;
+        if total == 0 {
+            return 0.0;
+        }
+        self.ticks_skipped as f64 / total as f64
     }
 
     /// Sets the work-unit count (builder style).

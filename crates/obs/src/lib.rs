@@ -257,7 +257,7 @@ impl Sampler {
             for y in 0..h {
                 for x in 0..w {
                     let idx = y as usize * w as usize + x as usize;
-                    let cur = *cell.tile(x, y).stats();
+                    let cur = cell.tile_stats(x, y);
                     tiles.push(cur - prev.tiles[idx]);
                     prev.tiles[idx] = cur;
                 }

@@ -210,8 +210,12 @@ mod tests {
 
     #[test]
     fn fault_campaign_shape_and_manifest_roundtrip() {
+        // Pin the host-only fields to the values `from_canonical_text`
+        // restores, so the roundtrip compares equal under any
+        // HB_THREADS/HB_EVENT_CORE environment.
         let cfg = MachineConfig {
             threads: 1,
+            event_core: true,
             ..MachineConfig::baseline_16x8()
         };
         let c = Campaign::fault("avf sgemm", "sgemm", &cfg, 7, 5);

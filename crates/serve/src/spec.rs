@@ -356,9 +356,11 @@ mod tests {
         ] {
             let line = s.manifest_line();
             let back = JobSpec::from_manifest_line(&line).unwrap();
-            // threads is not canonical; compare modulo it.
+            // threads/event_core are host-only, not canonical; compare
+            // modulo them.
             let mut want = s.clone();
             want.config.threads = back.config.threads;
+            want.config.event_core = back.config.event_core;
             assert_eq!(back, want, "roundtrip of {line}");
             assert_eq!(back.hash(), s.hash());
         }

@@ -59,8 +59,12 @@ fn tmpdir(tag: &str) -> PathBuf {
 }
 
 fn config() -> MachineConfig {
+    // Host-only fields pinned to the values `from_canonical_text` restores,
+    // so manifest roundtrips compare equal under any HB_THREADS /
+    // HB_EVENT_CORE environment.
     MachineConfig {
         threads: 1,
+        event_core: true,
         ..MachineConfig::baseline_16x8()
     }
 }

@@ -14,9 +14,18 @@ use hammerblade::kernels::{suite, SizeClass};
 fn cfg_with_threads(threads: usize) -> MachineConfig {
     MachineConfig {
         cell_dim: CellDim { x: 4, y: 2 },
-        // Explicit, not from HB_THREADS: the two runs must differ only here.
+        // Explicit, not from HB_THREADS/HB_EVENT_CORE: runs must differ
+        // only where each test says they do.
         threads,
+        event_core: true,
         ..MachineConfig::baseline_16x8()
+    }
+}
+
+fn cfg_dense(threads: usize) -> MachineConfig {
+    MachineConfig {
+        event_core: false,
+        ..cfg_with_threads(threads)
     }
 }
 
@@ -44,6 +53,54 @@ fn parallel_tile_phase_is_bit_identical_for_every_kernel() {
             seq.profile.east_busy, par.profile.east_busy,
             "{name}: per-router link activity diverged"
         );
+    }
+}
+
+#[test]
+fn event_schedule_is_bit_identical_to_dense_for_every_kernel() {
+    // The event-driven core (quiescent tiles parked on a wake list) is a
+    // host-side scheduling optimization only: for every kernel, at 1 and
+    // 4 worker threads, every architectural counter must match the dense
+    // every-tile-every-cycle schedule exactly.
+    for threads in [1, 4] {
+        let dense_cfg = cfg_dense(threads);
+        let event_cfg = cfg_with_threads(threads);
+        for bench in suite() {
+            let name = bench.name();
+            let dense = bench
+                .run(&dense_cfg, SizeClass::Tiny)
+                .unwrap_or_else(|e| panic!("{name} (dense, threads={threads}) failed: {e}"));
+            let event = bench
+                .run(&event_cfg, SizeClass::Tiny)
+                .unwrap_or_else(|e| panic!("{name} (event, threads={threads}) failed: {e}"));
+            assert_eq!(
+                dense.cycles, event.cycles,
+                "{name} (threads={threads}): cycle count diverged"
+            );
+            assert_eq!(
+                dense.core, event.core,
+                "{name} (threads={threads}): core counters diverged"
+            );
+            assert_eq!(
+                dense.hbm, event.hbm,
+                "{name} (threads={threads}): HBM2 counters diverged"
+            );
+            assert_eq!(
+                dense.cache, event.cache,
+                "{name} (threads={threads}): cache counters diverged"
+            );
+            assert_eq!(
+                dense.bisection, event.bisection,
+                "{name} (threads={threads}): NoC bisection counters diverged"
+            );
+            assert_eq!(
+                dense.profile.east_busy, event.profile.east_busy,
+                "{name} (threads={threads}): per-router link activity diverged"
+            );
+            // Host-side sanity, not an architectural counter: the dense
+            // schedule never skips, the event schedule is allowed to.
+            assert_eq!(dense.ticks_skipped, 0, "{name}: dense run skipped ticks");
+        }
     }
 }
 
