@@ -1,0 +1,98 @@
+//! Deterministic guest-code profile of one suite kernel: runs it with
+//! `MachineConfig::profile` enabled, maps the retired-PC and stall-cycle
+//! histograms onto the kernel's basic blocks, prints the ranked
+//! hot-block table and writes two exports next to `--out`:
+//!
+//! - `<out>.folded` — folded-stack text for `flamegraph.pl`/Speedscope,
+//! - `<out>.ndjson` — machine-readable summary (one block per line).
+//!
+//! ```text
+//! cargo run --release -p hb-bench --bin profile -- \
+//!     [--kernel SGEMM] [--out profile] [--top 10]
+//! ```
+//!
+//! Kernel names match the suite (case insensitive); `HB_SCALE` picks the
+//! Cell shape as in the figure binaries. Profiling is observation-only:
+//! cycles and results are bit-identical to an unprofiled run, and the
+//! profile itself is bit-identical across `HB_THREADS` and
+//! `HB_EVENT_CORE` — CI diffs the `.folded` bytes across all four legs.
+
+use hb_bench::{bench_size, hb_config};
+use hb_core::MachineConfig;
+
+fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    let eq = format!("{flag}=");
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        } else if let Some(v) = a.strip_prefix(&eq) {
+            return Some(v.to_owned());
+        }
+    }
+    None
+}
+
+const USAGE: &str = "usage: profile [--kernel SGEMM] [--out profile] [--top 10]";
+
+fn main() {
+    let kernel = arg_value("--kernel").unwrap_or_else(|| "SGEMM".to_owned());
+    let out = arg_value("--out").unwrap_or_else(|| "profile".to_owned());
+    let top: usize = arg_value("--top").map_or(10, |v| {
+        v.parse()
+            .unwrap_or_else(|_| hb_bench::cli::usage_fail(USAGE, format!("bad --top {v:?}")))
+    });
+
+    let suite = hb_kernels::suite();
+    let bench = suite
+        .iter()
+        .find(|b| b.name().eq_ignore_ascii_case(&kernel))
+        .unwrap_or_else(|| {
+            let names: Vec<&str> = suite.iter().map(|b| b.name()).collect();
+            hb_bench::cli::usage_fail(
+                USAGE,
+                format!("unknown kernel {kernel:?}; available: {}", names.join(", ")),
+            )
+        });
+
+    let cfg = MachineConfig {
+        profile: true,
+        ..hb_config()
+    };
+    println!(
+        "profile run: {} on a {}x{} Cell",
+        bench.name(),
+        cfg.cell_dim.x,
+        cfg.cell_dim.y
+    );
+
+    let (scope, store) = hb_prof::attach();
+    let stats = match bench.run(&cfg, bench_size()) {
+        Ok(stats) => stats,
+        Err(e) => hb_bench::cli::fail(e),
+    };
+    drop(scope);
+
+    let store = store.lock().unwrap();
+    let Some(run) = store.last() else {
+        hb_bench::cli::fail("kernel run captured no profile");
+    };
+    let analysis = hb_prof::Analysis::analyze(bench.name(), run);
+
+    print!("{}", hb_prof::summary::report_text(&analysis, top));
+    println!(
+        "kernel cycles {}  (profile covers {} tile-cycles)",
+        stats.cycles,
+        analysis.tile_cycles()
+    );
+
+    let folded = format!("{out}.folded");
+    let ndjson = format!("{out}.ndjson");
+    if let Err(e) = std::fs::write(&folded, hb_prof::folded::to_string(&analysis)) {
+        hb_bench::cli::fail(format!("write {folded}: {e}"));
+    }
+    if let Err(e) = std::fs::write(&ndjson, hb_prof::summary::to_ndjson(&analysis)) {
+        hb_bench::cli::fail(format!("write {ndjson}: {e}"));
+    }
+    println!("wrote {folded} and {ndjson}");
+}

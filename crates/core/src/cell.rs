@@ -396,6 +396,28 @@ impl Cell {
         stats
     }
 
+    /// Folds every active tile's guest-code profile into `into` (creating
+    /// it from the first profiled tile), row-major and owed-aware: stall
+    /// debt of still-parked tiles is added virtually at their parking PC —
+    /// the same dense-identical read [`core_stats`](Self::core_stats)
+    /// performs — without touching any scheduler state.
+    pub(crate) fn fold_guest_profile(&self, into: &mut Option<crate::gprof::GuestProfile>) {
+        for (i, (t, &a)) in self.tiles.iter().zip(&self.active).enumerate() {
+            if !a {
+                continue;
+            }
+            let Some(tp) = t.guest_prof() else { continue };
+            let gp = into.get_or_insert_with(|| {
+                let p = t.program().expect("profiled tile has a program");
+                crate::gprof::GuestProfile::new(p.base(), p.instrs().len())
+            });
+            gp.merge_tile(tp);
+            if let Some((kind, n)) = self.sched.owed(i, self.cycle) {
+                gp.add_owed(tp.cur_mark(), t.pc(), kind, n);
+            }
+        }
+    }
+
     /// `(stepped, skipped)` tile-tick counters from the event scheduler:
     /// how many per-tile steps actually ran versus how many the wake list
     /// elided. Both zero under the dense schedule.

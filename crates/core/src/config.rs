@@ -143,6 +143,15 @@ pub struct MachineConfig {
     /// bit-identical with the flag on or off. Presets seed this from
     /// `HB_EVENT_CORE` (`0` = dense, anything else or unset = event).
     pub event_core: bool,
+    /// Guest-code profiling (see `hb_core::gprof`): when `true`, every
+    /// tile accumulates an exact retired-PC histogram plus per-PC
+    /// stall-cycle attribution, folded on demand by
+    /// `Machine::guest_profile`. Profiling is read-only — cycles, memory
+    /// and every architectural counter are bit-identical with the flag on
+    /// or off, and with it off each tile pays exactly one always-false
+    /// branch per recorded event (the same pattern as `telemetry_window`
+    /// and `race_check`). Host-only: excluded from the canonical text.
+    pub profile: bool,
 }
 
 impl MachineConfig {
@@ -186,6 +195,7 @@ impl MachineConfig {
             telemetry_window: 0,
             race_check: false,
             event_core: crate::parallel::event_core_from_env(),
+            profile: false,
         }
     }
 
@@ -542,6 +552,7 @@ impl MachineConfig {
             telemetry_window: get(&map, "telw")?,
             race_check: false,
             event_core: true,
+            profile: false,
         };
         // 34 top-level keys: every field accounted for, nothing unknown.
         if map.len() != 34 {
@@ -736,11 +747,13 @@ mod tests {
         ] {
             let text = cfg.canonical_text();
             let back = MachineConfig::from_canonical_text(&text).unwrap();
-            // threads/event_core are host-only and restored to their fixed
-            // values; everything else must survive the round trip bit-exactly.
+            // threads/event_core/profile are host-only and restored to their
+            // fixed values; everything else must survive the round trip
+            // bit-exactly.
             let normalized = MachineConfig {
                 threads: 1,
                 event_core: true,
+                profile: false,
                 ..cfg
             };
             assert_eq!(back, normalized, "roundtrip of {text}");
@@ -776,6 +789,15 @@ mod tests {
             ev_on.canonical_text(),
             ev_off.canonical_text(),
             "event_core must not leak into the canonical form"
+        );
+        let prof_on = MachineConfig {
+            profile: true,
+            ..base.clone()
+        };
+        assert_eq!(
+            prof_on.canonical_text(),
+            base.canonical_text(),
+            "profile must not leak into the canonical form"
         );
 
         // Mutating any simulated-behaviour field must change the text (and

@@ -52,6 +52,7 @@ mod config;
 pub mod cosim;
 pub mod diag;
 pub mod func;
+pub mod gprof;
 mod icache;
 mod kernel_util;
 mod machine;
@@ -72,6 +73,7 @@ pub use config::{CellDim, ConfigError, MachineConfig};
 pub use cosim::{CosimChecker, CosimError, CosimReport, Divergence};
 pub use diag::{FaultInfo, HangClass, HangReport};
 pub use func::{FuncBus, IssTile, SnapshotDram, TileCtx, WarmupReport};
+pub use gprof::{GuestProfile, PhaseProfile, UNMARKED};
 pub use icache::ICache;
 pub use kernel_util::HbOps;
 pub use machine::{Machine, RunSummary, SimError};

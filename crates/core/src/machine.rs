@@ -649,6 +649,32 @@ impl Machine {
         })
     }
 
+    /// Folds the guest-code profile of every profiled tile, machine-wide
+    /// (see [`crate::gprof`]): Cells in id order, tiles row-major, with
+    /// the stall debt of still-parked tiles added virtually at their
+    /// parking PC. Read-only and safe at any point of a run; `None` when
+    /// [`MachineConfig::profile`] is off or nothing has launched. Out of
+    /// the hot path — profiling costs the simulation loop nothing beyond
+    /// the tiles' own one-branch record sites.
+    #[cold]
+    pub fn guest_profile(&self) -> Option<crate::gprof::GuestProfile> {
+        let mut gp = None;
+        for cell in &self.cells {
+            cell.fold_guest_profile(&mut gp);
+        }
+        gp
+    }
+
+    /// The program launched on `cell`'s tiles, if any (profiling consumers
+    /// map histogram indices back onto instructions with it).
+    pub fn launched_program(&self, cell: u8) -> Option<Arc<Program>> {
+        let c = &self.cells[cell as usize];
+        let (w, h) = (self.cfg.cell_dim.x, self.cfg.cell_dim.y);
+        (0..h)
+            .flat_map(|y| (0..w).map(move |x| (x, y)))
+            .find_map(|(x, y)| c.tile(x, y).program().cloned())
+    }
+
     /// Classifies a hang at timeout. Precedence: tiles parked in a barrier
     /// dominate (they explain every downstream symptom), then a leaked
     /// scoreboard with drained networks, then packets stuck inside a NoC;

@@ -45,6 +45,16 @@ pub enum ObsKind {
     /// The dynamic race sanitizer (see [`crate::race`]) reported a new
     /// conflicting pair; the event lands on the second-accessing tile.
     Race,
+    /// The event scheduler parked the tile on the wake list (see
+    /// `crate::sched`); the payload is the stall kind every skipped cycle
+    /// will be blamed on, `None` for idle/trapped tiles. Only emitted
+    /// under the event schedule — park/wake instants make quiescent spans
+    /// visible in traces, they are host-schedule observations, not
+    /// architectural events.
+    Park(Option<crate::stats::StallKind>),
+    /// The event scheduler re-armed a parked tile (timer expiry or event
+    /// wake): the first cycle it steps again. One per [`ObsKind::Park`].
+    Wake,
 }
 
 /// Which structure an [`ObsKind::Inject`] event hit.

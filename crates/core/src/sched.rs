@@ -194,6 +194,7 @@ impl TileSched {
                 }
                 self.park_cycle[i] = NOT_PARKED;
                 self.park_kind[i] = None;
+                tiles[i].push_obs(now, crate::observe::ObsKind::Wake);
             }
             self.run_list.push(i as u32);
         }
@@ -225,6 +226,7 @@ impl TileSched {
                 self.wake_at[i] = wake_at;
                 self.park_kind[i] = kind;
                 self.park_cycle[i] = now + 1;
+                tiles[i].push_obs(now, crate::observe::ObsKind::Park(kind));
             }
         }
 

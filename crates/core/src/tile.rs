@@ -164,6 +164,12 @@ pub struct Tile {
     /// still outstanding (an unfenced join lets writes leak into the next
     /// epoch).
     race_join_unfenced: bool,
+
+    /// Guest-code profile capture (see [`crate::gprof`]): allocated at
+    /// launch when [`MachineConfig::profile`](crate::MachineConfig) is
+    /// set, `None` otherwise — every record site pays exactly one branch
+    /// on the option when profiling is off.
+    prof: Option<Box<crate::gprof::TileProfile>>,
 }
 
 const OUTBOX_CAP: usize = 4;
@@ -251,6 +257,7 @@ impl Tile {
             race_check: false,
             race_log: Vec::new(),
             race_join_unfenced: false,
+            prof: None,
         }
     }
 
@@ -345,6 +352,12 @@ impl Tile {
         // Stack at the top of the scratchpad.
         self.regs[Gpr::Sp.index() as usize] = self.cfg.spm_bytes;
         self.pc = program.base();
+        self.prof = self.cfg.profile.then(|| {
+            Box::new(crate::gprof::TileProfile::new(
+                program.base(),
+                program.instrs().len(),
+            ))
+        });
         self.program = Some(program);
         self.group = group;
         self.running = true;
@@ -535,13 +548,27 @@ impl Tile {
 
     fn stall(&mut self, kind: StallKind) {
         self.stats.add_stall(kind);
+        if let Some(p) = &mut self.prof {
+            p.record_stall(self.pc, kind);
+        }
     }
 
     /// Bulk stall catch-up from the event scheduler: the tile slept `n`
     /// cycles during which the dense schedule would have recorded one
-    /// stall of `kind` each (see `crate::sched`).
+    /// stall of `kind` each (see `crate::sched`). The PC cannot have moved
+    /// since the tile parked, so attributing the whole span to the current
+    /// PC reproduces the dense schedule's cycle-by-cycle attribution.
     pub(crate) fn credit_stalls(&mut self, kind: StallKind, n: u64) {
         self.stats.add_stall_n(kind, n);
+        if let Some(p) = &mut self.prof {
+            p.record_stall_n(self.pc, kind, n);
+        }
+    }
+
+    /// The guest-code profile buffer, when profiling is configured and the
+    /// tile has launched.
+    pub(crate) fn guest_prof(&self) -> Option<&crate::gprof::TileProfile> {
+        self.prof.as_deref()
     }
 
     fn trap(&mut self, msg: String) {
@@ -1151,6 +1178,9 @@ impl Tile {
                 self.finished = true;
                 self.stats.instrs += 1;
                 self.stats.int_cycles += 1;
+                if let Some(p) = &mut self.prof {
+                    p.record_retire(self.pc);
+                }
                 if let Some(t) = &self.trace {
                     t.push(TraceEvent::Retire {
                         cycle: now,
@@ -1297,6 +1327,9 @@ impl Tile {
                 pc: self.pc,
                 instr,
             });
+        }
+        if let Some(p) = &mut self.prof {
+            p.record_retire(self.pc);
         }
         self.pc = next_pc;
         self.stats.instrs += 1;
@@ -1550,6 +1583,9 @@ impl Tile {
                     if self.observed {
                         self.obs_events
                             .push((now, crate::observe::ObsKind::Mark(data)));
+                    }
+                    if let Some(p) = &mut self.prof {
+                        p.set_phase(data);
                     }
                     true
                 }

@@ -110,6 +110,9 @@ pub fn to_string(t: &Telemetry) -> String {
             ObsKind::Inject(k) => format!("inject {}", k.label()),
             ObsKind::Retransmit => "noc retransmit".to_owned(),
             ObsKind::Race => "race".to_owned(),
+            ObsKind::Park(Some(k)) => format!("park {}", k.label()),
+            ObsKind::Park(None) => "park idle".to_owned(),
+            ObsKind::Wake => "wake".to_owned(),
         };
         push(
             &mut out,

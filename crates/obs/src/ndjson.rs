@@ -78,6 +78,9 @@ pub fn to_string(t: &Telemetry) -> String {
             ObsKind::Inject(k) => ("inject", i64::from(k as u8)),
             ObsKind::Retransmit => ("retransmit", -1),
             ObsKind::Race => ("race", -1),
+            ObsKind::Park(Some(k)) => ("park", k as i64),
+            ObsKind::Park(None) => ("park", -1),
+            ObsKind::Wake => ("wake", -1),
         };
         let _ = writeln!(
             out,

@@ -1,0 +1,472 @@
+//! Guest-code profiler: basic-block attribution of the exact retired-PC
+//! and stall-cycle histograms captured by
+//! [`hb_core::gprof`](hb_core::GuestProfile).
+//!
+//! `hb-core` owns the capture (see `MachineConfig::profile`): every tile
+//! accumulates, per program phase, how many instructions retired at each
+//! PC and how many stall cycles of each [`StallKind`] were spent there.
+//! This crate owns the *analysis*: it maps those flat histograms onto the
+//! basic-block CFG that `hb-lint` already builds for every kernel,
+//! producing a ranked hot-block table and two exporters —
+//!
+//! - [`folded`]: folded-stack text (`kernel;phase;block count`), directly
+//!   loadable by `flamegraph.pl` and Speedscope;
+//! - [`summary`]: a `perf report`-style text table plus an NDJSON stream
+//!   for scripting.
+//!
+//! Counts in both exporters are **cycles**, so a flamegraph's total width
+//! is the machine's tile-cycles and stall frames nest under the block
+//! that paid them. Everything here is a pure function of the captured
+//! [`GuestProfile`], which is itself bit-identical across `HB_THREADS`
+//! and `HB_EVENT_CORE`; the exporters iterate phases and blocks in their
+//! deterministic stored order, so the rendered bytes are reproducible
+//! across hosts and schedules.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use hb_core::{Machine, MachineConfig};
+//!
+//! let (_scope, store) = hb_prof::attach();
+//! let cfg = MachineConfig {
+//!     profile: true,
+//!     ..MachineConfig::baseline_16x8()
+//! };
+//! let machine = Machine::new(cfg);
+//! // ... launch and run a kernel, drop the machine ...
+//! drop(machine);
+//! let store = store.lock().unwrap();
+//! if let Some(run) = store.last() {
+//!     let analysis = hb_prof::Analysis::analyze("sgemm", run);
+//!     println!("{}", hb_prof::summary::report_text(&analysis, 10));
+//! }
+//! ```
+
+pub mod folded;
+pub mod summary;
+
+use hb_asm::Program;
+use hb_core::observe::MachineObserver;
+use hb_core::{GuestProfile, Machine, MachineConfig, ObserverScope, StallKind, UNMARKED};
+use hb_isa::INSTR_BYTES;
+use hb_lint::cfg::Cfg;
+use std::sync::{Arc, Mutex};
+
+/// One profiled machine run: the program it executed, the folded guest
+/// profile, and the machine cycle the capture closed at.
+#[derive(Debug, Clone)]
+pub struct ProfRun {
+    /// The program launched on Cell 0 (profiles are per-image).
+    pub program: Arc<Program>,
+    /// The machine-wide guest profile.
+    pub profile: GuestProfile,
+    /// Machine cycle at capture (end of the run).
+    pub cycles: u64,
+}
+
+/// Captured runs, oldest first. Shared between the caller and the
+/// observer the factory hands to each profiled machine.
+#[derive(Debug, Default)]
+pub struct ProfStore {
+    runs: Vec<ProfRun>,
+}
+
+impl ProfStore {
+    /// All captured runs, in machine-drop order.
+    pub fn runs(&self) -> &[ProfRun] {
+        &self.runs
+    }
+
+    /// The most recent captured run, if any.
+    pub fn last(&self) -> Option<&ProfRun> {
+        self.runs.last()
+    }
+}
+
+/// Shared handle to the captured runs.
+pub type SharedProfiles = Arc<Mutex<ProfStore>>;
+
+/// Observer that harvests the guest profile when the machine is dropped.
+/// It never samples mid-run (`next_due` is `u64::MAX`); the fold in
+/// `Machine::guest_profile` is owed-aware, so even a machine dropped
+/// mid-kernel yields dense-identical counts.
+#[derive(Debug)]
+struct Harvester {
+    store: SharedProfiles,
+}
+
+impl MachineObserver for Harvester {
+    fn sample(&mut self, _machine: &mut Machine) {}
+
+    fn next_due(&self) -> u64 {
+        u64::MAX
+    }
+
+    fn finish(&mut self, machine: &mut Machine) {
+        let (Some(profile), Some(program)) = (machine.guest_profile(), machine.launched_program(0))
+        else {
+            return;
+        };
+        self.runs_push(ProfRun {
+            program,
+            profile,
+            cycles: machine.cycle(),
+        });
+    }
+}
+
+impl Harvester {
+    fn runs_push(&self, run: ProfRun) {
+        self.store.lock().unwrap().runs.push(run);
+    }
+}
+
+/// Installs a thread-local observer factory (see
+/// [`hb_core::set_observer_factory`]) and returns its scope guard plus
+/// the shared run store.
+///
+/// Every [`Machine::new`] on this thread whose config has
+/// `profile: true` then gets a harvesting observer attached — this is
+/// how the profiler reaches machines built deep inside benchmark
+/// harnesses without changing their signatures. The profile is read in
+/// the observer's `finish`, i.e. when the machine is dropped. Drop the
+/// scope to stop instrumenting.
+pub fn attach() -> (ObserverScope, SharedProfiles) {
+    let store: SharedProfiles = Arc::default();
+    let factory_store = store.clone();
+    let scope = hb_core::set_observer_factory(move |cfg: &MachineConfig| {
+        cfg.profile.then(|| {
+            Box::new(Harvester {
+                store: factory_store.clone(),
+            }) as Box<dyn MachineObserver>
+        })
+    });
+    (scope, store)
+}
+
+/// One basic block's profile: histogram counts summed over the block's
+/// instruction range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockRow {
+    /// Block index in the kernel's CFG (address order, 0 = entry).
+    pub block: usize,
+    /// Instruction index of the block's first instruction.
+    pub start: usize,
+    /// One past the instruction index of the block's last instruction.
+    pub end: usize,
+    /// Byte address of the block's first instruction.
+    pub start_pc: u32,
+    /// Instructions retired inside the block (= its execute cycles).
+    pub retired: u64,
+    /// Stall cycles attributed to the block, by [`StallKind`].
+    pub stalls: [u64; StallKind::COUNT],
+}
+
+impl BlockRow {
+    /// Total stall cycles attributed to the block.
+    pub fn stall_cycles(&self) -> u64 {
+        self.stalls.iter().sum()
+    }
+
+    /// Total tile-cycles spent in the block (execute + stall).
+    pub fn cycles(&self) -> u64 {
+        self.retired + self.stall_cycles()
+    }
+
+    /// Stable frame/row label (`blk_0x0040`), keyed by start address so
+    /// it survives re-ranking and appears verbatim in every exporter.
+    pub fn label(&self) -> String {
+        format!("blk_{:#06x}", self.start_pc)
+    }
+}
+
+/// One phase's per-block rows, in block (address) order.
+#[derive(Debug, Clone)]
+pub struct PhaseRows {
+    /// The `MARK` value of the phase ([`UNMARKED`] before any mark).
+    pub mark: u32,
+    /// Rows for every block with nonzero activity, block index ascending.
+    pub rows: Vec<BlockRow>,
+}
+
+/// Human name of a phase: `main` for the pre-mark default, `phaseN` for
+/// marked phases. `;` never appears, so names are folded-stack safe.
+pub fn phase_name(mark: u32) -> String {
+    if mark == UNMARKED {
+        "main".to_owned()
+    } else {
+        format!("phase{mark}")
+    }
+}
+
+/// A profiled run mapped onto its basic-block CFG: per-phase block rows
+/// plus a phase-summed ranking. Pure function of the [`ProfRun`]; all
+/// orders are deterministic (phases as stored — unmarked first, then by
+/// mark; blocks by address; ranking by cycles descending with address as
+/// the tiebreak).
+#[derive(Debug)]
+pub struct Analysis {
+    /// Kernel name, used as the flamegraph root frame.
+    pub kernel: String,
+    /// Machine cycles at capture.
+    pub cycles: u64,
+    /// Total instructions retired across all phases and blocks.
+    pub retired: u64,
+    /// Total stall cycles across all phases and blocks.
+    pub stalled: u64,
+    /// Per-phase block rows.
+    pub phases: Vec<PhaseRows>,
+    /// Phase-summed rows, hottest (most cycles) first.
+    pub ranked: Vec<BlockRow>,
+    program: Arc<Program>,
+}
+
+impl Analysis {
+    /// Maps `run`'s histograms onto the basic blocks of its program.
+    pub fn analyze(kernel: &str, run: &ProfRun) -> Analysis {
+        let cfg = Cfg::build(&run.program);
+        let block_rows = |retired: &[u64], stall_at: &dyn Fn(usize, usize) -> u64| {
+            let mut rows = Vec::new();
+            for (bi, b) in cfg.blocks.iter().enumerate() {
+                let mut row = BlockRow {
+                    block: bi,
+                    start: b.start,
+                    end: b.end,
+                    start_pc: cfg.pc_of(b.start),
+                    retired: 0,
+                    stalls: [0; StallKind::COUNT],
+                };
+                for (i, &r) in retired.iter().enumerate().take(b.end).skip(b.start) {
+                    row.retired += r;
+                    for k in 0..StallKind::COUNT {
+                        row.stalls[k] += stall_at(i, k);
+                    }
+                }
+                if row.cycles() > 0 {
+                    rows.push(row);
+                }
+            }
+            rows
+        };
+
+        let phases: Vec<PhaseRows> = run
+            .profile
+            .phases
+            .iter()
+            .map(|p| PhaseRows {
+                mark: p.mark,
+                rows: block_rows(&p.retired, &|i, k| p.stalls[i * StallKind::COUNT + k]),
+            })
+            .collect();
+
+        // Phase-summed ranking.
+        let mut by_block: Vec<Option<BlockRow>> = vec![None; cfg.blocks.len()];
+        for ph in &phases {
+            for row in &ph.rows {
+                match &mut by_block[row.block] {
+                    Some(acc) => {
+                        acc.retired += row.retired;
+                        for (dst, src) in acc.stalls.iter_mut().zip(&row.stalls) {
+                            *dst += src;
+                        }
+                    }
+                    slot => *slot = Some(row.clone()),
+                }
+            }
+        }
+        let mut ranked: Vec<BlockRow> = by_block.into_iter().flatten().collect();
+        ranked.sort_by(|a, b| b.cycles().cmp(&a.cycles()).then(a.start.cmp(&b.start)));
+
+        Analysis {
+            kernel: kernel.to_owned(),
+            cycles: run.cycles,
+            retired: run.profile.retired_total(),
+            stalled: run.profile.stall_total(),
+            phases,
+            ranked,
+            program: run.program.clone(),
+        }
+    }
+
+    /// Total tile-cycles accounted to guest code (execute + stall); the
+    /// denominator for every share in the exporters.
+    pub fn tile_cycles(&self) -> u64 {
+        self.retired + self.stalled
+    }
+
+    /// `row`'s share of [`Analysis::tile_cycles`] in basis points
+    /// (0..=10000). Integer arithmetic, so exporters stay byte-stable.
+    pub fn share_bp(&self, row: &BlockRow) -> u64 {
+        match self.tile_cycles() {
+            0 => 0,
+            total => row.cycles() * 10_000 / total,
+        }
+    }
+
+    /// `row`'s share of all retired instructions, in basis points.
+    pub fn retired_share_bp(&self, row: &BlockRow) -> u64 {
+        match self.retired {
+            0 => 0,
+            total => row.retired * 10_000 / total,
+        }
+    }
+
+    /// Disassembly of the block's first instruction (an anchor for
+    /// reading reports without a listing at hand).
+    pub fn leader_disasm(&self, row: &BlockRow) -> String {
+        self.program
+            .instrs()
+            .get(row.start)
+            .map(|i| i.to_string())
+            .unwrap_or_default()
+    }
+
+    /// The `n` hottest phase-summed rows.
+    pub fn top(&self, n: usize) -> &[BlockRow] {
+        &self.ranked[..self.ranked.len().min(n)]
+    }
+}
+
+/// Compact hot-block encoding carried by `hb-serve` job records:
+/// `pc:retired:stall_cycles:share_bp` rows joined by `;`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactBlock {
+    /// Byte address of the block's first instruction.
+    pub start_pc: u32,
+    /// Instructions retired in the block.
+    pub retired: u64,
+    /// Stall cycles attributed to the block.
+    pub stall_cycles: u64,
+    /// Share of tile-cycles in basis points.
+    pub share_bp: u64,
+}
+
+/// Encodes the `n` hottest blocks as a single compact field.
+pub fn compact_top(a: &Analysis, n: usize) -> String {
+    a.top(n)
+        .iter()
+        .map(|r| {
+            format!(
+                "{:#06x}:{}:{}:{}",
+                r.start_pc,
+                r.retired,
+                r.stall_cycles(),
+                a.share_bp(r)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+/// Decodes a [`compact_top`] field; malformed rows are dropped.
+pub fn parse_compact(s: &str) -> Vec<CompactBlock> {
+    s.split(';')
+        .filter_map(|row| {
+            let mut it = row.split(':');
+            let pc = it.next()?.strip_prefix("0x")?;
+            Some(CompactBlock {
+                start_pc: u32::from_str_radix(pc, 16).ok()?,
+                retired: it.next()?.parse().ok()?,
+                stall_cycles: it.next()?.parse().ok()?,
+                share_bp: it.next()?.parse().ok()?,
+            })
+        })
+        .collect()
+}
+
+/// Instruction index of byte address `pc` relative to `base`.
+pub fn instr_index(base: u32, pc: u32) -> usize {
+    pc.wrapping_sub(base) as usize / INSTR_BYTES as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_asm::Assembler;
+    use hb_core::{CellDim, HbOps};
+    use hb_isa::Gpr::*;
+
+    /// Counted loop with a barrier: block structure is
+    /// `[li] [loop body] [post + barrier + ecall]` (roughly).
+    fn loop_kernel() -> Arc<Program> {
+        let mut a = Assembler::new();
+        a.li(T0, 8);
+        let top = a.here();
+        a.addi(T0, T0, -1);
+        a.bnez(T0, top);
+        a.barrier(T6);
+        a.ecall();
+        Arc::new(a.assemble(0).unwrap())
+    }
+
+    fn profiled_cfg() -> MachineConfig {
+        MachineConfig {
+            cell_dim: CellDim { x: 2, y: 2 },
+            threads: 1,
+            profile: true,
+            ..MachineConfig::baseline_16x8()
+        }
+    }
+
+    fn run_loop_kernel() -> SharedProfiles {
+        let (_scope, store) = attach();
+        let mut machine = Machine::new(profiled_cfg());
+        machine.launch(0, &loop_kernel(), &[]);
+        machine.run(100_000).unwrap();
+        drop(machine);
+        store
+    }
+
+    #[test]
+    fn attach_harvests_on_drop_and_analysis_ranks_the_loop() {
+        let store = run_loop_kernel();
+        let store = store.lock().unwrap();
+        assert_eq!(store.runs().len(), 1);
+        let run = store.last().unwrap();
+        assert!(run.cycles > 0);
+        // Each of the 4 tiles retires every instruction once, except the
+        // 2-instruction loop body, which retires 8 times.
+        let per_tile = (run.profile.instrs as u64 - 2) + 2 * 8;
+        assert_eq!(run.profile.retired_total(), 4 * per_tile);
+
+        let a = Analysis::analyze("loop", run);
+        assert_eq!(a.retired, 4 * per_tile);
+        assert_eq!(a.tile_cycles(), a.retired + a.stalled);
+        // The 2-instruction loop body dominates retires (the exit block
+        // may out-cycle it here: barrier skew and end-of-run `done`
+        // stalls land there, and the loop is only 16 instructions).
+        let body = a.ranked.iter().find(|r| r.start == 1).expect("loop body");
+        assert_eq!((body.start, body.end), (1, 3));
+        assert_eq!(body.retired, 4 * 16);
+        assert_eq!(a.leader_disasm(body), "addi t0, t0, -1");
+        assert!(a.retired_share_bp(body) > 5_000, "{a:?}");
+        // Shares are basis points of the full tile-cycle pie.
+        let sum: u64 = a.ranked.iter().map(|r| a.share_bp(r)).sum();
+        assert!(sum <= 10_000);
+    }
+
+    #[test]
+    fn factory_declines_unprofiled_machines() {
+        let (_scope, store) = attach();
+        let cfg = MachineConfig {
+            profile: false,
+            ..profiled_cfg()
+        };
+        drop(Machine::new(cfg));
+        assert!(store.lock().unwrap().runs().is_empty());
+    }
+
+    #[test]
+    fn compact_roundtrips() {
+        let store = run_loop_kernel();
+        let store = store.lock().unwrap();
+        let a = Analysis::analyze("loop", store.last().unwrap());
+        let s = compact_top(&a, 3);
+        let rows = parse_compact(&s);
+        assert_eq!(rows.len(), a.top(3).len());
+        assert_eq!(rows[0].start_pc, a.ranked[0].start_pc);
+        assert_eq!(rows[0].retired, a.ranked[0].retired);
+        assert_eq!(rows[0].share_bp, a.share_bp(&a.ranked[0]));
+        assert!(parse_compact("garbage").is_empty());
+    }
+}

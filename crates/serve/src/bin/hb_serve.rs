@@ -10,6 +10,7 @@
 //! ```text
 //! hb-serve run    --kernel sgemm --faults 200 --seed 7      # submit + execute + report
 //! hb-serve run    ... --max-jobs 100                        # stop after 100 executions
+//! hb-serve profile --kernels SGEMM,BFS,Jacobi --size small  # per-kernel hot-block tables
 //! hb-serve resume --dir hb-serve-data                       # finish a killed campaign
 //! hb-serve status --dir hb-serve-data                       # done/missing counts
 //! hb-serve report --dir hb-serve-data                       # rebuild report.txt
@@ -26,6 +27,7 @@ const USAGE: &str = "usage: hb-serve <command> [options]
 commands:
   submit   write the campaign manifest without running it
   run      submit (if needed) + execute + write report.txt
+  profile  run hot-block profiling jobs over suite kernels
   resume   re-run only the jobs missing from the store
   status   print done/missing counts for the manifest
   report   rebuild and print the deterministic report
@@ -41,7 +43,11 @@ options:
   --threads T      worker threads                [HB_THREADS or 1]
   --max-jobs N     stop after N executed jobs (deterministic mid-run stop)
   --retries R      retries per transient failure [2]
-  --out FILE       also write the report here";
+  --out FILE       also write the report here
+
+profile options:
+  --kernels K,K    suite kernels to profile      [SGEMM,BFS,Jacobi]
+  --size S         tiny | small | large          [small]";
 
 struct Opts {
     dir: PathBuf,
@@ -54,6 +60,8 @@ struct Opts {
     max_jobs: Option<usize>,
     retries: u32,
     out: Option<PathBuf>,
+    kernels: Vec<String>,
+    size: String,
 }
 
 fn parse_opts(argv: &[String]) -> Opts {
@@ -68,6 +76,8 @@ fn parse_opts(argv: &[String]) -> Opts {
         max_jobs: None,
         retries: 2,
         out: None,
+        kernels: vec!["SGEMM".to_owned(), "BFS".to_owned(), "Jacobi".to_owned()],
+        size: "small".to_owned(),
     };
     let mut i = 0;
     while i < argv.len() {
@@ -101,6 +111,14 @@ fn parse_opts(argv: &[String]) -> Opts {
                 opts.retries = cli::parse_value(&flag, &cli::flag_value(argv, &mut i, USAGE), USAGE)
             }
             "--out" => opts.out = Some(PathBuf::from(cli::flag_value(argv, &mut i, USAGE))),
+            "--kernels" => {
+                opts.kernels = cli::flag_value(argv, &mut i, USAGE)
+                    .split(',')
+                    .filter(|k| !k.is_empty())
+                    .map(str::to_owned)
+                    .collect()
+            }
+            "--size" => opts.size = cli::flag_value(argv, &mut i, USAGE).to_ascii_lowercase(),
             other => cli::usage_fail(USAGE, format!("unknown option {other:?}")),
         }
         i += 1;
@@ -130,6 +148,30 @@ fn submit_campaign(opts: &Opts) -> Campaign {
         opts.kernel, opts.cell.x, opts.cell.y, opts.seed, opts.faults
     );
     let campaign = Campaign::fault(name, &opts.kernel, &cfg, opts.seed, opts.faults);
+    persist_campaign(campaign, opts)
+}
+
+/// Builds the hot-block profiling campaign `profile` describes.
+fn submit_profile_campaign(opts: &Opts) -> Campaign {
+    let cfg = campaign_config(opts);
+    let kernels: Vec<&str> = opts.kernels.iter().map(String::as_str).collect();
+    if kernels.is_empty() {
+        cli::usage_fail(USAGE, "--kernels names no kernels");
+    }
+    let name = format!(
+        "profile {} cell={}x{} size={}",
+        kernels.join(","),
+        opts.cell.x,
+        opts.cell.y,
+        opts.size
+    );
+    let campaign = Campaign::profile(name, &kernels, &cfg, &opts.size);
+    persist_campaign(campaign, opts)
+}
+
+/// Saves `campaign` into `opts.dir`, unless the directory already holds the
+/// same campaign (no-op) or a different one (error).
+fn persist_campaign(campaign: Campaign, opts: &Opts) -> Campaign {
     if opts.dir.join("manifest.txt").exists() {
         match Campaign::load(&opts.dir) {
             Ok(existing) if existing == campaign => return campaign,
@@ -204,6 +246,11 @@ fn main() {
         "run" => {
             let opts = parse_opts(rest);
             let campaign = submit_campaign(&opts);
+            execute(&campaign, &opts);
+        }
+        "profile" => {
+            let opts = parse_opts(rest);
+            let campaign = submit_profile_campaign(&opts);
             execute(&campaign, &opts);
         }
         "resume" => {

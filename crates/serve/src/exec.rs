@@ -265,6 +265,46 @@ impl SimExecutor {
         })
     }
 
+    /// One profiled benchmark run: any suite kernel at a size class with
+    /// guest-code profiling enabled. The record carries cycles (identical
+    /// to an unprofiled run — profiling is observation-only) plus the
+    /// top-5 hot basic blocks in `hb_prof::compact_top` form, which the
+    /// report renders as a per-kernel hot-block section.
+    fn run_profile(&self, spec: &JobSpec, size: &str) -> Result<JobRecord, JobError> {
+        let size = parse_size(size)?;
+        let bench = hb_kernels::suite()
+            .into_iter()
+            .find(|b| b.name().eq_ignore_ascii_case(&spec.kernel))
+            .ok_or_else(|| JobError::Permanent(format!("unknown kernel {:?}", spec.kernel)))?;
+        let cfg = MachineConfig {
+            profile: true,
+            ..self.machine_config(spec)
+        };
+        cfg.validate()
+            .map_err(|e| JobError::Permanent(format!("invalid config: {e}")))?;
+        let (scope, profiles) = hb_prof::attach();
+        let stats = bench
+            .run(&cfg, size)
+            .map_err(|e| JobError::Permanent(format!("{} failed: {e}", bench.name())))?;
+        drop(scope);
+        let profiles = profiles.lock().unwrap();
+        let run = profiles
+            .last()
+            .ok_or_else(|| JobError::Permanent(format!("{} captured no profile", bench.name())))?;
+        let analysis = hb_prof::Analysis::analyze(bench.name(), run);
+        Ok(JobRecord {
+            kind: spec.kind.canonical(),
+            kernel: spec.kernel.clone(),
+            seed: spec.seed,
+            outcome: "ok".to_owned(),
+            cycles: stats.cycles,
+            instrs: stats.core.instrs,
+            checks: format!("retired={},stalled={}", analysis.retired, analysis.stalled),
+            profile: hb_prof::compact_top(&analysis, 5),
+            ..JobRecord::default()
+        })
+    }
+
     /// Two-sided race check for one suite kernel: the static phase-conflict
     /// pass over the program plus a full benchmark run (golden-validating)
     /// under the dynamic epoch sanitizer. Finding counts land in `checks`
@@ -306,6 +346,7 @@ impl Executor for SimExecutor {
             JobKind::Fault => self.run_fault(spec, store),
             JobKind::Ablation { size } => self.run_ablation(spec, size),
             JobKind::RaceCheck { size } => self.run_race_check(spec, size),
+            JobKind::Profile { size } => self.run_profile(spec, size),
         }
     }
 }

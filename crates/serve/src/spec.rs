@@ -16,7 +16,10 @@ use hb_fault::InjectionPlan;
 /// Version of the job canonical form *and* the stored result layout. Bump on
 /// any change to [`JobSpec::canonical_line`], the canonical config/plan
 /// serializations it embeds, or the [`crate::store::JobRecord`] fields.
-pub const SCHEMA_REV: u32 = 1;
+///
+/// rev 2: `JobRecord` gained the `profile` field (hot-block table of
+/// `profile:<size>` jobs).
+pub const SCHEMA_REV: u32 = 2;
 
 /// The binary revision folded into every job hash: `HB_SERVE_REV` when set
 /// (CI sets it to the commit SHA so rebuilt binaries invalidate the cache),
@@ -54,6 +57,15 @@ pub enum JobKind {
         /// Kernel input size class for the sanitized run.
         size: String,
     },
+    /// One guest-code profiling run: `hb_kernels::Benchmark::run` at a
+    /// size class with `MachineConfig::profile` enabled, recording cycles
+    /// plus the hot basic-block table (the record's `profile` field, in
+    /// `hb_prof::compact_top` form). Profiling is observation-only, so
+    /// cycles match the plain ablation run bit-for-bit.
+    Profile {
+        /// Kernel input size class for the profiled run.
+        size: String,
+    },
 }
 
 impl JobKind {
@@ -64,6 +76,7 @@ impl JobKind {
             JobKind::Fault => "fault".to_owned(),
             JobKind::Ablation { size } => format!("ablation:{size}"),
             JobKind::RaceCheck { size } => format!("race:{size}"),
+            JobKind::Profile { size } => format!("profile:{size}"),
         }
     }
 
@@ -81,6 +94,9 @@ impl JobKind {
                     size: size.to_owned(),
                 }),
                 Some(("race", size)) if !size.is_empty() => Ok(JobKind::RaceCheck {
+                    size: size.to_owned(),
+                }),
+                Some(("profile", size)) if !size.is_empty() => Ok(JobKind::Profile {
                     size: size.to_owned(),
                 }),
                 _ => Err(format!("unknown job kind {text:?}")),
@@ -347,6 +363,15 @@ mod tests {
                 kernel: "BFS@diropt".to_owned(),
                 plan: PlanSpec::None,
                 label: "race smoke".to_owned(),
+                ..spec()
+            },
+            JobSpec {
+                kind: JobKind::Profile {
+                    size: "small".to_owned(),
+                },
+                kernel: "Jacobi".to_owned(),
+                plan: PlanSpec::None,
+                label: "hot blocks".to_owned(),
                 ..spec()
             },
             JobSpec {

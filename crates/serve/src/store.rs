@@ -53,6 +53,10 @@ pub struct JobRecord {
     /// Paths of side artifacts (telemetry traces); relative to the store
     /// root, comma-joined. Empty when none.
     pub artifacts: String,
+    /// Hot basic-block table of `profile:<size>` jobs, in
+    /// `hb_prof::compact_top` form (`pc:retired:stalls:share_bp` rows
+    /// joined by `;`). Empty for every other kind.
+    pub profile: String,
 }
 
 impl JobRecord {
@@ -61,7 +65,8 @@ impl JobRecord {
         format!(
             "{{\"hash\":{},\"kind\":{},\"kernel\":{},\"seed\":{},\"outcome\":{},\
              \"site\":{},\"inj_cycle\":{},\"cycles\":{},\"instrs\":{},\
-             \"dram_digest\":{},\"checks\":{},\"retries\":{},\"artifacts\":{}}}",
+             \"dram_digest\":{},\"checks\":{},\"retries\":{},\"artifacts\":{},\
+             \"profile\":{}}}",
             json::quote(&self.hash),
             json::quote(&self.kind),
             json::quote(&self.kernel),
@@ -75,6 +80,7 @@ impl JobRecord {
             json::quote(&self.checks),
             self.retries,
             json::quote(&self.artifacts),
+            json::quote(&self.profile),
         )
     }
 
@@ -118,6 +124,7 @@ impl JobRecord {
             checks: str_field(&map, "checks")?,
             retries: num_field(&map, "retries")? as u32,
             artifacts: str_field(&map, "artifacts")?,
+            profile: str_field(&map, "profile")?,
         })
     }
 }
@@ -370,6 +377,7 @@ mod tests {
             checks: String::new(),
             retries: 1,
             artifacts: String::new(),
+            profile: String::new(),
         }
     }
 
@@ -388,6 +396,7 @@ mod tests {
         // Escaping survives.
         let mut odd = rec("ab12");
         odd.checks = "a\"b\\c\n".to_owned();
+        odd.profile = "0x0054:3328:7497:7610;0x0088:128:656:551".to_owned();
         assert_eq!(JobRecord::from_json_line(&odd.to_json_line()).unwrap(), odd);
     }
 

@@ -40,6 +40,9 @@ pub use hb_mem as mem;
 pub use hb_noc as noc;
 /// Cycle-windowed telemetry: sampler, Chrome-trace/NDJSON export, heatmaps.
 pub use hb_obs as obs;
+/// Deterministic guest-code profiler: basic-block stall attribution,
+/// folded-stack (flamegraph) and `perf report`-style exports.
+pub use hb_prof as prof;
 /// Two-sided race checking: the static phase-conflict pass cross-validated
 /// against the dynamic barrier-epoch sanitizer, plus the racy fixtures.
 pub use hb_race as race;

@@ -187,6 +187,69 @@ fn telemetry_window_one_fires_every_cycle_while_parked() {
 }
 
 #[test]
+fn coprime_telemetry_windows_split_parked_spans_identically() {
+    // `telemetry_window = 13` is coprime with every periodicity in the
+    // kernel, so window boundaries land in the *middle* of multi-thousand
+    // cycle parked spans. The owed-aware readers must split a parked
+    // tile's barrier debt at exactly the boundary cycle — each window sees
+    // precisely its in-window share, matching the dense schedule, and the
+    // per-window deltas must sum back to the end-of-run totals.
+    let budget = 10_000;
+    let window = 13;
+    let mut runs = Vec::new();
+    for event_core in [false, true] {
+        let (scope, store) = hammerblade::obs::attach(Keep::All);
+        let mut machine = Machine::new(MachineConfig {
+            telemetry_window: window,
+            ..cfg(event_core)
+        });
+        machine.launch(0, &spin_vs_parked_kernel(), &[]);
+        run_to_timeout(&mut machine, budget);
+        let end_parked = machine.cell(0).tile_stats(1, 0);
+        drop(machine); // flush the final partial window
+        drop(scope);
+        runs.push((store, end_parked));
+    }
+    let dense = runs[0].0.lock().unwrap();
+    let event = runs[1].0.lock().unwrap();
+    assert_eq!(
+        dense.samples.len(),
+        event.samples.len(),
+        "sample count diverged"
+    );
+    assert_eq!(dense.final_cycle, event.final_cycle);
+    for (d, e) in dense.samples.iter().zip(event.samples.iter()) {
+        assert_eq!((d.start, d.end), (e.start, e.end), "window bounds diverged");
+        for (dc, ec) in d.cells.iter().zip(e.cells.iter()) {
+            assert_eq!(
+                dc.tiles, ec.tiles,
+                "per-tile deltas of window ({}, {}] diverged",
+                d.start, d.end
+            );
+        }
+    }
+    // The split is conservative: summing a parked tile's per-window
+    // barrier deltas reproduces its end-of-run counter exactly. Tile
+    // (1, 0) parks within the first few hundred cycles, so nearly every
+    // window boundary bisects its parked span.
+    let parked_index = 1; // (x=1, y=0) in row-major order
+    let windowed: u64 = event
+        .samples
+        .iter()
+        .map(|s| s.cells[0].tiles[parked_index].stall(StallKind::Barrier))
+        .sum();
+    assert_eq!(
+        windowed,
+        runs[1].1.stall(StallKind::Barrier),
+        "windowed barrier deltas must sum to the end-of-run counter"
+    );
+    assert!(
+        windowed > budget / 2,
+        "parked tile shows only {windowed} barrier cycles of {budget}"
+    );
+}
+
+#[test]
 fn injection_lands_on_schedule_while_every_tile_is_asleep() {
     // A register flip scheduled for cycle 2000 — long after the whole
     // machine has parked — must land on exactly that cycle under the event

@@ -1,0 +1,97 @@
+//! Cross-crate integration: the guest-code profiler end-to-end over the
+//! benchmark suite.
+//!
+//! Three properties are pinned here, matching the profiler's contract:
+//!
+//! 1. the SGEMM profile names the FMA inner-loop block as the top retired
+//!    block, with more than half of all retired instructions;
+//! 2. the folded-stack export is byte-identical across host thread counts
+//!    and with the event-driven scheduler on or off;
+//! 3. enabling profiling does not change simulated cycles.
+
+use hammerblade::core::{CellDim, MachineConfig};
+use hammerblade::kernels::{suite, SizeClass};
+use hammerblade::prof::{folded, summary, Analysis};
+
+fn cfg(threads: usize, event_core: bool, profile: bool) -> MachineConfig {
+    MachineConfig {
+        cell_dim: CellDim { x: 4, y: 2 },
+        threads,
+        event_core,
+        profile,
+        ..MachineConfig::baseline_16x8()
+    }
+}
+
+/// Runs SGEMM at tiny scale under the profiler and returns the analysis,
+/// the FMA-block disassembly of the top retired block, and the cycle count.
+fn sgemm_profile(threads: usize, event_core: bool) -> (Analysis, Vec<String>, u64) {
+    let suite = suite();
+    let bench = suite.iter().find(|b| b.name() == "SGEMM").unwrap();
+    let (scope, store) = hammerblade::prof::attach();
+    let stats = bench
+        .run(&cfg(threads, event_core, true), SizeClass::Tiny)
+        .unwrap();
+    drop(scope);
+    let store = store.lock().unwrap();
+    let run = store.last().expect("profiled machine harvests a profile");
+    let analysis = Analysis::analyze("SGEMM", run);
+    let top = analysis
+        .ranked
+        .iter()
+        .max_by_key(|r| r.retired)
+        .expect("nonempty profile");
+    let body: Vec<String> = run.program.instrs()[top.start..top.end]
+        .iter()
+        .map(|i| i.to_string())
+        .collect();
+    (analysis, body, stats.cycles)
+}
+
+#[test]
+fn sgemm_fma_inner_loop_dominates_retired_instructions() {
+    let (a, body, _) = sgemm_profile(1, false);
+    let top = a.ranked.iter().max_by_key(|r| r.retired).unwrap();
+    assert!(
+        a.retired_share_bp(top) > 5000,
+        "top block holds {} bp of retired instructions, want > 5000",
+        a.retired_share_bp(top)
+    );
+    assert!(
+        body.iter().any(|d| d.starts_with("fmadd")),
+        "top retired block is the FMA inner loop, got {body:?}"
+    );
+    // Shares are exact basis points of the tile-cycle total.
+    let total: u64 = a.ranked.iter().map(|r| a.share_bp(r)).sum();
+    assert!(total <= 10_000, "block shares sum to {total} bp");
+}
+
+#[test]
+fn profile_exports_are_identical_across_host_schedules() {
+    let (base, _, _) = sgemm_profile(1, false);
+    let folded_base = folded::to_string(&base);
+    let ndjson_base = summary::to_ndjson(&base);
+    assert!(!folded_base.is_empty());
+    for (threads, event_core) in [(1, true), (4, false), (4, true)] {
+        let (a, _, _) = sgemm_profile(threads, event_core);
+        assert_eq!(
+            folded::to_string(&a),
+            folded_base,
+            "folded export differs at threads={threads} event_core={event_core}"
+        );
+        assert_eq!(
+            summary::to_ndjson(&a),
+            ndjson_base,
+            "NDJSON export differs at threads={threads} event_core={event_core}"
+        );
+    }
+}
+
+#[test]
+fn profiling_does_not_change_simulated_cycles() {
+    let suite = suite();
+    let bench = suite.iter().find(|b| b.name() == "SGEMM").unwrap();
+    let off = bench.run(&cfg(1, true, false), SizeClass::Tiny).unwrap();
+    let (_, _, on_cycles) = sgemm_profile(1, true);
+    assert_eq!(off.cycles, on_cycles, "profiling must be timing-invisible");
+}
