@@ -22,6 +22,26 @@ impl Program {
         }
     }
 
+    /// Rebuilds a program from its encoded machine words (the inverse of
+    /// [`Program::words`]), e.g. when restoring a checkpoint whose image
+    /// was saved as raw words.
+    ///
+    /// # Errors
+    ///
+    /// Returns the index of the first word that fails to decode.
+    pub fn from_words(base: u32, words: &[u32]) -> Result<Program, usize> {
+        let instrs = words
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| hb_isa::decode(w).map_err(|_| i))
+            .collect::<Result<Vec<Instr>, usize>>()?;
+        Ok(Program {
+            base,
+            instrs,
+            words: words.to_vec(),
+        })
+    }
+
     /// Byte address of the first instruction.
     pub fn base(&self) -> u32 {
         self.base

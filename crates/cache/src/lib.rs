@@ -40,6 +40,6 @@
 mod bank;
 
 pub use bank::{
-    AccessKind, CacheBank, CacheConfig, CacheRequest, CacheResponse, CacheStats, LineRequest,
-    LineRequestKind,
+    snap_load_request, snap_save_request, AccessKind, CacheBank, CacheConfig, CacheRequest,
+    CacheResponse, CacheStats, LineRequest, LineRequestKind,
 };

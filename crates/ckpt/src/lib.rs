@@ -1,0 +1,400 @@
+//! Versioned, crash-safe machine checkpoints.
+//!
+//! [`hb_core::Machine::save_checkpoint`] produces a deterministic byte
+//! payload of the complete simulated state; this crate owns everything
+//! around that payload — the on-disk file format, its integrity hash, the
+//! version/config compatibility checks on restore, and the atomic write
+//! discipline that makes a checkpoint either fully present or absent after
+//! a crash.
+//!
+//! # File format (`HBCKPT01`)
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic "HBCKPT01"
+//! 8       4     format version (u32 LE, currently 1)
+//! 12      8+n   machine config canonical text (u64 LE length + UTF-8)
+//! ..      8     machine cycle at capture (u64 LE)
+//! ..      8+m   machine payload (u64 LE length + bytes)
+//! ..      16    FNV-1a 128-bit hash of every preceding byte (LE)
+//! ```
+//!
+//! The config travels as [`hb_core::MachineConfig::canonical_text`] — the
+//! same canonical form job hashing uses — so "same config" means exactly
+//! what it means everywhere else in the stack: every simulated-behavior
+//! knob equal, host-only knobs (threads, event scheduling, profiling) free
+//! to differ. That is what makes a checkpoint taken under `threads = 4`
+//! restorable under `threads = 1` with bit-identical continuation.
+//!
+//! Restore never panics: a wrong magic, an unknown version, a config
+//! mismatch, a hash mismatch or a malformed payload each map to a distinct
+//! [`CkptError`] variant.
+
+use hb_core::{Machine, MachineConfig};
+use std::fmt;
+use std::io::Write;
+use std::path::Path;
+
+/// Current checkpoint format version.
+pub const CKPT_VERSION: u32 = 1;
+
+/// File magic; the trailing digits track the container layout (the payload
+/// inside is versioned separately by `CKPT_VERSION`).
+pub const MAGIC: [u8; 8] = *b"HBCKPT01";
+
+/// Why a checkpoint could not be written or restored.
+#[derive(Debug)]
+pub enum CkptError {
+    /// The underlying file operation failed.
+    Io(std::io::Error),
+    /// The file does not start with the checkpoint magic.
+    BadMagic,
+    /// The file's format version is not one this binary reads.
+    Version {
+        /// Version found in the file.
+        found: u32,
+    },
+    /// The checkpoint was captured under a different machine configuration
+    /// (canonical texts differ); restoring it would silently misinterpret
+    /// geometry-dependent state.
+    ConfigMismatch {
+        /// Canonical config text stored in the checkpoint.
+        expected: String,
+        /// Canonical config text of the machine restoring it.
+        got: String,
+    },
+    /// The integrity hash does not match the contents (torn or tampered
+    /// file).
+    Corrupt,
+    /// The container framing or the machine payload does not decode.
+    Malformed(hb_mem::SnapError),
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Io(e) => write!(f, "checkpoint I/O: {e}"),
+            CkptError::BadMagic => write!(f, "not a checkpoint file (bad magic)"),
+            CkptError::Version { found } => {
+                write!(
+                    f,
+                    "unsupported checkpoint version {found} (this binary reads {CKPT_VERSION})"
+                )
+            }
+            CkptError::ConfigMismatch { .. } => {
+                write!(
+                    f,
+                    "checkpoint was captured under a different machine configuration"
+                )
+            }
+            CkptError::Corrupt => write!(f, "checkpoint hash mismatch (corrupt file)"),
+            CkptError::Malformed(e) => write!(f, "malformed checkpoint: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CkptError::Io(e) => Some(e),
+            CkptError::Malformed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CkptError {
+    fn from(e: std::io::Error) -> CkptError {
+        CkptError::Io(e)
+    }
+}
+
+impl From<hb_mem::SnapError> for CkptError {
+    fn from(e: hb_mem::SnapError) -> CkptError {
+        CkptError::Malformed(e)
+    }
+}
+
+/// A decoded checkpoint container, not yet applied to a machine.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Machine cycle at capture.
+    pub cycle: u64,
+    /// Canonical config text the capture ran under.
+    pub config_text: String,
+    /// The machine payload ([`Machine::save_checkpoint`] bytes).
+    pub payload: Vec<u8>,
+}
+
+impl Checkpoint {
+    /// Parses the config the checkpoint was captured under.
+    ///
+    /// # Errors
+    ///
+    /// The canonical-text parse error, verbatim.
+    pub fn config(&self) -> Result<MachineConfig, String> {
+        MachineConfig::from_canonical_text(&self.config_text)
+    }
+}
+
+/// 128-bit FNV-1a over `bytes`.
+fn fnv1a128(bytes: &[u8]) -> u128 {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u128::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Encodes the machine's current state as complete checkpoint-file bytes.
+/// Deterministic: the same machine state always encodes to the same bytes,
+/// so callers may content-address checkpoints by hashing the result.
+pub fn encode(machine: &Machine) -> Vec<u8> {
+    let payload = machine.save_checkpoint();
+    let mut out = Vec::with_capacity(payload.len() + 256);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&CKPT_VERSION.to_le_bytes());
+    let cfg_text = machine.config().canonical_text();
+    out.extend_from_slice(&(cfg_text.len() as u64).to_le_bytes());
+    out.extend_from_slice(cfg_text.as_bytes());
+    out.extend_from_slice(&machine.cycle().to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&payload);
+    let hash = fnv1a128(&out);
+    out.extend_from_slice(&hash.to_le_bytes());
+    out
+}
+
+/// Decodes and integrity-checks checkpoint-file bytes without applying
+/// them to a machine.
+///
+/// # Errors
+///
+/// [`CkptError::BadMagic`], [`CkptError::Version`], [`CkptError::Corrupt`]
+/// or [`CkptError::Malformed`]; never a panic.
+pub fn decode(bytes: &[u8]) -> Result<Checkpoint, CkptError> {
+    use hb_mem::SnapError;
+    if bytes.len() < MAGIC.len() + 4 + 16 {
+        if bytes.len() >= MAGIC.len() && bytes[..MAGIC.len()] != MAGIC {
+            return Err(CkptError::BadMagic);
+        }
+        return Err(CkptError::Malformed(SnapError::Eof));
+    }
+    if bytes[..MAGIC.len()] != MAGIC {
+        return Err(CkptError::BadMagic);
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 16);
+    let stored = u128::from_le_bytes(tail.try_into().unwrap());
+    // The version check precedes the hash check: a future format may hash
+    // differently, and "unsupported version" is the more actionable error.
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != CKPT_VERSION {
+        return Err(CkptError::Version { found: version });
+    }
+    if fnv1a128(body) != stored {
+        return Err(CkptError::Corrupt);
+    }
+    let mut r = hb_mem::SnapReader::new(&body[12..]);
+    let config_text = r.str()?;
+    let cycle = r.u64()?;
+    let payload = r.bytes()?;
+    r.finish()?;
+    Ok(Checkpoint {
+        cycle,
+        config_text,
+        payload,
+    })
+}
+
+/// Restores a decoded checkpoint into `machine`, verifying the config
+/// first. Returns the restored cycle.
+///
+/// # Errors
+///
+/// [`CkptError::ConfigMismatch`] when the canonical config texts differ,
+/// [`CkptError::Malformed`] when the payload does not decode (the machine
+/// must then be discarded — it may be partially overwritten).
+pub fn apply(machine: &mut Machine, ckpt: &Checkpoint) -> Result<u64, CkptError> {
+    let got = machine.config().canonical_text();
+    if got != ckpt.config_text {
+        return Err(CkptError::ConfigMismatch {
+            expected: ckpt.config_text.clone(),
+            got,
+        });
+    }
+    machine.restore_checkpoint(&ckpt.payload)?;
+    Ok(ckpt.cycle)
+}
+
+/// [`decode`] + [`apply`] in one step.
+///
+/// # Errors
+///
+/// Any [`CkptError`].
+pub fn restore(machine: &mut Machine, bytes: &[u8]) -> Result<u64, CkptError> {
+    apply(machine, &decode(bytes)?)
+}
+
+/// Writes the machine's checkpoint to `path` crash-safely: the bytes land
+/// in a `.tmp` sibling, are fsynced, renamed over `path`, and the parent
+/// directory is fsynced so the rename itself is durable — after a crash
+/// the path holds either the complete new checkpoint or whatever was there
+/// before, never a torn file.
+///
+/// # Errors
+///
+/// [`CkptError::Io`] on any file operation failure.
+pub fn save_to_file(machine: &Machine, path: &Path) -> Result<(), CkptError> {
+    let bytes = encode(machine);
+    write_atomic(path, &bytes)?;
+    Ok(())
+}
+
+/// Reads, verifies and applies a checkpoint file. Returns the restored
+/// cycle.
+///
+/// # Errors
+///
+/// Any [`CkptError`].
+pub fn restore_from_file(machine: &mut Machine, path: &Path) -> Result<u64, CkptError> {
+    let bytes = std::fs::read(path)?;
+    restore(machine, &bytes)
+}
+
+/// Atomic tmp+rename+dir-fsync write (the checkpoint durability
+/// discipline; `hb-serve`'s store follows the same contract).
+fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
+    if let Some(dir) = dir {
+        std::fs::create_dir_all(dir)?;
+    }
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    // rename() alone only orders the directory update in the page cache;
+    // the parent directory must be fsynced for the new name to survive a
+    // power cut.
+    if let Some(dir) = dir {
+        std::fs::File::open(dir)?.sync_all()?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_core::{CellDim, MachineConfig};
+
+    fn tiny_cfg() -> MachineConfig {
+        MachineConfig {
+            cell_dim: CellDim { x: 2, y: 2 },
+            threads: 1,
+            ..MachineConfig::baseline_16x8()
+        }
+    }
+
+    fn ticked_machine(cycles: u64) -> Machine {
+        let mut m = Machine::new(tiny_cfg());
+        for _ in 0..cycles {
+            m.tick();
+        }
+        m
+    }
+
+    #[test]
+    fn encode_decode_apply_round_trips() {
+        let m = ticked_machine(37);
+        let bytes = encode(&m);
+        let ckpt = decode(&bytes).unwrap();
+        assert_eq!(ckpt.cycle, 37);
+        assert_eq!(ckpt.config_text, tiny_cfg().canonical_text());
+        let mut twin = Machine::new(tiny_cfg());
+        assert_eq!(apply(&mut twin, &ckpt).unwrap(), 37);
+        assert_eq!(twin.cycle(), 37);
+        // Re-encoding the restored machine reproduces the bytes exactly.
+        assert_eq!(encode(&twin), bytes);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let a = encode(&ticked_machine(12));
+        let b = encode(&ticked_machine(12));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bad_magic_is_clean() {
+        assert!(matches!(decode(b"NOTACKPT"), Err(CkptError::BadMagic)));
+        assert!(matches!(decode(b"HB"), Err(CkptError::Malformed(_))));
+        let mut bytes = encode(&ticked_machine(1));
+        bytes[0] = b'X';
+        assert!(matches!(decode(&bytes), Err(CkptError::BadMagic)));
+    }
+
+    #[test]
+    fn unknown_version_is_clean() {
+        let mut bytes = encode(&ticked_machine(1));
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            decode(&bytes),
+            Err(CkptError::Version { found: 99 })
+        ));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut bytes = encode(&ticked_machine(5));
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert!(matches!(decode(&bytes), Err(CkptError::Corrupt)));
+        // Truncation inside the hash tail is Malformed/Corrupt, not a panic.
+        let short = &encode(&ticked_machine(5))[..20];
+        assert!(decode(short).is_err());
+    }
+
+    #[test]
+    fn config_mismatch_is_clean() {
+        let bytes = encode(&ticked_machine(9));
+        let other_cfg = MachineConfig {
+            cell_dim: CellDim { x: 4, y: 2 },
+            ..tiny_cfg()
+        };
+        let mut other = Machine::new(other_cfg);
+        assert!(matches!(
+            restore(&mut other, &bytes),
+            Err(CkptError::ConfigMismatch { .. })
+        ));
+        // Host-only knobs are allowed to differ.
+        let host_cfg = MachineConfig {
+            threads: 4,
+            event_core: true,
+            ..tiny_cfg()
+        };
+        let mut host = Machine::new(host_cfg);
+        assert_eq!(restore(&mut host, &bytes).unwrap(), 9);
+    }
+
+    #[test]
+    fn file_round_trip_is_atomic() {
+        let dir = std::env::temp_dir().join(format!("hb-ckpt-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("snap.ckpt");
+        let m = ticked_machine(21);
+        save_to_file(&m, &path).unwrap();
+        assert!(
+            !path.with_extension("tmp").exists(),
+            "tmp must be renamed away"
+        );
+        let mut twin = Machine::new(tiny_cfg());
+        assert_eq!(restore_from_file(&mut twin, &path).unwrap(), 21);
+        assert_eq!(encode(&twin), encode(&m));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

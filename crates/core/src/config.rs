@@ -152,6 +152,13 @@ pub struct MachineConfig {
     /// branch per recorded event (the same pattern as `telemetry_window`
     /// and `race_check`). Host-only: excluded from the canonical text.
     pub profile: bool,
+    /// Hang-watchdog probe interval in core cycles: `Machine::run` samples
+    /// its progress signature every `watchdog_window` cycles and declares a
+    /// hang after two unchanged samples (so detection latency is between
+    /// one and two windows). Host-only: the watchdog merely *observes* a
+    /// run, so the window is excluded from the canonical text and cannot
+    /// change simulated results. Must be at least 1.
+    pub watchdog_window: u64,
 }
 
 impl MachineConfig {
@@ -196,6 +203,7 @@ impl MachineConfig {
             race_check: false,
             event_core: crate::parallel::event_core_from_env(),
             profile: false,
+            watchdog_window: 10_000,
         }
     }
 
@@ -308,6 +316,9 @@ impl MachineConfig {
         }
         if self.num_cells < 1 {
             return Err(ConfigError::ZeroCells);
+        }
+        if self.watchdog_window == 0 {
+            return Err(ConfigError::ZeroWatchdogWindow);
         }
         if self.dram_bytes_per_cell > (16 << 20) {
             return Err(ConfigError::DramWindowTooLarge {
@@ -553,6 +564,7 @@ impl MachineConfig {
             race_check: false,
             event_core: true,
             profile: false,
+            watchdog_window: 10_000,
         };
         // 34 top-level keys: every field accounted for, nothing unknown.
         if map.len() != 34 {
@@ -585,6 +597,8 @@ pub enum ConfigError {
     ZeroScoreboard,
     /// A machine needs at least one Cell.
     ZeroCells,
+    /// The hang watchdog cannot probe on a zero-cycle interval.
+    ZeroWatchdogWindow,
     /// The Local/Group-DRAM EVA offset field is 24 bits, capping the
     /// per-Cell window at 16 MiB.
     DramWindowTooLarge {
@@ -616,6 +630,9 @@ impl std::fmt::Display for ConfigError {
                 write!(f, "max_outstanding must be at least 1")
             }
             ConfigError::ZeroCells => write!(f, "num_cells must be at least 1"),
+            ConfigError::ZeroWatchdogWindow => {
+                write!(f, "watchdog_window must be at least 1 cycle")
+            }
             ConfigError::DisabledTileOutOfRange { tile, dim } => {
                 write!(
                     f,
@@ -697,6 +714,12 @@ mod tests {
             ..base.clone()
         };
         assert_eq!(c.validate(), Err(ConfigError::ZeroCells));
+
+        let c = MachineConfig {
+            watchdog_window: 0,
+            ..base.clone()
+        };
+        assert_eq!(c.validate(), Err(ConfigError::ZeroWatchdogWindow));
 
         let c = MachineConfig {
             dram_bytes_per_cell: 32 << 20,

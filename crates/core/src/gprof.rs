@@ -115,6 +115,59 @@ impl TileProfile {
     pub(crate) fn cur_mark(&self) -> u32 {
         self.phases[self.cur].0
     }
+
+    /// Serializes the capture buffer.
+    pub(crate) fn snap_save(&self, w: &mut hb_mem::SnapWriter) {
+        w.tag(b"PROF");
+        w.u32(self.base);
+        w.usize(self.len);
+        w.usize(self.cur);
+        w.usize(self.phases.len());
+        for (mark, hist) in &self.phases {
+            w.u32(*mark);
+            for &v in &hist.retired {
+                w.u64(v);
+            }
+            for &v in &hist.stalls {
+                w.u64(v);
+            }
+        }
+    }
+
+    /// Restores a capture buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`hb_mem::SnapError`] on truncation or inconsistent indices.
+    pub(crate) fn snap_load(r: &mut hb_mem::SnapReader) -> Result<TileProfile, hb_mem::SnapError> {
+        use hb_mem::SnapError;
+        r.expect_tag(b"PROF", "TileProfile section")?;
+        let base = r.u32()?;
+        let len = r.usize()?;
+        let cur = r.usize()?;
+        let nphases = r.seq_len()?;
+        if nphases == 0 || cur >= nphases {
+            return Err(SnapError::Bad("TileProfile phase index out of range"));
+        }
+        let mut phases = Vec::with_capacity(nphases);
+        for _ in 0..nphases {
+            let mark = r.u32()?;
+            let mut hist = PhaseHist::new(len);
+            for v in &mut hist.retired {
+                *v = r.u64()?;
+            }
+            for v in &mut hist.stalls {
+                *v = r.u64()?;
+            }
+            phases.push((mark, hist));
+        }
+        Ok(TileProfile {
+            base,
+            len,
+            cur,
+            phases,
+        })
+    }
 }
 
 /// Histograms of one phase, folded across tiles.

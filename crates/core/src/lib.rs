@@ -76,7 +76,7 @@ pub use func::{FuncBus, IssTile, SnapshotDram, TileCtx, WarmupReport};
 pub use gprof::{GuestProfile, PhaseProfile, UNMARKED};
 pub use icache::ICache;
 pub use kernel_util::HbOps;
-pub use machine::{Machine, RunSummary, SimError};
+pub use machine::{CheckpointSink, Machine, RunSummary, SimError};
 pub use multicell::{MultiCellEstimator, Phase};
 pub use observe::{
     set_observer_factory, InjectKind, MachineObserver, ObsEvent, ObsKind, ObserverScope,

@@ -13,9 +13,24 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
 
-/// Cycles between progress snapshots taken by the hang watchdog inside
-/// [`Machine::run`].
-const WATCHDOG_WINDOW: u64 = 10_000;
+/// Periodic checkpoint callback (see [`Machine::set_auto_checkpoint`]).
+/// The machine passes itself back so the sink can serialize it; the sink
+/// is detached for the duration of the call.
+pub type CheckpointSink = Box<dyn FnMut(&mut Machine) + Send>;
+
+/// The installed auto-checkpoint sink plus its firing interval.
+struct CkptSinkSlot {
+    every: u64,
+    sink: CheckpointSink,
+}
+
+impl fmt::Debug for CkptSinkSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CkptSinkSlot")
+            .field("every", &self.every)
+            .finish_non_exhaustive()
+    }
+}
 
 /// Simulation-terminating errors.
 #[derive(Debug, Clone, PartialEq)]
@@ -127,6 +142,13 @@ pub struct Machine {
     /// hot loop pays exactly one always-false branch (the same pattern as
     /// `obs_due`/`fault_due`).
     race: Option<Box<crate::race::RaceChecker>>,
+    /// Periodic auto-checkpoint sink plus its interval, if installed (see
+    /// [`Machine::set_auto_checkpoint`]).
+    ckpt_sink: Option<CkptSinkSlot>,
+    /// Next cycle the auto-checkpoint sink fires; `u64::MAX` when none is
+    /// installed, so the uncheckpointed hot loop pays exactly one
+    /// always-false branch (the same pattern as `obs_due`/`fault_due`).
+    ckpt_due: u64,
 }
 
 impl Machine {
@@ -161,6 +183,8 @@ impl Machine {
             fault_cursor: 0,
             fault_due: u64::MAX,
             race: None,
+            ckpt_sink: None,
+            ckpt_due: u64::MAX,
         };
         if machine.cfg.race_check {
             machine.set_race_check(true);
@@ -425,6 +449,170 @@ impl Machine {
         if self.race.is_some() {
             self.drain_races();
         }
+        if self.cycle >= self.ckpt_due {
+            self.auto_checkpoint();
+        }
+    }
+
+    /// Installs a periodic checkpoint sink: `sink` is called at the end of
+    /// every `every`-th machine cycle (after all Cell phases, the fabric,
+    /// injections and observation — the same quiescent point
+    /// [`Machine::save_checkpoint`] requires). The hot loop pays exactly
+    /// one `cycle >= ckpt_due` branch when no sink is installed. Replaces
+    /// any previous sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn set_auto_checkpoint(
+        &mut self,
+        every: u64,
+        sink: impl FnMut(&mut Machine) + Send + 'static,
+    ) {
+        assert!(every > 0, "auto-checkpoint interval must be at least 1");
+        self.ckpt_due = self.cycle + every;
+        self.ckpt_sink = Some(CkptSinkSlot {
+            every,
+            sink: Box::new(sink),
+        });
+    }
+
+    /// Removes the periodic checkpoint sink, if any.
+    pub fn clear_auto_checkpoint(&mut self) {
+        self.ckpt_sink = None;
+        self.ckpt_due = u64::MAX;
+    }
+
+    /// Out-of-line auto-checkpoint dispatch, so the uncheckpointed
+    /// [`Machine::tick`] only pays the `ckpt_due` comparison. The sink is
+    /// detached while it runs (it receives the machine and may serialize
+    /// it), mirroring the observer discipline.
+    #[cold]
+    fn auto_checkpoint(&mut self) {
+        let Some(mut slot) = self.ckpt_sink.take() else {
+            self.ckpt_due = u64::MAX;
+            return;
+        };
+        (slot.sink)(self);
+        // A sink may replace itself via set_auto_checkpoint; only rearm if
+        // it did not.
+        if self.ckpt_sink.is_none() {
+            self.ckpt_due = self.cycle + slot.every;
+            self.ckpt_sink = Some(slot);
+        }
+    }
+
+    /// Serializes the complete simulated state — every Cell, the inter-Cell
+    /// fabric's in-flight items, the cycle counter, the remaining fault
+    /// plan with its cursor, and (if an observer is attached and supports
+    /// it) the observer's in-progress window — as one deterministic byte
+    /// payload. The same machine state always encodes to the same bytes,
+    /// so the checkpoint layer can content-hash snapshots.
+    ///
+    /// Host-side scaffolding is deliberately not serialized: the thread
+    /// pool, trace ring, race sanitizer (its per-cycle logs are drained
+    /// every tick, so they are empty here) and the auto-checkpoint sink are
+    /// all re-established by the host after restore. Call this only at the
+    /// end-of-cycle quiescent point (between `tick`s, or from an
+    /// auto-checkpoint sink, which runs there).
+    pub fn save_checkpoint(&self) -> Vec<u8> {
+        let mut w = hb_mem::SnapWriter::new();
+        w.tag(b"MACH");
+        w.u64(self.cycle);
+        w.usize(self.cells.len());
+        for cell in &self.cells {
+            cell.snap_save(&mut w);
+        }
+        w.usize(self.fabric.in_flight.len());
+        for (due, dst, item) in &self.fabric.in_flight {
+            w.u64(*due);
+            w.u8(*dst);
+            match item {
+                XItem::Req(pkt) => {
+                    w.u8(0);
+                    crate::payload::snap_save_req_packet(&mut w, pkt);
+                }
+                XItem::Resp(pkt) => {
+                    w.u8(1);
+                    crate::payload::snap_save_resp_packet(&mut w, pkt);
+                }
+            }
+        }
+        w.usize(self.fault_plan.len());
+        for inj in &self.fault_plan {
+            snap_save_injection(&mut w, inj);
+        }
+        w.usize(self.fault_cursor);
+        w.u64(self.fault_due);
+        let obs_blob = self.observer.as_ref().and_then(|o| o.snapshot());
+        if w.opt(obs_blob.is_some()) {
+            w.bytes(&obs_blob.unwrap());
+        }
+        w.into_bytes()
+    }
+
+    /// Restores state captured by [`Machine::save_checkpoint`] into this
+    /// machine. The machine must have been built from the *same*
+    /// configuration (the checkpoint layer verifies that before calling
+    /// here; this method additionally validates all geometry it decodes).
+    /// If the payload carries an observer blob and an observer is attached,
+    /// its window state is restored too, so the continued run's telemetry
+    /// is identical to the uninterrupted run's.
+    ///
+    /// On error the machine may be partially overwritten and must be
+    /// discarded; nothing panics.
+    ///
+    /// # Errors
+    ///
+    /// [`hb_mem::SnapError`] on truncation, layout mismatch or any
+    /// geometry/config disagreement.
+    pub fn restore_checkpoint(&mut self, bytes: &[u8]) -> Result<(), hb_mem::SnapError> {
+        use hb_mem::SnapError;
+        let mut r = hb_mem::SnapReader::new(bytes);
+        r.expect_tag(b"MACH", "Machine section")?;
+        self.cycle = r.u64()?;
+        if r.usize()? != self.cells.len() {
+            return Err(SnapError::Bad("Cell count mismatch"));
+        }
+        for cell in &mut self.cells {
+            cell.snap_load(&mut r)?;
+        }
+        self.fabric.in_flight.clear();
+        for _ in 0..r.seq_len()? {
+            let due = r.u64()?;
+            let dst = r.u8()?;
+            if usize::from(dst) >= self.cells.len() {
+                return Err(SnapError::Bad("fabric destination out of range"));
+            }
+            let item = match r.u8()? {
+                0 => XItem::Req(crate::payload::snap_load_req_packet(&mut r)?),
+                1 => XItem::Resp(crate::payload::snap_load_resp_packet(&mut r)?),
+                _ => return Err(SnapError::Bad("unknown fabric item tag")),
+            };
+            self.fabric.in_flight.push_back((due, dst, item));
+        }
+        self.fault_plan.clear();
+        for _ in 0..r.seq_len()? {
+            self.fault_plan.push(snap_load_injection(&mut r)?);
+        }
+        self.fault_cursor = r.usize()?;
+        if self.fault_cursor > self.fault_plan.len() {
+            return Err(SnapError::Bad("fault cursor out of range"));
+        }
+        self.fault_due = r.u64()?;
+        if r.opt()? {
+            let blob = r.bytes()?;
+            if let Some(obs) = &mut self.observer {
+                obs.restore(&blob)?;
+            }
+        }
+        r.finish()?;
+        // The observer (re-)attached by the host decides its own next due
+        // cycle from the restored window state.
+        if let Some(obs) = &self.observer {
+            self.obs_due = obs.next_due();
+        }
+        Ok(())
     }
 
     /// Out-of-line injection dispatch: delivers every plan entry due at or
@@ -527,6 +715,9 @@ impl Machine {
         if self.race.is_some() {
             self.drain_races();
         }
+        if self.cycle >= self.ckpt_due {
+            self.auto_checkpoint();
+        }
     }
 
     /// Fabric: collect outbound traffic (budgeted) and deliver due items.
@@ -584,9 +775,10 @@ impl Machine {
     /// watchdog's [`HangReport`] classifying *why* the run never finished.
     pub fn run(&mut self, max_cycles: u64) -> Result<RunSummary, SimError> {
         let start = self.cycle;
+        let wd_window = self.cfg.watchdog_window;
         let mut wd_sig = self.progress_signature();
         let mut wd_progress_cycle = self.cycle;
-        let mut wd_next = self.cycle + WATCHDOG_WINDOW;
+        let mut wd_next = self.cycle + wd_window;
         loop {
             if let Some(info) = self.cells.iter().find_map(Cell::fault) {
                 return Err(SimError::Fault(Box::new(info)));
@@ -620,7 +812,7 @@ impl Machine {
                     wd_progress_cycle = self.cycle;
                     wd_sig = sig;
                 }
-                wd_next = self.cycle + WATCHDOG_WINDOW;
+                wd_next = self.cycle + wd_window;
             }
             self.tick();
         }
@@ -745,6 +937,123 @@ impl Machine {
             last_progress_cycle,
         }
     }
+}
+
+/// Serializes one pending fault-plan entry. `NocLink` never appears in
+/// `Machine::fault_plan` (link faults were partitioned into the networks by
+/// `set_injection_plan` and travel with the `Network` snapshots), but the
+/// codec still covers it so the format is total over [`Site`].
+fn snap_save_injection(w: &mut hb_mem::SnapWriter, inj: &Injection) {
+    w.u64(inj.cycle);
+    match inj.site {
+        Site::RegFile {
+            cell,
+            x,
+            y,
+            reg,
+            bit,
+        } => {
+            w.u8(0);
+            w.u8(cell);
+            w.u8(x);
+            w.u8(y);
+            w.u8(reg);
+            w.u8(bit);
+        }
+        Site::Spm {
+            cell,
+            x,
+            y,
+            word,
+            bit,
+        } => {
+            w.u8(1);
+            w.u8(cell);
+            w.u8(x);
+            w.u8(y);
+            w.u16(word);
+            w.u8(bit);
+        }
+        Site::IcacheLine { cell, x, y, line } => {
+            w.u8(2);
+            w.u8(cell);
+            w.u8(x);
+            w.u8(y);
+            w.u16(line);
+        }
+        Site::NocLink {
+            cell,
+            x,
+            y,
+            port,
+            req,
+        } => {
+            w.u8(3);
+            w.u8(cell);
+            w.u8(x);
+            w.u8(y);
+            w.u8(port);
+            w.bool(req);
+        }
+        Site::HbmStall { cell, window } => {
+            w.u8(4);
+            w.u8(cell);
+            w.u16(window);
+        }
+        Site::TileFreeze { cell, x, y, cycles } => {
+            w.u8(5);
+            w.u8(cell);
+            w.u8(x);
+            w.u8(y);
+            w.u64(cycles);
+        }
+    }
+}
+
+/// Decodes one entry written by [`snap_save_injection`].
+fn snap_load_injection(r: &mut hb_mem::SnapReader) -> Result<Injection, hb_mem::SnapError> {
+    let cycle = r.u64()?;
+    let site = match r.u8()? {
+        0 => Site::RegFile {
+            cell: r.u8()?,
+            x: r.u8()?,
+            y: r.u8()?,
+            reg: r.u8()?,
+            bit: r.u8()?,
+        },
+        1 => Site::Spm {
+            cell: r.u8()?,
+            x: r.u8()?,
+            y: r.u8()?,
+            word: r.u16()?,
+            bit: r.u8()?,
+        },
+        2 => Site::IcacheLine {
+            cell: r.u8()?,
+            x: r.u8()?,
+            y: r.u8()?,
+            line: r.u16()?,
+        },
+        3 => Site::NocLink {
+            cell: r.u8()?,
+            x: r.u8()?,
+            y: r.u8()?,
+            port: r.u8()?,
+            req: r.bool()?,
+        },
+        4 => Site::HbmStall {
+            cell: r.u8()?,
+            window: r.u16()?,
+        },
+        5 => Site::TileFreeze {
+            cell: r.u8()?,
+            x: r.u8()?,
+            y: r.u8()?,
+            cycles: r.u64()?,
+        },
+        _ => return Err(hb_mem::SnapError::Bad("unknown injection site tag")),
+    };
+    Ok(Injection { cycle, site })
 }
 
 impl Drop for Machine {

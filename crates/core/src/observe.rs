@@ -57,6 +57,70 @@ pub enum ObsKind {
     Wake,
 }
 
+impl ObsKind {
+    /// Serializes the event for checkpointing (stable tag per variant).
+    pub(crate) fn snap_save(self, w: &mut hb_mem::SnapWriter) {
+        match self {
+            ObsKind::Mark(v) => {
+                w.u8(0);
+                w.u32(v);
+            }
+            ObsKind::BarrierJoin => w.u8(1),
+            ObsKind::FenceRetire => w.u8(2),
+            ObsKind::Fault => w.u8(3),
+            ObsKind::Inject(k) => {
+                w.u8(4);
+                w.u8(match k {
+                    InjectKind::Reg => 0,
+                    InjectKind::Spm => 1,
+                    InjectKind::Icache => 2,
+                    InjectKind::Hbm => 3,
+                    InjectKind::Freeze => 4,
+                });
+            }
+            ObsKind::Retransmit => w.u8(5),
+            ObsKind::Race => w.u8(6),
+            ObsKind::Park(kind) => {
+                w.u8(7);
+                match kind {
+                    None => w.u8(0),
+                    Some(k) => w.u8(1 + k as u8),
+                }
+            }
+            ObsKind::Wake => w.u8(8),
+        }
+    }
+
+    /// Decodes one event written by [`ObsKind::snap_save`].
+    pub(crate) fn snap_load(r: &mut hb_mem::SnapReader) -> Result<ObsKind, hb_mem::SnapError> {
+        use crate::stats::StallKind;
+        use hb_mem::SnapError;
+        Ok(match r.u8()? {
+            0 => ObsKind::Mark(r.u32()?),
+            1 => ObsKind::BarrierJoin,
+            2 => ObsKind::FenceRetire,
+            3 => ObsKind::Fault,
+            4 => ObsKind::Inject(match r.u8()? {
+                0 => InjectKind::Reg,
+                1 => InjectKind::Spm,
+                2 => InjectKind::Icache,
+                3 => InjectKind::Hbm,
+                4 => InjectKind::Freeze,
+                _ => return Err(SnapError::Bad("unknown inject kind tag")),
+            }),
+            5 => ObsKind::Retransmit,
+            6 => ObsKind::Race,
+            7 => ObsKind::Park(match r.u8()? {
+                0 => None,
+                t if (t as usize) <= StallKind::COUNT => Some(StallKind::ALL[t as usize - 1]),
+                _ => return Err(SnapError::Bad("park stall kind out of range")),
+            }),
+            8 => ObsKind::Wake,
+            _ => return Err(SnapError::Bad("unknown observation kind tag")),
+        })
+    }
+}
+
 /// Which structure an [`ObsKind::Inject`] event hit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InjectKind {
@@ -119,6 +183,29 @@ pub trait MachineObserver: Send + std::fmt::Debug {
     /// Called once when the observer is detached (explicitly or when the
     /// machine is dropped), to flush a final partial window.
     fn finish(&mut self, machine: &mut Machine);
+
+    /// Serializes the observer's in-progress window state for a
+    /// checkpoint, or `None` if the observer carries no state worth
+    /// restoring (the default). Observers that return `Some` here must
+    /// accept the same bytes back in [`MachineObserver::restore`] so a
+    /// restored run's remaining telemetry windows are identical to the
+    /// uninterrupted run's.
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores window state captured by [`MachineObserver::snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// [`hb_mem::SnapError`] if the bytes do not decode; the default
+    /// implementation accepts nothing.
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), hb_mem::SnapError> {
+        let _ = bytes;
+        Err(hb_mem::SnapError::Bad(
+            "observer does not support checkpoint restore",
+        ))
+    }
 }
 
 type Factory = Box<dyn Fn(&MachineConfig) -> Option<Box<dyn MachineObserver>>>;

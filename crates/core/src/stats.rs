@@ -157,6 +157,47 @@ impl CoreStats {
         }
     }
 
+    /// Serializes the counter block (fixed-width, no tags: `CoreStats`
+    /// appears hundreds of times per snapshot).
+    pub fn snap_save(&self, w: &mut hb_mem::SnapWriter) {
+        w.u64(self.int_cycles);
+        w.u64(self.fp_cycles);
+        for &s in &self.stalls {
+            w.u64(s);
+        }
+        w.u64(self.instrs);
+        w.u64(self.remote_requests);
+        w.u64(self.lpc_merged);
+        w.u64(self.branch_misses);
+        w.u64(self.branches);
+        w.u64(self.icache_misses);
+    }
+
+    /// Restores a counter block.
+    ///
+    /// # Errors
+    ///
+    /// [`hb_mem::SnapError::Eof`] on truncation.
+    pub fn snap_load(r: &mut hb_mem::SnapReader) -> Result<CoreStats, hb_mem::SnapError> {
+        let int_cycles = r.u64()?;
+        let fp_cycles = r.u64()?;
+        let mut stalls = [0u64; StallKind::COUNT];
+        for s in &mut stalls {
+            *s = r.u64()?;
+        }
+        Ok(CoreStats {
+            int_cycles,
+            fp_cycles,
+            stalls,
+            instrs: r.u64()?,
+            remote_requests: r.u64()?,
+            lpc_merged: r.u64()?,
+            branch_misses: r.u64()?,
+            branches: r.u64()?,
+            icache_misses: r.u64()?,
+        })
+    }
+
     /// One JSON object on a single line, hand-written (no serde). Shared
     /// between the telemetry exporters and anything that wants
     /// machine-readable per-core counters; stall buckets are keyed by

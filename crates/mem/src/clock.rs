@@ -35,6 +35,17 @@ impl ClockDivider {
         }
     }
 
+    /// The `(numer, denom, acc)` triple, for snapshot encoding.
+    pub(crate) fn parts(&self) -> (u64, u64, u64) {
+        (self.numer, self.denom, self.acc)
+    }
+
+    /// Overwrites the accumulator, for snapshot restore. The caller has
+    /// validated `acc < denom`.
+    pub(crate) fn set_acc(&mut self, acc: u64) {
+        self.acc = acc;
+    }
+
     /// Advances the fast clock one cycle; returns `true` when the slow clock
     /// ticks.
     pub fn tick(&mut self) -> bool {

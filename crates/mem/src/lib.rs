@@ -32,8 +32,10 @@
 
 mod channel;
 mod clock;
+pub mod snap;
 mod storage;
 
 pub use channel::{DramRequest, DramResponse, Hbm2Channel, Hbm2Config, Hbm2Stats};
 pub use clock::ClockDivider;
+pub use snap::{SnapError, SnapReader, SnapWriter};
 pub use storage::Dram;

@@ -1,0 +1,452 @@
+//! Binary snapshot encoding for checkpoint/restore.
+//!
+//! Every dynamic-state type in the simulator serializes itself through
+//! [`SnapWriter`] and rebuilds from [`SnapReader`]. The format is a flat
+//! little-endian byte stream with no self-description beyond section tags:
+//! the reader must know the layout, which it does because writer and reader
+//! live next to each other in each type's own module. The result is
+//! deterministic by construction — the same machine state always encodes to
+//! the same bytes — which is what lets the checkpoint layer content-hash
+//! snapshots and lets tests `assert_eq!` whole encodings.
+//!
+//! This module lives in `hb-mem` (the bottom of the crate stack, zero
+//! dependencies) so `hb-noc`, `hb-cache` and `hb-core` can all reach it.
+//!
+//! Conventions:
+//!
+//! - integers are little-endian; `usize` travels as `u64`;
+//! - `f32` travels as its IEEE bit pattern (bit-exact restore);
+//! - sequences are a `u64` length followed by the elements;
+//! - `Option<T>` is a presence byte followed by `T` when present;
+//! - four-byte section tags ([`SnapWriter::tag`]/[`SnapReader::expect_tag`])
+//!   bracket each composite type, so a layout mismatch fails fast with a
+//!   named error instead of silently misreading downstream fields.
+
+use std::fmt;
+
+/// Snapshot decoding errors. Encoding is infallible (it only appends to a
+/// buffer); every decode error is one of these, never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapError {
+    /// The stream ended before the expected field.
+    Eof,
+    /// A section tag or validated field didn't match; the message names the
+    /// section or invariant.
+    Bad(&'static str),
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapError::Eof => write!(f, "snapshot truncated"),
+            SnapError::Bad(what) => write!(f, "snapshot mismatch: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+/// Append-only snapshot encoder.
+#[derive(Debug, Default)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    /// A fresh, empty writer.
+    pub fn new() -> SnapWriter {
+        SnapWriter::default()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes encoded so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been encoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes a four-byte section tag.
+    pub fn tag(&mut self, tag: &[u8; 4]) {
+        self.buf.extend_from_slice(tag);
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a bool as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Writes a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `usize` as a little-endian `u64`.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Writes an `f32` as its IEEE-754 bit pattern.
+    pub fn f32(&mut self, v: f32) {
+        self.u32(v.to_bits());
+    }
+
+    /// Writes a length-prefixed byte slice.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// Writes an `Option` presence byte; the caller encodes the payload
+    /// when this returns `true`.
+    pub fn opt(&mut self, present: bool) -> bool {
+        self.bool(present);
+        present
+    }
+}
+
+/// Cursor-based snapshot decoder over a borrowed byte slice.
+#[derive(Debug)]
+pub struct SnapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> SnapReader<'a> {
+        SnapReader { buf, pos: 0 }
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Checks the stream was fully consumed (trailing garbage is a layout
+    /// mismatch, not padding).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Bad`] when bytes remain.
+    pub fn finish(&self) -> Result<(), SnapError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(SnapError::Bad("trailing bytes after snapshot"))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        let end = self.pos.checked_add(n).ok_or(SnapError::Eof)?;
+        if end > self.buf.len() {
+            return Err(SnapError::Eof);
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// Reads and verifies a four-byte section tag.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Bad`] naming `what` on mismatch, [`SnapError::Eof`] on
+    /// truncation.
+    pub fn expect_tag(&mut self, tag: &[u8; 4], what: &'static str) -> Result<(), SnapError> {
+        if self.take(4)? == tag {
+            Ok(())
+        } else {
+            Err(SnapError::Bad(what))
+        }
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Eof`] on truncation (likewise for every reader below).
+    pub fn u8(&mut self) -> Result<u8, SnapError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a bool byte; any value other than 0/1 is a layout error.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Eof`] or [`SnapError::Bad`].
+    pub fn bool(&mut self) -> Result<bool, SnapError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapError::Bad("bool byte out of range")),
+        }
+    }
+
+    /// Reads a little-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Eof`] on truncation.
+    pub fn u16(&mut self) -> Result<u16, SnapError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Eof`] on truncation.
+    pub fn u32(&mut self) -> Result<u32, SnapError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Eof`] on truncation.
+    pub fn u64(&mut self) -> Result<u64, SnapError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64` into `usize`, rejecting values the host cannot index.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Eof`] or [`SnapError::Bad`].
+    pub fn usize(&mut self) -> Result<usize, SnapError> {
+        usize::try_from(self.u64()?).map_err(|_| SnapError::Bad("usize out of range"))
+    }
+
+    /// Reads an `f32` from its stored bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Eof`] on truncation.
+    pub fn f32(&mut self) -> Result<f32, SnapError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    /// Reads a length-prefixed byte vector. The length is bounded by the
+    /// bytes actually remaining, so a corrupt length cannot trigger a huge
+    /// allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Eof`] or [`SnapError::Bad`].
+    pub fn bytes(&mut self) -> Result<Vec<u8>, SnapError> {
+        let n = self.usize()?;
+        if n > self.remaining() {
+            return Err(SnapError::Eof);
+        }
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Eof`] or [`SnapError::Bad`] on invalid UTF-8.
+    pub fn str(&mut self) -> Result<String, SnapError> {
+        String::from_utf8(self.bytes()?).map_err(|_| SnapError::Bad("invalid UTF-8 string"))
+    }
+
+    /// Reads a sequence length, sanity-bounded by the remaining bytes (every
+    /// element costs at least one byte).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Eof`] or [`SnapError::Bad`].
+    pub fn seq_len(&mut self) -> Result<usize, SnapError> {
+        let n = self.usize()?;
+        if n > self.remaining() {
+            return Err(SnapError::Eof);
+        }
+        Ok(n)
+    }
+
+    /// Reads an `Option` presence byte.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Eof`] or [`SnapError::Bad`].
+    pub fn opt(&mut self) -> Result<bool, SnapError> {
+        self.bool()
+    }
+}
+
+impl crate::Dram {
+    /// Serializes the full byte image.
+    pub fn snap_save(&self, w: &mut SnapWriter) {
+        w.tag(b"DRAM");
+        w.bytes(self.slice(0, self.len()));
+    }
+
+    /// Restores the byte image in place; the capacity must match (it is
+    /// config-derived, and the checkpoint layer has already verified the
+    /// config).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] on truncation or a capacity mismatch.
+    pub fn snap_load(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        r.expect_tag(b"DRAM", "Dram section")?;
+        let bytes = r.bytes()?;
+        if bytes.len() != self.len() {
+            return Err(SnapError::Bad("Dram capacity mismatch"));
+        }
+        self.write_bytes(0, &bytes);
+        Ok(())
+    }
+}
+
+impl crate::ClockDivider {
+    /// Serializes the divider (ratio + accumulator).
+    pub fn snap_save(&self, w: &mut SnapWriter) {
+        let (numer, denom, acc) = self.parts();
+        w.u64(numer);
+        w.u64(denom);
+        w.u64(acc);
+    }
+
+    /// Restores a divider.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] on truncation or an invalid ratio.
+    pub fn snap_load(r: &mut SnapReader) -> Result<crate::ClockDivider, SnapError> {
+        let numer = r.u64()?;
+        let denom = r.u64()?;
+        let acc = r.u64()?;
+        if denom == 0 || numer > denom || acc >= denom {
+            return Err(SnapError::Bad("ClockDivider ratio out of range"));
+        }
+        let mut d = crate::ClockDivider::new(numer, denom);
+        d.set_acc(acc);
+        Ok(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        let mut w = SnapWriter::new();
+        w.tag(b"TEST");
+        w.u8(7);
+        w.bool(true);
+        w.u16(0xbeef);
+        w.u32(0xdead_beef);
+        w.u64(u64::MAX - 1);
+        w.usize(42);
+        w.f32(-1.5);
+        w.bytes(b"abc");
+        w.str("hé");
+        assert!(w.opt(true));
+        w.u8(9);
+        assert!(!w.opt(false));
+        let bytes = w.into_bytes();
+
+        let mut r = SnapReader::new(&bytes);
+        r.expect_tag(b"TEST", "test").unwrap();
+        assert_eq!(r.u8().unwrap(), 7);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.u16().unwrap(), 0xbeef);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.usize().unwrap(), 42);
+        assert_eq!(r.f32().unwrap(), -1.5);
+        assert_eq!(r.bytes().unwrap(), b"abc");
+        assert_eq!(r.str().unwrap(), "hé");
+        assert!(r.opt().unwrap());
+        assert_eq!(r.u8().unwrap(), 9);
+        assert!(!r.opt().unwrap());
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_and_mismatch_are_clean_errors() {
+        let mut w = SnapWriter::new();
+        w.tag(b"AAAA");
+        w.u32(1);
+        let bytes = w.into_bytes();
+
+        let mut r = SnapReader::new(&bytes[..3]);
+        assert_eq!(r.expect_tag(b"AAAA", "a"), Err(SnapError::Eof));
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(
+            r.expect_tag(b"BBBB", "b section"),
+            Err(SnapError::Bad("b section"))
+        );
+        let mut r = SnapReader::new(&bytes);
+        r.expect_tag(b"AAAA", "a").unwrap();
+        assert_eq!(r.u64(), Err(SnapError::Eof));
+        // A corrupt huge length cannot allocate.
+        let mut w = SnapWriter::new();
+        w.u64(u64::MAX);
+        let huge = w.into_bytes();
+        assert_eq!(SnapReader::new(&huge).bytes(), Err(SnapError::Eof));
+    }
+
+    #[test]
+    fn dram_and_divider_round_trip() {
+        let mut d = crate::Dram::new(64);
+        d.write_u32(8, 0xdead_beef);
+        let mut div = crate::ClockDivider::new(1_000, 1_350);
+        for _ in 0..7 {
+            div.tick();
+        }
+        let mut w = SnapWriter::new();
+        d.snap_save(&mut w);
+        div.snap_save(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut r = SnapReader::new(&bytes);
+        let mut d2 = crate::Dram::new(64);
+        d2.snap_load(&mut r).unwrap();
+        assert_eq!(d2, d);
+        let div2 = crate::ClockDivider::snap_load(&mut r).unwrap();
+        assert_eq!(div2, div);
+        r.finish().unwrap();
+        // Continued ticks agree bit-for-bit.
+        let (mut a, mut b) = (div, div2);
+        for _ in 0..100 {
+            assert_eq!(a.tick(), b.tick());
+        }
+
+        // Capacity mismatch is a clean error.
+        let mut r = SnapReader::new(&bytes);
+        let mut wrong = crate::Dram::new(32);
+        assert!(wrong.snap_load(&mut r).is_err());
+    }
+}

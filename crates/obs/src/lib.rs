@@ -322,6 +322,76 @@ impl MachineObserver for Sampler {
             self.take_sample(machine);
         }
     }
+
+    /// Serializes the in-progress window (due cycle, last window boundary,
+    /// and the previous cumulative counters the next delta diffs against)
+    /// so a restored run closes its windows at the same cycles with the
+    /// same contents as the uninterrupted one. The retention policy and
+    /// the store itself are host-side and travel separately.
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        let mut w = hb_mem::SnapWriter::new();
+        w.tag(b"SAMP");
+        w.u64(self.window);
+        w.u64(self.due);
+        w.u64(self.last_end);
+        w.usize(self.prev.len());
+        for p in &self.prev {
+            w.usize(p.tiles.len());
+            for t in &p.tiles {
+                t.snap_save(&mut w);
+            }
+            w.usize(p.req.len());
+            for l in &p.req {
+                l.snap_save(&mut w);
+            }
+            w.usize(p.resp.len());
+            for l in &p.resp {
+                l.snap_save(&mut w);
+            }
+            p.hbm.snap_save(&mut w);
+        }
+        Some(w.into_bytes())
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), hb_mem::SnapError> {
+        use hb_mem::SnapError;
+        let mut r = hb_mem::SnapReader::new(bytes);
+        r.expect_tag(b"SAMP", "Sampler section")?;
+        let window = r.u64()?;
+        if window != self.window {
+            return Err(SnapError::Bad("Sampler window mismatch"));
+        }
+        let due = r.u64()?;
+        let last_end = r.u64()?;
+        if r.usize()? != self.prev.len() {
+            return Err(SnapError::Bad("Sampler cell count mismatch"));
+        }
+        for p in &mut self.prev {
+            if r.seq_len()? != p.tiles.len() {
+                return Err(SnapError::Bad("Sampler tile count mismatch"));
+            }
+            for t in &mut p.tiles {
+                *t = CoreStats::snap_load(&mut r)?;
+            }
+            if r.seq_len()? != p.req.len() {
+                return Err(SnapError::Bad("Sampler router count mismatch"));
+            }
+            for l in &mut p.req {
+                *l = LinkStats::snap_load(&mut r)?;
+            }
+            if r.seq_len()? != p.resp.len() {
+                return Err(SnapError::Bad("Sampler router count mismatch"));
+            }
+            for l in &mut p.resp {
+                *l = LinkStats::snap_load(&mut r)?;
+            }
+            p.hbm = Hbm2Stats::snap_load(&mut r)?;
+        }
+        r.finish()?;
+        self.due = due;
+        self.last_end = last_end;
+        Ok(())
+    }
 }
 
 /// Installs the thread-local observer factory and returns the scope guard

@@ -43,7 +43,14 @@ options:
   --threads T      worker threads                [HB_THREADS or 1]
   --max-jobs N     stop after N executed jobs (deterministic mid-run stop)
   --retries R      retries per transient failure [2]
+  --ckpt-every N   checkpoint fault runs every N cycles into the store,
+                   so a killed worker resumes mid-job (0 = off)  [0]
+  --crash-after-ckpts N  testing: exit(3) after N checkpoints (the
+                   ckpt-smoke CI job's deterministic mid-run kill)
   --out FILE       also write the report here
+
+kernel names: sgemm | jacobi, optionally warm:<kernel> to restore every
+fault run from one shared post-warmup checkpoint
 
 profile options:
   --kernels K,K    suite kernels to profile      [SGEMM,BFS,Jacobi]
@@ -59,6 +66,8 @@ struct Opts {
     threads: usize,
     max_jobs: Option<usize>,
     retries: u32,
+    ckpt_every: u64,
+    crash_after_ckpts: Option<u64>,
     out: Option<PathBuf>,
     kernels: Vec<String>,
     size: String,
@@ -75,6 +84,8 @@ fn parse_opts(argv: &[String]) -> Opts {
         threads: hb_core::threads_from_env(),
         max_jobs: None,
         retries: 2,
+        ckpt_every: 0,
+        crash_after_ckpts: None,
         out: None,
         kernels: vec!["SGEMM".to_owned(), "BFS".to_owned(), "Jacobi".to_owned()],
         size: "small".to_owned(),
@@ -109,6 +120,17 @@ fn parse_opts(argv: &[String]) -> Opts {
             }
             "--retries" => {
                 opts.retries = cli::parse_value(&flag, &cli::flag_value(argv, &mut i, USAGE), USAGE)
+            }
+            "--ckpt-every" => {
+                opts.ckpt_every =
+                    cli::parse_value(&flag, &cli::flag_value(argv, &mut i, USAGE), USAGE)
+            }
+            "--crash-after-ckpts" => {
+                opts.crash_after_ckpts = Some(cli::parse_value(
+                    &flag,
+                    &cli::flag_value(argv, &mut i, USAGE),
+                    USAGE,
+                ))
             }
             "--out" => opts.out = Some(PathBuf::from(cli::flag_value(argv, &mut i, USAGE))),
             "--kernels" => {
@@ -192,7 +214,10 @@ fn persist_campaign(campaign: Campaign, opts: &Opts) -> Campaign {
 fn execute(campaign: &Campaign, opts: &Opts) -> ! {
     let store = Campaign::open_store(&opts.dir)
         .unwrap_or_else(|e| cli::fail(format!("cannot open store: {e}")));
-    let exec = SimExecutor::new(opts.threads);
+    let mut exec = SimExecutor::new(opts.threads).with_ckpt_every(opts.ckpt_every);
+    if let Some(n) = opts.crash_after_ckpts {
+        exec = exec.with_crash_after_ckpts(n);
+    }
     let run_opts = RunOpts {
         threads: opts.threads,
         retries: opts.retries,

@@ -8,6 +8,14 @@
 //! seeded inputs — identical initial DRAM on every run — and classify
 //! against the campaign's golden record. Ablation jobs run any
 //! `hb_kernels::suite()` benchmark at a size class and record cycles.
+//!
+//! Fault jobs can additionally checkpoint: with an interval configured
+//! (`with_ckpt_every`), each run periodically snapshots its machine into
+//! the store under the job hash, a killed worker's next attempt restores
+//! from the last snapshot instead of restarting, and a `warm:<kernel>`
+//! campaign restores every run from one shared post-warmup checkpoint.
+//! Restore is bit-exact (see `hb-ckpt`), so resumed and warm-started runs
+//! classify identically to cold ones.
 
 use crate::pool::{Executor, JobError};
 use crate::spec::{JobKind, JobSpec, PlanSpec};
@@ -18,6 +26,7 @@ use hb_fault::{InjectionPlan, PlanShape};
 use hb_kernels::{Jacobi, Sgemm, SizeClass};
 use hb_workloads::gen;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// The kernels golden/fault campaigns can run (the ones with seeded input
@@ -80,6 +89,13 @@ impl GoldenInfo {
 pub struct SimExecutor {
     pool_threads: usize,
     goldens: Mutex<HashMap<String, GoldenInfo>>,
+    /// Shared warm-start checkpoints by store key, decoded-once per process.
+    warm_blobs: Mutex<HashMap<String, Arc<Vec<u8>>>>,
+    /// Cycles between mid-job checkpoints of fault runs; `None` = off.
+    ckpt_every: Option<u64>,
+    /// Fault-injection hook for the crash/resume CI job: the process exits
+    /// hard (code 3) after this many checkpoints have been written.
+    crash_after: Option<Arc<AtomicI64>>,
 }
 
 impl SimExecutor {
@@ -91,7 +107,29 @@ impl SimExecutor {
         SimExecutor {
             pool_threads: pool_threads.max(1),
             goldens: Mutex::new(HashMap::new()),
+            warm_blobs: Mutex::new(HashMap::new()),
+            ckpt_every: None,
+            crash_after: None,
         }
+    }
+
+    /// Enables mid-job checkpointing: every `every` cycles a fault run
+    /// snapshots its machine into the store under the job hash, so a
+    /// killed worker's next attempt resumes from the last snapshot instead
+    /// of restarting. `every == 0` disables.
+    #[must_use]
+    pub fn with_ckpt_every(mut self, every: u64) -> SimExecutor {
+        self.ckpt_every = (every > 0).then_some(every);
+        self
+    }
+
+    /// Testing hook for the `ckpt-smoke` CI job: kill the whole process
+    /// (exit code 3) after `n` mid-job checkpoints have been written —
+    /// a deterministic stand-in for a mid-run `kill -9`.
+    #[must_use]
+    pub fn with_crash_after_ckpts(mut self, n: u64) -> SimExecutor {
+        self.crash_after = Some(Arc::new(AtomicI64::new(n as i64)));
+        self
     }
 
     fn machine_config(&self, spec: &JobSpec) -> MachineConfig {
@@ -183,6 +221,47 @@ impl SimExecutor {
         })
     }
 
+    /// Fetches (building and sharing on first use) the post-warmup
+    /// checkpoint every run of a `warm:<kernel>` campaign restores from.
+    /// Keyed by (kernel, canonical config) in the store's `ckpt/`
+    /// directory, so parallel campaigns over the same point share one blob.
+    fn warm_blob(
+        &self,
+        kernel: CampaignKernel,
+        cfg: &MachineConfig,
+        store: &Store,
+    ) -> Result<Arc<Vec<u8>>, JobError> {
+        let key = format!(
+            "warm-{}-{}",
+            kernel.label(),
+            crate::spec::fnv1a128_hex(cfg.canonical_text().as_bytes())
+        );
+        if let Some(blob) = self.warm_blobs.lock().unwrap().get(&key) {
+            return Ok(blob.clone());
+        }
+        // A stored blob that fails to decode (torn write, older format) is
+        // ignored and rebuilt — warm checkpoints are pure optimization.
+        let stored = store
+            .get_ckpt(&key)
+            .filter(|bytes| hb_ckpt::decode(bytes).is_ok());
+        let blob = Arc::new(match stored {
+            Some(bytes) => bytes,
+            None => {
+                let mut machine = Machine::new(cfg.clone());
+                let (program, args) = prepare(kernel, &mut machine);
+                machine.launch(0, &program, &args);
+                while machine.cycle() < WARM_CYCLES {
+                    machine.tick();
+                }
+                let bytes = hb_ckpt::encode(&machine);
+                let _ = store.put_ckpt(&key, &bytes); // best-effort sharing
+                bytes
+            }
+        });
+        self.warm_blobs.lock().unwrap().insert(key, blob.clone());
+        Ok(blob)
+    }
+
     fn run_fault(&self, spec: &JobSpec, store: &Store) -> Result<JobRecord, JobError> {
         let kernel = campaign_kernel(&spec.kernel)?;
         let cfg = self.machine_config(spec);
@@ -209,13 +288,84 @@ impl SimExecutor {
             .unwrap_or_default();
 
         let budget = fault_budget(gold.cycles);
-        let (result, mem) = run_once(kernel, &cfg, Some(&plan), budget);
+        let hash = spec.hash();
+        let mut machine = Machine::new(cfg.clone());
+        // Mid-job resume: a checkpoint left by a killed attempt carries
+        // the whole state — injection plan, cursor and delivered faults
+        // included — so the plan must NOT be reinstalled after restore
+        // (rewinding the cursor would double-deliver injections).
+        let mut resumed = false;
+        if self.ckpt_every.is_some() {
+            if let Some(blob) = store.get_ckpt(&hash) {
+                if hb_ckpt::restore(&mut machine, &blob).is_ok() {
+                    resumed = true;
+                } else {
+                    // Stale or torn: drop it and start over.
+                    let _ = store.remove_ckpt(&hash);
+                    machine = Machine::new(cfg.clone());
+                }
+            }
+        }
+        if !resumed {
+            // Warm start only when every injection lands strictly after
+            // the warmup horizon (seeded plans always do — `plan_shape`
+            // floors at cycle 100; a cold run would already have delivered
+            // an injection at cycle <= WARM_CYCLES by the capture point).
+            // Explicit early injections fall back to a cold start.
+            let warm = spec.kernel.starts_with("warm:")
+                && plan.injections.iter().all(|i| i.cycle > WARM_CYCLES);
+            if warm {
+                let blob = self.warm_blob(kernel, &cfg, store)?;
+                hb_ckpt::restore(&mut machine, &blob).map_err(|e| {
+                    JobError::Permanent(format!("warm checkpoint restore failed: {e}"))
+                })?;
+            } else {
+                let (program, args) = prepare(kernel, &mut machine);
+                machine.launch(0, &program, &args);
+            }
+            machine.set_injection_plan(&plan);
+        }
+        if let Some(every) = self.ckpt_every {
+            let sink_store = Store::open(store.root())
+                .map_err(|e| JobError::Transient(format!("cannot reopen store: {e}")))?;
+            let key = hash.clone();
+            let crash = self.crash_after.clone();
+            machine.set_auto_checkpoint(every, move |m: &mut Machine| {
+                let _ = sink_store.put_ckpt(&key, &hb_ckpt::encode(m));
+                if let Some(left) = &crash {
+                    if left.fetch_sub(1, Ordering::SeqCst) <= 1 {
+                        // The ckpt-smoke stand-in for a mid-run kill -9.
+                        std::process::exit(3);
+                    }
+                }
+            });
+        }
+
+        // Budget in *total* cycles since launch, so a resumed or warm run
+        // hangs (or finishes) at exactly the same machine cycle as a cold
+        // one — the classification below is bit-identical either way.
+        let result = machine.run(budget.saturating_sub(machine.cycle()));
+        machine.clear_auto_checkpoint();
+        let mut artifacts = String::new();
+        if matches!(&result, Err(SimError::Timeout { .. })) {
+            // Post-mortem: dump the hung state next to the HangReport so
+            // the timeout is replayable (`hb-bench replay --ckpt ...`).
+            let key = format!("hang-{hash}");
+            if store.put_ckpt(&key, &hb_ckpt::encode(&machine)).is_ok() {
+                artifacts = format!("ckpt/{key}.ckpt");
+            }
+        }
+        machine.flush_all_caches();
+        let mem = SnapshotDram::from_machine(&machine);
+        let total_cycles = machine.cycle();
         let (outcome, cycles, instrs) = match &result {
             Err(SimError::Fault(_)) => ("detected", 0, 0),
             Err(SimError::Timeout { .. }) => ("hang", 0, 0),
-            Ok(s) if digest(&mem, cells) == gold.digest => ("masked", s.cycles, s.core.instrs),
-            Ok(s) => ("sdc", s.cycles, s.core.instrs),
+            Ok(s) if digest(&mem, cells) == gold.digest => ("masked", total_cycles, s.core.instrs),
+            Ok(s) => ("sdc", total_cycles, s.core.instrs),
         };
+        // The run finished: its resume checkpoint is dead weight now.
+        let _ = store.remove_ckpt(&hash);
         Ok(JobRecord {
             kind: spec.kind.canonical(),
             kernel: spec.kernel.clone(),
@@ -226,6 +376,7 @@ impl SimExecutor {
             cycles,
             instrs,
             dram_digest: digest(&mem, cells),
+            artifacts,
             ..JobRecord::default()
         })
     }
@@ -355,6 +506,11 @@ impl Executor for SimExecutor {
 /// this is a campaign configuration error).
 const GOLDEN_BUDGET: u64 = 10_000_000;
 
+/// Cycles simulated before capturing a `warm:<kernel>` shared checkpoint.
+/// Must stay below the `plan_shape` injection floor (cycle 100) so seeded
+/// plans always qualify for a warm start.
+const WARM_CYCLES: u64 = 64;
+
 /// The injected-run budget: leaves room for stall windows and retransmits
 /// while still bounding frozen-tile hangs.
 fn fault_budget(golden_cycles: u64) -> u64 {
@@ -386,8 +542,12 @@ pub fn golden_spec(kernel: &str, config: &MachineConfig) -> JobSpec {
     }
 }
 
+/// Resolves a campaign kernel name. A `warm:` prefix selects the shared
+/// warm-checkpoint start for fault jobs and is otherwise transparent: the
+/// simulated kernel, inputs and classification are identical.
 fn campaign_kernel(name: &str) -> Result<CampaignKernel, JobError> {
-    CampaignKernel::parse(name)
+    let bare = name.strip_prefix("warm:").unwrap_or(name);
+    CampaignKernel::parse(bare)
         .ok_or_else(|| JobError::Permanent(format!("unknown campaign kernel {name:?}")))
 }
 

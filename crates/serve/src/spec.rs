@@ -19,7 +19,13 @@ use hb_fault::InjectionPlan;
 ///
 /// rev 2: `JobRecord` gained the `profile` field (hot-block table of
 /// `profile:<size>` jobs).
-pub const SCHEMA_REV: u32 = 2;
+///
+/// rev 3: hang records carry a replayable checkpoint artifact
+/// (`artifacts = ckpt/hang-<hash>.ckpt`), the kernel namespace gained the
+/// `warm:<kernel>` shared-checkpoint prefix, and cycle accounting for
+/// fault runs is total-since-launch (identical for cold runs, but the
+/// contract is now explicit so resumed runs classify bit-identically).
+pub const SCHEMA_REV: u32 = 3;
 
 /// The binary revision folded into every job hash: `HB_SERVE_REV` when set
 /// (CI sets it to the commit SHA so rebuilt binaries invalidate the cache),

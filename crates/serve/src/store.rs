@@ -5,6 +5,7 @@
 //! ```text
 //! store/
 //!   objects/<h[0..2]>/<h>.json    one JSON line per completed job (h = JobSpec hash)
+//!   ckpt/<h>.ckpt                 mid-job / warm-start machine checkpoints
 //!   journal.ndjson                append-only completion log
 //! ```
 //!
@@ -14,6 +15,12 @@
 //! kill-during-append artifact), so resume never trips over a partial
 //! record. Cache-hit decisions use the objects (existence + successful
 //! parse); the journal feeds `status`, retry accounting and `gc`.
+//!
+//! Durability contract: `rename(2)` alone only orders the swap against
+//! other operations on a live filesystem — the *directory entry* is not
+//! durable until the parent directory itself is fsynced. Every rename in
+//! this module is therefore followed by [`sync_dir`] on the parent, so a
+//! power cut after `put` returns cannot resurrect the pre-rename state.
 
 use crate::json::{self, JsonValue};
 use std::collections::BTreeMap;
@@ -175,6 +182,16 @@ impl JournalEntry {
     }
 }
 
+/// Fsyncs a directory so a preceding `rename`/`create` in it is durable.
+///
+/// File data made durable with `File::sync_all` can still vanish on power
+/// loss if the directory entry pointing at it was never flushed; POSIX
+/// only guarantees the entry's durability once the directory itself is
+/// synced. Called after every rename below.
+fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    std::fs::File::open(dir)?.sync_all()
+}
+
 /// Statistics from a [`Store::gc`] pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct GcStats {
@@ -255,6 +272,11 @@ impl Store {
             f.sync_all()?;
         }
         std::fs::rename(&tmp, &path)?;
+        // The rename is not durable until its directory entry is: fsync
+        // the shard directory (see the module-level durability contract).
+        if let Some(dir) = path.parent() {
+            sync_dir(dir)?;
+        }
         self.append_journal(&JournalEntry {
             hash: rec.hash.clone(),
             status: "done".to_owned(),
@@ -283,7 +305,64 @@ impl Store {
             .create(true)
             .append(true)
             .open(self.journal_path())?;
-        writeln!(f, "{}", entry.to_json_line())
+        writeln!(f, "{}", entry.to_json_line())?;
+        f.sync_all()?;
+        // The first append also creates the file; its directory entry
+        // needs the same parent fsync as a rename to survive power loss.
+        sync_dir(&self.root)
+    }
+
+    /// Path of the checkpoint blob stored under `key` (a job hash for
+    /// mid-job resume checkpoints, `warm-<kernel>-<hash>` for shared
+    /// warm-start snapshots).
+    pub fn ckpt_path(&self, key: &str) -> PathBuf {
+        self.root.join("ckpt").join(format!("{key}.ckpt"))
+    }
+
+    /// Stores a machine checkpoint blob under `key`, atomically (tmp +
+    /// fsync + rename + parent-dir fsync). The blob carries its own
+    /// integrity hash (`hb_ckpt`), so a torn write reads back as a clean
+    /// [`hb_ckpt::CkptError::Corrupt`] and the job simply restarts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn put_ckpt(&self, key: &str, bytes: &[u8]) -> std::io::Result<()> {
+        let path = self.ckpt_path(key);
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        if let Some(dir) = path.parent() {
+            sync_dir(dir)?;
+        }
+        Ok(())
+    }
+
+    /// Fetches the checkpoint blob stored under `key`; `None` on a miss.
+    /// Validity is the caller's concern — `hb_ckpt::decode` rejects torn
+    /// or stale blobs with a clean error.
+    pub fn get_ckpt(&self, key: &str) -> Option<Vec<u8>> {
+        std::fs::read(self.ckpt_path(key)).ok()
+    }
+
+    /// Removes the checkpoint blob for `key` (a completed job no longer
+    /// needs its resume point). Missing blobs are fine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures other than "not found".
+    pub fn remove_ckpt(&self, key: &str) -> std::io::Result<()> {
+        match std::fs::remove_file(self.ckpt_path(key)) {
+            Err(e) if e.kind() != std::io::ErrorKind::NotFound => Err(e),
+            _ => Ok(()),
+        }
     }
 
     /// Reads the journal, newest last. A truncated final line — the
@@ -352,8 +431,12 @@ impl Store {
             for e in entries.iter().filter(|e| keep.contains(&e.hash)) {
                 writeln!(f, "{}", e.to_json_line()).map_err(|e| e.to_string())?;
             }
+            f.sync_all().map_err(|e| e.to_string())?;
         }
         std::fs::rename(&tmp, self.journal_path()).map_err(|e| e.to_string())?;
+        // Same rename-durability contract as `put`: the swap is only
+        // durable once the parent directory entry is flushed.
+        sync_dir(&self.root).map_err(|e| e.to_string())?;
         Ok(stats)
     }
 }
@@ -449,6 +532,21 @@ mod tests {
         store.put(&rec("ab12")).unwrap();
         std::fs::write(store.object_path("ab12"), "{not json").unwrap();
         assert!(store.get("ab12").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ckpt_blobs_round_trip() {
+        let dir = tmpdir("ckpt");
+        let store = Store::open(&dir).unwrap();
+        assert!(store.get_ckpt("ab12").is_none());
+        store.put_ckpt("ab12", b"blob-bytes").unwrap();
+        assert_eq!(store.get_ckpt("ab12").unwrap(), b"blob-bytes");
+        store.put_ckpt("ab12", b"newer").unwrap();
+        assert_eq!(store.get_ckpt("ab12").unwrap(), b"newer");
+        store.remove_ckpt("ab12").unwrap();
+        store.remove_ckpt("ab12").unwrap();
+        assert!(store.get_ckpt("ab12").is_none());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

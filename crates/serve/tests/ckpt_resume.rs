@@ -1,0 +1,170 @@
+//! End-to-end mid-job crash/resume: the `ckpt-smoke` CI job in miniature.
+//! Runs the real `hb-serve` binary with `--ckpt-every` plus the
+//! deterministic `--crash-after-ckpts` kill (a stand-in for `kill -9`
+//! mid-simulation), resumes the campaign, and asserts the final report is
+//! byte-identical to an uninterrupted twin's — the whole point of
+//! bit-exact checkpoint restore.
+
+use std::path::Path;
+use std::process::Command;
+
+fn run_args(dir: &Path) -> Vec<String> {
+    [
+        "run",
+        "--dir",
+        &dir.display().to_string(),
+        "--kernel",
+        "jacobi",
+        "--faults",
+        "2",
+        "--seed",
+        "1",
+        "--threads",
+        "1",
+        "--ckpt-every",
+        "1000",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+#[test]
+fn killed_campaign_resumes_mid_job_with_identical_report() {
+    let bin = env!("CARGO_BIN_EXE_hb-serve");
+    let base = std::env::temp_dir().join(format!("hb-serve-ckpt-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let clean = base.join("clean");
+    let killed = base.join("killed");
+
+    // Uninterrupted twin.
+    let out = Command::new(bin).args(run_args(&clean)).output().unwrap();
+    assert!(
+        out.status.success(),
+        "clean run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The same campaign, killed hard after two mid-job checkpoint writes.
+    let mut kargs = run_args(&killed);
+    kargs.extend(["--crash-after-ckpts".to_owned(), "2".to_owned()]);
+    let out = Command::new(bin).args(kargs).output().unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "expected the deterministic mid-run kill; stdout: {} stderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The kill left a resumable mid-job checkpoint in the store.
+    let ckpt_dir = killed.join("store").join("ckpt");
+    let resumable = std::fs::read_dir(&ckpt_dir).map(|d| d.count()).unwrap_or(0);
+    assert!(
+        resumable > 0,
+        "no resume checkpoint under {}",
+        ckpt_dir.display()
+    );
+
+    // Resume to completion; the restored job continues from its checkpoint.
+    let out = Command::new(bin)
+        .args([
+            "resume",
+            "--dir",
+            &killed.display().to_string(),
+            "--threads",
+            "1",
+            "--ckpt-every",
+            "1000",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Byte-identical aggregate — exactly what CI `cmp`-asserts.
+    let clean_report = std::fs::read(clean.join("report.txt")).unwrap();
+    let killed_report = std::fs::read(killed.join("report.txt")).unwrap();
+    assert_eq!(
+        clean_report, killed_report,
+        "resumed report diverges from the uninterrupted twin"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn warm_campaign_classifies_identically_to_cold() {
+    use hb_core::MachineConfig;
+    use hb_serve::{Campaign, CancelToken, RunOpts, SimExecutor, Store};
+
+    let base = std::env::temp_dir().join(format!("hb-serve-warm-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let cfg = MachineConfig {
+        threads: 1,
+        ..MachineConfig::baseline_16x8()
+    };
+    let opts = RunOpts {
+        threads: 1,
+        ..RunOpts::default()
+    };
+
+    // Cold and warm campaigns over the same seeds: the `warm:` prefix only
+    // changes how each run *starts* (one shared post-warmup checkpoint),
+    // never what it computes.
+    let cold = Campaign::fault("cold", "jacobi", &cfg, 1, 2);
+    let cold_store = Store::open(base.join("cold")).unwrap();
+    let s = cold.run(
+        &cold_store,
+        &SimExecutor::new(1),
+        &opts,
+        &CancelToken::new(),
+    );
+    assert_eq!((s.run, s.failed), (3, 0), "{s:?}");
+
+    let warm = Campaign::fault("warm", "warm:jacobi", &cfg, 1, 2);
+    let warm_store = Store::open(base.join("warm")).unwrap();
+    let s = warm.run(
+        &warm_store,
+        &SimExecutor::new(1),
+        &opts,
+        &CancelToken::new(),
+    );
+    assert_eq!((s.run, s.failed), (3, 0), "{s:?}");
+
+    // The shared warm checkpoint was created once in the store.
+    let warm_blobs = std::fs::read_dir(base.join("warm").join("ckpt"))
+        .map(|d| d.count())
+        .unwrap_or(0);
+    assert_eq!(warm_blobs, 1, "expected exactly the shared warm checkpoint");
+
+    // Per-seed classification is bit-identical (hashes differ by design —
+    // the kernel token differs — so compare the simulated fields).
+    for (c, w) in cold.specs.iter().zip(&warm.specs) {
+        let cr = cold_store.get(&c.hash()).expect("cold record");
+        let wr = warm_store.get(&w.hash()).expect("warm record");
+        assert_eq!(
+            (
+                &cr.outcome,
+                cr.cycles,
+                cr.instrs,
+                cr.dram_digest,
+                &cr.site,
+                cr.inj_cycle
+            ),
+            (
+                &wr.outcome,
+                wr.cycles,
+                wr.instrs,
+                wr.dram_digest,
+                &wr.site,
+                wr.inj_cycle
+            ),
+            "warm-start run diverged for seed {}",
+            c.seed
+        );
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}

@@ -18,6 +18,8 @@
 pub use hb_asm as asm;
 /// Non-blocking, write-validate last-level cache banks.
 pub use hb_cache as cache;
+/// Versioned, crash-safe machine checkpoints with deterministic replay.
+pub use hb_ckpt as ckpt;
 /// The HammerBlade tile, Cell and Machine: the paper's core contribution.
 pub use hb_core as core;
 /// Per-instruction energy model.

@@ -1,0 +1,372 @@
+//! The checkpoint/restore determinism contract: a run restored from a
+//! mid-kernel checkpoint and continued must be *bit-identical* to the
+//! uninterrupted twin — every architectural counter, every telemetry
+//! window, the guest-code profile and the final DRAM image — across
+//! worker-thread counts {1, 4} and the dense/event tile schedules, the
+//! same matrix every prior subsystem's determinism leg pins down.
+//!
+//! The checkpoint itself is also deterministic: capturing at the same
+//! cycle from a 1-thread and a 4-thread run must produce byte-identical
+//! files, which is what lets `hb-serve` content-address shared warm
+//! checkpoints.
+
+use hammerblade::ckpt;
+use hammerblade::core::observe::MachineObserver;
+use hammerblade::core::profile::CellProfile;
+use hammerblade::core::{pgas, CellDim, CoreStats, Machine, MachineConfig, SnapshotDram};
+use hammerblade::kernels::{suite, Benchmark, Sgemm, SizeClass};
+use hammerblade::obs::{Keep, Sampler, Telemetry};
+use hammerblade::workloads::gen;
+use std::sync::{Arc, Mutex};
+
+const BUDGET: u64 = 200_000_000;
+
+fn cfg_with(threads: usize, event_core: bool) -> MachineConfig {
+    MachineConfig {
+        cell_dim: CellDim { x: 4, y: 2 },
+        threads,
+        event_core,
+        ..MachineConfig::baseline_16x8()
+    }
+}
+
+/// FNV-1a digest over every Cell's flushed DRAM image (the same digest
+/// `hb-serve` classifies fault outcomes with).
+fn dram_digest(machine: &Machine) -> u64 {
+    let snap = SnapshotDram::from_machine(machine);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for c in 0..machine.num_cells() {
+        for &b in snap.cell(c as u8) {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Observer that encodes one checkpoint the first time the machine
+/// reaches `due`, then goes quiet. Observation is read-only, so the run
+/// it rides on stays bit-identical to an unobserved one.
+#[derive(Debug)]
+struct CkptCapture {
+    due: u64,
+    slot: Arc<Mutex<Option<Vec<u8>>>>,
+}
+
+impl MachineObserver for CkptCapture {
+    fn sample(&mut self, machine: &mut Machine) {
+        *self.slot.lock().unwrap() = Some(ckpt::encode(machine));
+        self.due = u64::MAX;
+    }
+
+    fn next_due(&self) -> u64 {
+        self.due
+    }
+
+    fn finish(&mut self, _machine: &mut Machine) {}
+}
+
+/// Runs a benchmark with a [`CkptCapture`] attached (via the thread-local
+/// observer factory, the same hook telemetry uses) and returns the stats
+/// plus the checkpoint captured at cycle `at`.
+fn run_with_capture(
+    bench: &dyn Benchmark,
+    cfg: &MachineConfig,
+    at: u64,
+) -> (hammerblade::kernels::BenchStats, Vec<u8>) {
+    let slot: Arc<Mutex<Option<Vec<u8>>>> = Arc::new(Mutex::new(None));
+    let captured = slot.clone();
+    let scope = hammerblade::core::set_observer_factory(move |_cfg| {
+        Some(Box::new(CkptCapture {
+            due: at,
+            slot: captured.clone(),
+        }) as Box<dyn MachineObserver>)
+    });
+    let stats = bench
+        .run(cfg, SizeClass::Tiny)
+        .unwrap_or_else(|e| panic!("{} (capture run) failed: {e}", bench.name()));
+    drop(scope);
+    let blob = slot
+        .lock()
+        .unwrap()
+        .take()
+        .unwrap_or_else(|| panic!("{}: no checkpoint captured at cycle {at}", bench.name()));
+    (stats, blob)
+}
+
+/// What a restored-and-continued run finished with.
+struct Finish {
+    cycles: u64,
+    core: CoreStats,
+    hbm: hammerblade::mem::Hbm2Stats,
+    cache: hammerblade::cache::CacheStats,
+    bisection: hammerblade::noc::LinkStats,
+    east_busy: Vec<u64>,
+    digest: u64,
+}
+
+/// Restores `blob` into a fresh machine built from `cfg` and runs it to
+/// completion.
+fn continue_from(blob: &[u8], cfg: &MachineConfig) -> Finish {
+    let mut machine = Machine::new(cfg.clone());
+    ckpt::restore(&mut machine, blob).expect("restore");
+    machine.run(BUDGET).expect("continued run");
+    machine.flush_all_caches();
+    let digest = dram_digest(&machine);
+    let cell = machine.cell(0);
+    Finish {
+        cycles: machine.cycle(),
+        core: cell.core_stats(),
+        hbm: *cell.hbm_stats(),
+        cache: cell.cache_stats(),
+        bisection: cell.request_bisection(),
+        east_busy: CellProfile::capture(cell).east_busy,
+        digest,
+    }
+}
+
+/// A coprime-ish capture cycle strictly inside the run.
+fn capture_cycle(total: u64) -> u64 {
+    if total > 9973 {
+        9973
+    } else {
+        (total * 2 / 3).max(1) | 1
+    }
+}
+
+#[test]
+fn restored_run_is_bit_identical_for_every_kernel() {
+    let base = cfg_with(1, true);
+    for bench in suite() {
+        let name = bench.name();
+        // Uninterrupted twin (unobserved — attaching the capture observer
+        // must not change any of its numbers, which the asserts below
+        // double-check via the capture run's own stats).
+        let reference = bench
+            .run(&base, SizeClass::Tiny)
+            .unwrap_or_else(|e| panic!("{name} (reference) failed: {e}"));
+        let at = capture_cycle(reference.cycles);
+
+        let (stats1, blob) = run_with_capture(bench.as_ref(), &base, at);
+        assert_eq!(
+            stats1.cycles, reference.cycles,
+            "{name}: capture perturbed the run"
+        );
+        assert_eq!(
+            stats1.core, reference.core,
+            "{name}: capture perturbed counters"
+        );
+
+        // The checkpoint is content-deterministic across worker threads.
+        let (_, blob4) = run_with_capture(bench.as_ref(), &cfg_with(4, true), at);
+        assert_eq!(
+            blob, blob4,
+            "{name}: checkpoint bytes differ between 1 and 4 worker threads"
+        );
+
+        // Continue the same checkpoint under every host-knob combination.
+        let mut digests = Vec::new();
+        for threads in [1, 4] {
+            for event_core in [false, true] {
+                let tag = format!("{name} threads={threads} event={event_core}");
+                let fin = continue_from(&blob, &cfg_with(threads, event_core));
+                assert_eq!(fin.cycles, reference.cycles, "{tag}: cycle count diverged");
+                assert_eq!(fin.core, reference.core, "{tag}: core counters diverged");
+                assert_eq!(fin.hbm, reference.hbm, "{tag}: HBM2 counters diverged");
+                assert_eq!(fin.cache, reference.cache, "{tag}: cache counters diverged");
+                assert_eq!(
+                    fin.bisection, reference.bisection,
+                    "{tag}: NoC bisection counters diverged"
+                );
+                assert_eq!(
+                    fin.east_busy, reference.profile.east_busy,
+                    "{tag}: per-router link activity diverged"
+                );
+                digests.push((tag, fin.digest));
+            }
+        }
+        for w in digests.windows(2) {
+            assert_eq!(
+                w[0].1, w[1].1,
+                "{name}: final DRAM digests diverge ({} vs {})",
+                w[0].0, w[1].0
+            );
+        }
+    }
+}
+
+/// Builds a machine with the seeded SPM-blocked SGEMM launched — the same
+/// campaign workload `hb-serve` warm-checkpoints — for the legs that need
+/// direct mid-run control.
+fn sgemm_machine(cfg: &MachineConfig) -> Machine {
+    let mut machine = Machine::new(cfg.clone());
+    let (m, k, n) = (32usize, 16usize, 32usize);
+    let a_host = gen::dense_matrix(m, k, 0xA);
+    let b_host = gen::dense_matrix(k, n, 0xB);
+    let cell = machine.cell_mut(0);
+    let a_dev = cell.alloc((m * k * 4) as u32, 64);
+    let b_dev = cell.alloc((k * n * 4) as u32, 64);
+    let c_dev = cell.alloc((m * n * 4) as u32, 64);
+    cell.dram_mut().write_f32_slice(a_dev, &a_host);
+    cell.dram_mut().write_f32_slice(b_dev, &b_host);
+    let program = Arc::new(Sgemm::program_blocked());
+    machine.launch(
+        0,
+        &program,
+        &[
+            pgas::local_dram(a_dev),
+            pgas::local_dram(b_dev),
+            pgas::local_dram(c_dev),
+            m as u32,
+            k as u32,
+            n as u32,
+        ],
+    );
+    machine
+}
+
+#[test]
+fn telemetry_windows_survive_restore() {
+    let cfg = cfg_with(1, true);
+    const WINDOW: u64 = 256;
+    const AT: u64 = 997; // mid-window: 3 windows closed, one in flight
+
+    // Uninterrupted twin with a sampler attached for the whole run.
+    let full_store = Arc::new(Mutex::new(Telemetry::default()));
+    let mut twin = sgemm_machine(&cfg);
+    twin.attach_observer(Box::new(Sampler::new(
+        &cfg,
+        WINDOW,
+        Keep::All,
+        full_store.clone(),
+    )));
+    twin.run(BUDGET).expect("twin run");
+    drop(twin); // flushes the final partial window
+    let full = full_store.lock().unwrap().clone();
+    assert!(full.samples.len() > 4, "run too short to exercise windows");
+
+    // Interrupted run: same sampler, checkpoint mid-window at AT (the
+    // sampler's in-progress state rides the machine payload).
+    let part_store = Arc::new(Mutex::new(Telemetry::default()));
+    let mut machine = sgemm_machine(&cfg);
+    machine.attach_observer(Box::new(Sampler::new(
+        &cfg,
+        WINDOW,
+        Keep::All,
+        part_store.clone(),
+    )));
+    while machine.cycle() < AT {
+        machine.tick();
+    }
+    let blob = ckpt::encode(&machine);
+    drop(machine);
+
+    // Restore into a fresh machine with a fresh sampler: the restored
+    // window state must close every remaining window at the same cycle
+    // with the same contents as the uninterrupted twin.
+    let tail_store = Arc::new(Mutex::new(Telemetry::default()));
+    let mut restored = Machine::new(cfg.clone());
+    restored.attach_observer(Box::new(Sampler::new(
+        &cfg,
+        WINDOW,
+        Keep::All,
+        tail_store.clone(),
+    )));
+    ckpt::restore(&mut restored, &blob).expect("restore with sampler");
+    restored.run(BUDGET).expect("continued run");
+    drop(restored);
+    let tail = tail_store.lock().unwrap().clone();
+
+    let boundary = (AT / WINDOW) * WINDOW; // last window the twin closed before AT
+    let skipped = full
+        .samples
+        .iter()
+        .take_while(|s| s.end <= boundary)
+        .count();
+    assert_eq!(
+        format!("{:?}", &full.samples[skipped..]),
+        format!("{:?}", tail.samples),
+        "restored telemetry windows diverge from the uninterrupted twin"
+    );
+    let full_tail_events: Vec<_> = full.events.iter().filter(|e| e.cycle > boundary).collect();
+    assert_eq!(
+        format!("{full_tail_events:?}"),
+        format!("{:?}", tail.events.iter().collect::<Vec<_>>()),
+        "restored instant events diverge from the uninterrupted twin"
+    );
+    assert_eq!(full.final_cycle, tail.final_cycle);
+}
+
+#[test]
+fn guest_profile_survives_restore() {
+    let cfg = MachineConfig {
+        profile: true,
+        ..cfg_with(1, true)
+    };
+
+    let mut twin = sgemm_machine(&cfg);
+    twin.run(BUDGET).expect("twin run");
+    let full_profile = twin.guest_profile().expect("twin profile");
+
+    let mut machine = sgemm_machine(&cfg);
+    while machine.cycle() < 997 {
+        machine.tick();
+    }
+    let blob = ckpt::encode(&machine);
+    drop(machine);
+
+    // The profile buffers ride the tile snapshots, so even a restore into
+    // a machine whose own `profile` knob is off continues recording.
+    let mut restored = Machine::new(cfg.clone());
+    ckpt::restore(&mut restored, &blob).expect("restore");
+    restored.run(BUDGET).expect("continued run");
+    assert_eq!(
+        restored.guest_profile().expect("restored profile"),
+        full_profile,
+        "guest-code profile diverges after restore"
+    );
+}
+
+#[test]
+fn mismatched_version_and_config_are_clean_errors() {
+    let cfg = cfg_with(1, true);
+    let mut machine = sgemm_machine(&cfg);
+    while machine.cycle() < 100 {
+        machine.tick();
+    }
+    let blob = ckpt::encode(&machine);
+
+    // Unknown format version.
+    let mut wrong_version = blob.clone();
+    wrong_version[8..12].copy_from_slice(&7u32.to_le_bytes());
+    assert!(matches!(
+        ckpt::decode(&wrong_version),
+        Err(ckpt::CkptError::Version { found: 7 })
+    ));
+
+    // Simulated-geometry mismatch is rejected before any state is touched.
+    let other = MachineConfig {
+        cell_dim: CellDim { x: 2, y: 2 },
+        ..cfg.clone()
+    };
+    let mut other_machine = Machine::new(other);
+    assert!(matches!(
+        ckpt::restore(&mut other_machine, &blob),
+        Err(ckpt::CkptError::ConfigMismatch { .. })
+    ));
+    assert_eq!(
+        other_machine.cycle(),
+        0,
+        "rejected restore must not advance the machine"
+    );
+
+    // Host-only knobs (threads, schedule) are free to differ.
+    let mut host_machine = Machine::new(cfg_with(4, false));
+    assert_eq!(ckpt::restore(&mut host_machine, &blob).unwrap(), 100);
+
+    // Corruption is a clean error too.
+    let mut torn = blob.clone();
+    let mid = torn.len() / 2;
+    torn[mid] ^= 0x10;
+    assert!(matches!(ckpt::decode(&torn), Err(ckpt::CkptError::Corrupt)));
+}
